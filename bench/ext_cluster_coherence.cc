@@ -1,0 +1,120 @@
+// Extension bench: distributed coherence traffic (the paper's motivation
+// for Fig. 13 — "distributed caches running on clustered servers ...
+// might require some coherence traffic for invalidations. The average
+// number of invalidations per transaction ... can be used for predicting
+// the invalidation traffic if a remote cache is used").
+//
+// A three-node rule-server group (paper Fig. 1) runs the Set Query update
+// mix; we measure, per policy and per invalidation-delivery latency:
+//   * cluster hit rate,
+//   * remote invalidations per update (the Fig. 13 prediction realized),
+//   * stale hits served inside the latency window.
+#include <iostream>
+
+#include "cluster/cluster.h"
+#include "harness.h"
+#include "setquery/queries.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+namespace {
+
+struct Row {
+  double hit_rate, remote_per_update, stale_rate;
+};
+
+Row RunCluster(const FigureConfig& fig, dup::InvalidationPolicy policy, uint64_t latency) {
+  storage::Database db;
+  setquery::BenchTable bench(db, fig.rows);
+  cluster::ClusterConfig config;
+  config.nodes = 3;
+  config.policy = policy;
+  // Sound dependency mode (NOT paper-fidelity): aggregate inputs and
+  // projections are tracked, so with synchronous delivery every hit is
+  // exact and any staleness measured is purely the latency window.
+  config.latency_ticks = latency;
+  cluster::CacheCluster cluster(db, config);
+
+  const auto specs = setquery::BuildAllQueries(bench);
+  std::vector<std::shared_ptr<const sql::BoundQuery>> queries;
+  for (const auto& spec : specs) queries.push_back(cluster.Prepare(spec.sql));
+
+  Rng rng(fig.seed);
+  // Warm every node.
+  for (size_t n = 0; n < cluster.node_count(); ++n) {
+    for (const auto& query : queries) cluster.ExecuteAt(n, query);
+  }
+
+  const auto warm = cluster.stats();
+  for (uint64_t t = 0; t < fig.transactions; ++t) {
+    if (rng.Chance(0.05)) {  // 5% update rate, 2 attrs per update
+      const size_t writer = static_cast<size_t>(rng.Uniform(0, 2));
+      cluster.PerformUpdate(writer, [&] {
+        const auto row = bench.RandomRow(rng);
+        std::vector<std::pair<uint32_t, Value>> sets;
+        for (int i = 0; i < 2; ++i) {
+          const auto col = static_cast<uint32_t>(rng.Uniform(0, 12));
+          sets.emplace_back(col, Value(bench.RandomValue(col, rng)));
+        }
+        bench.table().Update(row, sets);
+      });
+    } else {
+      cluster.Execute(queries[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(queries.size()) - 1))]);
+    }
+  }
+
+  const auto stats = cluster.stats();
+  Row out;
+  const double queries_run = static_cast<double>(stats.queries - warm.queries);
+  const double hits = static_cast<double>(stats.hits - warm.hits);
+  out.hit_rate = queries_run > 0 ? 100.0 * hits / queries_run : 0.0;
+  const double updates = static_cast<double>(stats.updates - warm.updates);
+  out.remote_per_update =
+      updates > 0 ? static_cast<double>(stats.remote_invalidations - warm.remote_invalidations) /
+                        updates
+                  : 0.0;
+  out.stale_rate = hits > 0 ? 100.0 * static_cast<double>(stats.stale_hits - warm.stale_hits) / hits
+                            : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  FigureConfig fig = FigureConfig::FromEnv();
+  fig.rows = EnvU64("SETQUERY_ROWS", 20'000);
+  fig.transactions = EnvU64("SETQUERY_TXNS", 3'000);
+  PrintHeader("Extension: 3-node cluster coherence traffic (5% updates, 2 attrs)", fig);
+
+  const std::vector<uint64_t> latencies = {0, 10, 50};
+  const std::vector<int> widths = {10, 12, 12, 16, 16, 12, 12};
+  PrintRow({"latency", "II hit%", "III hit%", "II rem-inv/upd", "III rem-inv/upd", "II stale%",
+            "III stale%"},
+           widths);
+
+  std::vector<Row> ii_rows, iii_rows;
+  for (uint64_t latency : latencies) {
+    ii_rows.push_back(RunCluster(fig, dup::InvalidationPolicy::kValueUnaware, latency));
+    iii_rows.push_back(RunCluster(fig, dup::InvalidationPolicy::kValueAware, latency));
+    PrintRow({std::to_string(latency), Fmt(ii_rows.back().hit_rate),
+              Fmt(iii_rows.back().hit_rate), Fmt(ii_rows.back().remote_per_update, 2),
+              Fmt(iii_rows.back().remote_per_update, 2), Fmt(ii_rows.back().stale_rate, 2),
+              Fmt(iii_rows.back().stale_rate, 2)},
+             widths);
+  }
+
+  std::cout << "\nChecks:\n";
+  for (size_t i = 0; i < latencies.size(); ++i) {
+    Check(iii_rows[i].remote_per_update < ii_rows[i].remote_per_update,
+          "value-aware DUP cuts coherence traffic at latency " + std::to_string(latencies[i]));
+    Check(iii_rows[i].hit_rate > ii_rows[i].hit_rate,
+          "value-aware DUP lifts cluster hit rate at latency " + std::to_string(latencies[i]));
+  }
+  Check(ii_rows[0].stale_rate == 0.0 && iii_rows[0].stale_rate == 0.0,
+        "synchronous delivery (latency 0) never serves stale hits");
+  Check(iii_rows.back().stale_rate >= iii_rows.front().stale_rate,
+        "staleness grows with delivery latency");
+  return Failures() == 0 ? 0 : 1;
+}

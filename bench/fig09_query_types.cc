@@ -1,0 +1,72 @@
+// Figure 9: cache hit rates per Set Query type under Policies I/II/III.
+// Paper setup: update rate fixed at 2 %, one attribute per update.
+//
+// Paper shape claims (§5):
+//   * Q1/Q2A/Q2B (exact-match, one or two attributes): high hit rates,
+//     especially under the value-aware scheme.
+//   * Q3/Q4 (range queries): value-aware still effective.
+//   * Q5 (GROUP BY): Policies II and III equivalent.
+//   * Q6 (join): II and III nearly equivalent, III edges ahead via the
+//     extra exact-match conditions.
+//   * Overall: III ≥ II ≫ I.
+#include <iostream>
+#include <map>
+
+#include "harness.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+int main() {
+  const FigureConfig config = FigureConfig::FromEnv();
+  PrintHeader("Figure 9: hit rate per query type (update rate 2%, 1 attr/update)", config);
+
+  setquery::WorkloadConfig workload;
+  workload.update_rate = 0.02;
+  workload.attributes_per_update = 1;
+
+  const std::vector<dup::InvalidationPolicy> policies = {
+      dup::InvalidationPolicy::kFlushAll,
+      dup::InvalidationPolicy::kValueUnaware,
+      dup::InvalidationPolicy::kValueAware,
+  };
+
+  std::map<std::string, std::map<int, double>> table;  // type -> policy idx -> rate
+  for (size_t p = 0; p < policies.size(); ++p) {
+    const auto result = RunOne(config, policies[p], workload);
+    for (const auto& [type, stats] : result.per_type) {
+      table[type][static_cast<int>(p)] = stats.HitRatePercent();
+    }
+  }
+
+  const std::vector<int> widths = {8, 12, 12, 12};
+  PrintRow({"type", "Policy I", "Policy II", "Policy III"}, widths);
+  for (const std::string& type : setquery::QueryTypeOrder()) {
+    PrintRow({type, Fmt(table[type][0]), Fmt(table[type][1]), Fmt(table[type][2])}, widths);
+  }
+
+  std::cout << "\nShape checks vs. paper:\n";
+  double mean[3] = {0, 0, 0};
+  for (const std::string& type : setquery::QueryTypeOrder()) {
+    for (int p = 0; p < 3; ++p) mean[p] += table[type][p] / 10.0;
+  }
+  Check(mean[2] >= mean[1] && mean[1] > mean[0] + 10,
+        "overall III >= II >> I (means: " + Fmt(mean[0]) + " / " + Fmt(mean[1]) + " / " +
+            Fmt(mean[2]) + ")");
+  for (const std::string& type : {"1", "2A", "2B"}) {
+    Check(table[type][2] >= 85.0, "Q" + type + " value-aware hit rate is high (>= 85%)");
+    Check(table[type][2] >= table[type][1] + 5,
+          "Q" + type + " value-aware clearly beats value-unaware");
+  }
+  for (const std::string& type : {"3A", "3B", "4A", "4B"}) {
+    Check(table[type][2] >= table[type][1],
+          "Q" + type + " value-aware helps range queries too");
+  }
+  Check(std::abs(table["5"][2] - table["5"][1]) <= 3.0,
+        "Q5 (GROUP BY): Policies II and III are equivalent");
+  for (const std::string& type : {"6A", "6B"}) {
+    Check(table[type][2] >= table[type][1] - 1.0,
+          "Q" + type + " (join): III >= II (small edge from exact-match conditions)");
+  }
+  return Failures() == 0 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Figure 11: cache hit rate vs. update size (% of the 13 attributes
+// modified per update transaction), update rate fixed at 2 %.
+//
+// Paper shape claim: "the benefits of using value-aware invalidation
+// increase with the proportion of attributes being updated per
+// transaction."
+#include <iostream>
+
+#include "harness.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+int main() {
+  const FigureConfig config = FigureConfig::FromEnv();
+  PrintHeader("Figure 11: hit rate vs. update size (update rate 2%)", config);
+
+  const std::vector<int> attrs = {1, 2, 6, 13};  // 7.69 / 15.38 / 46.15 / 100 %
+  const std::vector<dup::InvalidationPolicy> policies = {
+      dup::InvalidationPolicy::kFlushAll,
+      dup::InvalidationPolicy::kValueUnaware,
+      dup::InvalidationPolicy::kValueAware,
+  };
+
+  std::vector<std::vector<double>> series(policies.size());
+  const std::vector<int> widths = {10, 12, 12, 12};
+  PrintRow({"size %", "Policy I", "Policy II", "Policy III"}, widths);
+  for (int k : attrs) {
+    setquery::WorkloadConfig workload;
+    workload.update_rate = 0.02;
+    workload.attributes_per_update = k;
+    std::vector<double> row;
+    for (size_t p = 0; p < policies.size(); ++p) {
+      const auto result = RunOne(config, policies[p], workload);
+      series[p].push_back(result.HitRatePercent());
+      row.push_back(result.HitRatePercent());
+    }
+    PrintRow({Fmt(100.0 * k / 13.0, 2), Fmt(row[0]), Fmt(row[1]), Fmt(row[2])}, widths);
+  }
+
+  std::cout << "\nShape checks vs. paper:\n";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    Check(series[2][i] >= series[1][i] && series[1][i] >= series[0][i] - 1.0,
+          "III >= II >= I at " + std::to_string(attrs[i]) + " attrs/update");
+  }
+  const double gap_small = series[2].front() - series[1].front();
+  const double gap_large = series[2].back() - series[1].back();
+  Check(gap_large > gap_small,
+        "value-aware advantage grows with update size (gap " + Fmt(gap_small) + " -> " +
+            Fmt(gap_large) + ")");
+  Check(std::abs(series[0].front() - series[0].back()) < 8,
+        "Policy I is insensitive to update size (any update flushes everything)");
+  return Failures() == 0 ? 0 : 1;
+}

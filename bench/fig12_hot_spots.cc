@@ -1,0 +1,77 @@
+// Figure 12: the hot-spot (80/20) effect at update rates 2 % and 25 %,
+// two attributes per update.
+//
+// "80% of the accesses were uniformly distributed among 20% of the data"
+// — the skew ranges over parameter *values*, so the workload runs in
+// parameterized mode: the cached population is (template × pool value),
+// the paper's Q2($1) pattern, and hot spots select parameter values.
+//
+// Paper shape claims: Policy I's hit rate varies little with hot spots
+// (the paper draws a single bar for it); Policies II and III gain
+// significantly more, and their advantage increases with the update rate.
+#include <cmath>
+#include <iostream>
+
+#include "harness.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+int main() {
+  const FigureConfig config = FigureConfig::FromEnv();
+  PrintHeader("Figure 12: hot-spot effect (80/20), 2 attrs/update, parameterized queries", config);
+
+  const std::vector<double> rates = {0.02, 0.25};
+  struct Cell {
+    double uniform = 0, hot = 0;
+    double Gain() const { return hot - uniform; }
+    double Ratio() const { return uniform > 0 ? hot / uniform : 0.0; }
+  };
+  // [rate][policy] -> Cell ; policies: 0=I, 1=II, 2=III
+  std::vector<std::vector<Cell>> grid(rates.size(), std::vector<Cell>(3));
+  const std::vector<dup::InvalidationPolicy> policies = {
+      dup::InvalidationPolicy::kFlushAll,
+      dup::InvalidationPolicy::kValueUnaware,
+      dup::InvalidationPolicy::kValueAware,
+  };
+
+  for (size_t r = 0; r < rates.size(); ++r) {
+    for (size_t p = 0; p < policies.size(); ++p) {
+      for (bool hot : {false, true}) {
+        setquery::WorkloadConfig workload;
+        workload.update_rate = rates[r];
+        workload.attributes_per_update = 2;
+        workload.hot_spot = hot;
+        workload.parameterized = true;
+        workload.param_pool_size = 25;
+        const auto result = RunOne(config, policies[p], workload);
+        (hot ? grid[r][p].hot : grid[r][p].uniform) = result.HitRatePercent();
+      }
+    }
+  }
+
+  const std::vector<int> widths = {8, 11, 11, 12, 12, 13, 13};
+  PrintRow({"rate %", "I unif", "I hot", "II unif", "II hot", "III unif", "III hot"}, widths);
+  for (size_t r = 0; r < rates.size(); ++r) {
+    PrintRow({Fmt(rates[r] * 100, 0), Fmt(grid[r][0].uniform), Fmt(grid[r][0].hot),
+              Fmt(grid[r][1].uniform), Fmt(grid[r][1].hot), Fmt(grid[r][2].uniform),
+              Fmt(grid[r][2].hot)},
+             widths);
+  }
+
+  std::cout << "\nShape checks vs. paper:\n";
+  for (size_t r = 0; r < rates.size(); ++r) {
+    const std::string at = " at rate " + Fmt(rates[r] * 100, 0) + "%";
+    Check(grid[r][1].hot > grid[r][1].uniform, "Policy II gains from hot spots" + at);
+    Check(grid[r][2].hot > grid[r][2].uniform, "Policy III gains from hot spots" + at);
+    Check(grid[r][0].Gain() < 0.5 * grid[r][1].Gain() && grid[r][0].Gain() < 8.0,
+          "Policy I varies little with hot spots (paper draws one bar for it)" + at);
+  }
+  Check(grid[1][1].Ratio() > grid[0][1].Ratio(),
+        "Policy II's relative hot-spot advantage grows with the update rate (" +
+            Fmt(grid[0][1].Ratio(), 2) + "x -> " + Fmt(grid[1][1].Ratio(), 2) + "x)");
+  Check(grid[1][2].Ratio() > grid[0][2].Ratio(),
+        "Policy III's relative hot-spot advantage grows with the update rate (" +
+            Fmt(grid[0][2].Ratio(), 2) + "x -> " + Fmt(grid[1][2].Ratio(), 2) + "x)");
+  return Failures() == 0 ? 0 : 1;
+}

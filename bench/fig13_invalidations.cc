@@ -1,0 +1,58 @@
+// Figure 13: average number of query invalidations per transaction as a
+// function of the update rate (1–10 %), two attributes per update, for
+// Policies II and III. The paper reads this as the coherence traffic a
+// distributed deployment would pay.
+//
+// Paper shape claims: invalidations/transaction grows with the update
+// rate for both policies, and the value-aware policy produces several
+// times fewer invalidations than the value-unaware one.
+#include <iostream>
+
+#include "harness.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+int main() {
+  const FigureConfig config = FigureConfig::FromEnv();
+  PrintHeader("Figure 13: query invalidations per transaction (2 attrs/update)", config);
+
+  const std::vector<double> rates = {0.01, 0.02, 0.05, 0.10};
+  std::vector<double> ii, iii;
+
+  const std::vector<int> widths = {10, 14, 14, 10};
+  PrintRow({"rate %", "Policy II", "Policy III", "ratio"}, widths);
+  for (double rate : rates) {
+    setquery::WorkloadConfig workload;
+    workload.update_rate = rate;
+    workload.attributes_per_update = 2;
+    const auto r2 = RunOne(config, dup::InvalidationPolicy::kValueUnaware, workload);
+    const auto r3 = RunOne(config, dup::InvalidationPolicy::kValueAware, workload);
+    ii.push_back(r2.InvalidationsPerTransaction());
+    iii.push_back(r3.InvalidationsPerTransaction());
+    PrintRow({Fmt(rate * 100, 0), Fmt(ii.back(), 3), Fmt(iii.back(), 3),
+              Fmt(iii.back() > 0 ? ii.back() / iii.back() : 0.0, 1)},
+             widths);
+  }
+
+  std::cout << "\nShape checks vs. paper:\n";
+  for (size_t i = 0; i + 1 < rates.size(); ++i) {
+    Check(ii[i + 1] > ii[i],
+          "Policy II invalidations grow with update rate (" + Fmt(rates[i] * 100, 0) + "% -> " +
+              Fmt(rates[i + 1] * 100, 0) + "%)");
+    Check(iii[i + 1] > iii[i],
+          "Policy III invalidations grow with update rate (" + Fmt(rates[i] * 100, 0) + "% -> " +
+              Fmt(rates[i + 1] * 100, 0) + "%)");
+  }
+  for (size_t i = 0; i < rates.size(); ++i) {
+    // "far fewer": at low rates III invalidates less than half as often as
+    // II; at higher rates the gap compresses (under II more results are
+    // already absent when the next update lands) but stays substantial.
+    Check(iii[i] < ii[i] / 1.5,
+          "Policy III produces substantially fewer invalidations at rate " +
+              Fmt(rates[i] * 100, 0) + "%");
+  }
+  Check(ii.front() / iii.front() > ii.back() / iii.back(),
+        "the II/III invalidation ratio is largest at low update rates");
+  return Failures() == 0 ? 0 : 1;
+}

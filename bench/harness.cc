@@ -1,0 +1,79 @@
+#include "harness.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+namespace qc::benchharness {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  return std::strtoull(raw, nullptr, 10);
+}
+
+FigureConfig FigureConfig::FromEnv() {
+  FigureConfig config;
+  config.rows = EnvU64("SETQUERY_ROWS", config.rows);
+  config.transactions = EnvU64("SETQUERY_TXNS", config.transactions);
+  config.seed = EnvU64("SETQUERY_SEED", config.seed);
+  return config;
+}
+
+Fixture MakeFixture(const FigureConfig& config, dup::InvalidationPolicy policy) {
+  Fixture fixture;
+  fixture.db = std::make_unique<storage::Database>();
+  fixture.bench = std::make_unique<setquery::BenchTable>(*fixture.db, config.rows, config.seed);
+  middleware::CachedQueryEngine::Options options;
+  options.policy = policy;
+  // Figure reproductions use the paper's dependency sets (WHERE columns +
+  // GROUP BY keys; no projection/aggregate-input edges — see Fig. 8).
+  options.extraction = dup::ExtractionOptions::PaperFidelity();
+  fixture.engine = std::make_unique<middleware::CachedQueryEngine>(*fixture.db, options);
+  fixture.runner = std::make_unique<setquery::WorkloadRunner>(*fixture.bench, *fixture.engine);
+  return fixture;
+}
+
+setquery::WorkloadResult RunOne(const FigureConfig& config, dup::InvalidationPolicy policy,
+                                const setquery::WorkloadConfig& workload) {
+  Fixture fixture = MakeFixture(config, policy);
+  setquery::WorkloadConfig wl = workload;
+  wl.transactions = config.transactions;
+  wl.seed = config.seed;
+  return fixture.runner->Run(wl);
+}
+
+void PrintHeader(const std::string& title, const FigureConfig& config) {
+  std::cout << "=== " << title << " ===\n"
+            << "BENCH rows=" << config.rows << " (canonical 1M, constants rescaled), "
+            << "transactions=" << config.transactions << ", seed=" << config.seed << "\n"
+            << "(override via SETQUERY_ROWS / SETQUERY_TXNS / SETQUERY_SEED)\n\n";
+}
+
+void PrintRow(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  std::ostringstream os;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    os << std::setw(i < widths.size() ? widths[i] : 12) << cells[i];
+  }
+  std::cout << os.str() << "\n";
+}
+
+std::string Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+namespace {
+int g_failures = 0;
+}
+
+bool Check(bool condition, const std::string& claim) {
+  std::cout << (condition ? "  [ok] " : "  [VIOLATION] ") << claim << "\n";
+  if (!condition) ++g_failures;
+  return condition;
+}
+
+int Failures() { return g_failures; }
+
+}  // namespace qc::benchharness

@@ -1,0 +1,250 @@
+// GPS-cache micro-benchmarks (paper §3 / Iyengar's IPCCC'99 companion
+// paper on the GPS cache itself): operation costs for the memory store,
+// the expiration mechanism, DUP propagation, and the transaction-log flush
+// policy trade-off the paper calls out ("the overhead for immediately
+// flushing every transaction log is substantial").
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "cache/gps_cache.h"
+#include "dup/engine.h"
+#include "middleware/query_engine.h"
+#include "odg/graph.h"
+#include "setquery/bench_table.h"
+#include "setquery/queries.h"
+#include "accel/page_server.h"
+#include "sql/fingerprint.h"
+#include "storage/csv.h"
+
+namespace {
+
+using namespace qc;
+
+cache::CacheValuePtr MakeValue(size_t bytes) {
+  return std::make_shared<cache::StringValue>(std::string(bytes, 'x'));
+}
+
+void BM_MemoryPut(benchmark::State& state) {
+  cache::GpsCacheConfig config;
+  cache::GpsCache cache(config);
+  const auto value = MakeValue(static_cast<size_t>(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    cache.Put("key" + std::to_string(i++ % 10000), value);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryPut)->Arg(64)->Arg(4096);
+
+void BM_MemoryHit(benchmark::State& state) {
+  cache::GpsCacheConfig config;
+  cache::GpsCache cache(config);
+  for (int i = 0; i < 10000; ++i) cache.Put("key" + std::to_string(i), MakeValue(64));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get("key" + std::to_string(i++ % 10000)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryHit);
+
+void BM_MemoryMiss(benchmark::State& state) {
+  cache::GpsCacheConfig config;
+  cache::GpsCache cache(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get("absent"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryMiss);
+
+void BM_LruEvictionChurn(benchmark::State& state) {
+  cache::GpsCacheConfig config;
+  config.memory_max_entries = 1024;
+  cache::GpsCache cache(config);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    cache.Put("key" + std::to_string(i++), MakeValue(64));  // every put evicts
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruEvictionChurn);
+
+void BM_ExpirationSweep(benchmark::State& state) {
+  // Puts with TTLs landing in the past: each sweep pops the heap once per
+  // expired object — the paper's "efficient algorithm for invalidating
+  // objects based on expiration times".
+  using namespace std::chrono_literals;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cache::TimePoint now{};
+    cache::GpsCacheConfig config;
+    config.now = [&now] { return now; };
+    cache::GpsCache cache(config);
+    for (int i = 0; i < 1000; ++i) {
+      cache.Put("key" + std::to_string(i), MakeValue(64), std::chrono::seconds(1 + i % 7));
+    }
+    now += 10s;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cache.ExpireDue());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ExpirationSweep);
+
+void BM_TxLogAppend(benchmark::State& state) {
+  const auto policy = static_cast<cache::LogFlushPolicy>(state.range(0));
+  const std::string path = "/tmp/qc_bench_txlog.log";
+  std::filesystem::remove(path);
+  cache::TransactionLog log(path, policy);
+  for (auto _ : state) {
+    log.Append("hit", "SELECT COUNT(*) FROM BENCH WHERE K100 = 2");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(policy == cache::LogFlushPolicy::kEveryRecord ? "flush-every-record"
+                 : policy == cache::LogFlushPolicy::kBuffered  ? "buffered-64KiB"
+                                                               : "manual-flush");
+}
+BENCHMARK(BM_TxLogAppend)
+    ->Arg(static_cast<int>(cache::LogFlushPolicy::kEveryRecord))
+    ->Arg(static_cast<int>(cache::LogFlushPolicy::kBuffered))
+    ->Arg(static_cast<int>(cache::LogFlushPolicy::kManual));
+
+void BM_DiskStoreRoundTrip(benchmark::State& state) {
+  cache::GpsCacheConfig config;
+  config.mode = cache::CacheMode::kDisk;
+  config.disk_directory = "/tmp/qc_bench_disk_store";
+  config.deserializer = &cache::StringValue::Deserialize;
+  cache::GpsCache cache(config);
+  const auto value = MakeValue(4096);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(i++ % 256);
+    cache.Put(key, value);
+    benchmark::DoNotOptimize(cache.Get(key));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DiskStoreRoundTrip);
+
+void BM_OdgPropagate(benchmark::State& state) {
+  // Fan-out: one attribute vertex feeding `range` cached objects.
+  odg::Graph graph;
+  const auto source = graph.AddVertex("col:T.A", odg::VertexKind::kUnderlying);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    const auto object = graph.AddVertex("obj" + std::to_string(i), odg::VertexKind::kObject);
+    odg::Atom atom;
+    atom.kind = odg::Atom::Kind::kBetween;
+    atom.a = Value(i * 10);
+    atom.b = Value(i * 10 + 9);
+    graph.AddEdge(source, object, 1.0,
+                  odg::EdgeAnnotation({atom}, odg::ColumnPredicate::MakeAtom(atom)));
+  }
+  int64_t v = 0;
+  for (auto _ : state) {
+    auto spec = odg::ChangeSpec::Update(Value(v), Value(v + 5));
+    v = (v + 7) % (state.range(0) * 10);
+    benchmark::DoNotOptimize(graph.Propagate(source, spec));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_OdgPropagate)->Arg(64)->Arg(1024);
+
+void BM_CachedQueryHit(benchmark::State& state) {
+  // The end-to-end "find" path on a warm cache: fingerprint + GPS lookup.
+  storage::Database db;
+  setquery::BenchTable bench(db, 5000);
+  middleware::CachedQueryEngine engine(db, {});
+  auto query = engine.Prepare("SELECT COUNT(*) FROM BENCH WHERE K100 = 2");
+  engine.Execute(query);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(query));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CachedQueryHit);
+
+void BM_UncachedQuery(benchmark::State& state) {
+  storage::Database db;
+  setquery::BenchTable bench(db, 5000);
+  middleware::CachedQueryEngine engine(db, {});
+  auto query = engine.Prepare("SELECT COUNT(*) FROM BENCH WHERE K100 = 2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ExecuteUncached(*query));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UncachedQuery);
+
+void BM_DependencyExtraction(benchmark::State& state) {
+  // The "compile time" cost of automatic ODG construction for a Set Query
+  // Q3B-shaped statement (OR-of-ranges + equality).
+  storage::Database db;
+  setquery::BenchTable bench(db, 100);
+  auto query = sql::ParseAndBind(
+      "SELECT SUM(K1K) FROM BENCH WHERE (KSEQ BETWEEN 1 AND 5 OR KSEQ BETWEEN 20 AND 30) "
+      "AND K4 = 3",
+      db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dup::ExtractDependencies(*query));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DependencyExtraction);
+
+void BM_AnnotationInstantiation(benchmark::State& state) {
+  // The "run time" parameter-binding cost the paper calls "minimal
+  // overhead" (§4.2).
+  storage::Database db;
+  setquery::BenchTable bench(db, 100);
+  auto query = sql::ParseAndBind("SELECT COUNT(*) FROM BENCH WHERE K100K = $1", db);
+  auto deps = dup::ExtractDependencies(*query);
+  const std::vector<Value> params = {Value(7)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deps->columns[0].Instantiate(params));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AnnotationInstantiation);
+
+void BM_FingerprintParameterized(benchmark::State& state) {
+  storage::Database db;
+  setquery::BenchTable bench(db, 100);
+  auto query = sql::ParseAndBind("SELECT COUNT(*) FROM BENCH WHERE K100K = $1", db);
+  const std::vector<Value> params = {Value(7)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Fingerprint(query->stmt(), params));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FingerprintParameterized);
+
+void BM_AcceleratorServeHit(benchmark::State& state) {
+  accel::PageServer server;
+  server.SetFragment("nav", "<nav>menu</nav>");
+  server.DefinePage("/index.html", "{{nav}}<p>body</p>");
+  server.Serve("/index.html");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Serve("/index.html"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AcceleratorServeHit);
+
+void BM_CsvImport(benchmark::State& state) {
+  storage::Database db;
+  setquery::BenchTable bench(db, 2000);
+  const std::string csv = storage::ExportCsv(bench.table());
+  for (auto _ : state) {
+    storage::Database fresh_db;
+    setquery::BenchTable schema_only(fresh_db, 1);
+    benchmark::DoNotOptimize(storage::ImportCsv(schema_only.table(), csv));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_CsvImport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Direct-marketing scenario — one of the three domains the Set Query
+// benchmark explicitly models ("document searching, direct marketing, and
+// decision support"). A campaign tool keeps segmentation counts and
+// audience pulls cached while account managers continuously edit customer
+// attributes; per-source invalidation statistics show which edits churn
+// the cache.
+//
+//   build/examples/direct_marketing
+#include <iostream>
+
+#include "common/rng.h"
+#include "middleware/query_engine.h"
+
+using namespace qc;
+
+int main() {
+  storage::Database db;
+  auto& customers = db.CreateTable(
+      "CUSTOMERS", storage::Schema({{"ID", ValueType::kInt, false},
+                                    {"REGION", ValueType::kString, false},
+                                    {"SEGMENT", ValueType::kString, true},
+                                    {"LTV", ValueType::kInt, false},        // lifetime value
+                                    {"LAST_ORDER", ValueType::kInt, false}, // yyyymmdd
+                                    {"OPTED_IN", ValueType::kInt, false}}));
+  customers.CreateHashIndex(1);
+  customers.CreateHashIndex(2);
+  customers.CreateOrderedIndex(3);
+  customers.CreateOrderedIndex(4);
+
+  const char* regions[] = {"NE", "SE", "MW", "W"};
+  const char* segments[] = {"new", "loyal", "lapsing", "vip"};
+  Rng rng(99);
+  for (int i = 1; i <= 20'000; ++i) {
+    customers.Insert({Value(i), Value(regions[rng.Uniform(0, 3)]),
+                      Value(segments[rng.Uniform(0, 3)]), Value(rng.Uniform(0, 5000)),
+                      Value(20250101 + rng.Uniform(0, 500)), Value(rng.Chance(0.8) ? 1 : 0)});
+  }
+
+  middleware::CachedQueryEngine::Options options;
+  options.policy = dup::InvalidationPolicy::kValueAware;
+  middleware::CachedQueryEngine engine(db, options);
+
+  // The campaign tool's dashboard queries (all value-annotated).
+  auto segment_counts = engine.Prepare(
+      "SELECT SEGMENT, COUNT(*) FROM CUSTOMERS WHERE OPTED_IN = 1 GROUP BY SEGMENT");
+  auto vip_audience = engine.Prepare(
+      "SELECT ID FROM CUSTOMERS WHERE SEGMENT = 'vip' AND OPTED_IN = 1 AND LTV >= 2000");
+  auto winback = engine.Prepare(
+      "SELECT COUNT(*) FROM CUSTOMERS WHERE SEGMENT = 'lapsing' AND LAST_ORDER < 20250301 "
+      "AND OPTED_IN = 1");
+  auto regional = engine.Prepare(
+      "SELECT COUNT(*) FROM CUSTOMERS WHERE REGION = $1 AND LTV BETWEEN 1000 AND 3000");
+
+  std::cout << "--- campaign dashboard warms up ---\n";
+  engine.Execute(segment_counts);
+  engine.Execute(vip_audience);
+  engine.Execute(winback);
+  for (const char* region : regions) engine.Execute(regional, {Value(region)});
+
+  // Account managers edit customers all day; dashboards keep refreshing.
+  const uint32_t ltv_col = customers.schema().Require("LTV");
+  const uint32_t seg_col = customers.schema().Require("SEGMENT");
+  const uint32_t order_col = customers.schema().Require("LAST_ORDER");
+  for (int i = 0; i < 3000; ++i) {
+    const auto row = static_cast<storage::RowId>(rng.Uniform(0, 19'999));
+    switch (rng.Uniform(0, 2)) {
+      case 0:  // small LTV drift rarely crosses the 1000..3000 / >=2000 lines
+        customers.Update(row, ltv_col,
+                         Value(customers.Get(row, ltv_col).as_int() + rng.Uniform(-50, 50)));
+        break;
+      case 1:  // segment reassignment hits segment-anchored queries
+        customers.Update(row, seg_col, Value(segments[rng.Uniform(0, 3)]));
+        break;
+      default:  // a new order bumps LAST_ORDER
+        customers.Update(row, order_col, Value(20250601 + rng.Uniform(0, 30)));
+        break;
+    }
+    engine.Execute(segment_counts);
+    engine.Execute(vip_audience);
+    engine.Execute(winback);
+    engine.Execute(regional, {Value(regions[rng.Uniform(0, 3)])});
+  }
+
+  const auto stats = engine.stats();
+  std::cout << "dashboard refreshes: " << stats.executions << ", hit rate "
+            << 100.0 * stats.HitRate() << "%\n\n"
+            << "which edits churned the cache (affected keys by source):\n";
+  for (const auto& [source, count] : engine.dup_stats().affected_by_source) {
+    std::cout << "  " << source << ": " << count << "\n";
+  }
+  std::cout << "\n(SEGMENT edits dominate: every segment-anchored query depends on them;\n"
+               " LTV drift barely registers because the value-aware annotations only fire\n"
+               " when a customer crosses a campaign threshold.)\n";
+  return 0;
+}

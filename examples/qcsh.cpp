@@ -1,0 +1,216 @@
+// qcsh — an interactive shell over the cached query middleware.
+//
+// Usage:  build/examples/qcsh            (interactive)
+//         build/examples/qcsh < script   (batch)
+//
+// Statements: SELECT / INSERT / UPDATE / DELETE (terminated by the line
+// end). Shell commands start with a backslash:
+//   \create T A INT, B STRING NULL, C DOUBLE   create a table
+//   \index T A [ordered]                       add a hash/ordered index
+//   \import T file.csv        \export T file.csv
+//   \tables                   \schema T
+//   \policy I|II|III|IV       rebuild the engine under a policy
+//   \trace on|off             print invalidation reasons as they happen
+//   \stats                    engine + cache + DUP counters
+//   \odg                      dump the object dependence graph
+//   \help                     \quit
+#include <unistd.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "middleware/query_engine.h"
+#include "storage/csv.h"
+
+using namespace qc;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() { RebuildEngine(dup::InvalidationPolicy::kValueAware); }
+
+  int Run() {
+    std::string line;
+    Prompt();
+    while (std::getline(std::cin, line)) {
+      try {
+        if (!Dispatch(line)) break;
+      } catch (const Error& e) {
+        std::cout << "error: " << e.what() << "\n";
+      }
+      Prompt();
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt() {
+    if (interactive_) std::cout << "qcache> " << std::flush;
+  }
+
+  void RebuildEngine(dup::InvalidationPolicy policy) {
+    middleware::CachedQueryEngine::Options options;
+    options.policy = policy;
+    engine_ = std::make_unique<middleware::CachedQueryEngine>(db_, options);
+    if (trace_) EnableTrace();
+    std::cout << "engine ready: " << dup::PolicyName(policy) << "\n";
+  }
+
+  void EnableTrace() {
+    engine_->dup_engine().SetTracer([](const std::string& key, const std::string& reason) {
+      std::cout << "  [invalidate] " << key << "\n               " << reason << "\n";
+    });
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::string trimmed = line;
+    while (!trimmed.empty() && (trimmed.back() == ' ' || trimmed.back() == '\r')) {
+      trimmed.pop_back();
+    }
+    size_t start = trimmed.find_first_not_of(' ');
+    if (start == std::string::npos) return true;
+    trimmed = trimmed.substr(start);
+
+    if (trimmed[0] == '\\') return Command(trimmed);
+    RunSql(trimmed);
+    return true;
+  }
+
+  bool Command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "\\quit" || cmd == "\\q") return false;
+    if (cmd == "\\help") {
+      std::cout << "statements: SELECT ... / INSERT ... / UPDATE ... / DELETE ...\n"
+                   "commands: \\create \\index \\import \\export \\tables \\schema\n"
+                   "          \\policy \\trace \\stats \\odg \\quit\n";
+    } else if (cmd == "\\create") {
+      CreateTable(in);
+    } else if (cmd == "\\index") {
+      std::string table, column, kind;
+      in >> table >> column >> kind;
+      auto& t = db_.GetTable(table);
+      const uint32_t col = t.schema().Require(column);
+      if (kind == "ordered") {
+        t.CreateOrderedIndex(col);
+      } else {
+        t.CreateHashIndex(col);
+      }
+      std::cout << "indexed " << table << "." << column << "\n";
+    } else if (cmd == "\\import") {
+      std::string table, path;
+      in >> table >> path;
+      std::cout << storage::ImportCsvFile(db_.GetTable(table), path) << " rows imported\n";
+    } else if (cmd == "\\export") {
+      std::string table, path;
+      in >> table >> path;
+      storage::ExportCsvFile(db_.GetTable(table), path);
+      std::cout << "exported to " << path << "\n";
+    } else if (cmd == "\\tables") {
+      for (const std::string& name : db_.TableNames()) {
+        std::cout << "  " << name << " (" << db_.GetTable(name).size() << " rows)\n";
+      }
+    } else if (cmd == "\\schema") {
+      std::string table;
+      in >> table;
+      for (const auto& col : db_.GetTable(table).schema().columns()) {
+        std::cout << "  " << col.name << " "
+                  << (col.type == ValueType::kInt      ? "INT"
+                      : col.type == ValueType::kDouble ? "DOUBLE"
+                                                       : "STRING")
+                  << (col.nullable ? " NULL" : "") << "\n";
+      }
+    } else if (cmd == "\\policy") {
+      std::string which;
+      in >> which;
+      dup::InvalidationPolicy policy;
+      if (which == "I") {
+        policy = dup::InvalidationPolicy::kFlushAll;
+      } else if (which == "II") {
+        policy = dup::InvalidationPolicy::kValueUnaware;
+      } else if (which == "IV") {
+        policy = dup::InvalidationPolicy::kRowAware;
+      } else {
+        policy = dup::InvalidationPolicy::kValueAware;
+      }
+      RebuildEngine(policy);
+    } else if (cmd == "\\trace") {
+      std::string mode;
+      in >> mode;
+      trace_ = (mode == "on");
+      if (trace_) {
+        EnableTrace();
+      } else {
+        engine_->dup_engine().SetTracer(nullptr);
+      }
+      std::cout << "trace " << (trace_ ? "on" : "off") << "\n";
+    } else if (cmd == "\\stats") {
+      const auto stats = engine_->stats();
+      std::cout << "engine: executions=" << stats.executions << " hits=" << stats.cache_hits
+                << " db=" << stats.db_executions << " hit_rate=" << stats.HitRate() << "\n"
+                << "cache:  " << engine_->cache_stats().ToString() << "\n"
+                << "dup:    invalidations=" << engine_->dup_stats().invalidations
+                << " events=" << engine_->dup_stats().update_events
+                << " registered=" << engine_->dup_stats().registered_queries << "\n";
+    } else if (cmd == "\\odg") {
+      std::cout << engine_->dup_engine().DumpGraph();
+    } else {
+      std::cout << "unknown command " << cmd << " (try \\help)\n";
+    }
+    return true;
+  }
+
+  // \create T A INT, B STRING NULL, C DOUBLE
+  void CreateTable(std::istringstream& in) {
+    std::string table;
+    in >> table;
+    std::string rest;
+    std::getline(in, rest);
+    std::vector<storage::ColumnDef> columns;
+    std::istringstream cols(rest);
+    std::string spec;
+    while (std::getline(cols, spec, ',')) {
+      std::istringstream parts(spec);
+      storage::ColumnDef def;
+      std::string type, null_marker;
+      parts >> def.name >> type >> null_marker;
+      if (def.name.empty() || type.empty()) throw Error("\\create: bad column spec '" + spec + "'");
+      const std::string upper = ToUpper(type);
+      def.type = upper == "INT"      ? ValueType::kInt
+                 : upper == "DOUBLE" ? ValueType::kDouble
+                                     : ValueType::kString;
+      def.nullable = ToUpper(null_marker) == "NULL";
+      columns.push_back(std::move(def));
+    }
+    const size_t column_count = columns.size();
+    db_.CreateTable(table, storage::Schema(std::move(columns)));
+    std::cout << "created " << table << " with " << column_count << " columns\n";
+  }
+
+  void RunSql(const std::string& sql) {
+    const std::string head = ToUpper(sql.substr(0, sql.find(' ')));
+    if (head == "SELECT") {
+      auto outcome = engine_->ExecuteSql(sql);
+      std::cout << outcome.result->ToString(50) << "(" << outcome.result->row_count() << " rows, "
+                << (outcome.cache_hit ? "cache hit" : "database") << ")\n";
+    } else {
+      std::cout << engine_->ExecuteDml(sql) << " rows affected\n";
+    }
+  }
+
+  storage::Database db_;
+  std::unique_ptr<middleware::CachedQueryEngine> engine_;
+  bool trace_ = false;
+  bool interactive_ = isatty(0);
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "qcache shell — \\help for commands\n";
+  return Shell().Run();
+}

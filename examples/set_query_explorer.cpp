@@ -1,0 +1,61 @@
+// Interactive-ish Set Query explorer: run the paper's §5 workload at a
+// chosen policy / update rate and print the per-type hit-rate table.
+//
+//   build/examples/set_query_explorer [policy I|II|III|IV] [update_rate%] [rows]
+//   e.g. build/examples/set_query_explorer III 5 20000
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "middleware/query_engine.h"
+#include "setquery/workload.h"
+
+using namespace qc;
+
+int main(int argc, char** argv) {
+  const std::string policy_name = argc > 1 ? argv[1] : "III";
+  const double update_rate = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.02;
+  const uint64_t rows = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 20'000;
+
+  dup::InvalidationPolicy policy;
+  if (policy_name == "I") {
+    policy = dup::InvalidationPolicy::kFlushAll;
+  } else if (policy_name == "II") {
+    policy = dup::InvalidationPolicy::kValueUnaware;
+  } else if (policy_name == "IV") {
+    policy = dup::InvalidationPolicy::kRowAware;
+  } else {
+    policy = dup::InvalidationPolicy::kValueAware;
+  }
+
+  std::cout << "Set Query workload: " << dup::PolicyName(policy) << ", "
+            << update_rate * 100 << "% updates, " << rows << " rows\n\n";
+
+  storage::Database db;
+  setquery::BenchTable bench(db, rows);
+  middleware::CachedQueryEngine::Options options;
+  options.policy = policy;
+  options.extraction = dup::ExtractionOptions::PaperFidelity();
+  middleware::CachedQueryEngine engine(db, options);
+  setquery::WorkloadRunner runner(bench, engine);
+
+  setquery::WorkloadConfig config;
+  config.update_rate = update_rate;
+  config.attributes_per_update = 2;
+  config.transactions = 3000;
+  const auto result = runner.Run(config);
+
+  std::cout << "type   queries   hit rate %\n";
+  for (const std::string& type : setquery::QueryTypeOrder()) {
+    auto it = result.per_type.find(type);
+    if (it == result.per_type.end()) continue;
+    std::printf("%-6s %7lu %12.1f\n", type.c_str(),
+                static_cast<unsigned long>(it->second.executions), it->second.HitRatePercent());
+  }
+  std::printf("\noverall hit rate: %.1f%% over %lu queries (%lu updates)\n",
+              result.HitRatePercent(), static_cast<unsigned long>(result.queries),
+              static_cast<unsigned long>(result.updates));
+  std::printf("invalidations/transaction: %.3f\n", result.InvalidationsPerTransaction());
+  std::cout << "cache: " << engine.cache_stats().ToString() << "\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// The paper's §4.2 Web-shopping scenario, end to end.
+//
+// A rule-enabled page has a "hole" filled with a product promotion chosen
+// by the shopper's classification (Gold / Silver / Bronze). The decision
+// point issues the paper's two queries:
+//   Q1        — classifier rules for context 'customerLevel'
+//   Q2($1)    — situational promotion rules for the classification
+// Both are cached; a rule administrator then introduces a *Platinum*
+// level, and — exactly as the paper describes — Q1 is invalidated while
+// the cached Q2 results for the old classifications stay valid.
+//
+//   build/examples/web_shopping
+#include <iostream>
+
+#include "abr/firing.h"
+#include "abr/rule_server.h"
+
+using namespace qc;
+using namespace qc::abr;
+
+namespace {
+
+void ServePage(ClassifyAndSelectDecisionPoint& decision_point, const std::string& shopper,
+               int64_t monthly_spend) {
+  RuleContext context{{"shopper", Value(shopper)}, {"monthlySpend", Value(monthly_spend)}};
+  auto outcome = decision_point.Run(context);
+  std::cout << "  " << shopper << " (spend " << monthly_spend << "): class=[";
+  for (size_t i = 0; i < outcome.classifications.size(); ++i) {
+    std::cout << (i ? ", " : "") << outcome.classifications[i];
+  }
+  std::cout << "] promo=[";
+  for (size_t i = 0; i < outcome.content.size(); ++i) {
+    std::cout << (i ? ", " : "") << outcome.content[i].as_string();
+  }
+  std::cout << "]  Q1 " << (outcome.q1_cache_hit ? "hit" : "MISS") << ", Q2 "
+            << (outcome.q2_cache_hit ? "hit" : "MISS") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  storage::Database db;
+  RuleServer server(db);
+
+  // --- rule base: one classifier + one promotion rule per level ------------
+  RuleUseData classifier;
+  classifier.name = "classifyBySpend";
+  classifier.context_id = "customerLevel";
+  classifier.type = "classifier";
+  classifier.implementation = "classify_by_spend";
+  classifier.init_params = "1000,200";  // gold/silver thresholds
+  server.CreateRuleUse(classifier);
+
+  auto promo = [&](const std::string& level, const std::string& url) {
+    RuleUseData rule;
+    rule.name = "promo" + level;
+    rule.context_id = "promotion";
+    rule.type = "situational";
+    rule.classification = level;
+    rule.implementation = "emit_promotion";
+    rule.init_params = url;
+    server.CreateRuleUse(rule);
+  };
+  promo("Gold", "/promos/champagne.html");
+  promo("Silver", "/promos/wine.html");
+  promo("Bronze", "/promos/beer.html");
+
+  // --- rule implementations -------------------------------------------------
+  RuleRegistry registry;
+  registry.Register("classify_by_spend", [](const RuleUseView& rule, const RuleContext& ctx) {
+    const std::string params = rule.GetString("INITPARAMS");
+    const auto comma = params.find(',');
+    const int64_t gold = std::stoll(params.substr(0, comma));
+    const int64_t silver = std::stoll(params.substr(comma + 1));
+    const int64_t spend = ctx.at("monthlySpend").as_int();
+    if (spend >= gold) return Value("Gold");
+    if (spend >= silver) return Value("Silver");
+    return Value("Bronze");
+  });
+  registry.Register("classify_platinum", [](const RuleUseView& rule, const RuleContext& ctx) {
+    const int64_t threshold = std::stoll(rule.GetString("INITPARAMS"));
+    if (ctx.at("monthlySpend").as_int() >= threshold) return Value("Platinum");
+    return Value::Null();
+  });
+  registry.Register("emit_promotion", [](const RuleUseView& rule, const RuleContext&) {
+    return Value(rule.GetString("INITPARAMS"));
+  });
+
+  ClassifyAndSelectDecisionPoint decision_point(server, registry, "customerLevel");
+
+  std::cout << "--- cold cache ---\n";
+  ServePage(decision_point, "alice", 1500);
+  ServePage(decision_point, "bob", 350);
+  std::cout << "--- warm cache ---\n";
+  ServePage(decision_point, "carol", 2200);  // Gold again: full hits
+  ServePage(decision_point, "dave", 80);     // Bronze promo is a miss once
+  ServePage(decision_point, "erin", 90);
+
+  std::cout << "\n--- administrator introduces a Platinum level ---\n";
+  RuleUseData platinum_classifier;
+  platinum_classifier.name = "classifyPlatinum";
+  platinum_classifier.context_id = "customerLevel";
+  platinum_classifier.type = "classifier";
+  platinum_classifier.priority = 10;
+  platinum_classifier.implementation = "classify_platinum";
+  platinum_classifier.init_params = "5000";
+  server.CreateRuleUse(platinum_classifier);
+  promo("Platinum", "/promos/yacht.html");
+
+  std::cout << "(paper: Q1 must be invalidated; cached Q2 results for the old\n"
+               " classifications are still valid and must NOT be invalidated)\n";
+  ServePage(decision_point, "frank", 9000);  // Q1 MISS (new classifier), new promo MISS
+  ServePage(decision_point, "grace", 1500);  // Q1 hit again; Gold promo still cached?
+
+  const auto stats = server.engine().stats();
+  std::cout << "\nengine: executions=" << stats.executions << " hits=" << stats.cache_hits
+            << " db=" << stats.db_executions << "\n"
+            << "dup invalidations=" << server.engine().dup_stats().invalidations << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "abr/firing.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qc::abr {
+
+void RuleRegistry::Register(const std::string& name, RuleImpl impl) {
+  impls_[name] = std::move(impl);
+}
+
+std::vector<Value> RuleRegistry::Fire(RuleServer& server, const std::vector<RuleId>& rules,
+                                      const RuleContext& context) const {
+  // Priority order, highest first; ties resolve by rule id for determinism.
+  std::vector<std::pair<int64_t, RuleId>> ordered;
+  ordered.reserve(rules.size());
+  for (RuleId id : rules) {
+    ordered.emplace_back(server.GetAttribute(id, "PRIORITY").as_int(), id);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  std::vector<Value> results;
+  for (const auto& [priority, id] : ordered) {
+    RuleUseView view(server, id);
+    const std::string impl_name = view.GetString("IMPLEMENTATION");
+    auto it = impls_.find(impl_name);
+    if (it == impls_.end()) {
+      throw Error("rule " + std::to_string(id) + " names unknown implementation '" + impl_name +
+                  "'");
+    }
+    Value result = it->second(view, context);
+    if (!result.is_null()) results.push_back(std::move(result));
+  }
+  return results;
+}
+
+TriggerPoint::TriggerPoint(RuleServer& server, const RuleRegistry& registry,
+                           std::string query_name, std::vector<std::string> context_keys)
+    : server_(server),
+      registry_(registry),
+      query_name_(std::move(query_name)),
+      context_keys_(std::move(context_keys)) {}
+
+TriggerPoint::Outcome TriggerPoint::Fire(const RuleContext& context) {
+  std::vector<Value> params;
+  params.reserve(context_keys_.size());
+  for (const std::string& key : context_keys_) {
+    auto it = context.find(key);
+    if (it == context.end()) {
+      throw Error("trigger point '" + query_name_ + "' needs context key '" + key + "'");
+    }
+    params.push_back(it->second);
+  }
+  auto found = server_.Find(query_name_, params);
+  Outcome outcome;
+  outcome.rules = found.rules;
+  outcome.cache_hit = found.cache_hit;
+  outcome.results = registry_.Fire(server_, outcome.rules, context);
+  return outcome;
+}
+
+ClassifyAndSelectDecisionPoint::Outcome ClassifyAndSelectDecisionPoint::Run(
+    const RuleContext& context) {
+  Outcome outcome;
+
+  // Phase 1 (paper Q1): classifier rules for the context.
+  auto classifiers = server_.FindClassifiers(classifier_context_);
+  outcome.q1_cache_hit = classifiers.cache_hit;
+  for (const Value& v : registry_.Fire(server_, classifiers.rules, context)) {
+    if (v.is_string()) outcome.classifications.push_back(v.as_string());
+  }
+
+  // Phase 2 (paper Q2($1)): situational content rules per classification.
+  outcome.q2_cache_hit = !outcome.classifications.empty();
+  for (const std::string& classification : outcome.classifications) {
+    auto promotions = server_.FindPromotions(classification);
+    outcome.q2_cache_hit = outcome.q2_cache_hit && promotions.cache_hit;
+    for (Value& v : registry_.Fire(server_, promotions.rules, context)) {
+      outcome.content.push_back(std::move(v));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace qc::abr

@@ -1,0 +1,111 @@
+// Rule firing and decision points (paper §2, §4.2).
+//
+// A decision point is a structured exit from the application's core logic:
+// it queries the rule server for the rules that apply in the current
+// business context and "fires" them. Rule behavior lives in a registry of
+// named implementations; a RuleUse row names its implementation and
+// carries its configuration in INITPARAMS.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "abr/rule_server.h"
+
+namespace qc::abr {
+
+/// The situational business context a decision point runs in (e.g.
+/// {"monthlySpend": 1200, "season": "summer"}).
+using RuleContext = std::map<std::string, Value>;
+
+/// A fired rule sees its own RuleUse entity (live reads via the server —
+/// the paper's step 7 "get") and the run-time context, and returns a value
+/// (a classification, a content fragment, a decision...).
+class RuleUseView {
+ public:
+  RuleUseView(RuleServer& server, RuleId id) : server_(server), id_(id) {}
+
+  RuleId id() const { return id_; }
+  Value Get(const std::string& attribute) const { return server_.GetAttribute(id_, attribute); }
+  std::string GetString(const std::string& attribute) const {
+    const Value v = Get(attribute);
+    return v.is_null() ? std::string() : v.as_string();
+  }
+  int64_t GetInt(const std::string& attribute) const { return Get(attribute).as_int(); }
+
+ private:
+  RuleServer& server_;
+  RuleId id_;
+};
+
+using RuleImpl = std::function<Value(const RuleUseView& rule, const RuleContext& context)>;
+
+class RuleRegistry {
+ public:
+  void Register(const std::string& name, RuleImpl impl);
+  bool Has(const std::string& name) const { return impls_.count(name) > 0; }
+
+  /// Fire every rule in `rules` (in priority order, highest first) and
+  /// collect the non-NULL results. Rules whose implementation is missing
+  /// throw — a misconfigured rule base is a deployment error.
+  std::vector<Value> Fire(RuleServer& server, const std::vector<RuleId>& rules,
+                          const RuleContext& context) const;
+
+ private:
+  std::map<std::string, RuleImpl> impls_;
+};
+
+/// A generic trigger point: the named "structured exit point from the main
+/// application logic" of paper §2. Binds one of the rule server's canned
+/// queries to the run-time context keys that feed its parameters; firing
+/// selects the applicable rules and runs them.
+class TriggerPoint {
+ public:
+  /// `context_keys[i]` names the RuleContext entry bound to parameter $i+1
+  /// of `query_name`. A missing context key at Fire time throws.
+  TriggerPoint(RuleServer& server, const RuleRegistry& registry, std::string query_name,
+               std::vector<std::string> context_keys);
+
+  struct Outcome {
+    std::vector<RuleId> rules;
+    std::vector<Value> results;
+    bool cache_hit = false;
+  };
+
+  Outcome Fire(const RuleContext& context);
+
+ private:
+  RuleServer& server_;
+  const RuleRegistry& registry_;
+  std::string query_name_;
+  std::vector<std::string> context_keys_;
+};
+
+/// The two-phase decision point of the paper's Web-shopping scenario:
+/// fire classifier rules for `classifier_context` to classify the shopper,
+/// then fetch and fire the situational content rules for each resulting
+/// classification.
+class ClassifyAndSelectDecisionPoint {
+ public:
+  ClassifyAndSelectDecisionPoint(RuleServer& server, const RuleRegistry& registry,
+                                 std::string classifier_context)
+      : server_(server), registry_(registry), classifier_context_(std::move(classifier_context)) {}
+
+  struct Outcome {
+    std::vector<std::string> classifications;  // from firing Q1's rules
+    std::vector<Value> content;                // from firing Q2's rules
+    bool q1_cache_hit = false;
+    bool q2_cache_hit = false;  // true only if every Q2 lookup hit
+  };
+
+  Outcome Run(const RuleContext& context);
+
+ private:
+  RuleServer& server_;
+  const RuleRegistry& registry_;
+  std::string classifier_context_;
+};
+
+}  // namespace qc::abr

@@ -1,0 +1,239 @@
+#include "abr/rule_server.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qc::abr {
+
+namespace {
+
+constexpr const char* kTableName = "RULEUSETABLE";
+
+// Column order: RULEID + the 13 business attributes.
+const std::vector<storage::ColumnDef>& Columns() {
+  static const std::vector<storage::ColumnDef> kColumns = {
+      {"RULEID", ValueType::kInt, false},
+      {"NAME", ValueType::kString, false},
+      {"CONTEXTID", ValueType::kString, false},
+      {"TYPE", ValueType::kString, false},
+      {"CLASSIFICATION", ValueType::kString, true},
+      {"COMPLETIONSTATUS", ValueType::kString, false},
+      {"PRIORITY", ValueType::kInt, false},
+      {"FOLDER", ValueType::kString, true},
+      {"STARTDATE", ValueType::kInt, false},
+      {"ENDDATE", ValueType::kInt, false},
+      {"IMPLEMENTATION", ValueType::kString, true},
+      {"INITPARAMS", ValueType::kString, true},
+      {"OWNER", ValueType::kString, true},
+      {"VERSION", ValueType::kInt, false},
+  };
+  return kColumns;
+}
+
+std::string Select(const std::string& where) {
+  return "SELECT RULEID FROM RULEUSETABLE WHERE " + where;
+}
+
+}  // namespace
+
+const std::vector<NamedQuery>& ServerQueries() {
+  static const std::vector<NamedQuery> kQueries = {
+      // The §4.2 pair first (Q1 static, Q2 parameterized).
+      {"findClassifiers",
+       Select("CONTEXTID LIKE $1 AND TYPE LIKE 'classifier' AND COMPLETIONSTATUS LIKE 'ready'"), 1},
+      {"findPromotions",
+       Select("CONTEXTID LIKE 'promotion' AND CLASSIFICATION LIKE $1 AND TYPE LIKE 'situational' "
+              "AND COMPLETIONSTATUS LIKE 'ready'"), 1},
+      {"findAllReady", Select("COMPLETIONSTATUS = 'ready'"), 0},
+      {"findByName", Select("NAME = $1"), 1},
+      {"findByContext", Select("CONTEXTID = $1"), 1},
+      {"findReadyByContext", Select("CONTEXTID = $1 AND COMPLETIONSTATUS = 'ready'"), 1},
+      {"findSituational",
+       Select("CONTEXTID = $1 AND CLASSIFICATION = $2 AND TYPE = 'situational' AND "
+              "COMPLETIONSTATUS = 'ready'"), 2},
+      {"findByType", Select("TYPE = $1"), 1},
+      {"findByFolder", Select("FOLDER = $1"), 1},
+      {"findByFolderReady", Select("FOLDER = $1 AND COMPLETIONSTATUS = 'ready'"), 1},
+      {"findByOwner", Select("OWNER = $1"), 1},
+      {"findByClassification", Select("CLASSIFICATION = $1"), 1},
+      {"findByContextAndType", Select("CONTEXTID = $1 AND TYPE = $2"), 2},
+      {"findActiveAt",
+       Select("STARTDATE <= $1 AND ENDDATE >= $1 AND COMPLETIONSTATUS = 'ready'"), 1},
+      {"findReadyActiveByContext",
+       Select("CONTEXTID = $1 AND STARTDATE <= $2 AND ENDDATE >= $2 AND COMPLETIONSTATUS = "
+              "'ready'"), 2},
+      {"findByPriorityAtLeast", Select("PRIORITY >= $1"), 1},
+      {"findByPriorityBetween", Select("PRIORITY BETWEEN $1 AND $2"), 2},
+      {"findByContextPrioritized", Select("CONTEXTID = $1 AND PRIORITY >= $2"), 2},
+      {"findDrafts", Select("COMPLETIONSTATUS = 'draft'"), 0},
+      {"findRetired", Select("COMPLETIONSTATUS = 'retired'"), 0},
+      {"findByVersionAtLeast", Select("VERSION >= $1"), 1},
+      {"findByOwnerAndFolder", Select("OWNER = $1 AND FOLDER = $2"), 2},
+      {"findByContextNotClassification",
+       Select("CONTEXTID = $1 AND NOT CLASSIFICATION = $2"), 2},
+  };
+  return kQueries;
+}
+
+middleware::CachedQueryEngine::Options RuleServer::DefaultOptions() {
+  middleware::CachedQueryEngine::Options options;
+  // Reference-style results: the ODG holds exactly the WHERE attributes
+  // (paper Fig. 5); RULEID projections are identity references.
+  options.extraction.include_projection = false;
+  return options;
+}
+
+RuleServer::RuleServer(storage::Database& db, middleware::CachedQueryEngine::Options options) {
+  table_ = &db.CreateTable(kTableName, storage::Schema(Columns()));
+  // Equality indexes on the attributes the 23 queries anchor on, ordered
+  // indexes where ranges occur (dates, priority).
+  for (const char* name : {"RULEID", "NAME", "CONTEXTID", "TYPE", "CLASSIFICATION",
+                           "COMPLETIONSTATUS", "FOLDER", "OWNER", "IMPLEMENTATION"}) {
+    table_->CreateHashIndex(table_->schema().Require(name));
+  }
+  for (const char* name : {"PRIORITY", "STARTDATE", "ENDDATE", "VERSION"}) {
+    table_->CreateOrderedIndex(table_->schema().Require(name));
+  }
+  engine_ = std::make_unique<middleware::CachedQueryEngine>(db, std::move(options));
+  for (const NamedQuery& query : ServerQueries()) {
+    queries_.emplace(query.name, engine_->Prepare(query.sql));
+  }
+}
+
+RuleId RuleServer::CreateRuleUse(const RuleUseData& data) {
+  const RuleId id = next_id_++;
+  table_->Insert({Value(id), Value(data.name), Value(data.context_id), Value(data.type),
+                  Value(data.classification), Value(data.completion_status), Value(data.priority),
+                  Value(data.folder), Value(data.start_date), Value(data.end_date),
+                  Value(data.implementation), Value(data.init_params), Value(data.owner),
+                  Value(data.version)});
+  return id;
+}
+
+namespace {
+
+storage::RowId RowOf(const storage::Table& table, RuleId id) {
+  const auto& rows = table.LookupEqual(0, Value(id));
+  if (rows.empty()) throw StorageError("unknown rule id " + std::to_string(id));
+  return rows.front();
+}
+
+}  // namespace
+
+void RuleServer::DeleteRuleUse(RuleId id) { table_->Delete(RowOf(*table_, id)); }
+
+uint32_t RuleServer::AttributeIndex(const std::string& attribute) const {
+  const uint32_t index = table_->schema().Require(attribute);
+  if (index == 0) throw StorageError("RULEID is immutable");
+  return index;
+}
+
+void RuleServer::SetAttribute(RuleId id, const std::string& attribute, const Value& value) {
+  table_->Update(RowOf(*table_, id), AttributeIndex(attribute), value);
+}
+
+namespace {
+
+void RequireStatus(const std::string& actual, const std::string& expected,
+                   const char* transition) {
+  if (actual != expected) {
+    throw Error(std::string("lifecycle: ") + transition + " requires status '" + expected +
+                "', rule is '" + actual + "'");
+  }
+}
+
+}  // namespace
+
+void RuleServer::Promote(RuleId id) {
+  RequireStatus(GetAttribute(id, "COMPLETIONSTATUS").as_string(), "draft", "Promote");
+  SetAttribute(id, "COMPLETIONSTATUS", Value("ready"));
+}
+
+void RuleServer::Retire(RuleId id) {
+  RequireStatus(GetAttribute(id, "COMPLETIONSTATUS").as_string(), "ready", "Retire");
+  SetAttribute(id, "COMPLETIONSTATUS", Value("retired"));
+}
+
+void RuleServer::Reinstate(RuleId id) {
+  RequireStatus(GetAttribute(id, "COMPLETIONSTATUS").as_string(), "retired", "Reinstate");
+  SetAttribute(id, "COMPLETIONSTATUS", Value("draft"));
+}
+
+void RuleServer::UpdateImplementation(RuleId id, const std::string& implementation,
+                                      const std::string& init_params) {
+  SetAttribute(id, "IMPLEMENTATION", Value(implementation));
+  SetAttribute(id, "INITPARAMS", Value(init_params));
+  SetAttribute(id, "VERSION", Value(GetAttribute(id, "VERSION").as_int() + 1));
+}
+
+RuleId RuleServer::CloneAsDraft(RuleId id, const std::string& new_name) {
+  RuleUseData data = GetRuleUse(id);
+  data.name = new_name;
+  data.completion_status = "draft";
+  data.version = data.version + 1;
+  return CreateRuleUse(data);
+}
+
+bool RuleServer::Exists(RuleId id) const {
+  return !table_->LookupEqual(0, Value(id)).empty();
+}
+
+Value RuleServer::GetAttribute(RuleId id, const std::string& attribute) const {
+  return table_->Get(RowOf(*table_, id), table_->schema().Require(attribute));
+}
+
+RuleUseData RuleServer::GetRuleUse(RuleId id) const {
+  const storage::Row row = table_->GetRow(RowOf(*table_, id));
+  RuleUseData data;
+  data.name = row[1].as_string();
+  data.context_id = row[2].as_string();
+  data.type = row[3].as_string();
+  data.classification = row[4].is_null() ? "" : row[4].as_string();
+  data.completion_status = row[5].as_string();
+  data.priority = row[6].as_int();
+  data.folder = row[7].is_null() ? "" : row[7].as_string();
+  data.start_date = row[8].as_int();
+  data.end_date = row[9].as_int();
+  data.implementation = row[10].is_null() ? "" : row[10].as_string();
+  data.init_params = row[11].is_null() ? "" : row[11].as_string();
+  data.owner = row[12].is_null() ? "" : row[12].as_string();
+  data.version = row[13].as_int();
+  return data;
+}
+
+RuleServer::FindResult RuleServer::ToFindResult(
+    const middleware::CachedQueryEngine::ExecuteResult& exec) const {
+  if (exec.result->columns().empty() || ToUpper(exec.result->columns().front()) != "RULEID") {
+    throw Error("rule-server queries must project RULEID first (got '" +
+                (exec.result->columns().empty() ? std::string("<none>")
+                                                : exec.result->columns().front()) +
+                "')");
+  }
+  FindResult out;
+  out.cache_hit = exec.cache_hit;
+  out.rules.reserve(exec.result->row_count());
+  for (const storage::Row& row : exec.result->rows()) out.rules.push_back(row.at(0).as_int());
+  return out;
+}
+
+RuleServer::FindResult RuleServer::Find(const std::string& query_name,
+                                        const std::vector<Value>& params) {
+  auto it = queries_.find(query_name);
+  if (it == queries_.end()) throw Error("unknown server query: " + query_name);
+  return ToFindResult(engine_->Execute(it->second, params));
+}
+
+RuleServer::FindResult RuleServer::FindDynamic(const std::string& sql,
+                                               const std::vector<Value>& params) {
+  return ToFindResult(engine_->ExecuteSql(sql, params));
+}
+
+RuleServer::FindResult RuleServer::FindClassifiers(const std::string& context_id) {
+  return Find("findClassifiers", {Value(context_id)});
+}
+
+RuleServer::FindResult RuleServer::FindPromotions(const std::string& classification) {
+  return Find("findPromotions", {Value(classification)});
+}
+
+}  // namespace qc::abr

@@ -1,0 +1,130 @@
+// The Accessible Business Rules (ABR) rule server (paper §2, §4.2).
+//
+// Rules are persistent RuleUse entities with 13 business-context
+// attributes, stored in RULEUSETABLE and selected by decision points
+// through constraint queries. The server front-ends every query with the
+// cached query engine, so rule lookups hit the GPS cache and rule
+// administration (attribute set / create / delete — paper Fig. 6/7)
+// triggers selective DUP invalidation automatically.
+//
+// Query results are *references* (rule ids), matching the paper's proxy
+// semantics: attribute reads (step 7 "get") go to the live entity, so the
+// engine runs with include_projection = false and the ODGs contain exactly
+// the WHERE-clause attributes, as in paper Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "middleware/query_engine.h"
+#include "storage/database.h"
+
+namespace qc::abr {
+
+using RuleId = int64_t;
+
+/// The 13 business attributes of a RuleUse (paper: "constraints on all or
+/// a subset of the 13 attributes of the rule"), plus the immutable RULEID
+/// identity column the queries project.
+struct RuleUseData {
+  std::string name;
+  std::string context_id;          // e.g. "customerLevel", "promotion"
+  std::string type;                // "classifier" | "situational" | ...
+  std::string classification;      // e.g. "Gold" (situational rules)
+  std::string completion_status = "ready";  // "ready" | "draft" | "retired"
+  int64_t priority = 0;
+  std::string folder;
+  int64_t start_date = 0;          // yyyymmdd
+  int64_t end_date = 99'99'99'99;
+  std::string implementation;      // rule-registry key fired at run time
+  std::string init_params;
+  std::string owner;
+  int64_t version = 1;
+};
+
+/// One of the server's canned queries (the "23 queries" of §4.2).
+struct NamedQuery {
+  std::string name;
+  std::string sql;
+  uint32_t param_count = 0;
+};
+
+/// All 23 server queries. All but one are static or parameterized; the
+/// last exercises the dynamic-SQL path.
+const std::vector<NamedQuery>& ServerQueries();
+
+class RuleServer {
+ public:
+  /// Creates RULEUSETABLE in `db` and a cached query engine over it.
+  RuleServer(storage::Database& db, middleware::CachedQueryEngine::Options options = DefaultOptions());
+
+  static middleware::CachedQueryEngine::Options DefaultOptions();
+
+  // --- administration (paper Fig. 7, steps 5/8/9) -------------------------
+
+  RuleId CreateRuleUse(const RuleUseData& data);
+  void DeleteRuleUse(RuleId id);
+
+  /// Paper Fig. 6: the attribute setter with generated invalidation code.
+  /// `attribute` is one of the 13 names (e.g. "CONTEXTID"); no-op sets do
+  /// not invalidate.
+  void SetAttribute(RuleId id, const std::string& attribute, const Value& value);
+
+  // --- lifecycle (draft -> ready -> retired) -------------------------------
+  // Completion-status transitions are guarded: promoting a retired rule or
+  // retiring a draft throws Error. Every transition is an attribute set,
+  // so cached queries constrained on COMPLETIONSTATUS invalidate exactly
+  // when a rule enters/leaves their status.
+
+  void Promote(RuleId id);    // draft -> ready
+  void Retire(RuleId id);     // ready -> retired
+  void Reinstate(RuleId id);  // retired -> draft (for rework)
+
+  /// Replace a rule's behavior; bumps VERSION (a new draft iteration keeps
+  /// consumers of findByVersionAtLeast honest).
+  void UpdateImplementation(RuleId id, const std::string& implementation,
+                            const std::string& init_params);
+
+  /// Copy a rule as a new draft under `new_name` (the edit-then-promote
+  /// administration workflow).
+  RuleId CloneAsDraft(RuleId id, const std::string& new_name);
+
+  bool Exists(RuleId id) const;
+  Value GetAttribute(RuleId id, const std::string& attribute) const;  // step 7 "get"
+  RuleUseData GetRuleUse(RuleId id) const;
+
+  // --- querying (paper Fig. 7, steps 1–4) ----------------------------------
+
+  struct FindResult {
+    std::vector<RuleId> rules;
+    bool cache_hit = false;
+  };
+
+  /// Run one of the named server queries.
+  FindResult Find(const std::string& query_name, const std::vector<Value>& params = {});
+
+  /// Dynamic SQL path (must project RULEID).
+  FindResult FindDynamic(const std::string& sql, const std::vector<Value>& params = {});
+
+  /// The two §4.2 web-shopping queries, by their paper names.
+  FindResult FindClassifiers(const std::string& context_id);           // Q1
+  FindResult FindPromotions(const std::string& classification);       // Q2($1)
+
+  middleware::CachedQueryEngine& engine() { return *engine_; }
+  storage::Table& table() { return *table_; }
+  size_t rule_count() const { return table_->size(); }
+
+ private:
+  uint32_t AttributeIndex(const std::string& attribute) const;
+  FindResult ToFindResult(const middleware::CachedQueryEngine::ExecuteResult& exec) const;
+
+  storage::Table* table_ = nullptr;
+  std::unique_ptr<middleware::CachedQueryEngine> engine_;
+  std::unordered_map<std::string, std::shared_ptr<const sql::BoundQuery>> queries_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace qc::abr

@@ -1,0 +1,126 @@
+#include "accel/page_server.h"
+
+#include "common/error.h"
+
+namespace qc::accel {
+
+namespace {
+
+constexpr int kMaxIncludeDepth = 16;
+
+std::string FragmentVertex(const std::string& name) { return "frag:" + name; }
+std::string PageVertex(const std::string& path) { return "page:" + path; }
+
+}  // namespace
+
+PageServer::PageServer() : PageServer(Options()) {}
+
+PageServer::PageServer(Options options) : options_(std::move(options)) {
+  cache_ = std::make_unique<cache::GpsCache>(options_.cache);
+}
+
+std::vector<std::string> PageServer::ExtractIncludes(const std::string& body) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = body.find("{{", pos)) != std::string::npos) {
+    const size_t end = body.find("}}", pos + 2);
+    if (end == std::string::npos) throw Error("unterminated {{include}} in template");
+    out.push_back(body.substr(pos + 2, end - pos - 2));
+    pos = end + 2;
+  }
+  return out;
+}
+
+void PageServer::RebuildEdges(const std::string& vertex_name, const std::string& body,
+                              double /*weight*/, odg::VertexKind kind) {
+  const odg::VertexId vertex = odg_.GetOrAdd(vertex_name, kind);
+  odg_.RemoveInEdges(vertex);
+  for (const std::string& include : ExtractIncludes(body)) {
+    const odg::VertexId source =
+        odg_.GetOrAdd(FragmentVertex(include), odg::VertexKind::kIntermediate);
+    auto weight_it = fragment_weights_.find(include);
+    odg_.AddEdge(source, vertex, weight_it == fragment_weights_.end() ? 1.0 : weight_it->second);
+  }
+}
+
+void PageServer::SetFragment(const std::string& name, const std::string& body, double weight) {
+  const bool existed = fragments_.count(name) > 0;
+  fragments_[name] = body;
+  fragment_weights_[name] = weight;
+  RebuildEdges(FragmentVertex(name), body, weight, odg::VertexKind::kIntermediate);
+
+  if (!existed) return;  // first definition changes nothing that is cached
+
+  // DUP: the fragment changed; walk the include graph to the affected
+  // pages. Under a budget, pages age by the strongest dependency path and
+  // only refresh once the budget is exceeded (paper Fig. 2).
+  const odg::VertexId source = *odg_.Find(FragmentVertex(name));
+  if (options_.obsolescence_budget > 0) {
+    for (odg::VertexId v : odg_.PropagateWeighted(source, odg::ChangeSpec::Generic())) {
+      const std::string& vertex_name = odg_.NameOf(v);
+      if (vertex_name.rfind("page:", 0) != 0) continue;
+      if (odg_.ObsolescenceOf(v) > options_.obsolescence_budget) {
+        const std::string path = vertex_name.substr(5);
+        if (cache_->Invalidate(path)) ++stats_.invalidated_pages;
+        odg_.ResetObsolescence(v);
+      } else {
+        ++stats_.tolerated_updates;
+      }
+    }
+    return;
+  }
+  for (odg::VertexId v : odg_.Propagate(source, odg::ChangeSpec::Generic())) {
+    const std::string& vertex_name = odg_.NameOf(v);
+    if (vertex_name.rfind("page:", 0) != 0) continue;
+    if (cache_->Invalidate(vertex_name.substr(5))) ++stats_.invalidated_pages;
+  }
+}
+
+void PageServer::DefinePage(const std::string& path, const std::string& body) {
+  pages_[path] = body;
+  RebuildEdges(PageVertex(path), body, 1.0, odg::VertexKind::kObject);
+  if (cache_->Invalidate(path)) ++stats_.invalidated_pages;  // template changed
+}
+
+std::string PageServer::Render(const std::string& body, int depth) const {
+  if (depth > kMaxIncludeDepth) {
+    throw Error("include depth exceeded (cycle in fragment graph?)");
+  }
+  std::string out;
+  out.reserve(body.size());
+  size_t pos = 0;
+  while (pos < body.size()) {
+    const size_t open = body.find("{{", pos);
+    if (open == std::string::npos) {
+      out.append(body, pos, std::string::npos);
+      break;
+    }
+    out.append(body, pos, open - pos);
+    const size_t close = body.find("}}", open + 2);
+    if (close == std::string::npos) throw Error("unterminated {{include}}");
+    const std::string name = body.substr(open + 2, close - open - 2);
+    auto it = fragments_.find(name);
+    if (it == fragments_.end()) throw Error("unknown fragment: " + name);
+    out += Render(it->second, depth + 1);
+    pos = close + 2;
+  }
+  return out;
+}
+
+std::string PageServer::Serve(const std::string& path) {
+  ++stats_.requests;
+  if (cache::CacheValuePtr hit = cache_->Get(path)) {
+    ++stats_.hits;
+    return std::static_pointer_cast<const cache::StringValue>(hit)->data();
+  }
+  auto it = pages_.find(path);
+  if (it == pages_.end()) throw Error("unknown page: " + path);
+  std::string html = Render(it->second, 0);
+  ++stats_.renders;
+  cache_->Put(path, std::make_shared<cache::StringValue>(html));
+  return html;
+}
+
+size_t PageServer::cached_pages() { return cache_->entry_count(); }
+
+}  // namespace qc::accel

@@ -1,0 +1,92 @@
+// Web-server accelerator built on the GPS cache + DUP (paper §3: "The GPS
+// cache has been used to improve performance in ABR and in a Web server
+// accelerator"; DUP "has proved to be extremely useful for caching dynamic
+// Web pages").
+//
+// Pages are templates composed of *fragments* (shared includes: headers,
+// price lists, personalization blocks). Fragments may include other
+// fragments. Rendering assembles the transitive include tree; rendered
+// pages are cached in a GPS cache. The ODG here is the multi-level graph
+// of the paper's Fig. 2 — fragment → fragment → page — built automatically
+// from the template structure, and a fragment update propagates
+// transitively to every cached page whose content embeds it.
+//
+// Edge weights model the paper's obsolescence idea: a fragment include can
+// be marked "minor" (low weight), and pages may be configured to tolerate
+// a bounded amount of accumulated minor churn before re-rendering.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/gps_cache.h"
+#include "odg/graph.h"
+
+namespace qc::accel {
+
+struct AccelStats {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t renders = 0;
+  uint64_t invalidated_pages = 0;
+  uint64_t tolerated_updates = 0;  // absorbed by obsolescence budgets
+
+  double HitRatePercent() const {
+    return requests == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(requests);
+  }
+};
+
+class PageServer {
+ public:
+  struct Options {
+    cache::GpsCacheConfig cache;
+
+    /// Pages re-render once accumulated include-weight of changes EXCEEDS
+    /// this budget; 0 = any change invalidates (exact freshness).
+    double obsolescence_budget = 0.0;
+  };
+
+  PageServer();  // default options
+  explicit PageServer(Options options);
+
+  /// Define or redefine a fragment. Fragment bodies may reference other
+  /// fragments with `{{name}}` placeholders; the include graph — and hence
+  /// the ODG — is derived from the body text automatically. Updating a
+  /// fragment's body invalidates (or ages, under a budget) every cached
+  /// page that transitively includes it.
+  void SetFragment(const std::string& name, const std::string& body, double weight = 1.0);
+
+  /// Define a page template (same placeholder syntax). Pages are the
+  /// cacheable objects.
+  void DefinePage(const std::string& path, const std::string& body);
+
+  /// Serve a page: cache hit or assemble-and-cache. Throws Error for an
+  /// unknown path or a missing/cyclic fragment reference.
+  std::string Serve(const std::string& path);
+
+  /// Number of cached pages right now.
+  size_t cached_pages();
+
+  AccelStats stats() const { return stats_; }
+  std::string DumpOdg() const { return odg_.ToDot(); }
+
+ private:
+  static std::vector<std::string> ExtractIncludes(const std::string& body);
+  std::string Render(const std::string& body, int depth) const;
+  void RebuildEdges(const std::string& vertex_name, const std::string& body, double weight,
+                    odg::VertexKind kind);
+
+  Options options_;
+  std::unique_ptr<cache::GpsCache> cache_;
+  odg::Graph odg_;
+  std::map<std::string, std::string> fragments_;      // name -> body
+  std::map<std::string, double> fragment_weights_;
+  std::map<std::string, std::string> pages_;          // path -> template body
+  AccelStats stats_;
+};
+
+}  // namespace qc::accel

@@ -1,0 +1,105 @@
+#include "cache/disk_store.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace qc::cache {
+
+namespace fs = std::filesystem;
+
+DiskStore::DiskStore(fs::path directory, size_t max_bytes)
+    : dir_(std::move(directory)), max_bytes_(max_bytes) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw CacheError("cannot create disk store directory " + dir_.string() + ": " + ec.message());
+  // Spill area: start clean so stale files from a previous process do not
+  // shadow the empty index.
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    fs::remove(entry.path(), ec);
+  }
+}
+
+DiskStore::~DiskStore() {
+  std::error_code ec;
+  for (const auto& [key, entry] : index_) fs::remove(entry.file, ec);
+}
+
+fs::path DiskStore::FileFor(const std::string& key) {
+  std::ostringstream name;
+  name << std::hex << std::hash<std::string>{}(key) << "-" << seq_++ << ".obj";
+  return dir_ / name.str();
+}
+
+bool DiskStore::Put(const std::string& key, std::string_view bytes,
+                    std::vector<std::string>* evicted) {
+  if (bytes.size() > max_bytes_) return false;
+  Erase(key);
+
+  const fs::path file = FileFor(key);
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    if (!out) throw CacheError("cannot write disk store file " + file.string());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw CacheError("short write to disk store file " + file.string());
+  }
+
+  lru_.push_front(key);
+  Entry entry;
+  entry.file = file;
+  entry.bytes = bytes.size();
+  entry.lru_pos = lru_.begin();
+  index_.emplace(key, std::move(entry));
+  bytes_ += bytes.size();
+  EvictIfNeeded(evicted);
+  return true;
+}
+
+std::optional<std::string> DiskStore::Get(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  std::ifstream in(it->second.file, std::ios::binary);
+  if (!in) throw CacheError("cannot read disk store file " + it->second.file.string());
+  std::string data(it->second.bytes, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  if (static_cast<size_t>(in.gcount()) != data.size()) {
+    throw CacheError("short read from disk store file " + it->second.file.string());
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return data;
+}
+
+bool DiskStore::Erase(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  RemoveEntry(it);
+  return true;
+}
+
+void DiskStore::Clear() {
+  std::error_code ec;
+  for (const auto& [key, entry] : index_) fs::remove(entry.file, ec);
+  index_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+void DiskStore::EvictIfNeeded(std::vector<std::string>* evicted) {
+  while (bytes_ > max_bytes_ && index_.size() > 1) {
+    const std::string victim = lru_.back();
+    if (evicted) evicted->push_back(victim);
+    RemoveEntry(index_.find(victim));
+  }
+}
+
+void DiskStore::RemoveEntry(std::unordered_map<std::string, Entry>::iterator it) {
+  std::error_code ec;
+  fs::remove(it->second.file, ec);
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  index_.erase(it);
+}
+
+}  // namespace qc::cache

@@ -1,0 +1,66 @@
+// Disk-backed store: the GPS cache's secondary storage level (§3: "a
+// common mode of operation is to use disk as secondary storage for cached
+// data which cannot fit in memory").
+//
+// Layout: one file per entry under a spool directory, with an in-memory
+// index (key → file, size, LRU position). The index is rebuilt empty on
+// construction — the disk store is a spill area, not a durable store,
+// matching the paper's cache (logs, not the cache contents, provide
+// durability).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qc::cache {
+
+class DiskStore {
+ public:
+  /// Creates (and empties) the spool directory. Throws CacheError on I/O
+  /// failure.
+  DiskStore(std::filesystem::path directory, size_t max_bytes);
+  ~DiskStore();
+
+  DiskStore(const DiskStore&) = delete;
+  DiskStore& operator=(const DiskStore&) = delete;
+
+  /// Write or replace the serialized entry. Evicted victim keys (LRU,
+  /// budget-driven) are appended to `evicted`. Returns false if the entry
+  /// alone exceeds the byte budget.
+  bool Put(const std::string& key, std::string_view bytes, std::vector<std::string>* evicted);
+
+  /// Read an entry; refreshes LRU position. nullopt if absent.
+  std::optional<std::string> Get(const std::string& key);
+
+  bool Contains(const std::string& key) const { return index_.count(key) > 0; }
+  bool Erase(const std::string& key);
+  void Clear();
+
+  size_t entry_count() const { return index_.size(); }
+  size_t byte_count() const { return bytes_; }
+
+ private:
+  struct Entry {
+    std::filesystem::path file;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  std::filesystem::path FileFor(const std::string& key);
+  void EvictIfNeeded(std::vector<std::string>* evicted);
+  void RemoveEntry(std::unordered_map<std::string, Entry>::iterator it);
+
+  std::filesystem::path dir_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  uint64_t seq_ = 0;  // uniquifies file names
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Entry> index_;
+};
+
+}  // namespace qc::cache

@@ -1,0 +1,282 @@
+#include "cache/gps_cache.h"
+
+#include "common/error.h"
+
+namespace qc::cache {
+
+const char* RemovalCauseName(RemovalCause cause) {
+  switch (cause) {
+    case RemovalCause::kInvalidated: return "invalidated";
+    case RemovalCause::kEvicted: return "evicted";
+    case RemovalCause::kExpired: return "expired";
+    case RemovalCause::kCleared: return "cleared";
+    case RemovalCause::kReplaced: return "replaced";
+  }
+  return "?";
+}
+
+GpsCache::GpsCache(GpsCacheConfig config) : config_(std::move(config)) {
+  now_ = config_.now ? config_.now : [] { return std::chrono::steady_clock::now(); };
+  if (config_.mode != CacheMode::kDisk) {
+    memory_ = std::make_unique<MemoryStore>(config_.memory_budget_bytes,
+                                            config_.memory_max_entries);
+  }
+  if (config_.mode != CacheMode::kMemory) {
+    if (config_.disk_directory.empty()) {
+      throw CacheError("disk/hybrid mode requires disk_directory");
+    }
+    if (!config_.deserializer) {
+      throw CacheError("disk/hybrid mode requires a deserializer");
+    }
+    disk_ = std::make_unique<DiskStore>(config_.disk_directory, config_.disk_budget_bytes);
+  }
+  if (!config_.log_path.empty()) {
+    log_ = std::make_unique<TransactionLog>(config_.log_path, config_.log_policy,
+                                            config_.log_buffer_bytes);
+  }
+}
+
+void GpsCache::Log(std::string_view op, std::string_view key, std::string_view detail) {
+  if (log_) log_->Append(op, key, detail);
+}
+
+bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl) {
+  std::vector<std::pair<std::string, RemovalCause>> removed;
+  bool stored = false;
+  bool replaced = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ExpireDueLocked(removed);
+
+    auto meta_it = meta_.find(key);
+    const bool replacing = meta_it != meta_.end();
+
+    if (memory_) {
+      std::vector<MemoryStore::Evicted> evicted;
+      stored = memory_->Put(key, value, &evicted);
+      if (stored && config_.mode == CacheMode::kHybrid) {
+        // The memory copy is authoritative now; a stale disk copy must not
+        // be served after a future memory eviction of a *newer* version.
+        disk_->Erase(key);
+      }
+      HandleMemoryEvictions(evicted, removed);
+    } else {
+      std::vector<std::string> disk_victims;
+      stored = disk_->Put(key, value->Serialize(), &disk_victims);
+      for (const std::string& victim : disk_victims) {
+        meta_.erase(victim);
+        removed.push_back({victim, RemovalCause::kEvicted});
+        ++stats_.evictions;
+      }
+    }
+
+    if (stored) {
+      ++stats_.puts;
+      Meta& meta = meta_[key];
+      meta.generation = ++generation_counter_;
+      if (ttl) {
+        meta.expires_at = now_() + *ttl;
+        expiry_heap_.push({*meta.expires_at, key, meta.generation});
+      } else {
+        meta.expires_at.reset();
+      }
+      // Replacing a key is not a removal of the key (the listener keeps any
+      // dependency registration for it); kReplaced is reported in the log
+      // only.
+      replaced = replacing;
+    }
+  }
+  Log("put", key, stored ? (replaced ? "replace" : "") : "rejected");
+  NotifyRemovals(removed);
+  return stored;
+}
+
+CacheValuePtr GpsCache::Get(const std::string& key) {
+  std::vector<std::pair<std::string, RemovalCause>> removed;
+  CacheValuePtr result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    ExpireDueLocked(removed);
+
+    auto meta_it = meta_.find(key);
+    if (meta_it != meta_.end() && meta_it->second.expires_at && *meta_it->second.expires_at <= now_()) {
+      RemoveLocked(key, RemovalCause::kExpired, removed);
+      ++stats_.expirations;
+      meta_it = meta_.end();
+    } else if (meta_it != meta_.end()) {
+      if (memory_) result = memory_->Get(key);
+      if (!result && disk_) {
+        auto bytes = disk_->Get(key);
+        if (bytes) {
+          result = config_.deserializer(*bytes);
+          ++stats_.disk_hits;
+          if (config_.mode == CacheMode::kHybrid && result) {
+            // Promote to memory; spill victims back to disk.
+            std::vector<MemoryStore::Evicted> evicted;
+            if (memory_->Put(key, result, &evicted)) disk_->Erase(key);
+            HandleMemoryEvictions(evicted, removed);
+          }
+        }
+      } else if (result) {
+        ++stats_.memory_hits;
+      }
+    }
+
+    if (result) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+      if (meta_it != meta_.end() || meta_.count(key)) {
+        // Metadata without data (fully evicted under us) — clean up.
+        RemoveLocked(key, RemovalCause::kEvicted, removed);
+      }
+    }
+  }
+  Log(result ? "hit" : "miss", key);
+  NotifyRemovals(removed);
+  return result;
+}
+
+bool GpsCache::Contains(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = meta_.find(key);
+  if (it == meta_.end()) return false;
+  if (it->second.expires_at && *it->second.expires_at <= now_()) return false;
+  return (memory_ && memory_->Contains(key)) || (disk_ && disk_->Contains(key));
+}
+
+bool GpsCache::Invalidate(const std::string& key) {
+  std::vector<std::pair<std::string, RemovalCause>> removed;
+  bool present;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    present = RemoveLocked(key, RemovalCause::kInvalidated, removed);
+    if (present) ++stats_.invalidations;
+  }
+  Log("invalidate", key, present ? "" : "absent");
+  NotifyRemovals(removed);
+  return present;
+}
+
+void GpsCache::Clear() {
+  std::vector<std::pair<std::string, RemovalCause>> removed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    removed.reserve(meta_.size());
+    for (const auto& [key, meta] : meta_) removed.push_back({key, RemovalCause::kCleared});
+    if (memory_) memory_->Clear();
+    if (disk_) disk_->Clear();
+    meta_.clear();
+    while (!expiry_heap_.empty()) expiry_heap_.pop();
+    ++stats_.clears;
+  }
+  Log("clear", "*");
+  NotifyRemovals(removed);
+}
+
+size_t GpsCache::ExpireDue() {
+  std::vector<std::pair<std::string, RemovalCause>> removed;
+  size_t n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    n = ExpireDueLocked(removed);
+  }
+  NotifyRemovals(removed);
+  return n;
+}
+
+void GpsCache::SetRemovalListener(RemovalListener listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  removal_listener_ = std::move(listener);
+}
+
+CacheStats GpsCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t GpsCache::entry_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return meta_.size();
+}
+
+size_t GpsCache::memory_bytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_ ? memory_->byte_count() : 0;
+}
+
+size_t GpsCache::disk_bytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_ ? disk_->byte_count() : 0;
+}
+
+void GpsCache::FlushLog() {
+  if (log_) log_->Flush();
+}
+
+bool GpsCache::RemoveLocked(const std::string& key, RemovalCause cause,
+                            std::vector<std::pair<std::string, RemovalCause>>& removed) {
+  bool present = false;
+  if (memory_ && memory_->Erase(key)) present = true;
+  if (disk_ && disk_->Erase(key)) present = true;
+  if (meta_.erase(key) > 0) present = true;
+  if (present) removed.push_back({key, cause});
+  return present;
+}
+
+size_t GpsCache::ExpireDueLocked(std::vector<std::pair<std::string, RemovalCause>>& removed) {
+  const TimePoint now = now_();
+  size_t expired = 0;
+  while (!expiry_heap_.empty() && expiry_heap_.top().when <= now) {
+    const ExpiryItem item = expiry_heap_.top();
+    expiry_heap_.pop();
+    auto it = meta_.find(item.key);
+    // Stale heap entries (replaced or already-removed objects) are skipped;
+    // this lazy deletion is what makes expiration O(log n) per event.
+    if (it == meta_.end() || it->second.generation != item.generation) continue;
+    RemoveLocked(item.key, RemovalCause::kExpired, removed);
+    ++stats_.expirations;
+    ++expired;
+  }
+  return expired;
+}
+
+void GpsCache::HandleMemoryEvictions(std::vector<MemoryStore::Evicted>& evicted,
+                                     std::vector<std::pair<std::string, RemovalCause>>& removed) {
+  for (MemoryStore::Evicted& victim : evicted) {
+    if (config_.mode == CacheMode::kHybrid) {
+      std::vector<std::string> disk_victims;
+      if (disk_->Put(victim.key, victim.value->Serialize(), &disk_victims)) {
+        ++stats_.spills;
+      } else {
+        meta_.erase(victim.key);
+        removed.push_back({victim.key, RemovalCause::kEvicted});
+        ++stats_.evictions;
+      }
+      for (const std::string& disk_victim : disk_victims) {
+        meta_.erase(disk_victim);
+        removed.push_back({disk_victim, RemovalCause::kEvicted});
+        ++stats_.evictions;
+      }
+    } else {
+      meta_.erase(victim.key);
+      removed.push_back({victim.key, RemovalCause::kEvicted});
+      ++stats_.evictions;
+    }
+  }
+  evicted.clear();
+}
+
+void GpsCache::NotifyRemovals(const std::vector<std::pair<std::string, RemovalCause>>& removed) {
+  if (removed.empty()) return;
+  RemovalListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listener = removal_listener_;
+  }
+  if (!listener) return;
+  for (const auto& [key, cause] : removed) listener(key, cause);
+}
+
+}  // namespace qc::cache

@@ -1,0 +1,144 @@
+// The General-Purpose Software cache (GPS cache) of paper §3.
+//
+// A pluggable, thread-safe object cache with
+//   * memory, disk, or hybrid (memory + disk spill) storage,
+//   * LRU replacement under byte/entry budgets,
+//   * an efficient expiration-time mechanism (lazy min-heap),
+//   * optional transaction logging with configurable flush policy,
+//   * statistics, and
+//   * a removal listener so higher layers (the DUP engine) can keep the
+//     ODG in sync with what is actually cached.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/disk_store.h"
+#include "cache/memory_store.h"
+#include "cache/stats.h"
+#include "cache/txlog.h"
+#include "cache/value.h"
+
+namespace qc::cache {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+using Duration = std::chrono::steady_clock::duration;
+using TimeSource = std::function<TimePoint()>;
+
+enum class CacheMode { kMemory, kDisk, kHybrid };
+
+enum class RemovalCause {
+  kInvalidated,  // explicit Invalidate()
+  kEvicted,      // LRU budget pressure removed it from every level
+  kExpired,      // expiration time passed
+  kCleared,      // whole-cache Clear()
+  kReplaced,     // Put() over an existing key
+};
+
+const char* RemovalCauseName(RemovalCause cause);
+
+struct GpsCacheConfig {
+  CacheMode mode = CacheMode::kMemory;
+
+  size_t memory_budget_bytes = 256 * 1024 * 1024;
+  size_t memory_max_entries = SIZE_MAX;
+
+  std::string disk_directory;  // required for kDisk/kHybrid
+  size_t disk_budget_bytes = 1024 * 1024 * 1024;
+  Deserializer deserializer;   // required for kDisk/kHybrid
+
+  std::string log_path;  // empty = logging disabled
+  LogFlushPolicy log_policy = LogFlushPolicy::kBuffered;
+  size_t log_buffer_bytes = 64 * 1024;
+
+  /// Injectable clock (tests freeze it). Defaults to steady_clock::now.
+  TimeSource now;
+};
+
+class GpsCache {
+ public:
+  explicit GpsCache(GpsCacheConfig config);
+
+  GpsCache(const GpsCache&) = delete;
+  GpsCache& operator=(const GpsCache&) = delete;
+
+  /// Add or replace an object, optionally with a time-to-live after which
+  /// it expires. Returns false if the object cannot fit at all.
+  bool Put(const std::string& key, CacheValuePtr value,
+           std::optional<Duration> ttl = std::nullopt);
+
+  /// Lookup. Expired entries count as misses (and are removed). In hybrid
+  /// mode a disk hit is promoted back into memory.
+  CacheValuePtr Get(const std::string& key);
+
+  /// True without disturbing LRU order or statistics.
+  bool Contains(const std::string& key);
+
+  /// Remove one object; returns true if it was present.
+  bool Invalidate(const std::string& key);
+
+  /// Remove everything (Policy I's reaction to any update).
+  void Clear();
+
+  /// Remove entries whose expiration time has passed. Called internally on
+  /// every Put/Get; exposed for idle-time sweeps.
+  size_t ExpireDue();
+
+  /// Observer invoked (outside internal locks' critical path best-effort;
+  /// see .cc) whenever an object leaves the cache entirely.
+  using RemovalListener = std::function<void(const std::string& key, RemovalCause cause)>;
+  void SetRemovalListener(RemovalListener listener);
+
+  CacheStats stats() const;
+  size_t entry_count();
+  size_t memory_bytes();
+  size_t disk_bytes();
+
+  /// Flush the transaction log buffer, if logging is enabled.
+  void FlushLog();
+  const TransactionLog* log() const { return log_.get(); }
+
+ private:
+  struct ExpiryItem {
+    TimePoint when;
+    std::string key;
+    uint64_t generation;
+    bool operator>(const ExpiryItem& other) const { return when > other.when; }
+  };
+
+  struct Meta {
+    uint64_t generation = 0;
+    std::optional<TimePoint> expires_at;
+  };
+
+  void Log(std::string_view op, std::string_view key, std::string_view detail = {});
+  // All *Locked methods require mutex_ held.
+  bool RemoveLocked(const std::string& key, RemovalCause cause,
+                    std::vector<std::pair<std::string, RemovalCause>>& removed);
+  size_t ExpireDueLocked(std::vector<std::pair<std::string, RemovalCause>>& removed);
+  void HandleMemoryEvictions(std::vector<MemoryStore::Evicted>& evicted,
+                             std::vector<std::pair<std::string, RemovalCause>>& removed);
+  void NotifyRemovals(const std::vector<std::pair<std::string, RemovalCause>>& removed);
+
+  GpsCacheConfig config_;
+  TimeSource now_;
+  std::unique_ptr<MemoryStore> memory_;
+  std::unique_ptr<DiskStore> disk_;
+  std::unique_ptr<TransactionLog> log_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Meta> meta_;
+  std::priority_queue<ExpiryItem, std::vector<ExpiryItem>, std::greater<ExpiryItem>> expiry_heap_;
+  uint64_t generation_counter_ = 0;
+  CacheStats stats_;
+  RemovalListener removal_listener_;
+};
+
+}  // namespace qc::cache

@@ -1,0 +1,71 @@
+#include "cache/memory_store.h"
+
+namespace qc::cache {
+
+bool MemoryStore::Put(const std::string& key, CacheValuePtr value, std::vector<Evicted>* evicted) {
+  const size_t bytes = value->ByteSize();
+  if (bytes > max_bytes_) return false;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    it->second.value = std::move(value);
+    it->second.bytes = bytes;
+    bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  } else {
+    lru_.push_front(key);
+    Entry entry;
+    entry.value = std::move(value);
+    entry.bytes = bytes;
+    entry.lru_pos = lru_.begin();
+    entries_.emplace(key, std::move(entry));
+    bytes_ += bytes;
+  }
+  EvictIfNeeded(evicted);
+  return true;
+}
+
+CacheValuePtr MemoryStore::Get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.value;
+}
+
+CacheValuePtr MemoryStore::Peek(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second.value;
+}
+
+bool MemoryStore::Erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return true;
+}
+
+void MemoryStore::Clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+std::vector<std::string> MemoryStore::KeysByRecency() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+void MemoryStore::EvictIfNeeded(std::vector<Evicted>* evicted) {
+  while ((bytes_ > max_bytes_ || entries_.size() > max_entries_) && entries_.size() > 1) {
+    const std::string victim_key = lru_.back();
+    auto it = entries_.find(victim_key);
+    if (evicted) evicted->push_back({victim_key, it->second.value});
+    bytes_ -= it->second.bytes;
+    lru_.pop_back();
+    entries_.erase(it);
+  }
+}
+
+}  // namespace qc::cache

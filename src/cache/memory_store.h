@@ -1,0 +1,60 @@
+// In-memory LRU store: one of the GPS cache's two storage levels.
+#pragma once
+
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/value.h"
+
+namespace qc::cache {
+
+class MemoryStore {
+ public:
+  struct Evicted {
+    std::string key;
+    CacheValuePtr value;
+  };
+
+  MemoryStore(size_t max_bytes, size_t max_entries)
+      : max_bytes_(max_bytes), max_entries_(max_entries) {}
+
+  /// Insert or replace. Victims evicted to satisfy the budgets are
+  /// appended to `evicted` (never the key just inserted). Returns false —
+  /// without storing — if the object alone exceeds the byte budget.
+  bool Put(const std::string& key, CacheValuePtr value, std::vector<Evicted>* evicted);
+
+  /// Lookup; refreshes LRU position. Null if absent.
+  CacheValuePtr Get(const std::string& key);
+
+  /// Lookup without LRU side effects.
+  CacheValuePtr Peek(const std::string& key) const;
+
+  bool Contains(const std::string& key) const { return entries_.count(key) > 0; }
+  bool Erase(const std::string& key);
+  void Clear();
+
+  size_t entry_count() const { return entries_.size(); }
+  size_t byte_count() const { return bytes_; }
+
+  /// Keys from most- to least-recently used (diagnostics and tests).
+  std::vector<std::string> KeysByRecency() const;
+
+ private:
+  struct Entry {
+    CacheValuePtr value;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void EvictIfNeeded(std::vector<Evicted>* evicted);
+
+  size_t max_bytes_;
+  size_t max_entries_;
+  size_t bytes_ = 0;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace qc::cache

@@ -1,0 +1,16 @@
+#include "cache/stats.h"
+
+#include <sstream>
+
+namespace qc::cache {
+
+std::string CacheStats::ToString() const {
+  std::ostringstream os;
+  os << "lookups=" << lookups << " hits=" << hits << " (mem=" << memory_hits
+     << ", disk=" << disk_hits << ") misses=" << misses << " hit_rate=" << HitRate()
+     << " puts=" << puts << " invalidations=" << invalidations << " evictions=" << evictions
+     << " spills=" << spills << " expirations=" << expirations << " clears=" << clears;
+  return os.str();
+}
+
+}  // namespace qc::cache

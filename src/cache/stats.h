@@ -1,0 +1,29 @@
+// Cache statistics counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qc::cache {
+
+struct CacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t memory_hits = 0;
+  uint64_t disk_hits = 0;
+  uint64_t misses = 0;
+  uint64_t puts = 0;
+  uint64_t invalidations = 0;   // explicit Invalidate/Delete calls that removed an entry
+  uint64_t evictions = 0;       // budget-driven removals
+  uint64_t spills = 0;          // memory→disk demotions (hybrid mode)
+  uint64_t expirations = 0;     // expiry-time removals
+  uint64_t clears = 0;          // whole-cache flushes (Policy I)
+
+  double HitRate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace qc::cache

@@ -1,0 +1,59 @@
+#include "cache/txlog.h"
+
+#include "common/error.h"
+
+namespace qc::cache {
+
+TransactionLog::TransactionLog(const std::string& path, LogFlushPolicy policy,
+                               size_t buffer_threshold_bytes)
+    : policy_(policy),
+      buffer_threshold_(buffer_threshold_bytes),
+      open_time_(std::chrono::steady_clock::now()) {
+  file_ = std::fopen(path.c_str(), "a");
+  if (!file_) throw CacheError("cannot open transaction log: " + path);
+}
+
+TransactionLog::~TransactionLog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FlushLocked();
+  }
+  std::fclose(file_);
+}
+
+void TransactionLog::Append(std::string_view op, std::string_view key, std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - open_time_)
+                          .count();
+  buffer_ += std::to_string(micros);
+  buffer_ += ' ';
+  buffer_.append(op);
+  buffer_ += ' ';
+  buffer_.append(key);
+  if (!detail.empty()) {
+    buffer_ += ' ';
+    buffer_.append(detail);
+  }
+  buffer_ += '\n';
+  ++records_;
+  if (policy_ == LogFlushPolicy::kEveryRecord ||
+      (policy_ == LogFlushPolicy::kBuffered && buffer_.size() >= buffer_threshold_)) {
+    FlushLocked();
+  }
+}
+
+void TransactionLog::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlushLocked();
+}
+
+void TransactionLog::FlushLocked() {
+  if (buffer_.empty()) return;
+  std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  std::fflush(file_);
+  buffer_.clear();
+  ++flushes_;
+}
+
+}  // namespace qc::cache

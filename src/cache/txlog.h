@@ -1,0 +1,56 @@
+// Cache transaction logging (paper §3).
+//
+// Every cache transaction (add/hit/miss/invalidate/...) can be appended to
+// a log file. The flush policy trades durability for overhead exactly as
+// the paper describes: flushing every record keeps the log current but is
+// expensive; buffering several records amortizes the cost at the risk of
+// losing the tail on a crash.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace qc::cache {
+
+enum class LogFlushPolicy {
+  kEveryRecord,  // fflush after each append
+  kBuffered,     // flush when the in-process buffer exceeds a threshold
+  kManual,       // flush only on explicit Flush()/close
+};
+
+class TransactionLog {
+ public:
+  /// Opens `path` for appending. Throws CacheError on failure.
+  TransactionLog(const std::string& path, LogFlushPolicy policy,
+                 size_t buffer_threshold_bytes = 64 * 1024);
+  ~TransactionLog();
+
+  TransactionLog(const TransactionLog&) = delete;
+  TransactionLog& operator=(const TransactionLog&) = delete;
+
+  /// Append one record: `<micros-since-open> <op> <key> [detail]\n`.
+  void Append(std::string_view op, std::string_view key, std::string_view detail = {});
+
+  /// Force buffered records to the file system.
+  void Flush();
+
+  uint64_t records_written() const { return records_; }
+  uint64_t flushes() const { return flushes_; }
+
+ private:
+  void FlushLocked();
+
+  std::FILE* file_ = nullptr;
+  LogFlushPolicy policy_;
+  size_t buffer_threshold_;
+  std::string buffer_;
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point open_time_;
+  uint64_t records_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace qc::cache

@@ -1,0 +1,49 @@
+// Objects the GPS cache stores.
+//
+// The GPS cache is general-purpose (§3): ABR stores query results, the Web
+// accelerator stores pages. Cacheables implement this small interface so
+// the cache can enforce byte budgets and spill entries to the disk store.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace qc::cache {
+
+class CacheValue {
+ public:
+  virtual ~CacheValue() = default;
+
+  /// Approximate in-memory footprint, used for the memory budget.
+  virtual size_t ByteSize() const = 0;
+
+  /// Serialized form for the disk store. Must round-trip through the
+  /// cache's configured deserializer.
+  virtual std::string Serialize() const = 0;
+};
+
+using CacheValuePtr = std::shared_ptr<const CacheValue>;
+
+/// Rebuilds a CacheValue from its serialized form (disk store reads).
+using Deserializer = std::function<CacheValuePtr(std::string_view)>;
+
+/// The simplest cacheable: a byte string (what a Web page cache stores).
+class StringValue : public CacheValue {
+ public:
+  explicit StringValue(std::string data) : data_(std::move(data)) {}
+
+  const std::string& data() const { return data_; }
+  size_t ByteSize() const override { return data_.size() + sizeof(*this); }
+  std::string Serialize() const override { return data_; }
+
+  static CacheValuePtr Deserialize(std::string_view bytes) {
+    return std::make_shared<StringValue>(std::string(bytes));
+  }
+
+ private:
+  std::string data_;
+};
+
+}  // namespace qc::cache

@@ -1,0 +1,40 @@
+#include "cluster/client_cache.h"
+
+namespace qc::cluster {
+
+ClientCache::ClientCache(middleware::CachedQueryEngine& origin, ClientCacheConfig config)
+    : origin_(origin), config_(std::move(config)) {
+  cache::GpsCacheConfig cache_config;
+  cache_config.memory_budget_bytes = config_.memory_budget_bytes;
+  cache_config.memory_max_entries = config_.max_entries;
+  cache_config.now = config_.now;
+  local_ = std::make_unique<cache::GpsCache>(cache_config);
+}
+
+middleware::CachedQueryEngine::ExecuteResult ClientCache::Execute(
+    const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params) {
+  ++stats_.requests;
+  const std::string key = sql::Fingerprint(query->stmt(), params);
+
+  if (cache::CacheValuePtr hit = local_->Get(key)) {
+    ++stats_.local_hits;
+    auto value = std::static_pointer_cast<const middleware::ResultValue>(hit);
+    if (config_.verify_staleness &&
+        !value->result()->Equals(origin_.ExecuteUncached(*query, params))) {
+      ++stats_.stale_local_hits;
+    }
+    return {value->result(), true};
+  }
+
+  ++stats_.origin_requests;
+  auto outcome = origin_.Execute(query, params);
+  local_->Put(key, std::make_shared<middleware::ResultValue>(outcome.result), config_.ttl);
+  return outcome;
+}
+
+void ClientCache::Refresh(const std::shared_ptr<const sql::BoundQuery>& query,
+                          const std::vector<Value>& params) {
+  local_->Invalidate(sql::Fingerprint(query->stmt(), params));
+}
+
+}  // namespace qc::cluster

@@ -1,0 +1,68 @@
+// Client-side caching tier (paper Fig. 1: "Although not shown in the
+// figure, clients may also have caches").
+//
+// A client cache sits in a browser or fat client: it has no invalidation
+// channel from the server, so it can only bound staleness with expiration
+// times — precisely the GPS cache feature of §3. This tier composes a
+// local GPS cache (TTL-driven) over any origin CachedQueryEngine; the
+// interesting engineering trade is TTL vs. origin offload vs. staleness,
+// which tests and the cluster bench quantify.
+#pragma once
+
+#include <memory>
+
+#include "cache/gps_cache.h"
+#include "middleware/query_engine.h"
+
+namespace qc::cluster {
+
+struct ClientCacheConfig {
+  /// Every locally cached result expires after this long (client clocks
+  /// tick via the injectable time source, like the GPS cache's).
+  cache::Duration ttl = std::chrono::seconds(30);
+  size_t max_entries = 1024;
+  size_t memory_budget_bytes = 16 * 1024 * 1024;
+  cache::TimeSource now;  // injectable for tests
+
+  /// Verify local hits against the origin's database (stats only).
+  bool verify_staleness = false;
+};
+
+struct ClientCacheStats {
+  uint64_t requests = 0;
+  uint64_t local_hits = 0;
+  uint64_t stale_local_hits = 0;  // only counted when verify_staleness
+  uint64_t origin_requests = 0;
+
+  double LocalHitRatePercent() const {
+    return requests == 0 ? 0.0
+                         : 100.0 * static_cast<double>(local_hits) / static_cast<double>(requests);
+  }
+  double OriginOffloadPercent() const { return LocalHitRatePercent(); }
+};
+
+class ClientCache {
+ public:
+  /// `origin` must outlive the client cache.
+  ClientCache(middleware::CachedQueryEngine& origin, ClientCacheConfig config);
+
+  /// Serve from the local TTL cache, else fetch from the origin (which
+  /// applies its own DUP-invalidated caching) and cache locally.
+  middleware::CachedQueryEngine::ExecuteResult Execute(
+      const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params = {});
+
+  /// Drop the local copy of one query (a client-initiated refresh).
+  void Refresh(const std::shared_ptr<const sql::BoundQuery>& query,
+               const std::vector<Value>& params = {});
+
+  ClientCacheStats stats() const { return stats_; }
+  size_t entry_count() { return local_->entry_count(); }
+
+ private:
+  middleware::CachedQueryEngine& origin_;
+  ClientCacheConfig config_;
+  std::unique_ptr<cache::GpsCache> local_;
+  ClientCacheStats stats_;
+};
+
+}  // namespace qc::cluster

@@ -1,0 +1,122 @@
+#include "cluster/cluster.h"
+
+#include "common/error.h"
+
+namespace qc::cluster {
+
+CacheCluster::CacheCluster(storage::Database& db, ClusterConfig config)
+    : db_(db), config_(std::move(config)) {
+  if (config_.nodes == 0) throw Error("cluster needs at least one node");
+  nodes_.reserve(config_.nodes);
+  for (size_t i = 0; i < config_.nodes; ++i) {
+    middleware::CachedQueryEngine::Options options;
+    options.policy = config_.policy;
+    options.extraction = config_.extraction;
+    options.cache = config_.cache;
+    if (!options.cache.disk_directory.empty()) {
+      // Per-node spill areas must not collide.
+      options.cache.disk_directory += "/node" + std::to_string(i);
+    }
+    options.subscribe_to_database = false;  // the cluster routes events
+    Node node;
+    node.engine = std::make_unique<middleware::CachedQueryEngine>(db_, options);
+    nodes_.push_back(std::move(node));
+  }
+
+  // One subscription for the whole cluster: events raised inside
+  // PerformUpdate are captured and routed; events raised outside any
+  // PerformUpdate window are treated as node-0 writes (convenience for
+  // tests that mutate the database directly).
+  db_.Subscribe([this](const storage::UpdateEvent& event) {
+    if (capturing_) {
+      captured_.push_back(event);
+    } else {
+      nodes_[0].engine->dup_engine().OnUpdate(event);
+      for (size_t i = 1; i < nodes_.size(); ++i) {
+        in_flight_.push_back({now_ + config_.latency_ticks, i, event});
+        ++stats_.tokens_sent;
+      }
+      DeliverDue();
+    }
+  });
+}
+
+std::shared_ptr<const sql::BoundQuery> CacheCluster::Prepare(const std::string& sql) {
+  // All nodes share the catalog; prepare through node 0.
+  return nodes_[0].engine->Prepare(sql);
+}
+
+middleware::CachedQueryEngine::ExecuteResult CacheCluster::ExecuteAt(
+    size_t node_index, const std::shared_ptr<const sql::BoundQuery>& query,
+    const std::vector<Value>& params) {
+  Tick();
+  middleware::CachedQueryEngine& engine = *nodes_.at(node_index).engine;
+  auto outcome = engine.Execute(query, params);
+  ++stats_.queries;
+  if (outcome.cache_hit) {
+    ++stats_.hits;
+    if (config_.verify_staleness &&
+        !outcome.result->Equals(engine.ExecuteUncached(*query, params))) {
+      ++stats_.stale_hits;
+    }
+  }
+  return outcome;
+}
+
+middleware::CachedQueryEngine::ExecuteResult CacheCluster::Execute(
+    const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params) {
+  const size_t node_index = next_node_;
+  next_node_ = (next_node_ + 1) % nodes_.size();
+  return ExecuteAt(node_index, query, params);
+}
+
+void CacheCluster::PerformUpdate(size_t node_index, const std::function<void()>& mutation) {
+  if (node_index >= nodes_.size()) throw Error("bad cluster node index");
+  Tick();
+  current_writer_ = node_index;
+  capturing_ = true;
+  captured_.clear();
+  mutation();
+  capturing_ = false;
+  ++stats_.updates;
+
+  for (const storage::UpdateEvent& event : captured_) {
+    // Local invalidation is synchronous (the writer's setter runs the
+    // generated invalidation code, paper Fig. 6).
+    auto& writer = *nodes_[current_writer_].engine;
+    const uint64_t before = writer.dup_stats().invalidations;
+    writer.dup_engine().OnUpdate(event);
+    stats_.local_invalidations += writer.dup_stats().invalidations - before;
+
+    // Peers get the update token over the bus.
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (i == current_writer_) continue;
+      in_flight_.push_back({now_ + config_.latency_ticks, i, event});
+      ++stats_.tokens_sent;
+    }
+  }
+  captured_.clear();
+  DeliverDue();
+}
+
+void CacheCluster::Tick() {
+  ++now_;
+  DeliverDue();
+}
+
+void CacheCluster::Quiesce() {
+  while (!in_flight_.empty()) Tick();
+}
+
+void CacheCluster::DeliverDue() {
+  while (!in_flight_.empty() && in_flight_.front().due_tick <= now_) {
+    PendingDelivery delivery = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    auto& engine = *nodes_[delivery.target].engine;
+    const uint64_t before = engine.dup_stats().invalidations;
+    engine.dup_engine().OnUpdate(delivery.event);
+    stats_.remote_invalidations += engine.dup_stats().invalidations - before;
+  }
+}
+
+}  // namespace qc::cluster

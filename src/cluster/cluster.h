@@ -1,0 +1,126 @@
+// A simulated rule-server group (paper Fig. 1): several cloned server
+// instances, each with its own query cache, over one shared database.
+//
+// The paper measures invalidations-per-transaction (Fig. 13) because
+// "distributed caches running on clustered servers or even clients might
+// require some coherence traffic for invalidations". This module makes
+// that concrete: the node performing an update invalidates its own cache
+// synchronously and broadcasts the update token to its peers over a
+// message bus with configurable delivery latency (in logical ticks, one
+// tick per transaction). Each peer applies DUP against its own ODG on
+// delivery. The simulation reports
+//   * per-policy coherence traffic (tokens and remote invalidations),
+//   * cluster-wide hit rates, and
+//   * the staleness window: remote hits served between an update and the
+//     arrival of its invalidation token.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "middleware/query_engine.h"
+#include "storage/database.h"
+
+namespace qc::cluster {
+
+struct ClusterConfig {
+  size_t nodes = 3;  // paper Fig. 1 shows three cloned rule servers
+  dup::InvalidationPolicy policy = dup::InvalidationPolicy::kValueAware;
+  dup::ExtractionOptions extraction;
+
+  /// Invalidation delivery delay in ticks; 0 = synchronous coherence.
+  uint64_t latency_ticks = 0;
+
+  /// Verify every cache hit against a fresh execution to count stale
+  /// serves (costs one uncached execution per hit; disable for throughput
+  /// benchmarking).
+  bool verify_staleness = true;
+
+  cache::GpsCacheConfig cache;
+};
+
+struct ClusterStats {
+  uint64_t queries = 0;
+  uint64_t hits = 0;
+  uint64_t stale_hits = 0;             // hits that no longer matched the database
+  uint64_t updates = 0;                // update transactions performed
+  uint64_t tokens_sent = 0;            // update tokens broadcast to peers
+  uint64_t remote_invalidations = 0;   // invalidations performed on peer caches
+  uint64_t local_invalidations = 0;    // invalidations at the writing node
+
+  double HitRatePercent() const {
+    return queries == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(queries);
+  }
+  double StaleRatePercent() const {
+    return hits == 0 ? 0.0 : 100.0 * static_cast<double>(stale_hits) / static_cast<double>(hits);
+  }
+  double RemoteInvalidationsPerUpdate() const {
+    return updates == 0
+               ? 0.0
+               : static_cast<double>(remote_invalidations) / static_cast<double>(updates);
+  }
+};
+
+class CacheCluster {
+ public:
+  /// `db` is the shared backing store; it must outlive the cluster. The
+  /// cluster subscribes to it once and routes events itself.
+  CacheCluster(storage::Database& db, ClusterConfig config);
+
+  size_t node_count() const { return nodes_.size(); }
+  middleware::CachedQueryEngine& node(size_t i) { return *nodes_.at(i).engine; }
+
+  /// Prepare against the shared catalog (statements are shareable).
+  std::shared_ptr<const sql::BoundQuery> Prepare(const std::string& sql);
+
+  /// Execute a query at a specific node / at the next node round-robin.
+  middleware::CachedQueryEngine::ExecuteResult ExecuteAt(
+      size_t node, const std::shared_ptr<const sql::BoundQuery>& query,
+      const std::vector<Value>& params = {});
+  middleware::CachedQueryEngine::ExecuteResult Execute(
+      const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params = {});
+
+  /// Run a mutation (storage writes or DML) attributed to `node`. The
+  /// node's own cache is invalidated synchronously; peers receive the
+  /// update tokens after `latency_ticks`.
+  void PerformUpdate(size_t node, const std::function<void()>& mutation);
+
+  /// Advance logical time by one tick and deliver due invalidation traffic.
+  /// Execute/PerformUpdate call this implicitly — one transaction, one tick.
+  void Tick();
+
+  /// Deliver everything in flight (e.g. at the end of a measurement).
+  void Quiesce();
+
+  uint64_t now() const { return now_; }
+  size_t in_flight() const { return in_flight_.size(); }
+  ClusterStats stats() const { return stats_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<middleware::CachedQueryEngine> engine;
+  };
+
+  struct PendingDelivery {
+    uint64_t due_tick;
+    size_t target;
+    storage::UpdateEvent event;
+  };
+
+  void DeliverDue();
+
+  storage::Database& db_;
+  ClusterConfig config_;
+  std::vector<Node> nodes_;
+  std::deque<PendingDelivery> in_flight_;  // FIFO: due ticks are monotonic
+  uint64_t now_ = 0;
+  size_t next_node_ = 0;
+  size_t current_writer_ = 0;
+  bool capturing_ = false;
+  std::vector<storage::UpdateEvent> captured_;
+  ClusterStats stats_;
+};
+
+}  // namespace qc::cluster

@@ -1,0 +1,35 @@
+// Deterministic pseudo-random source for workload generation.
+//
+// All experiment code draws randomness through this wrapper so that runs
+// are reproducible given a seed (benches print their seeds).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace qc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qc

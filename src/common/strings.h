@@ -1,0 +1,20 @@
+// Small string helpers shared by the SQL front end and the cache logging.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qc {
+
+/// ASCII upper-casing (SQL keywords and identifiers are case-insensitive).
+std::string ToUpper(std::string_view s);
+
+/// SQL LIKE matching with '%' (any run) and '_' (any one char) wildcards.
+/// Matching is case-sensitive, as in the paper's DB2 deployment.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// Join `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace qc

@@ -1,0 +1,114 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace qc {
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0: return ValueType::kNull;
+    case 1: return ValueType::kInt;
+    case 2: return ValueType::kDouble;
+    default: return ValueType::kString;
+  }
+}
+
+double Value::numeric() const {
+  if (is_int()) return static_cast<double>(as_int());
+  return as_double();
+}
+
+namespace {
+
+// Rank used to order values of different type classes: NULL < numeric < string.
+int TypeRank(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return 0;
+    case ValueType::kInt:
+    case ValueType::kDouble: return 1;
+    case ValueType::kString: return 2;
+  }
+  return 3;
+}
+
+std::strong_ordering OrderDoubles(double a, double b) {
+  // Values never hold NaN (the storage layer rejects it), so partial order
+  // collapses to total order.
+  if (a < b) return std::strong_ordering::less;
+  if (a > b) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace
+
+std::strong_ordering Value::compare(const Value& other) const {
+  const int lr = TypeRank(*this), rr = TypeRank(other);
+  if (lr != rr) return lr <=> rr;
+  switch (type()) {
+    case ValueType::kNull:
+      return std::strong_ordering::equal;
+    case ValueType::kInt:
+      if (other.is_int()) return as_int() <=> other.as_int();
+      return OrderDoubles(numeric(), other.numeric());
+    case ValueType::kDouble:
+      return OrderDoubles(numeric(), other.numeric());
+    case ValueType::kString:
+      return as_string().compare(other.as_string()) <=> 0;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << as_double();
+      return os.str();
+    }
+    case ValueType::kString: {
+      std::string out;
+      out.reserve(as_string().size() + 2);
+      out.push_back('\'');
+      for (char c : as_string()) {
+        if (c == '\'') out.push_back('\'');
+        out.push_back(c);
+      }
+      out.push_back('\'');
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt: {
+      // Hash ints through double when they are exactly representable so
+      // Value(2) and Value(2.0), which compare equal, hash alike.
+      const int64_t i = as_int();
+      const double d = static_cast<double>(i);
+      if (static_cast<int64_t>(d) == i) return std::hash<double>{}(d);
+      return std::hash<int64_t>{}(i);
+    }
+    case ValueType::kDouble:
+      return std::hash<double>{}(as_double());
+    case ValueType::kString:
+      return std::hash<std::string>{}(as_string());
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace qc

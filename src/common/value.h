@@ -1,0 +1,80 @@
+// Dynamically-typed scalar value used throughout the storage and query
+// layers: column cells, query parameters, predicate constants and edge
+// annotations are all `qc::Value`.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace qc {
+
+enum class ValueType { kNull, kInt, kDouble, kString };
+
+/// A scalar SQL value: NULL, 64-bit integer, double, or string.
+///
+/// Ordering follows SQL-ish semantics with a total order so values can key
+/// ordered containers: NULL sorts before everything, ints and doubles
+/// compare numerically with each other, strings compare lexicographically,
+/// and across non-numeric type classes the type tag orders (so the order is
+/// total even for heterogeneous columns, which well-typed tables avoid).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}            // NOLINT(google-explicit-constructor)
+  Value(int v) : rep_(int64_t{v}) {}       // NOLINT(google-explicit-constructor)
+  Value(double v) : rep_(v) {}             // NOLINT(google-explicit-constructor)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Accessors require the matching type; misuse is a programming error and
+  /// throws std::bad_variant_access.
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_double() const { return std::get<double>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: ints widen to double. Throws if not numeric.
+  double numeric() const;
+
+  /// Total-order comparison (see class comment). NULL == NULL here, which
+  /// is what container keys need; SQL three-valued logic is applied by the
+  /// expression evaluator, not by this class.
+  std::strong_ordering compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return compare(other) == std::strong_ordering::equal; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return compare(other) == std::strong_ordering::less; }
+  bool operator<=(const Value& other) const { return compare(other) != std::strong_ordering::greater; }
+  bool operator>(const Value& other) const { return compare(other) == std::strong_ordering::greater; }
+  bool operator>=(const Value& other) const { return compare(other) != std::strong_ordering::less; }
+
+  /// Render for logs, fingerprints and test failure messages. Strings are
+  /// single-quoted with quote doubling, so the rendering is injective.
+  std::string ToString() const;
+
+  /// Stable 64-bit hash, consistent with operator== (ints and doubles with
+  /// equal numeric value hash alike).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace qc

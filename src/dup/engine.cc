@@ -1,0 +1,349 @@
+#include "dup/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "sql/evaluator.h"
+#include "sql/fingerprint.h"
+
+namespace qc::dup {
+
+const char* PolicyName(InvalidationPolicy policy) {
+  switch (policy) {
+    case InvalidationPolicy::kNone: return "TTL-only (no invalidation)";
+    case InvalidationPolicy::kFlushAll: return "Policy I (flush all)";
+    case InvalidationPolicy::kValueUnaware: return "Policy II (value-unaware DUP)";
+    case InvalidationPolicy::kValueAware: return "Policy III (value-aware DUP)";
+    case InvalidationPolicy::kRowAware: return "Policy IV (row-aware DUP)";
+  }
+  return "?";
+}
+
+DupEngine::DupEngine(cache::GpsCache& cache, Options options)
+    : cache_(cache), options_(std::move(options)) {
+  // Keep the ODG consistent with cache contents: evictions, expirations and
+  // replacements remove the object vertex as well.
+  cache_.SetRemovalListener(
+      [this](const std::string& key, cache::RemovalCause) { UnregisterQuery(key); });
+}
+
+std::string DupEngine::ColumnVertexName(const std::string& table, const std::string& column) {
+  return "col:" + ToUpper(table) + "." + ToUpper(column);
+}
+
+std::string DupEngine::TableVertexName(const std::string& table) {
+  return "tab:" + ToUpper(table);
+}
+
+void DupEngine::RegisterQuery(const std::string& key,
+                              std::shared_ptr<const sql::BoundQuery> query,
+                              const std::vector<Value>& params) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Replace any stale registration (e.g. a re-executed query after
+  // invalidation raced with an eviction notification).
+  if (auto it = registered_.find(key); it != registered_.end()) {
+    if (graph_.IsLive(it->second.vertex)) graph_.RemoveVertex(it->second.vertex);
+    for (const std::string& table : it->second.deps->tables) {
+      table_queries_[ToUpper(table)].erase(key);
+    }
+    registered_.erase(it);
+  }
+
+  // "Compile time": one dependency template per canonical statement.
+  const std::string canonical = sql::CanonicalSql(query->stmt());
+  std::shared_ptr<const DependencyTemplate> deps;
+  if (auto it = templates_.find(canonical); it != templates_.end()) {
+    deps = it->second;
+  } else {
+    deps = ExtractDependencies(*query, options_.extraction);
+    templates_.emplace(canonical, deps);
+  }
+
+  const odg::VertexId object = graph_.AddVertex(key, odg::VertexKind::kObject);
+  std::vector<std::optional<odg::EdgeAnnotation>> annotations;
+  annotations.reserve(deps->columns.size());
+  for (const ColumnDependencyTemplate& col : deps->columns) {
+    const odg::VertexId source =
+        graph_.GetOrAdd(ColumnVertexName(col.table_name, col.column_name),
+                        odg::VertexKind::kUnderlying);
+    column_vertices_[ToUpper(col.table_name)][col.column_index] = source;
+    if (col.opaque) {
+      graph_.AddEdge(source, object);
+      annotations.emplace_back();
+    } else {
+      // "Run time": bind the parameters into the annotation.
+      odg::EdgeAnnotation annotation = col.Instantiate(params);
+      annotations.emplace_back(annotation);
+      graph_.AddEdge(source, object, 1.0, std::move(annotation));
+    }
+  }
+  for (const std::string& table : deps->tables_needing_existence_edge) {
+    const odg::VertexId source =
+        graph_.GetOrAdd(TableVertexName(table), odg::VertexKind::kUnderlying);
+    table_vertices_[ToUpper(table)] = source;
+    graph_.AddEdge(source, object);
+  }
+  for (const std::string& table : deps->tables) {
+    table_queries_[ToUpper(table)].insert(key);
+  }
+
+  Registered reg;
+  reg.vertex = object;
+  reg.query = std::move(query);
+  reg.params = params;
+  reg.deps = std::move(deps);
+  reg.annotations = std::move(annotations);
+  registered_.emplace(key, std::move(reg));
+  stats_.registered_queries = registered_.size();
+}
+
+void DupEngine::UnregisterQuery(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = registered_.find(key);
+  if (it == registered_.end()) return;
+  if (graph_.IsLive(it->second.vertex)) graph_.RemoveVertex(it->second.vertex);
+  for (const std::string& table : it->second.deps->tables) {
+    table_queries_[ToUpper(table)].erase(key);
+  }
+  registered_.erase(it);
+  stats_.registered_queries = registered_.size();
+}
+
+bool DupEngine::RowAwareKeeps(const Registered& reg, const storage::UpdateEvent& event) const {
+  // Refinement applies to genuinely single-slot queries only; join queries
+  // (including self-joins) fall back to the value-aware verdict.
+  if (reg.query->tables().size() != 1) return false;
+  if (ToUpper(reg.query->table(0).name()) != ToUpper(event.table)) return false;
+  const sql::Expr* where = reg.query->stmt().where.get();
+
+  auto matches = [&](const storage::Row& row) {
+    if (!where) return true;
+    auto t = sql::EvalPredicateOnRow(*where, row, reg.params, 0);
+    return t.has_value() && *t;
+  };
+
+  switch (event.kind) {
+    case storage::UpdateEvent::Kind::kInsert:
+      return !matches(event.after);  // a non-matching new row cannot matter
+    case storage::UpdateEvent::Kind::kDelete:
+      return !matches(event.before);
+    case storage::UpdateEvent::Kind::kUpdate: {
+      const bool before = matches(event.before);
+      const bool after = matches(event.after);
+      if (before != after) return false;  // membership flipped: must invalidate
+      if (!before) return true;           // irrelevant row stayed irrelevant
+      // The row matches before and after: the result changes only if a
+      // changed column feeds the result (projection/aggregate/group key).
+      const auto& result_columns = reg.deps->result_columns_per_slot[0];
+      for (const storage::AttributeChange& change : event.changes) {
+        if (std::find(result_columns.begin(), result_columns.end(), change.column) !=
+            result_columns.end()) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DupEngine::RowCanAffect(const Registered& reg, const std::string& table_key,
+                             const storage::Row& row) const {
+  for (size_t i = 0; i < reg.deps->columns.size(); ++i) {
+    const ColumnDependencyTemplate& col = reg.deps->columns[i];
+    if (ToUpper(col.table_name) != table_key) continue;
+    if (col.opaque) continue;  // cannot rule the row out
+    if (col.column_index >= row.size()) continue;
+    if (!reg.annotations[i]->AffectedByRowValue(row[col.column_index])) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> DupEngine::AffectedKeys(const storage::UpdateEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.update_events;
+
+  const bool value_aware = options_.policy == InvalidationPolicy::kValueAware ||
+                           options_.policy == InvalidationPolicy::kRowAware;
+  const std::string table_key = ToUpper(event.table);
+
+  std::vector<std::string> keys;
+  std::unordered_map<std::string, std::string> reasons;  // filled only when tracing
+
+  if (event.kind == storage::UpdateEvent::Kind::kUpdate) {
+    // Attribute updates: edge-local checks — per changed column, an
+    // annotated edge fires iff some atom's truth value flips (paper Fig. 6
+    // setter tokens).
+    std::unordered_set<odg::VertexId> affected;
+    auto table_it = column_vertices_.find(table_key);
+    if (table_it != column_vertices_.end()) {
+      for (const storage::AttributeChange& change : event.changes) {
+        auto col_it = table_it->second.find(change.column);
+        if (col_it == table_it->second.end()) continue;  // column feeds no query
+        const odg::ChangeSpec spec =
+            value_aware ? odg::ChangeSpec::Update(change.old_value, change.new_value)
+                        : odg::ChangeSpec::Generic();
+        const auto fired = graph_.Propagate(col_it->second, spec);
+        if (!fired.empty()) {
+          stats_.affected_by_source[graph_.NameOf(col_it->second)] += fired.size();
+        }
+        for (odg::VertexId v : fired) {
+          if (affected.insert(v).second && tracer_ &&
+              graph_.KindOf(v) == odg::VertexKind::kObject) {
+            reasons[graph_.NameOf(v)] =
+                "update " + graph_.NameOf(col_it->second).substr(4) + " " +
+                change.old_value.ToString() + " -> " + change.new_value.ToString() +
+                (value_aware ? " fired its edge annotation" : " (value-unaware column match)");
+          }
+        }
+      }
+    }
+    keys.reserve(affected.size());
+    for (odg::VertexId v : affected) {
+      if (graph_.KindOf(v) == odg::VertexKind::kObject) keys.push_back(graph_.NameOf(v));
+    }
+  } else {
+    // Insert/delete: "resetting all of the object's attributes". The row
+    // image is fully known, so the value-aware check is conjunctive: the
+    // row must pass every annotated column filter the query places on this
+    // table (§4.2's Platinum example — a new 'customerLevel' classifier
+    // must invalidate Q1 but not the cached Q2 promotions).
+    const storage::Row& row =
+        event.kind == storage::UpdateEvent::Kind::kInsert ? event.after : event.before;
+    auto queries_it = table_queries_.find(table_key);
+    if (queries_it != table_queries_.end()) {
+      const char* verb = event.kind == storage::UpdateEvent::Kind::kInsert ? "insert into"
+                                                                           : "delete from";
+      for (const std::string& key : queries_it->second) {
+        if (value_aware) {
+          auto reg_it = registered_.find(key);
+          if (reg_it == registered_.end()) continue;
+          if (!RowCanAffect(reg_it->second, table_key, row)) continue;
+        }
+        if (tracer_) {
+          reasons[key] = std::string(verb) + " " + event.table +
+                         (value_aware ? " passed every column filter"
+                                      : " (value-unaware table match)");
+        }
+        ++stats_.affected_by_source[(event.kind == storage::UpdateEvent::Kind::kInsert
+                                         ? "insert:"
+                                         : "delete:") +
+                                    table_key];
+        keys.push_back(key);
+      }
+    }
+  }
+
+  // Refinements on top of the value-aware verdicts: Policy IV's row-aware
+  // check, then the weighted-DUP obsolescence budget.
+  std::vector<std::string> refined;
+  refined.reserve(keys.size());
+  for (std::string& key : keys) {
+    auto reg_it = registered_.find(key);
+    if (reg_it == registered_.end()) continue;
+    if (options_.policy == InvalidationPolicy::kRowAware && RowAwareKeeps(reg_it->second, event)) {
+      ++stats_.row_aware_saves;
+      continue;
+    }
+    if (options_.obsolescence_threshold > 0) {
+      reg_it->second.obsolescence += 1.0;
+      if (reg_it->second.obsolescence <= options_.obsolescence_threshold) {
+        ++stats_.tolerated_changes;
+        continue;  // "not too obsolete" — keep serving it (paper Fig. 2)
+      }
+    }
+    refined.push_back(std::move(key));
+  }
+  if (tracer_) {
+    for (const std::string& key : refined) {
+      auto it = reasons.find(key);
+      tracer_(key, it == reasons.end() ? "invalidated" : it->second);
+    }
+  }
+  return refined;
+}
+
+void DupEngine::SetTracer(InvalidationTracer tracer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tracer_ = std::move(tracer);
+}
+
+void DupEngine::OnUpdate(const storage::UpdateEvent& event) {
+  if (options_.policy == InvalidationPolicy::kNone) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.update_events;  // observed, deliberately ignored
+    return;
+  }
+  if (options_.policy == InvalidationPolicy::kFlushAll) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.update_events;
+      ++stats_.full_flushes;
+    }
+    // Clear() notifies the removal listener per key, which unregisters the
+    // object vertices; no lock may be held here.
+    cache_.Clear();
+    return;
+  }
+
+  const std::vector<std::string> keys = AffectedKeys(event);
+  Refresher refresher;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refresher = refresher_;
+  }
+  uint64_t invalidated = 0;
+  uint64_t refreshed = 0;
+  for (const std::string& key : keys) {
+    // Fig. 7 step 10: "result discard/update cache" — try the update path
+    // first when configured.
+    if (refresher && refresher(key)) {
+      ++refreshed;
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = registered_.find(key);
+      if (it != registered_.end()) it->second.obsolescence = 0.0;  // freshly updated
+      continue;
+    }
+    if (cache_.Invalidate(key)) ++invalidated;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.invalidations += invalidated;
+  stats_.refreshes += refreshed;
+}
+
+void DupEngine::SetRefresher(Refresher refresher) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refresher_ = std::move(refresher);
+}
+
+std::optional<std::pair<std::shared_ptr<const sql::BoundQuery>, std::vector<Value>>>
+DupEngine::LookupRegistration(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = registered_.find(key);
+  if (it == registered_.end()) return std::nullopt;
+  return std::make_pair(it->second.query, it->second.params);
+}
+
+DupStats DupEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string DupEngine::DumpGraph() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_.ToDot();
+}
+
+size_t DupEngine::GraphVertexCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_.VertexCount();
+}
+
+size_t DupEngine::GraphEdgeCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graph_.EdgeCount();
+}
+
+}  // namespace qc::dup

@@ -1,0 +1,159 @@
+// The DUP engine: connects storage update events, the ODG, and the GPS
+// cache (paper §4). It owns the object dependence graph, registers cached
+// query results as object vertices with automatically extracted edges, and
+// translates every UpdateEvent into the invalidation set the configured
+// policy prescribes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/gps_cache.h"
+#include "dup/extractor.h"
+#include "dup/policy.h"
+#include "odg/graph.h"
+#include "storage/events.h"
+
+namespace qc::dup {
+
+struct DupStats {
+  uint64_t update_events = 0;      // update/insert/delete transactions seen
+  uint64_t invalidations = 0;      // query results invalidated (Policies II+)
+
+  /// Affected-key counts attributed to the triggering source, before
+  /// row-aware/obsolescence refinement: "col:TABLE.COLUMN" for attribute
+  /// updates, "insert:TABLE"/"delete:TABLE" for row events. Answers the
+  /// operator question "which writes churn my cache?".
+  std::map<std::string, uint64_t> affected_by_source;
+  uint64_t full_flushes = 0;       // whole-cache clears (Policy I)
+  uint64_t row_aware_saves = 0;    // invalidations skipped by Policy IV refinement
+  uint64_t tolerated_changes = 0;  // events absorbed by the obsolescence budget
+  uint64_t refreshes = 0;          // invalidations converted into cache updates
+  uint64_t registered_queries = 0; // currently registered object vertices
+
+  double InvalidationsPerEvent() const {
+    return update_events == 0 ? 0.0
+                              : static_cast<double>(invalidations) /
+                                    static_cast<double>(update_events);
+  }
+};
+
+class DupEngine {
+ public:
+  struct Options {
+    InvalidationPolicy policy = InvalidationPolicy::kValueAware;
+    ExtractionOptions extraction;
+
+    /// Weighted-DUP obsolescence tolerance (paper Fig. 2: "in some cases
+    /// it is acceptable to keep around a cached object which is not too
+    /// obsolete"). Each firing dependency event adds one unit of
+    /// obsolescence to an affected object; the object is only invalidated
+    /// once its accumulated obsolescence EXCEEDS the threshold. 0 (the
+    /// default) invalidates on the first event — exact consistency.
+    /// Positive thresholds deliberately trade staleness for hit rate.
+    double obsolescence_threshold = 0.0;
+  };
+
+  DupEngine(cache::GpsCache& cache, Options options);
+
+  InvalidationPolicy policy() const { return options_.policy; }
+
+  /// Register a cached query result under `key` (its fingerprint).
+  /// Builds (or reuses) the statement's dependency template and adds the
+  /// object vertex plus its annotated edges to the ODG. The engine keeps
+  /// `query` and `params` for row-aware refinement.
+  void RegisterQuery(const std::string& key, std::shared_ptr<const sql::BoundQuery> query,
+                     const std::vector<Value>& params);
+
+  /// Drop the object vertex for `key` (cache removal). Idempotent.
+  void UnregisterQuery(const std::string& key);
+
+  /// Paper Fig. 7, step 10 is "result discard/update cache": affected
+  /// results may be *refreshed* instead of discarded. When a refresher is
+  /// installed, the engine calls it (outside its lock) for every affected
+  /// key in place of cache invalidation; the refresher re-executes and
+  /// re-stores the result (returning true) or declines (false → the key
+  /// is invalidated as usual).
+  using Refresher = std::function<bool(const std::string& key)>;
+  void SetRefresher(Refresher refresher);
+
+  /// Registration lookup for refreshers: the statement and parameters
+  /// cached under `key`, if registered.
+  std::optional<std::pair<std::shared_ptr<const sql::BoundQuery>, std::vector<Value>>>
+  LookupRegistration(const std::string& key) const;
+
+  /// Storage mutation hook: subscribe this to the Database. Translates the
+  /// event into cache invalidations according to the policy.
+  void OnUpdate(const storage::UpdateEvent& event);
+
+  /// Diagnostic tracing: invoked once per (event, invalidated key) with a
+  /// human-readable reason ("update BENCH.KSEQ 41000 -> 7 fired annotated
+  /// edge", "insert into RULEUSETABLE passed every column filter", ...).
+  /// Reasons are only materialized while a tracer is installed. The tracer
+  /// runs under the engine lock: it must not call back into this engine.
+  using InvalidationTracer = std::function<void(const std::string& key, const std::string& reason)>;
+  void SetTracer(InvalidationTracer tracer);
+
+  DupStats stats() const;
+
+  /// Snapshot of the ODG (diagnostics; also exercised by tests/examples).
+  std::string DumpGraph() const;
+  size_t GraphVertexCount() const;
+  size_t GraphEdgeCount() const;
+
+ private:
+  struct Registered {
+    odg::VertexId vertex;
+    std::shared_ptr<const sql::BoundQuery> query;
+    std::vector<Value> params;
+    std::shared_ptr<const DependencyTemplate> deps;
+    /// Instantiated annotations, parallel to deps->columns (empty slots for
+    /// opaque columns). Used for the conjunctive insert/delete check.
+    std::vector<std::optional<odg::EdgeAnnotation>> annotations;
+
+    /// Accumulated obsolescence since this result was cached (only grows
+    /// when Options::obsolescence_threshold > 0).
+    double obsolescence = 0.0;
+  };
+
+  static std::string ColumnVertexName(const std::string& table, const std::string& column);
+  static std::string TableVertexName(const std::string& table);
+
+  /// Collect the fingerprints the event invalidates under the policy.
+  std::vector<std::string> AffectedKeys(const storage::UpdateEvent& event);
+  bool RowAwareKeeps(const Registered& reg, const storage::UpdateEvent& event) const;
+
+  /// Value-aware insert/delete check (paper §4.2's Platinum example): the
+  /// created/deleted row must pass EVERY annotated column filter the query
+  /// places on this table (opaque columns cannot reject). Conjunction is
+  /// sound because each filter is a relaxation of the WHERE clause.
+  bool RowCanAffect(const Registered& reg, const std::string& table_key,
+                    const storage::Row& row) const;
+
+  cache::GpsCache& cache_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  odg::Graph graph_;
+  std::unordered_map<std::string, Registered> registered_;
+  // "Compile-time" template cache, keyed by canonical statement text.
+  std::unordered_map<std::string, std::shared_ptr<const DependencyTemplate>> templates_;
+  // Upper-cased table name → column index → column vertex; column vertices
+  // are created lazily as registrations reference them and never removed.
+  std::unordered_map<std::string, std::unordered_map<uint32_t, odg::VertexId>> column_vertices_;
+  std::unordered_map<std::string, odg::VertexId> table_vertices_;
+  // Upper-cased table name → keys of registered queries referencing it
+  // (drives the per-query conjunctive insert/delete check).
+  std::unordered_map<std::string, std::unordered_set<std::string>> table_queries_;
+  InvalidationTracer tracer_;
+  Refresher refresher_;
+  DupStats stats_;
+};
+
+}  // namespace qc::dup

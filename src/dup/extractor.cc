@@ -1,0 +1,398 @@
+#include "dup/extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "common/error.h"
+
+namespace qc::dup {
+
+namespace {
+
+using sql::Expr;
+
+// ---------------------------------------------------------------------------
+// Template instantiation
+// ---------------------------------------------------------------------------
+
+}  // namespace
+
+Value OperandTemplate::Resolve(const std::vector<Value>& params) const {
+  if (!is_param) return constant;
+  if (param_index >= params.size()) {
+    throw BindError("dependency template: unbound parameter $" + std::to_string(param_index + 1));
+  }
+  return params[param_index];
+}
+
+odg::Atom AtomTemplate::Instantiate(const std::vector<Value>& params) const {
+  odg::Atom atom;
+  atom.kind = kind;
+  atom.cmp_op = cmp_op;
+  atom.a = a.Resolve(params);
+  atom.b = b.Resolve(params);
+  atom.set.reserve(set.size());
+  for (const OperandTemplate& member : set) atom.set.push_back(member.Resolve(params));
+  atom.negated = negated;
+  return atom;
+}
+
+odg::ColumnPredicate FilterTemplate::Instantiate(const std::vector<Value>& params) const {
+  switch (kind) {
+    case Kind::kTrue:
+      return odg::ColumnPredicate::True();
+    case Kind::kAtom:
+      return odg::ColumnPredicate::MakeAtom(atom.Instantiate(params));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<odg::ColumnPredicate> parts;
+      parts.reserve(children.size());
+      for (const FilterTemplate& child : children) parts.push_back(child.Instantiate(params));
+      return kind == Kind::kAnd ? odg::ColumnPredicate::And(std::move(parts))
+                                : odg::ColumnPredicate::Or(std::move(parts));
+    }
+  }
+  return odg::ColumnPredicate::True();
+}
+
+odg::EdgeAnnotation ColumnDependencyTemplate::Instantiate(const std::vector<Value>& params) const {
+  std::vector<odg::Atom> atoms_out;
+  atoms_out.reserve(atoms.size());
+  for (const AtomTemplate& atom : atoms) atoms_out.push_back(atom.Instantiate(params));
+  return odg::EdgeAnnotation(std::move(atoms_out), filter.Instantiate(params));
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------------
+
+/// Negation-normal-form view of the WHERE clause: AND/OR internal nodes,
+/// atoms at the leaves with an explicit polarity.
+struct NnfNode {
+  enum class Kind { kAnd, kOr, kAtom };
+  Kind kind = Kind::kAtom;
+  const Expr* atom = nullptr;
+  bool negated = false;
+  std::vector<NnfNode> children;
+};
+
+NnfNode ToNnf(const Expr& e, bool negate) {
+  switch (e.kind) {
+    case Expr::Kind::kUnaryNot:
+      return ToNnf(*e.children[0], !negate);
+    case Expr::Kind::kBinary:
+      if (e.op == sql::BinaryOp::kAnd || e.op == sql::BinaryOp::kOr) {
+        NnfNode node;
+        const bool is_and = (e.op == sql::BinaryOp::kAnd) != negate;  // De Morgan
+        node.kind = is_and ? NnfNode::Kind::kAnd : NnfNode::Kind::kOr;
+        node.children.push_back(ToNnf(*e.children[0], negate));
+        node.children.push_back(ToNnf(*e.children[1], negate));
+        return node;
+      }
+      [[fallthrough]];
+    default: {
+      NnfNode node;
+      node.kind = NnfNode::Kind::kAtom;
+      node.atom = &e;
+      // BETWEEN/IN/LIKE carry their own negation; fold it into the polarity.
+      node.negated = negate != e.negated;
+      return node;
+    }
+  }
+}
+
+using ColumnKey = std::pair<int32_t, uint32_t>;  // (slot, column index)
+
+struct ColumnState {
+  bool referenced = false;
+  bool opaque = false;
+  std::vector<AtomTemplate> atoms;
+};
+
+void CollectColumns(const Expr& e, std::vector<ColumnKey>& out) {
+  if (e.kind == Expr::Kind::kColumn) {
+    out.emplace_back(e.table_slot, static_cast<uint32_t>(e.column_index));
+    return;
+  }
+  for (const sql::ExprPtr& c : e.children) CollectColumns(*c, out);
+}
+
+std::optional<OperandTemplate> AsOperand(const Expr& e) {
+  OperandTemplate op;
+  if (e.kind == Expr::Kind::kLiteral) {
+    op.constant = e.value;
+    return op;
+  }
+  if (e.kind == Expr::Kind::kParam) {
+    op.is_param = true;
+    op.param_index = e.param_index;
+    return op;
+  }
+  return std::nullopt;
+}
+
+/// Analysis of one NNF atom: either it is a separable single-column
+/// predicate (column + atom template), or it taints every column it
+/// references as opaque.
+struct AtomAnalysis {
+  bool separable = false;
+  ColumnKey column{};
+  AtomTemplate tmpl;
+  std::vector<ColumnKey> referenced;
+};
+
+AtomAnalysis AnalyzeAtom(const Expr& e, bool negated) {
+  AtomAnalysis out;
+  CollectColumns(e, out.referenced);
+  if (out.referenced.empty()) return out;  // constant predicate: no deps
+
+  auto single_column = [&](const Expr& subject) -> bool {
+    return subject.kind == Expr::Kind::kColumn;
+  };
+
+  switch (e.kind) {
+    case Expr::Kind::kBinary: {
+      if (!sql::IsComparison(e.op)) return out;
+      const Expr& l = *e.children[0];
+      const Expr& r = *e.children[1];
+      const Expr* col = nullptr;
+      std::optional<OperandTemplate> operand;
+      sql::BinaryOp op = e.op;
+      if (single_column(l) && (operand = AsOperand(r))) {
+        col = &l;
+      } else if (single_column(r) && (operand = AsOperand(l))) {
+        col = &r;
+        switch (op) {  // normalize to column-on-the-left
+          case sql::BinaryOp::kLt: op = sql::BinaryOp::kGt; break;
+          case sql::BinaryOp::kLe: op = sql::BinaryOp::kGe; break;
+          case sql::BinaryOp::kGt: op = sql::BinaryOp::kLt; break;
+          case sql::BinaryOp::kGe: op = sql::BinaryOp::kLe; break;
+          default: break;
+        }
+      } else {
+        return out;  // column-vs-column (join, A.x > A.y): opaque
+      }
+      out.separable = true;
+      out.column = {col->table_slot, static_cast<uint32_t>(col->column_index)};
+      out.tmpl.kind = odg::Atom::Kind::kCmp;
+      out.tmpl.cmp_op = op;
+      out.tmpl.a = *operand;
+      out.tmpl.negated = negated;
+      return out;
+    }
+    case Expr::Kind::kBetween: {
+      const Expr& subject = *e.children[0];
+      auto lo = AsOperand(*e.children[1]);
+      auto hi = AsOperand(*e.children[2]);
+      if (!single_column(subject) || !lo || !hi) return out;
+      out.separable = true;
+      out.column = {subject.table_slot, static_cast<uint32_t>(subject.column_index)};
+      out.tmpl.kind = odg::Atom::Kind::kBetween;
+      out.tmpl.a = *lo;
+      out.tmpl.b = *hi;
+      out.tmpl.negated = negated;
+      return out;
+    }
+    case Expr::Kind::kIn: {
+      const Expr& subject = *e.children[0];
+      if (!single_column(subject)) return out;
+      AtomTemplate tmpl;
+      tmpl.kind = odg::Atom::Kind::kIn;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        auto member = AsOperand(*e.children[i]);
+        if (!member) return out;
+        tmpl.set.push_back(*member);
+      }
+      out.separable = true;
+      out.column = {subject.table_slot, static_cast<uint32_t>(subject.column_index)};
+      tmpl.negated = negated;
+      out.tmpl = std::move(tmpl);
+      return out;
+    }
+    case Expr::Kind::kLike: {
+      const Expr& subject = *e.children[0];
+      auto pattern = AsOperand(*e.children[1]);
+      if (!single_column(subject) || !pattern) return out;
+      out.separable = true;
+      out.column = {subject.table_slot, static_cast<uint32_t>(subject.column_index)};
+      out.tmpl.kind = odg::Atom::Kind::kLike;
+      out.tmpl.a = *pattern;
+      out.tmpl.negated = negated;
+      return out;
+    }
+    case Expr::Kind::kIsNull: {
+      const Expr& subject = *e.children[0];
+      if (!single_column(subject)) return out;
+      out.separable = true;
+      out.column = {subject.table_slot, static_cast<uint32_t>(subject.column_index)};
+      out.tmpl.kind = odg::Atom::Kind::kIsNull;
+      out.tmpl.negated = negated;
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+class Extractor {
+ public:
+  Extractor(const sql::BoundQuery& query, const ExtractionOptions& options)
+      : query_(query), options_(options) {}
+
+  std::shared_ptr<const DependencyTemplate> Run() {
+    auto out = std::make_shared<DependencyTemplate>();
+    out->result_columns_per_slot.resize(query_.tables().size());
+
+    CollectResultColumns(*out);
+    if (query_.stmt().where) {
+      nnf_ = ToNnf(*query_.stmt().where, false);
+      AnalyzeWhere(nnf_);
+    }
+
+    // Assemble per-column templates, with filters from the NNF tree.
+    for (auto& [key, state] : columns_) {
+      ColumnDependencyTemplate col;
+      col.table_slot = key.first;
+      col.column_index = key.second;
+      const storage::Table& table = query_.table(key.first);
+      col.table_name = table.name();
+      col.column_name = table.schema().column(key.second).name;
+      col.opaque = state.opaque;
+      if (!col.opaque) {
+        col.atoms = state.atoms;
+        col.filter = query_.stmt().where ? BuildFilter(nnf_, key) : FilterTemplate::True();
+      }
+      out->columns.push_back(std::move(col));
+    }
+
+    // Distinct tables + existence edges for tables with no column deps.
+    for (size_t slot = 0; slot < query_.tables().size(); ++slot) {
+      const std::string& name = query_.table(slot).name();
+      if (std::find(out->tables.begin(), out->tables.end(), name) == out->tables.end()) {
+        out->tables.push_back(name);
+      }
+    }
+    for (const std::string& table : out->tables) {
+      bool has_column_dep = false;
+      for (const ColumnDependencyTemplate& col : out->columns) {
+        if (col.table_name == table) {
+          has_column_dep = true;
+          break;
+        }
+      }
+      if (!has_column_dep) out->tables_needing_existence_edge.push_back(table);
+    }
+    return out;
+  }
+
+ private:
+  ColumnState& StateFor(ColumnKey key) {
+    ColumnState& state = columns_[key];
+    state.referenced = true;
+    return state;
+  }
+
+  void MarkOpaque(ColumnKey key) { StateFor(key).opaque = true; }
+
+  void CollectResultColumns(DependencyTemplate& out) {
+    auto add_result_column = [&](int32_t slot, uint32_t col) {
+      auto& list = out.result_columns_per_slot[slot];
+      if (std::find(list.begin(), list.end(), col) == list.end()) list.push_back(col);
+    };
+
+    for (const sql::SelectItem& item : query_.stmt().items) {
+      switch (item.kind) {
+        case sql::SelectItem::Kind::kStar:
+          // result_columns always reflect the true result structure (the
+          // row-aware policy refines with them); only the ODG edges honor
+          // include_projection.
+          for (size_t slot = 0; slot < query_.tables().size(); ++slot) {
+            const storage::Table& table = query_.table(slot);
+            for (uint32_t c = 0; c < table.schema().size(); ++c) {
+              if (options_.include_projection) MarkOpaque({static_cast<int32_t>(slot), c});
+              add_result_column(static_cast<int32_t>(slot), c);
+            }
+          }
+          break;
+        case sql::SelectItem::Kind::kColumn: {
+          ColumnKey key{item.expr->table_slot, static_cast<uint32_t>(item.expr->column_index)};
+          if (options_.include_projection) MarkOpaque(key);
+          add_result_column(key.first, key.second);
+          break;
+        }
+        case sql::SelectItem::Kind::kAggregate:
+          // COUNT(*) has no argument; the row set is covered by WHERE deps
+          // and the table-existence edge.
+          if (item.expr) {
+            ColumnKey key{item.expr->table_slot, static_cast<uint32_t>(item.expr->column_index)};
+            if (options_.include_aggregate_args) MarkOpaque(key);
+            add_result_column(key.first, key.second);
+          }
+          break;
+      }
+    }
+    for (const sql::ExprPtr& g : query_.stmt().group_by) {
+      ColumnKey key{g->table_slot, static_cast<uint32_t>(g->column_index)};
+      MarkOpaque(key);
+      add_result_column(key.first, key.second);
+    }
+    // ORDER BY keys determine row order — and with LIMIT, membership — so
+    // like GROUP BY keys they are dependencies in every extraction mode.
+    for (const sql::OrderKey& key : query_.stmt().order_by) {
+      ColumnKey column{key.column->table_slot, static_cast<uint32_t>(key.column->column_index)};
+      MarkOpaque(column);
+      add_result_column(column.first, column.second);
+    }
+  }
+
+  void AnalyzeWhere(const NnfNode& node) {
+    if (node.kind != NnfNode::Kind::kAtom) {
+      for (const NnfNode& child : node.children) AnalyzeWhere(child);
+      return;
+    }
+    AtomAnalysis analysis = AnalyzeAtom(*node.atom, node.negated);
+    if (analysis.separable) {
+      StateFor(analysis.column).atoms.push_back(analysis.tmpl);
+    } else {
+      for (ColumnKey key : analysis.referenced) MarkOpaque(key);
+    }
+  }
+
+  /// Relax the NNF tree onto one column: atoms on other columns (or
+  /// non-separable atoms) become TRUE, leaving a sound single-column
+  /// approximation of "this row could satisfy the WHERE clause".
+  FilterTemplate BuildFilter(const NnfNode& node, ColumnKey key) {
+    if (node.kind == NnfNode::Kind::kAtom) {
+      AtomAnalysis analysis = AnalyzeAtom(*node.atom, node.negated);
+      if (analysis.separable && analysis.column == key) {
+        FilterTemplate f;
+        f.kind = FilterTemplate::Kind::kAtom;
+        f.atom = analysis.tmpl;
+        return f;
+      }
+      return FilterTemplate::True();
+    }
+    FilterTemplate f;
+    f.kind = node.kind == NnfNode::Kind::kAnd ? FilterTemplate::Kind::kAnd
+                                              : FilterTemplate::Kind::kOr;
+    for (const NnfNode& child : node.children) f.children.push_back(BuildFilter(child, key));
+    return f;
+  }
+
+  const sql::BoundQuery& query_;
+  ExtractionOptions options_;
+  NnfNode nnf_;
+  std::map<ColumnKey, ColumnState> columns_;
+};
+
+}  // namespace
+
+std::shared_ptr<const DependencyTemplate> ExtractDependencies(const sql::BoundQuery& query,
+                                                              const ExtractionOptions& options) {
+  return Extractor(query, options).Run();
+}
+
+}  // namespace qc::dup

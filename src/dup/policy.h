@@ -1,0 +1,33 @@
+// The invalidation policies compared in the paper's §5.
+#pragma once
+
+namespace qc::dup {
+
+enum class InvalidationPolicy {
+  /// No update-driven invalidation at all: cached results live until they
+  /// expire (TTL) or are evicted. The "plain expiration-times cache" of
+  /// paper §3, kept as a baseline — it trades unbounded-until-TTL
+  /// staleness for never paying invalidation work.
+  kNone,
+
+  /// Policy I: any update flushes the entire cache.
+  kFlushAll,
+
+  /// Policy II: basic (value-unaware) DUP — invalidate every cached query
+  /// that depends on an updated column, regardless of the values involved.
+  kValueUnaware,
+
+  /// Policy III: value-aware DUP — ODG edge annotations gate invalidation
+  /// on whether the update can actually flip the query's predicate.
+  kValueAware,
+
+  /// Policy IV (our ablation extension, beyond the paper): after the
+  /// value-aware gate, re-evaluate the query's WHERE clause against the
+  /// full before/after row images and skip invalidations that provably
+  /// cannot change the result. Only refines single-table queries.
+  kRowAware,
+};
+
+const char* PolicyName(InvalidationPolicy policy);
+
+}  // namespace qc::dup

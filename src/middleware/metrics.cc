@@ -1,0 +1,85 @@
+#include "middleware/metrics.h"
+
+#include <sstream>
+
+namespace qc::middleware {
+
+namespace {
+
+// Buckets double from a 62.5 ns floor: bucket i covers
+// [62.5ns * 2^i, 62.5ns * 2^(i+1)).
+constexpr uint64_t kFloorNs = 62;  // ~62.5 ns
+
+std::string HumanDuration(std::chrono::nanoseconds d) {
+  const double ns = static_cast<double>(d.count());
+  std::ostringstream os;
+  os.precision(3);
+  if (ns < 1e3) {
+    os << ns << "ns";
+  } else if (ns < 1e6) {
+    os << ns / 1e3 << "us";
+  } else if (ns < 1e9) {
+    os << ns / 1e6 << "ms";
+  } else {
+    os << ns / 1e9 << "s";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BucketFor(std::chrono::nanoseconds latency) {
+  uint64_t ns = static_cast<uint64_t>(latency.count() < 0 ? 0 : latency.count());
+  size_t bucket = 0;
+  uint64_t bound = kFloorNs;
+  while (bucket + 1 < kBuckets && ns >= bound) {
+    bound <<= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::chrono::nanoseconds LatencyHistogram::BucketUpperBound(size_t bucket) {
+  return std::chrono::nanoseconds(kFloorNs << (bucket + 1));
+}
+
+void LatencyHistogram::Record(std::chrono::nanoseconds latency) {
+  buckets_[BucketFor(latency)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(static_cast<uint64_t>(latency.count() < 0 ? 0 : latency.count()),
+                      std::memory_order_relaxed);
+}
+
+std::chrono::nanoseconds LatencyHistogram::mean() const {
+  const uint64_t n = count();
+  if (n == 0) return std::chrono::nanoseconds(0);
+  return std::chrono::nanoseconds(total_ns_.load(std::memory_order_relaxed) / n);
+}
+
+std::chrono::nanoseconds LatencyHistogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return std::chrono::nanoseconds(0);
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+std::string LatencyHistogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << HumanDuration(mean())
+     << " p50=" << HumanDuration(Quantile(0.5)) << " p95=" << HumanDuration(Quantile(0.95))
+     << " p99=" << HumanDuration(Quantile(0.99));
+  return os.str();
+}
+
+std::string QueryLatencyMetrics::Summary() const {
+  return "hits: " + hits.Summary() + "\nmisses: " + misses.Summary();
+}
+
+}  // namespace qc::middleware

@@ -1,0 +1,52 @@
+// Lightweight latency metrics for the query path: log-scaled histograms
+// with quantile estimation, split by cache hit vs. database execution.
+// This is the instrumentation the paper's §2 "performance profiling"
+// story needs — it makes "the bottleneck is the query to the persistent
+// store" measurable inside the middleware itself.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace qc::middleware {
+
+/// A fixed log-scale histogram over [1 µs/16, ~70 s). Thread-safe,
+/// lock-free recording.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(std::chrono::nanoseconds latency);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::chrono::nanoseconds total() const {
+    return std::chrono::nanoseconds(total_ns_.load(std::memory_order_relaxed));
+  }
+  std::chrono::nanoseconds mean() const;
+
+  /// Upper bound of the bucket containing the q-quantile (0 < q <= 1).
+  std::chrono::nanoseconds Quantile(double q) const;
+
+  std::string Summary() const;
+
+ private:
+  static size_t BucketFor(std::chrono::nanoseconds latency);
+  static std::chrono::nanoseconds BucketUpperBound(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+};
+
+/// Hit/miss-split latency metrics for a query engine.
+struct QueryLatencyMetrics {
+  LatencyHistogram hits;
+  LatencyHistogram misses;
+
+  std::string Summary() const;
+};
+
+}  // namespace qc::middleware

@@ -1,0 +1,138 @@
+#include "middleware/query_engine.h"
+
+namespace qc::middleware {
+
+CachedQueryEngine::CachedQueryEngine(storage::Database& db, Options options)
+    : db_(db), options_(std::move(options)) {
+  if (!options_.cache.deserializer) {
+    options_.cache.deserializer = &ResultValue::Deserialize;
+  }
+  cache_ = std::make_unique<cache::GpsCache>(options_.cache);
+
+  dup::DupEngine::Options dup_options;
+  dup_options.policy = options_.policy;
+  dup_options.extraction = options_.extraction;
+  dup_options.obsolescence_threshold = options_.obsolescence_threshold;
+  dup_ = std::make_unique<dup::DupEngine>(*cache_, dup_options);
+
+  if (options_.refresh_on_invalidate) {
+    dup_->SetRefresher([this](const std::string& key) {
+      auto registration = dup_->LookupRegistration(key);
+      if (!registration) return false;
+      auto result = std::make_shared<const sql::ResultSet>(
+          sql::Execute(*registration->first, registration->second));
+      if (!cache_->Put(key, std::make_shared<ResultValue>(result))) return false;
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.refresh_executions;
+      return true;
+    });
+  }
+
+  if (options_.subscribe_to_database) {
+    db_.Subscribe([this](const storage::UpdateEvent& event) {
+      if (options_.caching_enabled) dup_->OnUpdate(event);
+    });
+  }
+}
+
+std::shared_ptr<const sql::BoundQuery> CachedQueryEngine::Prepare(const std::string& sql) {
+  sql::SelectStmt stmt = sql::Parse(sql);
+  const std::string canonical = sql::CanonicalSql(stmt);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = prepared_.find(canonical);
+    if (it != prepared_.end()) return it->second;
+  }
+  auto bound = sql::Bind(std::move(stmt), db_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return prepared_.emplace(canonical, std::move(bound)).first->second;
+}
+
+CachedQueryEngine::ExecuteResult CachedQueryEngine::Execute(
+    const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params) {
+  if (!options_.collect_latency_metrics) return ExecuteInternal(query, params);
+  const auto start = std::chrono::steady_clock::now();
+  ExecuteResult result = ExecuteInternal(query, params);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  (result.cache_hit ? latency_.hits : latency_.misses)
+      .Record(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed));
+  return result;
+}
+
+CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
+    const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.executions;
+  }
+
+  if (!options_.caching_enabled) {
+    if (options_.simulated_db_latency.count() > 0) {
+      const auto deadline = std::chrono::steady_clock::now() + options_.simulated_db_latency;
+      while (std::chrono::steady_clock::now() < deadline) {
+      }
+    }
+    auto result = std::make_shared<sql::ResultSet>(sql::Execute(*query, params));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.db_executions;
+    return {std::move(result), false};
+  }
+
+  const std::string key = sql::Fingerprint(query->stmt(), params);
+
+  if (cache::CacheValuePtr cached = cache_->Get(key)) {
+    auto value = std::static_pointer_cast<const ResultValue>(cached);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cache_hits;
+    return {value->result(), true};
+  }
+
+  // (4) database access
+  if (options_.simulated_db_latency.count() > 0) {
+    const auto deadline = std::chrono::steady_clock::now() + options_.simulated_db_latency;
+    while (std::chrono::steady_clock::now() < deadline) {
+      // busy-wait: sleep granularity would distort microsecond penalties
+    }
+  }
+  auto result = std::make_shared<const sql::ResultSet>(sql::Execute(*query, params));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.db_executions;
+  }
+
+  // (3) result into cache + ODG construction. Register *before* Put: if Put
+  // immediately evicts the entry (budget pressure), the removal listener
+  // then cleanly unregisters it again.
+  dup_->RegisterQuery(key, query, params);
+  if (!cache_->Put(key, std::make_shared<ResultValue>(result), options_.default_ttl)) {
+    dup_->UnregisterQuery(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.uncacheable;
+  }
+  return {std::move(result), false};
+}
+
+CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteSql(const std::string& sql,
+                                                               const std::vector<Value>& params) {
+  return Execute(Prepare(sql), params);
+}
+
+uint64_t CachedQueryEngine::ExecuteDml(const std::string& sql, const std::vector<Value>& params) {
+  sql::AnyStatement stmt = sql::ParseStatement(sql);
+  if (stmt.kind != sql::AnyStatement::Kind::kDml) {
+    throw BindError("ExecuteDml expects INSERT/UPDATE/DELETE; use Execute for SELECT");
+  }
+  return sql::ExecuteDml(stmt.dml, db_, params);
+}
+
+sql::ResultSet CachedQueryEngine::ExecuteUncached(const sql::BoundQuery& query,
+                                                  const std::vector<Value>& params) const {
+  return sql::Execute(query, params);
+}
+
+QueryEngineStats CachedQueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace qc::middleware

@@ -1,0 +1,146 @@
+// The middleware query processor + cache manager of paper Fig. 7.
+//
+// A client calls Execute(); the engine
+//   (2) looks the fingerprint up in the GPS cache,
+//   (3) on a hit returns the cached result,
+//   (4) on a miss executes against the database,
+//   (3') stores the result and registers its ODG dependencies with the
+//        DUP engine.
+// Database mutations (5 set / 8 create / 9 delete) arrive as UpdateEvents
+// through the Database subscription and are turned into (6/10) selective
+// invalidations by the DUP engine.
+//
+// Concurrency: the cache and DUP engine are internally synchronized, but
+// the *sequence* miss→execute→register is not atomic with respect to
+// concurrent updates; like the paper's system, updates and queries are
+// assumed to be serialized by the caller (the benchmarks drive one
+// thread). See tests/middleware for the correctness property this buys.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cache/gps_cache.h"
+#include "dup/engine.h"
+#include "middleware/metrics.h"
+#include "middleware/result_value.h"
+#include "sql/binder.h"
+#include "sql/dml.h"
+#include "sql/evaluator.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace qc::middleware {
+
+struct QueryEngineStats {
+  uint64_t executions = 0;      // Execute() calls
+  uint64_t cache_hits = 0;
+  uint64_t db_executions = 0;   // misses that went to the database
+  uint64_t uncacheable = 0;     // results too large to cache
+  uint64_t refresh_executions = 0;  // eager re-executions (refresh_on_invalidate)
+
+  double HitRate() const {
+    return executions == 0 ? 0.0
+                           : static_cast<double>(cache_hits) / static_cast<double>(executions);
+  }
+};
+
+class CachedQueryEngine {
+ public:
+  struct Options {
+    dup::InvalidationPolicy policy = dup::InvalidationPolicy::kValueAware;
+    dup::ExtractionOptions extraction;
+    cache::GpsCacheConfig cache;
+
+    /// Weighted-DUP staleness budget per cached result (see
+    /// dup::DupEngine::Options::obsolescence_threshold). Non-zero values
+    /// intentionally serve bounded-stale results.
+    double obsolescence_threshold = 0.0;
+
+    /// Applied to every cached result; nullopt = no expiration.
+    std::optional<cache::Duration> default_ttl;
+
+    /// When false, query results are executed but never cached — the
+    /// "no cache" baseline.
+    bool caching_enabled = true;
+
+    /// When false, the engine does NOT subscribe to the database's update
+    /// events; the owner must feed dup_engine().OnUpdate() itself. Used by
+    /// the cluster layer, where remote nodes receive invalidation traffic
+    /// over a (simulated) network rather than synchronously.
+    bool subscribe_to_database = true;
+
+    /// Record per-execution latency histograms, split hit vs. miss
+    /// (adds two clock reads per Execute).
+    bool collect_latency_metrics = false;
+
+    /// Paper Fig. 7 step 10 "result discard/update cache": when true,
+    /// affected cached results are re-executed and re-stored in place of
+    /// being invalidated, keeping the cache warm at the cost of eager
+    /// refresh executions on the update path.
+    bool refresh_on_invalidate = false;
+
+    /// Synthetic per-miss penalty modeling a remote persistent store (the
+    /// paper's rule server reached DB2 over JDBC; our tables are
+    /// in-process). Applied as a busy-wait on every database execution
+    /// that Execute() performs; ExecuteUncached (the test oracle) is
+    /// exempt. 0 = disabled.
+    std::chrono::microseconds simulated_db_latency{0};
+  };
+
+  /// The engine subscribes to `db` for update events; `db` must outlive it.
+  CachedQueryEngine(storage::Database& db, Options options);
+
+  /// Parse + bind once; reuse for repeated execution ("compile time").
+  /// Prepared statements are cached per canonical SQL.
+  std::shared_ptr<const sql::BoundQuery> Prepare(const std::string& sql);
+
+  struct ExecuteResult {
+    sql::ResultPtr result;
+    bool cache_hit = false;
+  };
+
+  /// Execute a prepared statement with parameters.
+  ExecuteResult Execute(const std::shared_ptr<const sql::BoundQuery>& query,
+                        const std::vector<Value>& params = {});
+
+  /// Dynamic SQL path: parse, bind, execute (still cached).
+  ExecuteResult ExecuteSql(const std::string& sql, const std::vector<Value>& params = {});
+
+  /// Execute a DML statement (INSERT / UPDATE / DELETE). Mutations flow
+  /// through the storage layer, so cached query results are invalidated by
+  /// the configured DUP policy. Returns the number of affected rows.
+  uint64_t ExecuteDml(const std::string& sql, const std::vector<Value>& params = {});
+
+  /// Direct, uncached execution (used by tests to cross-check).
+  sql::ResultSet ExecuteUncached(const sql::BoundQuery& query,
+                                 const std::vector<Value>& params = {}) const;
+
+  QueryEngineStats stats() const;
+  cache::CacheStats cache_stats() const { return cache_->stats(); }
+  dup::DupStats dup_stats() const { return dup_->stats(); }
+  const QueryLatencyMetrics& latency_metrics() const { return latency_; }
+
+  cache::GpsCache& cache() { return *cache_; }
+  dup::DupEngine& dup_engine() { return *dup_; }
+  storage::Database& database() { return db_; }
+
+ private:
+  ExecuteResult ExecuteInternal(const std::shared_ptr<const sql::BoundQuery>& query,
+                                const std::vector<Value>& params);
+
+  storage::Database& db_;
+  Options options_;
+  std::unique_ptr<cache::GpsCache> cache_;
+  std::unique_ptr<dup::DupEngine> dup_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const sql::BoundQuery>> prepared_;
+  QueryEngineStats stats_;
+  QueryLatencyMetrics latency_;
+};
+
+}  // namespace qc::middleware

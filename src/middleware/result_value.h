@@ -1,0 +1,31 @@
+// Adapts sql::ResultSet to the GPS cache's CacheValue interface, with a
+// compact self-describing serialization so results can spill to the disk
+// store and round-trip intact.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cache/value.h"
+#include "sql/result.h"
+
+namespace qc::middleware {
+
+class ResultValue : public cache::CacheValue {
+ public:
+  explicit ResultValue(sql::ResultPtr result) : result_(std::move(result)) {}
+
+  const sql::ResultPtr& result() const { return result_; }
+
+  size_t ByteSize() const override { return result_->ByteSize(); }
+  std::string Serialize() const override;
+
+  /// Inverse of Serialize(). Throws CacheError on malformed input.
+  static cache::CacheValuePtr Deserialize(std::string_view bytes);
+
+ private:
+  sql::ResultPtr result_;
+};
+
+}  // namespace qc::middleware

@@ -1,0 +1,221 @@
+#include "odg/annotation.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace qc::odg {
+
+namespace {
+
+std::optional<bool> ApplyPolarity(std::optional<bool> truth, bool negated) {
+  if (!truth) return std::nullopt;
+  return negated ? !*truth : *truth;
+}
+
+/// Polarity-free truth of an atom on a value; nullopt = unknown.
+std::optional<bool> RawEval(const Atom& atom, const Value& v) {
+  switch (atom.kind) {
+    case Atom::Kind::kIsNull:
+      return v.is_null();
+    case Atom::Kind::kCmp: {
+      if (v.is_null() || atom.a.is_null()) return std::nullopt;
+      const auto cmp = v.compare(atom.a);
+      switch (atom.cmp_op) {
+        case sql::BinaryOp::kEq: return cmp == std::strong_ordering::equal;
+        case sql::BinaryOp::kNe: return cmp != std::strong_ordering::equal;
+        case sql::BinaryOp::kLt: return cmp == std::strong_ordering::less;
+        case sql::BinaryOp::kLe: return cmp != std::strong_ordering::greater;
+        case sql::BinaryOp::kGt: return cmp == std::strong_ordering::greater;
+        case sql::BinaryOp::kGe: return cmp != std::strong_ordering::less;
+        default: return std::nullopt;
+      }
+    }
+    case Atom::Kind::kBetween:
+      if (v.is_null() || atom.a.is_null() || atom.b.is_null()) return std::nullopt;
+      return v >= atom.a && v <= atom.b;
+    case Atom::Kind::kIn: {
+      if (v.is_null()) return std::nullopt;
+      bool saw_null = false;
+      for (const Value& item : atom.set) {
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (v == item) return true;
+      }
+      return saw_null ? std::nullopt : std::optional<bool>(false);
+    }
+    case Atom::Kind::kLike:
+      if (v.is_null() || atom.a.is_null()) return std::nullopt;
+      if (!v.is_string() || !atom.a.is_string()) return false;
+      return LikeMatch(v.as_string(), atom.a.as_string());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<bool> Atom::Eval(const Value& v) const {
+  return ApplyPolarity(RawEval(*this, v), negated);
+}
+
+bool Atom::Flips(const Value& old_v, const Value& new_v) const {
+  // Three truth states: true / false / unknown. The edge must fire exactly
+  // when the state differs — an unknown→true transition can move a row into
+  // the result just like false→true can.
+  const std::optional<bool> before = RawEval(*this, old_v);
+  const std::optional<bool> after = RawEval(*this, new_v);
+  return before != after;
+}
+
+std::string Atom::ToString(const std::string& column) const {
+  std::ostringstream os;
+  if (negated) os << "NOT ";
+  switch (kind) {
+    case Kind::kCmp:
+      os << column << " " << sql::BinaryOpName(cmp_op) << " " << a.ToString();
+      break;
+    case Kind::kBetween:
+      os << column << " BETWEEN " << a.ToString() << " AND " << b.ToString();
+      break;
+    case Kind::kIn: {
+      os << column << " IN (";
+      for (size_t i = 0; i < set.size(); ++i) {
+        if (i) os << ", ";
+        os << set[i].ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kLike:
+      os << column << " LIKE " << a.ToString();
+      break;
+    case Kind::kIsNull:
+      os << column << " IS NULL";
+      break;
+  }
+  return os.str();
+}
+
+ColumnPredicate ColumnPredicate::True() { return ColumnPredicate{}; }
+
+ColumnPredicate ColumnPredicate::MakeAtom(Atom a) {
+  ColumnPredicate p;
+  p.kind = Kind::kAtom;
+  p.atom = std::move(a);
+  return p;
+}
+
+ColumnPredicate ColumnPredicate::And(std::vector<ColumnPredicate> cs) {
+  // TRUE conjuncts are identity; a single child collapses.
+  std::vector<ColumnPredicate> kept;
+  for (auto& c : cs) {
+    if (!c.IsTriviallyTrue()) kept.push_back(std::move(c));
+  }
+  if (kept.empty()) return True();
+  if (kept.size() == 1) return std::move(kept[0]);
+  ColumnPredicate p;
+  p.kind = Kind::kAnd;
+  p.children = std::move(kept);
+  return p;
+}
+
+ColumnPredicate ColumnPredicate::Or(std::vector<ColumnPredicate> cs) {
+  // A TRUE disjunct absorbs the whole disjunction.
+  for (auto& c : cs) {
+    if (c.IsTriviallyTrue()) return True();
+  }
+  if (cs.empty()) return True();
+  if (cs.size() == 1) return std::move(cs[0]);
+  ColumnPredicate p;
+  p.kind = Kind::kOr;
+  p.children = std::move(cs);
+  return p;
+}
+
+std::optional<bool> ColumnPredicate::Eval(const Value& v) const {
+  switch (kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kAtom:
+      return atom.Eval(v);
+    case Kind::kNot: {
+      auto inner = children[0].Eval(v);
+      if (!inner) return std::nullopt;
+      return !*inner;
+    }
+    case Kind::kAnd: {
+      bool unknown = false;
+      for (const ColumnPredicate& c : children) {
+        auto t = c.Eval(v);
+        if (t && !*t) return false;
+        if (!t) unknown = true;
+      }
+      if (unknown) return std::nullopt;
+      return true;
+    }
+    case Kind::kOr: {
+      bool unknown = false;
+      for (const ColumnPredicate& c : children) {
+        auto t = c.Eval(v);
+        if (t && *t) return true;
+        if (!t) unknown = true;
+      }
+      if (unknown) return std::nullopt;
+      return false;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ColumnPredicate::ToString(const std::string& column) const {
+  switch (kind) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kAtom:
+      return atom.ToString(column);
+    case Kind::kNot:
+      return "NOT (" + children[0].ToString(column) + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += sep;
+        out += children[i].ToString(column);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool EdgeAnnotation::AffectedByUpdate(const Value& old_v, const Value& new_v) const {
+  for (const Atom& atom : atoms_) {
+    if (atom.Flips(old_v, new_v)) return true;
+  }
+  return false;
+}
+
+bool EdgeAnnotation::AffectedByRowValue(const Value& v) const {
+  // A row can contribute to the result only if the filter does not
+  // definitely exclude it; unknown (NULL) means the WHERE clause cannot be
+  // definitely true either, so the row is excluded and the edge stays quiet.
+  auto t = filter_.Eval(v);
+  return t.has_value() && *t;
+}
+
+std::string EdgeAnnotation::ToString(const std::string& column) const {
+  std::ostringstream os;
+  os << "atoms{";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) os << "; ";
+    os << atoms_[i].ToString(column);
+  }
+  os << "} filter{" << filter_.ToString(column) << "}";
+  return os.str();
+}
+
+}  // namespace qc::odg

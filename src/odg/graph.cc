@@ -1,0 +1,214 @@
+#include "odg/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace qc::odg {
+
+VertexId Graph::AddVertex(const std::string& name, VertexKind kind) {
+  if (by_name_.count(name)) throw Error("ODG vertex already exists: " + name);
+  VertexId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    vertices_[id] = Vertex{};
+  } else {
+    id = static_cast<VertexId>(vertices_.size());
+    vertices_.emplace_back();
+  }
+  Vertex& v = vertices_[id];
+  v.name = name;
+  v.kind = kind;
+  v.live = true;
+  by_name_.emplace(name, id);
+  ++live_count_;
+  return id;
+}
+
+VertexId Graph::GetOrAdd(const std::string& name, VertexKind kind) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  return AddVertex(name, kind);
+}
+
+std::optional<VertexId> Graph::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Graph::NameOf(VertexId v) const { return At(v).name; }
+VertexKind Graph::KindOf(VertexId v) const { return At(v).kind; }
+
+bool Graph::IsLive(VertexId v) const {
+  return v < vertices_.size() && vertices_[v].live;
+}
+
+void Graph::AddEdge(VertexId from, VertexId to, double weight,
+                    std::optional<EdgeAnnotation> annotation) {
+  Vertex& src = At(from);
+  At(to).in.push_back(from);
+  Edge edge;
+  edge.from = from;
+  edge.to = to;
+  edge.weight = weight;
+  edge.annotation = std::move(annotation);
+  src.out.push_back(std::move(edge));
+  ++edge_count_;
+}
+
+void Graph::RemoveVertex(VertexId v) {
+  Vertex& victim = At(v);
+  // Unlink incoming edges from each source's out list.
+  for (VertexId src_id : victim.in) {
+    if (!IsLive(src_id)) continue;
+    auto& out = vertices_[src_id].out;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Edge& e) {
+                               if (e.to != v) return false;
+                               --edge_count_;
+                               return true;
+                             }),
+              out.end());
+  }
+  // Unlink outgoing edges from each target's in list.
+  for (const Edge& e : victim.out) {
+    if (!IsLive(e.to)) continue;
+    auto& in = vertices_[e.to].in;
+    in.erase(std::remove(in.begin(), in.end(), v), in.end());
+    --edge_count_;
+  }
+  by_name_.erase(victim.name);
+  victim = Vertex{};
+  free_ids_.push_back(v);
+  --live_count_;
+}
+
+void Graph::RemoveInEdges(VertexId v) {
+  Vertex& target = At(v);
+  for (VertexId src_id : target.in) {
+    if (!IsLive(src_id)) continue;
+    auto& out = vertices_[src_id].out;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Edge& e) {
+                               if (e.to != v) return false;
+                               --edge_count_;
+                               return true;
+                             }),
+              out.end());
+  }
+  target.in.clear();
+}
+
+size_t Graph::OutDegree(VertexId v) const { return At(v).out.size(); }
+const std::vector<Graph::Edge>& Graph::OutEdges(VertexId v) const { return At(v).out; }
+
+bool Graph::EdgeFires(const Edge& edge, const ChangeSpec& spec) const {
+  if (!edge.annotation) return true;
+  switch (spec.kind) {
+    case ChangeSpec::Kind::kGeneric:
+      return true;
+    case ChangeSpec::Kind::kValueUpdate:
+      return edge.annotation->AffectedByUpdate(spec.old_value, spec.new_value);
+    case ChangeSpec::Kind::kRowValue:
+      return edge.annotation->AffectedByRowValue(spec.new_value);
+  }
+  return true;
+}
+
+std::vector<VertexId> Graph::Propagate(VertexId source, const ChangeSpec& spec) const {
+  std::vector<VertexId> affected;
+  std::vector<uint8_t> seen(vertices_.size(), 0);
+  seen[source] = 1;
+  // First hop applies the annotation gate; deeper hops are generic.
+  std::vector<VertexId> frontier;
+  for (const Edge& edge : At(source).out) {
+    if (!EdgeFires(edge, spec)) continue;
+    if (seen[edge.to]) continue;
+    seen[edge.to] = 1;
+    affected.push_back(edge.to);
+    frontier.push_back(edge.to);
+  }
+  while (!frontier.empty()) {
+    VertexId v = frontier.back();
+    frontier.pop_back();
+    for (const Edge& edge : At(v).out) {
+      if (seen[edge.to]) continue;
+      seen[edge.to] = 1;
+      affected.push_back(edge.to);
+      frontier.push_back(edge.to);
+    }
+  }
+  return affected;
+}
+
+std::vector<VertexId> Graph::PropagateWeighted(VertexId source, const ChangeSpec& spec) {
+  // Maximum-weight path accumulation: best[v] = max over firing paths of
+  // the minimum edge weight on the path (the weakest dependency link
+  // bounds how strongly the change matters to v). Simple ODGs have depth 1
+  // where this is just the edge weight.
+  std::vector<VertexId> affected;
+  std::unordered_map<VertexId, double> best;
+  struct Item {
+    VertexId v;
+    double strength;
+  };
+  std::vector<Item> stack;
+  for (const Edge& edge : At(source).out) {
+    if (!EdgeFires(edge, spec)) continue;
+    stack.push_back({edge.to, edge.weight});
+  }
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    auto it = best.find(item.v);
+    if (it != best.end() && it->second >= item.strength) continue;
+    if (it == best.end()) affected.push_back(item.v);
+    best[item.v] = item.strength;
+    for (const Edge& edge : At(item.v).out) {
+      stack.push_back({edge.to, std::min(item.strength, edge.weight)});
+    }
+  }
+  for (const auto& [v, strength] : best) vertices_[v].obsolescence += strength;
+  return affected;
+}
+
+double Graph::ObsolescenceOf(VertexId v) const { return At(v).obsolescence; }
+void Graph::ResetObsolescence(VertexId v) { At(v).obsolescence = 0.0; }
+
+std::string Graph::ToDot() const {
+  std::ostringstream os;
+  os << "digraph odg {\n";
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (!vertices_[v].live) continue;
+    const char* shape = vertices_[v].kind == VertexKind::kUnderlying ? "box"
+                        : vertices_[v].kind == VertexKind::kObject   ? "ellipse"
+                                                                     : "diamond";
+    os << "  v" << v << " [label=\"" << vertices_[v].name << "\", shape=" << shape << "];\n";
+  }
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (!vertices_[v].live) continue;
+    for (const Edge& e : vertices_[v].out) {
+      os << "  v" << v << " -> v" << e.to;
+      os << " [label=\"" << e.weight;
+      if (e.annotation) os << " : " << e.annotation->ToString(vertices_[v].name);
+      os << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+const Graph::Vertex& Graph::At(VertexId v) const {
+  if (!IsLive(v)) throw Error("ODG vertex " + std::to_string(v) + " is not live");
+  return vertices_[v];
+}
+
+Graph::Vertex& Graph::At(VertexId v) {
+  if (!IsLive(v)) throw Error("ODG vertex " + std::to_string(v) + " is not live");
+  return vertices_[v];
+}
+
+}  // namespace qc::odg

@@ -1,0 +1,66 @@
+#include "setquery/bench_table.h"
+
+#include "common/error.h"
+
+namespace qc::setquery {
+
+const std::vector<BenchColumn>& BenchColumns() {
+  static const std::vector<BenchColumn> kColumns = {
+      {"KSEQ", 0},      {"K500K", 500'000}, {"K250K", 250'000}, {"K100K", 100'000},
+      {"K40K", 40'000}, {"K10K", 10'000},   {"K1K", 1'000},     {"K100", 100},
+      {"K25", 25},      {"K10", 10},        {"K5", 5},          {"K4", 4},
+      {"K2", 2},
+  };
+  return kColumns;
+}
+
+size_t BenchAttributeCount() { return BenchColumns().size(); }
+
+BenchTable::BenchTable(storage::Database& db, uint64_t rows, uint64_t seed) : rows_(rows) {
+  if (rows == 0) throw StorageError("BENCH table needs at least one row");
+  std::vector<storage::ColumnDef> defs;
+  defs.reserve(BenchColumns().size());
+  for (const BenchColumn& col : BenchColumns()) {
+    defs.push_back({col.name, ValueType::kInt, /*nullable=*/false});
+  }
+  table_ = &db.CreateTable("BENCH", storage::Schema(std::move(defs)));
+
+  Rng rng(seed);
+  storage::Row row(BenchColumns().size());
+  for (uint64_t i = 1; i <= rows; ++i) {
+    for (size_t c = 0; c < BenchColumns().size(); ++c) {
+      const BenchColumn& col = BenchColumns()[c];
+      row[c] = Value(col.cardinality == 0 ? static_cast<int64_t>(i)
+                                          : rng.Uniform(1, col.cardinality));
+    }
+    table_->Insert(row);
+  }
+
+  // Indexes after the bulk load (cheaper than maintaining them during it):
+  // equality on every column, ordered on KSEQ for the BETWEEN queries.
+  for (uint32_t c = 0; c < BenchColumns().size(); ++c) table_->CreateHashIndex(c);
+  table_->CreateOrderedIndex(0);
+}
+
+int64_t BenchTable::ScaledKseq(int64_t canonical) const {
+  return canonical * static_cast<int64_t>(rows_) / static_cast<int64_t>(kCanonicalRows);
+}
+
+int64_t BenchTable::RandomValue(size_t column_index, Rng& rng) const {
+  const BenchColumn& col = BenchColumns().at(column_index);
+  const int64_t hi = col.cardinality == 0 ? static_cast<int64_t>(rows_) : col.cardinality;
+  return rng.Uniform(1, hi);
+}
+
+storage::RowId BenchTable::RandomRow(Rng& rng) const {
+  // Row ids are dense (the generator never deletes), so a uniform id over
+  // the slot range is a uniform live row as long as callers who delete
+  // rows re-insert replacements (the workload generator does).
+  for (;;) {
+    auto candidate = static_cast<storage::RowId>(
+        rng.Uniform(0, static_cast<int64_t>(table_->SlotCount()) - 1));
+    if (table_->IsLive(candidate)) return candidate;
+  }
+}
+
+}  // namespace qc::setquery

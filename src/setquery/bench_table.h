@@ -1,0 +1,67 @@
+// The Set Query benchmark's BENCH table (O'Neil; paper §5 and appendix).
+//
+// The canonical table has one million rows and thirteen indexed integer
+// columns whose cardinalities span 2 … 1,000,000:
+//
+//   KSEQ   unique sequence 1..N        K100K  uniform 1..100000
+//   K500K  uniform 1..500000           K40K   uniform 1..40000
+//   K250K  uniform 1..250000           K10K   uniform 1..10000
+//   K1K    uniform 1..1000             K100   uniform 1..100
+//   K25    uniform 1..25               K10    uniform 1..10
+//   K5     uniform 1..5                K4     uniform 1..4
+//   K2     uniform 1..2
+//
+// The row count is a parameter so experiments can run at laptop scale;
+// KSEQ-range constants taken from the paper are rescaled by row_count/1e6
+// (ScaledKseq) so selectivities match the original benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace qc::setquery {
+
+inline constexpr uint64_t kCanonicalRows = 1'000'000;
+
+struct BenchColumn {
+  const char* name;
+  int64_t cardinality;  // 0 = unique sequence (KSEQ)
+};
+
+/// The 13 benchmark columns, KSEQ first.
+const std::vector<BenchColumn>& BenchColumns();
+
+/// Number of attributes (13).
+size_t BenchAttributeCount();
+
+class BenchTable {
+ public:
+  /// Create and populate table BENCH in `db` with `rows` rows, hash
+  /// indexes on every column and an ordered index on KSEQ (the range
+  /// column). Deterministic for a given seed.
+  BenchTable(storage::Database& db, uint64_t rows, uint64_t seed = 0xbe7c4);
+
+  storage::Table& table() { return *table_; }
+  const storage::Table& table() const { return *table_; }
+  uint64_t rows() const { return rows_; }
+
+  /// Rescale a KSEQ constant from the canonical 1M-row benchmark to this
+  /// table's size (e.g. 400000 → 40000 at 100k rows).
+  int64_t ScaledKseq(int64_t canonical) const;
+
+  /// Uniform random value from `column`'s domain.
+  int64_t RandomValue(size_t column_index, Rng& rng) const;
+
+  /// A uniformly random live row id.
+  storage::RowId RandomRow(Rng& rng) const;
+
+ private:
+  storage::Table* table_ = nullptr;
+  uint64_t rows_;
+};
+
+}  // namespace qc::setquery

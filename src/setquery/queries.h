@@ -1,0 +1,50 @@
+// The Set Query benchmark query families (paper appendix), instantiated
+// against a (possibly rescaled) BENCH table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "setquery/bench_table.h"
+
+namespace qc::setquery {
+
+struct QuerySpec {
+  std::string type;     // "1", "2A", "2B", "3A", "3B", "4A", "4B", "5", "6A", "6B"
+  std::string variant;  // e.g. the KN column the instance uses
+  std::string sql;
+};
+
+/// All query instances for one family (each KN / condition-set variant).
+std::vector<QuerySpec> BuildQ1(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ2A(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ2B(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ3A(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ3B(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ4A(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ4B(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ5(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ6A(const BenchTable& bench);
+std::vector<QuerySpec> BuildQ6B(const BenchTable& bench);
+
+/// The full benchmark mix in paper order (Fig. 9's x axis).
+std::vector<QuerySpec> BuildAllQueries(const BenchTable& bench);
+
+/// Distinct type labels in paper order.
+std::vector<std::string> QueryTypeOrder();
+
+/// A parameterized query template: the anchor equality constant is a
+/// statement parameter ($1) drawn from `param_column`'s domain at run
+/// time — the Q2($1) pattern of paper §4.2. The Fig. 12 hot-spot workload
+/// skews accesses over these parameter values ("80% of the accesses ...
+/// among 20% of the data").
+struct ParamQuerySpec {
+  std::string type;
+  std::string variant;
+  std::string sql;            // contains $1
+  uint32_t param_column = 0;  // BENCH schema index whose domain feeds $1
+};
+
+std::vector<ParamQuerySpec> BuildParameterizedQueries(const BenchTable& bench);
+
+}  // namespace qc::setquery

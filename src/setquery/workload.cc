@@ -1,0 +1,143 @@
+#include "setquery/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qc::setquery {
+
+WorkloadRunner::WorkloadRunner(BenchTable& bench, middleware::CachedQueryEngine& engine)
+    : bench_(bench),
+      engine_(engine),
+      specs_(BuildAllQueries(bench)),
+      param_specs_(BuildParameterizedQueries(bench)) {
+  queries_.reserve(specs_.size());
+  for (const QuerySpec& spec : specs_) queries_.push_back(engine_.Prepare(spec.sql));
+  param_queries_.reserve(param_specs_.size());
+  for (const ParamQuerySpec& spec : param_specs_) {
+    param_queries_.push_back(engine_.Prepare(spec.sql));
+  }
+}
+
+std::vector<WorkloadRunner::Instance> WorkloadRunner::BuildInstances(const WorkloadConfig& config,
+                                                                     Rng& rng) {
+  std::vector<Instance> instances;
+  if (!config.parameterized) {
+    instances.reserve(queries_.size());
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      instances.push_back({queries_[i], {}, &specs_[i].type});
+    }
+    return instances;
+  }
+  // One instance per (template, pool value); pool values are uniform over
+  // the parameter column's domain, deduplicated so instances are distinct
+  // cached objects.
+  for (size_t i = 0; i < param_queries_.size(); ++i) {
+    const ParamQuerySpec& spec = param_specs_[i];
+    std::vector<int64_t> pool;
+    while (static_cast<int>(pool.size()) < config.param_pool_size) {
+      const int64_t v = bench_.RandomValue(spec.param_column, rng);
+      if (std::find(pool.begin(), pool.end(), v) == pool.end()) {
+        pool.push_back(v);
+      } else if (BenchColumns()[spec.param_column].cardinality != 0 &&
+                 BenchColumns()[spec.param_column].cardinality <=
+                     static_cast<int64_t>(pool.size())) {
+        break;  // domain exhausted (K2, K4, ...)
+      }
+    }
+    for (int64_t v : pool) {
+      instances.push_back({param_queries_[i], {Value(v)}, &spec.type});
+    }
+  }
+  // Fixed-constant templates with no natural parameter (Q5) join the mix.
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (specs_[i].type == "5") instances.push_back({queries_[i], {}, &specs_[i].type});
+  }
+  return instances;
+}
+
+void WorkloadRunner::RunUpdateTransaction(Rng& rng, const WorkloadConfig& config) {
+  if (config.create_delete_share > 0 && rng.Chance(config.create_delete_share)) {
+    // Create/delete pair: "equivalent to resetting all of the object's
+    // attributes" (§5). Row count stays constant.
+    storage::Table& table = bench_.table();
+    const storage::RowId victim = bench_.RandomRow(rng);
+    table.Delete(victim);
+    storage::Row row(BenchAttributeCount());
+    for (size_t c = 0; c < BenchAttributeCount(); ++c) {
+      row[c] = Value(bench_.RandomValue(c, rng));
+    }
+    table.Insert(row);
+    return;
+  }
+
+  // Choose `attributes_per_update` distinct attributes uniformly; new
+  // values uniform over each attribute's full domain (paper §5).
+  const size_t n_attrs = BenchAttributeCount();
+  std::vector<uint32_t> attrs(n_attrs);
+  std::iota(attrs.begin(), attrs.end(), 0);
+  std::shuffle(attrs.begin(), attrs.end(), rng.engine());
+  const int k = std::min<int>(config.attributes_per_update, static_cast<int>(n_attrs));
+
+  const storage::RowId row = bench_.RandomRow(rng);
+  std::vector<std::pair<uint32_t, Value>> sets;
+  sets.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    sets.emplace_back(attrs[i], Value(bench_.RandomValue(attrs[i], rng)));
+  }
+  bench_.table().Update(row, sets);
+}
+
+WorkloadResult WorkloadRunner::Run(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  const std::vector<Instance> instances = BuildInstances(config, rng);
+
+  // Hot-spot partition: a seeded shuffle marks 20 % of the cached-object
+  // population as hot; 80 % of accesses draw from it (Fig. 12).
+  std::vector<size_t> order(instances.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const size_t hot_count = std::max<size_t>(1, order.size() / 5);
+
+  auto pick_query = [&]() -> size_t {
+    if (!config.hot_spot) {
+      return order[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(order.size()) - 1))];
+    }
+    if (rng.Chance(0.8)) {
+      return order[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(hot_count) - 1))];
+    }
+    return order[static_cast<size_t>(
+        rng.Uniform(static_cast<int64_t>(hot_count), static_cast<int64_t>(order.size()) - 1))];
+  };
+
+  if (config.warmup) {
+    for (const Instance& instance : instances) engine_.Execute(instance.query, instance.params);
+  }
+
+  const dup::DupStats dup_before = engine_.dup_stats();
+
+  WorkloadResult result;
+  for (uint64_t t = 0; t < config.transactions; ++t) {
+    ++result.transactions;
+    if (rng.Chance(config.update_rate)) {
+      ++result.updates;
+      RunUpdateTransaction(rng, config);
+    } else {
+      const Instance& instance = instances[pick_query()];
+      auto outcome = engine_.Execute(instance.query, instance.params);
+      ++result.queries;
+      TypeStats& type = result.per_type[*instance.type];
+      ++type.executions;
+      if (outcome.cache_hit) {
+        ++type.hits;
+        ++result.hits;
+      }
+    }
+  }
+
+  const dup::DupStats dup_after = engine_.dup_stats();
+  result.invalidations = dup_after.invalidations - dup_before.invalidations;
+  result.full_flushes = dup_after.full_flushes - dup_before.full_flushes;
+  return result;
+}
+
+}  // namespace qc::setquery

@@ -1,0 +1,103 @@
+// The paper's §5 workload: the Set Query mix with update transactions
+// blended in at a configurable rate, update size (attributes per update
+// transaction), and optional 80/20 hot-spot access skew.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "middleware/query_engine.h"
+#include "setquery/bench_table.h"
+#include "setquery/queries.h"
+
+namespace qc::setquery {
+
+struct WorkloadConfig {
+  /// Fraction of transactions that are updates (paper x axes: 0.01 … 0.5).
+  double update_rate = 0.02;
+
+  /// Attributes modified per update transaction (1 = 7.69 %, 2 = 15.38 %,
+  /// 6 = 46.15 %, 13 = 100 % of the 13 attributes).
+  int attributes_per_update = 1;
+
+  /// 80 % of query accesses go to a random 20 % of the query population
+  /// (paper Fig. 12); updates stay uniform.
+  bool hot_spot = false;
+
+  /// Fraction of update transactions realized as a delete + insert pair
+  /// instead of attribute sets (0 reproduces the paper's figures; > 0
+  /// exercises the create/delete invalidation path).
+  double create_delete_share = 0.0;
+
+  uint64_t transactions = 4000;
+  uint64_t seed = 42;
+
+  /// Execute every query once before measuring (steady-state hit rates).
+  bool warmup = true;
+
+  /// Parameterized mode (Fig. 12): instead of the fixed-constant query
+  /// population, each query template's anchor constant is a run-time
+  /// parameter drawn from a per-template pool of `param_pool_size` values.
+  /// The cached-object population is then (template × pool value), and the
+  /// hot-spot skew ranges over it — "accesses distributed among the data".
+  bool parameterized = false;
+  int param_pool_size = 10;
+};
+
+struct TypeStats {
+  uint64_t executions = 0;
+  uint64_t hits = 0;
+  double HitRatePercent() const {
+    return executions == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(executions);
+  }
+};
+
+struct WorkloadResult {
+  std::map<std::string, TypeStats> per_type;  // keyed by query type label
+  uint64_t transactions = 0;
+  uint64_t queries = 0;
+  uint64_t updates = 0;  // update transactions (incl. create/delete pairs)
+  uint64_t hits = 0;
+  uint64_t invalidations = 0;  // during the measured phase
+  uint64_t full_flushes = 0;
+
+  double HitRatePercent() const {
+    return queries == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(queries);
+  }
+  double InvalidationsPerTransaction() const {
+    return transactions == 0
+               ? 0.0
+               : static_cast<double>(invalidations) / static_cast<double>(transactions);
+  }
+};
+
+class WorkloadRunner {
+ public:
+  /// `engine` must be wired to the database `bench` lives in.
+  WorkloadRunner(BenchTable& bench, middleware::CachedQueryEngine& engine);
+
+  WorkloadResult Run(const WorkloadConfig& config);
+
+  size_t query_count() const { return queries_.size(); }
+
+ private:
+  struct Instance {
+    std::shared_ptr<const sql::BoundQuery> query;
+    std::vector<Value> params;
+    const std::string* type = nullptr;
+  };
+
+  void RunUpdateTransaction(Rng& rng, const WorkloadConfig& config);
+  std::vector<Instance> BuildInstances(const WorkloadConfig& config, Rng& rng);
+
+  BenchTable& bench_;
+  middleware::CachedQueryEngine& engine_;
+  std::vector<QuerySpec> specs_;
+  std::vector<std::shared_ptr<const sql::BoundQuery>> queries_;  // parallel to specs_
+  std::vector<ParamQuerySpec> param_specs_;
+  std::vector<std::shared_ptr<const sql::BoundQuery>> param_queries_;  // parallel
+};
+
+}  // namespace qc::setquery

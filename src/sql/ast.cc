@@ -1,0 +1,152 @@
+#include "sql/ast.h"
+
+namespace qc::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  return op != BinaryOp::kAnd && op != BinaryOp::kOr;
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone: return "";
+    case AggFunc::kCountStar: return "COUNT(*)";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->value = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Param(uint32_t index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParam;
+  e->param_index = index;
+  return e;
+}
+
+ExprPtr Expr::Column(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnaryNot;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Between(ExprPtr subject, ExprPtr lo, ExprPtr hi, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBetween;
+  e->negated = negated;
+  e->children.push_back(std::move(subject));
+  e->children.push_back(std::move(lo));
+  e->children.push_back(std::move(hi));
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr subject, std::vector<ExprPtr> list, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIn;
+  e->negated = negated;
+  e->children.push_back(std::move(subject));
+  for (auto& item : list) e->children.push_back(std::move(item));
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr subject, ExprPtr pattern, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLike;
+  e->negated = negated;
+  e->children.push_back(std::move(subject));
+  e->children.push_back(std::move(pattern));
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr subject, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIsNull;
+  e->negated = negated;
+  e->children.push_back(std::move(subject));
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->value = value;
+  e->param_index = param_index;
+  e->qualifier = qualifier;
+  e->column = column;
+  e->table_slot = table_slot;
+  e->column_index = column_index;
+  e->op = op;
+  e->negated = negated;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+SelectStmt SelectStmt::Clone() const {
+  SelectStmt out;
+  out.items.reserve(items.size());
+  for (const SelectItem& item : items) {
+    SelectItem copy;
+    copy.kind = item.kind;
+    copy.func = item.func;
+    if (item.expr) copy.expr = item.expr->Clone();
+    out.items.push_back(std::move(copy));
+  }
+  out.from = from;
+  if (where) out.where = where->Clone();
+  out.group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out.group_by.push_back(g->Clone());
+  out.order_by.reserve(order_by.size());
+  for (const OrderKey& key : order_by) {
+    OrderKey copy;
+    copy.column = key.column->Clone();
+    copy.descending = key.descending;
+    out.order_by.push_back(std::move(copy));
+  }
+  out.limit = limit;
+  out.param_count = param_count;
+  return out;
+}
+
+}  // namespace qc::sql

@@ -1,0 +1,150 @@
+// Abstract syntax tree for the SQL subset the middleware caches.
+//
+// The subset covers everything the paper's workloads need: SELECT with
+// projections and aggregates (COUNT/SUM/MIN/MAX/AVG), one- and two-table
+// FROM, WHERE with AND/OR/NOT, comparison operators, BETWEEN, IN, LIKE,
+// IS [NOT] NULL, GROUP BY, and positional parameters ($1, $2, ... or ?).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace qc::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp { kAnd, kOr, kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* BinaryOpName(BinaryOp op);
+
+/// True for =, <>, <, <=, >, >= (as opposed to AND/OR).
+bool IsComparison(BinaryOp op);
+
+/// Expression node. A closed variant-style hierarchy: `kind` selects which
+/// members are meaningful. A single struct keeps the walker code (binder,
+/// evaluator, dependency extractor, fingerprinter) simple.
+struct Expr {
+  enum class Kind {
+    kLiteral,    // value
+    kParam,      // param_index (0-based)
+    kColumn,     // qualifier.column; binder fills table_slot/column_index
+    kUnaryNot,   // child[0]
+    kBinary,     // op, child[0], child[1]
+    kBetween,    // child[0] BETWEEN child[1] AND child[2]; negated
+    kIn,         // child[0] IN (child[1..]); negated
+    kLike,       // child[0] LIKE child[1]; negated
+    kIsNull,     // child[0] IS [NOT] NULL; negated
+  };
+
+  Kind kind;
+
+  // kLiteral
+  Value value;
+
+  // kParam: 0-based position into the statement's parameter vector.
+  uint32_t param_index = 0;
+
+  // kColumn (source form)
+  std::string qualifier;  // table name or alias; empty if unqualified
+  std::string column;
+  // kColumn (bound form, filled by the binder)
+  int32_t table_slot = -1;    // index into the FROM list
+  int32_t column_index = -1;  // index into that table's schema
+
+  // kBinary
+  BinaryOp op = BinaryOp::kAnd;
+
+  // kBetween / kIn / kLike / kIsNull
+  bool negated = false;
+
+  std::vector<ExprPtr> children;
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr Param(uint32_t index);
+  static ExprPtr Column(std::string qualifier, std::string column);
+  static ExprPtr Not(ExprPtr child);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Between(ExprPtr subject, ExprPtr lo, ExprPtr hi, bool negated);
+  static ExprPtr In(ExprPtr subject, std::vector<ExprPtr> list, bool negated);
+  static ExprPtr Like(ExprPtr subject, ExprPtr pattern, bool negated);
+  static ExprPtr IsNull(ExprPtr subject, bool negated);
+
+  /// Deep copy (needed to instantiate parameterized statement skeletons).
+  ExprPtr Clone() const;
+};
+
+enum class AggFunc { kNone, kCountStar, kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFuncName(AggFunc f);
+
+/// One SELECT-list entry: `*`, a column, or an aggregate over a column.
+struct SelectItem {
+  enum class Kind { kStar, kColumn, kAggregate };
+  Kind kind = Kind::kStar;
+  AggFunc func = AggFunc::kNone;  // kAggregate
+  ExprPtr expr;                   // kColumn / kAggregate argument (null for COUNT(*))
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty if none; lookups fall back to the table name
+
+  const std::string& effective_name() const { return alias.empty() ? table : alias; }
+};
+
+/// ORDER BY entry: a projected column (the subset we support — the key
+/// must appear in the SELECT list) plus direction.
+struct OrderKey {
+  ExprPtr column;
+  bool descending = false;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;                 // may be null
+  std::vector<ExprPtr> group_by; // column expressions
+  std::vector<OrderKey> order_by;
+  std::optional<uint64_t> limit;
+  uint32_t param_count = 0;      // filled by the parser
+
+  SelectStmt Clone() const;
+};
+
+/// A parsed DML statement (INSERT / UPDATE / DELETE). The middleware routes
+/// these through the storage layer, so every DML execution feeds the DUP
+/// invalidation machinery like any other mutation.
+struct DmlStmt {
+  enum class Kind { kInsert, kUpdate, kDelete };
+
+  Kind kind = Kind::kInsert;
+  std::string table;
+
+  /// kInsert: target columns (empty = full schema order).
+  /// kUpdate: SET columns.
+  std::vector<std::string> columns;
+
+  /// Values parallel to `columns`; scalar expressions (literals, parameters,
+  /// or — for UPDATE — columns of the updated row).
+  std::vector<ExprPtr> values;
+
+  ExprPtr where;  // kUpdate / kDelete; null = all rows
+  uint32_t param_count = 0;
+};
+
+/// Discriminated union of everything the front end parses.
+struct AnyStatement {
+  enum class Kind { kSelect, kDml };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;  // kSelect
+  DmlStmt dml;        // kDml
+};
+
+}  // namespace qc::sql

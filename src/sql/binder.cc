@@ -1,0 +1,188 @@
+#include "sql/binder.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace qc::sql {
+
+namespace {
+
+class Binder {
+ public:
+  Binder(SelectStmt& stmt, const storage::Database& db) : stmt_(stmt) {
+    for (const TableRef& ref : stmt_.from) {
+      const storage::Table* table = db.FindTable(ref.table);
+      if (!table) throw BindError("unknown table: " + ref.table);
+      tables_.push_back(table);
+    }
+    if (tables_.empty()) throw BindError("FROM list is empty");
+  }
+
+  std::vector<const storage::Table*> Run() {
+    for (SelectItem& item : stmt_.items) {
+      if (item.expr) BindExpr(*item.expr);
+      if (item.kind == SelectItem::Kind::kAggregate && item.expr &&
+          item.expr->kind != Expr::Kind::kColumn) {
+        throw BindError("aggregate arguments must be plain columns");
+      }
+    }
+    if (stmt_.where) BindExpr(*stmt_.where);
+    for (ExprPtr& g : stmt_.group_by) {
+      BindExpr(*g);
+      if (g->kind != Expr::Kind::kColumn) throw BindError("GROUP BY supports plain columns only");
+    }
+    for (OrderKey& key : stmt_.order_by) BindExpr(*key.column);
+    CheckGrouping();
+    return tables_;
+  }
+
+  /// Map each ORDER BY key to its position in the output row. Keys must be
+  /// projected — sorting on non-output columns is not supported.
+  std::vector<BoundQuery::OrderOutput> ResolveOrderOutputs() const {
+    std::vector<BoundQuery::OrderOutput> out;
+    for (const OrderKey& key : stmt_.order_by) {
+      // Walk the select list counting output positions ('*' expands).
+      size_t position = 0;
+      bool found = false;
+      for (const SelectItem& item : stmt_.items) {
+        switch (item.kind) {
+          case SelectItem::Kind::kStar:
+            for (size_t slot = 0; slot < tables_.size() && !found; ++slot) {
+              for (size_t c = 0; c < tables_[slot]->schema().size(); ++c) {
+                if (key.column->table_slot == static_cast<int32_t>(slot) &&
+                    key.column->column_index == static_cast<int32_t>(c)) {
+                  found = true;
+                  break;
+                }
+                ++position;
+              }
+            }
+            if (!found) {
+              // position already advanced inside the loops above
+            }
+            break;
+          case SelectItem::Kind::kColumn:
+            if (item.expr->table_slot == key.column->table_slot &&
+                item.expr->column_index == key.column->column_index) {
+              found = true;
+            } else {
+              ++position;
+            }
+            break;
+          case SelectItem::Kind::kAggregate:
+            ++position;
+            break;
+        }
+        if (found) break;
+      }
+      if (!found) {
+        throw BindError("ORDER BY column must be projected: " + key.column->column);
+      }
+      out.push_back({position, key.descending});
+    }
+    return out;
+  }
+
+ private:
+  void BindExpr(Expr& e) {
+    if (e.kind == Expr::Kind::kColumn) {
+      BindColumn(e);
+      return;
+    }
+    for (ExprPtr& child : e.children) BindExpr(*child);
+
+    // Bind-time type check for LIKE: silently matching nothing against a
+    // numeric column would mask a query bug.
+    if (e.kind == Expr::Kind::kLike) {
+      const Expr& subject = *e.children[0];
+      if (subject.kind == Expr::Kind::kColumn &&
+          tables_[subject.table_slot]->schema().column(subject.column_index).type !=
+              ValueType::kString) {
+        throw BindError("LIKE requires a string column: " + subject.column);
+      }
+      const Expr& pattern = *e.children[1];
+      if (pattern.kind == Expr::Kind::kLiteral && !pattern.value.is_string() &&
+          !pattern.value.is_null()) {
+        throw BindError("LIKE pattern must be a string");
+      }
+    }
+  }
+
+  void BindColumn(Expr& e) {
+    int found_slot = -1;
+    int found_col = -1;
+    for (size_t slot = 0; slot < tables_.size(); ++slot) {
+      if (!e.qualifier.empty() &&
+          ToUpper(e.qualifier) != ToUpper(stmt_.from[slot].effective_name()) &&
+          ToUpper(e.qualifier) != ToUpper(stmt_.from[slot].table)) {
+        continue;
+      }
+      auto col = tables_[slot]->schema().Find(e.column);
+      if (!col) continue;
+      if (found_slot >= 0) {
+        throw BindError("ambiguous column reference: " + e.column);
+      }
+      found_slot = static_cast<int>(slot);
+      found_col = static_cast<int>(*col);
+    }
+    if (found_slot < 0) {
+      throw BindError("unresolved column: " +
+                      (e.qualifier.empty() ? e.column : e.qualifier + "." + e.column));
+    }
+    e.table_slot = found_slot;
+    e.column_index = found_col;
+  }
+
+  void CheckGrouping() {
+    const bool grouped = !stmt_.group_by.empty();
+    bool has_aggregate = false;
+    bool has_plain_column = false;
+    bool has_star = false;
+    for (const SelectItem& item : stmt_.items) {
+      switch (item.kind) {
+        case SelectItem::Kind::kAggregate: has_aggregate = true; break;
+        case SelectItem::Kind::kColumn: has_plain_column = true; break;
+        case SelectItem::Kind::kStar: has_star = true; break;
+      }
+    }
+    if (grouped) {
+      if (has_star) throw BindError("SELECT * is not allowed with GROUP BY");
+      // Every plain projected column must be a grouping key.
+      for (const SelectItem& item : stmt_.items) {
+        if (item.kind != SelectItem::Kind::kColumn) continue;
+        bool is_key = false;
+        for (const ExprPtr& g : stmt_.group_by) {
+          if (g->table_slot == item.expr->table_slot && g->column_index == item.expr->column_index) {
+            is_key = true;
+            break;
+          }
+        }
+        if (!is_key) {
+          throw BindError("projected column " + item.expr->column + " is not a GROUP BY key");
+        }
+      }
+    } else if (has_aggregate && (has_plain_column || has_star)) {
+      throw BindError("cannot mix aggregates and plain columns without GROUP BY");
+    }
+  }
+
+  SelectStmt& stmt_;
+  std::vector<const storage::Table*> tables_;
+};
+
+}  // namespace
+
+std::shared_ptr<const BoundQuery> Bind(SelectStmt stmt, const storage::Database& db) {
+  Binder binder(stmt, db);
+  auto tables = binder.Run();
+  auto order_outputs = binder.ResolveOrderOutputs();
+  return std::make_shared<const BoundQuery>(std::move(stmt), std::move(tables),
+                                            std::move(order_outputs));
+}
+
+std::shared_ptr<const BoundQuery> ParseAndBind(const std::string& sql, const storage::Database& db) {
+  return Bind(Parse(sql), db);
+}
+
+}  // namespace qc::sql

@@ -1,0 +1,51 @@
+// The binder resolves a parsed SelectStmt against a Database catalog:
+// table names are checked, column references get (table_slot, column_index)
+// filled in, and simple semantic rules are enforced. The result is a
+// BoundQuery, the unit the evaluator executes and the DUP dependency
+// extractor analyzes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace qc::sql {
+
+class BoundQuery {
+ public:
+  /// ORDER BY keys resolved to output-column positions.
+  struct OrderOutput {
+    size_t output_index;
+    bool descending;
+  };
+
+  BoundQuery(SelectStmt stmt, std::vector<const storage::Table*> tables,
+             std::vector<OrderOutput> order_outputs)
+      : stmt_(std::move(stmt)),
+        tables_(std::move(tables)),
+        order_outputs_(std::move(order_outputs)) {}
+
+  const SelectStmt& stmt() const { return stmt_; }
+  const std::vector<const storage::Table*>& tables() const { return tables_; }
+  const storage::Table& table(size_t slot) const { return *tables_.at(slot); }
+  const std::vector<OrderOutput>& order_outputs() const { return order_outputs_; }
+  uint32_t param_count() const { return stmt_.param_count; }
+
+ private:
+  SelectStmt stmt_;
+  std::vector<const storage::Table*> tables_;
+  std::vector<OrderOutput> order_outputs_;
+};
+
+/// Resolve `stmt` against `db`. Throws BindError on unknown table/column,
+/// ambiguous unqualified column, or a grouped query projecting a column
+/// that is not a grouping key.
+std::shared_ptr<const BoundQuery> Bind(SelectStmt stmt, const storage::Database& db);
+
+/// Convenience: parse + bind.
+std::shared_ptr<const BoundQuery> ParseAndBind(const std::string& sql, const storage::Database& db);
+
+}  // namespace qc::sql

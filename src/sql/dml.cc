@@ -1,0 +1,146 @@
+#include "sql/dml.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/evaluator.h"
+
+namespace qc::sql {
+
+namespace {
+
+/// Resolve every column reference in `e` against `table` (slot 0).
+void BindColumns(Expr& e, const storage::Table& table) {
+  if (e.kind == Expr::Kind::kColumn) {
+    if (!e.qualifier.empty() && ToUpper(e.qualifier) != ToUpper(table.name())) {
+      throw BindError("unknown qualifier in DML: " + e.qualifier);
+    }
+    e.table_slot = 0;
+    e.column_index = static_cast<int32_t>(table.schema().Require(e.column));
+    return;
+  }
+  for (ExprPtr& child : e.children) BindColumns(*child, table);
+}
+
+/// Evaluate a scalar DML expression against a row image (for INSERT the
+/// image is empty and column references are rejected by the evaluator).
+Value EvalDmlScalar(const Expr& e, const storage::Row& row, const std::vector<Value>& params) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.value;
+    case Expr::Kind::kParam:
+      if (e.param_index >= params.size()) {
+        throw BindError("unbound parameter $" + std::to_string(e.param_index + 1));
+      }
+      return params[e.param_index];
+    case Expr::Kind::kColumn:
+      if (row.empty()) throw BindError("INSERT values cannot reference columns");
+      return row.at(e.column_index);
+    default:
+      throw BindError("DML values must be scalar expressions");
+  }
+}
+
+std::vector<storage::RowId> MatchingRows(const storage::Table& table, const Expr* where,
+                                         const std::vector<Value>& params) {
+  std::vector<storage::RowId> rows;
+  table.ForEachRow([&](storage::RowId row) {
+    if (where) {
+      auto keep = EvalPredicateOnRow(*where, table.GetRow(row), params, 0);
+      if (!keep || !*keep) return;
+    }
+    rows.push_back(row);
+  });
+  return rows;
+}
+
+uint64_t ExecuteInsert(const DmlStmt& stmt, storage::Table& table,
+                       const std::vector<Value>& params) {
+  const storage::Schema& schema = table.schema();
+  storage::Row row(schema.size(), Value::Null());
+  if (stmt.columns.empty()) {
+    if (stmt.values.size() != schema.size()) {
+      throw BindError("INSERT arity mismatch: " + std::to_string(stmt.values.size()) +
+                      " values for " + std::to_string(schema.size()) + " columns");
+    }
+    for (size_t i = 0; i < stmt.values.size(); ++i) {
+      row[i] = EvalDmlScalar(*stmt.values[i], {}, params);
+    }
+  } else {
+    if (stmt.values.size() != stmt.columns.size()) {
+      throw BindError("INSERT column list and VALUES arity differ");
+    }
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      row[schema.Require(stmt.columns[i])] = EvalDmlScalar(*stmt.values[i], {}, params);
+    }
+  }
+  table.Insert(row);
+  return 1;
+}
+
+uint64_t ExecuteUpdate(const DmlStmt& stmt, storage::Table& table,
+                       const std::vector<Value>& params) {
+  const storage::Schema& schema = table.schema();
+  std::vector<uint32_t> columns;
+  columns.reserve(stmt.columns.size());
+  for (const std::string& name : stmt.columns) columns.push_back(schema.Require(name));
+
+  uint64_t affected = 0;
+  for (storage::RowId row_id : MatchingRows(table, stmt.where.get(), params)) {
+    const storage::Row image = table.GetRow(row_id);
+    std::vector<std::pair<uint32_t, Value>> sets;
+    sets.reserve(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      sets.emplace_back(columns[i], EvalDmlScalar(*stmt.values[i], image, params));
+    }
+    table.Update(row_id, sets);
+    ++affected;
+  }
+  return affected;
+}
+
+uint64_t ExecuteDelete(const DmlStmt& stmt, storage::Table& table,
+                       const std::vector<Value>& params) {
+  const auto rows = MatchingRows(table, stmt.where.get(), params);
+  for (storage::RowId row : rows) table.Delete(row);
+  return rows.size();
+}
+
+}  // namespace
+
+uint64_t ExecuteDml(const DmlStmt& stmt, storage::Database& db,
+                    const std::vector<Value>& params) {
+  storage::Table* table = db.FindTable(stmt.table);
+  if (!table) throw BindError("unknown table: " + stmt.table);
+  if (params.size() < stmt.param_count) {
+    throw BindError("statement needs " + std::to_string(stmt.param_count) + " parameters, got " +
+                    std::to_string(params.size()));
+  }
+
+  // Bind column references (WHERE and UPDATE values may carry them).
+  DmlStmt bound;
+  bound.kind = stmt.kind;
+  bound.table = stmt.table;
+  bound.columns = stmt.columns;
+  for (const ExprPtr& v : stmt.values) {
+    ExprPtr copy = v->Clone();
+    BindColumns(*copy, *table);
+    bound.values.push_back(std::move(copy));
+  }
+  if (stmt.where) {
+    bound.where = stmt.where->Clone();
+    BindColumns(*bound.where, *table);
+  }
+  bound.param_count = stmt.param_count;
+
+  switch (bound.kind) {
+    case DmlStmt::Kind::kInsert:
+      return ExecuteInsert(bound, *table, params);
+    case DmlStmt::Kind::kUpdate:
+      return ExecuteUpdate(bound, *table, params);
+    case DmlStmt::Kind::kDelete:
+      return ExecuteDelete(bound, *table, params);
+  }
+  return 0;
+}
+
+}  // namespace qc::sql

@@ -1,0 +1,27 @@
+// DML execution: routes INSERT / UPDATE / DELETE statements through the
+// storage layer, so every mutation emits UpdateEvents and therefore drives
+// DUP invalidation exactly like the programmatic setter API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace qc::sql {
+
+/// Execute one DML statement. Returns the number of affected rows.
+/// Throws BindError on unresolved tables/columns or type errors.
+///
+/// Semantics notes:
+///   * INSERT without a column list supplies the full schema order; with a
+///     column list, omitted columns get NULL (must be nullable).
+///   * UPDATE SET values may reference columns of the row being updated
+///     (evaluated against the pre-update image).
+///   * WHERE uses SQL three-valued logic: only definitely-true rows are
+///     touched.
+uint64_t ExecuteDml(const DmlStmt& stmt, storage::Database& db,
+                    const std::vector<Value>& params = {});
+
+}  // namespace qc::sql

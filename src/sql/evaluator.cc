@@ -1,0 +1,781 @@
+#include "sql/evaluator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qc::sql {
+
+namespace {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Where column references read their cells from: either stored rows
+/// (per-slot row ids) or an explicit row image for one slot.
+struct EvalContext {
+  const BoundQuery* query = nullptr;               // null when row image mode
+  const std::vector<RowId>* rows = nullptr;        // per-slot current row ids
+  const Row* row_image = nullptr;                  // explicit single-slot image
+  int32_t image_slot = 0;
+  const std::vector<Value>* params = nullptr;
+};
+
+Value EvalScalarCtx(const EvalContext& ctx, const Expr& e);
+
+std::optional<bool> EvalPredCtx(const EvalContext& ctx, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kUnaryNot: {
+      auto inner = EvalPredCtx(ctx, *e.children[0]);
+      if (!inner) return std::nullopt;
+      return !*inner;
+    }
+    case Expr::Kind::kBinary: {
+      if (e.op == BinaryOp::kAnd) {
+        auto l = EvalPredCtx(ctx, *e.children[0]);
+        if (l && !*l) return false;  // definite false short-circuits
+        auto r = EvalPredCtx(ctx, *e.children[1]);
+        if (r && !*r) return false;
+        if (l && r) return true;
+        return std::nullopt;
+      }
+      if (e.op == BinaryOp::kOr) {
+        auto l = EvalPredCtx(ctx, *e.children[0]);
+        if (l && *l) return true;
+        auto r = EvalPredCtx(ctx, *e.children[1]);
+        if (r && *r) return true;
+        if (l && r) return false;
+        return std::nullopt;
+      }
+      const Value lhs = EvalScalarCtx(ctx, *e.children[0]);
+      const Value rhs = EvalScalarCtx(ctx, *e.children[1]);
+      if (lhs.is_null() || rhs.is_null()) return std::nullopt;
+      const auto cmp = lhs.compare(rhs);
+      switch (e.op) {
+        case BinaryOp::kEq: return cmp == std::strong_ordering::equal;
+        case BinaryOp::kNe: return cmp != std::strong_ordering::equal;
+        case BinaryOp::kLt: return cmp == std::strong_ordering::less;
+        case BinaryOp::kLe: return cmp != std::strong_ordering::greater;
+        case BinaryOp::kGt: return cmp == std::strong_ordering::greater;
+        case BinaryOp::kGe: return cmp != std::strong_ordering::less;
+        default: break;
+      }
+      return std::nullopt;
+    }
+    case Expr::Kind::kBetween: {
+      const Value subject = EvalScalarCtx(ctx, *e.children[0]);
+      const Value lo = EvalScalarCtx(ctx, *e.children[1]);
+      const Value hi = EvalScalarCtx(ctx, *e.children[2]);
+      if (subject.is_null() || lo.is_null() || hi.is_null()) return std::nullopt;
+      const bool in = subject >= lo && subject <= hi;
+      return e.negated ? !in : in;
+    }
+    case Expr::Kind::kIn: {
+      const Value subject = EvalScalarCtx(ctx, *e.children[0]);
+      if (subject.is_null()) return std::nullopt;
+      bool saw_null = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        const Value item = EvalScalarCtx(ctx, *e.children[i]);
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (subject == item) return e.negated ? std::optional<bool>(false) : std::optional<bool>(true);
+      }
+      if (saw_null) return std::nullopt;  // NOT IN / IN with NULL member: unknown
+      return e.negated ? std::optional<bool>(true) : std::optional<bool>(false);
+    }
+    case Expr::Kind::kLike: {
+      const Value subject = EvalScalarCtx(ctx, *e.children[0]);
+      const Value pattern = EvalScalarCtx(ctx, *e.children[1]);
+      if (subject.is_null() || pattern.is_null()) return std::nullopt;
+      if (!subject.is_string() || !pattern.is_string()) {
+        throw BindError("LIKE requires string operands");
+      }
+      const bool match = LikeMatch(subject.as_string(), pattern.as_string());
+      return e.negated ? !match : match;
+    }
+    case Expr::Kind::kIsNull: {
+      const Value subject = EvalScalarCtx(ctx, *e.children[0]);
+      const bool is_null = subject.is_null();
+      return e.negated ? !is_null : is_null;
+    }
+    default:
+      throw BindError("expression is not a predicate: " + std::to_string(int(e.kind)));
+  }
+}
+
+Value EvalScalarCtx(const EvalContext& ctx, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.value;
+    case Expr::Kind::kParam: {
+      if (!ctx.params || e.param_index >= ctx.params->size()) {
+        throw BindError("unbound parameter $" + std::to_string(e.param_index + 1));
+      }
+      return (*ctx.params)[e.param_index];
+    }
+    case Expr::Kind::kColumn: {
+      if (ctx.row_image) {
+        if (e.table_slot != ctx.image_slot) {
+          throw BindError("row-image evaluation crossed table slots");
+        }
+        return ctx.row_image->at(e.column_index);
+      }
+      const Table& table = ctx.query->table(e.table_slot);
+      return table.column_store(e.column_index).Get((*ctx.rows)[e.table_slot]);
+    }
+    default:
+      throw BindError("expected a scalar expression");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Access-path selection
+// ---------------------------------------------------------------------------
+
+/// Split a WHERE tree into its top-level AND conjuncts.
+void SplitConjuncts(const Expr& e, std::vector<const Expr*>& out) {
+  if (e.kind == Expr::Kind::kBinary && e.op == BinaryOp::kAnd) {
+    SplitConjuncts(*e.children[0], out);
+    SplitConjuncts(*e.children[1], out);
+    return;
+  }
+  out.push_back(&e);
+}
+
+/// Which table slots does `e` reference?
+void CollectSlots(const Expr& e, std::vector<bool>& slots) {
+  if (e.kind == Expr::Kind::kColumn) {
+    if (e.table_slot >= 0 && static_cast<size_t>(e.table_slot) < slots.size()) {
+      slots[e.table_slot] = true;
+    }
+    return;
+  }
+  for (const ExprPtr& c : e.children) CollectSlots(*c, slots);
+}
+
+std::optional<Value> ConstValue(const Expr& e, const std::vector<Value>& params) {
+  if (e.kind == Expr::Kind::kLiteral) return e.value;
+  if (e.kind == Expr::Kind::kParam) {
+    if (e.param_index >= params.size()) throw BindError("unbound parameter");
+    return params[e.param_index];
+  }
+  return std::nullopt;
+}
+
+/// A LIKE pattern with no wildcards is an exact match usable by an index.
+std::optional<std::string> ExactLikePattern(const Value& pattern) {
+  if (!pattern.is_string()) return std::nullopt;
+  const std::string& p = pattern.as_string();
+  if (p.find('%') != std::string::npos || p.find('_') != std::string::npos) return std::nullopt;
+  return p;
+}
+
+struct IndexProbe {
+  enum class Kind { kEq, kRange } kind = Kind::kEq;
+  uint32_t column = 0;
+  Value eq;                    // kEq
+  Value lo, hi;                // kRange (null = unbounded)
+  bool lo_inclusive = true, hi_inclusive = true;
+};
+
+/// Try to turn one conjunct into index probes on table `slot`. Returns true
+/// and appends probes whose UNION covers all rows that can satisfy the
+/// conjunct (a single probe for eq/range; several for IN and OR-of-ranges).
+bool ExtractProbes(const Expr& e, int32_t slot, const Table& table,
+                   const std::vector<Value>& params, std::vector<IndexProbe>& out) {
+  auto column_of = [&](const Expr& c) -> std::optional<uint32_t> {
+    if (c.kind == Expr::Kind::kColumn && c.table_slot == slot) {
+      return static_cast<uint32_t>(c.column_index);
+    }
+    return std::nullopt;
+  };
+
+  switch (e.kind) {
+    case Expr::Kind::kBinary: {
+      if (e.op == BinaryOp::kOr) {
+        // OR-of-ranges on one column (Set Query Q3B). Every disjunct must
+        // itself extract, and all probes must target the same column.
+        std::vector<IndexProbe> probes;
+        if (!ExtractProbes(*e.children[0], slot, table, params, probes)) return false;
+        if (!ExtractProbes(*e.children[1], slot, table, params, probes)) return false;
+        if (probes.empty()) return false;
+        for (const IndexProbe& p : probes) {
+          if (p.column != probes[0].column) return false;
+        }
+        out.insert(out.end(), probes.begin(), probes.end());
+        return true;
+      }
+      if (!IsComparison(e.op)) return false;
+      // col OP const, or const OP col (flip).
+      auto lcol = column_of(*e.children[0]);
+      auto rcol = column_of(*e.children[1]);
+      std::optional<uint32_t> col;
+      std::optional<Value> constant;
+      BinaryOp op = e.op;
+      if (lcol && (constant = ConstValue(*e.children[1], params))) {
+        col = lcol;
+      } else if (rcol && (constant = ConstValue(*e.children[0], params))) {
+        col = rcol;
+        switch (op) {  // flip operand order
+          case BinaryOp::kLt: op = BinaryOp::kGt; break;
+          case BinaryOp::kLe: op = BinaryOp::kGe; break;
+          case BinaryOp::kGt: op = BinaryOp::kLt; break;
+          case BinaryOp::kGe: op = BinaryOp::kLe; break;
+          default: break;
+        }
+      } else {
+        return false;
+      }
+      if (constant->is_null()) return false;  // NULL comparison selects nothing
+      IndexProbe probe;
+      probe.column = *col;
+      switch (op) {
+        case BinaryOp::kEq:
+          if (!table.CanLookupEqual(probe.column)) return false;
+          probe.kind = IndexProbe::Kind::kEq;
+          probe.eq = *constant;
+          break;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+          if (!table.HasOrderedIndex(probe.column)) return false;
+          probe.kind = IndexProbe::Kind::kRange;
+          probe.hi = *constant;
+          probe.hi_inclusive = (op == BinaryOp::kLe);
+          break;
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (!table.HasOrderedIndex(probe.column)) return false;
+          probe.kind = IndexProbe::Kind::kRange;
+          probe.lo = *constant;
+          probe.lo_inclusive = (op == BinaryOp::kGe);
+          break;
+        default:
+          return false;  // <> is not index-friendly
+      }
+      out.push_back(std::move(probe));
+      return true;
+    }
+    case Expr::Kind::kBetween: {
+      if (e.negated) return false;
+      auto col = column_of(*e.children[0]);
+      auto lo = ConstValue(*e.children[1], params);
+      auto hi = ConstValue(*e.children[2], params);
+      if (!col || !lo || !hi || lo->is_null() || hi->is_null()) return false;
+      if (!table.HasOrderedIndex(*col)) return false;
+      IndexProbe probe;
+      probe.kind = IndexProbe::Kind::kRange;
+      probe.column = *col;
+      probe.lo = *lo;
+      probe.hi = *hi;
+      out.push_back(std::move(probe));
+      return true;
+    }
+    case Expr::Kind::kIn: {
+      if (e.negated) return false;
+      auto col = column_of(*e.children[0]);
+      if (!col || !table.CanLookupEqual(*col)) return false;
+      std::vector<IndexProbe> probes;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        auto item = ConstValue(*e.children[i], params);
+        if (!item) return false;
+        if (item->is_null()) continue;
+        IndexProbe probe;
+        probe.kind = IndexProbe::Kind::kEq;
+        probe.column = *col;
+        probe.eq = *item;
+        probes.push_back(std::move(probe));
+      }
+      out.insert(out.end(), probes.begin(), probes.end());
+      return true;
+    }
+    case Expr::Kind::kLike: {
+      if (e.negated) return false;
+      auto col = column_of(*e.children[0]);
+      auto pattern = ConstValue(*e.children[1], params);
+      if (!col || !pattern || !table.CanLookupEqual(*col)) return false;
+      auto exact = ExactLikePattern(*pattern);
+      if (!exact) return false;
+      IndexProbe probe;
+      probe.kind = IndexProbe::Kind::kEq;
+      probe.column = *col;
+      probe.eq = Value(*exact);
+      out.push_back(std::move(probe));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::vector<RowId> RunProbes(const Table& table, const std::vector<IndexProbe>& probes) {
+  std::vector<RowId> rows;
+  for (const IndexProbe& probe : probes) {
+    if (probe.kind == IndexProbe::Kind::kEq) {
+      const auto& bucket = table.LookupEqual(probe.column, probe.eq);
+      rows.insert(rows.end(), bucket.begin(), bucket.end());
+    } else {
+      auto range = table.LookupRange(probe.column, probe.lo, probe.lo_inclusive,
+                                     probe.hi, probe.hi_inclusive);
+      rows.insert(rows.end(), range.begin(), range.end());
+    }
+  }
+  if (probes.size() > 1) {  // union semantics: dedupe overlaps
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+  return rows;
+}
+
+/// Pick the cheapest indexed conjunct among `conjuncts` (all referencing
+/// only `slot`), and return its candidate row ids. nullopt → full scan.
+std::optional<std::vector<RowId>> IndexedCandidates(const Table& table, int32_t slot,
+                                                    const std::vector<const Expr*>& conjuncts,
+                                                    const std::vector<Value>& params) {
+  std::optional<std::vector<RowId>> best;
+  for (const Expr* conjunct : conjuncts) {
+    std::vector<IndexProbe> probes;
+    if (!ExtractProbes(*conjunct, slot, table, params, probes)) continue;
+    // A single equality probe is cheap to size exactly; prefer the smallest.
+    std::vector<RowId> rows = RunProbes(table, probes);
+    if (!best || rows.size() < best->size()) best = std::move(rows);
+    if (best->empty()) break;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+struct Accumulator {
+  AggFunc func = AggFunc::kNone;
+  int64_t count = 0;
+  int64_t int_sum = 0;
+  double double_sum = 0;
+  bool sum_is_int = true;
+  Value min, max;
+
+  void Add(const Value& v) {
+    if (func == AggFunc::kCountStar) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;  // SQL aggregates skip NULLs
+    ++count;
+    switch (func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.is_int()) {
+          int_sum += v.as_int();
+        } else {
+          sum_is_int = false;
+        }
+        double_sum += v.numeric();
+        break;
+      case AggFunc::kMin:
+        if (min.is_null() || v < min) min = v;
+        break;
+      case AggFunc::kMax:
+        if (max.is_null() || v > max) max = v;
+        break;
+      default:
+        break;
+    }
+  }
+
+  Value Result() const {
+    switch (func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        return Value(count);
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        return sum_is_int ? Value(int_sum) : Value(double_sum);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value(double_sum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min;
+      case AggFunc::kMax:
+        return max;
+      case AggFunc::kNone:
+        break;
+    }
+    return Value::Null();
+  }
+};
+
+struct RowVectorHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x811c9dc5;
+    for (const Value& v : row) h = h * 31 + v.Hash();
+    return h;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Top-level execution
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> OutputColumnNames(const BoundQuery& query) {
+  const SelectStmt& stmt = query.stmt();
+  std::vector<std::string> names;
+  for (const SelectItem& item : stmt.items) {
+    switch (item.kind) {
+      case SelectItem::Kind::kStar:
+        for (size_t slot = 0; slot < query.tables().size(); ++slot) {
+          const Table& table = query.table(slot);
+          for (const auto& col : table.schema().columns()) {
+            names.push_back(query.tables().size() > 1
+                                ? ToUpper(stmt.from[slot].effective_name()) + "." + col.name
+                                : col.name);
+          }
+        }
+        break;
+      case SelectItem::Kind::kColumn:
+        names.push_back(item.expr->column);
+        break;
+      case SelectItem::Kind::kAggregate:
+        if (item.func == AggFunc::kCountStar) {
+          names.push_back("COUNT(*)");
+        } else {
+          names.push_back(std::string(AggFuncName(item.func)) + "(" + item.expr->column + ")");
+        }
+        break;
+    }
+  }
+  return names;
+}
+
+class Execution {
+ public:
+  Execution(const BoundQuery& query, const std::vector<Value>& params)
+      : query_(query), params_(params), stmt_(query.stmt()) {
+    if (params.size() < stmt_.param_count) {
+      throw BindError("statement needs " + std::to_string(stmt_.param_count) +
+                      " parameters, got " + std::to_string(params.size()));
+    }
+    ctx_.query = &query_;
+    ctx_.params = &params_;
+    grouped_ = !stmt_.group_by.empty();
+    for (const SelectItem& item : stmt_.items) {
+      if (item.kind == SelectItem::Kind::kAggregate) has_aggregates_ = true;
+    }
+    result_ = ResultSet(OutputColumnNames(query_));
+  }
+
+  ResultSet Run() {
+    if (stmt_.where) SplitConjuncts(*stmt_.where, conjuncts_);
+    if (query_.tables().size() == 1) {
+      RunSingle();
+    } else {
+      RunJoin();
+    }
+    EmitGroups();
+    ApplyOrderAndLimit();
+    return std::move(result_);
+  }
+
+ private:
+  void RunSingle() {
+    const Table& table = query_.table(0);
+    auto candidates = IndexedCandidates(table, 0, conjuncts_, params_);
+    std::vector<RowId> tuple(1);
+    auto consider = [&](RowId row) {
+      tuple[0] = row;
+      ctx_.rows = &tuple;
+      if (stmt_.where) {
+        auto keep = EvalPredCtx(ctx_, *stmt_.where);
+        if (!keep || !*keep) return;
+      }
+      Consume(tuple);
+    };
+    if (candidates) {
+      for (RowId row : *candidates) consider(row);
+    } else {
+      table.ForEachRow(consider);
+    }
+  }
+
+  /// Conjuncts referencing only `slot`.
+  std::vector<const Expr*> LocalConjuncts(int32_t slot) const {
+    std::vector<const Expr*> out;
+    for (const Expr* conjunct : conjuncts_) {
+      std::vector<bool> slots(query_.tables().size(), false);
+      CollectSlots(*conjunct, slots);
+      bool local = true;
+      for (size_t s = 0; s < slots.size(); ++s) {
+        if (slots[s] && static_cast<int32_t>(s) != slot) local = false;
+      }
+      if (local) out.push_back(conjunct);
+    }
+    return out;
+  }
+
+  /// Rows of `slot` that satisfy all of that slot's local conjuncts.
+  std::vector<RowId> FilteredSide(int32_t slot, const std::vector<const Expr*>& local) {
+    const Table& table = query_.table(slot);
+    auto candidates = IndexedCandidates(table, slot, local, params_);
+    std::vector<RowId> out;
+    std::vector<RowId> tuple(query_.tables().size(), 0);
+    auto consider = [&](RowId row) {
+      tuple[slot] = row;
+      ctx_.rows = &tuple;
+      for (const Expr* conjunct : local) {
+        auto keep = EvalPredCtx(ctx_, *conjunct);
+        if (!keep || !*keep) return;
+      }
+      out.push_back(row);
+    };
+    if (candidates) {
+      for (RowId row : *candidates) consider(row);
+    } else {
+      table.ForEachRow(consider);
+    }
+    return out;
+  }
+
+  void RunJoin() {
+    // Find an equi-join conjunct colA = colB across the two slots.
+    const Expr* join_lhs = nullptr;
+    const Expr* join_rhs = nullptr;
+    for (const Expr* conjunct : conjuncts_) {
+      if (conjunct->kind != Expr::Kind::kBinary || conjunct->op != BinaryOp::kEq) continue;
+      const Expr& l = *conjunct->children[0];
+      const Expr& r = *conjunct->children[1];
+      if (l.kind == Expr::Kind::kColumn && r.kind == Expr::Kind::kColumn &&
+          l.table_slot != r.table_slot) {
+        join_lhs = &l;
+        join_rhs = &r;
+        break;
+      }
+    }
+
+    auto local0 = LocalConjuncts(0);
+    auto local1 = LocalConjuncts(1);
+    std::vector<RowId> side0 = FilteredSide(0, local0);
+    std::vector<RowId> side1 = FilteredSide(1, local1);
+
+    std::vector<RowId> tuple(2);
+    auto consider = [&](RowId r0, RowId r1) {
+      tuple[0] = r0;
+      tuple[1] = r1;
+      ctx_.rows = &tuple;
+      if (stmt_.where) {
+        auto keep = EvalPredCtx(ctx_, *stmt_.where);
+        if (!keep || !*keep) return;
+      }
+      Consume(tuple);
+    };
+
+    if (join_lhs) {
+      // Hash join: build on the smaller filtered side.
+      const Expr* key0 = join_lhs->table_slot == 0 ? join_lhs : join_rhs;
+      const Expr* key1 = join_lhs->table_slot == 0 ? join_rhs : join_lhs;
+      const bool build0 = side0.size() <= side1.size();
+      const auto& build_rows = build0 ? side0 : side1;
+      const auto& probe_rows = build0 ? side1 : side0;
+      const Expr* build_key = build0 ? key0 : key1;
+      const Expr* probe_key = build0 ? key1 : key0;
+      const int build_slot = build0 ? 0 : 1;
+      const int probe_slot = build0 ? 1 : 0;
+
+      std::unordered_map<Value, std::vector<RowId>, ValueHash> hash;
+      hash.reserve(build_rows.size());
+      const auto& build_store = query_.table(build_slot).column_store(build_key->column_index);
+      for (RowId row : build_rows) {
+        Value key = build_store.Get(row);
+        if (key.is_null()) continue;  // NULL never equi-joins
+        hash[std::move(key)].push_back(row);
+      }
+      const auto& probe_store = query_.table(probe_slot).column_store(probe_key->column_index);
+      for (RowId row : probe_rows) {
+        Value key = probe_store.Get(row);
+        if (key.is_null()) continue;
+        auto it = hash.find(key);
+        if (it == hash.end()) continue;
+        for (RowId match : it->second) {
+          if (build_slot == 0) {
+            consider(match, row);
+          } else {
+            consider(row, match);
+          }
+        }
+      }
+      return;
+    }
+
+    // No equi-join conjunct: nested loop over the filtered sides. This is
+    // quadratic and intended for small inputs (none of the paper workloads
+    // hit it); correctness over speed.
+    for (RowId r0 : side0) {
+      for (RowId r1 : side1) consider(r0, r1);
+    }
+  }
+
+  void Consume(const std::vector<RowId>& tuple) {
+    if (!has_aggregates_ && !grouped_) {
+      result_.AddRow(ProjectRow(tuple));
+      return;
+    }
+    Row key;
+    key.reserve(stmt_.group_by.size());
+    ctx_.rows = &tuple;
+    for (const ExprPtr& g : stmt_.group_by) key.push_back(EvalScalarCtx(ctx_, *g));
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      std::vector<Accumulator> accs;
+      for (const SelectItem& item : stmt_.items) {
+        if (item.kind == SelectItem::Kind::kAggregate) {
+          Accumulator acc;
+          acc.func = item.func;
+          accs.push_back(acc);
+        }
+      }
+      it = groups_.emplace(std::move(key), std::move(accs)).first;
+      group_order_.push_back(&*it);
+    }
+    size_t acc_index = 0;
+    for (const SelectItem& item : stmt_.items) {
+      if (item.kind != SelectItem::Kind::kAggregate) continue;
+      Accumulator& acc = it->second[acc_index++];
+      if (item.func == AggFunc::kCountStar) {
+        acc.Add(Value::Null());
+      } else {
+        acc.Add(EvalScalarCtx(ctx_, *item.expr));
+      }
+    }
+  }
+
+  Row ProjectRow(const std::vector<RowId>& tuple) {
+    Row out;
+    ctx_.rows = &tuple;
+    for (const SelectItem& item : stmt_.items) {
+      switch (item.kind) {
+        case SelectItem::Kind::kStar:
+          for (size_t slot = 0; slot < query_.tables().size(); ++slot) {
+            const Table& table = query_.table(slot);
+            for (size_t c = 0; c < table.schema().size(); ++c) {
+              out.push_back(table.column_store(static_cast<uint32_t>(c)).Get(tuple[slot]));
+            }
+          }
+          break;
+        case SelectItem::Kind::kColumn:
+          out.push_back(EvalScalarCtx(ctx_, *item.expr));
+          break;
+        case SelectItem::Kind::kAggregate:
+          throw BindError("aggregate in non-aggregate projection");
+      }
+    }
+    return out;
+  }
+
+  void ApplyOrderAndLimit() {
+    if (!query_.order_outputs().empty()) {
+      std::vector<std::pair<size_t, bool>> keys;
+      keys.reserve(query_.order_outputs().size());
+      for (const auto& key : query_.order_outputs()) {
+        keys.emplace_back(key.output_index, key.descending);
+      }
+      result_.SortByKeys(keys);
+    }
+    if (stmt_.limit) result_.Truncate(*stmt_.limit);
+  }
+
+  void EmitGroups() {
+    if (!has_aggregates_ && !grouped_) return;
+    if (groups_.empty() && !grouped_) {
+      // Aggregates over an empty input still yield one row (COUNT=0, SUM=NULL).
+      Row row;
+      for (const SelectItem& item : stmt_.items) {
+        Accumulator acc;
+        acc.func = item.func;
+        row.push_back(acc.Result());
+      }
+      result_.AddRow(std::move(row));
+      return;
+    }
+    for (const auto* entry : group_order_) {
+      const Row& key = entry->first;
+      const std::vector<Accumulator>& accs = entry->second;
+      Row row;
+      size_t acc_index = 0;
+      for (const SelectItem& item : stmt_.items) {
+        if (item.kind == SelectItem::Kind::kAggregate) {
+          row.push_back(accs[acc_index++].Result());
+        } else {
+          // Bound checks guarantee plain columns are grouping keys; emit the
+          // key cell matching this column.
+          const Expr& col = *item.expr;
+          size_t pos = 0;
+          for (size_t g = 0; g < stmt_.group_by.size(); ++g) {
+            if (stmt_.group_by[g]->table_slot == col.table_slot &&
+                stmt_.group_by[g]->column_index == col.column_index) {
+              pos = g;
+              break;
+            }
+          }
+          row.push_back(key[pos]);
+        }
+      }
+      result_.AddRow(std::move(row));
+    }
+  }
+
+  const BoundQuery& query_;
+  const std::vector<Value>& params_;
+  const SelectStmt& stmt_;
+  EvalContext ctx_;
+  std::vector<const Expr*> conjuncts_;
+  bool grouped_ = false;
+  bool has_aggregates_ = false;
+  ResultSet result_;
+  std::unordered_map<Row, std::vector<Accumulator>, RowVectorHash> groups_;
+  std::vector<const std::pair<const Row, std::vector<Accumulator>>*> group_order_;
+};
+
+}  // namespace
+
+ResultSet Execute(const BoundQuery& query, const std::vector<Value>& params) {
+  return Execution(query, params).Run();
+}
+
+Value EvalScalar(const BoundQuery& query, const Expr& expr, const std::vector<storage::RowId>& rows,
+                 const std::vector<Value>& params) {
+  EvalContext ctx;
+  ctx.query = &query;
+  ctx.rows = &rows;
+  ctx.params = &params;
+  return EvalScalarCtx(ctx, expr);
+}
+
+std::optional<bool> EvalPredicate(const BoundQuery& query, const Expr& expr,
+                                  const std::vector<storage::RowId>& rows,
+                                  const std::vector<Value>& params) {
+  EvalContext ctx;
+  ctx.query = &query;
+  ctx.rows = &rows;
+  ctx.params = &params;
+  return EvalPredCtx(ctx, expr);
+}
+
+std::optional<bool> EvalPredicateOnRow(const Expr& expr, const storage::Row& row,
+                                       const std::vector<Value>& params, int32_t table_slot) {
+  EvalContext ctx;
+  ctx.row_image = &row;
+  ctx.image_slot = table_slot;
+  ctx.params = &params;
+  return EvalPredCtx(ctx, expr);
+}
+
+}  // namespace qc::sql

@@ -1,0 +1,40 @@
+// Query execution: runs a BoundQuery against its tables.
+//
+// The evaluator is deliberately index-aware — it picks an access path from
+// indexed equality/range conjuncts (including OR-of-ranges on one column,
+// the shape of Set Query's Q3B) and hash-joins two-table queries — because
+// the benchmarks execute every cache miss for real, and a pure scan engine
+// would make the paper-scale workloads impractically slow.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sql/binder.h"
+#include "sql/result.h"
+
+namespace qc::sql {
+
+/// Execute `query` with `params`. Throws BindError if the parameter vector
+/// is shorter than the statement's parameter count.
+ResultSet Execute(const BoundQuery& query, const std::vector<Value>& params = {});
+
+/// Scalar expression evaluation against a joined tuple: `rows[slot]` is the
+/// current row id in `query.table(slot)`. Exposed for the evaluator's tests
+/// and for the row-aware invalidation policy.
+Value EvalScalar(const BoundQuery& query, const Expr& expr,
+                 const std::vector<storage::RowId>& rows, const std::vector<Value>& params);
+
+/// Three-valued predicate evaluation (SQL semantics: comparisons against
+/// NULL are unknown; WHERE keeps only definite-true rows).
+std::optional<bool> EvalPredicate(const BoundQuery& query, const Expr& expr,
+                                  const std::vector<storage::RowId>& rows,
+                                  const std::vector<Value>& params);
+
+/// Evaluate a single-table predicate against an explicit row image instead
+/// of a stored row (used by row-aware invalidation to test old/new row
+/// versions that may no longer be in the table).
+std::optional<bool> EvalPredicateOnRow(const Expr& expr, const storage::Row& row,
+                                       const std::vector<Value>& params, int32_t table_slot);
+
+}  // namespace qc::sql

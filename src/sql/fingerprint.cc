@@ -1,0 +1,144 @@
+#include "sql/fingerprint.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace qc::sql {
+
+namespace {
+
+void WriteExpr(std::ostream& os, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      os << e.value.ToString();
+      return;
+    case Expr::Kind::kParam:
+      os << "$" << (e.param_index + 1);
+      return;
+    case Expr::Kind::kColumn:
+      if (!e.qualifier.empty()) os << ToUpper(e.qualifier) << ".";
+      os << ToUpper(e.column);
+      return;
+    case Expr::Kind::kUnaryNot:
+      os << "(NOT ";
+      WriteExpr(os, *e.children[0]);
+      os << ")";
+      return;
+    case Expr::Kind::kBinary:
+      os << "(";
+      WriteExpr(os, *e.children[0]);
+      os << " " << BinaryOpName(e.op) << " ";
+      WriteExpr(os, *e.children[1]);
+      os << ")";
+      return;
+    case Expr::Kind::kBetween:
+      os << "(";
+      WriteExpr(os, *e.children[0]);
+      os << (e.negated ? " NOT BETWEEN " : " BETWEEN ");
+      WriteExpr(os, *e.children[1]);
+      os << " AND ";
+      WriteExpr(os, *e.children[2]);
+      os << ")";
+      return;
+    case Expr::Kind::kIn:
+      os << "(";
+      WriteExpr(os, *e.children[0]);
+      os << (e.negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (i > 1) os << ", ";
+        WriteExpr(os, *e.children[i]);
+      }
+      os << "))";
+      return;
+    case Expr::Kind::kLike:
+      os << "(";
+      WriteExpr(os, *e.children[0]);
+      os << (e.negated ? " NOT LIKE " : " LIKE ");
+      WriteExpr(os, *e.children[1]);
+      os << ")";
+      return;
+    case Expr::Kind::kIsNull:
+      os << "(";
+      WriteExpr(os, *e.children[0]);
+      os << (e.negated ? " IS NOT NULL" : " IS NULL");
+      os << ")";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string CanonicalExpr(const Expr& e) {
+  std::ostringstream os;
+  WriteExpr(os, e);
+  return os.str();
+}
+
+std::string CanonicalSql(const SelectStmt& stmt) {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i) os << ", ";
+    const SelectItem& item = stmt.items[i];
+    switch (item.kind) {
+      case SelectItem::Kind::kStar:
+        os << "*";
+        break;
+      case SelectItem::Kind::kColumn:
+        WriteExpr(os, *item.expr);
+        break;
+      case SelectItem::Kind::kAggregate:
+        if (item.func == AggFunc::kCountStar) {
+          os << "COUNT(*)";
+        } else {
+          os << AggFuncName(item.func) << "(";
+          WriteExpr(os, *item.expr);
+          os << ")";
+        }
+        break;
+    }
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i) os << ", ";
+    os << ToUpper(stmt.from[i].table);
+    if (!stmt.from[i].alias.empty()) os << " " << ToUpper(stmt.from[i].alias);
+  }
+  if (stmt.where) {
+    os << " WHERE ";
+    WriteExpr(os, *stmt.where);
+  }
+  if (!stmt.group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i) os << ", ";
+      WriteExpr(os, *stmt.group_by[i]);
+    }
+  }
+  if (!stmt.order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i) os << ", ";
+      WriteExpr(os, *stmt.order_by[i].column);
+      if (stmt.order_by[i].descending) os << " DESC";
+    }
+  }
+  if (stmt.limit) os << " LIMIT " << *stmt.limit;
+  return os.str();
+}
+
+std::string Fingerprint(const SelectStmt& stmt, const std::vector<Value>& params) {
+  std::string key = CanonicalSql(stmt);
+  if (!params.empty()) {
+    key += " /*";
+    for (const Value& p : params) {
+      key += ' ';
+      key += p.ToString();
+    }
+    key += " */";
+  }
+  return key;
+}
+
+}  // namespace qc::sql

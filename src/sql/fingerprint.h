@@ -1,0 +1,29 @@
+// Canonical query text used as cache keys.
+//
+// Two textual spellings of the same statement (case, whitespace, != vs <>)
+// produce the same canonical form, so they share one cache entry. The
+// fingerprint of a *parameterized* query additionally folds in the bound
+// parameter values, so Q2('Gold') and Q2('Silver') are distinct cached
+// objects hanging off one statement skeleton — exactly the paper's §4.2
+// compile-time/run-time split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace qc::sql {
+
+/// Canonical serialization of a statement; parameters render as $n.
+std::string CanonicalSql(const SelectStmt& stmt);
+
+/// Canonical serialization of one expression (used in ODG annotations and
+/// debug output as well).
+std::string CanonicalExpr(const Expr& e);
+
+/// Cache key for a statement executed with `params` (empty for static SQL).
+std::string Fingerprint(const SelectStmt& stmt, const std::vector<Value>& params);
+
+}  // namespace qc::sql

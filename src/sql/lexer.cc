@@ -1,0 +1,154 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace qc::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](Token t, size_t offset) {
+    t.offset = offset;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      Token t;
+      t.type = TokenType::kIdentifier;
+      t.text = sql.substr(i, j - i);
+      push(std::move(t), start);
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      bool is_float = false;
+      if (j < n && sql[j] == '.' && j + 1 < n && std::isdigit(static_cast<unsigned char>(sql[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      Token t;
+      const std::string text = sql.substr(i, j - i);
+      if (is_float) {
+        t.type = TokenType::kFloat;
+        t.literal = Value(std::stod(text));
+      } else {
+        t.type = TokenType::kInteger;
+        t.literal = Value(static_cast<int64_t>(std::stoll(text)));
+      }
+      push(std::move(t), start);
+      i = j;
+      continue;
+    }
+
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) throw ParseError("unterminated string literal at offset " + std::to_string(i));
+      Token t;
+      t.type = TokenType::kString;
+      t.literal = Value(std::move(text));
+      push(std::move(t), start);
+      i = j;
+      continue;
+    }
+
+    if (c == '$') {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j == i + 1) throw ParseError("'$' must be followed by a parameter number");
+      Token t;
+      t.type = TokenType::kParam;
+      const int64_t one_based = std::stoll(sql.substr(i + 1, j - i - 1));
+      if (one_based < 1) throw ParseError("parameter numbers are 1-based");
+      t.number = one_based - 1;
+      push(std::move(t), start);
+      i = j;
+      continue;
+    }
+
+    if (c == '?') {
+      Token t;
+      t.type = TokenType::kParam;
+      t.number = -1;  // positional; parser assigns the next index
+      push(std::move(t), start);
+      ++i;
+      continue;
+    }
+
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string two = sql.substr(i, 2);
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+        Token t;
+        t.type = TokenType::kSymbol;
+        t.text = two == "!=" ? "<>" : two;  // normalize != to <>
+        push(std::move(t), start);
+        i += 2;
+        continue;
+      }
+    }
+
+    if (std::string("(),.*=<>;").find(c) != std::string::npos) {
+      Token t;
+      t.type = TokenType::kSymbol;
+      t.text = std::string(1, c);
+      push(std::move(t), start);
+      ++i;
+      continue;
+    }
+
+    throw ParseError(std::string("unexpected character '") + c + "' at offset " + std::to_string(i));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace qc::sql

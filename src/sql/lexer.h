@@ -1,0 +1,34 @@
+// Tokenizer for the SQL subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace qc::sql {
+
+enum class TokenType {
+  kIdentifier,   // BENCH, A.x is three tokens (ident, dot, ident)
+  kInteger,
+  kFloat,
+  kString,       // 'text' with '' escaping
+  kParam,        // $1 / ? ; token.number holds the 0-based index for $n, -1 for ?
+  kSymbol,       // ( ) , . * = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier text (original case) or symbol spelling
+  Value literal;        // kInteger/kFloat/kString
+  int64_t number = -1;  // kParam: explicit index, or -1 for '?'
+  size_t offset = 0;    // byte offset in the source, for error messages
+};
+
+/// Tokenize `sql`. Throws ParseError on malformed input (unterminated
+/// string, stray character).
+std::vector<Token> Lex(const std::string& sql);
+
+}  // namespace qc::sql

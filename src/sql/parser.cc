@@ -1,0 +1,394 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace qc::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& sql) : tokens_(Lex(sql)) {}
+
+  AnyStatement ParseAny() {
+    AnyStatement stmt;
+    if (PeekKeyword("SELECT")) {
+      stmt.kind = AnyStatement::Kind::kSelect;
+      stmt.select = ParseSelect();
+      return stmt;
+    }
+    stmt.kind = AnyStatement::Kind::kDml;
+    if (AcceptKeyword("INSERT")) {
+      stmt.dml = ParseInsert();
+    } else if (AcceptKeyword("UPDATE")) {
+      stmt.dml = ParseUpdate();
+    } else if (AcceptKeyword("DELETE")) {
+      stmt.dml = ParseDelete();
+    } else {
+      throw ParseError("expected SELECT, INSERT, UPDATE or DELETE at offset " +
+                       std::to_string(Peek().offset));
+    }
+    FinishStatement();
+    stmt.dml.param_count = param_count_;
+    return stmt;
+  }
+
+  SelectStmt ParseSelect() {
+    ExpectKeyword("SELECT");
+    SelectStmt stmt;
+    stmt.items = ParseSelectList();
+    ExpectKeyword("FROM");
+    stmt.from = ParseFromList();
+    if (AcceptKeyword("WHERE")) stmt.where = ParseExpr();
+    if (AcceptKeyword("GROUP")) {
+      ExpectKeyword("BY");
+      do {
+        stmt.group_by.push_back(ParseColumnRef());
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      ExpectKeyword("BY");
+      do {
+        OrderKey key;
+        key.column = ParseColumnRef();
+        if (AcceptKeyword("DESC")) {
+          key.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(key));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) {
+        throw ParseError("LIMIT expects an integer literal at offset " +
+                         std::to_string(Peek().offset));
+      }
+      const int64_t n = Advance().literal.as_int();
+      if (n < 0) throw ParseError("LIMIT must be non-negative");
+      stmt.limit = static_cast<uint64_t>(n);
+    }
+    AcceptSymbol(";");
+    if (!AtEnd()) {
+      throw ParseError("trailing input at offset " + std::to_string(Peek().offset));
+    }
+    stmt.param_count = param_count_;
+    return stmt;
+  }
+
+ private:
+  void FinishStatement() {
+    AcceptSymbol(";");
+    if (!AtEnd()) {
+      throw ParseError("trailing input at offset " + std::to_string(Peek().offset));
+    }
+  }
+
+  DmlStmt ParseInsert() {
+    ExpectKeyword("INTO");
+    DmlStmt stmt;
+    stmt.kind = DmlStmt::Kind::kInsert;
+    stmt.table = ExpectIdentifier("table name");
+    if (AcceptSymbol("(")) {
+      do {
+        stmt.columns.push_back(ExpectIdentifier("column name"));
+      } while (AcceptSymbol(","));
+      ExpectSymbol(")");
+    }
+    ExpectKeyword("VALUES");
+    ExpectSymbol("(");
+    do {
+      stmt.values.push_back(ParseOperand());
+    } while (AcceptSymbol(","));
+    ExpectSymbol(")");
+    return stmt;
+  }
+
+  DmlStmt ParseUpdate() {
+    DmlStmt stmt;
+    stmt.kind = DmlStmt::Kind::kUpdate;
+    stmt.table = ExpectIdentifier("table name");
+    ExpectKeyword("SET");
+    do {
+      stmt.columns.push_back(ExpectIdentifier("column name"));
+      ExpectSymbol("=");
+      stmt.values.push_back(ParseOperand());
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) stmt.where = ParseExpr();
+    return stmt;
+  }
+
+  DmlStmt ParseDelete() {
+    ExpectKeyword("FROM");
+    DmlStmt stmt;
+    stmt.kind = DmlStmt::Kind::kDelete;
+    stmt.table = ExpectIdentifier("table name");
+    if (AcceptKeyword("WHERE")) stmt.where = ParseExpr();
+    return stmt;
+  }
+
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && ToUpper(t.text) == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  void ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      throw ParseError(std::string("expected ") + kw + " at offset " + std::to_string(Peek().offset));
+    }
+  }
+  bool PeekSymbol(const char* sym, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kSymbol && t.text == sym;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (!PeekSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+  void ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      throw ParseError(std::string("expected '") + sym + "' at offset " + std::to_string(Peek().offset));
+    }
+  }
+
+  static bool IsReserved(const std::string& upper) {
+    static const char* kReserved[] = {"SELECT", "FROM",    "WHERE",   "GROUP",  "BY",  "AND",
+                                      "OR",     "NOT",     "BETWEEN", "IN",     "LIKE", "IS",
+                                      "NULL",   "AS",      "INSERT",  "INTO",   "VALUES",
+                                      "UPDATE", "SET",     "DELETE",  "ORDER",  "LIMIT"};
+    return std::find_if(std::begin(kReserved), std::end(kReserved),
+                        [&](const char* k) { return upper == k; }) != std::end(kReserved);
+  }
+
+  // --- grammar -------------------------------------------------------------
+
+  std::vector<SelectItem> ParseSelectList() {
+    std::vector<SelectItem> items;
+    do {
+      items.push_back(ParseSelectItem());
+    } while (AcceptSymbol(","));
+    return items;
+  }
+
+  SelectItem ParseSelectItem() {
+    SelectItem item;
+    if (AcceptSymbol("*")) {
+      item.kind = SelectItem::Kind::kStar;
+      return item;
+    }
+    static const std::pair<const char*, AggFunc> kAggs[] = {
+        {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum}, {"MIN", AggFunc::kMin},
+        {"MAX", AggFunc::kMax},     {"AVG", AggFunc::kAvg},
+    };
+    for (const auto& [name, func] : kAggs) {
+      if (PeekKeyword(name) && PeekSymbol("(", 1)) {
+        Advance();  // function name
+        Advance();  // (
+        item.kind = SelectItem::Kind::kAggregate;
+        if (func == AggFunc::kCount && AcceptSymbol("*")) {
+          item.func = AggFunc::kCountStar;
+        } else {
+          item.func = func;
+          item.expr = ParseColumnRef();
+        }
+        ExpectSymbol(")");
+        return item;
+      }
+    }
+    item.kind = SelectItem::Kind::kColumn;
+    item.expr = ParseColumnRef();
+    return item;
+  }
+
+  std::vector<TableRef> ParseFromList() {
+    std::vector<TableRef> from;
+    do {
+      TableRef ref;
+      ref.table = ExpectIdentifier("table name");
+      if (AcceptKeyword("AS")) {
+        ref.alias = ExpectIdentifier("table alias");
+      } else if (Peek().type == TokenType::kIdentifier && !IsReserved(ToUpper(Peek().text))) {
+        ref.alias = Advance().text;
+      }
+      from.push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+    if (from.size() > 2) throw ParseError("at most two tables in FROM are supported");
+    return from;
+  }
+
+  std::string ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier || IsReserved(ToUpper(Peek().text))) {
+      throw ParseError(std::string("expected ") + what + " at offset " + std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  ExprPtr ParseColumnRef() {
+    std::string first = ExpectIdentifier("column name");
+    if (AcceptSymbol(".")) {
+      std::string second = ExpectIdentifier("column name");
+      return Expr::Column(std::move(first), std::move(second));
+    }
+    return Expr::Column("", std::move(first));
+  }
+
+  // Precedence: OR < AND < NOT < predicate.
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (AcceptKeyword("OR")) {
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), ParseAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseNot();
+    while (AcceptKeyword("AND")) {
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), ParseNot());
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseNot() {
+    if (AcceptKeyword("NOT")) return Expr::Not(ParseNot());
+    return ParsePredicate();
+  }
+
+  static bool IsBooleanShaped(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kUnaryNot:
+      case Expr::Kind::kBetween:
+      case Expr::Kind::kIn:
+      case Expr::Kind::kLike:
+      case Expr::Kind::kIsNull:
+        return true;
+      case Expr::Kind::kBinary:
+        return true;  // comparisons and AND/OR are all boolean
+      default:
+        return false;
+    }
+  }
+
+  ExprPtr ParsePredicate() {
+    ExprPtr lhs = ParseOperand();
+
+    bool negated = false;
+    if (PeekKeyword("NOT") && (PeekKeyword("BETWEEN", 1) || PeekKeyword("IN", 1) || PeekKeyword("LIKE", 1))) {
+      Advance();
+      negated = true;
+    }
+
+    if (AcceptKeyword("BETWEEN")) {
+      ExprPtr lo = ParseOperand();
+      ExpectKeyword("AND");
+      ExprPtr hi = ParseOperand();
+      return Expr::Between(std::move(lhs), std::move(lo), std::move(hi), negated);
+    }
+    if (AcceptKeyword("IN")) {
+      ExpectSymbol("(");
+      std::vector<ExprPtr> list;
+      do {
+        list.push_back(ParseOperand());
+      } while (AcceptSymbol(","));
+      ExpectSymbol(")");
+      return Expr::In(std::move(lhs), std::move(list), negated);
+    }
+    if (AcceptKeyword("LIKE")) {
+      return Expr::Like(std::move(lhs), ParseOperand(), negated);
+    }
+    if (AcceptKeyword("IS")) {
+      bool is_not = AcceptKeyword("NOT");
+      ExpectKeyword("NULL");
+      return Expr::IsNull(std::move(lhs), is_not);
+    }
+    if (negated) throw ParseError("dangling NOT before offset " + std::to_string(Peek().offset));
+
+    static const std::pair<const char*, BinaryOp> kCmps[] = {
+        {"=", BinaryOp::kEq}, {"<>", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt}, {">", BinaryOp::kGt},
+    };
+    for (const auto& [sym, op] : kCmps) {
+      if (AcceptSymbol(sym)) {
+        return Expr::Binary(op, std::move(lhs), ParseOperand());
+      }
+    }
+    // No operator followed. If the operand was itself a boolean expression
+    // (a parenthesized predicate like `(KSEQ BETWEEN 1 AND 2 OR KSEQ = 9)`),
+    // it already is the predicate; a bare column/literal is not.
+    if (IsBooleanShaped(*lhs)) return lhs;
+    throw ParseError("expected a predicate operator at offset " + std::to_string(Peek().offset));
+  }
+
+  /// An operand: literal, parameter, column reference, or parenthesized
+  /// boolean expression (only valid where a predicate is expected; the
+  /// evaluator rejects type confusion at bind time).
+  ExprPtr ParseOperand() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger:
+      case TokenType::kFloat:
+      case TokenType::kString: {
+        Value v = t.literal;
+        Advance();
+        return Expr::Literal(std::move(v));
+      }
+      case TokenType::kParam: {
+        const int64_t n = t.number;
+        Advance();
+        uint32_t index = n >= 0 ? static_cast<uint32_t>(n) : next_positional_++;
+        param_count_ = std::max(param_count_, index + 1);
+        return Expr::Param(index);
+      }
+      case TokenType::kIdentifier:
+        if (ToUpper(t.text) == "NULL") {
+          Advance();
+          return Expr::Literal(Value::Null());
+        }
+        return ParseColumnRef();
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          ExprPtr inner = ParseExpr();
+          ExpectSymbol(")");
+          return inner;
+        }
+        break;
+      default:
+        break;
+    }
+    throw ParseError("expected an operand at offset " + std::to_string(t.offset));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  uint32_t param_count_ = 0;
+  uint32_t next_positional_ = 0;
+};
+
+}  // namespace
+
+SelectStmt Parse(const std::string& sql) { return Parser(sql).ParseSelect(); }
+
+AnyStatement ParseStatement(const std::string& sql) { return Parser(sql).ParseAny(); }
+
+}  // namespace qc::sql

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SQL subset (see ast.h for coverage).
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace qc::sql {
+
+/// Parse one SELECT statement. Throws ParseError on malformed input (or on
+/// a DML statement). A trailing semicolon is permitted.
+SelectStmt Parse(const std::string& sql);
+
+/// Parse any supported statement: SELECT, INSERT INTO ... VALUES (...),
+/// UPDATE ... SET ... [WHERE ...], DELETE FROM ... [WHERE ...].
+AnyStatement ParseStatement(const std::string& sql);
+
+}  // namespace qc::sql

@@ -1,0 +1,83 @@
+#include "sql/result.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qc::sql {
+
+namespace {
+
+bool RowLess(const storage::Row& a, const storage::Row& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    auto c = a[i].compare(b[i]);
+    if (c != std::strong_ordering::equal) return c == std::strong_ordering::less;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+void ResultSet::Normalize() { std::sort(rows_.begin(), rows_.end(), RowLess); }
+
+bool ResultSet::Equals(const ResultSet& other) const {
+  if (columns_ != other.columns_) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  std::vector<storage::Row> a = rows_, b = other.rows_;
+  std::sort(a.begin(), a.end(), RowLess);
+  std::sort(b.begin(), b.end(), RowLess);
+  return a == b;
+}
+
+void ResultSet::SortByKeys(const std::vector<std::pair<size_t, bool>>& keys) {
+  std::stable_sort(rows_.begin(), rows_.end(), [&](const storage::Row& a, const storage::Row& b) {
+    for (const auto& [index, descending] : keys) {
+      const auto cmp = a.at(index).compare(b.at(index));
+      if (cmp == std::strong_ordering::equal) continue;
+      const bool less = cmp == std::strong_ordering::less;
+      return descending ? !less : less;
+    }
+    return false;
+  });
+}
+
+void ResultSet::Truncate(size_t n) {
+  if (rows_.size() > n) rows_.resize(n);
+}
+
+size_t ResultSet::ByteSize() const {
+  size_t bytes = sizeof(ResultSet);
+  for (const std::string& c : columns_) bytes += c.size() + sizeof(std::string);
+  for (const storage::Row& row : rows_) {
+    bytes += sizeof(storage::Row);
+    for (const Value& v : row) {
+      bytes += sizeof(Value);
+      if (v.is_string()) bytes += v.as_string().size();
+    }
+  }
+  return bytes;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << " | ";
+    os << columns_[i];
+  }
+  os << "\n";
+  size_t shown = 0;
+  for (const storage::Row& row : rows_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows_.size() - max_rows << " more rows)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << " | ";
+      os << row[i].ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qc::sql

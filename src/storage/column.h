@@ -1,0 +1,70 @@
+// Typed columnar storage. Each column stores its cells in a contiguous
+// vector of the native type plus a null bitmap, so a 13-column million-row
+// BENCH table costs ~100 MB instead of the ~0.5 GB a row-of-variants
+// layout would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/value.h"
+
+namespace qc::storage {
+
+class ColumnStore {
+ public:
+  explicit ColumnStore(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return nulls_.size(); }
+
+  /// Append one cell; `v` must already be validated against the schema.
+  void Append(const Value& v) {
+    nulls_.push_back(v.is_null() ? 1 : 0);
+    switch (type_) {
+      case ValueType::kInt: ints_.push_back(v.is_null() ? 0 : v.as_int()); break;
+      case ValueType::kDouble: doubles_.push_back(v.is_null() ? 0.0 : v.numeric()); break;
+      case ValueType::kString: strings_.push_back(v.is_null() ? std::string() : v.as_string()); break;
+      case ValueType::kNull: throw StorageError("column of type NULL");
+    }
+  }
+
+  Value Get(size_t i) const {
+    if (nulls_[i]) return Value::Null();
+    switch (type_) {
+      case ValueType::kInt: return Value(ints_[i]);
+      case ValueType::kDouble: return Value(doubles_[i]);
+      case ValueType::kString: return Value(strings_[i]);
+      case ValueType::kNull: break;
+    }
+    throw StorageError("column of type NULL");
+  }
+
+  void Set(size_t i, const Value& v) {
+    nulls_[i] = v.is_null() ? 1 : 0;
+    if (v.is_null()) return;
+    switch (type_) {
+      case ValueType::kInt: ints_[i] = v.as_int(); break;
+      case ValueType::kDouble: doubles_[i] = v.numeric(); break;
+      case ValueType::kString: strings_[i] = v.as_string(); break;
+      case ValueType::kNull: throw StorageError("column of type NULL");
+    }
+  }
+
+  /// Fast typed access for hot query paths (caller checked type & null).
+  int64_t GetInt(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  const std::string& GetString(size_t i) const { return strings_[i]; }
+  bool IsNull(size_t i) const { return nulls_[i] != 0; }
+
+ private:
+  ValueType type_;
+  std::vector<uint8_t> nulls_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace qc::storage

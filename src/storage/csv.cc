@@ -1,0 +1,225 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace qc::storage {
+
+namespace {
+
+constexpr const char* kNullToken = "\\N";
+
+bool NeedsQuoting(const std::string& cell, char separator) {
+  return cell.find_first_of(std::string("\"\r\n") + separator) != std::string::npos ||
+         cell == kNullToken;
+}
+
+void AppendCell(std::string& out, const std::string& cell, char separator) {
+  if (!NeedsQuoting(cell, separator)) {
+    out += cell;
+    return;
+  }
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string CellOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return kNullToken;
+    case ValueType::kInt:
+      return std::to_string(v.as_int());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << v.as_double();
+      return os.str();
+    }
+    case ValueType::kString:
+      return v.as_string();
+  }
+  return "";
+}
+
+/// One parsed cell: text plus whether it was quoted (a quoted \N is data).
+struct Cell {
+  std::string text;
+  bool quoted = false;
+};
+
+class CsvReader {
+ public:
+  CsvReader(const std::string& data, char separator) : data_(data), separator_(separator) {}
+
+  /// Parse the next record; false at end of input. Handles quoted cells
+  /// with embedded separators, quotes and newlines.
+  bool NextRecord(std::vector<Cell>& out) {
+    out.clear();
+    if (pos_ >= data_.size()) return false;
+    Cell cell;
+    bool in_quotes = false;
+    bool cell_started_quoted = false;
+    for (;;) {
+      if (pos_ >= data_.size()) {
+        cell.quoted = cell_started_quoted;
+        out.push_back(std::move(cell));
+        return true;
+      }
+      const char c = data_[pos_++];
+      if (in_quotes) {
+        if (c == '"') {
+          if (pos_ < data_.size() && data_[pos_] == '"') {
+            cell.text += '"';
+            ++pos_;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          cell.text += c;
+        }
+        continue;
+      }
+      if (c == '"' && cell.text.empty() && !cell_started_quoted) {
+        in_quotes = true;
+        cell_started_quoted = true;
+        continue;
+      }
+      if (c == separator_) {
+        cell.quoted = cell_started_quoted;
+        out.push_back(std::move(cell));
+        cell = Cell{};
+        cell_started_quoted = false;
+        continue;
+      }
+      if (c == '\n' || c == '\r') {
+        if (c == '\r' && pos_ < data_.size() && data_[pos_] == '\n') ++pos_;
+        cell.quoted = cell_started_quoted;
+        out.push_back(std::move(cell));
+        return true;
+      }
+      cell.text += c;
+    }
+  }
+
+ private:
+  const std::string& data_;
+  char separator_;
+  size_t pos_ = 0;
+};
+
+Value ParseCell(const Cell& cell, const ColumnDef& def) {
+  if (!cell.quoted && cell.text == kNullToken) return Value::Null();
+  switch (def.type) {
+    case ValueType::kInt: {
+      try {
+        size_t consumed = 0;
+        const int64_t v = std::stoll(cell.text, &consumed);
+        if (consumed != cell.text.size()) throw std::invalid_argument("trailing");
+        return Value(v);
+      } catch (const std::exception&) {
+        throw StorageError("CSV: cannot parse '" + cell.text + "' as integer for column " +
+                           def.name);
+      }
+    }
+    case ValueType::kDouble: {
+      try {
+        size_t consumed = 0;
+        const double v = std::stod(cell.text, &consumed);
+        if (consumed != cell.text.size()) throw std::invalid_argument("trailing");
+        return Value(v);
+      } catch (const std::exception&) {
+        throw StorageError("CSV: cannot parse '" + cell.text + "' as double for column " +
+                           def.name);
+      }
+    }
+    case ValueType::kString:
+      return Value(cell.text);
+    case ValueType::kNull:
+      break;
+  }
+  throw StorageError("CSV: column of type NULL");
+}
+
+}  // namespace
+
+std::string ExportCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = table.schema();
+  if (options.header) {
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (c) out += options.separator;
+      AppendCell(out, schema.column(c).name, options.separator);
+    }
+    out += '\n';
+  }
+  table.ForEachRow([&](RowId row) {
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (c) out += options.separator;
+      const Value v = table.Get(row, static_cast<uint32_t>(c));
+      if (v.is_null()) {
+        out += kNullToken;  // unquoted: the NULL marker (a quoted "\N" is data)
+      } else {
+        AppendCell(out, CellOf(v), options.separator);
+      }
+    }
+    out += '\n';
+  });
+  return out;
+}
+
+void ExportCsvFile(const Table& table, const std::string& path, const CsvOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw StorageError("cannot write CSV file " + path);
+  out << ExportCsv(table, options);
+}
+
+uint64_t ImportCsv(Table& table, const std::string& csv, const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  CsvReader reader(csv, options.separator);
+  std::vector<Cell> record;
+
+  // Column mapping: identity without a header; by name with one.
+  std::vector<int32_t> source_for_column(schema.size(), -1);
+  if (options.header) {
+    if (!reader.NextRecord(record)) return 0;
+    for (size_t i = 0; i < record.size(); ++i) {
+      auto pos = schema.Find(record[i].text);
+      if (!pos) throw StorageError("CSV header names unknown column: " + record[i].text);
+      source_for_column[*pos] = static_cast<int32_t>(i);
+    }
+  } else {
+    for (size_t c = 0; c < schema.size(); ++c) source_for_column[c] = static_cast<int32_t>(c);
+  }
+
+  uint64_t inserted = 0;
+  while (reader.NextRecord(record)) {
+    if (record.size() == 1 && record[0].text.empty() && !record[0].quoted) continue;  // blank line
+    Row row(schema.size(), Value::Null());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      const int32_t source = source_for_column[c];
+      if (source < 0) continue;  // column absent from the header: NULL
+      if (static_cast<size_t>(source) >= record.size()) {
+        throw StorageError("CSV record too short at row " + std::to_string(inserted + 1));
+      }
+      row[c] = ParseCell(record[static_cast<size_t>(source)], schema.column(c));
+    }
+    table.Insert(row);
+    ++inserted;
+  }
+  return inserted;
+}
+
+uint64_t ImportCsvFile(Table& table, const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StorageError("cannot read CSV file " + path);
+  const std::string data{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  return ImportCsv(table, data, options);
+}
+
+}  // namespace qc::storage

@@ -1,0 +1,33 @@
+// CSV import/export for tables: the practical on-ramp for feeding real
+// data into the storage substrate (and dumping it back out for
+// inspection). RFC-4180-style quoting; NULL cells are written as the
+// unquoted token \N (a quoted "\N" is the two-character string).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/table.h"
+
+namespace qc::storage {
+
+struct CsvOptions {
+  char separator = ',';
+  bool header = true;  // write/expect a header row of column names
+};
+
+/// Serialize all live rows (schema order). Deterministic row order (by
+/// row id).
+std::string ExportCsv(const Table& table, const CsvOptions& options = {});
+void ExportCsvFile(const Table& table, const std::string& path, const CsvOptions& options = {});
+
+/// Append rows parsed from CSV text. Cells are converted to each column's
+/// declared type (int/double parsed, strings taken verbatim); \N becomes
+/// NULL. With options.header, the first row must name every schema column
+/// (any order — columns are matched by name; missing columns get NULL).
+/// Returns the number of rows inserted. Throws StorageError on malformed
+/// input or type violations.
+uint64_t ImportCsv(Table& table, const std::string& csv, const CsvOptions& options = {});
+uint64_t ImportCsvFile(Table& table, const std::string& path, const CsvOptions& options = {});
+
+}  // namespace qc::storage

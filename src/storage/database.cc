@@ -1,0 +1,61 @@
+#include "storage/database.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qc::storage {
+
+Table& Database::CreateTable(const std::string& name, Schema schema) {
+  auto key = ToUpper(name);
+  auto [it, inserted] = tables_.emplace(key, std::make_unique<Table>(name, std::move(schema)));
+  if (!inserted) throw StorageError("table already exists: " + name);
+  Table& table = *it->second;
+  for (const auto& observer : observers_) {
+    auto handle = observer;  // keep the shared target alive in the lambda
+    table.Subscribe([handle](const UpdateEvent& e) { (*handle)(e); });
+  }
+  return table;
+}
+
+Table& Database::GetTable(const std::string& name) {
+  Table* t = FindTable(name);
+  if (!t) throw StorageError("unknown table: " + name);
+  return *t;
+}
+
+const Table& Database::GetTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  if (!t) throw StorageError("unknown table: " + name);
+  return *t;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(ToUpper(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToUpper(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(ToUpper(name)) > 0;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) out.push_back(table->name());
+  return out;
+}
+
+void Database::Subscribe(UpdateObserver observer) {
+  auto handle = std::make_shared<UpdateObserver>(std::move(observer));
+  observers_.push_back(handle);
+  for (auto& [key, table] : tables_) {
+    table->Subscribe([handle](const UpdateEvent& e) { (*handle)(e); });
+  }
+}
+
+}  // namespace qc::storage

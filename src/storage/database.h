@@ -1,0 +1,36 @@
+// Database: a catalog of tables plus a process-wide update-event bus.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace qc::storage {
+
+class Database {
+ public:
+  /// Create a table; returns a reference owned by the database. Observers
+  /// already subscribed at the database level see the new table's events.
+  Table& CreateTable(const std::string& name, Schema schema);
+
+  Table& GetTable(const std::string& name);
+  const Table& GetTable(const std::string& name) const;
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Subscribe to mutations of every table, present and future.
+  void Subscribe(UpdateObserver observer);
+
+ private:
+  // Table names are case-insensitive; keys are upper-cased.
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::shared_ptr<UpdateObserver>> observers_;
+};
+
+}  // namespace qc::storage

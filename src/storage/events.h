@@ -1,0 +1,48 @@
+// Update events emitted by the storage layer.
+//
+// This is the hook the paper's §4.2 describes as "invalidation code in the
+// attribute setter, creation and deletion methods": every mutation of a
+// table produces one UpdateEvent carrying the changed attributes with
+// their old and new values, which the DUP engine turns into cache
+// invalidations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace qc::storage {
+
+using RowId = uint64_t;
+using Row = std::vector<Value>;
+
+struct AttributeChange {
+  uint32_t column = 0;  // position in the table schema
+  Value old_value;
+  Value new_value;
+};
+
+struct UpdateEvent {
+  enum class Kind { kUpdate, kInsert, kDelete };
+
+  Kind kind = Kind::kUpdate;
+  std::string table;  // table name (catalog key)
+  RowId row = 0;
+
+  /// For kUpdate: the attributes this transaction modified (only those
+  /// whose value actually changed). Empty for kInsert/kDelete, which the
+  /// paper treats as "resetting all of the object's attributes".
+  std::vector<AttributeChange> changes;
+
+  /// Full row images. For kInsert `after` is set; for kDelete `before`;
+  /// for kUpdate both (enabling row-aware invalidation refinements).
+  Row before;
+  Row after;
+};
+
+using UpdateObserver = std::function<void(const UpdateEvent&)>;
+
+}  // namespace qc::storage

@@ -1,0 +1,62 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qc::storage {
+
+const std::vector<RowId> HashIndex::kEmpty;
+const std::vector<RowId> OrderedIndex::kEmpty;
+
+namespace {
+
+template <typename Map>
+void EraseFrom(Map& buckets, const Value& v, RowId row) {
+  auto it = buckets.find(v);
+  if (it == buckets.end()) throw StorageError("index erase: value not present");
+  auto& rows = it->second;
+  auto pos = std::find(rows.begin(), rows.end(), row);
+  if (pos == rows.end()) throw StorageError("index erase: row not present");
+  // Order within a bucket is not meaningful; swap-remove is O(1).
+  *pos = rows.back();
+  rows.pop_back();
+  if (rows.empty()) buckets.erase(it);
+}
+
+}  // namespace
+
+void HashIndex::Erase(const Value& v, RowId row) { EraseFrom(buckets_, v, row); }
+
+const std::vector<RowId>& HashIndex::Lookup(const Value& v) const {
+  auto it = buckets_.find(v);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+void OrderedIndex::Erase(const Value& v, RowId row) { EraseFrom(buckets_, v, row); }
+
+const std::vector<RowId>& OrderedIndex::Lookup(const Value& v) const {
+  auto it = buckets_.find(v);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+std::vector<RowId> OrderedIndex::LookupRange(const Value& lo, bool lo_inclusive,
+                                             const Value& hi, bool hi_inclusive) const {
+  // An empty interval (lo > hi, or lo == hi without both ends closed) must
+  // be rejected up front: its begin iterator would land AFTER its end
+  // iterator and the walk below would run off the map.
+  if (!lo.is_null() && !hi.is_null()) {
+    if (lo > hi || (lo == hi && !(lo_inclusive && hi_inclusive))) return {};
+  }
+  auto begin = lo.is_null() ? buckets_.begin()
+               : (lo_inclusive ? buckets_.lower_bound(lo) : buckets_.upper_bound(lo));
+  auto end = hi.is_null() ? buckets_.end()
+             : (hi_inclusive ? buckets_.upper_bound(hi) : buckets_.lower_bound(hi));
+  std::vector<RowId> out;
+  for (auto it = begin; it != end; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+}  // namespace qc::storage

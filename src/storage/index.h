@@ -1,0 +1,49 @@
+// Secondary indexes over a single column: hash (equality) and ordered
+// (range). Indexes are maintained eagerly by Table on every mutation.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/events.h"
+
+namespace qc::storage {
+
+/// Equality index: value -> row ids (multiset semantics).
+class HashIndex {
+ public:
+  void Insert(const Value& v, RowId row) { buckets_[v].push_back(row); }
+  void Erase(const Value& v, RowId row);
+
+  /// Rows whose cell equals `v` (order unspecified).
+  const std::vector<RowId>& Lookup(const Value& v) const;
+
+  size_t distinct_values() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<Value, std::vector<RowId>, ValueHash> buckets_;
+  static const std::vector<RowId> kEmpty;
+};
+
+/// Ordered index: supports equality and inclusive range lookups.
+class OrderedIndex {
+ public:
+  void Insert(const Value& v, RowId row) { buckets_[v].push_back(row); }
+  void Erase(const Value& v, RowId row);
+
+  const std::vector<RowId>& Lookup(const Value& v) const;
+
+  /// Rows with cell in [lo, hi]; unbounded ends use is_null() sentinels.
+  std::vector<RowId> LookupRange(const Value& lo, bool lo_inclusive,
+                                 const Value& hi, bool hi_inclusive) const;
+
+  size_t distinct_values() const { return buckets_.size(); }
+
+ private:
+  std::map<Value, std::vector<RowId>> buckets_;
+  static const std::vector<RowId> kEmpty;
+};
+
+}  // namespace qc::storage

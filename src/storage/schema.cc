@@ -1,0 +1,39 @@
+#include "storage/schema.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qc::storage {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (uint32_t i = 0; i < columns_.size(); ++i) {
+    auto [it, inserted] = by_name_.emplace(ToUpper(columns_[i].name), i);
+    if (!inserted) throw StorageError("duplicate column name: " + columns_[i].name);
+  }
+}
+
+std::optional<uint32_t> Schema::Find(const std::string& name) const {
+  auto it = by_name_.find(ToUpper(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t Schema::Require(const std::string& name) const {
+  auto pos = Find(name);
+  if (!pos) throw StorageError("unknown column: " + name);
+  return *pos;
+}
+
+bool Schema::Accepts(size_t i, const Value& v) const {
+  const ColumnDef& def = columns_.at(i);
+  if (v.is_null()) return def.nullable;
+  switch (def.type) {
+    case ValueType::kInt: return v.is_int();
+    case ValueType::kDouble: return v.is_numeric();
+    case ValueType::kString: return v.is_string();
+    case ValueType::kNull: return false;
+  }
+  return false;
+}
+
+}  // namespace qc::storage

@@ -1,0 +1,47 @@
+// Table schemas: ordered, typed column definitions with name lookup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace qc::storage {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  bool nullable = false;
+};
+
+/// An immutable ordered list of column definitions. Column positions are
+/// stable for the lifetime of the schema; lookups by name are
+/// case-insensitive (SQL identifier semantics).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t size() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_.at(i); }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Position of column `name`, or nullopt if absent.
+  std::optional<uint32_t> Find(const std::string& name) const;
+
+  /// Position of column `name`; throws StorageError if absent.
+  uint32_t Require(const std::string& name) const;
+
+  /// True if `v` may be stored in column `i` (matching type class or
+  /// NULL-into-nullable).
+  bool Accepts(size_t i, const Value& v) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, uint32_t> by_name_;  // upper-cased keys
+};
+
+}  // namespace qc::storage

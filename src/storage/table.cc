@@ -1,0 +1,157 @@
+#include "storage/table.h"
+
+#include "common/error.h"
+
+namespace qc::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.size());
+  for (const ColumnDef& def : schema_.columns()) columns_.emplace_back(def.type);
+  hash_indexes_.resize(schema_.size());
+  ordered_indexes_.resize(schema_.size());
+}
+
+RowId Table::Insert(const Row& values) {
+  if (values.size() != schema_.size()) {
+    throw StorageError("insert arity mismatch on " + name_);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!schema_.Accepts(i, values[i])) {
+      throw StorageError("type mismatch for column " + schema_.column(i).name +
+                         " of " + name_ + ": " + values[i].ToString());
+    }
+  }
+
+  RowId row;
+  if (!free_slots_.empty()) {
+    row = free_slots_.back();
+    free_slots_.pop_back();
+    live_[row] = 1;
+    for (size_t i = 0; i < values.size(); ++i) columns_[i].Set(row, values[i]);
+  } else {
+    row = live_.size();
+    live_.push_back(1);
+    for (size_t i = 0; i < values.size(); ++i) columns_[i].Append(values[i]);
+  }
+  ++live_count_;
+  for (size_t i = 0; i < values.size(); ++i) IndexInsert(static_cast<uint32_t>(i), values[i], row);
+
+  UpdateEvent event;
+  event.kind = UpdateEvent::Kind::kInsert;
+  event.table = name_;
+  event.row = row;
+  event.after = values;
+  Emit(event);
+  return row;
+}
+
+void Table::Delete(RowId row) {
+  ValidateLive(row);
+  Row old = GetRow(row);
+  for (size_t i = 0; i < old.size(); ++i) IndexErase(static_cast<uint32_t>(i), old[i], row);
+  live_[row] = 0;
+  free_slots_.push_back(row);
+  --live_count_;
+
+  UpdateEvent event;
+  event.kind = UpdateEvent::Kind::kDelete;
+  event.table = name_;
+  event.row = row;
+  event.before = std::move(old);
+  Emit(event);
+}
+
+void Table::Update(RowId row, const std::vector<std::pair<uint32_t, Value>>& sets) {
+  ValidateLive(row);
+  UpdateEvent event;
+  event.kind = UpdateEvent::Kind::kUpdate;
+  event.table = name_;
+  event.row = row;
+  event.before = GetRow(row);
+
+  for (const auto& [column, value] : sets) {
+    if (column >= schema_.size()) throw StorageError("update: bad column index");
+    if (!schema_.Accepts(column, value)) {
+      throw StorageError("type mismatch for column " + schema_.column(column).name +
+                         " of " + name_ + ": " + value.ToString());
+    }
+    Value old = columns_[column].Get(row);
+    if (old == value) continue;  // no-op set: no event entry, no index churn
+    IndexErase(column, old, row);
+    columns_[column].Set(row, value);
+    IndexInsert(column, value, row);
+    event.changes.push_back({column, std::move(old), value});
+  }
+  if (event.changes.empty()) return;
+  event.after = GetRow(row);
+  Emit(event);
+}
+
+void Table::Update(RowId row, uint32_t column, const Value& value) {
+  Update(row, std::vector<std::pair<uint32_t, Value>>{{column, value}});
+}
+
+Value Table::Get(RowId row, uint32_t column) const {
+  ValidateLive(row);
+  if (column >= schema_.size()) throw StorageError("get: bad column index");
+  return columns_[column].Get(row);
+}
+
+Row Table::GetRow(RowId row) const {
+  ValidateLive(row);
+  Row out;
+  out.reserve(schema_.size());
+  for (const ColumnStore& col : columns_) out.push_back(col.Get(row));
+  return out;
+}
+
+void Table::CreateHashIndex(uint32_t column) {
+  if (column >= schema_.size()) throw StorageError("index: bad column index");
+  if (hash_indexes_[column]) return;
+  auto index = std::make_unique<HashIndex>();
+  ForEachRow([&](RowId r) { index->Insert(columns_[column].Get(r), r); });
+  hash_indexes_[column] = std::move(index);
+}
+
+void Table::CreateOrderedIndex(uint32_t column) {
+  if (column >= schema_.size()) throw StorageError("index: bad column index");
+  if (ordered_indexes_[column]) return;
+  auto index = std::make_unique<OrderedIndex>();
+  ForEachRow([&](RowId r) { index->Insert(columns_[column].Get(r), r); });
+  ordered_indexes_[column] = std::move(index);
+}
+
+const std::vector<RowId>& Table::LookupEqual(uint32_t column, const Value& v) const {
+  if (HasHashIndex(column)) return hash_indexes_[column]->Lookup(v);
+  if (HasOrderedIndex(column)) return ordered_indexes_[column]->Lookup(v);
+  throw StorageError("no equality index on column " + schema_.column(column).name);
+}
+
+std::vector<RowId> Table::LookupRange(uint32_t column, const Value& lo, bool lo_inclusive,
+                                      const Value& hi, bool hi_inclusive) const {
+  if (!HasOrderedIndex(column)) {
+    throw StorageError("no ordered index on column " + schema_.column(column).name);
+  }
+  return ordered_indexes_[column]->LookupRange(lo, lo_inclusive, hi, hi_inclusive);
+}
+
+void Table::ValidateLive(RowId row) const {
+  if (!IsLive(row)) throw StorageError("row " + std::to_string(row) + " of " + name_ + " is not live");
+}
+
+void Table::IndexInsert(uint32_t column, const Value& v, RowId row) {
+  if (hash_indexes_[column]) hash_indexes_[column]->Insert(v, row);
+  if (ordered_indexes_[column]) ordered_indexes_[column]->Insert(v, row);
+}
+
+void Table::IndexErase(uint32_t column, const Value& v, RowId row) {
+  if (hash_indexes_[column]) hash_indexes_[column]->Erase(v, row);
+  if (ordered_indexes_[column]) ordered_indexes_[column]->Erase(v, row);
+}
+
+void Table::Emit(const UpdateEvent& event) const {
+  for (const UpdateObserver& observer : observers_) observer(event);
+}
+
+}  // namespace qc::storage

@@ -1,0 +1,98 @@
+// A mutable in-memory table with typed columnar storage, optional
+// secondary indexes, and update-event emission. This is the substitute
+// for the DB2 store behind the paper's ABR rule server (see DESIGN.md §2).
+//
+// Concurrency: Table is externally synchronized — the benchmarks and the
+// middleware drive it from one thread; the GPS cache, which the paper's
+// multithreaded server shares, is internally synchronized instead.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/events.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+
+namespace qc::storage {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t size() const { return live_count_; }
+
+  /// One past the largest row id ever allocated (scan bound).
+  RowId SlotCount() const { return live_.size(); }
+  bool IsLive(RowId row) const { return row < live_.size() && live_[row]; }
+
+  /// Insert a full row; returns its RowId. Validates arity and types.
+  RowId Insert(const Row& values);
+
+  /// Delete a live row.
+  void Delete(RowId row);
+
+  /// Update one or more attributes of a live row as a single transaction
+  /// (one UpdateEvent). Attributes whose new value equals the old value
+  /// are dropped from the event, mirroring the paper's setter guard
+  /// `if (!contextId.equals(inContextId))`.
+  void Update(RowId row, const std::vector<std::pair<uint32_t, Value>>& sets);
+  void Update(RowId row, uint32_t column, const Value& value);
+
+  Value Get(RowId row, uint32_t column) const;
+  Row GetRow(RowId row) const;
+
+  /// Build a secondary index over `column`. Indexes may be added after
+  /// data is loaded; they are backfilled. At most one of each kind per
+  /// column.
+  void CreateHashIndex(uint32_t column);
+  void CreateOrderedIndex(uint32_t column);
+  bool HasHashIndex(uint32_t column) const { return column < hash_indexes_.size() && hash_indexes_[column] != nullptr; }
+  bool HasOrderedIndex(uint32_t column) const { return column < ordered_indexes_.size() && ordered_indexes_[column] != nullptr; }
+
+  /// Index lookups; throw StorageError if the index is missing. Results may
+  /// be filtered by IsLive (they always are live — indexes track deletes).
+  const std::vector<RowId>& LookupEqual(uint32_t column, const Value& v) const;
+  std::vector<RowId> LookupRange(uint32_t column, const Value& lo, bool lo_inclusive,
+                                 const Value& hi, bool hi_inclusive) const;
+  bool CanLookupEqual(uint32_t column) const { return HasHashIndex(column) || HasOrderedIndex(column); }
+
+  /// Visit every live row id.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (RowId r = 0; r < live_.size(); ++r) {
+      if (live_[r]) fn(r);
+    }
+  }
+
+  /// Direct column access for hot evaluator paths.
+  const ColumnStore& column_store(uint32_t column) const { return columns_.at(column); }
+
+  /// Register an observer for all mutations of this table.
+  void Subscribe(UpdateObserver observer) { observers_.push_back(std::move(observer)); }
+
+ private:
+  void ValidateLive(RowId row) const;
+  void IndexInsert(uint32_t column, const Value& v, RowId row);
+  void IndexErase(uint32_t column, const Value& v, RowId row);
+  void Emit(const UpdateEvent& event) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<ColumnStore> columns_;
+  std::vector<uint8_t> live_;
+  std::vector<RowId> free_slots_;
+  size_t live_count_ = 0;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+  std::vector<UpdateObserver> observers_;
+};
+
+}  // namespace qc::storage

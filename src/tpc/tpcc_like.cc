@@ -1,0 +1,193 @@
+#include "tpc/tpcc_like.h"
+
+namespace qc::tpc {
+
+namespace {
+
+const char* kLastNames[] = {"BAR",   "OUGHT", "ABLE",  "PRI",   "PRES",
+                            "ESE",   "ANTI",  "CALLY", "ATION", "EING"};
+
+}  // namespace
+
+TpccSimulation::TpccSimulation(const TpccConfig& config, dup::InvalidationPolicy policy)
+    : config_(config), db_(std::make_unique<storage::Database>()) {
+  Load();
+  middleware::CachedQueryEngine::Options options;
+  options.policy = policy;
+  engine_ = std::make_unique<middleware::CachedQueryEngine>(*db_, options);
+  q_customer_by_last_ = engine_->Prepare(
+      "SELECT C_ID, C_BALANCE, C_CREDIT FROM CUSTOMER "
+      "WHERE C_W_ID = $1 AND C_D_ID = $2 AND C_LAST = $3");
+  q_order_status_ = engine_->Prepare(
+      "SELECT O_ID, O_CARRIER_ID, O_OL_CNT FROM ORDERS "
+      "WHERE O_W_ID = $1 AND O_D_ID = $2 AND O_C_ID = $3");
+  q_stock_level_ = engine_->Prepare(
+      "SELECT COUNT(*) FROM STOCK WHERE S_W_ID = $1 AND S_QUANTITY < $2");
+}
+
+void TpccSimulation::Load() {
+  using storage::ColumnDef;
+  using storage::Schema;
+
+  district_ = &db_->CreateTable(
+      "DISTRICT", Schema({{"D_W_ID", ValueType::kInt, false},
+                          {"D_ID", ValueType::kInt, false},
+                          {"D_NEXT_O_ID", ValueType::kInt, false},
+                          {"D_YTD", ValueType::kInt, false}}));
+  customer_ = &db_->CreateTable(
+      "CUSTOMER", Schema({{"C_W_ID", ValueType::kInt, false},
+                          {"C_D_ID", ValueType::kInt, false},
+                          {"C_ID", ValueType::kInt, false},
+                          {"C_LAST", ValueType::kString, false},
+                          {"C_BALANCE", ValueType::kInt, false},
+                          {"C_PAYMENT_CNT", ValueType::kInt, false},
+                          {"C_CREDIT", ValueType::kString, false}}));
+  stock_ = &db_->CreateTable(
+      "STOCK", Schema({{"S_W_ID", ValueType::kInt, false},
+                       {"S_I_ID", ValueType::kInt, false},
+                       {"S_QUANTITY", ValueType::kInt, false},
+                       {"S_YTD", ValueType::kInt, false},
+                       {"S_ORDER_CNT", ValueType::kInt, false}}));
+  orders_ = &db_->CreateTable(
+      "ORDERS", Schema({{"O_W_ID", ValueType::kInt, false},
+                        {"O_D_ID", ValueType::kInt, false},
+                        {"O_ID", ValueType::kInt, false},
+                        {"O_C_ID", ValueType::kInt, false},
+                        {"O_CARRIER_ID", ValueType::kInt, true},
+                        {"O_OL_CNT", ValueType::kInt, false}}));
+
+  Rng rng(config_.seed);
+  for (int w = 1; w <= config_.warehouses; ++w) {
+    for (int d = 1; d <= config_.districts_per_warehouse; ++d) {
+      district_->Insert({Value(w), Value(d), Value(int64_t{1}), Value(int64_t{0})});
+      for (int c = 1; c <= config_.customers_per_district; ++c) {
+        customer_->Insert({Value(w), Value(d), Value(c),
+                           Value(std::string(kLastNames[rng.Uniform(0, 9)]) +
+                                 kLastNames[rng.Uniform(0, 9)]),
+                           Value(rng.Uniform(-500, 5000)), Value(int64_t{0}),
+                           Value(rng.Chance(0.1) ? "BC" : "GC")});
+      }
+    }
+    for (int i = 1; i <= config_.items; ++i) {
+      stock_->Insert({Value(w), Value(i), Value(rng.Uniform(10, 100)), Value(int64_t{0}),
+                      Value(int64_t{0})});
+    }
+  }
+  customer_->CreateHashIndex(customer_->schema().Require("C_LAST"));
+  customer_->CreateHashIndex(customer_->schema().Require("C_W_ID"));
+  customer_->CreateHashIndex(customer_->schema().Require("C_ID"));
+  stock_->CreateHashIndex(stock_->schema().Require("S_W_ID"));
+  stock_->CreateOrderedIndex(stock_->schema().Require("S_QUANTITY"));
+  orders_->CreateHashIndex(orders_->schema().Require("O_C_ID"));
+  orders_->CreateHashIndex(orders_->schema().Require("O_ID"));
+  district_->CreateHashIndex(district_->schema().Require("D_ID"));
+}
+
+void TpccSimulation::NewOrder(Rng& rng) {
+  const int64_t w = rng.Uniform(1, config_.warehouses);
+  const int64_t d = rng.Uniform(1, config_.districts_per_warehouse);
+  const int64_t c = rng.Uniform(1, config_.customers_per_district);
+
+  // Bump the district's order counter.
+  for (storage::RowId row : district_->LookupEqual(district_->schema().Require("D_ID"), Value(d))) {
+    if (district_->Get(row, 0).as_int() != w) continue;
+    district_->Update(row, district_->schema().Require("D_NEXT_O_ID"),
+                      Value(district_->Get(row, 2).as_int() + 1));
+    break;
+  }
+
+  orders_->Insert({Value(w), Value(d), Value(next_order_id_++), Value(c), Value::Null(),
+                   Value(rng.Uniform(5, 15))});
+
+  // 5 order lines: decrement stock.
+  const uint32_t qty_col = stock_->schema().Require("S_QUANTITY");
+  const uint32_t cnt_col = stock_->schema().Require("S_ORDER_CNT");
+  for (int line = 0; line < 5; ++line) {
+    const int64_t item = rng.Uniform(1, config_.items);
+    for (storage::RowId row : stock_->LookupEqual(stock_->schema().Require("S_W_ID"), Value(w))) {
+      if (stock_->Get(row, 1).as_int() != item) continue;
+      int64_t qty = stock_->Get(row, qty_col).as_int() - rng.Uniform(1, 10);
+      if (qty < 10) qty += 91;  // TPC-C restock rule
+      stock_->Update(row, {{qty_col, Value(qty)},
+                           {cnt_col, Value(stock_->Get(row, cnt_col).as_int() + 1)}});
+      break;
+    }
+  }
+}
+
+void TpccSimulation::Payment(Rng& rng) {
+  const int64_t w = rng.Uniform(1, config_.warehouses);
+  const int64_t d = rng.Uniform(1, config_.districts_per_warehouse);
+  const int64_t c = rng.Uniform(1, config_.customers_per_district);
+  const int64_t amount = rng.Uniform(1, 500);
+
+  const uint32_t bal_col = customer_->schema().Require("C_BALANCE");
+  const uint32_t cnt_col = customer_->schema().Require("C_PAYMENT_CNT");
+  for (storage::RowId row : customer_->LookupEqual(customer_->schema().Require("C_ID"), Value(c))) {
+    if (customer_->Get(row, 0).as_int() != w || customer_->Get(row, 1).as_int() != d) continue;
+    customer_->Update(row, {{bal_col, Value(customer_->Get(row, bal_col).as_int() - amount)},
+                            {cnt_col, Value(customer_->Get(row, cnt_col).as_int() + 1)}});
+    break;
+  }
+}
+
+bool TpccSimulation::OrderStatus(Rng& rng) {
+  const int64_t w = rng.Uniform(1, config_.warehouses);
+  const int64_t d = rng.Uniform(1, config_.districts_per_warehouse);
+  // Half by customer last name (two cached queries), half by id.
+  const std::string last =
+      std::string(kLastNames[rng.Uniform(0, 9)]) + kLastNames[rng.Uniform(0, 9)];
+  auto by_last = engine_->Execute(q_customer_by_last_, {Value(w), Value(d), Value(last)});
+  const int64_t c = by_last.result->empty() ? rng.Uniform(1, config_.customers_per_district)
+                                            : by_last.result->rows().front()[0].as_int();
+  auto status = engine_->Execute(q_order_status_, {Value(w), Value(d), Value(c)});
+  return by_last.cache_hit && status.cache_hit;
+}
+
+void TpccSimulation::Delivery(Rng& rng) {
+  // Assign a carrier to up to 10 undelivered orders.
+  const uint32_t carrier_col = orders_->schema().Require("O_CARRIER_ID");
+  int updated = 0;
+  orders_->ForEachRow([&](storage::RowId row) {
+    if (updated >= 10) return;
+    if (!orders_->Get(row, carrier_col).is_null()) return;
+    orders_->Update(row, carrier_col, Value(rng.Uniform(1, 10)));
+    ++updated;
+  });
+}
+
+bool TpccSimulation::StockLevel(Rng& rng) {
+  const int64_t w = rng.Uniform(1, config_.warehouses);
+  const int64_t threshold = rng.Uniform(10, 20);
+  return engine_->Execute(q_stock_level_, {Value(w), Value(threshold)}).cache_hit;
+}
+
+MixResult TpccSimulation::Run() {
+  Rng rng(config_.seed + 1);
+  MixResult result;
+  const dup::DupStats before = engine_->dup_stats();
+  for (uint64_t t = 0; t < config_.transactions; ++t) {
+    ++result.transactions;
+    const double dice = rng.UniformReal();
+    if (dice < 0.45) {
+      NewOrder(rng);
+      ++result.updates;
+    } else if (dice < 0.88) {
+      Payment(rng);
+      ++result.updates;
+    } else if (dice < 0.92) {
+      ++result.queries;
+      if (OrderStatus(rng)) ++result.hits;
+    } else if (dice < 0.96) {
+      Delivery(rng);
+      ++result.updates;
+    } else {
+      ++result.queries;
+      if (StockLevel(rng)) ++result.hits;
+    }
+  }
+  result.invalidations = engine_->dup_stats().invalidations - before.invalidations;
+  return result;
+}
+
+}  // namespace qc::tpc

@@ -1,0 +1,74 @@
+// A compact TPC-C-like OLTP workload (paper §5.1).
+//
+// TPC-C models order-entry: warehouses, districts, customers, stock,
+// orders, with a transaction mix that is overwhelmingly update-bearing
+// (New-Order 45 %, Payment 43 %, Order-Status 4 %, Delivery 4 %,
+// Stock-Level 4 %). The paper observes that query caching — however smart
+// the invalidation — buys little here, because nearly every transaction
+// mutates the rows the few read-only queries depend on. This module
+// reproduces that negative result; it is deliberately a scaled-down
+// simulation, not a compliant TPC-C implementation (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "dup/policy.h"
+#include "middleware/query_engine.h"
+#include "storage/database.h"
+
+namespace qc::tpc {
+
+struct TpccConfig {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 60;
+  int items = 500;
+  uint64_t transactions = 4000;
+  uint64_t seed = 1234;
+};
+
+struct MixResult {
+  uint64_t transactions = 0;
+  uint64_t queries = 0;      // read-only transactions
+  uint64_t hits = 0;
+  uint64_t updates = 0;      // update-bearing transactions
+  uint64_t invalidations = 0;
+
+  double HitRatePercent() const {
+    return queries == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(queries);
+  }
+};
+
+class TpccSimulation {
+ public:
+  TpccSimulation(const TpccConfig& config, dup::InvalidationPolicy policy);
+
+  MixResult Run();
+
+  middleware::CachedQueryEngine& engine() { return *engine_; }
+  storage::Database& database() { return *db_; }
+
+ private:
+  void Load();
+  void NewOrder(Rng& rng);
+  void Payment(Rng& rng);
+  bool OrderStatus(Rng& rng);   // returns cache_hit
+  void Delivery(Rng& rng);
+  bool StockLevel(Rng& rng);    // returns cache_hit
+
+  TpccConfig config_;
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<middleware::CachedQueryEngine> engine_;
+  storage::Table* customer_ = nullptr;
+  storage::Table* stock_ = nullptr;
+  storage::Table* orders_ = nullptr;
+  storage::Table* district_ = nullptr;
+  std::shared_ptr<const sql::BoundQuery> q_customer_by_last_;
+  std::shared_ptr<const sql::BoundQuery> q_order_status_;
+  std::shared_ptr<const sql::BoundQuery> q_stock_level_;
+  int64_t next_order_id_ = 1;
+};
+
+}  // namespace qc::tpc

@@ -1,0 +1,83 @@
+#include "tpc/tpcd_like.h"
+
+namespace qc::tpc {
+
+namespace {
+
+const char* kReturnFlags[] = {"A", "N", "R"};
+const char* kLineStatus[] = {"O", "F"};
+
+}  // namespace
+
+TpcdSimulation::TpcdSimulation(const TpcdConfig& config, dup::InvalidationPolicy policy)
+    : config_(config), db_(std::make_unique<storage::Database>()) {
+  Load();
+  middleware::CachedQueryEngine::Options options;
+  options.policy = policy;
+  // Warehouse queries are aggregates over the fact data; the paper-mode
+  // dependency set (WHERE + GROUP BY) mirrors its §5 experiments.
+  options.extraction = dup::ExtractionOptions::PaperFidelity();
+  engine_ = std::make_unique<middleware::CachedQueryEngine>(*db_, options);
+
+  // TPC-D-flavored aggregate queries (Q1-like pricing summary slices, a
+  // discount-revenue probe, shipping backlogs).
+  queries_ = {
+      engine_->Prepare("SELECT L_RETURNFLAG, L_LINESTATUS, COUNT(*) FROM LINEITEM "
+                       "WHERE L_SHIPDATE <= 19981201 GROUP BY L_RETURNFLAG, L_LINESTATUS"),
+      engine_->Prepare("SELECT SUM(L_EXTENDEDPRICE) FROM LINEITEM "
+                       "WHERE L_DISCOUNT BETWEEN 5 AND 7 AND L_QUANTITY < 24"),
+      engine_->Prepare("SELECT COUNT(*) FROM LINEITEM WHERE L_SHIPDATE BETWEEN 19970101 AND "
+                       "19971231 AND L_RETURNFLAG = 'R'"),
+      engine_->Prepare("SELECT SUM(L_QUANTITY) FROM LINEITEM WHERE L_LINESTATUS = 'O'"),
+      engine_->Prepare("SELECT L_RETURNFLAG, SUM(L_EXTENDEDPRICE) FROM LINEITEM "
+                       "WHERE L_QUANTITY >= 30 GROUP BY L_RETURNFLAG"),
+  };
+}
+
+void TpcdSimulation::Load() {
+  lineitem_ = &db_->CreateTable(
+      "LINEITEM", storage::Schema({{"L_ORDERKEY", ValueType::kInt, false},
+                                   {"L_QUANTITY", ValueType::kInt, false},
+                                   {"L_EXTENDEDPRICE", ValueType::kInt, false},
+                                   {"L_DISCOUNT", ValueType::kInt, false},
+                                   {"L_SHIPDATE", ValueType::kInt, false},
+                                   {"L_RETURNFLAG", ValueType::kString, false},
+                                   {"L_LINESTATUS", ValueType::kString, false}}));
+  Rng rng(config_.seed);
+  InsertBatch(rng, config_.lineitems);
+  lineitem_->CreateOrderedIndex(lineitem_->schema().Require("L_SHIPDATE"));
+  lineitem_->CreateHashIndex(lineitem_->schema().Require("L_RETURNFLAG"));
+  lineitem_->CreateOrderedIndex(lineitem_->schema().Require("L_QUANTITY"));
+}
+
+void TpcdSimulation::InsertBatch(Rng& rng, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    lineitem_->Insert({Value(rng.Uniform(1, 1'000'000)), Value(rng.Uniform(1, 50)),
+                       Value(rng.Uniform(100, 100'000)), Value(rng.Uniform(0, 10)),
+                       Value(rng.Uniform(19'92'01'01, 19'98'12'01)),
+                       Value(kReturnFlags[rng.Uniform(0, 2)]), Value(kLineStatus[rng.Uniform(0, 1)])});
+  }
+}
+
+MixResult TpcdSimulation::Run() {
+  Rng rng(config_.seed + 1);
+  MixResult result;
+  const dup::DupStats before = engine_->dup_stats();
+  for (uint64_t t = 0; t < config_.transactions; ++t) {
+    ++result.transactions;
+    if (config_.refresh_interval > 0 && t > 0 && t % config_.refresh_interval == 0) {
+      InsertBatch(rng, config_.refresh_batch);
+      ++result.updates;
+      continue;
+    }
+    const auto& query = queries_[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(queries_.size()) - 1))];
+    auto outcome = engine_->Execute(query);
+    ++result.queries;
+    if (outcome.cache_hit) ++result.hits;
+  }
+  result.invalidations = engine_->dup_stats().invalidations - before.invalidations;
+  return result;
+}
+
+}  // namespace qc::tpc

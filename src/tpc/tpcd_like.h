@@ -1,0 +1,53 @@
+// A compact TPC-D-like decision-support workload (paper §5.1).
+//
+// TPC-D models data warehousing: large scan/aggregate queries over fact
+// data that is refreshed "periodically in large batches or not at all".
+// The paper's observation: with batch refresh, a sophisticated
+// invalidation strategy buys nothing — every batch touches enough of the
+// fact table that all cached aggregates die under any DUP policy, and
+// between batches nothing invalidates at all. This module reproduces that
+// insensitivity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "dup/policy.h"
+#include "middleware/query_engine.h"
+#include "storage/database.h"
+#include "tpc/tpcc_like.h"  // MixResult
+
+namespace qc::tpc {
+
+struct TpcdConfig {
+  uint64_t lineitems = 20'000;
+  uint64_t transactions = 2000;
+  /// Every `refresh_interval` transactions, insert `refresh_batch` new
+  /// fact rows (the periodic bulk load).
+  uint64_t refresh_interval = 250;
+  uint64_t refresh_batch = 200;
+  uint64_t seed = 77;
+};
+
+class TpcdSimulation {
+ public:
+  TpcdSimulation(const TpcdConfig& config, dup::InvalidationPolicy policy);
+
+  MixResult Run();
+
+  middleware::CachedQueryEngine& engine() { return *engine_; }
+
+ private:
+  void Load();
+  void InsertBatch(Rng& rng, uint64_t count);
+
+  TpcdConfig config_;
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<middleware::CachedQueryEngine> engine_;
+  storage::Table* lineitem_ = nullptr;
+  std::vector<std::shared_ptr<const sql::BoundQuery>> queries_;
+};
+
+}  // namespace qc::tpc

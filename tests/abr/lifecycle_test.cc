@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "abr/firing.h"
+#include "abr/rule_server.h"
+#include "common/error.h"
+
+namespace qc::abr {
+namespace {
+
+RuleUseData Draft(const std::string& name) {
+  RuleUseData data;
+  data.name = name;
+  data.context_id = "ctx";
+  data.type = "situational";
+  data.completion_status = "draft";
+  data.implementation = "emit";
+  return data;
+}
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  LifecycleTest() : server_(db_) {}
+  storage::Database db_;
+  RuleServer server_;
+};
+
+TEST_F(LifecycleTest, DraftReadyRetiredTransitions) {
+  const RuleId id = server_.CreateRuleUse(Draft("r"));
+  EXPECT_EQ(server_.GetAttribute(id, "COMPLETIONSTATUS"), Value("draft"));
+  server_.Promote(id);
+  EXPECT_EQ(server_.GetAttribute(id, "COMPLETIONSTATUS"), Value("ready"));
+  server_.Retire(id);
+  EXPECT_EQ(server_.GetAttribute(id, "COMPLETIONSTATUS"), Value("retired"));
+  server_.Reinstate(id);
+  EXPECT_EQ(server_.GetAttribute(id, "COMPLETIONSTATUS"), Value("draft"));
+}
+
+TEST_F(LifecycleTest, InvalidTransitionsThrow) {
+  const RuleId id = server_.CreateRuleUse(Draft("r"));
+  EXPECT_THROW(server_.Retire(id), Error);     // draft cannot retire
+  EXPECT_THROW(server_.Reinstate(id), Error);  // draft cannot reinstate
+  server_.Promote(id);
+  EXPECT_THROW(server_.Promote(id), Error);    // already ready
+}
+
+TEST_F(LifecycleTest, PromotionInvalidatesReadyQueries) {
+  const RuleId id = server_.CreateRuleUse(Draft("r"));
+  EXPECT_TRUE(server_.Find("findReadyByContext", {Value("ctx")}).rules.empty());
+  ASSERT_TRUE(server_.Find("findReadyByContext", {Value("ctx")}).cache_hit);
+
+  server_.Promote(id);
+  auto after = server_.Find("findReadyByContext", {Value("ctx")});
+  EXPECT_FALSE(after.cache_hit);  // status flip crossed the 'ready' annotation
+  EXPECT_EQ(after.rules, std::vector<RuleId>{id});
+}
+
+TEST_F(LifecycleTest, UpdateImplementationBumpsVersion) {
+  const RuleId id = server_.CreateRuleUse(Draft("r"));
+  server_.UpdateImplementation(id, "emit_v2", "param");
+  EXPECT_EQ(server_.GetAttribute(id, "IMPLEMENTATION"), Value("emit_v2"));
+  EXPECT_EQ(server_.GetAttribute(id, "VERSION"), Value(2));
+}
+
+TEST_F(LifecycleTest, CloneAsDraftCopiesButStaysInvisible) {
+  const RuleId id = server_.CreateRuleUse(Draft("r"));
+  server_.Promote(id);
+  server_.Find("findReadyByContext", {Value("ctx")});
+
+  const RuleId clone = server_.CloneAsDraft(id, "r-v2");
+  EXPECT_EQ(server_.GetAttribute(clone, "COMPLETIONSTATUS"), Value("draft"));
+  EXPECT_EQ(server_.GetAttribute(clone, "VERSION"), Value(2));
+  // The draft clone fails the 'ready' filter: the cached result survives.
+  auto ready = server_.Find("findReadyByContext", {Value("ctx")});
+  EXPECT_TRUE(ready.cache_hit);
+  EXPECT_EQ(ready.rules, std::vector<RuleId>{id});
+}
+
+TEST_F(LifecycleTest, TriggerPointFiresQueryWithContextParams) {
+  RuleUseData rule = Draft("seasonal");
+  rule.completion_status = "ready";
+  rule.folder = "summer";
+  rule.init_params = "sun.html";
+  const RuleId id = server_.CreateRuleUse(rule);
+
+  RuleRegistry registry;
+  registry.Register("emit", [](const RuleUseView& r, const RuleContext&) {
+    return r.Get("INITPARAMS");
+  });
+
+  TriggerPoint trigger(server_, registry, "findByFolderReady", {"season"});
+  auto outcome = trigger.Fire({{"season", Value("summer")}});
+  EXPECT_EQ(outcome.rules, std::vector<RuleId>{id});
+  ASSERT_EQ(outcome.results.size(), 1u);
+  EXPECT_EQ(outcome.results[0], Value("sun.html"));
+  EXPECT_FALSE(outcome.cache_hit);
+  EXPECT_TRUE(trigger.Fire({{"season", Value("summer")}}).cache_hit);
+  EXPECT_TRUE(trigger.Fire({{"season", Value("winter")}}).rules.empty());
+
+  EXPECT_THROW(trigger.Fire({{"wrong_key", Value(1)}}), Error);
+}
+
+}  // namespace
+}  // namespace qc::abr

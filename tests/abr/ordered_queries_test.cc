@@ -1,0 +1,86 @@
+// ABR + ORDER BY/LIMIT: "highest-priority rule wins" selection expressed
+// in the query itself, cached and invalidated like everything else.
+#include <gtest/gtest.h>
+
+#include "abr/rule_server.h"
+
+namespace qc::abr {
+namespace {
+
+TEST(AbrOrderedQueries, TopPriorityRuleViaDynamicSql) {
+  storage::Database db;
+  RuleServer server(db);
+
+  auto make = [&](const std::string& name, int64_t priority) {
+    RuleUseData data;
+    data.name = name;
+    data.context_id = "discount";
+    data.type = "situational";
+    data.priority = priority;
+    data.implementation = "emit";
+    return server.CreateRuleUse(data);
+  };
+  make("low", 1);
+  const RuleId high = make("high", 9);
+  make("mid", 5);
+
+  const std::string sql =
+      "SELECT RULEID, PRIORITY FROM RULEUSETABLE WHERE CONTEXTID = 'discount' "
+      "AND COMPLETIONSTATUS = 'ready' ORDER BY PRIORITY DESC LIMIT 1";
+  auto result = server.FindDynamic(sql);
+  ASSERT_EQ(result.rules.size(), 1u);
+  EXPECT_EQ(result.rules[0], high);
+  EXPECT_TRUE(server.FindDynamic(sql).cache_hit);
+
+  // A new top-priority rule must displace the cached winner.
+  const RuleId top = make("top", 20);
+  auto after = server.FindDynamic(sql);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.rules[0], top);
+
+  // Retiring the winner hands the crown back.
+  server.Retire(top);
+  EXPECT_EQ(server.FindDynamic(sql).rules[0], high);
+}
+
+TEST(AbrOrderedQueries, LimitedListIsInvalidatedByReordering) {
+  storage::Database db;
+  RuleServer server(db);
+  for (int i = 1; i <= 6; ++i) {
+    RuleUseData data;
+    data.name = "r" + std::to_string(i);
+    data.context_id = "ctx";
+    data.type = "situational";
+    data.priority = i;
+    server.CreateRuleUse(data);
+  }
+  const std::string sql =
+      "SELECT RULEID, PRIORITY FROM RULEUSETABLE WHERE CONTEXTID = 'ctx' "
+      "ORDER BY PRIORITY DESC LIMIT 3";
+  auto top3 = server.FindDynamic(sql);
+  ASSERT_EQ(top3.rules.size(), 3u);
+
+  // Bumping a low-priority rule above the cut reshuffles the top 3.
+  server.SetAttribute(top3.rules[2] - 2, "PRIORITY", Value(50));
+  auto after = server.FindDynamic(sql);
+  EXPECT_FALSE(after.cache_hit);
+  ASSERT_EQ(after.rules.size(), 3u);
+  EXPECT_NE(after.rules, top3.rules);
+}
+
+}  // namespace
+}  // namespace qc::abr
+
+namespace qc::abr {
+namespace {
+
+TEST(AbrDynamicSql, NonRuleIdProjectionRejected) {
+  storage::Database db;
+  RuleServer server(db);
+  EXPECT_THROW(server.FindDynamic("SELECT NAME FROM RULEUSETABLE WHERE PRIORITY > 0"), Error);
+  EXPECT_THROW(server.FindDynamic("SELECT COUNT(*) FROM RULEUSETABLE"), Error);
+  EXPECT_NO_THROW(server.FindDynamic("SELECT RULEID FROM RULEUSETABLE WHERE PRIORITY > 0"));
+}
+
+}  // namespace
+}  // namespace qc::abr

@@ -1,0 +1,241 @@
+#include "abr/rule_server.h"
+
+#include <gtest/gtest.h>
+
+#include "abr/firing.h"
+#include "common/error.h"
+
+namespace qc::abr {
+namespace {
+
+RuleUseData MakeRule(const std::string& name, const std::string& context,
+                     const std::string& type, const std::string& classification = "") {
+  RuleUseData data;
+  data.name = name;
+  data.context_id = context;
+  data.type = type;
+  data.classification = classification;
+  data.implementation = "noop";
+  return data;
+}
+
+class RuleServerTest : public ::testing::Test {
+ protected:
+  RuleServerTest() : server_(db_) {}
+  storage::Database db_;
+  RuleServer server_;
+};
+
+TEST_F(RuleServerTest, ServerOffersTwentyThreeQueries) {
+  EXPECT_EQ(ServerQueries().size(), 23u);
+  for (const NamedQuery& query : ServerQueries()) {
+    EXPECT_FALSE(query.name.empty());
+    EXPECT_NE(query.sql.find("RULEID"), std::string::npos) << query.name;
+  }
+}
+
+TEST_F(RuleServerTest, CreateGetDelete) {
+  const RuleId id = server_.CreateRuleUse(MakeRule("r1", "ctx", "classifier"));
+  EXPECT_TRUE(server_.Exists(id));
+  RuleUseData data = server_.GetRuleUse(id);
+  EXPECT_EQ(data.name, "r1");
+  EXPECT_EQ(data.completion_status, "ready");
+  server_.DeleteRuleUse(id);
+  EXPECT_FALSE(server_.Exists(id));
+  EXPECT_THROW(server_.GetRuleUse(id), StorageError);
+}
+
+TEST_F(RuleServerTest, AttributesReadThroughLive) {
+  const RuleId id = server_.CreateRuleUse(MakeRule("r1", "ctx", "classifier"));
+  server_.SetAttribute(id, "PRIORITY", Value(9));
+  EXPECT_EQ(server_.GetAttribute(id, "PRIORITY"), Value(9));
+  EXPECT_THROW(server_.SetAttribute(id, "RULEID", Value(99)), StorageError);
+  EXPECT_THROW(server_.SetAttribute(id, "NOPE", Value(1)), StorageError);
+}
+
+TEST_F(RuleServerTest, FindClassifiersMatchesPaperQ1) {
+  const RuleId ready = server_.CreateRuleUse(MakeRule("c1", "customerLevel", "classifier"));
+  RuleUseData draft = MakeRule("c2", "customerLevel", "classifier");
+  draft.completion_status = "draft";
+  server_.CreateRuleUse(draft);
+  server_.CreateRuleUse(MakeRule("other", "promotion", "classifier"));
+
+  auto result = server_.FindClassifiers("customerLevel");
+  ASSERT_EQ(result.rules.size(), 1u);
+  EXPECT_EQ(result.rules[0], ready);
+  EXPECT_FALSE(result.cache_hit);
+  EXPECT_TRUE(server_.FindClassifiers("customerLevel").cache_hit);
+}
+
+TEST_F(RuleServerTest, FindPromotionsIsParameterized) {
+  const RuleId gold =
+      server_.CreateRuleUse(MakeRule("pGold", "promotion", "situational", "Gold"));
+  const RuleId silver =
+      server_.CreateRuleUse(MakeRule("pSilver", "promotion", "situational", "Silver"));
+  EXPECT_EQ(server_.FindPromotions("Gold").rules, std::vector<RuleId>{gold});
+  EXPECT_EQ(server_.FindPromotions("Silver").rules, std::vector<RuleId>{silver});
+  EXPECT_TRUE(server_.FindPromotions("Gold").cache_hit);
+  EXPECT_TRUE(server_.FindPromotions("Silver").cache_hit);
+}
+
+TEST_F(RuleServerTest, PaperPlatinumScenario) {
+  // §4.2: introducing a new customer-level classifier invalidates Q1 but
+  // NOT the cached Q2 results for existing classifications.
+  server_.CreateRuleUse(MakeRule("c1", "customerLevel", "classifier"));
+  server_.CreateRuleUse(MakeRule("pGold", "promotion", "situational", "Gold"));
+  server_.FindClassifiers("customerLevel");
+  server_.FindPromotions("Gold");
+  ASSERT_TRUE(server_.FindClassifiers("customerLevel").cache_hit);
+  ASSERT_TRUE(server_.FindPromotions("Gold").cache_hit);
+
+  server_.CreateRuleUse(MakeRule("cPlatinum", "customerLevel", "classifier"));
+
+  EXPECT_FALSE(server_.FindClassifiers("customerLevel").cache_hit);  // Q1 invalidated
+  EXPECT_TRUE(server_.FindPromotions("Gold").cache_hit);             // Q2 survives
+  EXPECT_EQ(server_.FindClassifiers("customerLevel").rules.size(), 2u);
+}
+
+TEST_F(RuleServerTest, SetterInvalidationMatchesFig6) {
+  const RuleId id = server_.CreateRuleUse(MakeRule("r", "customerLevel", "classifier"));
+  server_.FindClassifiers("customerLevel");
+  // No-op set: no invalidation (the Fig. 6 equals guard).
+  server_.SetAttribute(id, "CONTEXTID", Value("customerLevel"));
+  EXPECT_TRUE(server_.FindClassifiers("customerLevel").cache_hit);
+  // Real change moves the rule out of the context: invalidate.
+  server_.SetAttribute(id, "CONTEXTID", Value("somethingElse"));
+  auto result = server_.FindClassifiers("customerLevel");
+  EXPECT_FALSE(result.cache_hit);
+  EXPECT_TRUE(result.rules.empty());
+}
+
+TEST_F(RuleServerTest, NamedQueriesExecuteAndCache) {
+  RuleUseData rule = MakeRule("r1", "ctx", "situational", "Gold");
+  rule.folder = "f";
+  rule.owner = "me";
+  rule.priority = 5;
+  rule.start_date = 20260101;
+  rule.end_date = 20261231;
+  rule.version = 3;
+  const RuleId id = server_.CreateRuleUse(rule);
+
+  const std::vector<std::pair<std::string, std::vector<Value>>> calls = {
+      {"findAllReady", {}},
+      {"findByName", {Value("r1")}},
+      {"findByContext", {Value("ctx")}},
+      {"findReadyByContext", {Value("ctx")}},
+      {"findSituational", {Value("ctx"), Value("Gold")}},
+      {"findByType", {Value("situational")}},
+      {"findByFolder", {Value("f")}},
+      {"findByFolderReady", {Value("f")}},
+      {"findByOwner", {Value("me")}},
+      {"findByClassification", {Value("Gold")}},
+      {"findByContextAndType", {Value("ctx"), Value("situational")}},
+      {"findActiveAt", {Value(20260615)}},
+      {"findReadyActiveByContext", {Value("ctx"), Value(20260615)}},
+      {"findByPriorityAtLeast", {Value(5)}},
+      {"findByPriorityBetween", {Value(1), Value(9)}},
+      {"findByContextPrioritized", {Value("ctx"), Value(2)}},
+      {"findByVersionAtLeast", {Value(2)}},
+      {"findByOwnerAndFolder", {Value("me"), Value("f")}},
+      {"findByContextNotClassification", {Value("ctx"), Value("Bronze")}},
+  };
+  for (const auto& [name, params] : calls) {
+    auto result = server_.Find(name, params);
+    EXPECT_EQ(result.rules, std::vector<RuleId>{id}) << name;
+    EXPECT_TRUE(server_.Find(name, params).cache_hit) << name;
+  }
+  EXPECT_TRUE(server_.Find("findDrafts").rules.empty());
+  EXPECT_TRUE(server_.Find("findRetired").rules.empty());
+  EXPECT_THROW(server_.Find("noSuchQuery"), Error);
+}
+
+TEST_F(RuleServerTest, DynamicSqlPathWorksAndCaches) {
+  const RuleId id = server_.CreateRuleUse(MakeRule("dyn", "ctx", "classifier"));
+  const std::string sql =
+      "SELECT RULEID FROM RULEUSETABLE WHERE NAME = 'dyn' AND VERSION >= 1";
+  EXPECT_EQ(server_.FindDynamic(sql).rules, std::vector<RuleId>{id});
+  EXPECT_TRUE(server_.FindDynamic(sql).cache_hit);
+  server_.SetAttribute(id, "VERSION", Value(0));
+  EXPECT_TRUE(server_.FindDynamic(sql).rules.empty());
+}
+
+// --- firing -------------------------------------------------------------------
+
+TEST(RuleFiring, FiresInPriorityOrderAndSkipsNulls) {
+  storage::Database db;
+  RuleServer server(db);
+  RuleRegistry registry;
+  registry.Register("emit_name",
+                    [](const RuleUseView& rule, const RuleContext&) { return rule.Get("NAME"); });
+  registry.Register("maybe", [](const RuleUseView&, const RuleContext& ctx) {
+    return ctx.count("go") ? Value("went") : Value::Null();
+  });
+
+  RuleUseData low = MakeRule("low", "ctx", "classifier");
+  low.priority = 1;
+  low.implementation = "emit_name";
+  RuleUseData high = MakeRule("high", "ctx", "classifier");
+  high.priority = 9;
+  high.implementation = "emit_name";
+  RuleUseData silent = MakeRule("silent", "ctx", "classifier");
+  silent.priority = 5;
+  silent.implementation = "maybe";
+  const RuleId low_id = server.CreateRuleUse(low);
+  const RuleId high_id = server.CreateRuleUse(high);
+  const RuleId silent_id = server.CreateRuleUse(silent);
+
+  auto fired = registry.Fire(server, {low_id, silent_id, high_id}, {});
+  ASSERT_EQ(fired.size(), 2u);  // "maybe" returned NULL
+  EXPECT_EQ(fired[0], Value("high"));
+  EXPECT_EQ(fired[1], Value("low"));
+
+  auto with_context = registry.Fire(server, {silent_id}, {{"go", Value(1)}});
+  ASSERT_EQ(with_context.size(), 1u);
+  EXPECT_EQ(with_context[0], Value("went"));
+}
+
+TEST(RuleFiring, UnknownImplementationThrows) {
+  storage::Database db;
+  RuleServer server(db);
+  RuleRegistry registry;
+  const RuleId id = server.CreateRuleUse(MakeRule("r", "ctx", "classifier"));
+  EXPECT_THROW(registry.Fire(server, {id}, {}), Error);
+}
+
+TEST(RuleFiring, DecisionPointClassifiesThenSelects) {
+  storage::Database db;
+  RuleServer server(db);
+  RuleRegistry registry;
+  registry.Register("classify", [](const RuleUseView&, const RuleContext& ctx) {
+    return ctx.at("spend").as_int() >= 100 ? Value("Gold") : Value("Bronze");
+  });
+  registry.Register("emit", [](const RuleUseView& rule, const RuleContext&) {
+    return rule.Get("INITPARAMS");
+  });
+
+  RuleUseData classifier = MakeRule("c", "customerLevel", "classifier");
+  classifier.implementation = "classify";
+  server.CreateRuleUse(classifier);
+  RuleUseData gold = MakeRule("pg", "promotion", "situational", "Gold");
+  gold.implementation = "emit";
+  gold.init_params = "gold.html";
+  server.CreateRuleUse(gold);
+  RuleUseData bronze = MakeRule("pb", "promotion", "situational", "Bronze");
+  bronze.implementation = "emit";
+  bronze.init_params = "bronze.html";
+  server.CreateRuleUse(bronze);
+
+  ClassifyAndSelectDecisionPoint dp(server, registry, "customerLevel");
+  auto rich = dp.Run({{"spend", Value(500)}});
+  ASSERT_EQ(rich.classifications, std::vector<std::string>{"Gold"});
+  ASSERT_EQ(rich.content.size(), 1u);
+  EXPECT_EQ(rich.content[0], Value("gold.html"));
+
+  auto poor = dp.Run({{"spend", Value(5)}});
+  EXPECT_EQ(poor.classifications, std::vector<std::string>{"Bronze"});
+  EXPECT_EQ(poor.content[0], Value("bronze.html"));
+  EXPECT_TRUE(poor.q1_cache_hit);  // classifier query cached from the first run
+}
+
+}  // namespace
+}  // namespace qc::abr

@@ -1,0 +1,127 @@
+#include "accel/page_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace qc::accel {
+namespace {
+
+class PageServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.SetFragment("header", "<h1>Shop</h1>");
+    server_.SetFragment("prices", "<ul>prices v1</ul>");
+    server_.SetFragment("footer", "(c) 2000");
+    server_.DefinePage("/index.html", "{{header}}welcome{{footer}}");
+    server_.DefinePage("/products/a.html", "{{header}}A: {{prices}}{{footer}}");
+    server_.DefinePage("/products/b.html", "{{header}}B: {{prices}}{{footer}}");
+  }
+
+  PageServer server_;
+};
+
+TEST_F(PageServerTest, RendersAndCaches) {
+  const std::string html = server_.Serve("/index.html");
+  EXPECT_EQ(html, "<h1>Shop</h1>welcome(c) 2000");
+  server_.Serve("/index.html");
+  EXPECT_EQ(server_.stats().renders, 1u);
+  EXPECT_EQ(server_.stats().hits, 1u);
+}
+
+TEST_F(PageServerTest, FragmentUpdateInvalidatesEmbeddingPagesOnly) {
+  server_.Serve("/index.html");
+  server_.Serve("/products/a.html");
+  server_.Serve("/products/b.html");
+  EXPECT_EQ(server_.cached_pages(), 3u);
+
+  server_.SetFragment("prices", "<ul>prices v2</ul>");
+  EXPECT_EQ(server_.stats().invalidated_pages, 2u);  // both product pages
+  EXPECT_EQ(server_.cached_pages(), 1u);             // index survives
+
+  EXPECT_NE(server_.Serve("/products/a.html").find("v2"), std::string::npos);  // re-render
+  const auto hits_before = server_.stats().hits;
+  server_.Serve("/index.html");  // untouched page: still a hit
+  EXPECT_EQ(server_.stats().hits, hits_before + 1);
+}
+
+TEST_F(PageServerTest, TransitiveIncludesPropagate) {
+  // nav includes prices; home includes nav: a prices change must reach home
+  // through two hops (the paper's multi-level ODG).
+  server_.SetFragment("nav", "menu {{prices}}");
+  server_.DefinePage("/home.html", "{{nav}} body");
+  const std::string v1 = server_.Serve("/home.html");
+  EXPECT_NE(v1.find("prices v1"), std::string::npos);
+
+  server_.SetFragment("prices", "<ul>prices v3</ul>");
+  const std::string v3 = server_.Serve("/home.html");
+  EXPECT_NE(v3.find("prices v3"), std::string::npos);
+  EXPECT_EQ(server_.stats().renders, 2u);
+}
+
+TEST_F(PageServerTest, RedefiningPageTemplateInvalidates) {
+  server_.Serve("/index.html");
+  server_.DefinePage("/index.html", "{{header}}new body{{footer}}");
+  EXPECT_NE(server_.Serve("/index.html").find("new body"), std::string::npos);
+}
+
+TEST_F(PageServerTest, UnknownPageAndFragmentThrow) {
+  EXPECT_THROW(server_.Serve("/missing.html"), Error);
+  server_.DefinePage("/broken.html", "{{nope}}");
+  EXPECT_THROW(server_.Serve("/broken.html"), Error);
+}
+
+TEST_F(PageServerTest, IncludeCycleIsDiagnosed) {
+  server_.SetFragment("a", "{{b}}");
+  server_.SetFragment("b", "{{a}}");
+  server_.DefinePage("/cycle.html", "{{a}}");
+  EXPECT_THROW(server_.Serve("/cycle.html"), Error);
+}
+
+TEST_F(PageServerTest, ForwardReferencesResolveAtServeTime) {
+  server_.DefinePage("/future.html", "{{later}}");
+  server_.SetFragment("later", "here now");
+  EXPECT_EQ(server_.Serve("/future.html"), "here now");
+}
+
+TEST_F(PageServerTest, ObsolescenceBudgetAgesPages) {
+  PageServer::Options options;
+  options.obsolescence_budget = 2.0;
+  PageServer lazy(options);
+  lazy.SetFragment("ticker", "t0");
+  lazy.DefinePage("/live.html", "now: {{ticker}}");
+  EXPECT_EQ(lazy.Serve("/live.html"), "now: t0");
+
+  lazy.SetFragment("ticker", "t1");  // obsolescence 1: tolerated
+  lazy.SetFragment("ticker", "t2");  // obsolescence 2: tolerated
+  EXPECT_EQ(lazy.Serve("/live.html"), "now: t0");  // deliberately stale
+  EXPECT_EQ(lazy.stats().tolerated_updates, 2u);
+
+  lazy.SetFragment("ticker", "t3");  // exceeds the budget
+  EXPECT_EQ(lazy.Serve("/live.html"), "now: t3");
+  EXPECT_EQ(lazy.stats().invalidated_pages, 1u);
+}
+
+TEST_F(PageServerTest, MinorFragmentsAgeSlower) {
+  PageServer::Options options;
+  options.obsolescence_budget = 2.0;
+  PageServer lazy(options);
+  lazy.SetFragment("major", "M0", /*weight=*/5.0);
+  lazy.SetFragment("minor", "m0", /*weight=*/1.0);
+  lazy.DefinePage("/mixed.html", "{{major}}|{{minor}}");
+  lazy.Serve("/mixed.html");
+
+  lazy.SetFragment("minor", "m1");  // weight 1 <= budget: tolerated
+  EXPECT_EQ(lazy.Serve("/mixed.html"), "M0|m0");
+  lazy.SetFragment("major", "M1");  // weight 5 blows straight through
+  EXPECT_EQ(lazy.Serve("/mixed.html"), "M1|m1");
+}
+
+TEST_F(PageServerTest, DumpOdgShowsStructure) {
+  const std::string dot = server_.DumpOdg();
+  EXPECT_NE(dot.find("frag:prices"), std::string::npos);
+  EXPECT_NE(dot.find("page:/products/a.html"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qc::accel

@@ -1,0 +1,107 @@
+#include "cluster/client_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace qc::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ClientCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                    {"N", ValueType::kInt, false}}));
+    for (int i = 1; i <= 20; ++i) table_->Insert({Value(i), Value(i)});
+    engine_ = std::make_unique<middleware::CachedQueryEngine>(db_, middleware::CachedQueryEngine::Options{});
+  }
+
+  ClientCacheConfig Config() {
+    ClientCacheConfig config;
+    config.ttl = 30s;
+    config.now = [this] { return now_; };
+    config.verify_staleness = true;
+    return config;
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+  std::unique_ptr<middleware::CachedQueryEngine> engine_;
+  cache::TimePoint now_{};
+};
+
+TEST_F(ClientCacheTest, LocalHitsOffloadOrigin) {
+  ClientCache client(*engine_, Config());
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= 10");
+  EXPECT_FALSE(client.Execute(query).cache_hit);  // origin miss too
+  EXPECT_TRUE(client.Execute(query).cache_hit);
+  EXPECT_TRUE(client.Execute(query).cache_hit);
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.local_hits, 2u);
+  EXPECT_EQ(stats.origin_requests, 1u);
+  // The origin saw exactly one execution.
+  EXPECT_EQ(engine_->stats().executions, 1u);
+}
+
+TEST_F(ClientCacheTest, NoInvalidationChannelMeansBoundedStaleness) {
+  ClientCache client(*engine_, Config());
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= 10");
+  EXPECT_EQ(client.Execute(query).result->ScalarAt(0, 0), Value(10));
+
+  table_->Update(0, 1, Value(100));  // server side: count is now 9
+
+  // The origin's DUP cache is already correct...
+  EXPECT_EQ(engine_->Execute(query).result->ScalarAt(0, 0), Value(9));
+  // ...but the client keeps serving its TTL copy (stale, by design).
+  auto local = client.Execute(query);
+  EXPECT_TRUE(local.cache_hit);
+  EXPECT_EQ(local.result->ScalarAt(0, 0), Value(10));
+  EXPECT_EQ(client.stats().stale_local_hits, 1u);
+
+  // Until the TTL expires — the client clock advances past 30s and the
+  // next request goes through to the (already-correct) origin.
+  now_ += 31s;
+  const auto origin_before = client.stats().origin_requests;
+  auto fresh = client.Execute(query);
+  EXPECT_EQ(client.stats().origin_requests, origin_before + 1);
+  EXPECT_EQ(fresh.result->ScalarAt(0, 0), Value(9));
+}
+
+TEST_F(ClientCacheTest, RefreshDropsLocalCopyOnly) {
+  ClientCache client(*engine_, Config());
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= 10");
+  client.Execute(query);
+  client.Refresh(query);
+  auto outcome = client.Execute(query);
+  EXPECT_TRUE(outcome.cache_hit);  // served by the ORIGIN's cache
+  EXPECT_EQ(client.stats().origin_requests, 2u);
+}
+
+TEST_F(ClientCacheTest, ParamsAreSeparateEntries) {
+  ClientCache client(*engine_, Config());
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= $1");
+  client.Execute(query, {Value(5)});
+  client.Execute(query, {Value(15)});
+  EXPECT_EQ(client.entry_count(), 2u);
+  EXPECT_TRUE(client.Execute(query, {Value(5)}).cache_hit);
+}
+
+TEST_F(ClientCacheTest, LruBoundsClientFootprint) {
+  ClientCacheConfig config = Config();
+  config.max_entries = 2;
+  ClientCache client(*engine_, config);
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= $1");
+  client.Execute(query, {Value(1)});
+  client.Execute(query, {Value(2)});
+  client.Execute(query, {Value(3)});
+  EXPECT_LE(client.entry_count(), 2u);
+  // The first entry was evicted locally: the next request goes to the
+  // origin again (whose own cache may well hit — that flag passes through).
+  const auto before = client.stats().origin_requests;
+  client.Execute(query, {Value(1)});
+  EXPECT_EQ(client.stats().origin_requests, before + 1);
+}
+
+}  // namespace
+}  // namespace qc::cluster

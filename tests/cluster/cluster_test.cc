@@ -1,0 +1,158 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace qc::cluster {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                    {"KIND", ValueType::kString, false},
+                                                    {"N", ValueType::kInt, false}}));
+    table_->CreateHashIndex(1);
+    for (int i = 1; i <= 50; ++i) {
+      table_->Insert({Value(i), Value(i % 2 == 0 ? "even" : "odd"), Value(i)});
+    }
+  }
+
+  ClusterConfig Config(uint64_t latency, dup::InvalidationPolicy policy =
+                                              dup::InvalidationPolicy::kValueAware) {
+    ClusterConfig config;
+    config.nodes = 3;
+    config.latency_ticks = latency;
+    config.policy = policy;
+    return config;
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+};
+
+TEST_F(ClusterTest, EachNodeHasIndependentCache) {
+  CacheCluster cluster(db_, Config(0));
+  auto query = cluster.Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'even'");
+  EXPECT_FALSE(cluster.ExecuteAt(0, query).cache_hit);
+  EXPECT_FALSE(cluster.ExecuteAt(1, query).cache_hit);  // separate cache
+  EXPECT_TRUE(cluster.ExecuteAt(0, query).cache_hit);
+  EXPECT_TRUE(cluster.ExecuteAt(1, query).cache_hit);
+  EXPECT_FALSE(cluster.ExecuteAt(2, query).cache_hit);
+}
+
+TEST_F(ClusterTest, RoundRobinSpreadsLoad) {
+  CacheCluster cluster(db_, Config(0));
+  auto query = cluster.Prepare("SELECT COUNT(*) FROM T");
+  for (int i = 0; i < 6; ++i) cluster.Execute(query);
+  // After one lap of misses, the second lap hits on every node.
+  EXPECT_EQ(cluster.stats().queries, 6u);
+  EXPECT_EQ(cluster.stats().hits, 3u);
+}
+
+TEST_F(ClusterTest, SynchronousCoherenceNeverServesStale) {
+  CacheCluster cluster(db_, Config(0));
+  auto query = cluster.Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'even'");
+  for (size_t n = 0; n < 3; ++n) cluster.ExecuteAt(n, query);
+
+  cluster.PerformUpdate(0, [&] { table_->Update(0, 1, Value("even")); });  // id 1 odd -> even
+  for (size_t n = 0; n < 3; ++n) {
+    auto outcome = cluster.ExecuteAt(n, query);
+    EXPECT_FALSE(outcome.cache_hit) << "node " << n;  // token arrived instantly
+    EXPECT_EQ(outcome.result->ScalarAt(0, 0), Value(26));
+  }
+  EXPECT_EQ(cluster.stats().stale_hits, 0u);
+  EXPECT_EQ(cluster.stats().remote_invalidations, 2u);
+  EXPECT_EQ(cluster.stats().local_invalidations, 1u);
+  EXPECT_EQ(cluster.stats().tokens_sent, 2u);
+}
+
+TEST_F(ClusterTest, LatencyCreatesBoundedStaleWindow) {
+  CacheCluster cluster(db_, Config(5));
+  auto query = cluster.Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'even'");
+  for (size_t n = 0; n < 3; ++n) cluster.ExecuteAt(n, query);
+
+  cluster.PerformUpdate(0, [&] { table_->Update(0, 1, Value("even")); });
+  EXPECT_EQ(cluster.in_flight(), 2u);
+
+  // Writer is correct immediately; a remote node still serves the old count.
+  EXPECT_FALSE(cluster.ExecuteAt(0, query).cache_hit);
+  auto remote = cluster.ExecuteAt(1, query);
+  EXPECT_TRUE(remote.cache_hit);
+  EXPECT_EQ(remote.result->ScalarAt(0, 0), Value(25));  // stale value
+  EXPECT_EQ(cluster.stats().stale_hits, 1u);
+
+  // After the latency window the token lands and the node recovers.
+  cluster.Quiesce();
+  EXPECT_EQ(cluster.in_flight(), 0u);
+  auto fresh = cluster.ExecuteAt(1, query);
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.result->ScalarAt(0, 0), Value(26));
+}
+
+TEST_F(ClusterTest, ValueAwareCutsCoherenceTraffic) {
+  // Two clusters over identical state; Policy III's remote invalidations
+  // must undercut Policy II's for value-irrelevant updates.
+  auto run = [&](dup::InvalidationPolicy policy) {
+    storage::Database db;
+    storage::Table& t = db.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                             {"N", ValueType::kInt, false}}));
+    for (int i = 1; i <= 50; ++i) t.Insert({Value(i), Value(i)});
+    ClusterConfig config;
+    config.nodes = 3;
+    config.policy = policy;
+    CacheCluster cluster(db, config);
+    auto query = cluster.Prepare("SELECT COUNT(*) FROM T WHERE N BETWEEN 100 AND 200");
+    for (size_t n = 0; n < 3; ++n) cluster.ExecuteAt(n, query);
+    for (int i = 0; i < 10; ++i) {
+      // N bounces far below the cached range: no result can change.
+      cluster.PerformUpdate(0, [&, i] { t.Update(0, 1, Value(10 + i)); });
+      for (size_t n = 0; n < 3; ++n) cluster.ExecuteAt(n, query);
+    }
+    return cluster.stats();
+  };
+  const ClusterStats ii = run(dup::InvalidationPolicy::kValueUnaware);
+  const ClusterStats iii = run(dup::InvalidationPolicy::kValueAware);
+  EXPECT_GT(ii.remote_invalidations, 0u);
+  EXPECT_EQ(iii.remote_invalidations, 0u);
+  EXPECT_GT(iii.HitRatePercent(), ii.HitRatePercent());
+  // Token traffic is policy-independent; invalidation work is not.
+  EXPECT_EQ(ii.tokens_sent, iii.tokens_sent);
+}
+
+TEST_F(ClusterTest, DirectDatabaseWritesRouteThroughNodeZero) {
+  CacheCluster cluster(db_, Config(0));
+  auto query = cluster.Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'odd'");
+  for (size_t n = 0; n < 3; ++n) cluster.ExecuteAt(n, query);
+  // Mutation outside PerformUpdate: treated as a node-0 write.
+  table_->Update(1, 1, Value("odd"));  // id 2 even -> odd
+  cluster.Quiesce();
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_FALSE(cluster.ExecuteAt(n, query).cache_hit) << n;
+  }
+}
+
+TEST_F(ClusterTest, ZeroNodesRejected) {
+  ClusterConfig config;
+  config.nodes = 0;
+  EXPECT_THROW(CacheCluster cluster(db_, config), Error);
+}
+
+TEST_F(ClusterTest, FlushAllPolicyFlushesRemotesOnDelivery) {
+  CacheCluster cluster(db_, Config(0, dup::InvalidationPolicy::kFlushAll));
+  auto even = cluster.Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'even'");
+  auto all = cluster.Prepare("SELECT COUNT(*) FROM T");
+  for (size_t n = 0; n < 3; ++n) {
+    cluster.ExecuteAt(n, even);
+    cluster.ExecuteAt(n, all);
+  }
+  cluster.PerformUpdate(2, [&] { table_->Update(0, 2, Value(999)); });
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_FALSE(cluster.ExecuteAt(n, even).cache_hit) << n;
+    EXPECT_FALSE(cluster.ExecuteAt(n, all).cache_hit) << n;
+  }
+}
+
+}  // namespace
+}  // namespace qc::cluster

@@ -1,0 +1,127 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+namespace qc {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(3).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(3).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+  EXPECT_FALSE(Value::Null().is_numeric());
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(Value(42).numeric(), 42.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).numeric(), 2.5);
+}
+
+TEST(Value, WrongAccessorThrows) {
+  EXPECT_THROW(Value("x").as_int(), std::bad_variant_access);
+  EXPECT_THROW(Value(1).as_string(), std::bad_variant_access);
+  EXPECT_THROW(Value::Null().as_double(), std::bad_variant_access);
+}
+
+TEST(Value, IntComparison) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_GT(Value(5), Value(-5));
+  EXPECT_EQ(Value(7), Value(7));
+  EXPECT_LE(Value(7), Value(7));
+  EXPECT_GE(Value(7), Value(7));
+  EXPECT_NE(Value(7), Value(8));
+}
+
+TEST(Value, CrossNumericComparison) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_LT(Value(2), Value(2.5));
+  EXPECT_GT(Value(3.5), Value(3));
+}
+
+TEST(Value, StringComparison) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+}
+
+TEST(Value, NullSortsFirst) {
+  EXPECT_LT(Value::Null(), Value(int64_t{-100000}));
+  EXPECT_LT(Value::Null(), Value(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(Value, NumericSortsBeforeString) {
+  EXPECT_LT(Value(999999), Value(""));
+  EXPECT_LT(Value(1.5), Value("0"));
+}
+
+TEST(Value, ToStringRendersAllTypes) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(Value, ToStringEscapesQuotes) {
+  EXPECT_EQ(Value("it's").ToString(), "'it''s'");
+  EXPECT_EQ(Value("''").ToString(), "''''''");
+}
+
+TEST(Value, ToStringIsInjectiveAcrossTypes) {
+  // '42' (string) and 42 (int) must render differently.
+  EXPECT_NE(Value("42").ToString(), Value(42).ToString());
+  EXPECT_NE(Value("NULL").ToString(), Value::Null().ToString());
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());  // 2 == 2.0
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(Value, WorksAsUnorderedKey) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(1));
+  set.insert(Value("1"));
+  set.insert(Value::Null());
+  set.insert(Value(1));  // duplicate
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Value(1)));
+  EXPECT_TRUE(set.count(Value("1")));
+}
+
+TEST(Value, WorksAsOrderedKey) {
+  std::map<Value, int> map;
+  map[Value(3)] = 1;
+  map[Value::Null()] = 2;
+  map[Value("a")] = 3;
+  map[Value(1.5)] = 4;
+  EXPECT_EQ(map.begin()->second, 2);           // NULL first
+  EXPECT_EQ(std::prev(map.end())->second, 3);  // string last
+}
+
+TEST(Value, StreamOutput) {
+  std::ostringstream os;
+  os << Value(5) << " " << Value("a");
+  EXPECT_EQ(os.str(), "5 'a'");
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,85 @@
+// Interactions between engine options: row-aware policy + obsolescence
+// budgets + refresh, composed.
+#include <gtest/gtest.h>
+
+#include "middleware/query_engine.h"
+
+namespace qc::dup {
+namespace {
+
+class CombinedModesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                                    {"Y", ValueType::kInt, false}}));
+    for (int i = 1; i <= 10; ++i) table_->Insert({Value(i), Value(i * 10)});
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+};
+
+TEST_F(CombinedModesTest, RowAwareWithBudgetAppliesBothFilters) {
+  middleware::CachedQueryEngine::Options options;
+  options.policy = InvalidationPolicy::kRowAware;
+  options.obsolescence_threshold = 1.0;
+  middleware::CachedQueryEngine engine(db_, options);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE X BETWEEN 3 AND 6 AND Y >= 40");
+
+  engine.Execute(query);
+  // Row-aware filter: X enters [3,6] but Y=10 keeps the row out — no budget
+  // consumed, still cached.
+  table_->Update(0, 0, Value(4));
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+  EXPECT_EQ(engine.dup_stats().tolerated_changes, 0u);
+
+  // A real membership change consumes one budget unit (tolerated)...
+  table_->Update(0, 1, Value(100));  // row (4,100) now matches
+  EXPECT_TRUE(engine.Execute(query).cache_hit);  // stale within budget
+  EXPECT_EQ(engine.dup_stats().tolerated_changes, 1u);
+
+  // ...and the second one exceeds the budget.
+  table_->Update(1, 0, Value(5));  // row 2: X=5, Y=20 — Y fails, row-aware keeps!
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+  table_->Update(1, 1, Value(90));  // row 2 joins the result: second real change
+  auto fresh = engine.Execute(query);
+  EXPECT_FALSE(fresh.cache_hit);
+  // Initially {4,5,6} matched (3 rows); rows 1 and 2 joined since: 5 rows.
+  EXPECT_EQ(fresh.result->ScalarAt(0, 0), Value(5));
+}
+
+TEST_F(CombinedModesTest, RefreshWithRowAwareOnlyRefreshesRealChanges) {
+  middleware::CachedQueryEngine::Options options;
+  options.policy = InvalidationPolicy::kRowAware;
+  options.refresh_on_invalidate = true;
+  middleware::CachedQueryEngine engine(db_, options);
+  auto query = engine.Prepare("SELECT SUM(Y) FROM T WHERE X <= 3");
+  EXPECT_EQ(engine.Execute(query).result->ScalarAt(0, 0), Value(60));
+
+  table_->Update(5, 1, Value(999));  // row X=6: irrelevant — no refresh
+  EXPECT_EQ(engine.stats().refresh_executions, 0u);
+
+  table_->Update(0, 1, Value(1000));  // row X=1 feeds the SUM — refreshed
+  EXPECT_EQ(engine.stats().refresh_executions, 1u);
+  auto outcome = engine.Execute(query);
+  EXPECT_TRUE(outcome.cache_hit);
+  EXPECT_EQ(outcome.result->ScalarAt(0, 0), Value(1050));
+}
+
+TEST_F(CombinedModesTest, PaperFidelityWithRowAwareStillSound) {
+  // Row-aware refinement on top of paper-fidelity extraction: the reduced
+  // dependency set still never under-invalidates WHERE-membership changes.
+  middleware::CachedQueryEngine::Options options;
+  options.policy = InvalidationPolicy::kRowAware;
+  options.extraction = ExtractionOptions::PaperFidelity();
+  middleware::CachedQueryEngine engine(db_, options);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE X BETWEEN 3 AND 6");
+  EXPECT_EQ(engine.Execute(query).result->ScalarAt(0, 0), Value(4));
+  table_->Update(0, 0, Value(5));  // X 1 -> 5 joins the range
+  auto outcome = engine.Execute(query);
+  EXPECT_FALSE(outcome.cache_hit);
+  EXPECT_EQ(outcome.result->ScalarAt(0, 0), Value(5));
+}
+
+}  // namespace
+}  // namespace qc::dup

@@ -1,0 +1,237 @@
+#include "dup/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace qc::dup {
+namespace {
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.CreateTable("A", storage::Schema({{"X", ValueType::kInt, false},
+                                          {"Y", ValueType::kInt, false},
+                                          {"Z", ValueType::kInt, false},
+                                          {"S", ValueType::kString, true}}));
+    db_.CreateTable("B", storage::Schema({{"Y", ValueType::kInt, false},
+                                          {"W", ValueType::kInt, false}}));
+  }
+
+  std::shared_ptr<const DependencyTemplate> Extract(const std::string& sql,
+                                                    ExtractionOptions options = {}) {
+    query_ = sql::ParseAndBind(sql, db_);
+    return ExtractDependencies(*query_, options);
+  }
+
+  const ColumnDependencyTemplate* Column(const DependencyTemplate& deps, const std::string& table,
+                                         const std::string& column) {
+    for (const auto& col : deps.columns) {
+      if (col.table_name == table && col.column_name == column) return &col;
+    }
+    return nullptr;
+  }
+
+  storage::Database db_;
+  std::shared_ptr<const sql::BoundQuery> query_;
+};
+
+TEST_F(ExtractorTest, PaperFig4Example) {
+  // select A where A.x > 2 and A.x < 9 and A.z = B.y
+  auto deps = Extract(
+      "SELECT COUNT(*) FROM A, B WHERE A.X > 2 AND A.X < 9 AND A.Z = B.Y");
+  ASSERT_EQ(deps->columns.size(), 3u);
+
+  const auto* x = Column(*deps, "A", "X");
+  ASSERT_NE(x, nullptr);
+  EXPECT_FALSE(x->opaque);
+  EXPECT_EQ(x->atoms.size(), 2u);  // > 2 and < 9
+
+  // "There are no annotations of edges originating from A.z and B.y ...
+  // any change to A.z or B.y might affect the value of Q1."
+  const auto* z = Column(*deps, "A", "Z");
+  ASSERT_NE(z, nullptr);
+  EXPECT_TRUE(z->opaque);
+  const auto* by = Column(*deps, "B", "Y");
+  ASSERT_NE(by, nullptr);
+  EXPECT_TRUE(by->opaque);
+
+  // Instantiated annotation behaves like the "2,9" edge of Fig. 4.
+  auto annotation = x->Instantiate({});
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(5), Value(9)));   // left the range
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(1), Value(3)));   // entered
+  EXPECT_FALSE(annotation.AffectedByUpdate(Value(3), Value(8)));  // inside -> inside
+  EXPECT_TRUE(annotation.AffectedByRowValue(Value(5)));
+  EXPECT_FALSE(annotation.AffectedByRowValue(Value(9)));  // 9 fails A.x < 9
+}
+
+TEST_F(ExtractorTest, EqualityAnnotation) {
+  auto deps = Extract("SELECT COUNT(*) FROM A WHERE X = 3");
+  const auto* x = Column(*deps, "A", "X");
+  ASSERT_NE(x, nullptr);
+  auto annotation = x->Instantiate({});
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(3), Value(4)));
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(7), Value(3)));
+  EXPECT_FALSE(annotation.AffectedByUpdate(Value(7), Value(8)));
+  EXPECT_TRUE(annotation.AffectedByRowValue(Value(3)));
+  EXPECT_FALSE(annotation.AffectedByRowValue(Value(4)));
+}
+
+TEST_F(ExtractorTest, NegatedEqualityFilterKeepsPolarity) {
+  // Set Query Q2B shape: K2 = 2 AND NOT KN = 3.
+  auto deps = Extract("SELECT COUNT(*) FROM A WHERE X = 2 AND NOT Y = 3");
+  const auto* y = Column(*deps, "A", "Y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_FALSE(y->opaque);
+  auto annotation = y->Instantiate({});
+  // An inserted row with Y = 5 satisfies "NOT Y = 3": it can affect the count.
+  EXPECT_TRUE(annotation.AffectedByRowValue(Value(5)));
+  EXPECT_FALSE(annotation.AffectedByRowValue(Value(3)));
+  // Updates: only 3 <-> non-3 transitions matter.
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(3), Value(5)));
+  EXPECT_FALSE(annotation.AffectedByUpdate(Value(5), Value(6)));
+}
+
+TEST_F(ExtractorTest, OrOfRangesAnnotation) {
+  // Set Query Q3B shape.
+  auto deps = Extract(
+      "SELECT COUNT(*) FROM A WHERE (X BETWEEN 10 AND 19 OR X BETWEEN 30 AND 39) AND Y = 1");
+  const auto* x = Column(*deps, "A", "X");
+  ASSERT_NE(x, nullptr);
+  EXPECT_FALSE(x->opaque);
+  EXPECT_EQ(x->atoms.size(), 2u);
+  auto annotation = x->Instantiate({});
+  EXPECT_FALSE(annotation.AffectedByUpdate(Value(20), Value(25)));  // gap -> gap
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(20), Value(35)));
+  EXPECT_TRUE(annotation.AffectedByRowValue(Value(15)));
+  EXPECT_TRUE(annotation.AffectedByRowValue(Value(35)));
+  EXPECT_FALSE(annotation.AffectedByRowValue(Value(25)));
+}
+
+TEST_F(ExtractorTest, DisjunctionRelaxesOtherColumnsFilters) {
+  // X = 1 OR Y = 2: a row with X = 9 could still match via Y; the X filter
+  // must not reject it.
+  auto deps = Extract("SELECT COUNT(*) FROM A WHERE X = 1 OR Y = 2");
+  const auto* x = Column(*deps, "A", "X");
+  ASSERT_NE(x, nullptr);
+  EXPECT_FALSE(x->opaque);
+  auto annotation = x->Instantiate({});
+  EXPECT_TRUE(annotation.AffectedByRowValue(Value(9)));  // filter is (X=1 OR TRUE)
+  // but updates still gate on the atom:
+  EXPECT_FALSE(annotation.AffectedByUpdate(Value(5), Value(6)));
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(5), Value(1)));
+}
+
+TEST_F(ExtractorTest, ColumnComparedToColumnOfSameTableIsOpaque) {
+  // Paper §5: "queries of Type 6 involve relationships between two
+  // different attributes (A.x > A.y), where both Policy II and III are
+  // also equivalent".
+  auto deps = Extract("SELECT COUNT(*) FROM A WHERE X > Y");
+  EXPECT_TRUE(Column(*deps, "A", "X")->opaque);
+  EXPECT_TRUE(Column(*deps, "A", "Y")->opaque);
+}
+
+TEST_F(ExtractorTest, ProjectionAndAggregateDependencies) {
+  ExtractionOptions sound;  // defaults: include everything
+  auto deps = Extract("SELECT X, SUM(Y) FROM A WHERE Z = 1 GROUP BY X", sound);
+  EXPECT_TRUE(Column(*deps, "A", "X")->opaque);   // group key
+  EXPECT_TRUE(Column(*deps, "A", "Y")->opaque);   // aggregate arg
+  EXPECT_FALSE(Column(*deps, "A", "Z")->opaque);  // annotated WHERE column
+}
+
+TEST_F(ExtractorTest, PaperFidelityDropsProjectionAndAggregateArgs) {
+  auto deps = Extract("SELECT X, SUM(Y) FROM A WHERE Z = 1 GROUP BY X",
+                      ExtractionOptions::PaperFidelity());
+  EXPECT_TRUE(Column(*deps, "A", "X")->opaque);      // GROUP BY keys always stay
+  EXPECT_EQ(Column(*deps, "A", "Y"), nullptr);       // SUM arg dropped (paper Fig. 8)
+  EXPECT_NE(Column(*deps, "A", "Z"), nullptr);
+  // result_columns still reflect the true result structure for Policy IV.
+  ASSERT_EQ(deps->result_columns_per_slot.size(), 1u);
+  EXPECT_EQ(deps->result_columns_per_slot[0].size(), 2u);  // X and Y
+}
+
+TEST_F(ExtractorTest, SelectStarMarksAllColumnsOpaque) {
+  auto deps = Extract("SELECT * FROM A WHERE X = 1");
+  EXPECT_EQ(deps->columns.size(), 4u);
+  EXPECT_TRUE(Column(*deps, "A", "S")->opaque);
+  // X appears in both the projection (opaque) and the WHERE (annotated):
+  // opaque wins.
+  EXPECT_TRUE(Column(*deps, "A", "X")->opaque);
+}
+
+TEST_F(ExtractorTest, ReferenceModeKeepsOnlyWhereColumns) {
+  auto deps = Extract("SELECT * FROM A WHERE X = 1", ExtractionOptions::PaperFidelity());
+  ASSERT_EQ(deps->columns.size(), 1u);
+  EXPECT_EQ(deps->columns[0].column_name, "X");
+  EXPECT_FALSE(deps->columns[0].opaque);
+}
+
+TEST_F(ExtractorTest, NoWhereNeedsExistenceEdge) {
+  auto deps = Extract("SELECT COUNT(*) FROM A");
+  EXPECT_TRUE(deps->columns.empty());
+  ASSERT_EQ(deps->tables_needing_existence_edge.size(), 1u);
+  EXPECT_EQ(deps->tables_needing_existence_edge[0], "A");
+}
+
+TEST_F(ExtractorTest, SelfJoinListsTableOnce) {
+  auto deps = Extract("SELECT COUNT(*) FROM A A1, A A2 WHERE A1.X = A2.Y AND A1.Z = 5");
+  ASSERT_EQ(deps->tables.size(), 1u);
+  EXPECT_EQ(deps->tables[0], "A");
+  EXPECT_TRUE(deps->tables_needing_existence_edge.empty());
+}
+
+TEST_F(ExtractorTest, ParameterizedAnnotationBindsAtRuntime) {
+  // The §4.2 Q2($1) pattern: the skeleton is static, the annotation constant
+  // is the run-time parameter.
+  auto deps = Extract("SELECT COUNT(*) FROM A WHERE S LIKE $1 AND X = 2");
+  const auto* s = Column(*deps, "A", "S");
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->opaque);
+  auto gold = s->Instantiate({Value("Gold")});
+  EXPECT_TRUE(gold.AffectedByRowValue(Value("Gold")));
+  EXPECT_FALSE(gold.AffectedByRowValue(Value("Silver")));
+  auto silver = s->Instantiate({Value("Silver")});
+  EXPECT_TRUE(silver.AffectedByRowValue(Value("Silver")));
+  EXPECT_FALSE(silver.AffectedByRowValue(Value("Gold")));
+}
+
+TEST_F(ExtractorTest, MissingParameterAtInstantiationThrows) {
+  auto deps = Extract("SELECT COUNT(*) FROM A WHERE X = $1");
+  const auto* x = Column(*deps, "A", "X");
+  ASSERT_NE(x, nullptr);
+  EXPECT_THROW(x->Instantiate({}), BindError);
+}
+
+TEST_F(ExtractorTest, InAndLikeAndIsNullAtoms) {
+  auto deps = Extract(
+      "SELECT COUNT(*) FROM A WHERE X IN (1, 2) AND S LIKE 'ready' AND Z IS NOT NULL");
+  auto x = Column(*deps, "A", "X")->Instantiate({});
+  EXPECT_TRUE(x.AffectedByRowValue(Value(2)));
+  EXPECT_FALSE(x.AffectedByRowValue(Value(3)));
+  auto s = Column(*deps, "A", "S")->Instantiate({});
+  EXPECT_TRUE(s.AffectedByRowValue(Value("ready")));
+  EXPECT_FALSE(s.AffectedByRowValue(Value("draft")));
+  auto z = Column(*deps, "A", "Z")->Instantiate({});
+  EXPECT_TRUE(z.AffectedByRowValue(Value(1)));
+  EXPECT_FALSE(z.AffectedByRowValue(Value::Null()));
+  EXPECT_TRUE(z.AffectedByUpdate(Value::Null(), Value(1)));
+}
+
+TEST_F(ExtractorTest, BetweenWithColumnBoundIsOpaque) {
+  auto deps = Extract("SELECT COUNT(*) FROM A WHERE X BETWEEN Y AND 10");
+  EXPECT_TRUE(Column(*deps, "A", "X")->opaque);
+  EXPECT_TRUE(Column(*deps, "A", "Y")->opaque);
+}
+
+TEST_F(ExtractorTest, ConstantOnLeftNormalizes) {
+  auto deps = Extract("SELECT COUNT(*) FROM A WHERE 5 < X");
+  auto x = Column(*deps, "A", "X")->Instantiate({});
+  EXPECT_TRUE(x.AffectedByRowValue(Value(6)));   // X > 5
+  EXPECT_FALSE(x.AffectedByRowValue(Value(5)));
+  EXPECT_TRUE(x.AffectedByUpdate(Value(5), Value(6)));
+}
+
+}  // namespace
+}  // namespace qc::dup

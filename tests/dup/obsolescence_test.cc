@@ -1,0 +1,110 @@
+// Weighted-DUP obsolescence tolerance (paper Fig. 2): objects survive a
+// bounded number of dependency changes before being invalidated.
+#include <gtest/gtest.h>
+
+#include "middleware/query_engine.h"
+
+namespace qc::dup {
+namespace {
+
+class ObsolescenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                    {"N", ValueType::kInt, false}}));
+    for (int i = 1; i <= 10; ++i) table_->Insert({Value(i), Value(i)});
+  }
+
+  middleware::CachedQueryEngine MakeEngine(double threshold) {
+    middleware::CachedQueryEngine::Options options;
+    options.obsolescence_threshold = threshold;
+    return middleware::CachedQueryEngine(db_, options);
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+};
+
+TEST_F(ObsolescenceTest, ThresholdZeroInvalidatesImmediately) {
+  auto engine = MakeEngine(0.0);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE N <= 5");
+  engine.Execute(query);
+  table_->Update(0, 1, Value(100));  // flips N <= 5 for id 1
+  EXPECT_FALSE(engine.Execute(query).cache_hit);
+  EXPECT_EQ(engine.dup_stats().tolerated_changes, 0u);
+}
+
+TEST_F(ObsolescenceTest, BudgetAbsorbsChangesThenInvalidates) {
+  auto engine = MakeEngine(2.0);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE N <= 5");
+  const Value exact = engine.Execute(query).result->ScalarAt(0, 0);
+  ASSERT_EQ(exact, Value(5));
+
+  table_->Update(0, 1, Value(100));  // change 1: tolerated
+  auto first = engine.Execute(query);
+  EXPECT_TRUE(first.cache_hit);
+  EXPECT_EQ(first.result->ScalarAt(0, 0), Value(5));  // deliberately stale
+
+  table_->Update(1, 1, Value(100));  // change 2: still within budget
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+
+  table_->Update(2, 1, Value(100));  // change 3: exceeds threshold 2
+  auto fresh = engine.Execute(query);
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.result->ScalarAt(0, 0), Value(2));
+  EXPECT_EQ(engine.dup_stats().tolerated_changes, 2u);
+}
+
+TEST_F(ObsolescenceTest, BudgetResetsOnRefresh) {
+  auto engine = MakeEngine(1.0);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE N <= 5");
+  engine.Execute(query);
+
+  table_->Update(0, 1, Value(100));  // tolerated
+  table_->Update(1, 1, Value(100));  // invalidates
+  EXPECT_FALSE(engine.Execute(query).cache_hit);  // refresh: budget resets
+
+  table_->Update(2, 1, Value(100));  // tolerated again
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+  table_->Update(3, 1, Value(100));
+  EXPECT_FALSE(engine.Execute(query).cache_hit);
+}
+
+TEST_F(ObsolescenceTest, IrrelevantChangesDoNotConsumeBudget) {
+  auto engine = MakeEngine(1.0);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE N <= 5");
+  engine.Execute(query);
+  // Value-aware gating happens before the budget: moves within the same
+  // side of the predicate cost nothing.
+  for (int i = 0; i < 5; ++i) table_->Update(5 + i, 1, Value(50 + i));  // stays > 5
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+  EXPECT_EQ(engine.dup_stats().tolerated_changes, 0u);
+}
+
+}  // namespace
+}  // namespace qc::dup
+
+namespace qc::dup {
+namespace {
+
+TEST(TtlOnlyPolicy, NeverInvalidatesOnUpdates) {
+  storage::Database db;
+  auto& table = db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false}}));
+  for (int i = 1; i <= 5; ++i) table.Insert({Value(i)});
+  middleware::CachedQueryEngine::Options options;
+  options.policy = InvalidationPolicy::kNone;
+  middleware::CachedQueryEngine engine(db, options);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE X <= 3");
+  EXPECT_EQ(engine.Execute(query).result->ScalarAt(0, 0), Value(3));
+
+  table.Update(0, 0, Value(100));  // result is now logically 2
+  auto cached = engine.Execute(query);
+  EXPECT_TRUE(cached.cache_hit);
+  EXPECT_EQ(cached.result->ScalarAt(0, 0), Value(3));  // stale by design
+  EXPECT_EQ(engine.dup_stats().invalidations, 0u);
+  EXPECT_EQ(engine.dup_stats().update_events, 1u);
+  EXPECT_EQ(engine.ExecuteUncached(*query).ScalarAt(0, 0), Value(2));
+}
+
+}  // namespace
+}  // namespace qc::dup

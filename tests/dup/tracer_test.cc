@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "middleware/query_engine.h"
+
+namespace qc::dup {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                                    {"KIND", ValueType::kString, false}}));
+    for (int i = 1; i <= 10; ++i) table_->Insert({Value(i), Value("a")});
+    engine_ = std::make_unique<middleware::CachedQueryEngine>(db_, middleware::CachedQueryEngine::Options{});
+    engine_->dup_engine().SetTracer([this](const std::string& key, const std::string& reason) {
+      traces_.emplace_back(key, reason);
+    });
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+  std::unique_ptr<middleware::CachedQueryEngine> engine_;
+  std::vector<std::pair<std::string, std::string>> traces_;
+};
+
+TEST_F(TracerTest, UpdateTraceNamesColumnAndValues) {
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE X BETWEEN 3 AND 7");
+  engine_->Execute(query);
+  table_->Update(0, 0, Value(5));  // 1 -> 5 enters the range
+  ASSERT_EQ(traces_.size(), 1u);
+  EXPECT_NE(traces_[0].second.find("T.X"), std::string::npos);
+  EXPECT_NE(traces_[0].second.find("1 -> 5"), std::string::npos);
+  EXPECT_NE(traces_[0].second.find("annotation"), std::string::npos);
+  EXPECT_NE(traces_[0].first.find("BETWEEN 3 AND 7"), std::string::npos);
+}
+
+TEST_F(TracerTest, NoTraceWhenNothingInvalidates) {
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE X BETWEEN 3 AND 7");
+  engine_->Execute(query);
+  table_->Update(9, 0, Value(100));  // 10 -> 100 stays outside
+  EXPECT_TRUE(traces_.empty());
+}
+
+TEST_F(TracerTest, InsertTraceMentionsFilters) {
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'a'");
+  engine_->Execute(query);
+  table_->Insert({Value(11), Value("a")});
+  ASSERT_EQ(traces_.size(), 1u);
+  EXPECT_NE(traces_[0].second.find("insert into T"), std::string::npos);
+  EXPECT_NE(traces_[0].second.find("filter"), std::string::npos);
+}
+
+TEST_F(TracerTest, DeleteTraceUsesDeleteVerb) {
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'a'");
+  engine_->Execute(query);
+  table_->Delete(0);
+  ASSERT_EQ(traces_.size(), 1u);
+  EXPECT_NE(traces_[0].second.find("delete from T"), std::string::npos);
+}
+
+TEST_F(TracerTest, TracerCanBeCleared) {
+  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'a'");
+  engine_->Execute(query);
+  engine_->dup_engine().SetTracer(nullptr);
+  table_->Insert({Value(12), Value("a")});
+  EXPECT_TRUE(traces_.empty());
+}
+
+}  // namespace
+}  // namespace qc::dup
+
+namespace qc::dup {
+namespace {
+
+TEST(SourceAttribution, CountsAffectedKeysPerColumnAndRowEvent) {
+  storage::Database db;
+  auto& table = db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                                     {"S", ValueType::kString, false}}));
+  table.Insert({Value(1), Value("a")});
+  middleware::CachedQueryEngine engine(db, {});
+  auto by_x = engine.Prepare("SELECT COUNT(*) FROM T WHERE X <= 5");
+  auto by_s = engine.Prepare("SELECT COUNT(*) FROM T WHERE S = 'a'");
+  engine.Execute(by_x);
+  engine.Execute(by_s);
+
+  table.Update(0, 0, Value(50));  // X crosses: 1 affected via col:T.X
+  engine.Execute(by_x);
+  table.Insert({Value(2), Value("a")});  // affects both queries via insert
+  const auto sources = engine.dup_stats().affected_by_source;
+  EXPECT_EQ(sources.at("col:T.X"), 1u);
+  EXPECT_EQ(sources.at("insert:T"), 2u);
+  EXPECT_EQ(sources.count("col:T.S"), 0u);  // never fired on its own
+}
+
+}  // namespace
+}  // namespace qc::dup

@@ -1,0 +1,100 @@
+#include "middleware/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "middleware/query_engine.h"
+
+namespace qc::middleware {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LatencyHistogram, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0ns);
+  EXPECT_EQ(h.Quantile(0.5), 0ns);
+}
+
+TEST(LatencyHistogram, MeanAndCount) {
+  LatencyHistogram h;
+  h.Record(100ns);
+  h.Record(300ns);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.mean(), 200ns);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneUpperBounds) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.Record(1us);
+  for (int i = 0; i < 10; ++i) h.Record(1ms);
+  // p50 bounds the fast mass; p99 reaches the slow tail.
+  EXPECT_LE(h.Quantile(0.5), 4us);
+  EXPECT_GE(h.Quantile(0.5), 1us);
+  EXPECT_GE(h.Quantile(0.99), 1ms);
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.95));
+  EXPECT_LE(h.Quantile(0.95), h.Quantile(0.99));
+}
+
+TEST(LatencyHistogram, ExtremeValuesClampToEdgeBuckets) {
+  LatencyHistogram h;
+  h.Record(0ns);
+  h.Record(-5ns);   // defensive: treated as 0
+  h.Record(1000s);  // beyond the last bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GT(h.Quantile(1.0), 1s);
+}
+
+TEST(LatencyHistogram, SummaryMentionsQuantiles) {
+  LatencyHistogram h;
+  h.Record(5us);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingKeepsTotals) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) h.Record(std::chrono::nanoseconds(100 + i % 7));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), 40000u);
+}
+
+TEST(QueryEngineMetrics, HitAndMissHistogramsFill) {
+  storage::Database db;
+  auto& t = db.CreateTable("T", storage::Schema({{"A", ValueType::kInt, false}}));
+  for (int i = 0; i < 2000; ++i) t.Insert({Value(i)});
+
+  CachedQueryEngine::Options options;
+  options.collect_latency_metrics = true;
+  CachedQueryEngine engine(db, options);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE A >= 0");  // full scan
+  engine.Execute(query);
+  for (int i = 0; i < 50; ++i) engine.Execute(query);
+
+  const auto& metrics = engine.latency_metrics();
+  EXPECT_EQ(metrics.misses.count(), 1u);
+  EXPECT_EQ(metrics.hits.count(), 50u);
+  // The scan-paying miss must be slower than the median cached hit.
+  EXPECT_GT(metrics.misses.mean(), metrics.hits.Quantile(0.5));
+}
+
+TEST(QueryEngineMetrics, DisabledByDefault) {
+  storage::Database db;
+  db.CreateTable("T", storage::Schema({{"A", ValueType::kInt, false}}));
+  CachedQueryEngine engine(db, {});
+  engine.ExecuteSql("SELECT COUNT(*) FROM T");
+  EXPECT_EQ(engine.latency_metrics().hits.count(), 0u);
+  EXPECT_EQ(engine.latency_metrics().misses.count(), 0u);
+}
+
+}  // namespace
+}  // namespace qc::middleware

@@ -1,0 +1,102 @@
+// Assorted coverage: uncacheable results, engine/DML interplay inside a
+// cluster, removal-cause naming, and stats rendering.
+#include <gtest/gtest.h>
+
+#include "cache/gps_cache.h"
+#include "cluster/cluster.h"
+#include "middleware/query_engine.h"
+
+namespace qc {
+namespace {
+
+TEST(UncacheableResults, OversizedResultExecutesButIsNotCached) {
+  storage::Database db;
+  auto& table = db.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                     {"BLOB", ValueType::kString, false}}));
+  for (int i = 0; i < 50; ++i) table.Insert({Value(i), Value(std::string(4096, 'x'))});
+
+  middleware::CachedQueryEngine::Options options;
+  options.cache.memory_budget_bytes = 16 * 1024;  // smaller than the result
+  middleware::CachedQueryEngine engine(db, options);
+  auto query = engine.Prepare("SELECT * FROM T");
+
+  auto first = engine.Execute(query);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.result->row_count(), 50u);
+  EXPECT_EQ(engine.stats().uncacheable, 1u);
+  // Never cached: the second execution is also a miss but still correct.
+  auto second = engine.Execute(query);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_TRUE(second.result->Equals(*first.result));
+  // The failed Put must not leave a dangling ODG registration.
+  EXPECT_EQ(engine.dup_stats().registered_queries, 0u);
+}
+
+TEST(UncacheableResults, SmallResultsStillCacheAlongside) {
+  storage::Database db;
+  auto& table = db.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                     {"BLOB", ValueType::kString, false}}));
+  for (int i = 0; i < 50; ++i) table.Insert({Value(i), Value(std::string(4096, 'x'))});
+  middleware::CachedQueryEngine::Options options;
+  options.cache.memory_budget_bytes = 16 * 1024;
+  middleware::CachedQueryEngine engine(db, options);
+  auto big = engine.Prepare("SELECT * FROM T");
+  auto small = engine.Prepare("SELECT COUNT(*) FROM T");
+  engine.Execute(big);
+  engine.Execute(small);
+  EXPECT_TRUE(engine.Execute(small).cache_hit);
+}
+
+TEST(ClusterDml, UpdatesThroughNodeEnginesPropagate) {
+  storage::Database db;
+  auto& table = db.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                     {"KIND", ValueType::kString, false}}));
+  for (int i = 1; i <= 20; ++i) table.Insert({Value(i), Value(i % 2 ? "odd" : "even")});
+
+  cluster::ClusterConfig config;
+  config.nodes = 2;
+  cluster::CacheCluster cluster(db, config);
+  auto query = cluster.Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'even'");
+  EXPECT_EQ(cluster.ExecuteAt(0, query).result->ScalarAt(0, 0), Value(10));
+  EXPECT_EQ(cluster.ExecuteAt(1, query).result->ScalarAt(0, 0), Value(10));
+
+  // DML issued through node 1's engine, attributed to node 1.
+  cluster.PerformUpdate(1, [&] {
+    cluster.node(1).ExecuteDml("UPDATE T SET KIND = 'even' WHERE ID = 1");
+  });
+  EXPECT_EQ(cluster.ExecuteAt(0, query).result->ScalarAt(0, 0), Value(11));
+  EXPECT_EQ(cluster.ExecuteAt(1, query).result->ScalarAt(0, 0), Value(11));
+  EXPECT_EQ(cluster.stats().stale_hits, 0u);
+}
+
+TEST(RemovalCauses, NamesAreStable) {
+  EXPECT_STREQ(cache::RemovalCauseName(cache::RemovalCause::kInvalidated), "invalidated");
+  EXPECT_STREQ(cache::RemovalCauseName(cache::RemovalCause::kEvicted), "evicted");
+  EXPECT_STREQ(cache::RemovalCauseName(cache::RemovalCause::kExpired), "expired");
+  EXPECT_STREQ(cache::RemovalCauseName(cache::RemovalCause::kCleared), "cleared");
+  EXPECT_STREQ(cache::RemovalCauseName(cache::RemovalCause::kReplaced), "replaced");
+}
+
+TEST(PolicyNames, AreDistinctAndDescriptive) {
+  std::set<std::string> names;
+  for (auto policy : {dup::InvalidationPolicy::kNone, dup::InvalidationPolicy::kFlushAll,
+                      dup::InvalidationPolicy::kValueUnaware, dup::InvalidationPolicy::kValueAware,
+                      dup::InvalidationPolicy::kRowAware}) {
+    names.insert(dup::PolicyName(policy));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(CacheStatsRendering, MentionsEveryCounter) {
+  cache::CacheStats stats;
+  stats.lookups = 10;
+  stats.hits = 7;
+  stats.misses = 3;
+  const std::string s = stats.ToString();
+  for (const char* token : {"lookups=10", "hits=7", "misses=3", "hit_rate=0.7"}) {
+    EXPECT_NE(s.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace qc

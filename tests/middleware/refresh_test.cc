@@ -1,0 +1,104 @@
+// Paper Fig. 7, step 10: "result discard/update cache" — the refresh
+// alternative to invalidation.
+#include <gtest/gtest.h>
+
+#include "middleware/query_engine.h"
+
+namespace qc::middleware {
+namespace {
+
+class RefreshTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                                    {"Y", ValueType::kInt, false}}));
+    for (int i = 1; i <= 10; ++i) table_->Insert({Value(i), Value(i)});
+  }
+
+  CachedQueryEngine MakeEngine(bool refresh) {
+    CachedQueryEngine::Options options;
+    options.refresh_on_invalidate = refresh;
+    return CachedQueryEngine(db_, options);
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+};
+
+TEST_F(RefreshTest, AffectedResultIsUpdatedNotDiscarded) {
+  auto engine = MakeEngine(true);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE X <= 5");
+  EXPECT_EQ(engine.Execute(query).result->ScalarAt(0, 0), Value(5));
+
+  table_->Update(0, 0, Value(100));  // row leaves the predicate
+  // The very next read is a HIT with the NEW value: the update path
+  // refreshed the cache eagerly.
+  auto outcome = engine.Execute(query);
+  EXPECT_TRUE(outcome.cache_hit);
+  EXPECT_EQ(outcome.result->ScalarAt(0, 0), Value(4));
+  EXPECT_EQ(engine.stats().refresh_executions, 1u);
+  EXPECT_EQ(engine.dup_stats().refreshes, 1u);
+  EXPECT_EQ(engine.dup_stats().invalidations, 0u);
+}
+
+TEST_F(RefreshTest, ValueAwareGateStillApplies) {
+  auto engine = MakeEngine(true);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE X <= 5");
+  engine.Execute(query);
+  table_->Update(9, 0, Value(50));  // 10 -> 50 stays outside the predicate
+  EXPECT_EQ(engine.stats().refresh_executions, 0u);  // nothing to refresh
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+}
+
+TEST_F(RefreshTest, InsertsAndDeletesAlsoRefresh) {
+  auto engine = MakeEngine(true);
+  auto query = engine.Prepare("SELECT SUM(Y) FROM T WHERE X <= 3");
+  EXPECT_EQ(engine.Execute(query).result->ScalarAt(0, 0), Value(6));
+  table_->Insert({Value(2), Value(100)});
+  auto outcome = engine.Execute(query);
+  EXPECT_TRUE(outcome.cache_hit);
+  EXPECT_EQ(outcome.result->ScalarAt(0, 0), Value(106));
+  table_->Delete(0);  // row (1,1)
+  outcome = engine.Execute(query);
+  EXPECT_TRUE(outcome.cache_hit);
+  EXPECT_EQ(outcome.result->ScalarAt(0, 0), Value(105));
+}
+
+TEST_F(RefreshTest, ParameterizedEntriesRefreshWithTheirOwnParams) {
+  auto engine = MakeEngine(true);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE X <= $1");
+  engine.Execute(query, {Value(3)});
+  engine.Execute(query, {Value(8)});
+  table_->Update(0, 0, Value(100));  // affects both (X=1 left both ranges)
+  EXPECT_EQ(engine.stats().refresh_executions, 2u);
+  auto small = engine.Execute(query, {Value(3)});
+  auto large = engine.Execute(query, {Value(8)});
+  EXPECT_TRUE(small.cache_hit);
+  EXPECT_TRUE(large.cache_hit);
+  EXPECT_EQ(small.result->ScalarAt(0, 0), Value(2));
+  EXPECT_EQ(large.result->ScalarAt(0, 0), Value(7));
+}
+
+TEST_F(RefreshTest, DisabledModeDiscardsAsBefore) {
+  auto engine = MakeEngine(false);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE X <= 5");
+  engine.Execute(query);
+  table_->Update(0, 0, Value(100));
+  EXPECT_FALSE(engine.Execute(query).cache_hit);
+  EXPECT_EQ(engine.stats().refresh_executions, 0u);
+  EXPECT_EQ(engine.dup_stats().invalidations, 1u);
+}
+
+TEST_F(RefreshTest, FlushAllPolicyIgnoresRefresher) {
+  CachedQueryEngine::Options options;
+  options.refresh_on_invalidate = true;
+  options.policy = dup::InvalidationPolicy::kFlushAll;
+  CachedQueryEngine engine(db_, options);
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T");
+  engine.Execute(query);
+  table_->Update(0, 1, Value(42));
+  EXPECT_FALSE(engine.Execute(query).cache_hit);  // whole-cache flush
+}
+
+}  // namespace
+}  // namespace qc::middleware

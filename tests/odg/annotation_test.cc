@@ -1,0 +1,171 @@
+#include "odg/annotation.h"
+
+#include <gtest/gtest.h>
+
+namespace qc::odg {
+namespace {
+
+Atom Cmp(sql::BinaryOp op, Value rhs, bool negated = false) {
+  Atom a;
+  a.kind = Atom::Kind::kCmp;
+  a.cmp_op = op;
+  a.a = std::move(rhs);
+  a.negated = negated;
+  return a;
+}
+
+Atom Between(Value lo, Value hi, bool negated = false) {
+  Atom a;
+  a.kind = Atom::Kind::kBetween;
+  a.a = std::move(lo);
+  a.b = std::move(hi);
+  a.negated = negated;
+  return a;
+}
+
+TEST(Atom, CmpEval) {
+  Atom eq = Cmp(sql::BinaryOp::kEq, Value(3));
+  EXPECT_EQ(eq.Eval(Value(3)), true);
+  EXPECT_EQ(eq.Eval(Value(4)), false);
+  EXPECT_EQ(eq.Eval(Value::Null()), std::nullopt);
+
+  Atom gt = Cmp(sql::BinaryOp::kGt, Value(10));
+  EXPECT_EQ(gt.Eval(Value(11)), true);
+  EXPECT_EQ(gt.Eval(Value(10)), false);
+}
+
+TEST(Atom, NegationAppliesToEvalOnly) {
+  Atom ne = Cmp(sql::BinaryOp::kEq, Value(3), /*negated=*/true);
+  EXPECT_EQ(ne.Eval(Value(3)), false);
+  EXPECT_EQ(ne.Eval(Value(4)), true);
+  // Flips ignores polarity: 3 -> 4 flips "= 3" whether or not negated.
+  EXPECT_TRUE(ne.Flips(Value(3), Value(4)));
+  EXPECT_FALSE(ne.Flips(Value(4), Value(5)));
+}
+
+TEST(Atom, BetweenEvalAndFlips) {
+  Atom between = Between(Value(2), Value(9));
+  EXPECT_EQ(between.Eval(Value(2)), true);
+  EXPECT_EQ(between.Eval(Value(9)), true);
+  EXPECT_EQ(between.Eval(Value(1)), false);
+  // Fig. 4: "A.x was previously between 2 and 9 and is no longer in this
+  // range", or vice versa.
+  EXPECT_TRUE(between.Flips(Value(5), Value(10)));
+  EXPECT_TRUE(between.Flips(Value(1), Value(2)));
+  EXPECT_FALSE(between.Flips(Value(3), Value(8)));   // stays inside
+  EXPECT_FALSE(between.Flips(Value(1), Value(100))); // stays outside
+}
+
+TEST(Atom, FlipsTreatsUnknownAsItsOwnState) {
+  Atom gt = Cmp(sql::BinaryOp::kGt, Value(2));
+  EXPECT_TRUE(gt.Flips(Value::Null(), Value(5)));   // unknown -> true
+  EXPECT_TRUE(gt.Flips(Value::Null(), Value(1)));   // unknown -> false
+  EXPECT_FALSE(gt.Flips(Value::Null(), Value::Null()));
+}
+
+TEST(Atom, InEval) {
+  Atom in;
+  in.kind = Atom::Kind::kIn;
+  in.set = {Value(1), Value(3)};
+  EXPECT_EQ(in.Eval(Value(3)), true);
+  EXPECT_EQ(in.Eval(Value(2)), false);
+  EXPECT_TRUE(in.Flips(Value(1), Value(2)));
+  EXPECT_FALSE(in.Flips(Value(1), Value(3)));
+}
+
+TEST(Atom, LikeEval) {
+  Atom like;
+  like.kind = Atom::Kind::kLike;
+  like.a = Value("class%");
+  EXPECT_EQ(like.Eval(Value("classifier")), true);
+  EXPECT_EQ(like.Eval(Value("situational")), false);
+  EXPECT_EQ(like.Eval(Value(7)), false);  // type mismatch cannot match
+}
+
+TEST(Atom, IsNullEval) {
+  Atom isnull;
+  isnull.kind = Atom::Kind::kIsNull;
+  EXPECT_EQ(isnull.Eval(Value::Null()), true);
+  EXPECT_EQ(isnull.Eval(Value(1)), false);
+  EXPECT_TRUE(isnull.Flips(Value::Null(), Value(1)));
+}
+
+TEST(Atom, ToStringShowsShape) {
+  EXPECT_EQ(Cmp(sql::BinaryOp::kGt, Value(2)).ToString("A.x"), "A.x > 2");
+  EXPECT_EQ(Between(Value(2), Value(9)).ToString("A.x"), "A.x BETWEEN 2 AND 9");
+  EXPECT_EQ(Cmp(sql::BinaryOp::kEq, Value(3), true).ToString("c"), "NOT c = 3");
+}
+
+TEST(ColumnPredicate, TrueAcceptsEverything) {
+  ColumnPredicate t = ColumnPredicate::True();
+  EXPECT_EQ(t.Eval(Value(1)), true);
+  EXPECT_EQ(t.Eval(Value::Null()), true);
+}
+
+TEST(ColumnPredicate, AndOrSimplification) {
+  auto atom = ColumnPredicate::MakeAtom(Cmp(sql::BinaryOp::kEq, Value(1)));
+  // TRUE conjuncts vanish.
+  auto conj = ColumnPredicate::And({ColumnPredicate::True(), atom});
+  EXPECT_EQ(conj.kind, ColumnPredicate::Kind::kAtom);
+  // TRUE disjunct absorbs.
+  auto disj = ColumnPredicate::Or({atom, ColumnPredicate::True()});
+  EXPECT_TRUE(disj.IsTriviallyTrue());
+}
+
+TEST(ColumnPredicate, ThreeValuedAndOr) {
+  auto gt2 = ColumnPredicate::MakeAtom(Cmp(sql::BinaryOp::kGt, Value(2)));
+  auto lt9 = ColumnPredicate::MakeAtom(Cmp(sql::BinaryOp::kLt, Value(9)));
+  auto range = ColumnPredicate::And({gt2, lt9});
+  EXPECT_EQ(range.Eval(Value(5)), true);
+  EXPECT_EQ(range.Eval(Value(1)), false);
+  EXPECT_EQ(range.Eval(Value::Null()), std::nullopt);
+
+  auto either = ColumnPredicate::Or({gt2, lt9});  // always true for ints
+  EXPECT_EQ(either.Eval(Value(0)), true);
+  EXPECT_EQ(either.Eval(Value(100)), true);
+}
+
+TEST(EdgeAnnotation, PaperFig4Example) {
+  // Edge annotation "2,9" on A.x for: A.x > 2 AND A.x < 9.
+  std::vector<Atom> atoms = {Cmp(sql::BinaryOp::kGt, Value(2)), Cmp(sql::BinaryOp::kLt, Value(9))};
+  auto filter = ColumnPredicate::And({ColumnPredicate::MakeAtom(atoms[0]),
+                                      ColumnPredicate::MakeAtom(atoms[1])});
+  EdgeAnnotation annotation(atoms, filter);
+
+  // 1. previously in (2,9), no longer -> affected
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(5), Value(9)));
+  // 2. previously outside, now inside -> affected
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(2), Value(3)));
+  // inside -> inside, outside -> outside: unaffected
+  EXPECT_FALSE(annotation.AffectedByUpdate(Value(3), Value(8)));
+  EXPECT_FALSE(annotation.AffectedByUpdate(Value(10), Value(20)));
+
+  // Insert/delete: a row with A.x in range can affect the result.
+  EXPECT_TRUE(annotation.AffectedByRowValue(Value(5)));
+  EXPECT_FALSE(annotation.AffectedByRowValue(Value(1)));
+  EXPECT_FALSE(annotation.AffectedByRowValue(Value::Null()));  // can't satisfy WHERE
+}
+
+TEST(EdgeAnnotation, MultipleAtomsAnyFlipFires) {
+  // c < 5 OR c > 10 — two atoms; moving between the two true-regions flips
+  // both atoms, moving 6 -> 7 flips neither.
+  std::vector<Atom> atoms = {Cmp(sql::BinaryOp::kLt, Value(5)), Cmp(sql::BinaryOp::kGt, Value(10))};
+  auto filter = ColumnPredicate::Or({ColumnPredicate::MakeAtom(atoms[0]),
+                                     ColumnPredicate::MakeAtom(atoms[1])});
+  EdgeAnnotation annotation(atoms, filter);
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(1), Value(20)));   // both flip
+  EXPECT_FALSE(annotation.AffectedByUpdate(Value(6), Value(7)));   // gap -> gap
+  EXPECT_TRUE(annotation.AffectedByUpdate(Value(6), Value(1)));
+  EXPECT_TRUE(annotation.AffectedByRowValue(Value(20)));
+  EXPECT_FALSE(annotation.AffectedByRowValue(Value(7)));
+}
+
+TEST(EdgeAnnotation, ToStringIsReadable) {
+  std::vector<Atom> atoms = {Between(Value(2), Value(9))};
+  EdgeAnnotation annotation(atoms, ColumnPredicate::MakeAtom(atoms[0]));
+  const std::string s = annotation.ToString("A.x");
+  EXPECT_NE(s.find("A.x BETWEEN 2 AND 9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qc::odg

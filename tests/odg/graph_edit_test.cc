@@ -1,0 +1,87 @@
+// Graph-surgery coverage: RemoveInEdges (dependency-set rebuilds) and
+// interactions between removal, reuse and propagation.
+#include <gtest/gtest.h>
+
+#include "odg/graph.h"
+
+namespace qc::odg {
+namespace {
+
+TEST(GraphEdit, RemoveInEdgesKeepsVertexAndOutEdges) {
+  Graph g;
+  const auto a = g.AddVertex("a", VertexKind::kUnderlying);
+  const auto b = g.AddVertex("b", VertexKind::kUnderlying);
+  const auto mid = g.AddVertex("mid", VertexKind::kIntermediate);
+  const auto sink = g.AddVertex("sink", VertexKind::kObject);
+  g.AddEdge(a, mid);
+  g.AddEdge(b, mid);
+  g.AddEdge(mid, sink);
+  ASSERT_EQ(g.EdgeCount(), 3u);
+
+  g.RemoveInEdges(mid);
+  EXPECT_EQ(g.EdgeCount(), 1u);  // mid -> sink survives
+  EXPECT_TRUE(g.IsLive(mid));
+  EXPECT_TRUE(g.Propagate(a, ChangeSpec::Generic()).empty());
+  EXPECT_EQ(g.Propagate(mid, ChangeSpec::Generic()).size(), 1u);
+}
+
+TEST(GraphEdit, RemoveInEdgesThenRebuild) {
+  Graph g;
+  const auto old_src = g.AddVertex("old", VertexKind::kUnderlying);
+  const auto new_src = g.AddVertex("new", VertexKind::kUnderlying);
+  const auto obj = g.AddVertex("obj", VertexKind::kObject);
+  g.AddEdge(old_src, obj);
+  g.RemoveInEdges(obj);
+  g.AddEdge(new_src, obj);
+  EXPECT_TRUE(g.Propagate(old_src, ChangeSpec::Generic()).empty());
+  EXPECT_EQ(g.Propagate(new_src, ChangeSpec::Generic()).size(), 1u);
+}
+
+TEST(GraphEdit, RemoveInEdgesOnSourcelessVertexIsNoOp) {
+  Graph g;
+  const auto v = g.AddVertex("v", VertexKind::kObject);
+  EXPECT_NO_THROW(g.RemoveInEdges(v));
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(GraphEdit, ParallelEdgesAllRemoved) {
+  Graph g;
+  const auto src = g.AddVertex("src", VertexKind::kUnderlying);
+  const auto obj = g.AddVertex("obj", VertexKind::kObject);
+  g.AddEdge(src, obj, 1.0);
+  g.AddEdge(src, obj, 2.0);  // parallel edge (e.g. two atoms, two weights)
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  g.RemoveInEdges(obj);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  EXPECT_EQ(g.OutDegree(src), 0u);
+}
+
+TEST(GraphEdit, RemoveVertexAfterRemoveInEdgesIsClean) {
+  Graph g;
+  const auto src = g.AddVertex("src", VertexKind::kUnderlying);
+  const auto obj = g.AddVertex("obj", VertexKind::kObject);
+  g.AddEdge(src, obj);
+  g.RemoveInEdges(obj);
+  g.RemoveVertex(obj);
+  EXPECT_EQ(g.VertexCount(), 1u);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+  // The freed id can be reused and wired up again without residue.
+  const auto reborn = g.AddVertex("obj2", VertexKind::kObject);
+  g.AddEdge(src, reborn);
+  EXPECT_EQ(g.Propagate(src, ChangeSpec::Generic()).size(), 1u);
+}
+
+TEST(GraphEdit, ObsolescenceSurvivesUnrelatedSurgery) {
+  Graph g;
+  const auto src = g.AddVertex("src", VertexKind::kUnderlying);
+  const auto a = g.AddVertex("a", VertexKind::kObject);
+  const auto b = g.AddVertex("b", VertexKind::kObject);
+  g.AddEdge(src, a, 3.0);
+  g.AddEdge(src, b, 1.0);
+  g.PropagateWeighted(src, ChangeSpec::Generic());
+  g.RemoveVertex(b);
+  EXPECT_DOUBLE_EQ(g.ObsolescenceOf(a), 3.0);
+}
+
+}  // namespace
+}  // namespace qc::odg

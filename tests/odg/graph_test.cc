@@ -1,0 +1,186 @@
+#include "odg/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qc::odg {
+namespace {
+
+bool Contains(const std::vector<VertexId>& vs, VertexId v) {
+  return std::find(vs.begin(), vs.end(), v) != vs.end();
+}
+
+TEST(Graph, AddFindRemoveVertices) {
+  Graph g;
+  const VertexId a = g.AddVertex("a", VertexKind::kUnderlying);
+  EXPECT_EQ(g.Find("a"), a);
+  EXPECT_EQ(g.NameOf(a), "a");
+  EXPECT_EQ(g.KindOf(a), VertexKind::kUnderlying);
+  EXPECT_THROW(g.AddVertex("a", VertexKind::kObject), Error);
+  EXPECT_EQ(g.GetOrAdd("a", VertexKind::kObject), a);  // existing wins
+  g.RemoveVertex(a);
+  EXPECT_FALSE(g.Find("a").has_value());
+  EXPECT_FALSE(g.IsLive(a));
+  EXPECT_THROW(g.NameOf(a), Error);
+}
+
+TEST(Graph, VertexIdReuseAfterRemoval) {
+  Graph g;
+  const VertexId a = g.AddVertex("a", VertexKind::kObject);
+  g.RemoveVertex(a);
+  const VertexId b = g.AddVertex("b", VertexKind::kObject);
+  EXPECT_EQ(a, b);  // freed slot reused
+  EXPECT_EQ(g.VertexCount(), 1u);
+}
+
+TEST(Graph, PaperFig2Transitivity) {
+  // go2 changes -> go5, go6 change; by transitivity go7 changes.
+  Graph g;
+  const auto go1 = g.AddVertex("go1", VertexKind::kUnderlying);
+  const auto go2 = g.AddVertex("go2", VertexKind::kUnderlying);
+  const auto go3 = g.AddVertex("go3", VertexKind::kUnderlying);
+  const auto go4 = g.AddVertex("go4", VertexKind::kUnderlying);
+  const auto go5 = g.AddVertex("go5", VertexKind::kIntermediate);
+  const auto go6 = g.AddVertex("go6", VertexKind::kIntermediate);
+  const auto go7 = g.AddVertex("go7", VertexKind::kObject);
+  g.AddEdge(go1, go5, 10);
+  g.AddEdge(go2, go5, 2);
+  g.AddEdge(go2, go6, 3);
+  g.AddEdge(go3, go6, 1);
+  g.AddEdge(go4, go6, 8);
+  g.AddEdge(go5, go7, 12);
+  g.AddEdge(go6, go7, 5);
+
+  auto affected = g.Propagate(go2, ChangeSpec::Generic());
+  EXPECT_EQ(affected.size(), 3u);
+  EXPECT_TRUE(Contains(affected, go5));
+  EXPECT_TRUE(Contains(affected, go6));
+  EXPECT_TRUE(Contains(affected, go7));
+
+  auto from_go3 = g.Propagate(go3, ChangeSpec::Generic());
+  EXPECT_EQ(from_go3.size(), 2u);
+  EXPECT_FALSE(Contains(from_go3, go5));
+}
+
+TEST(Graph, DiamondReportsEachVertexOnce) {
+  Graph g;
+  const auto src = g.AddVertex("src", VertexKind::kUnderlying);
+  const auto a = g.AddVertex("a", VertexKind::kIntermediate);
+  const auto b = g.AddVertex("b", VertexKind::kIntermediate);
+  const auto sink = g.AddVertex("sink", VertexKind::kObject);
+  g.AddEdge(src, a);
+  g.AddEdge(src, b);
+  g.AddEdge(a, sink);
+  g.AddEdge(b, sink);
+  auto affected = g.Propagate(src, ChangeSpec::Generic());
+  EXPECT_EQ(affected.size(), 3u);
+  EXPECT_EQ(std::count(affected.begin(), affected.end(), sink), 1);
+}
+
+TEST(Graph, CyclesTerminate) {
+  Graph g;
+  const auto a = g.AddVertex("a", VertexKind::kIntermediate);
+  const auto b = g.AddVertex("b", VertexKind::kIntermediate);
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  auto affected = g.Propagate(a, ChangeSpec::Generic());
+  EXPECT_EQ(affected.size(), 1u);  // b only; a is the source
+}
+
+TEST(Graph, AnnotatedEdgeGatesFirstHop) {
+  Graph g;
+  const auto col = g.AddVertex("col", VertexKind::kUnderlying);
+  const auto obj = g.AddVertex("obj", VertexKind::kObject);
+  Atom atom;
+  atom.kind = Atom::Kind::kBetween;
+  atom.a = Value(2);
+  atom.b = Value(9);
+  g.AddEdge(col, obj, 1.0, EdgeAnnotation({atom}, ColumnPredicate::MakeAtom(atom)));
+
+  EXPECT_TRUE(g.Propagate(col, ChangeSpec::Update(Value(5), Value(10))).size() == 1);
+  EXPECT_TRUE(g.Propagate(col, ChangeSpec::Update(Value(3), Value(4))).empty());
+  EXPECT_TRUE(g.Propagate(col, ChangeSpec::Generic()).size() == 1);  // value-unaware
+  EXPECT_TRUE(g.Propagate(col, ChangeSpec::RowValue(Value(5))).size() == 1);
+  EXPECT_TRUE(g.Propagate(col, ChangeSpec::RowValue(Value(50))).empty());
+}
+
+TEST(Graph, RemoveVertexDetachesEdges) {
+  Graph g;
+  const auto col = g.AddVertex("col", VertexKind::kUnderlying);
+  const auto obj1 = g.AddVertex("obj1", VertexKind::kObject);
+  const auto obj2 = g.AddVertex("obj2", VertexKind::kObject);
+  g.AddEdge(col, obj1);
+  g.AddEdge(col, obj2);
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  g.RemoveVertex(obj1);
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  auto affected = g.Propagate(col, ChangeSpec::Generic());
+  EXPECT_EQ(affected.size(), 1u);
+  EXPECT_TRUE(Contains(affected, obj2));
+  EXPECT_EQ(g.OutDegree(col), 1u);
+}
+
+TEST(Graph, RemoveMiddleVertexBreaksTransitivity) {
+  Graph g;
+  const auto a = g.AddVertex("a", VertexKind::kUnderlying);
+  const auto mid = g.AddVertex("mid", VertexKind::kIntermediate);
+  const auto c = g.AddVertex("c", VertexKind::kObject);
+  g.AddEdge(a, mid);
+  g.AddEdge(mid, c);
+  g.RemoveVertex(mid);
+  EXPECT_TRUE(g.Propagate(a, ChangeSpec::Generic()).empty());
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(Graph, WeightedObsolescenceAccumulates) {
+  // Paper Fig. 2: edge weights quantify how obsolete an object becomes.
+  Graph g;
+  const auto go1 = g.AddVertex("go1", VertexKind::kUnderlying);
+  const auto go2 = g.AddVertex("go2", VertexKind::kUnderlying);
+  const auto go5 = g.AddVertex("go5", VertexKind::kObject);
+  g.AddEdge(go1, go5, 10);
+  g.AddEdge(go2, go5, 2);
+
+  g.PropagateWeighted(go2, ChangeSpec::Generic());
+  EXPECT_DOUBLE_EQ(g.ObsolescenceOf(go5), 2.0);
+  g.PropagateWeighted(go2, ChangeSpec::Generic());
+  EXPECT_DOUBLE_EQ(g.ObsolescenceOf(go5), 4.0);
+  g.PropagateWeighted(go1, ChangeSpec::Generic());  // the important dependency
+  EXPECT_DOUBLE_EQ(g.ObsolescenceOf(go5), 14.0);
+  g.ResetObsolescence(go5);  // object refreshed
+  EXPECT_DOUBLE_EQ(g.ObsolescenceOf(go5), 0.0);
+}
+
+TEST(Graph, WeightedPathStrengthIsBottleneck) {
+  Graph g;
+  const auto src = g.AddVertex("src", VertexKind::kUnderlying);
+  const auto mid = g.AddVertex("mid", VertexKind::kIntermediate);
+  const auto sink = g.AddVertex("sink", VertexKind::kObject);
+  g.AddEdge(src, mid, 10);
+  g.AddEdge(mid, sink, 3);
+  g.PropagateWeighted(src, ChangeSpec::Generic());
+  EXPECT_DOUBLE_EQ(g.ObsolescenceOf(mid), 10.0);
+  EXPECT_DOUBLE_EQ(g.ObsolescenceOf(sink), 3.0);  // min along the path
+}
+
+TEST(Graph, ToDotMentionsVerticesAndAnnotations) {
+  Graph g;
+  const auto col = g.AddVertex("A.x", VertexKind::kUnderlying);
+  const auto obj = g.AddVertex("Q1", VertexKind::kObject);
+  Atom atom;
+  atom.kind = Atom::Kind::kBetween;
+  atom.a = Value(2);
+  atom.b = Value(9);
+  g.AddEdge(col, obj, 1.0, EdgeAnnotation({atom}, ColumnPredicate::MakeAtom(atom)));
+  const std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("A.x"), std::string::npos);
+  EXPECT_NE(dot.find("Q1"), std::string::npos);
+  EXPECT_NE(dot.find("BETWEEN 2 AND 9"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qc::odg

@@ -1,0 +1,166 @@
+// Robustness fuzzing: the SQL front end must never crash or hang on
+// malformed input (throwing ParseError/BindError is the contract), and
+// random DML programs must keep the storage layer consistent with a naive
+// in-memory model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sql/binder.h"
+#include "sql/dml.h"
+#include "sql/evaluator.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+
+namespace qc {
+namespace {
+
+TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  const std::vector<std::string> vocabulary = {
+      "SELECT", "FROM",   "WHERE", "AND",  "OR",    "NOT",   "BETWEEN", "IN",     "LIKE",
+      "GROUP",  "BY",     "ORDER", "LIMIT", "COUNT", "SUM",  "INSERT",  "UPDATE", "DELETE",
+      "INTO",   "VALUES", "SET",   "(",    ")",     ",",     "*",       "=",      "<",
+      ">",      "<=",     ">=",    "<>",   "$1",    "?",     "1",       "2.5",    "'s'",
+      "T",      "A",      "B",     "NULL", "IS",    ".",     ";"};
+  Rng rng(321);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string sql;
+    const int len = static_cast<int>(rng.Uniform(0, 14));
+    for (int i = 0; i < len; ++i) {
+      sql += vocabulary[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(vocabulary.size()) - 1))];
+      sql += ' ';
+    }
+    try {
+      sql::ParseStatement(sql);
+    } catch (const ParseError&) {
+      // expected for most soups
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomBytesNeverCrash) {
+  Rng rng(654);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string sql;
+    const int len = static_cast<int>(rng.Uniform(0, 24));
+    for (int i = 0; i < len; ++i) {
+      sql += static_cast<char>(rng.Uniform(32, 126));
+    }
+    try {
+      sql::ParseStatement(sql);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(BinderFuzz, ValidGrammarRandomNamesNeverCrash) {
+  storage::Database db;
+  db.CreateTable("T", storage::Schema({{"A", ValueType::kInt, false},
+                                       {"B", ValueType::kString, true}}));
+  const std::vector<std::string> columns = {"A", "B", "C", "T.A", "X.B"};
+  const std::vector<std::string> tables = {"T", "U", "t"};
+  Rng rng(987);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto pick = [&](const std::vector<std::string>& pool) {
+      return pool[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+    };
+    const std::string sql = "SELECT " + pick(columns) + " FROM " + pick(tables) + " WHERE " +
+                            pick(columns) + " = " + std::to_string(rng.Uniform(0, 5));
+    try {
+      auto query = sql::ParseAndBind(sql, db);
+      sql::Execute(*query);
+    } catch (const ParseError&) {
+    } catch (const BindError&) {
+    }
+  }
+}
+
+// Random DML programs vs. a trivially correct model of the table.
+TEST(DmlFuzz, StorageMatchesNaiveModel) {
+  storage::Database db;
+  db.CreateTable("T", storage::Schema({{"K", ValueType::kInt, false},
+                                       {"V", ValueType::kInt, false}}));
+  storage::Table& table = db.GetTable("T");
+  // Model: multiset of (K, V) pairs.
+  std::multimap<int64_t, int64_t> model;
+
+  Rng rng(246);
+  for (int step = 0; step < 2000; ++step) {
+    const int64_t k = rng.Uniform(0, 9);
+    const int64_t v = rng.Uniform(0, 99);
+    switch (rng.Uniform(0, 3)) {
+      case 0: {  // insert
+        sql::AnyStatement stmt = sql::ParseStatement("INSERT INTO T VALUES ($1, $2)");
+        sql::ExecuteDml(stmt.dml, db, {Value(k), Value(v)});
+        model.emplace(k, v);
+        break;
+      }
+      case 1: {  // update all rows with key k
+        sql::AnyStatement stmt = sql::ParseStatement("UPDATE T SET V = $2 WHERE K = $1");
+        const uint64_t affected = sql::ExecuteDml(stmt.dml, db, {Value(k), Value(v)});
+        EXPECT_EQ(affected, model.count(k));
+        auto [begin, end] = model.equal_range(k);
+        for (auto it = begin; it != end; ++it) it->second = v;
+        break;
+      }
+      case 2: {  // delete rows with key k and value below v
+        sql::AnyStatement stmt = sql::ParseStatement("DELETE FROM T WHERE K = $1 AND V < $2");
+        const uint64_t affected = sql::ExecuteDml(stmt.dml, db, {Value(k), Value(v)});
+        uint64_t expected = 0;
+        for (auto it = model.begin(); it != model.end();) {
+          if (it->first == k && it->second < v) {
+            it = model.erase(it);
+            ++expected;
+          } else {
+            ++it;
+          }
+        }
+        EXPECT_EQ(affected, expected);
+        break;
+      }
+      default: {  // full comparison: table contents == model contents
+        auto query = sql::ParseAndBind("SELECT K, V FROM T", db);
+        sql::ResultSet rs = sql::Execute(*query);
+        ASSERT_EQ(rs.row_count(), model.size()) << "step " << step;
+        std::vector<std::pair<int64_t, int64_t>> seen, expected;
+        for (const storage::Row& row : rs.rows()) {
+          seen.emplace_back(row[0].as_int(), row[1].as_int());
+        }
+        expected.assign(model.begin(), model.end());
+        std::sort(seen.begin(), seen.end());
+        std::sort(expected.begin(), expected.end());
+        ASSERT_EQ(seen, expected) << "step " << step;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(table.size(), model.size());
+}
+
+// Random single-statement round trips through the canonicalizer: parsing
+// the canonical form must be a fixed point.
+TEST(CanonicalFuzz, CanonicalSqlIsAFixedPoint) {
+  Rng rng(135);
+  const std::vector<std::string> predicates = {
+      "A = 1",        "A <> 2",          "A BETWEEN 1 AND 5", "A IN (1, 2, 3)",
+      "B LIKE 'x%'",  "B IS NOT NULL",   "NOT A = 3",         "A >= $1",
+      "A < 9 OR B = 'z'"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string sql = "SELECT COUNT(*) FROM T WHERE ";
+    const int n = static_cast<int>(rng.Uniform(1, 3));
+    for (int i = 0; i < n; ++i) {
+      if (i) sql += rng.Chance(0.5) ? " AND " : " OR ";
+      sql += predicates[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(predicates.size()) - 1))];
+    }
+    const std::string canonical = sql::CanonicalSql(sql::Parse(sql));
+    EXPECT_EQ(sql::CanonicalSql(sql::Parse(canonical)), canonical) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace qc

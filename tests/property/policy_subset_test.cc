@@ -1,0 +1,144 @@
+// The policy-ladder invariant behind the paper's §5 results: for any
+// single update/insert/delete event, the set of query results the
+// row-aware policy invalidates is a subset of the value-aware policy's
+// set, which is a subset of the value-unaware policy's set. (This is what
+// makes Figs. 9–13 monotone in the policy — checked here event by event
+// on randomized workloads rather than in aggregate.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "dup/engine.h"
+#include "sql/binder.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+
+namespace qc {
+namespace {
+
+struct PolicyRig {
+  explicit PolicyRig(dup::InvalidationPolicy policy)
+      : cache(cache::GpsCacheConfig{}), engine(cache, MakeOptions(policy)) {
+    engine.SetTracer([this](const std::string& key, const std::string&) {
+      current_event_keys.insert(key);
+    });
+  }
+
+  static dup::DupEngine::Options MakeOptions(dup::InvalidationPolicy policy) {
+    dup::DupEngine::Options options;
+    options.policy = policy;
+    return options;
+  }
+
+  void Register(const std::string& key, const std::shared_ptr<const sql::BoundQuery>& query,
+                const std::vector<Value>& params) {
+    cache.Put(key, std::make_shared<cache::StringValue>("r"));
+    engine.RegisterQuery(key, query, params);
+  }
+
+  cache::GpsCache cache;
+  dup::DupEngine engine;
+  std::set<std::string> current_event_keys;
+};
+
+TEST(PolicySubsetProperty, RowAwareSubsetOfValueAwareSubsetOfValueUnaware) {
+  storage::Database db;
+  auto& table = db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                                     {"Y", ValueType::kInt, false},
+                                                     {"S", ValueType::kString, false}}));
+  Rng rng(777);
+  for (int i = 0; i < 80; ++i) {
+    table.Insert({Value(rng.Uniform(0, 40)), Value(rng.Uniform(0, 40)),
+                  Value(rng.Chance(0.5) ? "a" : "b")});
+  }
+
+  const std::vector<std::pair<std::string, std::vector<Value>>> query_specs = {
+      {"SELECT COUNT(*) FROM T WHERE X = 7", {}},
+      {"SELECT COUNT(*) FROM T WHERE X BETWEEN 10 AND 20", {}},
+      {"SELECT COUNT(*) FROM T WHERE X BETWEEN 10 AND 20 AND Y = 3", {}},
+      {"SELECT COUNT(*) FROM T WHERE NOT X = 5 AND S = 'a'", {}},
+      {"SELECT COUNT(*) FROM T WHERE X IN (1, 2, 3) OR Y > 35", {}},
+      {"SELECT SUM(Y) FROM T WHERE S = $1", {Value("b")}},
+      {"SELECT X, COUNT(*) FROM T GROUP BY X", {}},
+      {"SELECT COUNT(*) FROM T", {}},
+  };
+
+  PolicyRig value_unaware(dup::InvalidationPolicy::kValueUnaware);
+  PolicyRig value_aware(dup::InvalidationPolicy::kValueAware);
+  PolicyRig row_aware(dup::InvalidationPolicy::kRowAware);
+  std::vector<PolicyRig*> rigs = {&value_unaware, &value_aware, &row_aware};
+
+  std::vector<std::shared_ptr<const sql::BoundQuery>> queries;
+  std::vector<std::string> keys;
+  for (const auto& [sql_text, params] : query_specs) {
+    auto query = sql::ParseAndBind(sql_text, db);
+    const std::string key = sql::Fingerprint(query->stmt(), params);
+    for (PolicyRig* rig : rigs) rig->Register(key, query, params);
+    queries.push_back(std::move(query));
+    keys.push_back(key);
+  }
+
+  // Feed identical events to all three engines.
+  db.Subscribe([&](const storage::UpdateEvent& event) {
+    for (PolicyRig* rig : rigs) rig->engine.OnUpdate(event);
+  });
+
+  uint64_t strict_gaps = 0;
+  for (int step = 0; step < 300; ++step) {
+    for (PolicyRig* rig : rigs) rig->current_event_keys.clear();
+
+    const double dice = rng.UniformReal();
+    if (dice < 0.6) {
+      storage::RowId row;
+      do {
+        row = static_cast<storage::RowId>(
+            rng.Uniform(0, static_cast<int64_t>(table.SlotCount()) - 1));
+      } while (!table.IsLive(row));
+      const auto col = static_cast<uint32_t>(rng.Uniform(0, 2));
+      const Value value = col == 2 ? Value(rng.Chance(0.5) ? "a" : "b")
+                                   : Value(rng.Uniform(0, 40));
+      table.Update(row, col, value);
+    } else if (dice < 0.8 || table.size() < 10) {
+      table.Insert({Value(rng.Uniform(0, 40)), Value(rng.Uniform(0, 40)),
+                    Value(rng.Chance(0.5) ? "a" : "b")});
+    } else {
+      storage::RowId row;
+      do {
+        row = static_cast<storage::RowId>(
+            rng.Uniform(0, static_cast<int64_t>(table.SlotCount()) - 1));
+      } while (!table.IsLive(row));
+      table.Delete(row);
+    }
+
+    const auto& unaware_keys = value_unaware.current_event_keys;
+    const auto& aware_keys = value_aware.current_event_keys;
+    const auto& row_keys = row_aware.current_event_keys;
+    ASSERT_TRUE(std::includes(unaware_keys.begin(), unaware_keys.end(), aware_keys.begin(),
+                              aware_keys.end()))
+        << "step " << step << ": value-aware invalidated something value-unaware kept";
+    ASSERT_TRUE(
+        std::includes(aware_keys.begin(), aware_keys.end(), row_keys.begin(), row_keys.end()))
+        << "step " << step << ": row-aware invalidated something value-aware kept";
+    if (aware_keys.size() < unaware_keys.size() || row_keys.size() < aware_keys.size()) {
+      ++strict_gaps;
+    }
+
+    // Restore full registration on every rig so the next event sees the
+    // complete query population again.
+    for (PolicyRig* rig : rigs) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (rig->current_event_keys.count(keys[i]) ||
+            !rig->cache.Contains(keys[i])) {
+          rig->Register(keys[i], queries[i], query_specs[i].second);
+        }
+      }
+    }
+  }
+  // The ladder must actually refine somewhere, not just trivially tie.
+  EXPECT_GT(strict_gaps, 30u);
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,168 @@
+// System-level property tests for the non-query DUP deployments:
+//   * accelerator: cached page == fresh render of the current fragment
+//     state, under random multi-level include graphs and random updates;
+//   * cluster: with synchronous token delivery, no node ever serves stale
+//     data; after Quiesce() every node converges regardless of latency.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "accel/page_server.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+
+namespace qc {
+namespace {
+
+TEST(AccelProperty, CachedPageAlwaysMatchesModelRender) {
+  Rng rng(2026);
+  accel::PageServer server;
+
+  // Model: our own fragment map + reference renderer.
+  std::map<std::string, std::string> fragments;
+  auto model_render = [&](const std::string& body) {
+    std::function<std::string(const std::string&, int)> render =
+        [&](const std::string& text, int depth) -> std::string {
+      EXPECT_LT(depth, 16);
+      std::string out;
+      size_t pos = 0;
+      while (pos < text.size()) {
+        const size_t open = text.find("{{", pos);
+        if (open == std::string::npos) {
+          out.append(text, pos, std::string::npos);
+          break;
+        }
+        out.append(text, pos, open - pos);
+        const size_t close = text.find("}}", open + 2);
+        const std::string name = text.substr(open + 2, close - open - 2);
+        out += render(fragments.at(name), depth + 1);
+        pos = close + 2;
+      }
+      return out;
+    };
+    return render(body, 0);
+  };
+
+  // Random acyclic include structure: fragment i may include j < i.
+  constexpr int kFragments = 12;
+  constexpr int kPages = 6;
+  std::vector<std::string> frag_names;
+  std::map<std::string, std::string> page_templates;
+  for (int i = 0; i < kFragments; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    std::string body = "[" + name + " v0";
+    for (int j = 0; j < i; ++j) {
+      if (rng.Chance(0.25)) body += " {{f" + std::to_string(j) + "}}";
+    }
+    body += "]";
+    frag_names.push_back(name);
+    fragments[name] = body;
+    server.SetFragment(name, body);
+  }
+  for (int p = 0; p < kPages; ++p) {
+    const std::string path = "/p" + std::to_string(p) + ".html";
+    std::string body = "<page " + std::to_string(p) + ">";
+    for (int i = 0; i < kFragments; ++i) {
+      if (rng.Chance(0.3)) body += "{{f" + std::to_string(i) + "}}";
+    }
+    page_templates[path] = body;
+    server.DefinePage(path, body);
+  }
+
+  for (int step = 0; step < 600; ++step) {
+    if (rng.Chance(0.2)) {
+      // Update a random fragment's content (keeping its include list so
+      // the graph stays acyclic).
+      const std::string& name =
+          frag_names[static_cast<size_t>(rng.Uniform(0, kFragments - 1))];
+      std::string body = fragments[name];
+      const std::string marker = " v";
+      const size_t vpos = body.find(marker);
+      body = body.substr(0, vpos) + " v" + std::to_string(step) +
+             body.substr(body.find_first_of(" ]", vpos + 2));
+      fragments[name] = body;
+      server.SetFragment(name, body);
+    } else {
+      const auto it = std::next(page_templates.begin(),
+                                rng.Uniform(0, static_cast<int64_t>(kPages) - 1));
+      ASSERT_EQ(server.Serve(it->first), model_render(it->second)) << "step " << step;
+    }
+  }
+  EXPECT_GT(server.stats().hits, 0u);
+  EXPECT_GT(server.stats().invalidated_pages, 0u);
+}
+
+TEST(ClusterProperty, SynchronousClusterNeverStale) {
+  Rng rng(31337);
+  storage::Database db;
+  auto& table = db.CreateTable("T", storage::Schema({{"A", ValueType::kInt, false},
+                                                     {"B", ValueType::kInt, false}}));
+  table.CreateHashIndex(0);
+  for (int i = 0; i < 200; ++i) table.Insert({Value(i % 20), Value(i % 50)});
+
+  cluster::ClusterConfig config;
+  config.nodes = 3;
+  config.latency_ticks = 0;
+  config.verify_staleness = true;  // the cluster itself checks every hit
+  cluster::CacheCluster cluster(db, config);
+
+  std::vector<std::shared_ptr<const sql::BoundQuery>> queries = {
+      cluster.Prepare("SELECT COUNT(*) FROM T WHERE A = 3"),
+      cluster.Prepare("SELECT COUNT(*) FROM T WHERE B BETWEEN 10 AND 30"),
+      cluster.Prepare("SELECT SUM(B) FROM T WHERE A < 5"),
+  };
+
+  for (int step = 0; step < 500; ++step) {
+    if (rng.Chance(0.25)) {
+      const size_t writer = static_cast<size_t>(rng.Uniform(0, 2));
+      cluster.PerformUpdate(writer, [&] {
+        storage::RowId row;
+        do {
+          row = static_cast<storage::RowId>(rng.Uniform(0, 199));
+        } while (!table.IsLive(row));
+        table.Update(row, static_cast<uint32_t>(rng.Uniform(0, 1)),
+                     Value(rng.Uniform(0, 49)));
+      });
+    } else {
+      cluster.Execute(queries[static_cast<size_t>(rng.Uniform(0, 2))]);
+    }
+  }
+  EXPECT_EQ(cluster.stats().stale_hits, 0u);
+  EXPECT_GT(cluster.stats().hits, 100u);
+}
+
+TEST(ClusterProperty, QuiesceConvergesAllNodesUnderLatency) {
+  Rng rng(424242);
+  storage::Database db;
+  auto& table = db.CreateTable("T", storage::Schema({{"A", ValueType::kInt, false}}));
+  for (int i = 0; i < 50; ++i) table.Insert({Value(i)});
+
+  cluster::ClusterConfig config;
+  config.nodes = 4;
+  config.latency_ticks = 7;
+  cluster::CacheCluster cluster(db, config);
+  auto query = cluster.Prepare("SELECT COUNT(*) FROM T WHERE A < 25");
+
+  for (int round = 0; round < 50; ++round) {
+    for (size_t n = 0; n < 4; ++n) cluster.ExecuteAt(n, query);
+    cluster.PerformUpdate(rng.Uniform(0, 3), [&] {
+      storage::RowId row;
+      do {
+        row = static_cast<storage::RowId>(rng.Uniform(0, 49));
+      } while (!table.IsLive(row));
+      table.Update(row, 0, Value(rng.Uniform(0, 49)));
+    });
+    cluster.Quiesce();
+    // Post-quiesce, every node must agree with the database.
+    for (size_t n = 0; n < 4; ++n) {
+      auto outcome = cluster.ExecuteAt(n, query);
+      ASSERT_TRUE(
+          outcome.result->Equals(cluster.node(n).ExecuteUncached(*query)))
+          << "round " << round << " node " << n;
+    }
+  }
+  EXPECT_EQ(cluster.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace qc

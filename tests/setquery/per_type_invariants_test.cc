@@ -1,0 +1,53 @@
+// Parameterized per-query-type regression guard for the Fig. 9 orderings:
+// for every Set Query type, Policy III's hit rate is at least Policy II's,
+// which is at least Policy I's (within noise), at a small workload scale.
+#include <gtest/gtest.h>
+
+#include "middleware/query_engine.h"
+#include "setquery/workload.h"
+
+namespace qc::setquery {
+namespace {
+
+class PerTypeInvariants : public ::testing::TestWithParam<std::string> {
+ protected:
+  static double HitRateFor(const std::string& type, dup::InvalidationPolicy policy) {
+    storage::Database db;
+    BenchTable bench(db, 2000);
+    middleware::CachedQueryEngine::Options options;
+    options.policy = policy;
+    options.extraction = dup::ExtractionOptions::PaperFidelity();
+    middleware::CachedQueryEngine engine(db, options);
+    WorkloadRunner runner(bench, engine);
+    WorkloadConfig config;
+    config.update_rate = 0.05;
+    config.attributes_per_update = 1;
+    config.transactions = 1200;
+    config.seed = 9;
+    const WorkloadResult result = runner.Run(config);
+    auto it = result.per_type.find(type);
+    return it == result.per_type.end() ? 0.0 : it->second.HitRatePercent();
+  }
+};
+
+TEST_P(PerTypeInvariants, PolicyLadderHoldsPerQueryType) {
+  const std::string& type = GetParam();
+  const double p1 = HitRateFor(type, dup::InvalidationPolicy::kFlushAll);
+  const double p2 = HitRateFor(type, dup::InvalidationPolicy::kValueUnaware);
+  const double p3 = HitRateFor(type, dup::InvalidationPolicy::kValueAware);
+  // Small-sample noise tolerance: 8 points.
+  EXPECT_GE(p2, p1 - 8.0) << "II vs I for type " << type;
+  EXPECT_GE(p3, p2 - 8.0) << "III vs II for type " << type;
+  EXPECT_GT(p3, 0.0) << type;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, PerTypeInvariants,
+                         ::testing::Values("1", "2A", "2B", "3A", "3B", "4A", "4B", "5", "6A",
+                                           "6B"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = "Q" + info.param;
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace qc::setquery

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "setquery/bench_table.h"
+#include "setquery/queries.h"
+#include "setquery/workload.h"
+#include "sql/binder.h"
+#include "sql/evaluator.h"
+
+namespace qc::setquery {
+namespace {
+
+TEST(BenchTable, SchemaHasThirteenIntColumns) {
+  EXPECT_EQ(BenchAttributeCount(), 13u);
+  storage::Database db;
+  BenchTable bench(db, 100);
+  EXPECT_EQ(bench.table().schema().size(), 13u);
+  EXPECT_EQ(bench.table().schema().column(0).name, "KSEQ");
+  EXPECT_EQ(bench.table().schema().column(12).name, "K2");
+  EXPECT_EQ(bench.table().size(), 100u);
+}
+
+TEST(BenchTable, KseqIsUniqueSequence) {
+  storage::Database db;
+  BenchTable bench(db, 500);
+  std::set<int64_t> seen;
+  bench.table().ForEachRow([&](storage::RowId row) {
+    seen.insert(bench.table().Get(row, 0).as_int());
+  });
+  EXPECT_EQ(seen.size(), 500u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 500);
+}
+
+TEST(BenchTable, ColumnsRespectCardinalities) {
+  storage::Database db;
+  BenchTable bench(db, 2000);
+  const auto& table = bench.table();
+  // K2 ∈ {1,2}, K4 ∈ {1..4}, K10 ∈ {1..10}.
+  for (auto [name, card] : {std::pair{"K2", 2}, {"K4", 4}, {"K10", 10}}) {
+    const uint32_t col = table.schema().Require(name);
+    std::set<int64_t> values;
+    table.ForEachRow([&](storage::RowId row) { values.insert(table.Get(row, col).as_int()); });
+    EXPECT_EQ(values.size(), static_cast<size_t>(card)) << name;
+    EXPECT_GE(*values.begin(), 1) << name;
+    EXPECT_LE(*values.rbegin(), card) << name;
+  }
+}
+
+TEST(BenchTable, GenerationIsDeterministic) {
+  storage::Database db1, db2;
+  BenchTable a(db1, 300, 99), b(db2, 300, 99);
+  a.table().ForEachRow([&](storage::RowId row) {
+    EXPECT_EQ(a.table().GetRow(row), b.table().GetRow(row));
+  });
+}
+
+TEST(BenchTable, ScaledKseqPreservesSelectivity) {
+  storage::Database db;
+  BenchTable bench(db, 100'000);
+  EXPECT_EQ(bench.ScaledKseq(400'000), 40'000);
+  EXPECT_EQ(bench.ScaledKseq(1'000'000), 100'000);
+  EXPECT_EQ(bench.ScaledKseq(0), 0);
+}
+
+TEST(BenchTable, RandomValueStaysInDomain) {
+  storage::Database db;
+  BenchTable bench(db, 50);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t k2 = bench.RandomValue(12, rng);  // K2
+    EXPECT_GE(k2, 1);
+    EXPECT_LE(k2, 2);
+    const int64_t kseq = bench.RandomValue(0, rng);
+    EXPECT_GE(kseq, 1);
+    EXPECT_LE(kseq, 50);
+  }
+}
+
+TEST(Queries, FamiliesHaveExpectedSizesAndParse) {
+  storage::Database db;
+  BenchTable bench(db, 1000);
+  EXPECT_EQ(BuildQ1(bench).size(), 11u);
+  EXPECT_EQ(BuildQ2A(bench).size(), 10u);
+  EXPECT_EQ(BuildQ2B(bench).size(), 10u);
+  EXPECT_EQ(BuildQ3A(bench).size(), 9u);
+  EXPECT_EQ(BuildQ3B(bench).size(), 9u);
+  EXPECT_EQ(BuildQ4A(bench).size(), 3u);
+  EXPECT_EQ(BuildQ4B(bench).size(), 2u);
+  EXPECT_EQ(BuildQ5(bench).size(), 3u);
+  EXPECT_EQ(BuildQ6A(bench).size(), 5u);
+  EXPECT_EQ(BuildQ6B(bench).size(), 4u);
+
+  const auto all = BuildAllQueries(bench);
+  EXPECT_EQ(all.size(), 66u);
+  std::set<std::string> sqls;
+  for (const QuerySpec& spec : all) {
+    EXPECT_TRUE(sqls.insert(spec.sql).second) << "duplicate: " << spec.sql;
+    // Every query must parse, bind, and execute against the table.
+    auto query = sql::ParseAndBind(spec.sql, db);
+    EXPECT_NO_THROW(sql::Execute(*query)) << spec.sql;
+  }
+}
+
+TEST(Queries, ParameterizedFamiliesBindAndExecute) {
+  storage::Database db;
+  BenchTable bench(db, 1000);
+  Rng rng(3);
+  for (const ParamQuerySpec& spec : BuildParameterizedQueries(bench)) {
+    auto query = sql::ParseAndBind(spec.sql, db);
+    EXPECT_EQ(query->param_count(), 1u) << spec.sql;
+    const Value param(bench.RandomValue(spec.param_column, rng));
+    EXPECT_NO_THROW(sql::Execute(*query, {param})) << spec.sql;
+  }
+}
+
+TEST(Queries, Q3ASumMatchesManualComputation) {
+  storage::Database db;
+  BenchTable bench(db, 2000);
+  const auto specs = BuildQ3A(bench);
+  // KN = K4 variant (last): manual evaluation over the table.
+  const QuerySpec& spec = specs.back();
+  ASSERT_EQ(spec.variant, "K4");
+  auto query = sql::ParseAndBind(spec.sql, db);
+  auto result = sql::Execute(*query);
+
+  const auto& table = bench.table();
+  const uint32_t k4 = table.schema().Require("K4");
+  const uint32_t k1k = table.schema().Require("K1K");
+  const int64_t lo = bench.ScaledKseq(400'000), hi = bench.ScaledKseq(500'000);
+  int64_t sum = 0;
+  bool any = false;
+  table.ForEachRow([&](storage::RowId row) {
+    const int64_t kseq = table.Get(row, 0).as_int();
+    if (kseq >= lo && kseq <= hi && table.Get(row, k4).as_int() == 3) {
+      sum += table.Get(row, k1k).as_int();
+      any = true;
+    }
+  });
+  ASSERT_TRUE(any);
+  EXPECT_EQ(result.ScalarAt(0, 0), Value(sum));
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    storage::Database db;
+    BenchTable bench(db, 1000);
+    middleware::CachedQueryEngine engine(db, {});
+    WorkloadRunner runner(bench, engine);
+    WorkloadConfig config;
+    config.transactions = 300;
+    config.update_rate = 0.1;
+    config.seed = seed;
+    return runner.Run(config);
+  };
+  const auto a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_NE(a.hits, c.hits);  // different seed, different trajectory
+}
+
+TEST(Workload, UpdateRateZeroMeansNoUpdates) {
+  storage::Database db;
+  BenchTable bench(db, 500);
+  middleware::CachedQueryEngine engine(db, {});
+  WorkloadRunner runner(bench, engine);
+  WorkloadConfig config;
+  config.transactions = 200;
+  config.update_rate = 0.0;
+  const auto result = runner.Run(config);
+  EXPECT_EQ(result.updates, 0u);
+  EXPECT_EQ(result.queries, 200u);
+  EXPECT_EQ(result.invalidations, 0u);
+  // With warmup and no updates every query is a hit.
+  EXPECT_DOUBLE_EQ(result.HitRatePercent(), 100.0);
+}
+
+TEST(Workload, PerTypeStatsCoverAllTypes) {
+  storage::Database db;
+  BenchTable bench(db, 500);
+  middleware::CachedQueryEngine engine(db, {});
+  WorkloadRunner runner(bench, engine);
+  WorkloadConfig config;
+  config.transactions = 2000;
+  config.update_rate = 0.0;
+  const auto result = runner.Run(config);
+  for (const std::string& type : QueryTypeOrder()) {
+    EXPECT_TRUE(result.per_type.count(type)) << type;
+  }
+}
+
+TEST(Workload, CreateDeleteShareKeepsRowCountConstant) {
+  storage::Database db;
+  BenchTable bench(db, 500);
+  middleware::CachedQueryEngine engine(db, {});
+  WorkloadRunner runner(bench, engine);
+  WorkloadConfig config;
+  config.transactions = 300;
+  config.update_rate = 0.5;
+  config.create_delete_share = 1.0;
+  const auto result = runner.Run(config);
+  EXPECT_GT(result.updates, 0u);
+  EXPECT_EQ(bench.table().size(), 500u);
+}
+
+TEST(Workload, ParameterizedModeBuildsLargerPopulation) {
+  storage::Database db;
+  BenchTable bench(db, 500);
+  middleware::CachedQueryEngine engine(db, {});
+  WorkloadRunner runner(bench, engine);
+  WorkloadConfig config;
+  config.transactions = 100;
+  config.update_rate = 0.0;
+  config.parameterized = true;
+  config.param_pool_size = 3;
+  const auto result = runner.Run(config);
+  EXPECT_EQ(result.queries, 100u);
+  // Warmup touched far more distinct instances than the 66 fixed queries.
+  EXPECT_GT(engine.stats().db_executions, 100u);
+}
+
+TEST(Workload, HigherUpdateRatesLowerHitRates) {
+  auto hit_rate = [](double rate) {
+    storage::Database db;
+    BenchTable bench(db, 1000);
+    middleware::CachedQueryEngine::Options options;
+    options.extraction = dup::ExtractionOptions::PaperFidelity();
+    middleware::CachedQueryEngine engine(db, options);
+    WorkloadRunner runner(bench, engine);
+    WorkloadConfig config;
+    config.transactions = 1500;
+    config.update_rate = rate;
+    config.attributes_per_update = 2;
+    return runner.Run(config).HitRatePercent();
+  };
+  const double low = hit_rate(0.01), high = hit_rate(0.30);
+  EXPECT_GT(low, high + 10);
+}
+
+}  // namespace
+}  // namespace qc::setquery

@@ -1,0 +1,48 @@
+// End-to-end smoke test: build a small BENCH table, run the cached query
+// engine under each policy, and check the cardinal correctness property —
+// a cached read always equals a fresh execution.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "middleware/query_engine.h"
+#include "setquery/bench_table.h"
+#include "setquery/queries.h"
+#include "setquery/workload.h"
+
+namespace qc {
+namespace {
+
+TEST(Smoke, EndToEndPolicies) {
+  for (auto policy : {dup::InvalidationPolicy::kFlushAll, dup::InvalidationPolicy::kValueUnaware,
+                      dup::InvalidationPolicy::kValueAware, dup::InvalidationPolicy::kRowAware}) {
+    storage::Database db;
+    setquery::BenchTable bench(db, 2000);
+    middleware::CachedQueryEngine::Options options;
+    options.policy = policy;
+    middleware::CachedQueryEngine engine(db, options);
+
+    auto specs = setquery::BuildAllQueries(bench);
+    Rng rng(7);
+    std::vector<std::shared_ptr<const sql::BoundQuery>> prepared;
+    for (const auto& spec : specs) prepared.push_back(engine.Prepare(spec.sql));
+
+    for (int step = 0; step < 300; ++step) {
+      if (rng.Chance(0.3)) {
+        const auto row = bench.RandomRow(rng);
+        const auto col = static_cast<uint32_t>(rng.Uniform(0, 12));
+        bench.table().Update(row, col, Value(bench.RandomValue(col, rng)));
+      } else {
+        const auto qi = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(prepared.size()) - 1));
+        auto cached = engine.Execute(prepared[qi]);
+        auto fresh = engine.ExecuteUncached(*prepared[qi]);
+        ASSERT_TRUE(cached.result->Equals(fresh))
+            << "policy=" << dup::PolicyName(policy) << " query=" << specs[qi].sql
+            << "\ncached:\n" << cached.result->ToString() << "\nfresh:\n" << fresh.ToString();
+      }
+    }
+    EXPECT_GT(engine.stats().cache_hits, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace qc

@@ -1,0 +1,161 @@
+#include "sql/dml.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "middleware/query_engine.h"
+#include "sql/parser.h"
+
+namespace qc::sql {
+namespace {
+
+class DmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                    {"KIND", ValueType::kString, false},
+                                                    {"N", ValueType::kInt, true}}));
+    Run("INSERT INTO T VALUES (1, 'a', 10)");
+    Run("INSERT INTO T VALUES (2, 'b', 20)");
+    Run("INSERT INTO T VALUES (3, 'a', 30)");
+  }
+
+  uint64_t Run(const std::string& sql, const std::vector<Value>& params = {}) {
+    AnyStatement stmt = ParseStatement(sql);
+    EXPECT_EQ(stmt.kind, AnyStatement::Kind::kDml) << sql;
+    return ExecuteDml(stmt.dml, db_, params);
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+};
+
+TEST(DmlParser, ParsesAllForms) {
+  EXPECT_EQ(ParseStatement("SELECT * FROM T").kind, AnyStatement::Kind::kSelect);
+  auto insert = ParseStatement("INSERT INTO T (A, B) VALUES (1, 'x');");
+  EXPECT_EQ(insert.dml.kind, DmlStmt::Kind::kInsert);
+  EXPECT_EQ(insert.dml.columns.size(), 2u);
+  auto update = ParseStatement("UPDATE T SET A = 1, B = $1 WHERE C > 2");
+  EXPECT_EQ(update.dml.kind, DmlStmt::Kind::kUpdate);
+  EXPECT_EQ(update.dml.param_count, 1u);
+  ASSERT_NE(update.dml.where, nullptr);
+  auto del = ParseStatement("DELETE FROM T");
+  EXPECT_EQ(del.dml.kind, DmlStmt::Kind::kDelete);
+  EXPECT_EQ(del.dml.where, nullptr);
+
+  EXPECT_THROW(ParseStatement("DROP TABLE T"), ParseError);
+  EXPECT_THROW(ParseStatement("INSERT T VALUES (1)"), ParseError);
+  EXPECT_THROW(ParseStatement("UPDATE T WHERE A = 1"), ParseError);
+  EXPECT_THROW(ParseStatement("INSERT INTO T VALUES (1) garbage"), ParseError);
+}
+
+TEST_F(DmlTest, InsertFullRow) {
+  EXPECT_EQ(table_->size(), 3u);
+  EXPECT_EQ(Run("INSERT INTO T VALUES (4, 'c', NULL)"), 1u);
+  EXPECT_EQ(table_->size(), 4u);
+}
+
+TEST_F(DmlTest, InsertWithColumnListDefaultsToNull) {
+  Run("INSERT INTO T (ID, KIND) VALUES (9, 'z')");
+  const auto rows = [&] {
+    std::vector<storage::Row> out;
+    table_->ForEachRow([&](storage::RowId r) { out.push_back(table_->GetRow(r)); });
+    return out;
+  }();
+  bool found = false;
+  for (const auto& row : rows) {
+    if (row[0] == Value(9)) {
+      EXPECT_TRUE(row[2].is_null());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DmlTest, InsertErrors) {
+  EXPECT_THROW(Run("INSERT INTO T VALUES (1, 'x')"), BindError);          // arity
+  EXPECT_THROW(Run("INSERT INTO T (ID) VALUES (1, 2)"), BindError);       // list arity
+  EXPECT_THROW(Run("INSERT INTO T (ID, NOPE) VALUES (1, 2)"), StorageError);
+  EXPECT_THROW(Run("INSERT INTO NOPE VALUES (1)"), BindError);
+  // Non-nullable KIND omitted -> storage rejects the NULL.
+  EXPECT_THROW(Run("INSERT INTO T (ID, N) VALUES (7, 7)"), StorageError);
+  EXPECT_THROW(Run("INSERT INTO T VALUES (ID, 'x', 1)"), BindError);  // column ref
+}
+
+TEST_F(DmlTest, UpdateWithWhere) {
+  EXPECT_EQ(Run("UPDATE T SET N = 99 WHERE KIND = 'a'"), 2u);
+  int64_t total = 0;
+  table_->ForEachRow([&](storage::RowId r) { total += table_->Get(r, 2).as_int(); });
+  EXPECT_EQ(total, 99 + 20 + 99);
+}
+
+TEST_F(DmlTest, UpdateValueMayReferenceRowColumns) {
+  EXPECT_EQ(Run("UPDATE T SET N = ID WHERE ID >= 2"), 2u);
+  table_->ForEachRow([&](storage::RowId r) {
+    const auto id = table_->Get(r, 0).as_int();
+    if (id >= 2) {
+      EXPECT_EQ(table_->Get(r, 2).as_int(), id);
+    }
+  });
+}
+
+TEST_F(DmlTest, UpdateWithoutWhereTouchesAllRows) {
+  EXPECT_EQ(Run("UPDATE T SET KIND = 'x'"), 3u);
+}
+
+TEST_F(DmlTest, UpdateWithParams) {
+  EXPECT_EQ(Run("UPDATE T SET KIND = $1 WHERE ID = $2", {Value("zz"), Value(3)}), 1u);
+  EXPECT_THROW(Run("UPDATE T SET KIND = $1", {}), BindError);
+}
+
+TEST_F(DmlTest, DeleteWithWhere) {
+  EXPECT_EQ(Run("DELETE FROM T WHERE KIND = 'a'"), 2u);
+  EXPECT_EQ(table_->size(), 1u);
+  EXPECT_EQ(Run("DELETE FROM T"), 1u);
+  EXPECT_EQ(table_->size(), 0u);
+}
+
+TEST_F(DmlTest, WhereUnknownExcludesRows) {
+  // N IS NULL rows: N > 0 is unknown -> not updated.
+  Run("INSERT INTO T VALUES (4, 'n', NULL)");
+  EXPECT_EQ(Run("UPDATE T SET KIND = 'pos' WHERE N > 0"), 3u);
+  table_->ForEachRow([&](storage::RowId r) {
+    if (table_->Get(r, 0) == Value(4)) {
+      EXPECT_EQ(table_->Get(r, 1), Value("n"));
+    }
+  });
+}
+
+TEST_F(DmlTest, DmlThroughMiddlewareInvalidatesCache) {
+  middleware::CachedQueryEngine engine(db_, {});
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'a'");
+  EXPECT_EQ(engine.Execute(query).result->ScalarAt(0, 0), Value(2));
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+
+  EXPECT_EQ(engine.ExecuteDml("UPDATE T SET KIND = 'a' WHERE ID = 2"), 1u);
+  auto after = engine.Execute(query);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.result->ScalarAt(0, 0), Value(3));
+
+  engine.ExecuteDml("DELETE FROM T WHERE KIND = 'a'");
+  EXPECT_EQ(engine.Execute(query).result->ScalarAt(0, 0), Value(0));
+
+  engine.ExecuteDml("INSERT INTO T VALUES ($1, $2, $3)", {Value(50), Value("a"), Value(1)});
+  EXPECT_EQ(engine.Execute(query).result->ScalarAt(0, 0), Value(1));
+
+  EXPECT_THROW(engine.ExecuteDml("SELECT * FROM T"), BindError);
+}
+
+TEST_F(DmlTest, ValueAwareDmlSkipsIrrelevantUpdates) {
+  middleware::CachedQueryEngine engine(db_, {});
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE N BETWEEN 100 AND 200");
+  engine.Execute(query);
+  // All N values stay far below the cached query's range: no invalidation.
+  engine.ExecuteDml("UPDATE T SET N = 50 WHERE ID = 1");
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+  engine.ExecuteDml("UPDATE T SET N = 150 WHERE ID = 1");  // crosses into range
+  EXPECT_FALSE(engine.Execute(query).cache_hit);
+}
+
+}  // namespace
+}  // namespace qc::sql

@@ -1,0 +1,115 @@
+// Edge-case coverage for the evaluator beyond the core suite: grouping
+// without aggregates, parameterized ranges, empty index buckets, type
+// errors, and star expansion over joins.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sql/evaluator.h"
+#include "sql/parser.h"
+
+namespace qc::sql {
+namespace {
+
+class EvaluatorEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& t = db_.CreateTable("T", storage::Schema({{"A", ValueType::kInt, false},
+                                                    {"B", ValueType::kString, false},
+                                                    {"C", ValueType::kDouble, true}}));
+    t.CreateHashIndex(0);
+    t.CreateOrderedIndex(0);
+    t.Insert({Value(1), Value("x"), Value(1.5)});
+    t.Insert({Value(2), Value("y"), Value(2.5)});
+    t.Insert({Value(2), Value("y"), Value::Null()});
+    t.Insert({Value(3), Value("z"), Value(0.5)});
+  }
+
+  ResultSet Run(const std::string& sql, const std::vector<Value>& params = {}) {
+    return Execute(*ParseAndBind(sql, db_), params);
+  }
+
+  storage::Database db_;
+};
+
+TEST_F(EvaluatorEdgeTest, GroupByWithoutAggregatesDeduplicates) {
+  ResultSet rs = Run("SELECT A FROM T GROUP BY A");
+  EXPECT_EQ(rs.row_count(), 3u);  // 1, 2, 3
+}
+
+TEST_F(EvaluatorEdgeTest, GroupByNullKeyFormsItsOwnGroup) {
+  ResultSet rs = Run("SELECT C, COUNT(*) FROM T GROUP BY C");
+  EXPECT_EQ(rs.row_count(), 4u);  // 0.5, 1.5, 2.5, NULL
+}
+
+TEST_F(EvaluatorEdgeTest, ParameterizedBetweenUsesOrderedIndex) {
+  ResultSet rs = Run("SELECT COUNT(*) FROM T WHERE A BETWEEN $1 AND $2", {Value(2), Value(3)});
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(3));
+}
+
+TEST_F(EvaluatorEdgeTest, EmptyEqualityBucketShortCircuits) {
+  ResultSet rs = Run("SELECT COUNT(*) FROM T WHERE A = 99 AND B LIKE '%'");
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(0));
+}
+
+TEST_F(EvaluatorEdgeTest, InvertedBetweenBoundsSelectNothing) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM T WHERE A BETWEEN 3 AND 1").ScalarAt(0, 0), Value(0));
+}
+
+TEST_F(EvaluatorEdgeTest, DoubleColumnAggregates) {
+  ResultSet rs = Run("SELECT SUM(C), AVG(C), COUNT(C) FROM T");
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(4.5));
+  EXPECT_EQ(rs.ScalarAt(0, 1), Value(1.5));
+  EXPECT_EQ(rs.ScalarAt(0, 2), Value(3));  // NULL skipped
+}
+
+TEST_F(EvaluatorEdgeTest, MixedIntDoubleComparison) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM T WHERE C > 1").ScalarAt(0, 0), Value(2));
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM T WHERE C = 1.5").ScalarAt(0, 0), Value(1));
+}
+
+TEST_F(EvaluatorEdgeTest, LikeOnNonStringThrows) {
+  EXPECT_THROW(Run("SELECT COUNT(*) FROM T WHERE A LIKE 'x'"), BindError);
+}
+
+TEST_F(EvaluatorEdgeTest, StarOverJoinQualifiesColumnNames) {
+  auto& u = db_.CreateTable("U", storage::Schema({{"A", ValueType::kInt, false}}));
+  u.Insert({Value(1)});
+  ResultSet rs = Run("SELECT * FROM T T1, U U1 WHERE T1.A = U1.A");
+  ASSERT_EQ(rs.columns().size(), 4u);
+  EXPECT_EQ(rs.columns()[0], "T1.A");
+  EXPECT_EQ(rs.columns()[3], "U1.A");
+  EXPECT_EQ(rs.row_count(), 1u);
+}
+
+TEST_F(EvaluatorEdgeTest, DuplicateRowsSurviveProjection) {
+  // Two identical (A=2, B='y') rows: no implicit DISTINCT.
+  ResultSet rs = Run("SELECT A, B FROM T WHERE A = 2");
+  EXPECT_EQ(rs.row_count(), 2u);
+}
+
+TEST_F(EvaluatorEdgeTest, NormalizeIsStableForComparison) {
+  ResultSet a = Run("SELECT A FROM T");
+  ResultSet b = Run("SELECT A FROM T");
+  a.Normalize();
+  b.Normalize();
+  EXPECT_EQ(a.rows(), b.rows());
+}
+
+TEST_F(EvaluatorEdgeTest, ToStringTruncatesLongResults) {
+  const std::string s = Run("SELECT * FROM T").ToString(2);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST_F(EvaluatorEdgeTest, ExtraParametersAreIgnoredButMissingThrow) {
+  EXPECT_NO_THROW(Run("SELECT COUNT(*) FROM T WHERE A = $1", {Value(1), Value(99)}));
+  EXPECT_THROW(Run("SELECT COUNT(*) FROM T WHERE A = $2", {Value(1)}), BindError);
+}
+
+TEST_F(EvaluatorEdgeTest, PredicateOnRowRejectsCrossSlotColumns) {
+  auto query = ParseAndBind("SELECT COUNT(*) FROM T T1, T T2 WHERE T1.A = T2.A", db_);
+  storage::Row image{Value(1), Value("x"), Value(1.0)};
+  EXPECT_THROW(EvalPredicateOnRow(*query->stmt().where, image, {}, 0), BindError);
+}
+
+}  // namespace
+}  // namespace qc::sql

@@ -1,0 +1,293 @@
+#include "sql/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sql/parser.h"
+
+namespace qc::sql {
+namespace {
+
+using storage::Database;
+using storage::Row;
+using storage::Schema;
+using storage::Table;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table& emp = db_.CreateTable("EMP", Schema({{"ID", ValueType::kInt, false},
+                                                {"DEPT", ValueType::kString, false},
+                                                {"SALARY", ValueType::kInt, false},
+                                                {"BONUS", ValueType::kInt, true},
+                                                {"MANAGER", ValueType::kInt, true}}));
+    emp.CreateHashIndex(0);
+    emp.CreateHashIndex(1);
+    emp.CreateOrderedIndex(2);
+    emp.Insert({Value(1), Value("eng"), Value(100), Value(10), Value::Null()});
+    emp.Insert({Value(2), Value("eng"), Value(80), Value::Null(), Value(1)});
+    emp.Insert({Value(3), Value("sales"), Value(60), Value(5), Value(1)});
+    emp.Insert({Value(4), Value("sales"), Value(70), Value(7), Value(2)});
+    emp.Insert({Value(5), Value("hr"), Value(50), Value::Null(), Value(2)});
+
+    Table& dept = db_.CreateTable("DEPT", Schema({{"NAME", ValueType::kString, false},
+                                                  {"BUDGET", ValueType::kInt, false}}));
+    dept.CreateHashIndex(0);
+    dept.Insert({Value("eng"), Value(1000)});
+    dept.Insert({Value("sales"), Value(500)});
+    dept.Insert({Value("hr"), Value(200)});
+  }
+
+  ResultSet Run(const std::string& sql, const std::vector<Value>& params = {}) {
+    auto query = ParseAndBind(sql, db_);
+    return Execute(*query, params);
+  }
+
+  Database db_;
+};
+
+TEST_F(EvaluatorTest, SelectStarReturnsAllColumns) {
+  ResultSet rs = Run("SELECT * FROM EMP");
+  EXPECT_EQ(rs.row_count(), 5u);
+  EXPECT_EQ(rs.columns().size(), 5u);
+  EXPECT_EQ(rs.columns()[1], "DEPT");
+}
+
+TEST_F(EvaluatorTest, ProjectionOrderFollowsSelectList) {
+  ResultSet rs = Run("SELECT SALARY, ID FROM EMP WHERE ID = 3");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows()[0], (Row{Value(60), Value(3)}));
+}
+
+TEST_F(EvaluatorTest, WhereEquality) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE DEPT = 'eng'").row_count(), 2u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE DEPT = 'nope'").row_count(), 0u);
+}
+
+TEST_F(EvaluatorTest, ReversedOperandsWork) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE 70 <= SALARY").row_count(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE 'eng' = DEPT").row_count(), 2u);
+}
+
+TEST_F(EvaluatorTest, Comparisons) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE SALARY > 60").row_count(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE SALARY >= 60").row_count(), 4u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE SALARY < 60").row_count(), 1u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE SALARY <> 60").row_count(), 4u);
+}
+
+TEST_F(EvaluatorTest, BetweenIsInclusive) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE SALARY BETWEEN 60 AND 80").row_count(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE SALARY NOT BETWEEN 60 AND 80").row_count(), 2u);
+}
+
+TEST_F(EvaluatorTest, InList) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE ID IN (1, 3, 9)").row_count(), 2u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE ID NOT IN (1, 3)").row_count(), 3u);
+}
+
+TEST_F(EvaluatorTest, LikePatterns) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE DEPT LIKE 'e%'").row_count(), 2u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE DEPT LIKE '%s'").row_count(), 2u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE DEPT LIKE '__'").row_count(), 1u);  // hr
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE DEPT NOT LIKE 'e%'").row_count(), 3u);
+}
+
+TEST_F(EvaluatorTest, BooleanStructure) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE DEPT = 'eng' AND SALARY > 90").row_count(), 1u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE DEPT = 'hr' OR SALARY = 100").row_count(), 2u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE NOT (DEPT = 'eng' OR DEPT = 'sales')").row_count(), 1u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE NOT DEPT = 'eng' AND NOT SALARY < 60").row_count(), 2u);
+}
+
+// --- SQL three-valued NULL semantics ----------------------------------------
+
+TEST_F(EvaluatorTest, NullComparisonsExcludeRows) {
+  // BONUS is NULL for ids 2 and 5: neither BONUS > 0 nor NOT (BONUS > 0)
+  // includes them.
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE BONUS > 0").row_count(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE NOT BONUS > 0").row_count(), 0u);
+}
+
+TEST_F(EvaluatorTest, IsNullPredicates) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE BONUS IS NULL").row_count(), 2u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE BONUS IS NOT NULL").row_count(), 3u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE MANAGER IS NULL AND DEPT = 'eng'").row_count(), 1u);
+}
+
+TEST_F(EvaluatorTest, NotInWithNullMemberIsUnknown) {
+  // 1 NOT IN (3, NULL) is unknown, so no rows qualify via that member.
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE ID NOT IN (3, NULL)").row_count(), 0u);
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE ID IN (3, NULL)").row_count(), 1u);
+}
+
+TEST_F(EvaluatorTest, OrWithUnknownStillTrueWhenOtherSideTrue) {
+  EXPECT_EQ(Run("SELECT * FROM EMP WHERE BONUS > 100 OR ID = 2").row_count(), 1u);
+}
+
+// --- aggregates --------------------------------------------------------------
+
+TEST_F(EvaluatorTest, CountStarAndCountColumn) {
+  ResultSet rs = Run("SELECT COUNT(*), COUNT(BONUS) FROM EMP");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(5));
+  EXPECT_EQ(rs.ScalarAt(0, 1), Value(3));  // NULLs skipped
+}
+
+TEST_F(EvaluatorTest, SumMinMaxAvg) {
+  ResultSet rs = Run("SELECT SUM(SALARY), MIN(SALARY), MAX(SALARY), AVG(SALARY) FROM EMP");
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(360));
+  EXPECT_EQ(rs.ScalarAt(0, 1), Value(50));
+  EXPECT_EQ(rs.ScalarAt(0, 2), Value(100));
+  EXPECT_EQ(rs.ScalarAt(0, 3), Value(72.0));
+}
+
+TEST_F(EvaluatorTest, AggregatesOverEmptyInput) {
+  ResultSet rs = Run("SELECT COUNT(*), SUM(SALARY), MIN(SALARY) FROM EMP WHERE ID = 99");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(0));
+  EXPECT_TRUE(rs.ScalarAt(0, 1).is_null());
+  EXPECT_TRUE(rs.ScalarAt(0, 2).is_null());
+}
+
+TEST_F(EvaluatorTest, GroupByCounts) {
+  ResultSet rs = Run("SELECT DEPT, COUNT(*) FROM EMP GROUP BY DEPT");
+  rs.Normalize();
+  ASSERT_EQ(rs.row_count(), 3u);
+  // normalized: eng, hr, sales
+  EXPECT_EQ(rs.rows()[0], (Row{Value("eng"), Value(2)}));
+  EXPECT_EQ(rs.rows()[1], (Row{Value("hr"), Value(1)}));
+  EXPECT_EQ(rs.rows()[2], (Row{Value("sales"), Value(2)}));
+}
+
+TEST_F(EvaluatorTest, GroupByWithWhereAndSum) {
+  ResultSet rs = Run("SELECT DEPT, SUM(SALARY) FROM EMP WHERE SALARY >= 60 GROUP BY DEPT");
+  rs.Normalize();
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows()[0], (Row{Value("eng"), Value(180)}));
+  EXPECT_EQ(rs.rows()[1], (Row{Value("sales"), Value(130)}));
+}
+
+TEST_F(EvaluatorTest, GroupByEmptyInputHasNoGroups) {
+  EXPECT_EQ(Run("SELECT DEPT, COUNT(*) FROM EMP WHERE ID = 99 GROUP BY DEPT").row_count(), 0u);
+}
+
+// --- joins -------------------------------------------------------------------
+
+TEST_F(EvaluatorTest, EquiJoin) {
+  ResultSet rs = Run(
+      "SELECT E.ID, D.BUDGET FROM EMP E, DEPT D WHERE E.DEPT = D.NAME AND E.SALARY > 60");
+  rs.Normalize();
+  ASSERT_EQ(rs.row_count(), 3u);  // ids 1, 2 (eng), 4 (sales)
+  EXPECT_EQ(rs.rows()[0], (Row{Value(1), Value(1000)}));
+  EXPECT_EQ(rs.rows()[2], (Row{Value(4), Value(500)}));
+}
+
+TEST_F(EvaluatorTest, JoinWithAggregates) {
+  ResultSet rs = Run(
+      "SELECT COUNT(*) FROM EMP E, DEPT D WHERE E.DEPT = D.NAME AND D.BUDGET >= 500");
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(4));
+}
+
+TEST_F(EvaluatorTest, SelfJoin) {
+  // Employees with their managers: manager id joins employee id.
+  ResultSet rs = Run(
+      "SELECT E.ID, M.ID FROM EMP E, EMP M WHERE E.MANAGER = M.ID");
+  EXPECT_EQ(rs.row_count(), 4u);  // 2->1, 3->1, 4->2, 5->2
+}
+
+TEST_F(EvaluatorTest, NonEquiJoinFallsBackToNestedLoop) {
+  ResultSet rs = Run("SELECT COUNT(*) FROM EMP E, DEPT D WHERE E.SALARY > D.BUDGET");
+  // budgets 1000/500/200: salaries above 200: none above 500/1000 → each of
+  // the 5 salaries compared: only pairs with budget 200 and salary > 200: 0.
+  // salaries 100..50 — none exceed 200. So 0.
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(0));
+}
+
+TEST_F(EvaluatorTest, CrossJoinViaAlwaysTrueEquiCondition) {
+  ResultSet rs = Run("SELECT COUNT(*) FROM EMP E, DEPT D WHERE E.SALARY < D.BUDGET");
+  // budget 1000: all 5; 500: all 5; 200: all 5 → salaries all < 200? 100,80,60,70,50 yes.
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(15));
+}
+
+// --- parameters ---------------------------------------------------------------
+
+TEST_F(EvaluatorTest, ParameterBinding) {
+  auto query = ParseAndBind("SELECT COUNT(*) FROM EMP WHERE DEPT = $1 AND SALARY >= $2", db_);
+  EXPECT_EQ(Execute(*query, {Value("eng"), Value(90)}).ScalarAt(0, 0), Value(1));
+  EXPECT_EQ(Execute(*query, {Value("sales"), Value(0)}).ScalarAt(0, 0), Value(2));
+}
+
+TEST_F(EvaluatorTest, MissingParameterThrows) {
+  auto query = ParseAndBind("SELECT * FROM EMP WHERE DEPT = $1", db_);
+  EXPECT_THROW(Execute(*query, {}), BindError);
+}
+
+// --- index/scan equivalence -----------------------------------------------------
+
+TEST_F(EvaluatorTest, IndexAndScanAgree) {
+  // DEPT has a hash index, BONUS has none: the same predicate evaluated
+  // through each path must agree (and with the residual filter applied).
+  ResultSet indexed = Run("SELECT ID FROM EMP WHERE DEPT = 'sales' AND BONUS > 5");
+  ResultSet scanned = Run("SELECT ID FROM EMP WHERE BONUS > 5 AND DEPT = 'sales'");
+  EXPECT_TRUE(indexed.Equals(scanned));
+  ASSERT_EQ(indexed.row_count(), 1u);
+  EXPECT_EQ(indexed.rows()[0][0], Value(4));
+}
+
+TEST_F(EvaluatorTest, OrOfRangesUsesUnionWithoutDuplicates) {
+  // Overlapping ranges must not double-count rows.
+  ResultSet rs = Run(
+      "SELECT COUNT(*) FROM EMP WHERE (SALARY BETWEEN 50 AND 80 OR SALARY BETWEEN 70 AND 100)");
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(5));
+}
+
+// --- binder errors ---------------------------------------------------------------
+
+TEST_F(EvaluatorTest, BinderRejectsUnknownTableAndColumn) {
+  EXPECT_THROW(Run("SELECT * FROM NOPE"), BindError);
+  EXPECT_THROW(Run("SELECT NOPE FROM EMP"), BindError);
+  EXPECT_THROW(Run("SELECT * FROM EMP WHERE NOPE = 1"), BindError);
+  EXPECT_THROW(Run("SELECT X.ID FROM EMP E"), BindError);
+}
+
+TEST_F(EvaluatorTest, BinderRejectsAmbiguousColumn) {
+  EXPECT_THROW(Run("SELECT ID FROM EMP A, EMP B WHERE A.ID = B.ID"), BindError);
+}
+
+TEST_F(EvaluatorTest, BinderRejectsBadGrouping) {
+  EXPECT_THROW(Run("SELECT SALARY, COUNT(*) FROM EMP GROUP BY DEPT"), BindError);
+  EXPECT_THROW(Run("SELECT DEPT, SALARY FROM EMP GROUP BY DEPT"), BindError);
+  EXPECT_THROW(Run("SELECT * FROM EMP GROUP BY DEPT"), BindError);
+  EXPECT_THROW(Run("SELECT DEPT, COUNT(*) FROM EMP"), BindError);  // mix without GROUP BY
+}
+
+TEST_F(EvaluatorTest, QualifiedColumnsResolveByAliasOrTable) {
+  EXPECT_EQ(Run("SELECT EMP.ID FROM EMP WHERE EMP.ID = 1").row_count(), 1u);
+  EXPECT_EQ(Run("SELECT E.ID FROM EMP E WHERE e.id = 1").row_count(), 1u);
+}
+
+// --- result sets -------------------------------------------------------------------
+
+TEST_F(EvaluatorTest, ResultEqualsIsOrderInsensitive) {
+  ResultSet a = Run("SELECT ID FROM EMP WHERE SALARY >= 60");
+  ResultSet b = Run("SELECT ID FROM EMP WHERE SALARY >= 60 AND ID > 0");
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST_F(EvaluatorTest, ResultEqualsChecksColumnsAndRows) {
+  ResultSet a = Run("SELECT ID FROM EMP");
+  ResultSet b = Run("SELECT SALARY FROM EMP");
+  EXPECT_FALSE(a.Equals(b));  // different column names
+  ResultSet c = Run("SELECT ID FROM EMP WHERE ID < 3");
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST_F(EvaluatorTest, ByteSizeGrowsWithRows) {
+  ResultSet small = Run("SELECT * FROM EMP WHERE ID = 1");
+  ResultSet large = Run("SELECT * FROM EMP");
+  EXPECT_GT(large.ByteSize(), small.ByteSize());
+}
+
+}  // namespace
+}  // namespace qc::sql

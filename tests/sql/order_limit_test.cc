@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "middleware/query_engine.h"
+#include "sql/evaluator.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+
+namespace qc::sql {
+namespace {
+
+class OrderLimitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& t = db_.CreateTable("R", storage::Schema({{"ID", ValueType::kInt, false},
+                                                    {"PRIORITY", ValueType::kInt, false},
+                                                    {"NAME", ValueType::kString, false}}));
+    t.Insert({Value(1), Value(5), Value("e")});
+    t.Insert({Value(2), Value(9), Value("a")});
+    t.Insert({Value(3), Value(1), Value("c")});
+    t.Insert({Value(4), Value(9), Value("b")});
+    t.Insert({Value(5), Value(3), Value("d")});
+  }
+
+  ResultSet Run(const std::string& sql) { return Execute(*ParseAndBind(sql, db_)); }
+
+  storage::Database db_;
+};
+
+TEST_F(OrderLimitTest, OrderAscendingIsDefault) {
+  ResultSet rs = Run("SELECT ID, PRIORITY FROM R ORDER BY PRIORITY");
+  ASSERT_EQ(rs.row_count(), 5u);
+  EXPECT_EQ(rs.rows().front()[1], Value(1));
+  EXPECT_EQ(rs.rows().back()[1], Value(9));
+}
+
+TEST_F(OrderLimitTest, OrderDescending) {
+  ResultSet rs = Run("SELECT ID, PRIORITY FROM R ORDER BY PRIORITY DESC");
+  EXPECT_EQ(rs.rows().front()[1], Value(9));
+  EXPECT_EQ(rs.rows().back()[1], Value(1));
+}
+
+TEST_F(OrderLimitTest, SecondaryKeyBreaksTies) {
+  ResultSet rs = Run("SELECT NAME, PRIORITY FROM R ORDER BY PRIORITY DESC, NAME ASC");
+  ASSERT_GE(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows()[0][0], Value("a"));  // priority 9, name a
+  EXPECT_EQ(rs.rows()[1][0], Value("b"));  // priority 9, name b
+}
+
+TEST_F(OrderLimitTest, LimitTruncatesAfterSort) {
+  ResultSet rs = Run("SELECT ID, PRIORITY FROM R ORDER BY PRIORITY DESC LIMIT 2");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.rows()[0][1], Value(9));
+  EXPECT_EQ(rs.rows()[1][1], Value(9));
+}
+
+TEST_F(OrderLimitTest, LimitZeroAndOversized) {
+  EXPECT_EQ(Run("SELECT ID FROM R LIMIT 0").row_count(), 0u);
+  EXPECT_EQ(Run("SELECT ID FROM R LIMIT 100").row_count(), 5u);
+}
+
+TEST_F(OrderLimitTest, OrderByWorksWithGroupBy) {
+  auto& t = db_.GetTable("R");
+  t.Insert({Value(6), Value(9), Value("a")});
+  ResultSet rs = Run("SELECT PRIORITY, COUNT(*) FROM R GROUP BY PRIORITY ORDER BY PRIORITY DESC");
+  ASSERT_EQ(rs.row_count(), 4u);
+  EXPECT_EQ(rs.rows()[0][0], Value(9));
+  EXPECT_EQ(rs.rows()[0][1], Value(3));
+}
+
+TEST_F(OrderLimitTest, OrderByStarProjection) {
+  ResultSet rs = Run("SELECT * FROM R ORDER BY NAME");
+  EXPECT_EQ(rs.rows().front()[2], Value("a"));
+}
+
+TEST_F(OrderLimitTest, NonProjectedOrderKeyRejected) {
+  EXPECT_THROW(Run("SELECT ID FROM R ORDER BY PRIORITY"), BindError);
+  EXPECT_THROW(Run("SELECT PRIORITY, COUNT(*) FROM R GROUP BY PRIORITY ORDER BY NAME"),
+               BindError);
+}
+
+TEST_F(OrderLimitTest, ParserErrors) {
+  EXPECT_THROW(Parse("SELECT * FROM R ORDER PRIORITY"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM R LIMIT x"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM R LIMIT 1.5"), ParseError);
+}
+
+TEST_F(OrderLimitTest, FingerprintDistinguishesOrderAndLimit) {
+  const auto base = CanonicalSql(Parse("SELECT ID FROM R"));
+  const auto ordered = CanonicalSql(Parse("SELECT ID FROM R ORDER BY ID"));
+  const auto desc = CanonicalSql(Parse("SELECT ID FROM R ORDER BY ID DESC"));
+  const auto limited = CanonicalSql(Parse("SELECT ID FROM R ORDER BY ID LIMIT 3"));
+  EXPECT_NE(base, ordered);
+  EXPECT_NE(ordered, desc);
+  EXPECT_NE(ordered, limited);
+  EXPECT_EQ(ordered, CanonicalSql(Parse("select id from r order by id asc")));
+}
+
+TEST_F(OrderLimitTest, CachedTopNStaysCurrent) {
+  middleware::CachedQueryEngine engine(db_, {});
+  auto query = engine.Prepare("SELECT ID, PRIORITY FROM R ORDER BY PRIORITY DESC LIMIT 1");
+  EXPECT_EQ(engine.Execute(query).result->rows()[0][1], Value(9));
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
+  // A new top row must invalidate the cached top-1.
+  db_.GetTable("R").Update(2, 1, Value(50));  // id 3 priority 1 -> 50
+  auto after = engine.Execute(query);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.result->rows()[0][0], Value(3));
+}
+
+}  // namespace
+}  // namespace qc::sql

@@ -1,0 +1,215 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sql/fingerprint.h"
+#include "sql/lexer.h"
+
+namespace qc::sql {
+namespace {
+
+// --- lexer -----------------------------------------------------------------
+
+TEST(Lexer, TokenizesKeywordsAndSymbols) {
+  auto tokens = Lex("SELECT * FROM t WHERE a >= 1");
+  ASSERT_EQ(tokens.size(), 9u);  // incl. kEnd
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "*");
+  EXPECT_EQ(tokens[5].text, "a");
+  EXPECT_EQ(tokens[6].text, ">=");
+  EXPECT_EQ(tokens[8].type, TokenType::kEnd);
+}
+
+TEST(Lexer, NumericLiterals) {
+  auto tokens = Lex("12 3.5");
+  EXPECT_EQ(tokens[0].literal, Value(12));
+  EXPECT_EQ(tokens[1].literal, Value(3.5));
+}
+
+TEST(Lexer, StringLiteralWithEscapedQuote) {
+  auto tokens = Lex("'it''s'");
+  EXPECT_EQ(tokens[0].literal, Value("it's"));
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(Lex("'oops"), ParseError);
+}
+
+TEST(Lexer, Parameters) {
+  auto tokens = Lex("$1 $17 ?");
+  EXPECT_EQ(tokens[0].number, 0);
+  EXPECT_EQ(tokens[1].number, 16);
+  EXPECT_EQ(tokens[2].number, -1);
+  EXPECT_THROW(Lex("$0"), ParseError);
+  EXPECT_THROW(Lex("$x"), ParseError);
+}
+
+TEST(Lexer, NormalizesNotEquals) {
+  EXPECT_EQ(Lex("a != b")[1].text, "<>");
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(Lex("a # b"), ParseError);
+}
+
+// --- parser ----------------------------------------------------------------
+
+TEST(Parser, MinimalSelect) {
+  SelectStmt stmt = Parse("SELECT * FROM BENCH");
+  EXPECT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].kind, SelectItem::Kind::kStar);
+  ASSERT_EQ(stmt.from.size(), 1u);
+  EXPECT_EQ(stmt.from[0].table, "BENCH");
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(Parser, TrailingSemicolonAllowed) {
+  EXPECT_NO_THROW(Parse("SELECT * FROM t;"));
+  EXPECT_THROW(Parse("SELECT * FROM t; garbage"), ParseError);
+}
+
+TEST(Parser, Aggregates) {
+  SelectStmt stmt = Parse("SELECT COUNT(*), SUM(K1K), MIN(a), MAX(b), AVG(c) FROM t");
+  ASSERT_EQ(stmt.items.size(), 5u);
+  EXPECT_EQ(stmt.items[0].func, AggFunc::kCountStar);
+  EXPECT_EQ(stmt.items[1].func, AggFunc::kSum);
+  EXPECT_EQ(stmt.items[1].expr->column, "K1K");
+  EXPECT_EQ(stmt.items[4].func, AggFunc::kAvg);
+}
+
+TEST(Parser, TableAliases) {
+  SelectStmt stmt = Parse("SELECT B1.KSEQ FROM BENCH B1, BENCH AS B2");
+  ASSERT_EQ(stmt.from.size(), 2u);
+  EXPECT_EQ(stmt.from[0].alias, "B1");
+  EXPECT_EQ(stmt.from[1].alias, "B2");
+  EXPECT_EQ(stmt.items[0].expr->qualifier, "B1");
+}
+
+TEST(Parser, ThreeTablesRejected) {
+  EXPECT_THROW(Parse("SELECT * FROM a, b, c"), ParseError);
+}
+
+TEST(Parser, WherePrecedenceOrBelowAnd) {
+  // a = 1 OR b = 2 AND c = 3  parses as  a = 1 OR (b = 2 AND c = 3)
+  SelectStmt stmt = Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->op, BinaryOp::kOr);
+  EXPECT_EQ(stmt.where->children[1]->op, BinaryOp::kAnd);
+}
+
+TEST(Parser, NotBindsTighterThanAnd) {
+  SelectStmt stmt = Parse("SELECT * FROM t WHERE NOT a = 1 AND b = 2");
+  EXPECT_EQ(stmt.where->op, BinaryOp::kAnd);
+  EXPECT_EQ(stmt.where->children[0]->kind, Expr::Kind::kUnaryNot);
+}
+
+TEST(Parser, BetweenAndNegatedBetween) {
+  SelectStmt stmt = Parse("SELECT * FROM t WHERE a BETWEEN 1 AND 5");
+  EXPECT_EQ(stmt.where->kind, Expr::Kind::kBetween);
+  EXPECT_FALSE(stmt.where->negated);
+  stmt = Parse("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5");
+  EXPECT_TRUE(stmt.where->negated);
+}
+
+TEST(Parser, InList) {
+  SelectStmt stmt = Parse("SELECT * FROM t WHERE a IN (1, 2, 3)");
+  EXPECT_EQ(stmt.where->kind, Expr::Kind::kIn);
+  EXPECT_EQ(stmt.where->children.size(), 4u);  // subject + 3
+  stmt = Parse("SELECT * FROM t WHERE a NOT IN (1)");
+  EXPECT_TRUE(stmt.where->negated);
+}
+
+TEST(Parser, LikeAndIsNull) {
+  SelectStmt stmt = Parse("SELECT * FROM t WHERE a LIKE 'x%' AND b IS NOT NULL AND c IS NULL");
+  // ((a LIKE) AND (b IS NOT NULL)) AND (c IS NULL)
+  const Expr& top = *stmt.where;
+  EXPECT_EQ(top.op, BinaryOp::kAnd);
+  EXPECT_EQ(top.children[1]->kind, Expr::Kind::kIsNull);
+  EXPECT_FALSE(top.children[1]->negated);
+  EXPECT_EQ(top.children[0]->children[1]->kind, Expr::Kind::kIsNull);
+  EXPECT_TRUE(top.children[0]->children[1]->negated);
+}
+
+TEST(Parser, ParenthesizedOrOfRanges) {
+  // The Set Query Q3B shape.
+  SelectStmt stmt = Parse(
+      "SELECT SUM(K1K) FROM BENCH WHERE (KSEQ BETWEEN 1 AND 2 OR KSEQ BETWEEN 5 AND 9) "
+      "AND KN = 3");
+  EXPECT_EQ(stmt.where->op, BinaryOp::kAnd);
+  EXPECT_EQ(stmt.where->children[0]->op, BinaryOp::kOr);
+}
+
+TEST(Parser, GroupBy) {
+  SelectStmt stmt = Parse("SELECT K2, K100, COUNT(*) FROM BENCH GROUP BY K2, K100");
+  EXPECT_EQ(stmt.group_by.size(), 2u);
+  EXPECT_EQ(stmt.group_by[1]->column, "K100");
+}
+
+TEST(Parser, ExplicitAndPositionalParams) {
+  SelectStmt stmt = Parse("SELECT * FROM t WHERE a = $2 AND b = $1");
+  EXPECT_EQ(stmt.param_count, 2u);
+  stmt = Parse("SELECT * FROM t WHERE a = ? AND b = ?");
+  EXPECT_EQ(stmt.param_count, 2u);
+  EXPECT_EQ(stmt.where->children[0]->children[1]->param_index, 0u);
+  EXPECT_EQ(stmt.where->children[1]->children[1]->param_index, 1u);
+}
+
+TEST(Parser, ErrorsAreDiagnosed) {
+  EXPECT_THROW(Parse(""), ParseError);
+  EXPECT_THROW(Parse("SELECT"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM"), ParseError);
+  EXPECT_THROW(Parse("SELECT * WHERE a = 1"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM t WHERE"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM t WHERE a ="), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM t WHERE a"), ParseError);      // bare operand
+  EXPECT_THROW(Parse("SELECT * FROM t WHERE NOT"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM t WHERE a BETWEEN 1"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM t WHERE a IN ()"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM t GROUP BY"), ParseError);
+  EXPECT_THROW(Parse("SELECT COUNT(* FROM t"), ParseError);
+}
+
+TEST(Parser, CloneIsDeep) {
+  SelectStmt stmt = Parse("SELECT COUNT(*) FROM t WHERE a = $1 AND b BETWEEN 1 AND 2");
+  SelectStmt copy = stmt.Clone();
+  EXPECT_EQ(CanonicalSql(stmt), CanonicalSql(copy));
+  // Mutating the clone's BETWEEN lower bound must not leak into the original.
+  copy.where->children[1]->children[1]->value = Value(99);
+  EXPECT_NE(CanonicalSql(stmt), CanonicalSql(copy));
+}
+
+// --- canonicalization / fingerprints ----------------------------------------
+
+TEST(Fingerprint, NormalizesCaseAndWhitespace) {
+  const std::string a = CanonicalSql(Parse("select count(*) from bench where k2 = 2"));
+  const std::string b = CanonicalSql(Parse("SELECT COUNT(*)  FROM BENCH  WHERE K2=2"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fingerprint, NormalizesNotEqualsSpelling) {
+  EXPECT_EQ(CanonicalSql(Parse("SELECT * FROM t WHERE a != 1")),
+            CanonicalSql(Parse("SELECT * FROM t WHERE a <> 1")));
+}
+
+TEST(Fingerprint, DistinguishesDifferentConstants) {
+  EXPECT_NE(CanonicalSql(Parse("SELECT * FROM t WHERE a = 1")),
+            CanonicalSql(Parse("SELECT * FROM t WHERE a = 2")));
+}
+
+TEST(Fingerprint, ParamsRenderPositionally) {
+  const std::string sql = CanonicalSql(Parse("SELECT * FROM t WHERE a = ? AND b = ?"));
+  EXPECT_NE(sql.find("$1"), std::string::npos);
+  EXPECT_NE(sql.find("$2"), std::string::npos);
+}
+
+TEST(Fingerprint, BindingsDistinguishCacheKeys) {
+  SelectStmt stmt = Parse("SELECT * FROM t WHERE a = $1");
+  EXPECT_NE(Fingerprint(stmt, {Value("Gold")}), Fingerprint(stmt, {Value("Silver")}));
+  EXPECT_EQ(Fingerprint(stmt, {Value("Gold")}), Fingerprint(stmt, {Value("Gold")}));
+  // String vs int parameters cannot collide.
+  EXPECT_NE(Fingerprint(stmt, {Value("1")}), Fingerprint(stmt, {Value(1)}));
+}
+
+}  // namespace
+}  // namespace qc::sql

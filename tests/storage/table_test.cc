@@ -1,0 +1,229 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "storage/database.h"
+
+namespace qc::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"ID", ValueType::kInt, false},
+                 {"NAME", ValueType::kString, false},
+                 {"SCORE", ValueType::kInt, true}});
+}
+
+TEST(Schema, FindIsCaseInsensitive) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.Find("id"), 0u);
+  EXPECT_EQ(schema.Find("Name"), 1u);
+  EXPECT_EQ(schema.Find("SCORE"), 2u);
+  EXPECT_FALSE(schema.Find("missing").has_value());
+}
+
+TEST(Schema, RequireThrowsOnUnknown) {
+  EXPECT_THROW(TestSchema().Require("nope"), StorageError);
+}
+
+TEST(Schema, DuplicateColumnRejected) {
+  EXPECT_THROW(Schema({{"A", ValueType::kInt, false}, {"a", ValueType::kInt, false}}),
+               StorageError);
+}
+
+TEST(Schema, AcceptsChecksTypesAndNullability) {
+  Schema schema = TestSchema();
+  EXPECT_TRUE(schema.Accepts(0, Value(1)));
+  EXPECT_FALSE(schema.Accepts(0, Value("x")));
+  EXPECT_FALSE(schema.Accepts(0, Value::Null()));  // not nullable
+  EXPECT_TRUE(schema.Accepts(2, Value::Null()));   // nullable
+  EXPECT_FALSE(schema.Accepts(1, Value(1)));
+}
+
+TEST(Table, InsertGetRoundTrip) {
+  Table table("T", TestSchema());
+  const RowId row = table.Insert({Value(1), Value("alice"), Value(10)});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Get(row, 0), Value(1));
+  EXPECT_EQ(table.Get(row, 1), Value("alice"));
+  EXPECT_EQ(table.GetRow(row), (Row{Value(1), Value("alice"), Value(10)}));
+}
+
+TEST(Table, InsertValidatesArityAndTypes) {
+  Table table("T", TestSchema());
+  EXPECT_THROW(table.Insert({Value(1)}), StorageError);
+  EXPECT_THROW(table.Insert({Value("x"), Value("alice"), Value(1)}), StorageError);
+  EXPECT_THROW(table.Insert({Value(1), Value::Null(), Value(1)}), StorageError);
+  EXPECT_NO_THROW(table.Insert({Value(1), Value("a"), Value::Null()}));
+}
+
+TEST(Table, DeleteFreesSlotAndReusesIt) {
+  Table table("T", TestSchema());
+  const RowId a = table.Insert({Value(1), Value("a"), Value(1)});
+  table.Insert({Value(2), Value("b"), Value(2)});
+  table.Delete(a);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.IsLive(a));
+  EXPECT_THROW(table.Get(a, 0), StorageError);
+  const RowId c = table.Insert({Value(3), Value("c"), Value(3)});
+  EXPECT_EQ(c, a);  // slot reuse
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(Table, DoubleDeleteThrows) {
+  Table table("T", TestSchema());
+  const RowId a = table.Insert({Value(1), Value("a"), Value(1)});
+  table.Delete(a);
+  EXPECT_THROW(table.Delete(a), StorageError);
+}
+
+TEST(Table, UpdateChangesCell) {
+  Table table("T", TestSchema());
+  const RowId a = table.Insert({Value(1), Value("a"), Value(1)});
+  table.Update(a, 2, Value(99));
+  EXPECT_EQ(table.Get(a, 2), Value(99));
+}
+
+TEST(Table, UpdateEventCarriesChangesAndImages) {
+  Table table("T", TestSchema());
+  std::vector<UpdateEvent> events;
+  table.Subscribe([&](const UpdateEvent& e) { events.push_back(e); });
+
+  const RowId a = table.Insert({Value(1), Value("a"), Value(5)});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, UpdateEvent::Kind::kInsert);
+  EXPECT_EQ(events[0].after, (Row{Value(1), Value("a"), Value(5)}));
+  EXPECT_EQ(events[0].table, "T");
+
+  table.Update(a, {{1, Value("b")}, {2, Value(6)}});
+  ASSERT_EQ(events.size(), 2u);
+  const UpdateEvent& update = events[1];
+  EXPECT_EQ(update.kind, UpdateEvent::Kind::kUpdate);
+  ASSERT_EQ(update.changes.size(), 2u);
+  EXPECT_EQ(update.changes[0].column, 1u);
+  EXPECT_EQ(update.changes[0].old_value, Value("a"));
+  EXPECT_EQ(update.changes[0].new_value, Value("b"));
+  EXPECT_EQ(update.before, (Row{Value(1), Value("a"), Value(5)}));
+  EXPECT_EQ(update.after, (Row{Value(1), Value("b"), Value(6)}));
+
+  table.Delete(a);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].kind, UpdateEvent::Kind::kDelete);
+  EXPECT_EQ(events[2].before, (Row{Value(1), Value("b"), Value(6)}));
+}
+
+TEST(Table, NoOpUpdateEmitsNoEvent) {
+  // The paper's Fig. 6 setter guard: setting an attribute to its current
+  // value must not trigger invalidation.
+  Table table("T", TestSchema());
+  const RowId a = table.Insert({Value(1), Value("a"), Value(5)});
+  int events = 0;
+  table.Subscribe([&](const UpdateEvent&) { ++events; });
+  table.Update(a, 1, Value("a"));
+  EXPECT_EQ(events, 0);
+  table.Update(a, {{1, Value("a")}, {2, Value(5)}});
+  EXPECT_EQ(events, 0);
+  // Mixed: only the actually-changed attribute appears in the event.
+  std::vector<UpdateEvent> captured;
+  table.Subscribe([&](const UpdateEvent& e) { captured.push_back(e); });
+  table.Update(a, {{1, Value("a")}, {2, Value(7)}});
+  ASSERT_EQ(captured.size(), 1u);
+  ASSERT_EQ(captured[0].changes.size(), 1u);
+  EXPECT_EQ(captured[0].changes[0].column, 2u);
+}
+
+TEST(Table, HashIndexLookup) {
+  Table table("T", TestSchema());
+  table.CreateHashIndex(1);
+  const RowId a = table.Insert({Value(1), Value("x"), Value(1)});
+  const RowId b = table.Insert({Value(2), Value("x"), Value(2)});
+  table.Insert({Value(3), Value("y"), Value(3)});
+  auto rows = table.LookupEqual(1, Value("x"));
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_TRUE((rows[0] == a && rows[1] == b) || (rows[0] == b && rows[1] == a));
+  EXPECT_TRUE(table.LookupEqual(1, Value("z")).empty());
+}
+
+TEST(Table, IndexBackfilledWhenCreatedLate) {
+  Table table("T", TestSchema());
+  table.Insert({Value(1), Value("x"), Value(1)});
+  table.Insert({Value(2), Value("y"), Value(2)});
+  table.CreateHashIndex(0);
+  EXPECT_EQ(table.LookupEqual(0, Value(2)).size(), 1u);
+}
+
+TEST(Table, IndexMaintainedAcrossUpdateAndDelete) {
+  Table table("T", TestSchema());
+  table.CreateHashIndex(1);
+  const RowId a = table.Insert({Value(1), Value("x"), Value(1)});
+  table.Update(a, 1, Value("y"));
+  EXPECT_TRUE(table.LookupEqual(1, Value("x")).empty());
+  EXPECT_EQ(table.LookupEqual(1, Value("y")).size(), 1u);
+  table.Delete(a);
+  EXPECT_TRUE(table.LookupEqual(1, Value("y")).empty());
+}
+
+TEST(Table, OrderedIndexRange) {
+  Table table("T", TestSchema());
+  table.CreateOrderedIndex(2);
+  for (int i = 1; i <= 10; ++i) table.Insert({Value(i), Value("r"), Value(i * 10)});
+  EXPECT_EQ(table.LookupRange(2, Value(30), true, Value(50), true).size(), 3u);   // 30,40,50
+  EXPECT_EQ(table.LookupRange(2, Value(30), false, Value(50), false).size(), 1u); // 40
+  EXPECT_EQ(table.LookupRange(2, Value::Null(), true, Value(25), true).size(), 2u);
+  EXPECT_EQ(table.LookupRange(2, Value(95), true, Value::Null(), true).size(), 1u);
+  EXPECT_EQ(table.LookupRange(2, Value::Null(), true, Value::Null(), true).size(), 10u);
+}
+
+TEST(Table, LookupWithoutIndexThrows) {
+  Table table("T", TestSchema());
+  EXPECT_THROW(table.LookupEqual(0, Value(1)), StorageError);
+  EXPECT_THROW(table.LookupRange(2, Value(1), true, Value(2), true), StorageError);
+}
+
+TEST(Table, OrderedIndexServesEquality) {
+  Table table("T", TestSchema());
+  table.CreateOrderedIndex(0);
+  table.Insert({Value(5), Value("a"), Value(1)});
+  EXPECT_TRUE(table.CanLookupEqual(0));
+  EXPECT_EQ(table.LookupEqual(0, Value(5)).size(), 1u);
+}
+
+TEST(Table, ForEachRowVisitsOnlyLive) {
+  Table table("T", TestSchema());
+  const RowId a = table.Insert({Value(1), Value("a"), Value(1)});
+  table.Insert({Value(2), Value("b"), Value(2)});
+  table.Delete(a);
+  int count = 0;
+  table.ForEachRow([&](RowId row) {
+    ++count;
+    EXPECT_TRUE(table.IsLive(row));
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Database, CatalogBasics) {
+  Database db;
+  db.CreateTable("T1", TestSchema());
+  EXPECT_TRUE(db.HasTable("t1"));  // case-insensitive
+  EXPECT_EQ(db.GetTable("T1").name(), "T1");
+  EXPECT_EQ(db.FindTable("nope"), nullptr);
+  EXPECT_THROW(db.GetTable("nope"), StorageError);
+  EXPECT_THROW(db.CreateTable("t1", TestSchema()), StorageError);
+  EXPECT_EQ(db.TableNames().size(), 1u);
+}
+
+TEST(Database, SubscriberSeesExistingAndFutureTables) {
+  Database db;
+  Table& t1 = db.CreateTable("T1", TestSchema());
+  std::vector<std::string> seen;
+  db.Subscribe([&](const UpdateEvent& e) { seen.push_back(e.table); });
+  t1.Insert({Value(1), Value("a"), Value(1)});
+  Table& t2 = db.CreateTable("T2", TestSchema());
+  t2.Insert({Value(2), Value("b"), Value(2)});
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "T1");
+  EXPECT_EQ(seen[1], "T2");
+}
+
+}  // namespace
+}  // namespace qc::storage

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "tpc/tpcc_like.h"
+#include "tpc/tpcd_like.h"
+
+namespace qc::tpc {
+namespace {
+
+TEST(Tpcc, RunsAndMatchesMixShares) {
+  TpccConfig config;
+  config.transactions = 1000;
+  TpccSimulation sim(config, dup::InvalidationPolicy::kValueAware);
+  const MixResult result = sim.Run();
+  EXPECT_EQ(result.transactions, 1000u);
+  EXPECT_EQ(result.queries + result.updates, 1000u);
+  // ~92% of TPC-C transactions bear updates.
+  EXPECT_NEAR(static_cast<double>(result.updates) / result.transactions, 0.92, 0.05);
+}
+
+TEST(Tpcc, SmartInvalidationBuysLittle) {
+  // The paper's §5.1 negative result, as a unit test at small scale.
+  TpccConfig config;
+  config.transactions = 1500;
+  const double flush_all =
+      TpccSimulation(config, dup::InvalidationPolicy::kFlushAll).Run().HitRatePercent();
+  const double value_aware =
+      TpccSimulation(config, dup::InvalidationPolicy::kValueAware).Run().HitRatePercent();
+  EXPECT_LT(value_aware, 50.0);
+  EXPECT_LT(value_aware - flush_all, 30.0);
+}
+
+TEST(Tpcc, DeterministicForSeed) {
+  TpccConfig config;
+  config.transactions = 500;
+  const auto a = TpccSimulation(config, dup::InvalidationPolicy::kValueAware).Run();
+  const auto b = TpccSimulation(config, dup::InvalidationPolicy::kValueAware).Run();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+}
+
+TEST(Tpcd, BatchRefreshMakesPolicyIrrelevant) {
+  TpcdConfig config;
+  config.lineitems = 4000;
+  config.transactions = 800;
+  const double p1 =
+      TpcdSimulation(config, dup::InvalidationPolicy::kFlushAll).Run().HitRatePercent();
+  const double p2 =
+      TpcdSimulation(config, dup::InvalidationPolicy::kValueUnaware).Run().HitRatePercent();
+  const double p3 =
+      TpcdSimulation(config, dup::InvalidationPolicy::kValueAware).Run().HitRatePercent();
+  EXPECT_NEAR(p2, p3, 5.0);
+  EXPECT_NEAR(p1, p3, 10.0);
+  EXPECT_GT(p3, 80.0);  // high between refreshes
+}
+
+TEST(Tpcd, NoRefreshMeansPerfectWarmHitRate) {
+  TpcdConfig config;
+  config.lineitems = 2000;
+  config.transactions = 200;
+  config.refresh_interval = 0;  // disable batches
+  TpcdSimulation sim(config, dup::InvalidationPolicy::kValueAware);
+  const MixResult result = sim.Run();
+  // 5 distinct queries miss once each; everything else hits.
+  EXPECT_EQ(result.queries - result.hits, 5u);
+}
+
+TEST(Tpcd, RefreshCadenceDrivesMissRate) {
+  auto misses = [](uint64_t interval) {
+    TpcdConfig config;
+    config.lineitems = 2000;
+    config.transactions = 600;
+    config.refresh_interval = interval;
+    TpcdSimulation sim(config, dup::InvalidationPolicy::kValueAware);
+    const MixResult r = sim.Run();
+    return r.queries - r.hits;
+  };
+  EXPECT_GT(misses(100), misses(300));
+}
+
+}  // namespace
+}  // namespace qc::tpc
