@@ -1,0 +1,193 @@
+// Extension bench: concurrent query serving. K query threads hammer point
+// SELECTs while one update thread issues throttled UPDATEs, under the three
+// paper policies. Exercises the sharded GPS cache and the update-epoch
+// admission guard (docs/CONCURRENCY.md); compares single-lock (shards=1)
+// against the sharded cache at the highest thread count.
+//
+// Env overrides: CONC_ROWS (table size), CONC_MS (measure window per run,
+// milliseconds), CONC_UPDATE_US (updater throttle), CONC_DB_US (simulated
+// per-miss database latency).
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+namespace {
+
+struct RunConfig {
+  dup::InvalidationPolicy policy = dup::InvalidationPolicy::kValueAware;
+  int query_threads = 1;
+  size_t shards = 16;
+  uint64_t rows = 4096;
+  uint64_t measure_ms = 500;
+  uint64_t update_throttle_us = 500;
+  uint64_t db_latency_us = 20;
+};
+
+struct Outcome {
+  double queries_per_second = 0;
+  double hit_rate = 0;       // percent
+  uint64_t updates = 0;
+  uint64_t stale_discards = 0;
+};
+
+Outcome Run(const RunConfig& config) {
+  storage::Database db;
+  auto& table = db.CreateTable(
+      "KV", storage::Schema({{"K", ValueType::kInt, false}, {"V", ValueType::kInt, false}}));
+  table.CreateHashIndex(0);
+  for (uint64_t k = 0; k < config.rows; ++k) {
+    table.Insert({Value(static_cast<int64_t>(k)), Value(0)});
+  }
+
+  middleware::CachedQueryEngine::Options options;
+  options.policy = config.policy;
+  options.cache.shards = config.shards;
+  options.simulated_db_latency = std::chrono::microseconds(config.db_latency_us);
+  middleware::CachedQueryEngine engine(db, options);
+  auto query = engine.Prepare("SELECT V FROM KV WHERE K = $1");
+
+  // Warm the cache single-threaded so the measured window reflects the
+  // steady state (hits + invalidation-driven misses), not cold-start misses.
+  for (uint64_t k = 0; k < config.rows; ++k) {
+    engine.Execute(query, {Value(static_cast<int64_t>(k))});
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_queries{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(config.query_threads);
+  for (int t = 0; t < config.query_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(100 + t);
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t k = rng.Uniform(0, static_cast<int64_t>(config.rows) - 1);
+        engine.Execute(query, {Value(k)});
+        ++local;
+      }
+      total_queries.fetch_add(local);
+    });
+  }
+
+  uint64_t updates = 0;
+  {
+    Rng rng(7);
+    int64_t version = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(config.measure_ms);
+    auto next_update = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (std::chrono::steady_clock::now() >= next_update) {
+        const int64_t k = rng.Uniform(0, static_cast<int64_t>(config.rows) - 1);
+        engine.ExecuteDml("UPDATE KV SET V = $1 WHERE K = $2", {Value(++version), Value(k)});
+        ++updates;
+        next_update += std::chrono::microseconds(config.update_throttle_us);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    stop.store(true);
+  }
+  for (auto& reader : readers) reader.join();
+
+  const auto stats = engine.stats();
+  Outcome out;
+  out.queries_per_second =
+      static_cast<double>(total_queries.load()) / (static_cast<double>(config.measure_ms) / 1000.0);
+  out.hit_rate = 100.0 *
+                 static_cast<double>(stats.cache_hits.load(std::memory_order_relaxed)) /
+                 static_cast<double>(std::max<uint64_t>(1, stats.executions.load()));
+  out.updates = updates;
+  out.stale_discards = stats.stale_discards.load(std::memory_order_relaxed);
+  return out;
+}
+
+// dup::PolicyName spells out the mechanism; the table needs short labels.
+const char* ShortPolicyName(dup::InvalidationPolicy policy) {
+  switch (policy) {
+    case dup::InvalidationPolicy::kFlushAll: return "Policy I";
+    case dup::InvalidationPolicy::kValueUnaware: return "Policy II";
+    case dup::InvalidationPolicy::kValueAware: return "Policy III";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunConfig base;
+  base.rows = EnvU64("CONC_ROWS", 4096);
+  base.measure_ms = EnvU64("CONC_MS", 500);
+  base.update_throttle_us = EnvU64("CONC_UPDATE_US", 500);
+  base.db_latency_us = EnvU64("CONC_DB_US", 20);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "=== Extension: concurrent query throughput (" << base.rows << " rows, "
+            << base.measure_ms << " ms/run, 1 updater @" << base.update_throttle_us
+            << " us, miss penalty " << base.db_latency_us << " us, " << cores
+            << " hardware threads) ===\n\n";
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<dup::InvalidationPolicy> policies = {
+      dup::InvalidationPolicy::kFlushAll, dup::InvalidationPolicy::kValueUnaware,
+      dup::InvalidationPolicy::kValueAware};
+
+  const std::vector<int> widths = {12, 10, 14, 12, 10, 10};
+  PrintRow({"policy", "threads", "queries/s", "hit rate %", "updates", "stale"}, widths);
+
+  double policy3_1t = 0, policy3_8t = 0;
+  for (dup::InvalidationPolicy policy : policies) {
+    for (int threads : thread_counts) {
+      RunConfig config = base;
+      config.policy = policy;
+      config.query_threads = threads;
+      const Outcome out = Run(config);
+      if (policy == dup::InvalidationPolicy::kValueAware) {
+        if (threads == 1) policy3_1t = out.queries_per_second;
+        if (threads == 8) policy3_8t = out.queries_per_second;
+      }
+      PrintRow({ShortPolicyName(policy), std::to_string(threads), Fmt(out.queries_per_second, 0),
+                Fmt(out.hit_rate), std::to_string(out.updates),
+                std::to_string(out.stale_discards)},
+               widths);
+    }
+  }
+
+  // Single global lock vs. sharded cache at the highest thread count.
+  RunConfig single = base;
+  single.query_threads = 8;
+  single.shards = 1;
+  const Outcome one_shard = Run(single);
+  RunConfig sharded = single;
+  sharded.shards = 16;
+  const Outcome sixteen_shards = Run(sharded);
+  std::cout << "\n";
+  PrintRow({"shards=1", "8", Fmt(one_shard.queries_per_second, 0), Fmt(one_shard.hit_rate),
+            std::to_string(one_shard.updates), std::to_string(one_shard.stale_discards)},
+           widths);
+  PrintRow({"shards=16", "8", Fmt(sixteen_shards.queries_per_second, 0),
+            Fmt(sixteen_shards.hit_rate), std::to_string(sixteen_shards.updates),
+            std::to_string(sixteen_shards.stale_discards)},
+           widths);
+
+  std::cout << "\nChecks:\n";
+  Check(policy3_1t > 0 && policy3_8t > 0, "all configurations completed and served queries");
+  if (cores >= 8) {
+    Check(policy3_8t > 2.0 * policy3_1t,
+          "sharded cache scales: >2x aggregate q/s from 1 to 8 query threads (Policy III)");
+    Check(sixteen_shards.queries_per_second > one_shard.queries_per_second,
+          "16 shards beat the single global lock at 8 threads");
+  } else {
+    std::cout << "  (scaling checks skipped: only " << cores
+              << " hardware threads; need >= 8 for a meaningful 1->8 comparison)\n";
+  }
+  return Failures() == 0 ? 0 : 1;
+}

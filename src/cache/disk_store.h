@@ -7,6 +7,11 @@
 // construction — the disk store is a spill area, not a durable store,
 // matching the paper's cache (logs, not the cache contents, provide
 // durability).
+//
+// @thread_safety Not internally synchronized. Each GpsCache shard owns one
+// DiskStore (its own spool subdirectory) and accesses it only under that
+// shard's mutex (docs/CONCURRENCY.md); standalone users must provide their
+// own locking. Two DiskStores must never share a directory.
 #pragma once
 
 #include <cstdint>

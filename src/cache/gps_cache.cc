@@ -1,5 +1,7 @@
 #include "cache/gps_cache.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace qc::cache {
@@ -17,10 +19,8 @@ const char* RemovalCauseName(RemovalCause cause) {
 
 GpsCache::GpsCache(GpsCacheConfig config) : config_(std::move(config)) {
   now_ = config_.now ? config_.now : [] { return std::chrono::steady_clock::now(); };
-  if (config_.mode != CacheMode::kDisk) {
-    memory_ = std::make_unique<MemoryStore>(config_.memory_budget_bytes,
-                                            config_.memory_max_entries);
-  }
+
+  const size_t n = std::max<size_t>(1, config_.shards);
   if (config_.mode != CacheMode::kMemory) {
     if (config_.disk_directory.empty()) {
       throw CacheError("disk/hybrid mode requires disk_directory");
@@ -28,12 +28,39 @@ GpsCache::GpsCache(GpsCacheConfig config) : config_(std::move(config)) {
     if (!config_.deserializer) {
       throw CacheError("disk/hybrid mode requires a deserializer");
     }
-    disk_ = std::make_unique<DiskStore>(config_.disk_directory, config_.disk_budget_bytes);
   }
+
+  // Budgets are totals; each shard gets an even split.
+  const size_t mem_bytes = config_.memory_budget_bytes / n;
+  const size_t mem_entries =
+      config_.memory_max_entries == SIZE_MAX ? SIZE_MAX : config_.memory_max_entries / n;
+  const size_t disk_bytes = config_.disk_budget_bytes / n;
+
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (config_.mode != CacheMode::kDisk) {
+      shard->memory = std::make_unique<MemoryStore>(mem_bytes, mem_entries);
+    }
+    if (config_.mode != CacheMode::kMemory) {
+      // One spool subdirectory per shard (the single-shard layout is kept
+      // flat for compatibility with existing spools/tests).
+      const std::string dir = n == 1 ? config_.disk_directory
+                                     : config_.disk_directory + "/shard" + std::to_string(i);
+      shard->disk = std::make_unique<DiskStore>(dir, disk_bytes);
+    }
+    shards_.push_back(std::move(shard));
+  }
+
   if (!config_.log_path.empty()) {
     log_ = std::make_unique<TransactionLog>(config_.log_path, config_.log_policy,
                                             config_.log_buffer_bytes);
   }
+}
+
+GpsCache::Shard& GpsCache::ShardFor(const std::string& key) {
+  if (shards_.size() == 1) return *shards_[0];
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
 void GpsCache::Log(std::string_view op, std::string_view key, std::string_view detail) {
@@ -41,95 +68,113 @@ void GpsCache::Log(std::string_view op, std::string_view key, std::string_view d
 }
 
 bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl) {
+  return Put(key, std::move(value), ttl, AdmitGuard());
+}
+
+bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
+                   const AdmitGuard& admit) {
+  Shard& shard = ShardFor(key);
   std::vector<std::pair<std::string, RemovalCause>> removed;
   bool stored = false;
   bool replaced = false;
+  bool admitted = true;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ExpireDueLocked(removed);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ExpireDueLocked(shard, removed);
 
-    auto meta_it = meta_.find(key);
-    const bool replacing = meta_it != meta_.end();
-
-    if (memory_) {
-      std::vector<MemoryStore::Evicted> evicted;
-      stored = memory_->Put(key, value, &evicted);
-      if (stored && config_.mode == CacheMode::kHybrid) {
-        // The memory copy is authoritative now; a stale disk copy must not
-        // be served after a future memory eviction of a *newer* version.
-        disk_->Erase(key);
-      }
-      HandleMemoryEvictions(evicted, removed);
+    // Admission check under the shard lock: the caller's validation (e.g.
+    // the DUP epoch snapshot) and the store are one atomic step relative
+    // to Invalidate() on the same key.
+    if (admit && !admit()) {
+      admitted = false;
+      ++shard.stats.admit_rejects;
     } else {
-      std::vector<std::string> disk_victims;
-      stored = disk_->Put(key, value->Serialize(), &disk_victims);
-      for (const std::string& victim : disk_victims) {
-        meta_.erase(victim);
-        removed.push_back({victim, RemovalCause::kEvicted});
-        ++stats_.evictions;
-      }
-    }
+      auto meta_it = shard.meta.find(key);
+      const bool replacing = meta_it != shard.meta.end();
 
-    if (stored) {
-      ++stats_.puts;
-      Meta& meta = meta_[key];
-      meta.generation = ++generation_counter_;
-      if (ttl) {
-        meta.expires_at = now_() + *ttl;
-        expiry_heap_.push({*meta.expires_at, key, meta.generation});
+      if (shard.memory) {
+        std::vector<MemoryStore::Evicted> evicted;
+        stored = shard.memory->Put(key, value, &evicted);
+        if (stored && config_.mode == CacheMode::kHybrid) {
+          // The memory copy is authoritative now; a stale disk copy must not
+          // be served after a future memory eviction of a *newer* version.
+          shard.disk->Erase(key);
+        }
+        HandleMemoryEvictions(shard, evicted, removed);
       } else {
-        meta.expires_at.reset();
+        std::vector<std::string> disk_victims;
+        stored = shard.disk->Put(key, value->Serialize(), &disk_victims);
+        for (const std::string& victim : disk_victims) {
+          shard.meta.erase(victim);
+          removed.push_back({victim, RemovalCause::kEvicted});
+          ++shard.stats.evictions;
+        }
       }
-      // Replacing a key is not a removal of the key (the listener keeps any
-      // dependency registration for it); kReplaced is reported in the log
-      // only.
-      replaced = replacing;
+
+      if (stored) {
+        ++shard.stats.puts;
+        Meta& meta = shard.meta[key];
+        meta.generation = ++shard.generation_counter;
+        if (ttl) {
+          meta.expires_at = now_() + *ttl;
+          shard.expiry_heap.push({*meta.expires_at, key, meta.generation});
+        } else {
+          meta.expires_at.reset();
+        }
+        // Replacing a key is not a removal of the key (the listener keeps any
+        // dependency registration for it); kReplaced is reported in the log
+        // only.
+        replaced = replacing;
+      }
     }
   }
-  Log("put", key, stored ? (replaced ? "replace" : "") : "rejected");
+  Log("put", key,
+      !admitted ? "stale" : stored ? (replaced ? "replace" : "") : "rejected");
   NotifyRemovals(removed);
   return stored;
 }
 
 CacheValuePtr GpsCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
   std::vector<std::pair<std::string, RemovalCause>> removed;
   CacheValuePtr result;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.lookups;
-    ExpireDueLocked(removed);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stats.lookups;
+    ExpireDueLocked(shard, removed);
 
-    auto meta_it = meta_.find(key);
-    if (meta_it != meta_.end() && meta_it->second.expires_at && *meta_it->second.expires_at <= now_()) {
-      RemoveLocked(key, RemovalCause::kExpired, removed);
-      ++stats_.expirations;
-      meta_it = meta_.end();
-    } else if (meta_it != meta_.end()) {
-      if (memory_) result = memory_->Get(key);
-      if (!result && disk_) {
-        auto bytes = disk_->Get(key);
+    auto meta_it = shard.meta.find(key);
+    if (meta_it != shard.meta.end() && meta_it->second.expires_at &&
+        *meta_it->second.expires_at <= now_()) {
+      RemoveLocked(shard, key, RemovalCause::kExpired, removed);
+      ++shard.stats.expirations;
+      meta_it = shard.meta.end();
+    } else if (meta_it != shard.meta.end()) {
+      if (shard.memory) result = shard.memory->Get(key);
+      if (!result && shard.disk) {
+        auto bytes = shard.disk->Get(key);
         if (bytes) {
           result = config_.deserializer(*bytes);
-          ++stats_.disk_hits;
+          ++shard.stats.disk_hits;
           if (config_.mode == CacheMode::kHybrid && result) {
             // Promote to memory; spill victims back to disk.
             std::vector<MemoryStore::Evicted> evicted;
-            if (memory_->Put(key, result, &evicted)) disk_->Erase(key);
-            HandleMemoryEvictions(evicted, removed);
+            if (shard.memory->Put(key, result, &evicted)) shard.disk->Erase(key);
+            HandleMemoryEvictions(shard, evicted, removed);
           }
         }
       } else if (result) {
-        ++stats_.memory_hits;
+        ++shard.stats.memory_hits;
       }
     }
 
     if (result) {
-      ++stats_.hits;
+      ++shard.stats.hits;
     } else {
-      ++stats_.misses;
-      if (meta_it != meta_.end() || meta_.count(key)) {
+      ++shard.stats.misses;
+      if (meta_it != shard.meta.end() || shard.meta.count(key)) {
         // Metadata without data (fully evicted under us) — clean up.
-        RemoveLocked(key, RemovalCause::kEvicted, removed);
+        RemoveLocked(shard, key, RemovalCause::kEvicted, removed);
       }
     }
   }
@@ -139,20 +184,23 @@ CacheValuePtr GpsCache::Get(const std::string& key) {
 }
 
 bool GpsCache::Contains(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = meta_.find(key);
-  if (it == meta_.end()) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.meta.find(key);
+  if (it == shard.meta.end()) return false;
   if (it->second.expires_at && *it->second.expires_at <= now_()) return false;
-  return (memory_ && memory_->Contains(key)) || (disk_ && disk_->Contains(key));
+  return (shard.memory && shard.memory->Contains(key)) ||
+         (shard.disk && shard.disk->Contains(key));
 }
 
 bool GpsCache::Invalidate(const std::string& key) {
+  Shard& shard = ShardFor(key);
   std::vector<std::pair<std::string, RemovalCause>> removed;
   bool present;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    present = RemoveLocked(key, RemovalCause::kInvalidated, removed);
-    if (present) ++stats_.invalidations;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    present = RemoveLocked(shard, key, RemovalCause::kInvalidated, removed);
+    if (present) ++shard.stats.invalidations;
   }
   Log("invalidate", key, present ? "" : "absent");
   NotifyRemovals(removed);
@@ -161,15 +209,18 @@ bool GpsCache::Invalidate(const std::string& key) {
 
 void GpsCache::Clear() {
   std::vector<std::pair<std::string, RemovalCause>> removed;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    removed.reserve(meta_.size());
-    for (const auto& [key, meta] : meta_) removed.push_back({key, RemovalCause::kCleared});
-    if (memory_) memory_->Clear();
-    if (disk_) disk_->Clear();
-    meta_.clear();
-    while (!expiry_heap_.empty()) expiry_heap_.pop();
-    ++stats_.clears;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, meta] : shard.meta) {
+      removed.push_back({key, RemovalCause::kCleared});
+    }
+    if (shard.memory) shard.memory->Clear();
+    if (shard.disk) shard.disk->Clear();
+    shard.meta.clear();
+    while (!shard.expiry_heap.empty()) shard.expiry_heap.pop();
+    // One logical clear; counted once (stats() sums the shards).
+    if (i == 0) ++shard.stats.clears;
   }
   Log("clear", "*");
   NotifyRemovals(removed);
@@ -177,92 +228,121 @@ void GpsCache::Clear() {
 
 size_t GpsCache::ExpireDue() {
   std::vector<std::pair<std::string, RemovalCause>> removed;
-  size_t n;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    n = ExpireDueLocked(removed);
+  size_t n = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += ExpireDueLocked(*shard, removed);
   }
   NotifyRemovals(removed);
   return n;
 }
 
 void GpsCache::SetRemovalListener(RemovalListener listener) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(listener_mutex_);
   removal_listener_ = std::move(listener);
 }
 
 CacheStats GpsCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->stats;
+  }
+  return total;
+}
+
+CacheStats GpsCache::shard_stats(size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.stats;
+}
+
+size_t GpsCache::shard_entry_count(size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.meta.size();
 }
 
 size_t GpsCache::entry_count() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return meta_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->meta.size();
+  }
+  return total;
 }
 
 size_t GpsCache::memory_bytes() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return memory_ ? memory_->byte_count() : 0;
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->memory) total += shard->memory->byte_count();
+  }
+  return total;
 }
 
 size_t GpsCache::disk_bytes() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return disk_ ? disk_->byte_count() : 0;
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->disk) total += shard->disk->byte_count();
+  }
+  return total;
 }
 
 void GpsCache::FlushLog() {
   if (log_) log_->Flush();
 }
 
-bool GpsCache::RemoveLocked(const std::string& key, RemovalCause cause,
+bool GpsCache::RemoveLocked(Shard& shard, const std::string& key, RemovalCause cause,
                             std::vector<std::pair<std::string, RemovalCause>>& removed) {
   bool present = false;
-  if (memory_ && memory_->Erase(key)) present = true;
-  if (disk_ && disk_->Erase(key)) present = true;
-  if (meta_.erase(key) > 0) present = true;
+  if (shard.memory && shard.memory->Erase(key)) present = true;
+  if (shard.disk && shard.disk->Erase(key)) present = true;
+  if (shard.meta.erase(key) > 0) present = true;
   if (present) removed.push_back({key, cause});
   return present;
 }
 
-size_t GpsCache::ExpireDueLocked(std::vector<std::pair<std::string, RemovalCause>>& removed) {
+size_t GpsCache::ExpireDueLocked(Shard& shard,
+                                 std::vector<std::pair<std::string, RemovalCause>>& removed) {
   const TimePoint now = now_();
   size_t expired = 0;
-  while (!expiry_heap_.empty() && expiry_heap_.top().when <= now) {
-    const ExpiryItem item = expiry_heap_.top();
-    expiry_heap_.pop();
-    auto it = meta_.find(item.key);
+  while (!shard.expiry_heap.empty() && shard.expiry_heap.top().when <= now) {
+    const ExpiryItem item = shard.expiry_heap.top();
+    shard.expiry_heap.pop();
+    auto it = shard.meta.find(item.key);
     // Stale heap entries (replaced or already-removed objects) are skipped;
     // this lazy deletion is what makes expiration O(log n) per event.
-    if (it == meta_.end() || it->second.generation != item.generation) continue;
-    RemoveLocked(item.key, RemovalCause::kExpired, removed);
-    ++stats_.expirations;
+    if (it == shard.meta.end() || it->second.generation != item.generation) continue;
+    RemoveLocked(shard, item.key, RemovalCause::kExpired, removed);
+    ++shard.stats.expirations;
     ++expired;
   }
   return expired;
 }
 
-void GpsCache::HandleMemoryEvictions(std::vector<MemoryStore::Evicted>& evicted,
+void GpsCache::HandleMemoryEvictions(Shard& shard, std::vector<MemoryStore::Evicted>& evicted,
                                      std::vector<std::pair<std::string, RemovalCause>>& removed) {
   for (MemoryStore::Evicted& victim : evicted) {
     if (config_.mode == CacheMode::kHybrid) {
       std::vector<std::string> disk_victims;
-      if (disk_->Put(victim.key, victim.value->Serialize(), &disk_victims)) {
-        ++stats_.spills;
+      if (shard.disk->Put(victim.key, victim.value->Serialize(), &disk_victims)) {
+        ++shard.stats.spills;
       } else {
-        meta_.erase(victim.key);
+        shard.meta.erase(victim.key);
         removed.push_back({victim.key, RemovalCause::kEvicted});
-        ++stats_.evictions;
+        ++shard.stats.evictions;
       }
       for (const std::string& disk_victim : disk_victims) {
-        meta_.erase(disk_victim);
+        shard.meta.erase(disk_victim);
         removed.push_back({disk_victim, RemovalCause::kEvicted});
-        ++stats_.evictions;
+        ++shard.stats.evictions;
       }
     } else {
-      meta_.erase(victim.key);
+      shard.meta.erase(victim.key);
       removed.push_back({victim.key, RemovalCause::kEvicted});
-      ++stats_.evictions;
+      ++shard.stats.evictions;
     }
   }
   evicted.clear();
@@ -272,7 +352,7 @@ void GpsCache::NotifyRemovals(const std::vector<std::pair<std::string, RemovalCa
   if (removed.empty()) return;
   RemovalListener listener;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(listener_mutex_);
     listener = removal_listener_;
   }
   if (!listener) return;

@@ -2,12 +2,24 @@
 //
 // A pluggable, thread-safe object cache with
 //   * memory, disk, or hybrid (memory + disk spill) storage,
-//   * LRU replacement under byte/entry budgets,
-//   * an efficient expiration-time mechanism (lazy min-heap),
+//   * mutex-striped shards (keyed by fingerprint hash) with per-shard LRU
+//     replacement under byte/entry budgets,
+//   * an efficient expiration-time mechanism (lazy min-heap, per shard),
 //   * optional transaction logging with configurable flush policy,
-//   * statistics, and
+//   * statistics (per shard, aggregated on read),
 //   * a removal listener so higher layers (the DUP engine) can keep the
-//     ODG in sync with what is actually cached.
+//     ODG in sync with what is actually cached, and
+//   * an admission guard on Put, evaluated under the shard lock, which the
+//     middleware uses for epoch-validated registration (dup/epochs.h).
+//
+// @thread_safety GpsCache is internally synchronized; every public method
+// may be called from any thread. Each key hashes to one shard with its own
+// mutex, so operations on keys in different shards do not contend. The
+// removal listener and the Put admission guard are invoked with specific
+// locking guarantees — see their declarations. With shards > 1, LRU order
+// and budgets are per shard (total budgets are split evenly), so global
+// eviction order is only approximate; shards = 1 (the default) preserves a
+// single global LRU.
 #pragma once
 
 #include <chrono>
@@ -47,6 +59,12 @@ const char* RemovalCauseName(RemovalCause cause);
 struct GpsCacheConfig {
   CacheMode mode = CacheMode::kMemory;
 
+  /// Number of independently locked shards. 1 (the default) keeps a single
+  /// global LRU; higher values reduce lock contention under concurrent
+  /// load at the cost of per-shard (approximate) LRU and budget split.
+  /// Byte/entry budgets below are totals, divided evenly across shards.
+  size_t shards = 1;
+
   size_t memory_budget_bytes = 256 * 1024 * 1024;
   size_t memory_max_entries = SIZE_MAX;
 
@@ -69,10 +87,26 @@ class GpsCache {
   GpsCache(const GpsCache&) = delete;
   GpsCache& operator=(const GpsCache&) = delete;
 
+  /// Admission guard for the four-argument Put overload. Evaluated under
+  /// the owning shard's mutex, atomically with the store becoming visible:
+  /// any Invalidate() of the same key serializes entirely before or after
+  /// the {guard, store} pair. The guard must be cheap and lock-free — it
+  /// must not call back into this cache or acquire the DUP engine lock
+  /// (UpdateEpochs::Snapshot::Current() qualifies).
+  using AdmitGuard = std::function<bool()>;
+
   /// Add or replace an object, optionally with a time-to-live after which
   /// it expires. Returns false if the object cannot fit at all.
   bool Put(const std::string& key, CacheValuePtr value,
            std::optional<Duration> ttl = std::nullopt);
+
+  /// Guarded Put: `admit` is evaluated under the shard lock immediately
+  /// before the store; when it returns false the value is not stored (and
+  /// the rejection is counted as CacheStats::admit_rejects). This is the
+  /// publication step of the epoch-validation protocol
+  /// (docs/CONCURRENCY.md).
+  bool Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
+           const AdmitGuard& admit);
 
   /// Lookup. Expired entries count as misses (and are removed). In hybrid
   /// mode a disk hit is promoted back into memory.
@@ -84,22 +118,33 @@ class GpsCache {
   /// Remove one object; returns true if it was present.
   bool Invalidate(const std::string& key);
 
-  /// Remove everything (Policy I's reaction to any update).
+  /// Remove everything (Policy I's reaction to any update). Shards are
+  /// cleared one at a time; concurrent Puts to already-cleared shards may
+  /// survive (the DUP epoch guard prevents stale survivors on the
+  /// middleware path).
   void Clear();
 
   /// Remove entries whose expiration time has passed. Called internally on
-  /// every Put/Get; exposed for idle-time sweeps.
+  /// every Put/Get (for the touched shard); exposed for idle-time sweeps
+  /// (sweeps every shard).
   size_t ExpireDue();
 
-  /// Observer invoked (outside internal locks' critical path best-effort;
-  /// see .cc) whenever an object leaves the cache entirely.
+  /// Observer invoked whenever an object leaves the cache entirely. Called
+  /// *outside* all shard locks (so it may re-enter the cache), on the
+  /// thread that triggered the removal.
   using RemovalListener = std::function<void(const std::string& key, RemovalCause cause)>;
   void SetRemovalListener(RemovalListener listener);
 
+  /// Aggregated over all shards (each shard snapshotted under its lock;
+  /// the total is not one instantaneous cut across shards).
   CacheStats stats() const;
   size_t entry_count();
   size_t memory_bytes();
   size_t disk_bytes();
+
+  size_t shard_count() const { return shards_.size(); }
+  CacheStats shard_stats(size_t shard) const;
+  size_t shard_entry_count(size_t shard) const;
 
   /// Flush the transaction log buffer, if logging is enabled.
   void FlushLog();
@@ -118,26 +163,37 @@ class GpsCache {
     std::optional<TimePoint> expires_at;
   };
 
+  /// One mutex-striped slice of the cache: its own storage levels, expiry
+  /// heap and statistics, all guarded by `mutex`.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unique_ptr<MemoryStore> memory;
+    std::unique_ptr<DiskStore> disk;
+    std::unordered_map<std::string, Meta> meta;
+    std::priority_queue<ExpiryItem, std::vector<ExpiryItem>, std::greater<ExpiryItem>>
+        expiry_heap;
+    uint64_t generation_counter = 0;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
   void Log(std::string_view op, std::string_view key, std::string_view detail = {});
-  // All *Locked methods require mutex_ held.
-  bool RemoveLocked(const std::string& key, RemovalCause cause,
+  // All *Locked methods require the shard's mutex held.
+  bool RemoveLocked(Shard& shard, const std::string& key, RemovalCause cause,
                     std::vector<std::pair<std::string, RemovalCause>>& removed);
-  size_t ExpireDueLocked(std::vector<std::pair<std::string, RemovalCause>>& removed);
-  void HandleMemoryEvictions(std::vector<MemoryStore::Evicted>& evicted,
+  size_t ExpireDueLocked(Shard& shard,
+                         std::vector<std::pair<std::string, RemovalCause>>& removed);
+  void HandleMemoryEvictions(Shard& shard, std::vector<MemoryStore::Evicted>& evicted,
                              std::vector<std::pair<std::string, RemovalCause>>& removed);
   void NotifyRemovals(const std::vector<std::pair<std::string, RemovalCause>>& removed);
 
   GpsCacheConfig config_;
   TimeSource now_;
-  std::unique_ptr<MemoryStore> memory_;
-  std::unique_ptr<DiskStore> disk_;
-  std::unique_ptr<TransactionLog> log_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<TransactionLog> log_;  // internally synchronized
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Meta> meta_;
-  std::priority_queue<ExpiryItem, std::vector<ExpiryItem>, std::greater<ExpiryItem>> expiry_heap_;
-  uint64_t generation_counter_ = 0;
-  CacheStats stats_;
+  mutable std::mutex listener_mutex_;
   RemovalListener removal_listener_;
 };
 

@@ -1,4 +1,8 @@
 // In-memory LRU store: one of the GPS cache's two storage levels.
+//
+// @thread_safety Not internally synchronized. Each GpsCache shard owns one
+// MemoryStore and accesses it only under that shard's mutex
+// (docs/CONCURRENCY.md); standalone users must provide their own locking.
 #pragma once
 
 #include <list>

@@ -4,12 +4,29 @@
 
 namespace qc::cache {
 
+CacheStats& CacheStats::operator+=(const CacheStats& other) {
+  lookups += other.lookups;
+  hits += other.hits;
+  memory_hits += other.memory_hits;
+  disk_hits += other.disk_hits;
+  misses += other.misses;
+  puts += other.puts;
+  invalidations += other.invalidations;
+  evictions += other.evictions;
+  spills += other.spills;
+  expirations += other.expirations;
+  clears += other.clears;
+  admit_rejects += other.admit_rejects;
+  return *this;
+}
+
 std::string CacheStats::ToString() const {
   std::ostringstream os;
   os << "lookups=" << lookups << " hits=" << hits << " (mem=" << memory_hits
      << ", disk=" << disk_hits << ") misses=" << misses << " hit_rate=" << HitRate()
      << " puts=" << puts << " invalidations=" << invalidations << " evictions=" << evictions
-     << " spills=" << spills << " expirations=" << expirations << " clears=" << clears;
+     << " spills=" << spills << " expirations=" << expirations << " clears=" << clears
+     << " admit_rejects=" << admit_rejects;
   return os.str();
 }
 

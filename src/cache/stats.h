@@ -1,4 +1,8 @@
 // Cache statistics counters.
+//
+// @thread_safety CacheStats is a plain value type (a snapshot); the
+// GpsCache maintains one instance per shard under that shard's mutex and
+// aggregates them with operator+= when GpsCache::stats() is called.
 #pragma once
 
 #include <cstdint>
@@ -18,10 +22,14 @@ struct CacheStats {
   uint64_t spills = 0;          // memory→disk demotions (hybrid mode)
   uint64_t expirations = 0;     // expiry-time removals
   uint64_t clears = 0;          // whole-cache flushes (Policy I)
+  uint64_t admit_rejects = 0;   // guarded Puts rejected by the admission check
 
   double HitRate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
   }
+
+  /// Shard aggregation: field-wise sum.
+  CacheStats& operator+=(const CacheStats& other);
 
   std::string ToString() const;
 };

@@ -5,6 +5,10 @@
 // the paper describes: flushing every record keeps the log current but is
 // expensive; buffering several records amortizes the cost at the risk of
 // losing the tail on a crash.
+//
+// @thread_safety Internally synchronized: Append/Flush may be called from
+// any thread (all GpsCache shards share one log). Records from concurrent
+// transactions interleave at record granularity, never mid-line.
 #pragma once
 
 #include <chrono>

@@ -3,6 +3,12 @@
 // The GPS cache is general-purpose (§3): ABR stores query results, the Web
 // accelerator stores pages. Cacheables implement this small interface so
 // the cache can enforce byte budgets and spill entries to the disk store.
+//
+// @thread_safety Cached values are shared across threads after insertion
+// (Get returns the same shared_ptr a concurrent reader may hold), so
+// implementations must be deeply immutable once published: ByteSize() and
+// Serialize() must be const in the strong sense — no caching, no lazy
+// initialization — or must synchronize internally.
 #pragma once
 
 #include <functional>

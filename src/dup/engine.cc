@@ -36,6 +36,54 @@ std::string DupEngine::TableVertexName(const std::string& table) {
   return "tab:" + ToUpper(table);
 }
 
+std::string DupEngine::ColumnEpochSlot(const std::string& table_key, uint32_t column) {
+  return table_key + "#" + std::to_string(column);
+}
+
+std::shared_ptr<const DependencyTemplate> DupEngine::TemplateForLocked(
+    const sql::BoundQuery& query) {
+  // "Compile time": one dependency template per canonical statement.
+  const std::string canonical = sql::CanonicalSql(query.stmt());
+  if (auto it = templates_.find(canonical); it != templates_.end()) return it->second;
+  auto deps = ExtractDependencies(query, options_.extraction);
+  templates_.emplace(canonical, deps);
+  return deps;
+}
+
+UpdateEpochs::Snapshot DupEngine::SnapshotDependencies(
+    const std::shared_ptr<const sql::BoundQuery>& query) {
+  std::shared_ptr<const DependencyTemplate> deps;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deps = TemplateForLocked(*query);
+  }
+  UpdateEpochs::Snapshot snapshot;
+  for (const ColumnDependencyTemplate& col : deps->columns) {
+    epochs_.Observe(snapshot, ColumnEpochSlot(ToUpper(col.table_name), col.column_index));
+  }
+  for (const std::string& table : deps->tables) {
+    epochs_.Observe(snapshot, ToUpper(table));
+  }
+  if (options_.policy == InvalidationPolicy::kFlushAll) {
+    // Any update flushes the whole cache, so every in-flight execution
+    // must observe every event.
+    epochs_.Observe(snapshot, "*");
+  }
+  return snapshot;
+}
+
+void DupEngine::StampEpochs(const storage::UpdateEvent& event) {
+  const std::string table_key = ToUpper(event.table);
+  if (event.kind == storage::UpdateEvent::Kind::kUpdate) {
+    for (const storage::AttributeChange& change : event.changes) {
+      epochs_.Bump(ColumnEpochSlot(table_key, change.column));
+    }
+  } else {
+    epochs_.Bump(table_key);
+  }
+  epochs_.Bump("*");
+}
+
 void DupEngine::RegisterQuery(const std::string& key,
                               std::shared_ptr<const sql::BoundQuery> query,
                               const std::vector<Value>& params) {
@@ -51,15 +99,7 @@ void DupEngine::RegisterQuery(const std::string& key,
     registered_.erase(it);
   }
 
-  // "Compile time": one dependency template per canonical statement.
-  const std::string canonical = sql::CanonicalSql(query->stmt());
-  std::shared_ptr<const DependencyTemplate> deps;
-  if (auto it = templates_.find(canonical); it != templates_.end()) {
-    deps = it->second;
-  } else {
-    deps = ExtractDependencies(*query, options_.extraction);
-    templates_.emplace(canonical, deps);
-  }
+  std::shared_ptr<const DependencyTemplate> deps = TemplateForLocked(*query);
 
   const odg::VertexId object = graph_.AddVertex(key, odg::VertexKind::kObject);
   std::vector<std::optional<odg::EdgeAnnotation>> annotations;
@@ -273,9 +313,13 @@ void DupEngine::SetTracer(InvalidationTracer tracer) {
 void DupEngine::OnUpdate(const storage::UpdateEvent& event) {
   if (options_.policy == InvalidationPolicy::kNone) {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.update_events;  // observed, deliberately ignored
+    ++stats_.update_events;  // observed, deliberately ignored (TTL-only)
     return;
   }
+  // Epochs first: any execution that read pre-event data and has not yet
+  // stored its result will fail its admission check, even if the
+  // invalidations below run before its key is cached.
+  StampEpochs(event);
   if (options_.policy == InvalidationPolicy::kFlushAll) {
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -2,7 +2,18 @@
 // cache (paper §4). It owns the object dependence graph, registers cached
 // query results as object vertices with automatically extracted edges, and
 // translates every UpdateEvent into the invalidation set the configured
-// policy prescribes.
+// policy prescribes. It also stamps per-dependency update epochs
+// (dup/epochs.h) that the middleware uses to discard query results whose
+// execution raced with an update (docs/CONCURRENCY.md).
+//
+// @thread_safety Internally synchronized: every public method may be
+// called from any thread. OnUpdate invalidates (or refreshes) cache
+// entries *outside* the engine lock; the refresher and the cache removal
+// listener may therefore re-enter the engine. The tracer runs under the
+// engine lock and must not call back in. Lock order: the engine mutex may
+// be acquired while a Table write lock is held (events are delivered
+// synchronously from the mutating thread) and is never held while
+// acquiring a cache shard lock.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +26,7 @@
 #include <vector>
 
 #include "cache/gps_cache.h"
+#include "dup/epochs.h"
 #include "dup/extractor.h"
 #include "dup/policy.h"
 #include "odg/graph.h"
@@ -74,6 +86,16 @@ class DupEngine {
   /// Drop the object vertex for `key` (cache removal). Idempotent.
   void UnregisterQuery(const std::string& key);
 
+  /// Observe the update epochs of every dependency slot of `query`: one
+  /// slot per referenced table.column (attribute updates) plus one per
+  /// referenced table (inserts/deletes), plus the global slot under
+  /// Policy I (any update flushes everything). Call *before* executing the
+  /// statement against the database; pass the snapshot to the cache's
+  /// guarded Put so a result computed from pre-update data is discarded
+  /// instead of cached. See docs/CONCURRENCY.md.
+  UpdateEpochs::Snapshot SnapshotDependencies(
+      const std::shared_ptr<const sql::BoundQuery>& query);
+
   /// Paper Fig. 7, step 10 is "result discard/update cache": affected
   /// results may be *refreshed* instead of discarded. When a refresher is
   /// installed, the engine calls it (outside its lock) for every affected
@@ -124,6 +146,15 @@ class DupEngine {
 
   static std::string ColumnVertexName(const std::string& table, const std::string& column);
   static std::string TableVertexName(const std::string& table);
+  static std::string ColumnEpochSlot(const std::string& table_key, uint32_t column);
+
+  /// Advance the update epochs the event touches. Must run before any
+  /// invalidation derived from the event: in-flight executions that read
+  /// pre-event data then fail their store-time admission check.
+  void StampEpochs(const storage::UpdateEvent& event);
+
+  /// Find-or-build the statement's dependency template. Requires mutex_.
+  std::shared_ptr<const DependencyTemplate> TemplateForLocked(const sql::BoundQuery& query);
 
   /// Collect the fingerprints the event invalidates under the policy.
   std::vector<std::string> AffectedKeys(const storage::UpdateEvent& event);
@@ -154,6 +185,7 @@ class DupEngine {
   InvalidationTracer tracer_;
   Refresher refresher_;
   DupStats stats_;
+  UpdateEpochs epochs_;  // internally synchronized; not guarded by mutex_
 };
 
 }  // namespace qc::dup

@@ -1,0 +1,23 @@
+#include "dup/epochs.h"
+
+namespace qc::dup {
+
+std::atomic<uint64_t>& UpdateEpochs::SlotRef(const std::string& slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) {
+    it = slots_.emplace(slot, std::make_unique<std::atomic<uint64_t>>(0)).first;
+  }
+  return *it->second;
+}
+
+void UpdateEpochs::Bump(const std::string& slot) {
+  SlotRef(slot).fetch_add(1, std::memory_order_acq_rel);
+}
+
+void UpdateEpochs::Observe(Snapshot& snapshot, const std::string& slot) {
+  const std::atomic<uint64_t>& counter = SlotRef(slot);
+  snapshot.entries_.push_back({&counter, counter.load(std::memory_order_acquire)});
+}
+
+}  // namespace qc::dup

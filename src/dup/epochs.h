@@ -1,0 +1,84 @@
+// Update-epoch tracking for race-free cache registration.
+//
+// The miss path of the middleware is miss -> execute -> register/store,
+// and it runs concurrently with the update path mutate -> invalidate. An
+// update that lands *between* the database read and the cache store would
+// silently cache a stale result: the invalidation ran before the key was
+// cached, so nothing removes it afterwards. UpdateEpochs closes that race
+// with versioned dependency slots:
+//
+//   * the DUP engine Bump()s one epoch counter per dependency slot
+//     ("TABLE#column" for attribute updates, "TABLE" for row
+//     insert/delete) *before* it computes and applies invalidations;
+//   * the query path Observe()s the epochs of every slot its statement
+//     depends on *before* executing against the database, producing a
+//     Snapshot;
+//   * at store time, Snapshot::Current() is evaluated under the cache
+//     shard's lock (GpsCache admission guard). If any observed epoch
+//     advanced, the result may have been computed from pre-update data
+//     and is discarded instead of cached.
+//
+// See docs/CONCURRENCY.md for the full protocol and the race diagram.
+//
+// @thread_safety UpdateEpochs is internally synchronized: Bump/Observe may
+// be called from any thread. Snapshot::Current() is wait-free (atomic
+// loads only) and is safe to call while holding unrelated locks — it never
+// takes the UpdateEpochs mutex. A Snapshot must not outlive the
+// UpdateEpochs instance it was observed from.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qc::dup {
+
+class UpdateEpochs {
+ public:
+  /// The epochs of one query's dependency slots, as observed at snapshot
+  /// time. Cheap to move; copyable.
+  class Snapshot {
+   public:
+    /// True iff no observed slot's epoch has advanced since the snapshot
+    /// was taken. Wait-free.
+    bool Current() const {
+      for (const Entry& entry : entries_) {
+        if (entry.slot->load(std::memory_order_acquire) != entry.observed) return false;
+      }
+      return true;
+    }
+
+    size_t size() const { return entries_.size(); }
+
+   private:
+    friend class UpdateEpochs;
+    struct Entry {
+      const std::atomic<uint64_t>* slot;
+      uint64_t observed;
+    };
+    std::vector<Entry> entries_;
+  };
+
+  /// Advance the epoch of `slot`, creating it at 0 first if new. Called by
+  /// the update path before any invalidation derived from the same event.
+  void Bump(const std::string& slot);
+
+  /// Append `slot`'s current epoch to `snapshot` (creating the slot at 0
+  /// if it has never been bumped — a query may depend on a column no
+  /// update has touched yet).
+  void Observe(Snapshot& snapshot, const std::string& slot);
+
+ private:
+  std::atomic<uint64_t>& SlotRef(const std::string& slot);
+
+  mutable std::mutex mutex_;  // guards the map; the counters themselves are atomic
+  // unique_ptr gives the atomics stable addresses: Snapshot entries remain
+  // valid as the map rehashes. Slots are never removed.
+  std::unordered_map<std::string, std::unique_ptr<std::atomic<uint64_t>>> slots_;
+};
+
+}  // namespace qc::dup

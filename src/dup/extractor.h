@@ -18,6 +18,11 @@
 //                     value-aware update flip check.
 //   * filter        — the NNF relaxation of the WHERE clause onto this
 //                     column, for value-aware insert/delete checks.
+//
+// @thread_safety ExtractDependencies is a pure function of its inputs and
+// may run concurrently. DependencyTemplate instances are immutable after
+// construction and shared across threads behind shared_ptr<const> (the DUP
+// engine's template cache, epoch snapshots).
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,9 @@
 // The invalidation policies compared in the paper's §5.
+//
+// @thread_safety Stateless: an enum and a pure name function, safe from
+// any thread. Note that the chosen policy also shapes the update-epoch
+// protocol (src/dup/epochs.h): kNone stamps no epochs at all, kFlushAll
+// makes every in-flight execution observe the global "*" slot.
 #pragma once
 
 namespace qc::dup {

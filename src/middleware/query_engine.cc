@@ -1,6 +1,21 @@
 #include "middleware/query_engine.h"
 
+#include <algorithm>
+
 namespace qc::middleware {
+
+QueryEngineStats& QueryEngineStats::operator=(const QueryEngineStats& other) {
+  executions.store(other.executions.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  cache_hits.store(other.cache_hits.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  db_executions.store(other.db_executions.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  uncacheable.store(other.uncacheable.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  stale_discards.store(other.stale_discards.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  refresh_executions.store(other.refresh_executions.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  return *this;
+}
 
 CachedQueryEngine::CachedQueryEngine(storage::Database& db, Options options)
     : db_(db), options_(std::move(options)) {
@@ -19,11 +34,12 @@ CachedQueryEngine::CachedQueryEngine(storage::Database& db, Options options)
     dup_->SetRefresher([this](const std::string& key) {
       auto registration = dup_->LookupRegistration(key);
       if (!registration) return false;
+      // Runs on the updating thread, which already holds the mutated
+      // table's write lock — no read locks here (they would self-deadlock).
       auto result = std::make_shared<const sql::ResultSet>(
           sql::Execute(*registration->first, registration->second));
       if (!cache_->Put(key, std::make_shared<ResultValue>(result))) return false;
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.refresh_executions;
+      stats_.refresh_executions.fetch_add(1, std::memory_order_relaxed);
       return true;
     });
   }
@@ -39,12 +55,12 @@ std::shared_ptr<const sql::BoundQuery> CachedQueryEngine::Prepare(const std::str
   sql::SelectStmt stmt = sql::Parse(sql);
   const std::string canonical = sql::CanonicalSql(stmt);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(prepared_mutex_);
     auto it = prepared_.find(canonical);
     if (it != prepared_.end()) return it->second;
   }
   auto bound = sql::Bind(std::move(stmt), db_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(prepared_mutex_);
   return prepared_.emplace(canonical, std::move(bound)).first->second;
 }
 
@@ -59,22 +75,37 @@ CachedQueryEngine::ExecuteResult CachedQueryEngine::Execute(
   return result;
 }
 
+std::vector<std::shared_lock<std::shared_mutex>> CachedQueryEngine::LockTablesShared(
+    const sql::BoundQuery& query) const {
+  std::vector<const storage::Table*> tables = query.tables();
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());  // self-joins
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(tables.size());
+  for (const storage::Table* table : tables) locks.push_back(table->ReadLock());
+  return locks;
+}
+
+void CachedQueryEngine::SimulatedDbWait() const {
+  if (options_.simulated_db_latency.count() <= 0) return;
+  const auto deadline = std::chrono::steady_clock::now() + options_.simulated_db_latency;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // busy-wait: sleep granularity would distort microsecond penalties
+  }
+}
+
 CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
     const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.executions;
-  }
+  stats_.executions.fetch_add(1, std::memory_order_relaxed);
 
   if (!options_.caching_enabled) {
-    if (options_.simulated_db_latency.count() > 0) {
-      const auto deadline = std::chrono::steady_clock::now() + options_.simulated_db_latency;
-      while (std::chrono::steady_clock::now() < deadline) {
-      }
+    SimulatedDbWait();
+    sql::ResultPtr result;
+    {
+      auto locks = LockTablesShared(*query);
+      result = std::make_shared<const sql::ResultSet>(sql::Execute(*query, params));
     }
-    auto result = std::make_shared<sql::ResultSet>(sql::Execute(*query, params));
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.db_executions;
+    stats_.db_executions.fetch_add(1, std::memory_order_relaxed);
     return {std::move(result), false};
   }
 
@@ -82,33 +113,55 @@ CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
 
   if (cache::CacheValuePtr cached = cache_->Get(key)) {
     auto value = std::static_pointer_cast<const ResultValue>(cached);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.cache_hits;
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     return {value->result(), true};
   }
 
-  // (4) database access
-  if (options_.simulated_db_latency.count() > 0) {
-    const auto deadline = std::chrono::steady_clock::now() + options_.simulated_db_latency;
-    while (std::chrono::steady_clock::now() < deadline) {
-      // busy-wait: sleep granularity would distort microsecond penalties
-    }
+  // Miss. Serialize with other misses for the same key (see miss_mutexes_)
+  // and re-check: a coalesced miss usually finds the winner's entry.
+  std::unique_lock<std::mutex> miss_lock(
+      miss_mutexes_[std::hash<std::string>{}(key) % kMissStripes]);
+  if (cache::CacheValuePtr cached = cache_->Get(key)) {
+    auto value = std::static_pointer_cast<const ResultValue>(cached);
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return {value->result(), true};
   }
-  auto result = std::make_shared<const sql::ResultSet>(sql::Execute(*query, params));
+
+  // Snapshot the dependency epochs *before* the database read: an update
+  // stamped between here and the guarded Put below means the result may
+  // have been computed from pre-update data, so it must not be cached
+  // (docs/CONCURRENCY.md).
+  dup::UpdateEpochs::Snapshot snapshot = dup_->SnapshotDependencies(query);
+
+  // (4) database access, under shared table locks.
+  SimulatedDbWait();
+  sql::ResultPtr result;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.db_executions;
+    auto locks = LockTablesShared(*query);
+    result = std::make_shared<const sql::ResultSet>(sql::Execute(*query, params));
   }
+  stats_.db_executions.fetch_add(1, std::memory_order_relaxed);
 
   // (3) result into cache + ODG construction. Register *before* Put: if Put
   // immediately evicts the entry (budget pressure), the removal listener
-  // then cleanly unregisters it again.
+  // then cleanly unregisters it again; if an update invalidates the key
+  // between the two steps, the epoch guard rejects the Put.
   dup_->RegisterQuery(key, query, params);
-  if (!cache_->Put(key, std::make_shared<ResultValue>(result), options_.default_ttl)) {
+  bool stale = false;
+  const bool stored = cache_->Put(key, std::make_shared<ResultValue>(result),
+                                  options_.default_ttl, [&snapshot, &stale] {
+                                    if (snapshot.Current()) return true;
+                                    stale = true;
+                                    return false;
+                                  });
+  if (!stored) {
     dup_->UnregisterQuery(key);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.uncacheable;
+    (stale ? stats_.stale_discards : stats_.uncacheable)
+        .fetch_add(1, std::memory_order_relaxed);
   }
+  // Either way the caller gets this result: it reflects every update
+  // acknowledged before this query began, which is all a racing client may
+  // assume.
   return {std::move(result), false};
 }
 
@@ -122,17 +175,19 @@ uint64_t CachedQueryEngine::ExecuteDml(const std::string& sql, const std::vector
   if (stmt.kind != sql::AnyStatement::Kind::kDml) {
     throw BindError("ExecuteDml expects INSERT/UPDATE/DELETE; use Execute for SELECT");
   }
+  // The whole statement — scan, mutation, synchronous invalidation fan-out
+  // — runs under the target table's write lock, so once ExecuteDml
+  // returns, the update is fully acknowledged: epochs stamped, affected
+  // cache entries invalidated or refreshed.
+  storage::Table& table = db_.GetTable(stmt.dml.table);
+  auto lock = table.WriteLock();
   return sql::ExecuteDml(stmt.dml, db_, params);
 }
 
 sql::ResultSet CachedQueryEngine::ExecuteUncached(const sql::BoundQuery& query,
                                                   const std::vector<Value>& params) const {
+  auto locks = LockTablesShared(query);
   return sql::Execute(query, params);
-}
-
-QueryEngineStats CachedQueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
 }
 
 }  // namespace qc::middleware

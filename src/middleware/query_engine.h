@@ -10,15 +10,34 @@
 // through the Database subscription and are turned into (6/10) selective
 // invalidations by the DUP engine.
 //
-// Concurrency: the cache and DUP engine are internally synchronized, but
-// the *sequence* miss→execute→register is not atomic with respect to
-// concurrent updates; like the paper's system, updates and queries are
-// assumed to be serialized by the caller (the benchmarks drive one
-// thread). See tests/middleware for the correctness property this buys.
+// @thread_safety CachedQueryEngine is fully thread-safe: any number of
+// threads may call Prepare/Execute/ExecuteSql/ExecuteDml concurrently.
+// The miss path miss→execute→register/store is made safe against
+// concurrent updates by the update-epoch protocol: Execute() snapshots the
+// statement's dependency epochs before reading the database, and the
+// result is stored through a guarded Put that re-validates the snapshot
+// under the cache shard lock — if any dependency's epoch advanced during
+// execution, the (possibly stale) result is discarded instead of cached
+// and counted in QueryEngineStats::stale_discards. Data access is guarded
+// by each Table's cooperative reader-writer lock: Execute holds read locks
+// for the duration of the scan, ExecuteDml holds the target table's write
+// lock for the whole statement (so invalidations complete before the DML
+// call returns). The full protocol, the locking hierarchy and the race
+// diagram live in docs/CONCURRENCY.md.
+//
+// Known limit: refresh_on_invalidate re-executes affected statements on
+// the updating thread (which already holds the table write lock); with
+// multiple concurrent writer threads, refreshed results of multi-table
+// queries may read tables another writer is mutating. Run refresh mode
+// with a single writer, as the benchmarks do.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -35,16 +54,27 @@
 
 namespace qc::middleware {
 
+/// Engine counters. Fields are atomics so concurrent Execute() calls
+/// update them without locks; the copy returned by
+/// CachedQueryEngine::stats() is a relaxed snapshot (counters are read
+/// independently, not as one instantaneous cut).
 struct QueryEngineStats {
-  uint64_t executions = 0;      // Execute() calls
-  uint64_t cache_hits = 0;
-  uint64_t db_executions = 0;   // misses that went to the database
-  uint64_t uncacheable = 0;     // results too large to cache
-  uint64_t refresh_executions = 0;  // eager re-executions (refresh_on_invalidate)
+  std::atomic<uint64_t> executions{0};      // Execute() calls
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> db_executions{0};   // misses that went to the database
+  std::atomic<uint64_t> uncacheable{0};     // results too large to cache
+  std::atomic<uint64_t> stale_discards{0};  // results dropped by the epoch guard
+  std::atomic<uint64_t> refresh_executions{0};  // eager re-executions (refresh_on_invalidate)
+
+  QueryEngineStats() = default;
+  QueryEngineStats(const QueryEngineStats& other) { *this = other; }
+  QueryEngineStats& operator=(const QueryEngineStats& other);
 
   double HitRate() const {
-    return executions == 0 ? 0.0
-                           : static_cast<double>(cache_hits) / static_cast<double>(executions);
+    const uint64_t n = executions.load(std::memory_order_relaxed);
+    return n == 0 ? 0.0
+                  : static_cast<double>(cache_hits.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
   }
 };
 
@@ -110,16 +140,18 @@ class CachedQueryEngine {
   /// Dynamic SQL path: parse, bind, execute (still cached).
   ExecuteResult ExecuteSql(const std::string& sql, const std::vector<Value>& params = {});
 
-  /// Execute a DML statement (INSERT / UPDATE / DELETE). Mutations flow
-  /// through the storage layer, so cached query results are invalidated by
-  /// the configured DUP policy. Returns the number of affected rows.
+  /// Execute a DML statement (INSERT / UPDATE / DELETE) under the target
+  /// table's write lock. Mutations flow through the storage layer, so
+  /// cached query results are invalidated by the configured DUP policy
+  /// before this returns. Returns the number of affected rows.
   uint64_t ExecuteDml(const std::string& sql, const std::vector<Value>& params = {});
 
-  /// Direct, uncached execution (used by tests to cross-check).
+  /// Direct, uncached execution (used by tests to cross-check). Takes the
+  /// same table read locks as Execute.
   sql::ResultSet ExecuteUncached(const sql::BoundQuery& query,
                                  const std::vector<Value>& params = {}) const;
 
-  QueryEngineStats stats() const;
+  QueryEngineStats stats() const { return stats_; }
   cache::CacheStats cache_stats() const { return cache_->stats(); }
   dup::DupStats dup_stats() const { return dup_->stats(); }
   const QueryLatencyMetrics& latency_metrics() const { return latency_; }
@@ -132,12 +164,30 @@ class CachedQueryEngine {
   ExecuteResult ExecuteInternal(const std::shared_ptr<const sql::BoundQuery>& query,
                                 const std::vector<Value>& params);
 
+  /// Shared locks on every distinct table the statement reads, acquired in
+  /// address order (deadlock-free against other readers and one-table
+  /// writers).
+  std::vector<std::shared_lock<std::shared_mutex>> LockTablesShared(
+      const sql::BoundQuery& query) const;
+
+  void SimulatedDbWait() const;
+
   storage::Database& db_;
   Options options_;
   std::unique_ptr<cache::GpsCache> cache_;
   std::unique_ptr<dup::DupEngine> dup_;
 
-  mutable std::mutex mutex_;
+  /// Misses for the same fingerprint are serialized by a striped mutex.
+  /// Two unserialized misses for one key can interleave their
+  /// register/store/unregister steps so that the loser's cleanup tears
+  /// down the winner's ODG registration, leaving a valid cached entry that
+  /// no future update can invalidate. The stripe also coalesces redundant
+  /// executions of a hot missed key (stampede protection): the second miss
+  /// re-checks the cache under the stripe and usually turns into a hit.
+  static constexpr size_t kMissStripes = 64;
+  mutable std::array<std::mutex, kMissStripes> miss_mutexes_;
+
+  mutable std::mutex prepared_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const sql::BoundQuery>> prepared_;
   QueryEngineStats stats_;
   QueryLatencyMetrics latency_;

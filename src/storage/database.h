@@ -1,4 +1,10 @@
 // Database: a catalog of tables plus a process-wide update-event bus.
+//
+// @thread_safety The catalog is not internally synchronized: CreateTable
+// and Subscribe must complete before concurrent queries/updates start
+// (table lookups are then read-only). Per-table data access is guarded by
+// each Table's cooperative reader-writer lock — see storage/table.h and
+// docs/CONCURRENCY.md.
 #pragma once
 
 #include <memory>

@@ -5,6 +5,12 @@
 // table produces one UpdateEvent carrying the changed attributes with
 // their old and new values, which the DUP engine turns into cache
 // invalidations.
+//
+// Ordering contract (load-bearing for docs/CONCURRENCY.md): observers run
+// synchronously on the mutating thread, after the table data/indexes have
+// been updated, before the mutation call returns. The DUP engine stamps
+// its update epochs as the first step of handling an event, so "mutation
+// acknowledged" implies "epoch stamped and invalidations applied".
 #pragma once
 
 #include <cstdint>

@@ -1,14 +1,28 @@
 // A mutable in-memory table with typed columnar storage, optional
 // secondary indexes, and update-event emission. This is the substitute
-// for the DB2 store behind the paper's ABR rule server (see DESIGN.md §2).
+// for the DB2 store behind the paper's ABR rule server (see DESIGN.MD §2).
 //
-// Concurrency: Table is externally synchronized — the benchmarks and the
-// middleware drive it from one thread; the GPS cache, which the paper's
-// multithreaded server shares, is internally synchronized instead.
+// @thread_safety Table is *cooperatively* synchronized: its methods do not
+// lock, but every table carries a reader-writer mutex exposed via
+// ReadLock()/WriteLock(). CachedQueryEngine holds ReadLock on every table
+// a SELECT touches for the duration of the scan and WriteLock around each
+// DML statement, which makes concurrent query serving data-race-free (see
+// docs/CONCURRENCY.md). Callers that drive a Table single-threaded (tests,
+// single-threaded benches) may skip the locks entirely. The schema and the
+// observer list are immutable/append-only and must be finalized before
+// threads start.
+//
+// Event ordering: mutations emit their UpdateEvent synchronously on the
+// mutating thread, *after* the data and indexes are updated (and, when the
+// caller holds WriteLock, while that lock is still held). The DUP epoch
+// protocol relies on this: by the time a mutation is acknowledged to its
+// caller, the event — epoch stamp included — has fully propagated.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -75,8 +89,20 @@ class Table {
   /// Direct column access for hot evaluator paths.
   const ColumnStore& column_store(uint32_t column) const { return columns_.at(column); }
 
-  /// Register an observer for all mutations of this table.
+  /// Register an observer for all mutations of this table. Not thread-safe
+  /// against concurrent mutations — subscribe before threads start.
   void Subscribe(UpdateObserver observer) { observers_.push_back(std::move(observer)); }
+
+  /// Cooperative reader-writer lock (see @thread_safety above). Readers
+  /// acquiring multiple tables' locks must do so in a consistent order
+  /// (CachedQueryEngine sorts by table address); writers lock one table at
+  /// a time.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    return std::shared_lock<std::shared_mutex>(rw_mutex_);
+  }
+  std::unique_lock<std::shared_mutex> WriteLock() {
+    return std::unique_lock<std::shared_mutex>(rw_mutex_);
+  }
 
  private:
   void ValidateLive(RowId row) const;
@@ -93,6 +119,7 @@ class Table {
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
   std::vector<UpdateObserver> observers_;
+  mutable std::shared_mutex rw_mutex_;
 };
 
 }  // namespace qc::storage

@@ -1,0 +1,123 @@
+// Deterministic reproduction of the miss→execute→register race and the
+// update-epoch protocol that closes it (docs/CONCURRENCY.md): a result
+// computed from pre-update data must never be published into the cache.
+// The multi-threaded version of this property lives in
+// tests/middleware/concurrent_stress_test.cc (ctest label "stress").
+#include <gtest/gtest.h>
+
+#include "middleware/query_engine.h"
+#include "sql/fingerprint.h"
+
+namespace qc::middleware {
+namespace {
+
+class EpochValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable(
+        "T", storage::Schema({{"K", ValueType::kInt, false}, {"V", ValueType::kInt, false}}));
+    other_ = &db_.CreateTable("OTHER", storage::Schema({{"X", ValueType::kInt, false}}));
+    for (int i = 0; i < 8; ++i) table_->Insert({Value(i), Value(0)});
+    other_->Insert({Value(1)});
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+  storage::Table* other_ = nullptr;
+};
+
+TEST_F(EpochValidationTest, StaleResultIsRejectedByGuardedPut) {
+  CachedQueryEngine engine(db_, {});
+  auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
+  const std::string key = sql::Fingerprint(q->stmt(), {});
+
+  // Simulate the race window: snapshot + database read, then an update
+  // lands before the result is registered/stored.
+  auto snapshot = engine.dup_engine().SnapshotDependencies(q);
+  auto stale = std::make_shared<const sql::ResultSet>(engine.ExecuteUncached(*q));
+  engine.ExecuteDml("UPDATE T SET V = 42 WHERE K = 3");
+  EXPECT_FALSE(snapshot.Current());
+
+  engine.dup_engine().RegisterQuery(key, q, {});
+  const bool stored =
+      engine.cache().Put(key, std::make_shared<ResultValue>(stale), std::nullopt,
+                         [&] { return snapshot.Current(); });
+  EXPECT_FALSE(stored);
+  EXPECT_FALSE(engine.cache().Contains(key));
+  EXPECT_EQ(engine.cache_stats().admit_rejects, 1u);
+  engine.dup_engine().UnregisterQuery(key);
+
+  // The next Execute() misses, re-reads the database, and serves and
+  // caches the post-update value.
+  auto fresh = engine.Execute(q);
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.result->ScalarAt(0, 0), Value(42));
+  EXPECT_TRUE(engine.Execute(q).cache_hit);
+}
+
+TEST_F(EpochValidationTest, CurrentSnapshotAdmitsTheResult) {
+  CachedQueryEngine engine(db_, {});
+  auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
+  const std::string key = sql::Fingerprint(q->stmt(), {});
+
+  auto snapshot = engine.dup_engine().SnapshotDependencies(q);
+  auto result = std::make_shared<const sql::ResultSet>(engine.ExecuteUncached(*q));
+  EXPECT_TRUE(snapshot.Current());
+
+  engine.dup_engine().RegisterQuery(key, q, {});
+  EXPECT_TRUE(engine.cache().Put(key, std::make_shared<ResultValue>(result), std::nullopt,
+                                 [&] { return snapshot.Current(); }));
+  EXPECT_TRUE(engine.cache().Contains(key));
+}
+
+TEST_F(EpochValidationTest, UnrelatedUpdatesDoNotInvalidateTheSnapshot) {
+  CachedQueryEngine engine(db_, {});
+  auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
+
+  auto snapshot = engine.dup_engine().SnapshotDependencies(q);
+  // A different table entirely: no dependency slot in common.
+  engine.ExecuteDml("UPDATE OTHER SET X = 9 WHERE X = 1");
+  EXPECT_TRUE(snapshot.Current());
+}
+
+TEST_F(EpochValidationTest, RowEventsAdvanceTheTableSlot) {
+  CachedQueryEngine engine(db_, {});
+  auto q = engine.Prepare("SELECT COUNT(*) FROM T");
+
+  auto insert_snapshot = engine.dup_engine().SnapshotDependencies(q);
+  engine.ExecuteDml("INSERT INTO T VALUES (100, 0)");
+  EXPECT_FALSE(insert_snapshot.Current());
+
+  auto delete_snapshot = engine.dup_engine().SnapshotDependencies(q);
+  engine.ExecuteDml("DELETE FROM T WHERE K = 100");
+  EXPECT_FALSE(delete_snapshot.Current());
+}
+
+TEST_F(EpochValidationTest, PolicyNoneNeverStampsEpochs) {
+  // TTL-only caching deliberately serves stale results; epoch validation
+  // must not discard anything.
+  CachedQueryEngine::Options options;
+  options.policy = dup::InvalidationPolicy::kNone;
+  CachedQueryEngine engine(db_, options);
+  auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
+
+  auto snapshot = engine.dup_engine().SnapshotDependencies(q);
+  engine.ExecuteDml("UPDATE T SET V = 7 WHERE K = 3");
+  EXPECT_TRUE(snapshot.Current());
+}
+
+TEST_F(EpochValidationTest, FlushAllObservesEveryEvent) {
+  // Policy I flushes the whole cache on any update, so any event anywhere
+  // must reject an in-flight registration.
+  CachedQueryEngine::Options options;
+  options.policy = dup::InvalidationPolicy::kFlushAll;
+  CachedQueryEngine engine(db_, options);
+  auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
+
+  auto snapshot = engine.dup_engine().SnapshotDependencies(q);
+  engine.ExecuteDml("UPDATE OTHER SET X = 5 WHERE X = 1");
+  EXPECT_FALSE(snapshot.Current());
+}
+
+}  // namespace
+}  // namespace qc::middleware
