@@ -1,0 +1,117 @@
+// Extension bench: what does a crash-safe disk tier buy at restart?
+//
+// A middleware restart used to mean an empty cache: every client query
+// pays a database execution until the working set is re-cached. With
+// recover_on_open the spool survives, so the restarted engine starts warm.
+// This bench fills a disk-tier cache through the query engine, "restarts"
+// it both ways (cold wipe vs. recovery scan), and compares the first-pass
+// hit rate plus the cost of the recovery scan itself.
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+
+#include "harness.h"
+#include "setquery/queries.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+namespace {
+
+middleware::CachedQueryEngine::Options DiskOptions(const std::string& dir, bool recover) {
+  middleware::CachedQueryEngine::Options options;
+  options.policy = dup::InvalidationPolicy::kValueAware;
+  options.cache.mode = cache::CacheMode::kDisk;
+  options.cache.disk_directory = dir;
+  options.cache.recover_on_open = recover;
+  return options;
+}
+
+double Micros(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(d).count();
+}
+
+}  // namespace
+
+int main() {
+  FigureConfig fig = FigureConfig::FromEnv();
+  fig.rows = EnvU64("SETQUERY_ROWS", 20'000);
+  const uint64_t kQueries = EnvU64("RECOVERY_QUERIES", 200);
+  PrintHeader("Extension: warm restart from the crash-safe disk tier", fig);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "qc_bench_recovery").string();
+  std::filesystem::remove_all(dir);
+
+  storage::Database db;
+  setquery::BenchTable bench(db, fig.rows);
+  const auto specs = setquery::BuildAllQueries(bench);
+
+  // Fill: run a parameter sweep so the spool holds kQueries distinct
+  // results, then drop the engine without clearing (simulated shutdown).
+  uint64_t filled = 0;
+  {
+    middleware::CachedQueryEngine engine(db, DiskOptions(dir, /*recover=*/true));
+    Rng rng(fig.seed);
+    for (uint64_t i = 0; i < kQueries; ++i) {
+      const auto& spec = specs[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(specs.size()) - 1))];
+      engine.Execute(engine.Prepare(spec.sql));
+    }
+    filled = engine.cache().entry_count();
+  }
+
+  // Cold restart: the pre-crash spool is wiped, every query misses.
+  const auto cold_start = std::chrono::steady_clock::now();
+  uint64_t cold_hits = 0, cold_execs = 0;
+  {
+    middleware::CachedQueryEngine engine(db, DiskOptions(dir, /*recover=*/false));
+    for (const auto& spec : specs) {
+      if (engine.Execute(engine.Prepare(spec.sql)).cache_hit) ++cold_hits;
+    }
+    cold_execs = engine.stats().db_executions;
+  }
+  const double cold_us = Micros(std::chrono::steady_clock::now() - cold_start);
+
+  // Refill (the cold pass wiped the spool), then measure the warm restart.
+  {
+    middleware::CachedQueryEngine engine(db, DiskOptions(dir, /*recover=*/true));
+    Rng rng(fig.seed);
+    for (uint64_t i = 0; i < kQueries; ++i) {
+      const auto& spec = specs[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(specs.size()) - 1))];
+      engine.Execute(engine.Prepare(spec.sql));
+    }
+    filled = engine.cache().entry_count();
+  }
+
+  const auto open_start = std::chrono::steady_clock::now();
+  middleware::CachedQueryEngine engine(db, DiskOptions(dir, /*recover=*/true));
+  const double open_us = Micros(std::chrono::steady_clock::now() - open_start);
+  const uint64_t recovered = engine.cache_stats().recovered;
+
+  uint64_t warm_hits = 0;
+  const auto warm_start = std::chrono::steady_clock::now();
+  for (const auto& spec : specs) {
+    if (engine.Execute(engine.Prepare(spec.sql)).cache_hit) ++warm_hits;
+  }
+  const double warm_us = Micros(std::chrono::steady_clock::now() - warm_start);
+
+  const std::vector<int> widths = {26, 14, 14, 16};
+  PrintRow({"restart mode", "spool entries", "first-pass", "pass time us"}, widths);
+  PrintRow({"cold (wiped spool)", "0", std::to_string(cold_hits) + " hits", Fmt(cold_us, 0)},
+           widths);
+  PrintRow({"warm (recover_on_open)", std::to_string(recovered),
+            std::to_string(warm_hits) + " hits", Fmt(warm_us, 0)},
+           widths);
+  std::cout << "\nrecovery scan: " << recovered << " entries in " << Fmt(open_us, 0)
+            << " us (" << Fmt(recovered / (open_us / 1e6), 0) << " entries/s)\n";
+
+  std::cout << "\nChecks:\n";
+  Check(cold_hits == 0, "cold restart serves nothing from the cache");
+  Check(recovered == filled, "recovery re-indexes every spilled entry");
+  Check(warm_hits == recovered, "every recovered entry hits on the first pass");
+  Check(cold_execs >= specs.size() - cold_hits, "cold restart pays one execution per query");
+  Check(warm_us < cold_us, "warm first pass is faster than the cold one");
+  return Failures() == 0 ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "cache/disk_store.h"
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -10,65 +11,198 @@ namespace qc::cache {
 
 namespace fs = std::filesystem;
 
-DiskStore::DiskStore(fs::path directory, size_t max_bytes)
-    : dir_(std::move(directory)), max_bytes_(max_bytes) {
+namespace {
+
+constexpr const char* kSpillExtension = ".obj";
+constexpr const char* kQuarantineExtension = ".quarantine";
+
+/// Parse the "-<seq>" suffix out of "<hash>-<seq>.obj"; nullopt for
+/// foreign files.
+std::optional<uint64_t> SeqFromName(const fs::path& file) {
+  const std::string stem = file.stem().string();
+  const size_t dash = stem.rfind('-');
+  if (dash == std::string::npos || dash + 1 >= stem.size()) return std::nullopt;
+  uint64_t seq = 0;
+  for (size_t i = dash + 1; i < stem.size(); ++i) {
+    const char c = stem[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+bool ReadWholeFile(const fs::path& file, std::string* out) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in) return false;
+  *out = std::move(buffer).str();
+  return true;
+}
+
+}  // namespace
+
+DiskStore::DiskStore(fs::path directory, size_t max_bytes, bool recover)
+    : dir_(std::move(directory)), max_bytes_(max_bytes), persistent_(recover) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) throw CacheError("cannot create disk store directory " + dir_.string() + ": " + ec.message());
-  // Spill area: start clean so stale files from a previous process do not
-  // shadow the empty index.
-  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    fs::remove(entry.path(), ec);
+  if (persistent_) {
+    RecoverFromDirectory();
+  } else {
+    // Spill area: start clean so stale files from a previous process do not
+    // shadow the empty index.
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      fs::remove(entry.path(), ec);
+    }
   }
 }
 
 DiskStore::~DiskStore() {
+  if (persistent_) return;  // the spool IS the durable state — leave it
   std::error_code ec;
   for (const auto& [key, entry] : index_) fs::remove(entry.file, ec);
 }
 
+void DiskStore::RecoverFromDirectory() {
+  // Scan, verify, and index every spill file; quarantine what fails. LRU
+  // order is approximated by write time (the sequence number embedded in
+  // the file name, which this store keeps monotonic across restarts by
+  // resuming past the maximum seen).
+  struct Scanned {
+    uint64_t seq;
+    fs::path file;
+    SpillRecord record;
+    size_t file_bytes;
+  };
+  std::vector<Scanned> scanned;
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const fs::path& file = dirent.path();
+    if (file.extension() != kSpillExtension) continue;  // quarantined/foreign files
+    std::string bytes;
+    SpillRecord record;
+    if (!ReadWholeFile(file, &bytes) || !DecodeSpillRecord(bytes, &record)) {
+      ++io_errors_;
+      QuarantineFile(file);
+      continue;
+    }
+    const uint64_t seq = SeqFromName(file).value_or(0);
+    seq_ = std::max(seq_, seq + 1);
+    scanned.push_back({seq, file, std::move(record), bytes.size()});
+  }
+  std::sort(scanned.begin(), scanned.end(),
+            [](const Scanned& a, const Scanned& b) { return a.seq < b.seq; });
+
+  for (Scanned& s : scanned) {
+    // A duplicate key means an older record whose replacement's erase was
+    // lost in the crash; keep the newest (highest seq) only — in the index
+    // AND in the recovered() report.
+    if (auto it = index_.find(s.record.key); it != index_.end()) {
+      RemoveEntry(it);
+      recovered_.erase(std::remove_if(recovered_.begin(), recovered_.end(),
+                                      [&](const Recovered& r) { return r.key == s.record.key; }),
+                       recovered_.end());
+    }
+    lru_.push_front(s.record.key);
+    Entry entry;
+    entry.file = s.file;
+    entry.bytes = s.file_bytes;
+    entry.lru_pos = lru_.begin();
+    bytes_ += s.file_bytes;
+    index_.emplace(s.record.key, std::move(entry));
+    recovered_.push_back({std::move(s.record.key), std::move(s.record.durable_tag),
+                          s.record.expires_at_micros, s.record.payload.size()});
+  }
+  // Budget may have shrunk since the files were written; trim silently
+  // (oldest first — they are at the back of the LRU already). The trimmed
+  // keys also leave recovered_ so owners never see entries we dropped.
+  if (bytes_ > max_bytes_) {
+    std::vector<std::string> trimmed;
+    EvictIfNeeded(&trimmed);
+    for (const std::string& key : trimmed) {
+      recovered_.erase(std::remove_if(recovered_.begin(), recovered_.end(),
+                                      [&](const Recovered& r) { return r.key == key; }),
+                       recovered_.end());
+    }
+  }
+}
+
 fs::path DiskStore::FileFor(const std::string& key) {
   std::ostringstream name;
-  name << std::hex << std::hash<std::string>{}(key) << "-" << seq_++ << ".obj";
+  name << std::hex << std::hash<std::string>{}(key) << "-" << std::dec << seq_++
+       << kSpillExtension;
   return dir_ / name.str();
 }
 
-bool DiskStore::Put(const std::string& key, std::string_view bytes,
+bool DiskStore::Put(const std::string& key, std::string_view payload, const SpillMeta& meta,
                     std::vector<std::string>* evicted) {
-  if (bytes.size() > max_bytes_) return false;
+  const std::string record =
+      EncodeSpillRecord(key, meta.durable_tag, meta.expires_at_micros, payload);
+  if (record.size() > max_bytes_) return false;
   Erase(key);
 
   const fs::path file = FileFor(key);
   {
     std::ofstream out(file, std::ios::binary | std::ios::trunc);
-    if (!out) throw CacheError("cannot write disk store file " + file.string());
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) throw CacheError("short write to disk store file " + file.string());
+    bool ok = static_cast<bool>(out);
+    if (ok) {
+      out.write(record.data(), static_cast<std::streamsize>(record.size()));
+      out.flush();
+      ok = static_cast<bool>(out);
+    }
+    if (!ok) {
+      // Failed write: count it, drop the partial file, report not-stored.
+      // The caller already holds the value in memory; losing the spill
+      // costs a future miss, not correctness.
+      ++io_errors_;
+      out.close();
+      std::error_code ec;
+      fs::remove(file, ec);
+      return false;
+    }
   }
 
   lru_.push_front(key);
   Entry entry;
   entry.file = file;
-  entry.bytes = bytes.size();
+  entry.bytes = record.size();
   entry.lru_pos = lru_.begin();
   index_.emplace(key, std::move(entry));
-  bytes_ += bytes.size();
+  bytes_ += record.size();
   EvictIfNeeded(evicted);
   return true;
 }
 
-std::optional<std::string> DiskStore::Get(const std::string& key) {
+DiskStore::ReadStatus DiskStore::Read(const std::string& key, std::string* payload) {
   auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
-  std::ifstream in(it->second.file, std::ios::binary);
-  if (!in) throw CacheError("cannot read disk store file " + it->second.file.string());
-  std::string data(it->second.bytes, '\0');
-  in.read(data.data(), static_cast<std::streamsize>(data.size()));
-  if (static_cast<size_t>(in.gcount()) != data.size()) {
-    throw CacheError("short read from disk store file " + it->second.file.string());
+  if (it == index_.end()) return ReadStatus::kMiss;
+  std::string bytes;
+  SpillRecord record;
+  if (!ReadWholeFile(it->second.file, &bytes) || !DecodeSpillRecord(bytes, &record) ||
+      record.key != key) {
+    ++io_errors_;
+    Quarantine(it);
+    return ReadStatus::kCorrupt;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  return data;
+  *payload = std::move(record.payload);
+  return ReadStatus::kHit;
+}
+
+std::optional<std::string> DiskStore::Get(const std::string& key) {
+  std::string payload;
+  if (Read(key, &payload) != ReadStatus::kHit) return std::nullopt;
+  return payload;
+}
+
+void DiskStore::QuarantineEntry(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  ++io_errors_;
+  Quarantine(it);
 }
 
 bool DiskStore::Erase(const std::string& key) {
@@ -92,6 +226,26 @@ void DiskStore::EvictIfNeeded(std::vector<std::string>* evicted) {
     if (evicted) evicted->push_back(victim);
     RemoveEntry(index_.find(victim));
   }
+}
+
+void DiskStore::Quarantine(std::unordered_map<std::string, Entry>::iterator it) {
+  QuarantineFile(it->second.file);
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  index_.erase(it);
+}
+
+void DiskStore::QuarantineFile(const fs::path& file) {
+  fs::path target = file;
+  target += kQuarantineExtension;
+  std::error_code ec;
+  fs::rename(file, target, ec);
+  if (ec) {
+    // Rename failed (e.g. read-only filesystem): fall back to removal so
+    // the bad file cannot be rediscovered by the next recovery scan.
+    fs::remove(file, ec);
+  }
+  ++quarantined_;
 }
 
 void DiskStore::RemoveEntry(std::unordered_map<std::string, Entry>::iterator it) {

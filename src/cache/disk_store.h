@@ -2,11 +2,25 @@
 // common mode of operation is to use disk as secondary storage for cached
 // data which cannot fit in memory").
 //
-// Layout: one file per entry under a spool directory, with an in-memory
-// index (key → file, size, LRU position). The index is rebuilt empty on
-// construction — the disk store is a spill area, not a durable store,
-// matching the paper's cache (logs, not the cache contents, provide
-// durability).
+// Layout: one self-describing spill file per entry (cache/spill_format.h)
+// under a spool directory, with an in-memory index (key → file, size, LRU
+// position). Two modes:
+//
+//   * ephemeral (the default): the spool is a spill area — the directory
+//     is emptied on construction and on destruction, matching the paper's
+//     cache where logs, not cache contents, provide durability.
+//   * persistent (`recover = true`): the directory is scanned on
+//     construction. Every file that decodes cleanly and passes its CRC
+//     rebuilds an index entry (with its durable tag and absolute
+//     expiration handed back through `recovered()`); anything corrupt is
+//     quarantined — renamed to `<file>.quarantine` and counted — never
+//     thrown. The destructor leaves files in place so the cache survives
+//     the next restart.
+//
+// Hot-path I/O failures (unreadable file, short read, CRC mismatch,
+// failed write) never throw: the operation degrades to a miss / rejected
+// put, the offending file is quarantined or removed, and io_errors() is
+// incremented. Only constructor-time spool-directory creation throws.
 //
 // @thread_safety Not internally synchronized. Each GpsCache shard owns one
 // DiskStore (its own spool subdirectory) and accesses it only under that
@@ -22,25 +36,56 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/spill_format.h"
+
 namespace qc::cache {
 
 class DiskStore {
  public:
-  /// Creates (and empties) the spool directory. Throws CacheError on I/O
-  /// failure.
-  DiskStore(std::filesystem::path directory, size_t max_bytes);
+  /// Creates the spool directory (throws CacheError on failure). With
+  /// `recover` false the directory is emptied — pure spill-area semantics;
+  /// with `recover` true existing spill files are scanned, verified and
+  /// re-indexed, and the store becomes persistent (files outlive *this).
+  DiskStore(std::filesystem::path directory, size_t max_bytes, bool recover = false);
   ~DiskStore();
 
   DiskStore(const DiskStore&) = delete;
   DiskStore& operator=(const DiskStore&) = delete;
 
-  /// Write or replace the serialized entry. Evicted victim keys (LRU,
-  /// budget-driven) are appended to `evicted`. Returns false if the entry
-  /// alone exceeds the byte budget.
-  bool Put(const std::string& key, std::string_view bytes, std::vector<std::string>* evicted);
+  /// Entry metadata persisted alongside the payload.
+  struct SpillMeta {
+    int64_t expires_at_micros = kNoExpiry;  // wall-clock epoch micros
+    std::string_view durable_tag;           // opaque higher-layer annotation
+  };
 
-  /// Read an entry; refreshes LRU position. nullopt if absent.
+  /// Write or replace the serialized entry. Evicted victim keys (LRU,
+  /// budget-driven) are appended to `evicted`. Returns false if the record
+  /// alone exceeds the byte budget or the write fails (counted in
+  /// io_errors(), never thrown).
+  bool Put(const std::string& key, std::string_view payload, const SpillMeta& meta,
+           std::vector<std::string>* evicted);
+  bool Put(const std::string& key, std::string_view payload, std::vector<std::string>* evicted) {
+    return Put(key, payload, SpillMeta{}, evicted);
+  }
+
+  enum class ReadStatus {
+    kHit,      // payload produced
+    kMiss,     // key not in the index
+    kCorrupt,  // file unreadable or failed verification; entry quarantined
+  };
+
+  /// Read an entry's payload; refreshes LRU position on a hit. A corrupt
+  /// file is quarantined, dropped from the index and reported as kCorrupt
+  /// (the caller serves a miss) — never an exception.
+  ReadStatus Read(const std::string& key, std::string* payload);
+
+  /// Convenience wrapper: kHit → payload, anything else → nullopt.
   std::optional<std::string> Get(const std::string& key);
+
+  /// Rename `key`'s file to `<file>.quarantine` and drop it from the
+  /// index. Used by owners whose post-CRC validation (deserialization)
+  /// fails; counted like any other corruption. No-op if absent.
+  void QuarantineEntry(const std::string& key);
 
   bool Contains(const std::string& key) const { return index_.count(key) > 0; }
   bool Erase(const std::string& key);
@@ -49,23 +94,50 @@ class DiskStore {
   size_t entry_count() const { return index_.size(); }
   size_t byte_count() const { return bytes_; }
 
+  /// Hot-path I/O failures: corrupt reads, failed writes, failed
+  /// quarantine renames. Monotonic over the store's lifetime.
+  uint64_t io_errors() const { return io_errors_; }
+  /// Spill files quarantined (startup scan + hot path).
+  uint64_t quarantined() const { return quarantined_; }
+
+  /// One entry restored by the recovery scan. Expiration has NOT been
+  /// applied: the owner decides staleness against its own clock (and calls
+  /// Erase for entries it drops).
+  struct Recovered {
+    std::string key;
+    std::string durable_tag;
+    int64_t expires_at_micros = kNoExpiry;
+    size_t payload_bytes = 0;
+  };
+
+  /// Entries found by the constructor's recovery scan, oldest spill first
+  /// (the recovered LRU order). Empty unless constructed with recover.
+  const std::vector<Recovered>& recovered() const { return recovered_; }
+
  private:
   struct Entry {
     std::filesystem::path file;
-    size_t bytes = 0;
+    size_t bytes = 0;  // full record size on disk
     std::list<std::string>::iterator lru_pos;
   };
 
   std::filesystem::path FileFor(const std::string& key);
+  void RecoverFromDirectory();
+  void Quarantine(std::unordered_map<std::string, Entry>::iterator it);
+  void QuarantineFile(const std::filesystem::path& file);
   void EvictIfNeeded(std::vector<std::string>* evicted);
   void RemoveEntry(std::unordered_map<std::string, Entry>::iterator it);
 
   std::filesystem::path dir_;
   size_t max_bytes_;
+  bool persistent_ = false;
   size_t bytes_ = 0;
-  uint64_t seq_ = 0;  // uniquifies file names
+  uint64_t seq_ = 0;  // uniquifies file names; recovery resumes past the max seen
+  uint64_t io_errors_ = 0;
+  uint64_t quarantined_ = 0;
   std::list<std::string> lru_;
   std::unordered_map<std::string, Entry> index_;
+  std::vector<Recovered> recovered_;
 };
 
 }  // namespace qc::cache

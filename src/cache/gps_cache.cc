@@ -19,6 +19,16 @@ const char* RemovalCauseName(RemovalCause cause) {
 
 GpsCache::GpsCache(GpsCacheConfig config) : config_(std::move(config)) {
   now_ = config_.now ? config_.now : [] { return std::chrono::steady_clock::now(); };
+  wall_now_ = config_.wall_now_micros ? config_.wall_now_micros : [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  };
+
+  if (!config_.log_path.empty()) {
+    log_ = std::make_unique<TransactionLog>(config_.log_path, config_.log_policy,
+                                            config_.log_buffer_bytes);
+  }
 
   const size_t n = std::max<size_t>(1, config_.shards);
   if (config_.mode != CacheMode::kMemory) {
@@ -47,20 +57,57 @@ GpsCache::GpsCache(GpsCacheConfig config) : config_(std::move(config)) {
       // flat for compatibility with existing spools/tests).
       const std::string dir = n == 1 ? config_.disk_directory
                                      : config_.disk_directory + "/shard" + std::to_string(i);
-      shard->disk = std::make_unique<DiskStore>(dir, disk_bytes);
+      shard->disk = std::make_unique<DiskStore>(dir, disk_bytes, config_.recover_on_open);
     }
     shards_.push_back(std::move(shard));
   }
-
-  if (!config_.log_path.empty()) {
-    log_ = std::make_unique<TransactionLog>(config_.log_path, config_.log_policy,
-                                            config_.log_buffer_bytes);
+  if (config_.recover_on_open) {
+    for (auto& shard : shards_) {
+      if (shard->disk) AdoptRecovered(*shard);
+    }
   }
 }
 
 GpsCache::Shard& GpsCache::ShardFor(const std::string& key) {
   if (shards_.size() == 1) return *shards_[0];
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+int64_t GpsCache::WallExpiry(const std::optional<TimePoint>& expires_at) const {
+  if (!expires_at) return kNoExpiry;
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::microseconds>(*expires_at - now_()).count();
+  return WallNowMicros() + remaining;
+}
+
+void GpsCache::AdoptRecovered(Shard& shard) {
+  const int64_t wall_now = WallNowMicros();
+  for (const DiskStore::Recovered& rec : shard.disk->recovered()) {
+    // A key can only be served from the shard it hashes to; a spool
+    // reopened with a different shard count strands entries in the wrong
+    // subdirectory — discard those rather than leak them.
+    if (&ShardFor(rec.key) != &shard) {
+      shard.disk->Erase(rec.key);
+      continue;
+    }
+    if (rec.expires_at_micros != kNoExpiry && rec.expires_at_micros <= wall_now) {
+      shard.disk->Erase(rec.key);
+      ++shard.stats.expirations;
+      continue;
+    }
+    Meta& meta = shard.meta[rec.key];
+    meta.generation = ++shard.generation_counter;
+    meta.durable_tag = rec.durable_tag;
+    if (rec.expires_at_micros != kNoExpiry) {
+      meta.expires_at = now_() + std::chrono::microseconds(rec.expires_at_micros - wall_now);
+      shard.expiry_heap.push({*meta.expires_at, rec.key, meta.generation});
+    }
+    ++shard.stats.recovered;
+    recovered_entries_.push_back({rec.key, rec.durable_tag});
+  }
+  Log("recover", "*",
+      "restored=" + std::to_string(shard.stats.recovered) +
+          " quarantined=" + std::to_string(shard.disk->quarantined()));
 }
 
 void GpsCache::Log(std::string_view op, std::string_view key, std::string_view detail) {
@@ -72,7 +119,7 @@ bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Du
 }
 
 bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
-                   const AdmitGuard& admit) {
+                   const AdmitGuard& admit, std::string durable_tag) {
   Shard& shard = ShardFor(key);
   std::vector<std::pair<std::string, RemovalCause>> removed;
   bool stored = false;
@@ -102,8 +149,15 @@ bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Du
         }
         HandleMemoryEvictions(shard, evicted, removed);
       } else {
+        DiskStore::SpillMeta spill;
+        spill.durable_tag = durable_tag;
+        if (ttl) {
+          spill.expires_at_micros =
+              WallNowMicros() +
+              std::chrono::duration_cast<std::chrono::microseconds>(*ttl).count();
+        }
         std::vector<std::string> disk_victims;
-        stored = shard.disk->Put(key, value->Serialize(), &disk_victims);
+        stored = shard.disk->Put(key, value->Serialize(), spill, &disk_victims);
         for (const std::string& victim : disk_victims) {
           shard.meta.erase(victim);
           removed.push_back({victim, RemovalCause::kEvicted});
@@ -115,6 +169,7 @@ bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Du
         ++shard.stats.puts;
         Meta& meta = shard.meta[key];
         meta.generation = ++shard.generation_counter;
+        meta.durable_tag = std::move(durable_tag);
         if (ttl) {
           meta.expires_at = now_() + *ttl;
           shard.expiry_heap.push({*meta.expires_at, key, meta.generation});
@@ -152,11 +207,21 @@ CacheValuePtr GpsCache::Get(const std::string& key) {
     } else if (meta_it != shard.meta.end()) {
       if (shard.memory) result = shard.memory->Get(key);
       if (!result && shard.disk) {
-        auto bytes = shard.disk->Get(key);
-        if (bytes) {
-          result = config_.deserializer(*bytes);
+        std::string bytes;
+        if (shard.disk->Read(key, &bytes) == DiskStore::ReadStatus::kHit) {
+          // The CRC already checked out, but the deserializer is the last
+          // line of defense (e.g. a value written by a buggy serializer):
+          // a throw here must cost one miss, never the serving thread.
+          try {
+            result = config_.deserializer(bytes);
+          } catch (const std::exception&) {
+            result = nullptr;
+            shard.disk->QuarantineEntry(key);
+          }
+        }
+        if (result) {
           ++shard.stats.disk_hits;
-          if (config_.mode == CacheMode::kHybrid && result) {
+          if (config_.mode == CacheMode::kHybrid) {
             // Promote to memory; spill victims back to disk.
             std::vector<MemoryStore::Evicted> evicted;
             if (shard.memory->Put(key, result, &evicted)) shard.disk->Erase(key);
@@ -242,11 +307,22 @@ void GpsCache::SetRemovalListener(RemovalListener listener) {
   removal_listener_ = std::move(listener);
 }
 
+CacheStats GpsCache::ShardStatsLocked(const Shard& shard) const {
+  CacheStats s = shard.stats;
+  if (shard.disk) {
+    // The disk tier is the single source of truth for its own failure
+    // counters; folded in at snapshot time.
+    s.disk_errors += shard.disk->io_errors();
+    s.quarantined += shard.disk->quarantined();
+  }
+  return s;
+}
+
 CacheStats GpsCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->stats;
+    total += ShardStatsLocked(*shard);
   }
   return total;
 }
@@ -254,7 +330,7 @@ CacheStats GpsCache::stats() const {
 CacheStats GpsCache::shard_stats(size_t shard) const {
   const Shard& s = *shards_.at(shard);
   std::lock_guard<std::mutex> lock(s.mutex);
-  return s.stats;
+  return ShardStatsLocked(s);
 }
 
 size_t GpsCache::shard_entry_count(size_t shard) const {
@@ -326,8 +402,16 @@ void GpsCache::HandleMemoryEvictions(Shard& shard, std::vector<MemoryStore::Evic
                                      std::vector<std::pair<std::string, RemovalCause>>& removed) {
   for (MemoryStore::Evicted& victim : evicted) {
     if (config_.mode == CacheMode::kHybrid) {
+      // Spill with the victim's persisted metadata: its durable tag and
+      // (wall-clock) expiration ride along so a recovery after restart
+      // sees the same entry the memory tier held.
+      DiskStore::SpillMeta spill;
+      if (auto meta_it = shard.meta.find(victim.key); meta_it != shard.meta.end()) {
+        spill.durable_tag = meta_it->second.durable_tag;
+        spill.expires_at_micros = WallExpiry(meta_it->second.expires_at);
+      }
       std::vector<std::string> disk_victims;
-      if (shard.disk->Put(victim.key, victim.value->Serialize(), &disk_victims)) {
+      if (shard.disk->Put(victim.key, victim.value->Serialize(), spill, &disk_victims)) {
         ++shard.stats.spills;
       } else {
         shard.meta.erase(victim.key);

@@ -2,6 +2,10 @@
 //
 // A pluggable, thread-safe object cache with
 //   * memory, disk, or hybrid (memory + disk spill) storage,
+//   * an optionally crash-safe disk tier: with recover_on_open, spill
+//     files are self-describing (CRC-verified) and are re-indexed on
+//     construction instead of wiped, so the cache survives restarts and
+//     corrupt files degrade to counted misses (docs/PERSISTENCE.md),
 //   * mutex-striped shards (keyed by fingerprint hash) with per-shard LRU
 //     replacement under byte/entry budgets,
 //   * an efficient expiration-time mechanism (lazy min-heap, per shard),
@@ -59,6 +63,18 @@ const char* RemovalCauseName(RemovalCause cause);
 struct GpsCacheConfig {
   CacheMode mode = CacheMode::kMemory;
 
+  /// Crash-safe disk tier (docs/PERSISTENCE.md). When true (kDisk/kHybrid
+  /// modes), the spool directory is scanned on construction instead of
+  /// wiped: spill files that pass their CRC are re-indexed (already-expired
+  /// ones dropped, corrupt ones quarantined and counted, never thrown) and
+  /// the spool outlives this instance, so cached entries survive process
+  /// restarts — including unclean ones. Recovered entries are listed in
+  /// recovered_entries() so the middleware can re-register their DUP
+  /// dependencies. Reopening requires the same shard count (keys hash to
+  /// per-shard spool subdirectories); entries found in the wrong shard's
+  /// spool are discarded.
+  bool recover_on_open = false;
+
   /// Number of independently locked shards. 1 (the default) keeps a single
   /// global LRU; higher values reduce lock contention under concurrent
   /// load at the cost of per-shard (approximate) LRU and budget split.
@@ -78,6 +94,12 @@ struct GpsCacheConfig {
 
   /// Injectable clock (tests freeze it). Defaults to steady_clock::now.
   TimeSource now;
+
+  /// Injectable wall clock, microseconds since the Unix epoch; spill files
+  /// persist absolute expiration through it so TTLs survive restarts.
+  /// Defaults to system_clock. Tests overriding `now` should override this
+  /// coherently.
+  std::function<int64_t()> wall_now_micros;
 };
 
 class GpsCache {
@@ -105,8 +127,13 @@ class GpsCache {
   /// the rejection is counted as CacheStats::admit_rejects). This is the
   /// publication step of the epoch-validation protocol
   /// (docs/CONCURRENCY.md).
+  ///
+  /// `durable_tag` is an opaque annotation persisted with the entry in
+  /// disk/hybrid modes (it rides along on spills and recovery); the
+  /// middleware stores the statement's canonical SQL + parameters so DUP
+  /// registration can be rebuilt after a restart (docs/PERSISTENCE.md).
   bool Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
-           const AdmitGuard& admit);
+           const AdmitGuard& admit, std::string durable_tag = {});
 
   /// Lookup. Expired entries count as misses (and are removed). In hybrid
   /// mode a disk hit is promoted back into memory.
@@ -150,6 +177,18 @@ class GpsCache {
   void FlushLog();
   const TransactionLog* log() const { return log_.get(); }
 
+  /// One disk entry restored by recover_on_open, with the durable tag its
+  /// writer persisted. The value itself is served lazily through Get.
+  struct RecoveredEntry {
+    std::string key;
+    std::string durable_tag;
+  };
+
+  /// Entries restored at construction (empty unless recover_on_open).
+  /// Stable for the cache's lifetime; the entries themselves may have been
+  /// invalidated or evicted since.
+  const std::vector<RecoveredEntry>& recovered_entries() const { return recovered_entries_; }
+
  private:
   struct ExpiryItem {
     TimePoint when;
@@ -161,6 +200,9 @@ class GpsCache {
   struct Meta {
     uint64_t generation = 0;
     std::optional<TimePoint> expires_at;
+    /// Persisted with the entry on disk spills (see Put). Kept here so a
+    /// memory-resident entry carries its tag to a later spill.
+    std::string durable_tag;
   };
 
   /// One mutex-striped slice of the cache: its own storage levels, expiry
@@ -179,7 +221,14 @@ class GpsCache {
   Shard& ShardFor(const std::string& key);
 
   void Log(std::string_view op, std::string_view key, std::string_view detail = {});
+  int64_t WallNowMicros() const { return wall_now_(); }
+  /// Wall-clock expiration for a steady-clock deadline (kNoExpiry if none).
+  int64_t WallExpiry(const std::optional<TimePoint>& expires_at) const;
+  /// Install recovered disk entries into `shard`'s metadata (constructor
+  /// only; no locking needed yet).
+  void AdoptRecovered(Shard& shard);
   // All *Locked methods require the shard's mutex held.
+  CacheStats ShardStatsLocked(const Shard& shard) const;
   bool RemoveLocked(Shard& shard, const std::string& key, RemovalCause cause,
                     std::vector<std::pair<std::string, RemovalCause>>& removed);
   size_t ExpireDueLocked(Shard& shard,
@@ -190,7 +239,9 @@ class GpsCache {
 
   GpsCacheConfig config_;
   TimeSource now_;
+  std::function<int64_t()> wall_now_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<RecoveredEntry> recovered_entries_;
   std::unique_ptr<TransactionLog> log_;  // internally synchronized
 
   mutable std::mutex listener_mutex_;

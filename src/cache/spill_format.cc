@@ -1,0 +1,69 @@
+#include "cache/spill_format.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace qc::cache {
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::string& out, T v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T ReadRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeSpillRecord(std::string_view key, std::string_view durable_tag,
+                              int64_t expires_at_micros, std::string_view payload) {
+  std::string out;
+  out.reserve(SpillRecordBytes(key.size(), durable_tag.size(), payload.size()));
+  out.append(kSpillMagic, sizeof(kSpillMagic));
+  AppendRaw<uint32_t>(out, kSpillVersion);
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(key.size()));
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(durable_tag.size()));
+  AppendRaw<uint64_t>(out, payload.size());
+  AppendRaw<int64_t>(out, expires_at_micros);
+  uint32_t crc = Crc32Update(0, key.data(), key.size());
+  crc = Crc32Update(crc, durable_tag.data(), durable_tag.size());
+  crc = Crc32Update(crc, payload.data(), payload.size());
+  AppendRaw<uint32_t>(out, crc);
+  out.append(key);
+  out.append(durable_tag);
+  out.append(payload);
+  return out;
+}
+
+bool DecodeSpillRecord(std::string_view bytes, SpillRecord* out) {
+  if (bytes.size() < kSpillHeaderBytes) return false;
+  const char* p = bytes.data();
+  if (std::memcmp(p, kSpillMagic, sizeof(kSpillMagic)) != 0) return false;
+  if (ReadRaw<uint32_t>(p + 4) != kSpillVersion) return false;
+  const uint32_t key_len = ReadRaw<uint32_t>(p + 8);
+  const uint32_t tag_len = ReadRaw<uint32_t>(p + 12);
+  const uint64_t payload_len = ReadRaw<uint64_t>(p + 16);
+  const int64_t expires = ReadRaw<int64_t>(p + 24);
+  const uint32_t stored_crc = ReadRaw<uint32_t>(p + 32);
+  // Exact size match: a truncated or appended-to file is corrupt, full stop.
+  if (bytes.size() != SpillRecordBytes(key_len, tag_len, payload_len)) return false;
+  const char* body = p + kSpillHeaderBytes;
+  uint32_t crc = Crc32Update(0, body, key_len);
+  crc = Crc32Update(crc, body + key_len, tag_len);
+  crc = Crc32Update(crc, body + key_len + tag_len, payload_len);
+  if (crc != stored_crc) return false;
+  out->key.assign(body, key_len);
+  out->durable_tag.assign(body + key_len, tag_len);
+  out->expires_at_micros = expires;
+  out->payload.assign(body + key_len + tag_len, payload_len);
+  return true;
+}
+
+}  // namespace qc::cache

@@ -17,6 +17,9 @@ CacheStats& CacheStats::operator+=(const CacheStats& other) {
   expirations += other.expirations;
   clears += other.clears;
   admit_rejects += other.admit_rejects;
+  disk_errors += other.disk_errors;
+  quarantined += other.quarantined;
+  recovered += other.recovered;
   return *this;
 }
 
@@ -26,7 +29,8 @@ std::string CacheStats::ToString() const {
      << ", disk=" << disk_hits << ") misses=" << misses << " hit_rate=" << HitRate()
      << " puts=" << puts << " invalidations=" << invalidations << " evictions=" << evictions
      << " spills=" << spills << " expirations=" << expirations << " clears=" << clears
-     << " admit_rejects=" << admit_rejects;
+     << " admit_rejects=" << admit_rejects << " disk_errors=" << disk_errors
+     << " quarantined=" << quarantined << " recovered=" << recovered;
   return os.str();
 }
 

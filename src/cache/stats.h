@@ -23,6 +23,9 @@ struct CacheStats {
   uint64_t expirations = 0;     // expiry-time removals
   uint64_t clears = 0;          // whole-cache flushes (Policy I)
   uint64_t admit_rejects = 0;   // guarded Puts rejected by the admission check
+  uint64_t disk_errors = 0;     // disk-tier I/O failures degraded to misses
+  uint64_t quarantined = 0;     // corrupt spill files renamed aside
+  uint64_t recovered = 0;       // entries restored by recover_on_open
 
   double HitRate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);

@@ -4,29 +4,50 @@
 
 namespace qc::cache {
 
+namespace {
+
+const char* PolicyToken(LogFlushPolicy policy) {
+  switch (policy) {
+    case LogFlushPolicy::kEveryRecord: return "every-record";
+    case LogFlushPolicy::kBuffered: return "buffered";
+    case LogFlushPolicy::kManual: return "manual";
+  }
+  return "?";
+}
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 TransactionLog::TransactionLog(const std::string& path, LogFlushPolicy policy,
                                size_t buffer_threshold_bytes)
-    : policy_(policy),
-      buffer_threshold_(buffer_threshold_bytes),
-      open_time_(std::chrono::steady_clock::now()) {
+    : policy_(policy), buffer_threshold_(buffer_threshold_bytes) {
   file_ = std::fopen(path.c_str(), "a");
   if (!file_) throw CacheError("cannot open transaction log: " + path);
+  // Session header: marks this process's records in a log that may already
+  // hold earlier sessions. Buffered like any record (it shares the fate of
+  // the session's tail under the configured flush policy) and excluded
+  // from records_written().
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendLocked("session", "open", std::string("v2 policy=") + PolicyToken(policy_));
 }
 
 TransactionLog::~TransactionLog() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    AppendLocked("session", "close", {});
     FlushLocked();
   }
   std::fclose(file_);
 }
 
-void TransactionLog::Append(std::string_view op, std::string_view key, std::string_view detail) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                          std::chrono::steady_clock::now() - open_time_)
-                          .count();
-  buffer_ += std::to_string(micros);
+void TransactionLog::AppendLocked(std::string_view op, std::string_view key,
+                                  std::string_view detail) {
+  buffer_ += std::to_string(WallMicros());
   buffer_ += ' ';
   buffer_.append(op);
   buffer_ += ' ';
@@ -36,6 +57,11 @@ void TransactionLog::Append(std::string_view op, std::string_view key, std::stri
     buffer_.append(detail);
   }
   buffer_ += '\n';
+}
+
+void TransactionLog::Append(std::string_view op, std::string_view key, std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AppendLocked(op, key, detail);
   ++records_;
   if (policy_ == LogFlushPolicy::kEveryRecord ||
       (policy_ == LogFlushPolicy::kBuffered && buffer_.size() >= buffer_threshold_)) {

@@ -6,6 +6,14 @@
 // expensive; buffering several records amortizes the cost at the risk of
 // losing the tail on a crash.
 //
+// Records stamp wall-clock microseconds since the Unix epoch, so logs
+// appended across successive runs of one cache stay on a single timeline —
+// a post-crash inspection can correlate the tail of the previous session
+// with the recovery of the next. Each open additionally writes a session
+// header record ("session open ...") marking the process boundary; the
+// header names the log format version and flush policy, which is what a
+// replayer needs to interpret the records that follow.
+//
 // @thread_safety Internally synchronized: Append/Flush may be called from
 // any thread (all GpsCache shards share one log). Records from concurrent
 // transactions interleave at record granularity, never mid-line.
@@ -35,16 +43,19 @@ class TransactionLog {
   TransactionLog(const TransactionLog&) = delete;
   TransactionLog& operator=(const TransactionLog&) = delete;
 
-  /// Append one record: `<micros-since-open> <op> <key> [detail]\n`.
+  /// Append one record: `<epoch-micros> <op> <key> [detail]\n`.
   void Append(std::string_view op, std::string_view key, std::string_view detail = {});
 
   /// Force buffered records to the file system.
   void Flush();
 
+  /// Records appended by callers; the session header is excluded so counts
+  /// line up with cache transactions.
   uint64_t records_written() const { return records_; }
   uint64_t flushes() const { return flushes_; }
 
  private:
+  void AppendLocked(std::string_view op, std::string_view key, std::string_view detail);
   void FlushLocked();
 
   std::FILE* file_ = nullptr;
@@ -52,7 +63,6 @@ class TransactionLog {
   size_t buffer_threshold_;
   std::string buffer_;
   std::mutex mutex_;
-  std::chrono::steady_clock::time_point open_time_;
   uint64_t records_ = 0;
   uint64_t flushes_ = 0;
 };

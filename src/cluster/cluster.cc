@@ -27,7 +27,7 @@ CacheCluster::CacheCluster(storage::Database& db, ClusterConfig config)
   // PerformUpdate are captured and routed; events raised outside any
   // PerformUpdate window are treated as node-0 writes (convenience for
   // tests that mutate the database directly).
-  db_.Subscribe([this](const storage::UpdateEvent& event) {
+  subscription_ = db_.Subscribe([this](const storage::UpdateEvent& event) {
     if (capturing_) {
       captured_.push_back(event);
     } else {
@@ -40,6 +40,8 @@ CacheCluster::CacheCluster(storage::Database& db, ClusterConfig config)
     }
   });
 }
+
+CacheCluster::~CacheCluster() { db_.Unsubscribe(subscription_); }
 
 std::shared_ptr<const sql::BoundQuery> CacheCluster::Prepare(const std::string& sql) {
   // All nodes share the catalog; prepare through node 0.

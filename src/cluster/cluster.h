@@ -69,6 +69,9 @@ class CacheCluster {
   /// cluster subscribes to it once and routes events itself.
   CacheCluster(storage::Database& db, ClusterConfig config);
 
+  /// Unsubscribes from the database, so clusters may come and go.
+  ~CacheCluster();
+
   size_t node_count() const { return nodes_.size(); }
   middleware::CachedQueryEngine& node(size_t i) { return *nodes_.at(i).engine; }
 
@@ -112,6 +115,7 @@ class CacheCluster {
   void DeliverDue();
 
   storage::Database& db_;
+  storage::Database::Subscription subscription_;
   ClusterConfig config_;
   std::vector<Node> nodes_;
   std::deque<PendingDelivery> in_flight_;  // FIFO: due ticks are monotonic

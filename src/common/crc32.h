@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding spill
+// files and other on-disk records against torn writes and bit rot.
+//
+// @thread_safety Pure functions over an immutable constexpr table; safe
+// from any thread.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qc {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace detail
+
+/// Incremental update: feed `crc` the previous return value (or 0 to
+/// start) to checksum data arriving in pieces.
+inline uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = detail::kCrc32Table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32Update(0, data.data(), data.size());
+}
+
+}  // namespace qc

@@ -88,7 +88,18 @@ void DupEngine::RegisterQuery(const std::string& key,
                               std::shared_ptr<const sql::BoundQuery> query,
                               const std::vector<Value>& params) {
   std::lock_guard<std::mutex> lock(mutex_);
+  RegisterLocked(key, std::move(query), params, /*conservative=*/false);
+}
 
+void DupEngine::RegisterQueryConservative(const std::string& key,
+                                          std::shared_ptr<const sql::BoundQuery> query) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegisterLocked(key, std::move(query), {}, /*conservative=*/true);
+}
+
+void DupEngine::RegisterLocked(const std::string& key,
+                               std::shared_ptr<const sql::BoundQuery> query,
+                               const std::vector<Value>& params, bool conservative) {
   // Replace any stale registration (e.g. a re-executed query after
   // invalidation raced with an eviction notification).
   if (auto it = registered_.find(key); it != registered_.end()) {
@@ -109,7 +120,10 @@ void DupEngine::RegisterQuery(const std::string& key,
         graph_.GetOrAdd(ColumnVertexName(col.table_name, col.column_name),
                         odg::VertexKind::kUnderlying);
     column_vertices_[ToUpper(col.table_name)][col.column_index] = source;
-    if (col.opaque) {
+    if (col.opaque || conservative) {
+      // Unannotated: any change to the column fires. For conservative
+      // (parameter-less) registrations this is the soundness fallback —
+      // without parameter values no annotation can be instantiated.
       graph_.AddEdge(source, object);
       annotations.emplace_back();
     } else {
@@ -119,7 +133,9 @@ void DupEngine::RegisterQuery(const std::string& key,
       graph_.AddEdge(source, object, 1.0, std::move(annotation));
     }
   }
-  for (const std::string& table : deps->tables_needing_existence_edge) {
+  const std::vector<std::string>& existence_tables =
+      conservative ? deps->tables : deps->tables_needing_existence_edge;
+  for (const std::string& table : existence_tables) {
     const odg::VertexId source =
         graph_.GetOrAdd(TableVertexName(table), odg::VertexKind::kUnderlying);
     table_vertices_[ToUpper(table)] = source;
@@ -135,6 +151,7 @@ void DupEngine::RegisterQuery(const std::string& key,
   reg.params = params;
   reg.deps = std::move(deps);
   reg.annotations = std::move(annotations);
+  reg.conservative = conservative;
   registered_.emplace(key, std::move(reg));
   stats_.registered_queries = registered_.size();
 }
@@ -152,6 +169,9 @@ void DupEngine::UnregisterQuery(const std::string& key) {
 }
 
 bool DupEngine::RowAwareKeeps(const Registered& reg, const storage::UpdateEvent& event) const {
+  // Conservative (recovered) registrations have no parameter values, so the
+  // WHERE clause cannot be evaluated — never keep, always invalidate.
+  if (reg.conservative) return false;
   // Refinement applies to genuinely single-slot queries only; join queries
   // (including self-joins) fall back to the value-aware verdict.
   if (reg.query->tables().size() != 1) return false;
@@ -194,7 +214,9 @@ bool DupEngine::RowCanAffect(const Registered& reg, const std::string& table_key
   for (size_t i = 0; i < reg.deps->columns.size(); ++i) {
     const ColumnDependencyTemplate& col = reg.deps->columns[i];
     if (ToUpper(col.table_name) != table_key) continue;
-    if (col.opaque) continue;  // cannot rule the row out
+    // Unannotated edges (opaque columns, conservative registrations)
+    // cannot rule the row out.
+    if (col.opaque || !reg.annotations[i]) continue;
     if (col.column_index >= row.size()) continue;
     if (!reg.annotations[i]->AffectedByRowValue(row[col.column_index])) return false;
   }
@@ -367,6 +389,9 @@ DupEngine::LookupRegistration(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = registered_.find(key);
   if (it == registered_.end()) return std::nullopt;
+  // A conservative registration lost its parameter values in the crash; it
+  // cannot be re-executed (the refresher falls back to invalidation).
+  if (it->second.conservative) return std::nullopt;
   return std::make_pair(it->second.query, it->second.params);
 }
 

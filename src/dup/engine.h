@@ -83,6 +83,18 @@ class DupEngine {
   void RegisterQuery(const std::string& key, std::shared_ptr<const sql::BoundQuery> query,
                      const std::vector<Value>& params);
 
+  /// Conservative registration for warm-restart recovery: the statement is
+  /// known (re-parsed from its persisted canonical SQL) but its parameter
+  /// values are not, so no edge annotation can be instantiated. Every
+  /// referenced column gets an *unannotated* edge (any change fires) and
+  /// every referenced table a table-existence edge, which over-invalidates
+  /// but never under-invalidates — a recovered entry stays transparent
+  /// under Policies I/II/III even when only its SQL skeleton survived the
+  /// crash. Row-aware refinement and refresh are disabled for such
+  /// registrations (both need the parameters).
+  void RegisterQueryConservative(const std::string& key,
+                                 std::shared_ptr<const sql::BoundQuery> query);
+
   /// Drop the object vertex for `key` (cache removal). Idempotent.
   void UnregisterQuery(const std::string& key);
 
@@ -142,6 +154,11 @@ class DupEngine {
     /// Accumulated obsolescence since this result was cached (only grows
     /// when Options::obsolescence_threshold > 0).
     double obsolescence = 0.0;
+
+    /// Registered without parameter values (RegisterQueryConservative):
+    /// annotations are absent, row-aware refinement must not evaluate the
+    /// WHERE clause, and the refresher cannot re-execute it.
+    bool conservative = false;
   };
 
   static std::string ColumnVertexName(const std::string& table, const std::string& column);
@@ -155,6 +172,10 @@ class DupEngine {
 
   /// Find-or-build the statement's dependency template. Requires mutex_.
   std::shared_ptr<const DependencyTemplate> TemplateForLocked(const sql::BoundQuery& query);
+
+  /// Shared body of the two registration entry points. Requires mutex_.
+  void RegisterLocked(const std::string& key, std::shared_ptr<const sql::BoundQuery> query,
+                      const std::vector<Value>& params, bool conservative);
 
   /// Collect the fingerprints the event invalidates under the policy.
   std::vector<std::string> AffectedKeys(const storage::UpdateEvent& event);

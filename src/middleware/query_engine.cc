@@ -14,6 +14,12 @@ QueryEngineStats& QueryEngineStats::operator=(const QueryEngineStats& other) {
                        std::memory_order_relaxed);
   refresh_executions.store(other.refresh_executions.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
+  recovered_registrations.store(other.recovered_registrations.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+  recovered_conservative.store(other.recovered_conservative.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+  recovered_dropped.store(other.recovered_dropped.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
   return *this;
 }
 
@@ -30,6 +36,14 @@ CachedQueryEngine::CachedQueryEngine(storage::Database& db, Options options)
   dup_options.obsolescence_threshold = options_.obsolescence_threshold;
   dup_ = std::make_unique<dup::DupEngine>(*cache_, dup_options);
 
+  // Warm restart: every disk entry the cache recovered must re-enter the
+  // ODG before the engine serves traffic, or post-restart updates would
+  // silently miss it. Runs before the database subscription, so recovery
+  // cannot race with invalidation fan-out.
+  for (const cache::GpsCache::RecoveredEntry& entry : cache_->recovered_entries()) {
+    RegisterRecovered(entry);
+  }
+
   if (options_.refresh_on_invalidate) {
     dup_->SetRefresher([this](const std::string& key) {
       auto registration = dup_->LookupRegistration(key);
@@ -45,10 +59,57 @@ CachedQueryEngine::CachedQueryEngine(storage::Database& db, Options options)
   }
 
   if (options_.subscribe_to_database) {
-    db_.Subscribe([this](const storage::UpdateEvent& event) {
+    subscription_ = db_.Subscribe([this](const storage::UpdateEvent& event) {
       if (options_.caching_enabled) dup_->OnUpdate(event);
     });
   }
+}
+
+CachedQueryEngine::~CachedQueryEngine() {
+  if (subscription_) db_.Unsubscribe(subscription_);
+}
+
+void CachedQueryEngine::RegisterRecovered(const cache::GpsCache::RecoveredEntry& entry) {
+  // Tier 1: the durable tag round-trips the statement and its typed
+  // parameters, giving an exact re-registration (annotated edges intact:
+  // Policies II/III/IV behave as before the restart).
+  if (!entry.durable_tag.empty()) {
+    try {
+      std::string canonical_sql;
+      std::vector<Value> params;
+      DecodeQueryTag(entry.durable_tag, &canonical_sql, &params);
+      auto query = Prepare(canonical_sql);
+      dup_->RegisterQuery(entry.key, query, params);
+      stats_.recovered_registrations.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } catch (const std::exception&) {
+      // Corrupt/stale tag — fall through to the conservative tier.
+    }
+  }
+
+  // Tier 2: the fingerprint key itself is the canonical SQL plus an
+  // optional " /* param values */" suffix; the skeleton still names every
+  // table and column the result depends on, so conservative registration
+  // (unannotated edges: any change fires) keeps the entry transparent to
+  // invalidation even without parameter values.
+  try {
+    std::string canonical_sql = entry.key;
+    if (canonical_sql.size() >= 2 && canonical_sql.ends_with("*/")) {
+      const size_t open = canonical_sql.rfind(" /*");
+      if (open != std::string::npos) canonical_sql.resize(open);
+    }
+    auto query = Prepare(canonical_sql);
+    dup_->RegisterQueryConservative(entry.key, query);
+    stats_.recovered_conservative.fetch_add(1, std::memory_order_relaxed);
+    return;
+  } catch (const std::exception&) {
+    // Unparseable or unbindable (e.g. the table no longer exists).
+  }
+
+  // Tier 3: nothing to hang invalidation on — drop the entry rather than
+  // serve a result no update could ever invalidate.
+  cache_->Invalidate(entry.key);
+  stats_.recovered_dropped.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const sql::BoundQuery> CachedQueryEngine::Prepare(const std::string& sql) {
@@ -148,12 +209,21 @@ CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
   // between the two steps, the epoch guard rejects the Put.
   dup_->RegisterQuery(key, query, params);
   bool stale = false;
+  // The durable tag rides along on disk spills so a warm restart can
+  // rebuild this registration exactly; memory-only caches never spill, so
+  // skip the encoding work there.
+  std::string durable_tag;
+  if (options_.cache.mode != cache::CacheMode::kMemory) {
+    durable_tag = EncodeQueryTag(sql::CanonicalSql(query->stmt()), params);
+  }
   const bool stored = cache_->Put(key, std::make_shared<ResultValue>(result),
-                                  options_.default_ttl, [&snapshot, &stale] {
+                                  options_.default_ttl,
+                                  [&snapshot, &stale] {
                                     if (snapshot.Current()) return true;
                                     stale = true;
                                     return false;
-                                  });
+                                  },
+                                  std::move(durable_tag));
   if (!stored) {
     dup_->UnregisterQuery(key);
     (stale ? stats_.stale_discards : stats_.uncacheable)

@@ -10,6 +10,15 @@
 // through the Database subscription and are turned into (6/10) selective
 // invalidations by the DUP engine.
 //
+// Warm restart: when Options::cache.recover_on_open is set (disk/hybrid
+// modes), the GPS cache re-indexes surviving spill files at construction
+// and the engine re-registers every recovered entry in the ODG — exactly
+// when its durable tag (canonical SQL + typed parameters) decodes,
+// conservatively from the fingerprint's SQL skeleton otherwise — so
+// post-restart updates keep invalidating pre-restart results under every
+// policy. Entries that cannot be re-registered at all are dropped. See
+// docs/PERSISTENCE.md.
+//
 // @thread_safety CachedQueryEngine is fully thread-safe: any number of
 // threads may call Prepare/Execute/ExecuteSql/ExecuteDml concurrently.
 // The miss path miss→execute→register/store is made safe against
@@ -65,6 +74,14 @@ struct QueryEngineStats {
   std::atomic<uint64_t> uncacheable{0};     // results too large to cache
   std::atomic<uint64_t> stale_discards{0};  // results dropped by the epoch guard
   std::atomic<uint64_t> refresh_executions{0};  // eager re-executions (refresh_on_invalidate)
+
+  // Warm-restart accounting (cache.recover_on_open; docs/PERSISTENCE.md):
+  // recovered disk entries re-registered with full annotations from their
+  // durable tag, re-registered conservatively from the fingerprint's SQL
+  // skeleton, or dropped because neither could be rebuilt.
+  std::atomic<uint64_t> recovered_registrations{0};
+  std::atomic<uint64_t> recovered_conservative{0};
+  std::atomic<uint64_t> recovered_dropped{0};
 
   QueryEngineStats() = default;
   QueryEngineStats(const QueryEngineStats& other) { *this = other; }
@@ -124,6 +141,12 @@ class CachedQueryEngine {
   /// The engine subscribes to `db` for update events; `db` must outlive it.
   CachedQueryEngine(storage::Database& db, Options options);
 
+  /// Unsubscribes from the database, so engines may come and go against a
+  /// long-lived database (the warm-restart pattern: one engine per process
+  /// lifetime over the same store). Quiesce traffic first — destruction is
+  /// not synchronized against in-flight queries or DML.
+  ~CachedQueryEngine();
+
   /// Parse + bind once; reuse for repeated execution ("compile time").
   /// Prepared statements are cached per canonical SQL.
   std::shared_ptr<const sql::BoundQuery> Prepare(const std::string& sql);
@@ -164,6 +187,14 @@ class CachedQueryEngine {
   ExecuteResult ExecuteInternal(const std::shared_ptr<const sql::BoundQuery>& query,
                                 const std::vector<Value>& params);
 
+  /// Warm restart (constructor only): rebuild the ODG registration of one
+  /// disk entry recovered by the GPS cache. Prefers the durable tag
+  /// (canonical SQL + typed parameters → full RegisterQuery); falls back to
+  /// conservative registration from the fingerprint's SQL skeleton; drops
+  /// the entry when neither parses/binds (e.g. the table no longer exists)
+  /// so nothing cached escapes DUP invalidation.
+  void RegisterRecovered(const cache::GpsCache::RecoveredEntry& entry);
+
   /// Shared locks on every distinct table the statement reads, acquired in
   /// address order (deadlock-free against other readers and one-table
   /// writers).
@@ -176,6 +207,7 @@ class CachedQueryEngine {
   Options options_;
   std::unique_ptr<cache::GpsCache> cache_;
   std::unique_ptr<dup::DupEngine> dup_;
+  storage::Database::Subscription subscription_;
 
   /// Misses for the same fingerprint are serialized by a striped mutex.
   /// Two unserialized misses for one key can interleave their

@@ -121,6 +121,29 @@ std::string ResultValue::Serialize() const {
   return out;
 }
 
+std::string EncodeQueryTag(const std::string& canonical_sql, const std::vector<Value>& params) {
+  std::string out = "QT1\n";
+  out += std::to_string(canonical_sql.size());
+  out += ':';
+  out += canonical_sql;
+  out += '\n';
+  out += std::to_string(params.size());
+  out += '\n';
+  for (const Value& v : params) AppendValue(out, v);
+  return out;
+}
+
+void DecodeQueryTag(std::string_view tag, std::string* canonical_sql,
+                    std::vector<Value>* params) {
+  Reader reader(tag);
+  if (reader.Line() != "QT1") throw CacheError("query tag: bad magic");
+  *canonical_sql = reader.LengthPrefixed();
+  const size_t nparams = Reader::ParseSize(reader.Line());
+  params->clear();
+  params->reserve(nparams);
+  for (size_t i = 0; i < nparams; ++i) params->push_back(reader.ReadValue());
+}
+
 cache::CacheValuePtr ResultValue::Deserialize(std::string_view bytes) {
   Reader reader(bytes);
   if (reader.Line() != "RS1") throw CacheError("result deserialize: bad magic");

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cache/value.h"
 #include "sql/result.h"
@@ -27,5 +28,17 @@ class ResultValue : public cache::CacheValue {
  private:
   sql::ResultPtr result_;
 };
+
+/// Durable tag persisted with each cached query result (the GPS cache's
+/// spill files carry it through crashes): the statement's canonical SQL
+/// plus its typed parameter values, enough to rebuild the entry's DUP
+/// registration on warm restart. Version-prefixed ("QT1").
+std::string EncodeQueryTag(const std::string& canonical_sql, const std::vector<Value>& params);
+
+/// Inverse of EncodeQueryTag. Throws CacheError on malformed input (the
+/// warm-restart path catches and falls back to conservative
+/// re-registration from the fingerprint).
+void DecodeQueryTag(std::string_view tag, std::string* canonical_sql,
+                    std::vector<Value>* params);
 
 }  // namespace qc::middleware

@@ -50,12 +50,19 @@ std::vector<std::string> Database::TableNames() const {
   return out;
 }
 
-void Database::Subscribe(UpdateObserver observer) {
+Database::Subscription Database::Subscribe(UpdateObserver observer) {
   auto handle = std::make_shared<UpdateObserver>(std::move(observer));
   observers_.push_back(handle);
   for (auto& [key, table] : tables_) {
     table->Subscribe([handle](const UpdateEvent& e) { (*handle)(e); });
   }
+  return handle;
+}
+
+void Database::Unsubscribe(const Subscription& subscription) {
+  if (!subscription) return;
+  *subscription = [](const UpdateEvent&) {};
+  std::erase(observers_, subscription);
 }
 
 }  // namespace qc::storage

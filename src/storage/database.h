@@ -30,8 +30,20 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
-  /// Subscribe to mutations of every table, present and future.
-  void Subscribe(UpdateObserver observer);
+  /// A live database-level subscription; pass back to Unsubscribe.
+  using Subscription = std::shared_ptr<UpdateObserver>;
+
+  /// Subscribe to mutations of every table, present and future. The
+  /// observer fires until Unsubscribe(handle) — an observer that captures
+  /// `this` of a shorter-lived object MUST unsubscribe in its destructor
+  /// (tables hold thunks to the handle, so they would otherwise keep
+  /// invoking a dead object).
+  Subscription Subscribe(UpdateObserver observer);
+
+  /// Neutralize and forget a subscription. Per-table thunks referencing
+  /// the handle remain registered but become no-ops. Like Subscribe, must
+  /// not run concurrently with table mutations.
+  void Unsubscribe(const Subscription& subscription);
 
  private:
   // Table names are case-insensitive; keys are upper-cased.

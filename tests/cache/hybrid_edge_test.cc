@@ -76,6 +76,38 @@ TEST(HybridEdge, InvalidateRemovesFromBothLevels) {
   EXPECT_EQ(cache.disk_bytes(), 0u);
 }
 
+TEST(HybridEdge, PromoteSurvivesSpillBackEvictionCascade) {
+  // Regression for the promote path: Get on a disk-resident key promotes
+  // it into memory, which can evict another entry, whose spill-back can in
+  // turn overflow the disk budget and evict a disk entry. The key being
+  // promoted must never be the disk victim (it is erased from disk before
+  // the spill-back runs) and its metadata must survive the cascade.
+  GpsCacheConfig config = HybridConfig("qc_hybrid_edge_promote", 1 << 20, 1200);
+  config.memory_max_entries = 1;
+  GpsCache cache(config);
+  std::vector<std::string> evicted;
+  cache.SetRemovalListener([&](const std::string& key, RemovalCause cause) {
+    if (cause == RemovalCause::kEvicted) evicted.push_back(key);
+  });
+
+  cache.Put("a", Str(std::string(100, 'a')));   // small: fits disk alongside one big entry
+  cache.Put("b", Str(std::string(1000, 'b')));  // a spills (disk: a)
+  cache.Put("c", Str(std::string(1000, 'c')));  // b spills (disk: a+b, just fits)
+  ASSERT_EQ(cache.stats().spills, 2u);
+  ASSERT_TRUE(evicted.empty());
+
+  // Promote "a": memory evicts "c", whose spill-back (disk would hold b+c)
+  // overflows the 1200-byte budget and evicts the disk LRU — "b", not the
+  // just-promoted "a".
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(evicted, std::vector<std::string>{"b"});
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_EQ(Data(cache.Get("a")), std::string(100, 'a'));  // memory hit now
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+  EXPECT_NE(cache.Get("c"), nullptr);  // spilled back, still served
+  EXPECT_EQ(cache.entry_count(), 2u);
+}
+
 TEST(HybridEdge, ExpirationAppliesToSpilledEntries) {
   using namespace std::chrono_literals;
   TimePoint now{};
