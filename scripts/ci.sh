@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Full verification pipeline, runnable locally or in CI:
+#
+#   1. tier-1: default preset, the whole test suite (unit, property,
+#      recovery, stress, dup-labeled invalidation tests);
+#   2. dup:    `ctest -L dup` on the same build — the sublinear-invalidation
+#      suite on its own, for quick iteration on the DUP engine;
+#   3. tsan:   ThreadSanitizer build, stress-labeled concurrency tests;
+#   4. asan:   AddressSanitizer build, recovery-labeled crash-recovery tests.
+#
+# Stages can be selected by name: `scripts/ci.sh tier1 dup` runs only the
+# first two. Default is all four. JOBS controls build parallelism.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 dup tsan asan)
+
+want() {
+  local stage
+  for stage in "${STAGES[@]}"; do
+    [ "$stage" = "$1" ] && return 0
+  done
+  return 1
+}
+
+banner() { printf '\n=== %s ===\n' "$1"; }
+
+if want tier1 || want dup; then
+  banner "configure+build (default preset)"
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS"
+fi
+
+if want tier1; then
+  banner "tier-1 test suite"
+  ctest --preset default -j "$JOBS"
+fi
+
+if want dup; then
+  banner "dup-labeled invalidation suite (ctest -L dup)"
+  ctest --test-dir build -L dup --output-on-failure -j "$JOBS"
+fi
+
+if want tsan; then
+  banner "tsan stress suite"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --preset tsan-stress -j "$JOBS"
+fi
+
+if want asan; then
+  banner "asan recovery suite"
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$JOBS"
+  ctest --preset asan-recovery -j "$JOBS"
+fi
+
+banner "all requested stages passed"

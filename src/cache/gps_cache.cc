@@ -264,10 +264,41 @@ bool GpsCache::Invalidate(const std::string& key) {
   bool present;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stats.invalidate_shard_locks;
     present = RemoveLocked(shard, key, RemovalCause::kInvalidated, removed);
     if (present) ++shard.stats.invalidations;
   }
   Log("invalidate", key, present ? "" : "absent");
+  NotifyRemovals(removed);
+  return present;
+}
+
+size_t GpsCache::InvalidateBatch(const std::vector<std::string>& keys) {
+  if (keys.empty()) return 0;
+  // Group keys by owning shard so each shard's mutex is taken once.
+  std::vector<std::vector<const std::string*>> by_shard(shards_.size());
+  for (const std::string& key : keys) {
+    const size_t shard =
+        shards_.size() == 1 ? 0 : std::hash<std::string>{}(key) % shards_.size();
+    by_shard[shard].push_back(&key);
+  }
+  std::vector<std::pair<std::string, RemovalCause>> removed;
+  size_t present = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (by_shard[i].empty()) continue;
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stats.invalidate_shard_locks;
+    for (const std::string* key : by_shard[i]) {
+      if (RemoveLocked(shard, *key, RemovalCause::kInvalidated, removed)) {
+        ++shard.stats.invalidations;
+        ++present;
+      }
+    }
+  }
+  if (log_) {
+    for (const std::string& key : keys) Log("invalidate", key, "");
+  }
   NotifyRemovals(removed);
   return present;
 }

@@ -145,6 +145,14 @@ class GpsCache {
   /// Remove one object; returns true if it was present.
   bool Invalidate(const std::string& key);
 
+  /// Remove many objects with one shard-lock acquisition per *touched
+  /// shard* instead of one per key: keys are grouped by shard first, then
+  /// each group is removed under a single lock. This is the batched
+  /// invalidation path of the DUP engine (one statement → one batch).
+  /// Returns how many keys were present. Removal listeners run outside all
+  /// locks, after every group has been processed.
+  size_t InvalidateBatch(const std::vector<std::string>& keys);
+
   /// Remove everything (Policy I's reaction to any update). Shards are
   /// cleared one at a time; concurrent Puts to already-cleared shards may
   /// survive (the DUP epoch guard prevents stale survivors on the

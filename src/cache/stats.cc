@@ -12,6 +12,7 @@ CacheStats& CacheStats::operator+=(const CacheStats& other) {
   misses += other.misses;
   puts += other.puts;
   invalidations += other.invalidations;
+  invalidate_shard_locks += other.invalidate_shard_locks;
   evictions += other.evictions;
   spills += other.spills;
   expirations += other.expirations;
@@ -27,7 +28,8 @@ std::string CacheStats::ToString() const {
   std::ostringstream os;
   os << "lookups=" << lookups << " hits=" << hits << " (mem=" << memory_hits
      << ", disk=" << disk_hits << ") misses=" << misses << " hit_rate=" << HitRate()
-     << " puts=" << puts << " invalidations=" << invalidations << " evictions=" << evictions
+     << " puts=" << puts << " invalidations=" << invalidations
+     << " invalidate_shard_locks=" << invalidate_shard_locks << " evictions=" << evictions
      << " spills=" << spills << " expirations=" << expirations << " clears=" << clears
      << " admit_rejects=" << admit_rejects << " disk_errors=" << disk_errors
      << " quarantined=" << quarantined << " recovered=" << recovered;

@@ -18,6 +18,7 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t puts = 0;
   uint64_t invalidations = 0;   // explicit Invalidate/Delete calls that removed an entry
+  uint64_t invalidate_shard_locks = 0;  // shard-mutex acquisitions spent on invalidation
   uint64_t evictions = 0;       // budget-driven removals
   uint64_t spills = 0;          // memory→disk demotions (hybrid mode)
   uint64_t expirations = 0;     // expiry-time removals

@@ -7,19 +7,27 @@
 // execution raced with an update (docs/CONCURRENCY.md).
 //
 // @thread_safety Internally synchronized: every public method may be
-// called from any thread. OnUpdate invalidates (or refreshes) cache
-// entries *outside* the engine lock; the refresher and the cache removal
-// listener may therefore re-enter the engine. The tracer runs under the
-// engine lock and must not call back in. Lock order: the engine mutex may
-// be acquired while a Table write lock is held (events are delivered
-// synchronously from the mutating thread) and is never held while
-// acquiring a cache shard lock.
+// called from any thread. The engine mutex is a shared_mutex: the hot
+// affected-key computation runs under a *shared* lock (it only reads the
+// ODG and the registrations) unless a tracer is installed or the
+// obsolescence budget is enabled, both of which mutate per-event state and
+// take the exclusive lock. Registration paths always take the exclusive
+// lock; statistics live behind a separate leaf mutex (stats_mutex_, never
+// held while acquiring anything else). OnUpdate/OnBatch invalidate (or
+// refresh) cache entries *outside* the engine lock; the refresher and the
+// cache removal listener may therefore re-enter the engine. The tracer
+// runs under the exclusive engine lock and must not call back in. Lock
+// order: the engine mutex may be acquired while a Table write lock is held
+// (events are delivered synchronously from the mutating thread) and is
+// never held while acquiring a cache shard lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,14 +37,23 @@
 #include "dup/epochs.h"
 #include "dup/extractor.h"
 #include "dup/policy.h"
+#include "dup/row_index.h"
 #include "odg/graph.h"
 #include "storage/events.h"
 
 namespace qc::dup {
 
 struct DupStats {
-  uint64_t update_events = 0;      // update/insert/delete transactions seen
+  uint64_t update_events = 0;      // update/insert/delete row events seen
+  uint64_t update_batches = 0;     // statement-level batches processed
   uint64_t invalidations = 0;      // query results invalidated (Policies II+)
+
+  /// Predicate-index effectiveness: probes answered from the interval
+  /// index (per-column flip probes plus per-table row probes) vs. events
+  /// that had to fall back to a linear edge/filter scan (NULL-sided
+  /// updates, wildcard-LIKE filters).
+  uint64_t predicate_index_probes = 0;
+  uint64_t predicate_index_fallbacks = 0;
 
   /// Affected-key counts attributed to the triggering source, before
   /// row-aware/obsolescence refinement: "col:TABLE.COLUMN" for attribute
@@ -70,6 +87,13 @@ class DupEngine {
     /// default) invalidates on the first event — exact consistency.
     /// Positive thresholds deliberately trade staleness for hit rate.
     double obsolescence_threshold = 0.0;
+
+    /// Answer value-aware propagation from the predicate-interval indexes
+    /// (the per-column flip index in the ODG and the per-table row-event
+    /// index) instead of scanning every edge/registration linearly. The
+    /// indexed and linear paths compute identical affected-key sets; the
+    /// switch exists for benchmarking and differential testing.
+    bool use_predicate_index = true;
   };
 
   DupEngine(cache::GpsCache& cache, Options options);
@@ -123,8 +147,16 @@ class DupEngine {
   LookupRegistration(const std::string& key) const;
 
   /// Storage mutation hook: subscribe this to the Database. Translates the
-  /// event into cache invalidations according to the policy.
+  /// event into cache invalidations according to the policy (delegates to
+  /// OnBatch with a batch of one).
   void OnUpdate(const storage::UpdateEvent& event);
+
+  /// Statement-level mutation hook (Database::SubscribeBatch): processes a
+  /// whole statement's events with per-statement costs paid once — epochs
+  /// are stamped once per touched column, affected keys are deduplicated
+  /// across rows, and the cache is invalidated with one shard-lock
+  /// acquisition per touched shard (GpsCache::InvalidateBatch).
+  void OnBatch(const storage::UpdateBatch& batch);
 
   /// Diagnostic tracing: invoked once per (event, invalidated key) with a
   /// human-readable reason ("update BENCH.KSEQ 41000 -> 7 fired annotated
@@ -140,6 +172,11 @@ class DupEngine {
   std::string DumpGraph() const;
   size_t GraphVertexCount() const;
   size_t GraphEdgeCount() const;
+
+  /// Test-only access to the ODG (e.g. to build multi-level graphs that
+  /// registration alone cannot produce). Callers must not race it with
+  /// concurrent engine use.
+  odg::Graph& graph_for_test() { return graph_; }
 
  private:
   struct Registered {
@@ -165,10 +202,13 @@ class DupEngine {
   static std::string TableVertexName(const std::string& table);
   static std::string ColumnEpochSlot(const std::string& table_key, uint32_t column);
 
-  /// Advance the update epochs the event touches. Must run before any
-  /// invalidation derived from the event: in-flight executions that read
-  /// pre-event data then fail their store-time admission check.
-  void StampEpochs(const storage::UpdateEvent& event);
+  /// Advance the update epochs the batch touches — once per distinct
+  /// changed column (plus the table slot when the batch carries row
+  /// events), not once per row. Must run before any invalidation derived
+  /// from the batch: in-flight executions that read pre-event data then
+  /// fail their store-time admission check. Sound because admission only
+  /// needs "the epoch advanced", never "how many times".
+  void StampEpochsBatch(const storage::UpdateBatch& batch);
 
   /// Find-or-build the statement's dependency template. Requires mutex_.
   std::shared_ptr<const DependencyTemplate> TemplateForLocked(const sql::BoundQuery& query);
@@ -177,9 +217,15 @@ class DupEngine {
   void RegisterLocked(const std::string& key, std::shared_ptr<const sql::BoundQuery> query,
                       const std::vector<Value>& params, bool conservative);
 
-  /// Collect the fingerprints the event invalidates under the policy.
-  std::vector<std::string> AffectedKeys(const storage::UpdateEvent& event);
+  /// Collect the fingerprints the batch invalidates under the policy,
+  /// deduplicated across the batch's rows. Takes the engine lock shared
+  /// unless a tracer or the obsolescence budget needs exclusive access.
+  std::vector<std::string> AffectedKeysBatch(const storage::UpdateBatch& batch);
   bool RowAwareKeeps(const Registered& reg, const storage::UpdateEvent& event) const;
+
+  /// Drop `key` from the row-event index of every table in `deps`.
+  /// Requires the exclusive lock.
+  void RemoveFromRowIndexes(const std::string& key, const DependencyTemplate& deps);
 
   /// Value-aware insert/delete check (paper §4.2's Platinum example): the
   /// created/deleted row must pass EVERY annotated column filter the query
@@ -191,7 +237,7 @@ class DupEngine {
   cache::GpsCache& cache_;
   Options options_;
 
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   odg::Graph graph_;
   std::unordered_map<std::string, Registered> registered_;
   // "Compile-time" template cache, keyed by canonical statement text.
@@ -203,8 +249,18 @@ class DupEngine {
   // Upper-cased table name → keys of registered queries referencing it
   // (drives the per-query conjunctive insert/delete check).
   std::unordered_map<std::string, std::unordered_set<std::string>> table_queries_;
+  // Upper-cased table name → row-event index over the registered keys that
+  // reference the table (insert/delete probes). Maintained only when
+  // Options::use_predicate_index.
+  std::unordered_map<std::string, TableRowIndex> row_indexes_;
   InvalidationTracer tracer_;
+  // Mirrors "tracer_ != nullptr" so AffectedKeysBatch can pick its lock
+  // mode before acquiring the lock that guards tracer_.
+  std::atomic<bool> tracer_set_{false};
   Refresher refresher_;
+  // Leaf lock for stats_: taken while mutex_ is held (shared or exclusive),
+  // never the other way around.
+  mutable std::mutex stats_mutex_;
   DupStats stats_;
   UpdateEpochs epochs_;  // internally synchronized; not guarded by mutex_
 };

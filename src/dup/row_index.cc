@@ -1,0 +1,483 @@
+#include "dup/row_index.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qc::dup {
+
+namespace {
+
+using Interval = ValueSet::Interval;
+
+bool EmptyInterval(const Interval& iv) {
+  if (!iv.lo || !iv.hi) return false;
+  if (*iv.lo < *iv.hi) return false;
+  if (*iv.lo == *iv.hi) return !(iv.lo_closed && iv.hi_closed);
+  return true;  // lo > hi
+}
+
+// Sort order on lower bounds: -inf first; at equal values a closed bound
+// starts earlier than an open one.
+bool LoLess(const Interval& x, const Interval& y) {
+  if (!x.lo) return y.lo.has_value();
+  if (!y.lo) return false;
+  if (*x.lo != *y.lo) return *x.lo < *y.lo;
+  return x.lo_closed && !y.lo_closed;
+}
+
+// Does x's upper bound end before y's? +inf last; at equal values an open
+// bound ends earlier than a closed one.
+bool HiLess(const Interval& x, const Interval& y) {
+  if (!x.hi) return false;
+  if (!y.hi) return true;
+  if (*x.hi != *y.hi) return *x.hi < *y.hi;
+  return !x.hi_closed && y.hi_closed;
+}
+
+// With cur.lo <= nxt.lo: do the intervals overlap or touch (no value gap
+// between cur's end and nxt's start)? Touching requires one closed side:
+// [1,2) ∪ [2,3] coalesces, (-inf,2) ∪ (2,inf) does not.
+bool MergeableWith(const Interval& cur, const Interval& nxt) {
+  if (!cur.hi || !nxt.lo) return true;
+  if (*cur.hi > *nxt.lo) return true;
+  if (*cur.hi < *nxt.lo) return false;
+  return cur.hi_closed || nxt.lo_closed;
+}
+
+}  // namespace
+
+ValueSet ValueSet::All(bool with_null) {
+  ValueSet s;
+  s.intervals_.push_back(Interval{});
+  s.null_in_ = with_null;
+  return s;
+}
+
+ValueSet ValueSet::Point(Value v) {
+  ValueSet s;
+  s.intervals_.push_back(Interval{v, true, std::move(v), true});
+  return s;
+}
+
+ValueSet ValueSet::Below(Value b, bool closed) {
+  ValueSet s;
+  s.intervals_.push_back(Interval{std::nullopt, false, std::move(b), closed});
+  return s;
+}
+
+ValueSet ValueSet::Above(Value a, bool closed) {
+  ValueSet s;
+  s.intervals_.push_back(Interval{std::move(a), closed, std::nullopt, false});
+  return s;
+}
+
+ValueSet ValueSet::Range(Value a, Value b) {
+  ValueSet s;
+  if (b < a) return s;
+  s.intervals_.push_back(Interval{std::move(a), true, std::move(b), true});
+  return s;
+}
+
+ValueSet ValueSet::Union(const ValueSet& a, const ValueSet& b) {
+  ValueSet out;
+  out.null_in_ = a.null_in_ || b.null_in_;
+  std::vector<Interval> all;
+  all.reserve(a.intervals_.size() + b.intervals_.size());
+  all.insert(all.end(), a.intervals_.begin(), a.intervals_.end());
+  all.insert(all.end(), b.intervals_.begin(), b.intervals_.end());
+  std::sort(all.begin(), all.end(), LoLess);
+  for (Interval& iv : all) {
+    if (EmptyInterval(iv)) continue;
+    if (!out.intervals_.empty() && MergeableWith(out.intervals_.back(), iv)) {
+      Interval& cur = out.intervals_.back();
+      if (HiLess(cur, iv)) {
+        cur.hi = iv.hi;
+        cur.hi_closed = iv.hi_closed;
+      }
+    } else {
+      out.intervals_.push_back(std::move(iv));
+    }
+  }
+  return out;
+}
+
+ValueSet ValueSet::Complement(const ValueSet& s) {
+  ValueSet out;
+  out.null_in_ = !s.null_in_;
+  std::optional<Value> cur_lo;  // unset = -inf
+  bool cur_lo_closed = false;
+  bool open_ended = true;  // a trailing gap reaches +inf
+  for (const Interval& iv : s.intervals_) {
+    if (iv.lo) {
+      Interval gap{cur_lo, cur_lo_closed, *iv.lo, !iv.lo_closed};
+      if (!EmptyInterval(gap)) out.intervals_.push_back(std::move(gap));
+    }
+    if (!iv.hi) {
+      open_ended = false;
+      break;
+    }
+    cur_lo = *iv.hi;
+    cur_lo_closed = !iv.hi_closed;
+  }
+  if (open_ended) {
+    out.intervals_.push_back(Interval{cur_lo, cur_lo_closed, std::nullopt, false});
+  }
+  return out;
+}
+
+ValueSet ValueSet::Intersect(const ValueSet& a, const ValueSet& b) {
+  // De Morgan over the (values ∪ {NULL}) universe.
+  return Complement(Union(Complement(a), Complement(b)));
+}
+
+bool ValueSet::Contains(const Value& v) const {
+  if (v.is_null()) return null_in_;
+  for (const Interval& iv : intervals_) {
+    if (iv.lo && (v < *iv.lo || (v == *iv.lo && !iv.lo_closed))) continue;
+    if (iv.hi && (v > *iv.hi || (v == *iv.hi && !iv.hi_closed))) continue;
+    return true;
+  }
+  return false;
+}
+
+bool ValueSet::IsUniverse() const {
+  return null_in_ && intervals_.size() == 1 && !intervals_[0].lo && !intervals_[0].hi;
+}
+
+std::string ValueSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  if (null_in_) {
+    os << "NULL";
+    first = false;
+  }
+  for (const Interval& iv : intervals_) {
+    if (!first) os << ", ";
+    first = false;
+    os << (iv.lo && iv.lo_closed ? "[" : "(");
+    os << (iv.lo ? iv.lo->ToString() : "-inf") << "," << (iv.hi ? iv.hi->ToString() : "+inf");
+    os << (iv.hi && iv.hi_closed ? "]" : ")");
+  }
+  os << "}";
+  return os.str();
+}
+
+namespace {
+
+struct TriSets {
+  ValueSet t;  // values where the predicate is definitely true
+  ValueSet f;  // values where it is definitely false
+};
+
+ValueSet NullOnly() { return ValueSet::Complement(ValueSet::All(false)); }
+
+ValueSet NonNullComplement(const ValueSet& s) {
+  return ValueSet::Intersect(ValueSet::Complement(s), ValueSet::All(false));
+}
+
+// T/F sets mirroring Atom::Eval exactly (see odg/annotation.cc RawEval):
+// everything not in T and not in F evaluates to SQL unknown.
+std::optional<TriSets> AtomSets(const odg::Atom& atom) {
+  TriSets out;  // polarity-free; swapped at the end when negated
+  switch (atom.kind) {
+    case odg::Atom::Kind::kIsNull:
+      out.t = NullOnly();
+      out.f = ValueSet::All(false);
+      break;
+    case odg::Atom::Kind::kCmp: {
+      if (atom.a.is_null()) break;  // always unknown: T = F = ∅
+      switch (atom.cmp_op) {
+        case sql::BinaryOp::kEq:
+          out.t = ValueSet::Point(atom.a);
+          out.f = NonNullComplement(out.t);
+          break;
+        case sql::BinaryOp::kNe:
+          out.f = ValueSet::Point(atom.a);
+          out.t = NonNullComplement(out.f);
+          break;
+        case sql::BinaryOp::kLt:
+          out.t = ValueSet::Below(atom.a, false);
+          out.f = ValueSet::Above(atom.a, true);
+          break;
+        case sql::BinaryOp::kLe:
+          out.t = ValueSet::Below(atom.a, true);
+          out.f = ValueSet::Above(atom.a, false);
+          break;
+        case sql::BinaryOp::kGt:
+          out.t = ValueSet::Above(atom.a, false);
+          out.f = ValueSet::Below(atom.a, true);
+          break;
+        case sql::BinaryOp::kGe:
+          out.t = ValueSet::Above(atom.a, true);
+          out.f = ValueSet::Below(atom.a, false);
+          break;
+        default:
+          break;  // RawEval returns unknown for any other operator
+      }
+      break;
+    }
+    case odg::Atom::Kind::kBetween:
+      if (atom.a.is_null() || atom.b.is_null()) break;  // always unknown
+      if (atom.b < atom.a) {
+        out.f = ValueSet::All(false);  // empty range: false for every value
+        break;
+      }
+      out.t = ValueSet::Range(atom.a, atom.b);
+      out.f = ValueSet::Union(ValueSet::Below(atom.a, false), ValueSet::Above(atom.b, false));
+      break;
+    case odg::Atom::Kind::kIn: {
+      bool saw_null = false;
+      for (const Value& item : atom.set) {
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        out.t = ValueSet::Union(out.t, ValueSet::Point(item));
+      }
+      out.f = saw_null ? ValueSet::Empty() : NonNullComplement(out.t);
+      break;
+    }
+    case odg::Atom::Kind::kLike: {
+      if (atom.a.is_null()) break;  // always unknown
+      if (!atom.a.is_string()) {
+        out.f = ValueSet::All(false);  // RawEval: false for every non-null value
+        break;
+      }
+      const std::string& pattern = atom.a.as_string();
+      if (pattern.find_first_of("%_") != std::string::npos) {
+        return std::nullopt;  // a wildcard match is not an interval set
+      }
+      // No wildcards: LIKE is string equality, and in the Value total
+      // order only the pattern itself compares equal to it.
+      out.t = ValueSet::Point(atom.a);
+      out.f = NonNullComplement(out.t);
+      break;
+    }
+  }
+  if (atom.negated) std::swap(out.t, out.f);
+  return out;
+}
+
+// Kleene combinators, mirroring ColumnPredicate::Eval: And is true iff all
+// children are true and false iff any child is false; Or dually; Not swaps.
+std::optional<TriSets> CompileTri(const odg::ColumnPredicate& p) {
+  using Kind = odg::ColumnPredicate::Kind;
+  switch (p.kind) {
+    case Kind::kTrue:
+      return TriSets{ValueSet::All(true), ValueSet::Empty()};
+    case Kind::kAtom:
+      return AtomSets(p.atom);
+    case Kind::kNot: {
+      if (p.children.empty()) return std::nullopt;
+      auto child = CompileTri(p.children[0]);
+      if (!child) return std::nullopt;
+      std::swap(child->t, child->f);
+      return child;
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const bool conjunction = p.kind == Kind::kAnd;
+      TriSets acc{conjunction ? ValueSet::All(true) : ValueSet::Empty(),
+                  conjunction ? ValueSet::Empty() : ValueSet::All(true)};
+      for (const odg::ColumnPredicate& c : p.children) {
+        auto child = CompileTri(c);
+        if (!child) return std::nullopt;
+        if (conjunction) {
+          acc.t = ValueSet::Intersect(acc.t, child->t);
+          acc.f = ValueSet::Union(acc.f, child->f);
+        } else {
+          acc.t = ValueSet::Union(acc.t, child->t);
+          acc.f = ValueSet::Intersect(acc.f, child->f);
+        }
+      }
+      return acc;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ValueSet> CompileAcceptSet(const odg::ColumnPredicate& p) {
+  auto tri = CompileTri(p);
+  if (!tri) return std::nullopt;
+  return std::move(tri->t);
+}
+
+void TableRowIndex::AddKey(const std::string& key,
+                           std::vector<std::pair<uint32_t, ValueSet>> gates) {
+  RemoveKey(key);
+  KeyId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<KeyId>(keys_.size());
+    keys_.emplace_back();
+  }
+  KeyInfo& info = keys_[id];
+  info.name = key;
+  info.live = true;
+  by_name_.emplace(key, id);
+  for (auto& [column, set] : gates) {
+    if (set.IsUniverse()) continue;  // cannot reject any row: not a gate
+    ++info.gate_count;
+    PostGate(id, column, set);
+  }
+  if (info.gate_count == 0) zero_gate_.push_back(id);
+}
+
+void TableRowIndex::AddLinearKey(const std::string& key) {
+  RemoveKey(key);
+  KeyId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<KeyId>(keys_.size());
+    keys_.emplace_back();
+  }
+  KeyInfo& info = keys_[id];
+  info.name = key;
+  info.live = true;
+  info.linear = true;
+  by_name_.emplace(key, id);
+  linear_.push_back(id);
+}
+
+void TableRowIndex::PostGate(KeyId id, uint32_t column, const ValueSet& set) {
+  ColumnIndex& col = columns_[column];
+  KeyInfo& info = keys_[id];
+  auto post = [&](Posting::Kind kind) {
+    Posting p;
+    p.kind = kind;
+    p.column = column;
+    info.postings.push_back(std::move(p));
+    return &info.postings.back();
+  };
+  col.gated.push_back(id);
+  post(Posting::Kind::kGated);
+  if (set.contains_null()) {
+    col.null_ok.push_back(id);
+    post(Posting::Kind::kNull);
+  }
+  for (const Interval& iv : set.intervals()) {
+    if (!iv.lo && !iv.hi) {
+      col.all.push_back(id);
+      post(Posting::Kind::kAll);
+    } else if (!iv.lo) {
+      Posting* p = post(Posting::Kind::kBelow);
+      p->ray_it = col.below.emplace(*iv.hi, RayEntry{id, iv.hi_closed});
+    } else if (!iv.hi) {
+      Posting* p = post(Posting::Kind::kAbove);
+      p->ray_it = col.above.emplace(*iv.lo, RayEntry{id, iv.lo_closed});
+    } else if (*iv.lo == *iv.hi) {
+      // Singletons are stored closed on both sides (empties are dropped).
+      Posting* p = post(Posting::Kind::kPoint);
+      p->point = *iv.lo;
+      col.points[*iv.lo].push_back(id);
+    } else {
+      Posting* p = post(Posting::Kind::kFinite);
+      p->finite_it = col.finite.emplace(*iv.lo, FiniteEntry{id, iv.lo_closed, *iv.hi, iv.hi_closed});
+    }
+  }
+}
+
+void TableRowIndex::RemoveKey(const std::string& key) {
+  auto it = by_name_.find(key);
+  if (it == by_name_.end()) return;
+  const KeyId id = it->second;
+  by_name_.erase(it);
+  KeyInfo& info = keys_[id];
+  for (const Posting& p : info.postings) {
+    auto cit = columns_.find(p.column);
+    if (cit == columns_.end()) continue;
+    ColumnIndex& col = cit->second;
+    switch (p.kind) {
+      case Posting::Kind::kGated:
+        std::erase(col.gated, id);
+        break;
+      case Posting::Kind::kNull:
+        std::erase(col.null_ok, id);
+        break;
+      case Posting::Kind::kAll:
+        std::erase(col.all, id);
+        break;
+      case Posting::Kind::kPoint: {
+        auto pit = col.points.find(p.point);
+        if (pit != col.points.end()) {
+          std::erase(pit->second, id);
+          if (pit->second.empty()) col.points.erase(pit);
+        }
+        break;
+      }
+      case Posting::Kind::kBelow:
+        col.below.erase(p.ray_it);
+        break;
+      case Posting::Kind::kAbove:
+        col.above.erase(p.ray_it);
+        break;
+      case Posting::Kind::kFinite:
+        col.finite.erase(p.finite_it);
+        break;
+    }
+  }
+  if (info.linear) std::erase(linear_, id);
+  if (!info.linear && info.gate_count == 0) std::erase(zero_gate_, id);
+  info = KeyInfo{};
+  free_ids_.push_back(id);
+}
+
+void TableRowIndex::Probe(const std::vector<Value>& row, std::vector<std::string>& fired,
+                          std::vector<std::string>& linear) const {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  if (!linear_.empty()) {
+    linear_fallbacks_.fetch_add(linear_.size(), std::memory_order_relaxed);
+    for (KeyId id : linear_) linear.push_back(keys_[id].name);
+  }
+  for (KeyId id : zero_gate_) fired.push_back(keys_[id].name);
+
+  std::unordered_map<KeyId, uint32_t> credits;
+  for (const auto& [column, col] : columns_) {
+    if (col.gated.empty()) continue;
+    if (column >= row.size()) {
+      // Column missing from the row image: it cannot reject (mirrors the
+      // engine's direct conjunctive check).
+      for (KeyId id : col.gated) ++credits[id];
+      continue;
+    }
+    const Value& v = row[column];
+    if (v.is_null()) {
+      for (KeyId id : col.null_ok) ++credits[id];
+      continue;
+    }
+    for (KeyId id : col.all) ++credits[id];
+    if (auto pit = col.points.find(v); pit != col.points.end()) {
+      for (KeyId id : pit->second) ++credits[id];
+    }
+    for (auto rit = col.below.lower_bound(v); rit != col.below.end(); ++rit) {
+      if (rit->first == v && !rit->second.closed) continue;  // open at v
+      ++credits[rit->second.key];
+    }
+    for (auto rit = col.above.begin(); rit != col.above.end(); ++rit) {
+      if (v < rit->first) break;
+      if (rit->first == v && !rit->second.closed) continue;
+      ++credits[rit->second.key];
+    }
+    for (auto fit = col.finite.begin(); fit != col.finite.end(); ++fit) {
+      if (v < fit->first) break;
+      const FiniteEntry& e = fit->second;
+      if (fit->first == v && !e.lo_closed) continue;
+      if (e.hi < v || (e.hi == v && !e.hi_closed)) continue;
+      ++credits[e.key];
+    }
+  }
+  for (const auto& [id, count] : credits) {
+    // Each gate's pieces are disjoint, so a gate credits at most once:
+    // count == gate_count means every gate accepted.
+    if (count == keys_[id].gate_count) fired.push_back(keys_[id].name);
+  }
+}
+
+}  // namespace qc::dup

@@ -79,7 +79,8 @@ std::string LatencyHistogram::Summary() const {
 }
 
 std::string QueryLatencyMetrics::Summary() const {
-  return "hits: " + hits.Summary() + "\nmisses: " + misses.Summary();
+  return "hits: " + hits.Summary() + "\nmisses: " + misses.Summary() +
+         "\ninvalidations: " + invalidations.Summary();
 }
 
 }  // namespace qc::middleware

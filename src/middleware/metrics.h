@@ -41,10 +41,14 @@ class LatencyHistogram {
   std::atomic<uint64_t> total_ns_{0};
 };
 
-/// Hit/miss-split latency metrics for a query engine.
+/// Hit/miss-split latency metrics for a query engine, plus the write-path
+/// invalidation cost: one `invalidations` sample per statement-level
+/// update batch, covering epoch stamping, affected-key computation and
+/// cache removal (the synchronous tax every DML statement pays).
 struct QueryLatencyMetrics {
   LatencyHistogram hits;
   LatencyHistogram misses;
+  LatencyHistogram invalidations;
 
   std::string Summary() const;
 };

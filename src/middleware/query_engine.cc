@@ -59,8 +59,18 @@ CachedQueryEngine::CachedQueryEngine(storage::Database& db, Options options)
   }
 
   if (options_.subscribe_to_database) {
-    subscription_ = db_.Subscribe([this](const storage::UpdateEvent& event) {
-      if (options_.caching_enabled) dup_->OnUpdate(event);
+    // Statement-level subscription: a multi-row DML statement arrives as
+    // one batch, so epoch stamping, key dedup and shard locking are paid
+    // once per statement (single-row mutations arrive as batches of one).
+    subscription_ = db_.SubscribeBatch([this](const storage::UpdateBatch& batch) {
+      if (!options_.caching_enabled) return;
+      if (!options_.collect_latency_metrics) {
+        dup_->OnBatch(batch);
+        return;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      dup_->OnBatch(batch);
+      latency_.invalidations.Record(std::chrono::steady_clock::now() - start);
     });
   }
 }

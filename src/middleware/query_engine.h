@@ -120,8 +120,9 @@ class CachedQueryEngine {
     /// over a (simulated) network rather than synchronously.
     bool subscribe_to_database = true;
 
-    /// Record per-execution latency histograms, split hit vs. miss
-    /// (adds two clock reads per Execute).
+    /// Record per-execution latency histograms, split hit vs. miss, plus
+    /// a per-update-batch invalidation histogram on the write path (adds
+    /// two clock reads per Execute / per batch).
     bool collect_latency_metrics = false;
 
     /// Paper Fig. 7 step 10 "result discard/update cache": when true,
@@ -207,7 +208,7 @@ class CachedQueryEngine {
   Options options_;
   std::unique_ptr<cache::GpsCache> cache_;
   std::unique_ptr<dup::DupEngine> dup_;
-  storage::Database::Subscription subscription_;
+  storage::Database::BatchSubscription subscription_;
 
   /// Misses for the same fingerprint are serialized by a striped mutex.
   /// Two unserialized misses for one key can interleave their

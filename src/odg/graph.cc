@@ -46,6 +46,12 @@ bool Graph::IsLive(VertexId v) const {
   return v < vertices_.size() && vertices_[v].live;
 }
 
+void Graph::IndexEdge(Vertex& src, const Edge& edge) {
+  if (!predicate_index_enabled_) return;
+  if (!src.index) src.index = std::make_unique<PredicateIndex>();
+  src.index->AddEdge(edge.to, edge.annotation ? &*edge.annotation : nullptr);
+}
+
 void Graph::AddEdge(VertexId from, VertexId to, double weight,
                     std::optional<EdgeAnnotation> annotation) {
   Vertex& src = At(from);
@@ -55,8 +61,21 @@ void Graph::AddEdge(VertexId from, VertexId to, double weight,
   edge.to = to;
   edge.weight = weight;
   edge.annotation = std::move(annotation);
+  IndexEdge(src, edge);
   src.out.push_back(std::move(edge));
   ++edge_count_;
+}
+
+void Graph::SetPredicateIndexEnabled(bool enabled) {
+  if (enabled == predicate_index_enabled_) return;
+  predicate_index_enabled_ = enabled;
+  // Rebuild (or drop) every vertex's index from its current out-edges.
+  for (Vertex& v : vertices_) {
+    if (!v.live) continue;
+    v.index.reset();
+    if (!enabled) continue;
+    for (const Edge& edge : v.out) IndexEdge(v, edge);
+  }
 }
 
 void Graph::RemoveVertex(VertexId v) {
@@ -64,6 +83,7 @@ void Graph::RemoveVertex(VertexId v) {
   // Unlink incoming edges from each source's out list.
   for (VertexId src_id : victim.in) {
     if (!IsLive(src_id)) continue;
+    if (vertices_[src_id].index) vertices_[src_id].index->RemoveTarget(v);
     auto& out = vertices_[src_id].out;
     out.erase(std::remove_if(out.begin(), out.end(),
                              [&](const Edge& e) {
@@ -90,6 +110,7 @@ void Graph::RemoveInEdges(VertexId v) {
   Vertex& target = At(v);
   for (VertexId src_id : target.in) {
     if (!IsLive(src_id)) continue;
+    if (vertices_[src_id].index) vertices_[src_id].index->RemoveTarget(v);
     auto& out = vertices_[src_id].out;
     out.erase(std::remove_if(out.begin(), out.end(),
                              [&](const Edge& e) {
@@ -119,17 +140,40 @@ bool Graph::EdgeFires(const Edge& edge, const ChangeSpec& spec) const {
 }
 
 std::vector<VertexId> Graph::Propagate(VertexId source, const ChangeSpec& spec) const {
+  const Vertex& src = At(source);
   std::vector<VertexId> affected;
   std::vector<uint8_t> seen(vertices_.size(), 0);
   seen[source] = 1;
-  // First hop applies the annotation gate; deeper hops are generic.
   std::vector<VertexId> frontier;
-  for (const Edge& edge : At(source).out) {
-    if (!EdgeFires(edge, spec)) continue;
-    if (seen[edge.to]) continue;
-    seen[edge.to] = 1;
-    affected.push_back(edge.to);
-    frontier.push_back(edge.to);
+
+  // First hop applies the annotation gate; deeper hops are generic. Value
+  // updates with non-null sides are answered from the predicate-interval
+  // index in output-sensitive time; everything else scans the out-edges.
+  bool indexed = false;
+  if (spec.kind == ChangeSpec::Kind::kValueUpdate && src.index) {
+    if (spec.old_value.is_null() || spec.new_value.is_null()) {
+      index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::vector<VertexId> fired;
+      src.index->ProbeUpdate(spec.old_value, spec.new_value, fired);
+      index_probes_.fetch_add(1, std::memory_order_relaxed);
+      for (VertexId to : fired) {
+        if (seen[to]) continue;
+        seen[to] = 1;
+        affected.push_back(to);
+        frontier.push_back(to);
+      }
+      indexed = true;
+    }
+  }
+  if (!indexed) {
+    for (const Edge& edge : src.out) {
+      if (!EdgeFires(edge, spec)) continue;
+      if (seen[edge.to]) continue;
+      seen[edge.to] = 1;
+      affected.push_back(edge.to);
+      frontier.push_back(edge.to);
+    }
   }
   while (!frontier.empty()) {
     VertexId v = frontier.back();

@@ -8,7 +8,9 @@
 // value-aware enhancement).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -16,10 +18,9 @@
 
 #include "common/value.h"
 #include "odg/annotation.h"
+#include "odg/predicate_index.h"
 
 namespace qc::odg {
-
-using VertexId = uint32_t;
 
 enum class VertexKind {
   kUnderlying,    // no incoming edges in a simple ODG (paper Fig. 3)
@@ -96,7 +97,28 @@ class Graph {
   /// beyond the first hop see a Generic change (annotations constrain the
   /// attribute→object hop only). Returns every distinct affected vertex
   /// (excluding the source), in discovery order.
+  ///
+  /// kValueUpdate changes with non-null old/new values are answered from
+  /// the source's predicate-interval index when enabled — output-sensitive
+  /// instead of out-degree-linear, with identical results (see
+  /// odg/predicate_index.h). Null-valued updates, kGeneric and kRowValue
+  /// changes take the linear scan.
   std::vector<VertexId> Propagate(VertexId source, const ChangeSpec& spec) const;
+
+  /// Maintain (and serve Propagate from) per-vertex predicate-interval
+  /// indexes over annotated out-edges. Enabled by default; disabling gives
+  /// the pure linear scan (differential baseline, benchmarks). Toggling
+  /// rebuilds the indexes from the current edges, so it is valid at any
+  /// time but not concurrently with other access.
+  void SetPredicateIndexEnabled(bool enabled);
+  bool predicate_index_enabled() const { return predicate_index_enabled_; }
+
+  /// Probe accounting (relaxed atomics: Propagate stays const and safe for
+  /// concurrent readers): indexed update probes served, and update
+  /// propagations that fell back to the linear scan because a NULL-valued
+  /// side made the probe unanswerable.
+  uint64_t index_probes() const { return index_probes_.load(std::memory_order_relaxed); }
+  uint64_t index_fallbacks() const { return index_fallbacks_.load(std::memory_order_relaxed); }
 
   /// Weighted-DUP accounting (paper Fig. 2): like Propagate, but each
   /// affected vertex also accumulates the maximum-weight path from the
@@ -119,17 +141,24 @@ class Graph {
     double obsolescence = 0.0;
     std::vector<Edge> out;
     std::vector<VertexId> in;  // sources, for O(degree) removal
+    /// Update-flip index over `out` (lazily created on first edge while
+    /// indexing is enabled; null = fall back to the linear scan).
+    std::unique_ptr<PredicateIndex> index;
   };
 
   const Vertex& At(VertexId v) const;
   Vertex& At(VertexId v);
   bool EdgeFires(const Edge& edge, const ChangeSpec& spec) const;
+  void IndexEdge(Vertex& src, const Edge& edge);
 
   std::vector<Vertex> vertices_;
   std::unordered_map<std::string, VertexId> by_name_;
   std::vector<VertexId> free_ids_;
   size_t live_count_ = 0;
   size_t edge_count_ = 0;
+  bool predicate_index_enabled_ = true;
+  mutable std::atomic<uint64_t> index_probes_{0};
+  mutable std::atomic<uint64_t> index_fallbacks_{0};
 };
 
 }  // namespace qc::odg

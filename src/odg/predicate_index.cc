@@ -1,0 +1,215 @@
+#include "odg/predicate_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace qc::odg {
+
+namespace {
+
+/// How one atom participates in the update-flip index. Classification is
+/// polarity-free (negation never changes *whether* the truth value
+/// differs between two probe values, only which value it takes).
+struct Classified {
+  enum class Kind {
+    kNever,        // truth state constant over non-null values: cannot flip
+    kPoints,       // flips iff exactly one of old/new is a member point
+    kRay,          // membership v < bound (closed: v <= bound)
+    kInterval,     // membership lo <= v <= hi
+    kUnindexable,  // LIKE with wildcards: edge goes to the overflow list
+  };
+  Kind kind = Kind::kNever;
+  std::vector<Value> points;
+  Value bound;
+  bool closed = false;
+  Value lo, hi;
+};
+
+Classified Classify(const Atom& atom) {
+  Classified c;
+  switch (atom.kind) {
+    case Atom::Kind::kIsNull:
+      // Non-null probes: RawEval is constantly false — never flips.
+      return c;
+    case Atom::Kind::kCmp: {
+      if (atom.a.is_null()) return c;  // constantly unknown
+      switch (atom.cmp_op) {
+        case sql::BinaryOp::kEq:
+        case sql::BinaryOp::kNe:
+          // <> is the complement of =: identical flip set.
+          c.kind = Classified::Kind::kPoints;
+          c.points.push_back(atom.a);
+          return c;
+        case sql::BinaryOp::kLt:  // member v < a
+        case sql::BinaryOp::kGe:  // complement of v < a: same flip set
+          c.kind = Classified::Kind::kRay;
+          c.bound = atom.a;
+          c.closed = false;
+          return c;
+        case sql::BinaryOp::kLe:  // member v <= a
+        case sql::BinaryOp::kGt:  // complement of v <= a
+          c.kind = Classified::Kind::kRay;
+          c.bound = atom.a;
+          c.closed = true;
+          return c;
+        default:
+          c.kind = Classified::Kind::kUnindexable;
+          return c;
+      }
+    }
+    case Atom::Kind::kBetween:
+      if (atom.a.is_null() || atom.b.is_null()) return c;  // constantly unknown
+      if (atom.b < atom.a) return c;                       // empty range: constantly false
+      if (atom.a == atom.b) {
+        c.kind = Classified::Kind::kPoints;
+        c.points.push_back(atom.a);
+        return c;
+      }
+      c.kind = Classified::Kind::kInterval;
+      c.lo = atom.a;
+      c.hi = atom.b;
+      return c;
+    case Atom::Kind::kIn: {
+      // Non-members all share one truth state (false, or unknown when the
+      // set contains NULL), so the flip set is exactly the member points.
+      // Dedupe: a value posted twice for one atom would cancel its own
+      // parity toggle.
+      std::unordered_set<Value, ValueHash> seen;
+      for (const Value& item : atom.set) {
+        if (item.is_null()) continue;
+        if (seen.insert(item).second) c.points.push_back(item);
+      }
+      if (c.points.empty()) return c;  // constant state: never flips
+      c.kind = Classified::Kind::kPoints;
+      return c;
+    }
+    case Atom::Kind::kLike:
+      if (atom.a.is_null()) return c;        // constantly unknown
+      if (!atom.a.is_string()) return c;     // constantly false
+      c.kind = Classified::Kind::kUnindexable;
+      return c;
+  }
+  c.kind = Classified::Kind::kUnindexable;
+  return c;
+}
+
+}  // namespace
+
+void PredicateIndex::IndexAtom(VertexId to, const Atom& atom, TargetHandles& handles) {
+  Classified c = Classify(atom);
+  switch (c.kind) {
+    case Classified::Kind::kNever:
+      break;
+    case Classified::Kind::kPoints: {
+      const uint64_t atom_id = next_atom_id_++;
+      for (Value& v : c.points) {
+        points_[v].push_back({to, atom_id});
+        handles.point_values.push_back(std::move(v));
+      }
+      break;
+    }
+    case Classified::Kind::kRay:
+      handles.rays.push_back(rays_.emplace(std::move(c.bound), RayEntry{to, c.closed}));
+      break;
+    case Classified::Kind::kInterval:
+      handles.interval_los.push_back(interval_lo_.emplace(c.lo, IntervalEntry{to, c.lo, c.hi}));
+      handles.interval_his.push_back(interval_hi_.emplace(c.hi, IntervalEntry{to, c.lo, c.hi}));
+      break;
+    case Classified::Kind::kUnindexable:
+      break;  // handled at edge granularity in AddEdge
+  }
+}
+
+void PredicateIndex::AddEdge(VertexId to, const EdgeAnnotation* annotation) {
+  if (annotation == nullptr) {
+    ++always_[to];
+    return;
+  }
+  // An edge with any unindexable atom is evaluated linearly as a whole:
+  // mixing (indexing some atoms, overflowing others) would fire it twice.
+  for (const Atom& atom : annotation->atoms()) {
+    if (Classify(atom).kind == Classified::Kind::kUnindexable) {
+      overflow_[to].push_back(*annotation);
+      return;
+    }
+  }
+  TargetHandles& handles = by_target_[to];
+  for (const Atom& atom : annotation->atoms()) IndexAtom(to, atom, handles);
+}
+
+void PredicateIndex::RemoveTarget(VertexId to) {
+  always_.erase(to);
+  overflow_.erase(to);
+  auto it = by_target_.find(to);
+  if (it == by_target_.end()) return;
+  for (const Value& v : it->second.point_values) {
+    auto pit = points_.find(v);
+    if (pit == points_.end()) continue;  // earlier handle already scrubbed v
+    std::erase_if(pit->second, [to](const PointEntry& e) { return e.to == to; });
+    if (pit->second.empty()) points_.erase(pit);
+  }
+  for (RayMap::iterator rit : it->second.rays) rays_.erase(rit);
+  for (IntervalMap::iterator iit : it->second.interval_los) interval_lo_.erase(iit);
+  for (IntervalMap::iterator iit : it->second.interval_his) interval_hi_.erase(iit);
+  by_target_.erase(it);
+}
+
+void PredicateIndex::ProbeUpdate(const Value& old_v, const Value& new_v,
+                                 std::vector<VertexId>& fired) const {
+  // Point atoms: parity toggle at both probe values. Atoms surviving with
+  // odd parity are members of exactly one side — they flip.
+  {
+    std::unordered_map<uint64_t, VertexId> parity;
+    auto toggle = [&parity](const std::vector<PointEntry>& entries) {
+      for (const PointEntry& e : entries) {
+        auto [it, inserted] = parity.emplace(e.atom_id, e.to);
+        if (!inserted) parity.erase(it);
+      }
+    };
+    if (auto it = points_.find(old_v); it != points_.end()) toggle(it->second);
+    if (auto it = points_.find(new_v); it != points_.end()) toggle(it->second);
+    for (const auto& [atom_id, to] : parity) fired.push_back(to);
+  }
+
+  const Value& lo = old_v < new_v ? old_v : new_v;
+  const Value& hi = old_v < new_v ? new_v : old_v;
+  if (!(lo == hi)) {
+    // Rays: membership can differ only if the bound lies in [lo, hi]
+    // (closed rays flip for bounds in [lo, hi), open ones for (lo, hi];
+    // the inclusive window over-scans at most the boundary-equal entries,
+    // and each candidate is verified exactly).
+    for (auto it = rays_.lower_bound(lo); it != rays_.end() && !(hi < it->first); ++it) {
+      if (RayMember(old_v, it->first, it->second.closed) !=
+          RayMember(new_v, it->first, it->second.closed)) {
+        fired.push_back(it->second.to);
+      }
+    }
+    // Intervals: membership can differ only if an endpoint lies in the
+    // window. Scan both endpoint maps; an interval found via both endpoints
+    // is emitted twice, which downstream dedup absorbs.
+    auto interval_member = [](const Value& v, const IntervalEntry& e) {
+      return !(v < e.lo) && !(e.hi < v);
+    };
+    auto scan = [&](const IntervalMap& map) {
+      for (auto it = map.lower_bound(lo); it != map.end() && !(hi < it->first); ++it) {
+        if (interval_member(old_v, it->second) != interval_member(new_v, it->second)) {
+          fired.push_back(it->second.to);
+        }
+      }
+    };
+    scan(interval_lo_);
+    scan(interval_hi_);
+  }
+
+  for (const auto& [to, annotations] : overflow_) {
+    for (const EdgeAnnotation& annotation : annotations) {
+      if (annotation.AffectedByUpdate(old_v, new_v)) {
+        fired.push_back(to);
+        break;
+      }
+    }
+  }
+  for (const auto& [to, count] : always_) fired.push_back(to);
+}
+
+}  // namespace qc::odg

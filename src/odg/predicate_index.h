@@ -1,0 +1,124 @@
+// Predicate-interval index over the annotated out-edges of one ODG vertex.
+//
+// Propagating an attribute update old→new through a column vertex with Q
+// annotated out-edges costs Q annotation evaluations in the linear scan
+// (odg/graph.cc). This index answers the same question — "which edges can
+// fire?" — with two stabbing probes over structures keyed by the values the
+// edges' atoms accept, so the cost is proportional to the number of edges
+// that actually fire (plus logarithmic window bounds), not to Q.
+//
+// An atom's polarity-free truth value partitions the value space; an update
+// flips the atom iff exactly one of old/new falls in the atom's accepting
+// set (unknown counts as its own truth state, see Atom::Flips). Per atom
+// class:
+//   * eq / <> / single-member IN / degenerate BETWEEN  →  a point set:
+//     postings in a hash map keyed by value. A probe toggles each posted
+//     atom's parity at old and at new; atoms left with odd parity flipped
+//     (an IN atom posted at both old and new cancels out — both members,
+//     no flip).
+//   * < ≤ > ≥  →  a ray: every such atom is membership-equivalent to
+//     "v < a" or "v ≤ a" (>: complement of ≤ — same flip set). Stored in a
+//     bound-keyed multimap; an update can flip a ray only if the bound lies
+//     in [min(old,new), max(old,new)], so a window scan plus an exact
+//     per-entry check is output-sensitive.
+//   * BETWEEN a AND b  →  a closed interval, indexed by both endpoints;
+//     membership can differ only if an endpoint lies in the probe window.
+//   * IS NULL, NULL operands, empty IN, non-string LIKE patterns  →  truth
+//     state is constant over non-null probe values: never flips, not stored.
+//   * LIKE with wildcards (and any future opaque atom)  →  the whole edge
+//     goes to an overflow list and is evaluated linearly per probe.
+// Unannotated edges always fire and live on an always-list.
+//
+// Exactness: for non-null old/new the probe fires exactly the edges the
+// linear scan fires (tests/odg/predicate_index_test.cc checks this
+// differentially; docs/INVALIDATION.md sketches the argument). Probes where
+// old or new is NULL are refused — NULL transitions change the
+// true/false/unknown state of almost every atom class, so the caller falls
+// back to the linear scan (sound and exact, counted as a fallback).
+//
+// @thread_safety Not synchronized; the owning Graph's caller provides
+// exclusion (the DUP engine holds its registration lock in shared mode for
+// probes, exclusive for maintenance).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "odg/annotation.h"
+
+namespace qc::odg {
+
+using VertexId = uint32_t;
+
+class PredicateIndex {
+ public:
+  /// Index one out-edge to `to`. Unannotated edges (no annotation) always
+  /// fire on updates. Must be called once per edge, including multi-edges
+  /// to the same target (self-joins).
+  void AddEdge(VertexId to, const EdgeAnnotation* annotation);
+
+  /// Drop every posting of every edge targeting `to` (vertex removal,
+  /// dependency rebuild). Idempotent.
+  void RemoveTarget(VertexId to);
+
+  /// Exact fired-edge targets for a value update old→new; both values must
+  /// be non-null (callers fall back to the linear scan otherwise). Appends
+  /// to `fired`; may contain duplicates (multi-edges, interval endpoints
+  /// both in window) — callers dedupe, as Graph::Propagate already does.
+  void ProbeUpdate(const Value& old_v, const Value& new_v, std::vector<VertexId>& fired) const;
+
+  size_t indexed_targets() const { return by_target_.size() + always_.size() + overflow_.size(); }
+
+ private:
+  /// A point posting: `atom_id` groups the postings of one multi-point atom
+  /// (IN) so that a probe hitting two of its members cancels to "no flip".
+  struct PointEntry {
+    VertexId to = 0;
+    uint64_t atom_id = 0;
+  };
+
+  /// Membership(v) ⇔ closed ? v <= bound : v < bound (bound is the map key).
+  struct RayEntry {
+    VertexId to = 0;
+    bool closed = false;
+  };
+
+  /// Closed interval [lo, hi]; stored under both endpoints.
+  struct IntervalEntry {
+    VertexId to = 0;
+    Value lo, hi;
+  };
+
+  using RayMap = std::multimap<Value, RayEntry>;
+  using IntervalMap = std::multimap<Value, IntervalEntry>;
+
+  /// Per-target removal handles. Multimap iterators stay valid under other
+  /// keys' erasures, so wholesale removal is O(postings of this target).
+  struct TargetHandles {
+    std::vector<Value> point_values;
+    std::vector<RayMap::iterator> rays;
+    std::vector<IntervalMap::iterator> interval_los;
+    std::vector<IntervalMap::iterator> interval_his;
+  };
+
+  void IndexAtom(VertexId to, const Atom& atom, TargetHandles& handles);
+  static bool RayMember(const Value& v, const Value& bound, bool closed) {
+    return closed ? v <= bound : v < bound;
+  }
+
+  std::unordered_map<Value, std::vector<PointEntry>, ValueHash> points_;
+  RayMap rays_;
+  IntervalMap interval_lo_, interval_hi_;
+  std::unordered_map<VertexId, TargetHandles> by_target_;
+  /// target → edge multiplicity (unannotated edges: fire on every update).
+  std::unordered_map<VertexId, uint32_t> always_;
+  /// target → annotation copies of edges with an unindexable atom,
+  /// evaluated linearly per probe. Copies, because Vertex::out reallocates.
+  std::unordered_map<VertexId, std::vector<EdgeAnnotation>> overflow_;
+  uint64_t next_atom_id_ = 0;
+};
+
+}  // namespace qc::odg

@@ -85,6 +85,9 @@ uint64_t ExecuteUpdate(const DmlStmt& stmt, storage::Table& table,
   for (const std::string& name : stmt.columns) columns.push_back(schema.Require(name));
 
   uint64_t affected = 0;
+  // One batch per statement: the DUP engine stamps epochs and takes cache
+  // shard locks once for all rows this UPDATE touches.
+  storage::Table::BatchScope scope(table);
   for (storage::RowId row_id : MatchingRows(table, stmt.where.get(), params)) {
     const storage::Row image = table.GetRow(row_id);
     std::vector<std::pair<uint32_t, Value>> sets;
@@ -101,6 +104,7 @@ uint64_t ExecuteUpdate(const DmlStmt& stmt, storage::Table& table,
 uint64_t ExecuteDelete(const DmlStmt& stmt, storage::Table& table,
                        const std::vector<Value>& params) {
   const auto rows = MatchingRows(table, stmt.where.get(), params);
+  storage::Table::BatchScope scope(table);
   for (storage::RowId row : rows) table.Delete(row);
   return rows.size();
 }

@@ -338,19 +338,48 @@ std::vector<RowId> RunProbes(const Table& table, const std::vector<IndexProbe>& 
 
 /// Pick the cheapest indexed conjunct among `conjuncts` (all referencing
 /// only `slot`), and return its candidate row ids. nullopt → full scan.
+/// Losing conjuncts are never materialized: all-equality candidates are
+/// sized exactly from index bucket sizes (IN members hit disjoint
+/// buckets), and only the winner's rows are fetched.
 std::optional<std::vector<RowId>> IndexedCandidates(const Table& table, int32_t slot,
                                                     const std::vector<const Expr*>& conjuncts,
                                                     const std::vector<Value>& params) {
-  std::optional<std::vector<RowId>> best;
+  std::vector<std::vector<IndexProbe>> candidates;
   for (const Expr* conjunct : conjuncts) {
     std::vector<IndexProbe> probes;
-    if (!ExtractProbes(*conjunct, slot, table, params, probes)) continue;
-    // A single equality probe is cheap to size exactly; prefer the smallest.
-    std::vector<RowId> rows = RunProbes(table, probes);
-    if (!best || rows.size() < best->size()) best = std::move(rows);
-    if (best->empty()) break;
+    if (ExtractProbes(*conjunct, slot, table, params, probes)) {
+      candidates.push_back(std::move(probes));
+    }
   }
-  return best;
+  if (candidates.empty()) return std::nullopt;
+
+  const std::vector<IndexProbe>* eq_winner = nullptr;
+  size_t eq_winner_size = 0;
+  const std::vector<IndexProbe>* first_range = nullptr;
+  for (const std::vector<IndexProbe>& probes : candidates) {
+    const bool all_eq = std::all_of(probes.begin(), probes.end(), [](const IndexProbe& p) {
+      return p.kind == IndexProbe::Kind::kEq;
+    });
+    if (!all_eq) {
+      if (!first_range) first_range = &probes;
+      continue;
+    }
+    size_t size = 0;
+    for (const IndexProbe& p : probes) size += table.LookupEqual(p.column, p.eq).size();
+    if (!eq_winner || size < eq_winner_size) {
+      eq_winner = &probes;
+      eq_winner_size = size;
+    }
+  }
+  // Prefer the sized equality winner: its candidate count is known, while
+  // a range conjunct cannot be sized without materializing its rows.
+  if (eq_winner) {
+    if (eq_winner_size == 0) return std::vector<RowId>{};
+    return RunProbes(table, *eq_winner);
+  }
+  // Only range candidates remain: run one instead of materializing every
+  // candidate just to compare sizes.
+  return RunProbes(table, *first_range);
 }
 
 // ---------------------------------------------------------------------------

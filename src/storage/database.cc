@@ -14,6 +14,10 @@ Table& Database::CreateTable(const std::string& name, Schema schema) {
     auto handle = observer;  // keep the shared target alive in the lambda
     table.Subscribe([handle](const UpdateEvent& e) { (*handle)(e); });
   }
+  for (const auto& observer : batch_observers_) {
+    auto handle = observer;
+    table.SubscribeBatch([handle](const UpdateBatch& b) { (*handle)(b); });
+  }
   return table;
 }
 
@@ -63,6 +67,21 @@ void Database::Unsubscribe(const Subscription& subscription) {
   if (!subscription) return;
   *subscription = [](const UpdateEvent&) {};
   std::erase(observers_, subscription);
+}
+
+Database::BatchSubscription Database::SubscribeBatch(BatchObserver observer) {
+  auto handle = std::make_shared<BatchObserver>(std::move(observer));
+  batch_observers_.push_back(handle);
+  for (auto& [key, table] : tables_) {
+    table->SubscribeBatch([handle](const UpdateBatch& b) { (*handle)(b); });
+  }
+  return handle;
+}
+
+void Database::Unsubscribe(const BatchSubscription& subscription) {
+  if (!subscription) return;
+  *subscription = [](const UpdateBatch&) {};
+  std::erase(batch_observers_, subscription);
 }
 
 }  // namespace qc::storage

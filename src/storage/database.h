@@ -45,10 +45,20 @@ class Database {
   /// not run concurrently with table mutations.
   void Unsubscribe(const Subscription& subscription);
 
+  /// A live database-level batch subscription; pass back to Unsubscribe.
+  using BatchSubscription = std::shared_ptr<BatchObserver>;
+
+  /// Subscribe to statement-level batches of every table, present and
+  /// future (see Table::SubscribeBatch). Same lifetime and threading rules
+  /// as Subscribe.
+  BatchSubscription SubscribeBatch(BatchObserver observer);
+  void Unsubscribe(const BatchSubscription& subscription);
+
  private:
   // Table names are case-insensitive; keys are upper-cased.
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::shared_ptr<UpdateObserver>> observers_;
+  std::vector<std::shared_ptr<BatchObserver>> batch_observers_;
 };
 
 }  // namespace qc::storage

@@ -8,14 +8,19 @@
 //
 // Ordering contract (load-bearing for docs/CONCURRENCY.md): observers run
 // synchronously on the mutating thread, after the table data/indexes have
-// been updated, before the mutation call returns. The DUP engine stamps
-// its update epochs as the first step of handling an event, so "mutation
+// been updated, before the mutation call returns. Inside a
+// Table::BatchScope (one scope per multi-row DML statement) delivery is
+// deferred to the end of the scope: all of the statement's rows mutate
+// first, then every event is delivered — still synchronously, still before
+// the *statement* returns to its caller. The DUP engine stamps its update
+// epochs as the first step of handling an event or batch, so "mutation
 // acknowledged" implies "epoch stamped and invalidations applied".
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/value.h"
@@ -50,5 +55,24 @@ struct UpdateEvent {
 };
 
 using UpdateObserver = std::function<void(const UpdateEvent&)>;
+
+/// A statement-scoped group of events on one table, delivered as one unit
+/// to batch observers so per-statement work (epoch stamping, affected-key
+/// dedup, cache shard locking) is paid once instead of once per row. A
+/// single-row mutation outside any BatchScope is delivered as a batch of
+/// one. The struct is a *view* into the emitting table's buffer: valid only
+/// for the duration of the observer call — copy what must outlive it.
+struct UpdateBatch {
+  std::string_view table;  // table name (catalog key); same for every event
+  const UpdateEvent* events = nullptr;
+  size_t count = 0;
+
+  const UpdateEvent* begin() const { return events; }
+  const UpdateEvent* end() const { return events + count; }
+  const UpdateEvent& operator[](size_t i) const { return events[i]; }
+  bool empty() const { return count == 0; }
+};
+
+using BatchObserver = std::function<void(const UpdateBatch&)>;
 
 }  // namespace qc::storage

@@ -150,8 +150,32 @@ void Table::IndexErase(uint32_t column, const Value& v, RowId row) {
   if (ordered_indexes_[column]) ordered_indexes_[column]->Erase(v, row);
 }
 
-void Table::Emit(const UpdateEvent& event) const {
+void Table::Emit(UpdateEvent event) {
+  if (batch_depth_ > 0) {
+    pending_.push_back(std::move(event));
+    return;
+  }
   for (const UpdateObserver& observer : observers_) observer(event);
+  if (!batch_observers_.empty()) {
+    const UpdateBatch batch{name_, &event, 1};
+    for (const BatchObserver& observer : batch_observers_) observer(batch);
+  }
+}
+
+void Table::EmitBatchEnd() {
+  if (pending_.empty()) return;
+  // Move the buffer out first: an observer may mutate this table again
+  // (refresh-on-invalidate), and with no scope open such mutations deliver
+  // immediately rather than appending under our feet.
+  std::vector<UpdateEvent> events = std::move(pending_);
+  pending_.clear();
+  for (const UpdateEvent& event : events) {
+    for (const UpdateObserver& observer : observers_) observer(event);
+  }
+  if (!batch_observers_.empty()) {
+    const UpdateBatch batch{name_, events.data(), events.size()};
+    for (const BatchObserver& observer : batch_observers_) observer(batch);
+  }
 }
 
 }  // namespace qc::storage

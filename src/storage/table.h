@@ -93,6 +93,36 @@ class Table {
   /// against concurrent mutations — subscribe before threads start.
   void Subscribe(UpdateObserver observer) { observers_.push_back(std::move(observer)); }
 
+  /// Register a batch observer: receives one UpdateBatch per BatchScope
+  /// (or a batch of one for mutations outside any scope). Same threading
+  /// rules as Subscribe. Per-event observers and batch observers both see
+  /// every mutation; an object should subscribe through exactly one of the
+  /// two channels.
+  void SubscribeBatch(BatchObserver observer) { batch_observers_.push_back(std::move(observer)); }
+
+  /// RAII statement scope: while alive, this table's mutations buffer
+  /// their events; the scope's destruction delivers them — first to each
+  /// per-event observer (in emission order), then to each batch observer
+  /// as a single UpdateBatch. Used by multi-row DML so the DUP engine sees
+  /// one batch per statement. Scopes nest (delivery happens when the
+  /// outermost one ends) and must not outlive the table. The caller keeps
+  /// holding the table's write lock for the scope's whole lifetime, as DML
+  /// already does — delivery runs under it.
+  class BatchScope {
+   public:
+    explicit BatchScope(Table& table) : table_(table) { ++table_.batch_depth_; }
+    /// Delivers the buffered events; observer exceptions propagate, as
+    /// they do from an unbatched mutation.
+    ~BatchScope() noexcept(false) {
+      if (--table_.batch_depth_ == 0) table_.EmitBatchEnd();
+    }
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    Table& table_;
+  };
+
   /// Cooperative reader-writer lock (see @thread_safety above). Readers
   /// acquiring multiple tables' locks must do so in a consistent order
   /// (CachedQueryEngine sorts by table address); writers lock one table at
@@ -108,7 +138,8 @@ class Table {
   void ValidateLive(RowId row) const;
   void IndexInsert(uint32_t column, const Value& v, RowId row);
   void IndexErase(uint32_t column, const Value& v, RowId row);
-  void Emit(const UpdateEvent& event) const;
+  void Emit(UpdateEvent event);
+  void EmitBatchEnd();
 
   std::string name_;
   Schema schema_;
@@ -119,6 +150,9 @@ class Table {
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
   std::vector<UpdateObserver> observers_;
+  std::vector<BatchObserver> batch_observers_;
+  uint32_t batch_depth_ = 0;            // open BatchScope nesting level
+  std::vector<UpdateEvent> pending_;    // events buffered by open scopes
   mutable std::shared_mutex rw_mutex_;
 };
 

@@ -1,0 +1,172 @@
+// Statement-level update batching: a multi-row DML statement reaches the
+// DUP engine as ONE batch — epochs stamped once, affected keys deduplicated
+// across rows, the cache invalidated with one shard-lock acquisition per
+// touched shard — plus the new observability around it (invalidation
+// latency histogram, predicate-index counters, per-source attribution).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dup/engine.h"
+#include "middleware/query_engine.h"
+#include "sql/binder.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace qc::dup {
+namespace {
+
+middleware::CachedQueryEngine::Options EngineOptions() {
+  middleware::CachedQueryEngine::Options options;
+  options.policy = InvalidationPolicy::kValueAware;
+  return options;
+}
+
+TEST(BatchingTest, MultiRowStatementIsOneBatch) {
+  storage::Database db;
+  db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                       {"Y", ValueType::kInt, false}}));
+  middleware::CachedQueryEngine engine(db, EngineOptions());
+  for (int i = 0; i < 100; ++i) {
+    engine.ExecuteDml("INSERT INTO T (X, Y) VALUES (" + std::to_string(i) + ", 0)");
+  }
+
+  const DupStats before = engine.dup_stats();
+  engine.ExecuteDml("UPDATE T SET Y = 1 WHERE X >= 0");
+  const DupStats after = engine.dup_stats();
+  EXPECT_EQ(after.update_batches - before.update_batches, 1u);
+  EXPECT_EQ(after.update_events - before.update_events, 100u);
+
+  // Rows already at Y = 1 emit nothing (the setter guard), so re-running
+  // the same statement delivers an empty batch — not even a batch count.
+  const DupStats again = engine.dup_stats();
+  engine.ExecuteDml("UPDATE T SET Y = 1 WHERE X >= 0");
+  EXPECT_EQ(engine.dup_stats().update_batches, again.update_batches);
+}
+
+TEST(BatchingTest, BatchInvalidationLocksShardsNotRows) {
+  storage::Database db;
+  db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                       {"Y", ValueType::kInt, false}}));
+  auto options = EngineOptions();
+  options.cache.shards = 8;
+  middleware::CachedQueryEngine engine(db, options);
+
+  constexpr int kRows = 1000;
+  constexpr int kQueries = 50;
+  {
+    storage::Table& table = db.GetTable("T");
+    storage::Table::BatchScope scope(table);
+    for (int i = 0; i < kRows; ++i) table.Insert({Value(i % kQueries), Value(i)});
+  }
+  for (int q = 0; q < kQueries; ++q) {
+    const auto result =
+        engine.ExecuteSql("SELECT COUNT(*) FROM T WHERE X = " + std::to_string(q));
+    ASSERT_FALSE(result.cache_hit);
+  }
+  ASSERT_EQ(engine.dup_stats().registered_queries, static_cast<uint64_t>(kQueries));
+
+  const cache::CacheStats before = engine.cache_stats();
+  engine.ExecuteDml("DELETE FROM T WHERE X >= 0");  // one statement, 1000 rows
+  const cache::CacheStats after = engine.cache_stats();
+
+  EXPECT_EQ(after.invalidations - before.invalidations, static_cast<uint64_t>(kQueries));
+  const uint64_t lock_acquisitions = after.invalidate_shard_locks - before.invalidate_shard_locks;
+  EXPECT_GT(lock_acquisitions, 0u);
+  EXPECT_LE(lock_acquisitions, 8u);  // one per touched shard, NOT one per row
+}
+
+TEST(BatchingTest, BatchStampsEpochsBeforeInvalidation) {
+  storage::Database db;
+  db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                       {"Y", ValueType::kInt, false}}));
+  middleware::CachedQueryEngine engine(db, EngineOptions());
+  for (int i = 0; i < 10; ++i) {
+    engine.ExecuteDml("INSERT INTO T (X, Y) VALUES (" + std::to_string(i) + ", 0)");
+  }
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE Y = 0");
+  UpdateEpochs::Snapshot snapshot = engine.dup_engine().SnapshotDependencies(query);
+  EXPECT_TRUE(snapshot.Current());
+  engine.ExecuteDml("UPDATE T SET Y = 2 WHERE X < 5");
+  // The statement's batch advanced the Y column epoch exactly like the
+  // per-row path would: an in-flight execution must fail admission.
+  EXPECT_FALSE(snapshot.Current());
+}
+
+TEST(BatchingTest, InvalidationLatencyHistogramRecordsPerStatement) {
+  storage::Database db;
+  db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                       {"Y", ValueType::kInt, false}}));
+  auto options = EngineOptions();
+  options.collect_latency_metrics = true;
+  middleware::CachedQueryEngine engine(db, options);
+
+  engine.ExecuteDml("INSERT INTO T (X, Y) VALUES (1, 0)");
+  engine.ExecuteDml("INSERT INTO T (X, Y) VALUES (2, 0)");
+  EXPECT_EQ(engine.latency_metrics().invalidations.count(), 2u);
+  engine.ExecuteDml("UPDATE T SET Y = 9 WHERE X >= 0");  // multi-row: ONE sample
+  EXPECT_EQ(engine.latency_metrics().invalidations.count(), 3u);
+  EXPECT_GT(engine.latency_metrics().invalidations.total().count(), 0);
+}
+
+TEST(BatchingTest, PredicateIndexCountersSurfaceInStats) {
+  storage::Database db;
+  db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                       {"S", ValueType::kString, false}}));
+  middleware::CachedQueryEngine engine(db, EngineOptions());
+  engine.ExecuteDml("INSERT INTO T (X, S) VALUES (1, 'widget')");
+  engine.ExecuteSql("SELECT COUNT(*) FROM T WHERE X = 1");
+  engine.ExecuteSql("SELECT COUNT(*) FROM T WHERE S LIKE 'wid%'");  // uncompilable gate
+
+  const DupStats before = engine.dup_stats();
+  engine.ExecuteDml("UPDATE T SET X = 2 WHERE X = 1");  // indexed flip probe
+  const DupStats after_update = engine.dup_stats();
+  EXPECT_GT(after_update.predicate_index_probes, before.predicate_index_probes);
+
+  engine.ExecuteDml("INSERT INTO T (X, S) VALUES (3, 'gadget')");  // row probe
+  const DupStats after_insert = engine.dup_stats();
+  EXPECT_GT(after_insert.predicate_index_probes, after_update.predicate_index_probes);
+  // The wildcard-LIKE registration cannot be interval-compiled: every row
+  // probe reports it for direct filter evaluation and counts a fallback.
+  EXPECT_GT(after_insert.predicate_index_fallbacks, 0u);
+}
+
+// Regression: affected_by_source must attribute only *object* vertices
+// (cache churn) to the triggering column — propagation through a
+// multi-level ODG also returns intermediate vertices, which previously
+// inflated the count.
+TEST(BatchingTest, AffectedBySourceCountsOnlyObjectVertices) {
+  storage::Database db;
+  storage::Table& table =
+      db.CreateTable("T", storage::Schema({{"X", ValueType::kInt, false},
+                                           {"Y", ValueType::kInt, false}}));
+  cache::GpsCache cache{cache::GpsCacheConfig{}};
+  DupEngine::Options options;
+  options.policy = InvalidationPolicy::kValueAware;
+  DupEngine dup(cache, options);
+  db.Subscribe([&dup](const storage::UpdateEvent& event) { dup.OnUpdate(event); });
+
+  auto query = sql::ParseAndBind("SELECT COUNT(*) FROM T WHERE X = 1", db);
+  const std::string key = sql::Fingerprint(query->stmt(), {});
+  cache.Put(key, std::make_shared<cache::StringValue>("r"));
+  dup.RegisterQuery(key, query, {});
+
+  // Multi-level graph (paper Fig. 2): hang an intermediate vertex off the
+  // column; Propagate will return it alongside the object vertex.
+  odg::Graph& graph = dup.graph_for_test();
+  const auto column_vertex = graph.Find("col:T.X");
+  ASSERT_TRUE(column_vertex.has_value());
+  const odg::VertexId mid = graph.AddVertex("intermediate", odg::VertexKind::kIntermediate);
+  graph.AddEdge(*column_vertex, mid);
+
+  const storage::RowId row = table.Insert({Value(0), Value(0)});
+  table.Update(row, 0, Value(1));  // 0 -> 1 flips "X = 1"
+  const DupStats stats = dup.stats();
+  const auto it = stats.affected_by_source.find("col:T.X");
+  ASSERT_NE(it, stats.affected_by_source.end());
+  EXPECT_EQ(it->second, 1u);  // the object vertex only, not the intermediate
+}
+
+}  // namespace
+}  // namespace qc::dup

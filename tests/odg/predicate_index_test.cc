@@ -1,0 +1,143 @@
+// Differential test for the predicate-interval index (odg/predicate_index.h):
+// for randomized annotated edge sets and randomized update probes, the
+// indexed Propagate must fire exactly the edges the linear scan fires.
+#include "odg/predicate_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "odg/graph.h"
+
+namespace qc::odg {
+namespace {
+
+Value RandomValue(std::mt19937& rng, bool allow_null) {
+  std::uniform_int_distribution<int> pick(0, allow_null ? 3 : 2);
+  switch (pick(rng)) {
+    case 0:
+      return Value(static_cast<int64_t>(std::uniform_int_distribution<int>(-20, 20)(rng)));
+    case 1:
+      return Value(std::uniform_int_distribution<int>(-20, 20)(rng) / 2.0);
+    case 2: {
+      static const char* kStrings[] = {"alpha", "beta", "gamma", "delta", "a%b", "x_y"};
+      return Value(kStrings[std::uniform_int_distribution<size_t>(0, 5)(rng)]);
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+Atom RandomAtom(std::mt19937& rng) {
+  Atom atom;
+  std::uniform_int_distribution<int> pick(0, 4);
+  switch (pick(rng)) {
+    case 0: {
+      atom.kind = Atom::Kind::kCmp;
+      static const sql::BinaryOp kOps[] = {sql::BinaryOp::kEq, sql::BinaryOp::kNe,
+                                           sql::BinaryOp::kLt, sql::BinaryOp::kLe,
+                                           sql::BinaryOp::kGt, sql::BinaryOp::kGe};
+      atom.cmp_op = kOps[std::uniform_int_distribution<size_t>(0, 5)(rng)];
+      atom.a = RandomValue(rng, true);
+      break;
+    }
+    case 1:
+      atom.kind = Atom::Kind::kBetween;
+      atom.a = RandomValue(rng, true);
+      atom.b = RandomValue(rng, true);
+      break;
+    case 2: {
+      atom.kind = Atom::Kind::kIn;
+      const size_t n = std::uniform_int_distribution<size_t>(0, 4)(rng);
+      for (size_t i = 0; i < n; ++i) atom.set.push_back(RandomValue(rng, true));
+      break;
+    }
+    case 3: {
+      atom.kind = Atom::Kind::kLike;
+      static const char* kPatterns[] = {"alpha", "a%", "%ta", "x_y", "beta"};
+      atom.a = Value(kPatterns[std::uniform_int_distribution<size_t>(0, 4)(rng)]);
+      break;
+    }
+    default:
+      atom.kind = Atom::Kind::kIsNull;
+      break;
+  }
+  atom.negated = std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+  return atom;
+}
+
+std::vector<VertexId> Sorted(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Build a column vertex with a randomized mix of annotated, unannotated
+/// and multi-level out-edges, then compare indexed vs. linear propagation
+/// over randomized update probes (including NULL transitions, which must
+/// fall back to the linear scan with identical results).
+TEST(PredicateIndexTest, DifferentialAgainstLinearScan) {
+  std::mt19937 rng(20260806);
+  for (int round = 0; round < 30; ++round) {
+    Graph graph;
+    const VertexId col = graph.AddVertex("T.C", VertexKind::kUnderlying);
+    const int objects = std::uniform_int_distribution<int>(1, 25)(rng);
+    for (int i = 0; i < objects; ++i) {
+      const VertexId obj = graph.AddVertex("Q" + std::to_string(i), VertexKind::kObject);
+      const int kind = std::uniform_int_distribution<int>(0, 9)(rng);
+      if (kind == 0) {
+        graph.AddEdge(col, obj);  // unannotated: fires on every update
+      } else if (kind == 1) {
+        // Multi-level: column -> intermediate -> object (paper Fig. 2).
+        const VertexId mid = graph.AddVertex("M" + std::to_string(i), VertexKind::kIntermediate);
+        std::vector<Atom> atoms{RandomAtom(rng)};
+        graph.AddEdge(col, mid, 1.0,
+                      EdgeAnnotation(atoms, ColumnPredicate::MakeAtom(atoms[0])));
+        graph.AddEdge(mid, obj);
+      } else {
+        std::vector<Atom> atoms;
+        const int n = std::uniform_int_distribution<int>(1, 3)(rng);
+        for (int a = 0; a < n; ++a) atoms.push_back(RandomAtom(rng));
+        graph.AddEdge(col, obj, 1.0, EdgeAnnotation(atoms, ColumnPredicate::MakeAtom(atoms[0])));
+      }
+    }
+    // Occasionally remove a vertex to exercise index maintenance.
+    if (round % 3 == 0 && objects > 2) {
+      graph.RemoveVertex(*graph.Find("Q1"));
+    }
+
+    for (int probe = 0; probe < 60; ++probe) {
+      const Value old_v = RandomValue(rng, true);
+      const Value new_v = RandomValue(rng, true);
+      const ChangeSpec spec = ChangeSpec::Update(old_v, new_v);
+      graph.SetPredicateIndexEnabled(true);
+      const auto indexed = Sorted(graph.Propagate(col, spec));
+      graph.SetPredicateIndexEnabled(false);
+      const auto linear = Sorted(graph.Propagate(col, spec));
+      EXPECT_EQ(indexed, linear) << "round " << round << " probe " << probe << " update "
+                                 << old_v.ToString() << " -> " << new_v.ToString();
+    }
+  }
+}
+
+TEST(PredicateIndexTest, NullProbesCountAsFallbacks) {
+  Graph graph;
+  const VertexId col = graph.AddVertex("T.C", VertexKind::kUnderlying);
+  const VertexId obj = graph.AddVertex("Q", VertexKind::kObject);
+  Atom atom;
+  atom.kind = Atom::Kind::kCmp;
+  atom.cmp_op = sql::BinaryOp::kGt;
+  atom.a = Value(5);
+  graph.AddEdge(col, obj, 1.0, EdgeAnnotation({atom}, ColumnPredicate::MakeAtom(atom)));
+
+  graph.Propagate(col, ChangeSpec::Update(Value(1), Value(9)));
+  EXPECT_EQ(graph.index_probes(), 1u);
+  EXPECT_EQ(graph.index_fallbacks(), 0u);
+
+  graph.Propagate(col, ChangeSpec::Update(Value::Null(), Value(9)));
+  EXPECT_EQ(graph.index_probes(), 1u);
+  EXPECT_EQ(graph.index_fallbacks(), 1u);
+}
+
+}  // namespace
+}  // namespace qc::odg
