@@ -96,7 +96,8 @@ double NsPerUpdate(dup::DupEngine& engine, uint64_t queries, uint64_t reps) {
          static_cast<double>(reps);
 }
 
-void ScalingSeries(uint64_t max_queries, double* speedup_at_1e4) {
+void ScalingSeries(uint64_t max_queries, double* speedup_at_1e4,
+                   std::vector<benchharness::BenchMetric>* metrics) {
   const std::vector<int> widths = {8, 32, 14, 14, 10};
   std::cout << "\n-- per-update invalidation cost vs. registered queries --\n";
   PrintRow({"Q", "policy", "linear ns/up", "indexed ns/up", "speedup"}, widths);
@@ -116,11 +117,22 @@ void ScalingSeries(uint64_t max_queries, double* speedup_at_1e4) {
       if (policy == InvalidationPolicy::kValueAware && queries == 10'000) {
         *speedup_at_1e4 = speedup;
       }
+      metrics->push_back({"update_cost_linear",
+                          linear_ns,
+                          "ns_per_op",
+                          {{"policy", dup::PolicyName(policy)},
+                           {"queries", std::to_string(queries)}}});
+      metrics->push_back({"update_cost_indexed",
+                          indexed_ns,
+                          "ns_per_op",
+                          {{"policy", dup::PolicyName(policy)},
+                           {"queries", std::to_string(queries)}}});
     }
   }
 }
 
-void BatchingSeries(size_t shards, uint64_t* locks_at_1000) {
+void BatchingSeries(size_t shards, uint64_t* locks_at_1000,
+                    std::vector<benchharness::BenchMetric>* metrics) {
   std::cout << "\n-- statement batching: B delete rows, Policy III, Q=1000, shards="
             << shards << " --\n";
   const std::vector<int> widths = {8, 16, 16, 12, 12};
@@ -165,6 +177,18 @@ void BatchingSeries(size_t shards, uint64_t* locks_at_1000) {
     PrintRow({std::to_string(batch), Fmt(per_event_ns), Fmt(batched_ns), std::to_string(locks),
               std::to_string(invalidated)},
              widths);
+    metrics->push_back({"batch_cost_per_event",
+                        per_event_ns,
+                        "ns_per_row",
+                        {{"batch", std::to_string(batch)}, {"shards", std::to_string(shards)}}});
+    metrics->push_back({"batch_cost_batched",
+                        batched_ns,
+                        "ns_per_row",
+                        {{"batch", std::to_string(batch)}, {"shards", std::to_string(shards)}}});
+    metrics->push_back({"batch_shard_locks",
+                        static_cast<double>(locks),
+                        "locks",
+                        {{"batch", std::to_string(batch)}, {"shards", std::to_string(shards)}}});
   }
 }
 
@@ -178,10 +202,12 @@ int main() {
   std::cout << "ext_invalidation_scale: predicate-interval index + statement batching\n";
 
   double speedup_at_1e4 = 0;
-  ScalingSeries(max_queries, &speedup_at_1e4);
+  std::vector<benchharness::BenchMetric> metrics;
+  ScalingSeries(max_queries, &speedup_at_1e4, &metrics);
 
   uint64_t locks_at_1000 = ~0ull;
-  BatchingSeries(shards, &locks_at_1000);
+  BatchingSeries(shards, &locks_at_1000, &metrics);
+  benchharness::WriteBenchJson("ext_invalidation_scale", metrics);
 
   std::cout << "\n";
   if (max_queries >= 10'000) {

@@ -1,6 +1,7 @@
 #include "harness.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -75,5 +76,52 @@ bool Check(bool condition, const std::string& claim) {
 }
 
 int Failures() { return g_failures; }
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string WriteBenchJson(const std::string& bench_name,
+                           const std::vector<BenchMetric>& metrics) {
+  const char* dir = std::getenv("BENCH_JSON_DIR");
+  std::string path = (dir && *dir) ? std::string(dir) + "/" : std::string();
+  path += "BENCH_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return {};
+  }
+  out << "{\n  \"bench\": \"" << JsonEscape(bench_name) << "\",\n  \"metrics\": [";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const BenchMetric& m = metrics[i];
+    out << (i ? ",\n" : "\n") << "    {\"name\": \"" << JsonEscape(m.name)
+        << "\", \"value\": " << std::setprecision(17) << m.value << ", \"unit\": \""
+        << JsonEscape(m.unit) << "\"";
+    for (const auto& [key, value] : m.labels) {
+      out << ", \"" << JsonEscape(key) << "\": \"" << JsonEscape(value) << "\"";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  out.close();
+  if (!out) {
+    std::cerr << "warning: short write to " << path << "\n";
+    return {};
+  }
+  std::cout << "wrote " << path << "\n";
+  return path;
+}
 
 }  // namespace qc::benchharness

@@ -57,4 +57,22 @@ std::string Fmt(double v, int precision = 1);
 bool Check(bool condition, const std::string& claim);
 int Failures();
 
+/// One measured point for the machine-readable artifact: a metric name, a
+/// value with its unit, and the configuration labels that locate it in the
+/// sweep (threads, shards, eviction policy, ...).
+struct BenchMetric {
+  std::string name;   // e.g. "hit_throughput"
+  double value = 0.0;
+  std::string unit;   // e.g. "ops_per_sec", "ns_per_op"
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// Write the run's metrics as `BENCH_<bench_name>.json` (into
+/// $BENCH_JSON_DIR, default the working directory) so CI and tooling can
+/// trend results without scraping the human-readable tables. Returns the
+/// path written, or empty on I/O failure (reported to stderr, never fatal
+/// — the self-checks, not the artifact, gate the run).
+std::string WriteBenchJson(const std::string& bench_name,
+                           const std::vector<BenchMetric>& metrics);
+
 }  // namespace qc::benchharness

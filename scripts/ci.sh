@@ -5,17 +5,22 @@
 #      recovery, stress, dup-labeled invalidation tests);
 #   2. dup:    `ctest -L dup` on the same build — the sublinear-invalidation
 #      suite on its own, for quick iteration on the DUP engine;
-#   3. tsan:   ThreadSanitizer build, stress-labeled concurrency tests;
-#   4. asan:   AddressSanitizer build, recovery-labeled crash-recovery tests.
+#   3. tsan:   ThreadSanitizer build, stress-labeled concurrency tests
+#              (exercises the default kClock shared-lock hit path);
+#   4. asan:   AddressSanitizer build, recovery-labeled crash-recovery tests;
+#   5. bench-smoke: the self-checking extension benches (ext_hit_contention,
+#              ext_invalidation_scale) in quick mode — their [VIOLATION]
+#              checks gate the stage and each drops a BENCH_<name>.json
+#              artifact into build/bench/.
 #
 # Stages can be selected by name: `scripts/ci.sh tier1 dup` runs only the
-# first two. Default is all four. JOBS controls build parallelism.
+# first two. Default is all five. JOBS controls build parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 dup tsan asan)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 dup tsan asan bench-smoke)
 
 want() {
   local stage
@@ -27,7 +32,7 @@ want() {
 
 banner() { printf '\n=== %s ===\n' "$1"; }
 
-if want tier1 || want dup; then
+if want tier1 || want dup || want bench-smoke; then
   banner "configure+build (default preset)"
   cmake --preset default >/dev/null
   cmake --build --preset default -j "$JOBS"
@@ -55,6 +60,16 @@ if want asan; then
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$JOBS"
   ctest --preset asan-recovery -j "$JOBS"
+fi
+
+if want bench-smoke; then
+  banner "bench smoke (self-checking extension benches, quick mode)"
+  # Quick-mode envs shrink the measure windows/sweeps so the stage stays
+  # under a minute; the benches' own [VIOLATION] checks (exit code) gate it,
+  # and hard perf-ratio checks self-skip on low-core machines.
+  BENCH_JSON_DIR=build/bench HIT_MS=100 HIT_READERS=8 ./build/bench/ext_hit_contention
+  BENCH_JSON_DIR=build/bench EXT_INV_MAX_QUERIES=10000 ./build/bench/ext_invalidation_scale
+  ls -l build/bench/BENCH_ext_hit_contention.json build/bench/BENCH_ext_invalidation_scale.json
 fi
 
 banner "all requested stages passed"

@@ -23,9 +23,14 @@
 // incremented. Only constructor-time spool-directory creation throws.
 //
 // @thread_safety Not internally synchronized. Each GpsCache shard owns one
-// DiskStore (its own spool subdirectory) and accesses it only under that
-// shard's mutex (docs/CONCURRENCY.md); standalone users must provide their
-// own locking. Two DiskStores must never share a directory.
+// DiskStore (its own spool subdirectory); every mutation — Put, Read (it
+// splices the LRU list and may quarantine), Erase, Clear — runs only under
+// that shard's *exclusive* lock. The const observers (Contains,
+// byte_count, io_errors, quarantined, recovered) touch nothing but plain
+// members, so the GpsCache may call them under the shard's *shared* lock,
+// concurrently with each other (docs/CONCURRENCY.md). Standalone users
+// must provide their own locking. Two DiskStores must never share a
+// directory.
 #pragma once
 
 #include <cstdint>

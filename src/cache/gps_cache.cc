@@ -1,6 +1,7 @@
 #include "cache/gps_cache.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/error.h"
 
@@ -50,7 +51,7 @@ GpsCache::GpsCache(GpsCacheConfig config) : config_(std::move(config)) {
   for (size_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
     if (config_.mode != CacheMode::kDisk) {
-      shard->memory = std::make_unique<MemoryStore>(mem_bytes, mem_entries);
+      shard->memory = std::make_unique<MemoryStore>(mem_bytes, mem_entries, config_.eviction);
     }
     if (config_.mode != CacheMode::kMemory) {
       // One spool subdirectory per shard (the single-shard layout is kept
@@ -73,11 +74,10 @@ GpsCache::Shard& GpsCache::ShardFor(const std::string& key) {
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
-int64_t GpsCache::WallExpiry(const std::optional<TimePoint>& expires_at) const {
-  if (!expires_at) return kNoExpiry;
-  const auto remaining =
-      std::chrono::duration_cast<std::chrono::microseconds>(*expires_at - now_()).count();
-  return WallNowMicros() + remaining;
+int64_t GpsCache::WallExpiry(int64_t deadline_ns) const {
+  if (deadline_ns == kNoDeadlineNs) return kNoExpiry;
+  const int64_t remaining_micros = (deadline_ns - NowNs()) / 1000;
+  return WallNowMicros() + remaining_micros;
 }
 
 void GpsCache::AdoptRecovered(Shard& shard) {
@@ -99,8 +99,10 @@ void GpsCache::AdoptRecovered(Shard& shard) {
     meta.generation = ++shard.generation_counter;
     meta.durable_tag = rec.durable_tag;
     if (rec.expires_at_micros != kNoExpiry) {
-      meta.expires_at = now_() + std::chrono::microseconds(rec.expires_at_micros - wall_now);
-      shard.expiry_heap.push({*meta.expires_at, rec.key, meta.generation});
+      const TimePoint deadline =
+          now_() + std::chrono::microseconds(rec.expires_at_micros - wall_now);
+      meta.expires_at_ns.store(ToNs(deadline), std::memory_order_relaxed);
+      shard.expiry_heap.push({deadline, rec.key, meta.generation});
     }
     ++shard.stats.recovered;
     recovered_entries_.push_back({rec.key, rec.durable_tag});
@@ -126,12 +128,13 @@ bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Du
   bool replaced = false;
   bool admitted = true;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::lock_guard<std::shared_mutex> lock(shard.mutex);
     ExpireDueLocked(shard, removed);
 
-    // Admission check under the shard lock: the caller's validation (e.g.
-    // the DUP epoch snapshot) and the store are one atomic step relative
-    // to Invalidate() on the same key.
+    // Admission check under the exclusive shard lock: the caller's
+    // validation (e.g. the DUP epoch snapshot) and the store are one atomic
+    // step relative to Invalidate() on the same key, and no shared-lock
+    // reader can observe the entry until this section completes.
     if (admit && !admit()) {
       admitted = false;
       ++shard.stats.admit_rejects;
@@ -171,10 +174,11 @@ bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Du
         meta.generation = ++shard.generation_counter;
         meta.durable_tag = std::move(durable_tag);
         if (ttl) {
-          meta.expires_at = now_() + *ttl;
-          shard.expiry_heap.push({*meta.expires_at, key, meta.generation});
+          const TimePoint deadline = now_() + *ttl;
+          meta.expires_at_ns.store(ToNs(deadline), std::memory_order_relaxed);
+          shard.expiry_heap.push({deadline, key, meta.generation});
         } else {
-          meta.expires_at.reset();
+          meta.expires_at_ns.store(kNoDeadlineNs, std::memory_order_relaxed);
         }
         // Replacing a key is not a removal of the key (the listener keeps any
         // dependency registration for it); kReplaced is reported in the log
@@ -191,21 +195,62 @@ bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Du
 
 CacheValuePtr GpsCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
+  if (config_.eviction == EvictionPolicy::kClock) {
+    // Lock-light fast path (docs/CONCURRENCY.md): memory hits and clean
+    // misses are resolved under the *shared* shard lock — a hit only sets
+    // the entry's atomic reference bit and loads its atomic expiry
+    // deadline. A reader that needs to mutate anything (disk read + hybrid
+    // promotion, metadata repair) falls through to the exclusive path.
+    enum class Fast { kHit, kMiss, kLazyExpired, kFallThrough };
+    Fast outcome = Fast::kFallThrough;
+    CacheValuePtr result;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      auto meta_it = shard.meta.find(key);
+      if (meta_it == shard.meta.end()) {
+        outcome = Fast::kMiss;
+      } else if (DeadlinePassed(meta_it->second)) {
+        // Served-as-miss; the entry stays resident until the next writer's
+        // ExpireDueLocked sweep reaps it (lazy expiry).
+        outcome = Fast::kLazyExpired;
+      } else if (shard.memory && (result = shard.memory->Get(key)) != nullptr) {
+        outcome = Fast::kHit;
+      }
+    }
+    if (outcome != Fast::kFallThrough) {
+      // Counters and logging happen outside the lock; the stripes are
+      // relaxed atomics, so no lock is needed at all.
+      HitPathStripe& stripe = shard.hit_counters.Local();
+      if (outcome == Fast::kHit) {
+        stripe.RecordHit(/*memory_hit=*/true);
+      } else {
+        stripe.RecordMiss(/*lazy_expired=*/outcome == Fast::kLazyExpired);
+      }
+      Log(outcome == Fast::kHit ? "hit" : "miss", key);
+      return result;
+    }
+  }
+  return GetExclusive(key, shard);
+}
+
+CacheValuePtr GpsCache::GetExclusive(const std::string& key, Shard& shard) {
   std::vector<std::pair<std::string, RemovalCause>> removed;
   CacheValuePtr result;
+  bool memory_hit = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    ++shard.stats.lookups;
+    std::lock_guard<std::shared_mutex> lock(shard.mutex);
     ExpireDueLocked(shard, removed);
 
     auto meta_it = shard.meta.find(key);
-    if (meta_it != shard.meta.end() && meta_it->second.expires_at &&
-        *meta_it->second.expires_at <= now_()) {
+    if (meta_it != shard.meta.end() && DeadlinePassed(meta_it->second)) {
       RemoveLocked(shard, key, RemovalCause::kExpired, removed);
       ++shard.stats.expirations;
       meta_it = shard.meta.end();
     } else if (meta_it != shard.meta.end()) {
-      if (shard.memory) result = shard.memory->Get(key);
+      if (shard.memory) {
+        result = shard.memory->Get(key);
+        memory_hit = result != nullptr;
+      }
       if (!result && shard.disk) {
         std::string bytes;
         if (shard.disk->Read(key, &bytes) == DiskStore::ReadStatus::kHit) {
@@ -228,20 +273,21 @@ CacheValuePtr GpsCache::Get(const std::string& key) {
             HandleMemoryEvictions(shard, evicted, removed);
           }
         }
-      } else if (result) {
-        ++shard.stats.memory_hits;
       }
     }
 
-    if (result) {
-      ++shard.stats.hits;
-    } else {
-      ++shard.stats.misses;
-      if (meta_it != shard.meta.end() || shard.meta.count(key)) {
-        // Metadata without data (fully evicted under us) — clean up.
-        RemoveLocked(shard, key, RemovalCause::kEvicted, removed);
-      }
+    if (!result && shard.meta.count(key)) {
+      // Metadata without data (fully evicted under us) — clean up.
+      RemoveLocked(shard, key, RemovalCause::kEvicted, removed);
     }
+  }
+  // Per-hit counters go to the striped atomics even on the exclusive path,
+  // so every lookup is counted exactly once in exactly one place.
+  HitPathStripe& stripe = shard.hit_counters.Local();
+  if (result) {
+    stripe.RecordHit(memory_hit);
+  } else {
+    stripe.RecordMiss();
   }
   Log(result ? "hit" : "miss", key);
   NotifyRemovals(removed);
@@ -250,10 +296,12 @@ CacheValuePtr GpsCache::Get(const std::string& key) {
 
 bool GpsCache::Contains(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  // Shared lock under either policy: Contains only reads the meta map and
+  // the stores' const indexes (no recency side effects to serialize).
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
   auto it = shard.meta.find(key);
   if (it == shard.meta.end()) return false;
-  if (it->second.expires_at && *it->second.expires_at <= now_()) return false;
+  if (DeadlinePassed(it->second)) return false;
   return (shard.memory && shard.memory->Contains(key)) ||
          (shard.disk && shard.disk->Contains(key));
 }
@@ -263,7 +311,7 @@ bool GpsCache::Invalidate(const std::string& key) {
   std::vector<std::pair<std::string, RemovalCause>> removed;
   bool present;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::lock_guard<std::shared_mutex> lock(shard.mutex);
     ++shard.stats.invalidate_shard_locks;
     present = RemoveLocked(shard, key, RemovalCause::kInvalidated, removed);
     if (present) ++shard.stats.invalidations;
@@ -287,7 +335,7 @@ size_t GpsCache::InvalidateBatch(const std::vector<std::string>& keys) {
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (by_shard[i].empty()) continue;
     Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::lock_guard<std::shared_mutex> lock(shard.mutex);
     ++shard.stats.invalidate_shard_locks;
     for (const std::string* key : by_shard[i]) {
       if (RemoveLocked(shard, *key, RemovalCause::kInvalidated, removed)) {
@@ -307,7 +355,7 @@ void GpsCache::Clear() {
   std::vector<std::pair<std::string, RemovalCause>> removed;
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::lock_guard<std::shared_mutex> lock(shard.mutex);
     for (const auto& [key, meta] : shard.meta) {
       removed.push_back({key, RemovalCause::kCleared});
     }
@@ -326,7 +374,7 @@ size_t GpsCache::ExpireDue() {
   std::vector<std::pair<std::string, RemovalCause>> removed;
   size_t n = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    std::lock_guard<std::shared_mutex> lock(shard->mutex);
     n += ExpireDueLocked(*shard, removed);
   }
   NotifyRemovals(removed);
@@ -340,6 +388,7 @@ void GpsCache::SetRemovalListener(RemovalListener listener) {
 
 CacheStats GpsCache::ShardStatsLocked(const Shard& shard) const {
   CacheStats s = shard.stats;
+  shard.hit_counters.FoldInto(s);
   if (shard.disk) {
     // The disk tier is the single source of truth for its own failure
     // counters; folded in at snapshot time.
@@ -352,7 +401,9 @@ CacheStats GpsCache::ShardStatsLocked(const Shard& shard) const {
 CacheStats GpsCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    // Shared suffices: shard.stats is only written under the exclusive
+    // lock, and the hit stripes are atomics.
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
     total += ShardStatsLocked(*shard);
   }
   return total;
@@ -360,20 +411,20 @@ CacheStats GpsCache::stats() const {
 
 CacheStats GpsCache::shard_stats(size_t shard) const {
   const Shard& s = *shards_.at(shard);
-  std::lock_guard<std::mutex> lock(s.mutex);
+  std::shared_lock<std::shared_mutex> lock(s.mutex);
   return ShardStatsLocked(s);
 }
 
 size_t GpsCache::shard_entry_count(size_t shard) const {
   const Shard& s = *shards_.at(shard);
-  std::lock_guard<std::mutex> lock(s.mutex);
+  std::shared_lock<std::shared_mutex> lock(s.mutex);
   return s.meta.size();
 }
 
 size_t GpsCache::entry_count() {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
     total += shard->meta.size();
   }
   return total;
@@ -382,7 +433,7 @@ size_t GpsCache::entry_count() {
 size_t GpsCache::memory_bytes() {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
     if (shard->memory) total += shard->memory->byte_count();
   }
   return total;
@@ -391,7 +442,7 @@ size_t GpsCache::memory_bytes() {
 size_t GpsCache::disk_bytes() {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
     if (shard->disk) total += shard->disk->byte_count();
   }
   return total;
@@ -439,7 +490,8 @@ void GpsCache::HandleMemoryEvictions(Shard& shard, std::vector<MemoryStore::Evic
       DiskStore::SpillMeta spill;
       if (auto meta_it = shard.meta.find(victim.key); meta_it != shard.meta.end()) {
         spill.durable_tag = meta_it->second.durable_tag;
-        spill.expires_at_micros = WallExpiry(meta_it->second.expires_at);
+        spill.expires_at_micros =
+            WallExpiry(meta_it->second.expires_at_ns.load(std::memory_order_relaxed));
       }
       std::vector<std::string> disk_victims;
       if (shard.disk->Put(victim.key, victim.value->Serialize(), spill, &disk_victims)) {

@@ -6,32 +6,45 @@
 //     files are self-describing (CRC-verified) and are re-indexed on
 //     construction instead of wiped, so the cache survives restarts and
 //     corrupt files degrade to counted misses (docs/PERSISTENCE.md),
-//   * mutex-striped shards (keyed by fingerprint hash) with per-shard LRU
-//     replacement under byte/entry budgets,
-//   * an efficient expiration-time mechanism (lazy min-heap, per shard),
+//   * rw-lock-striped shards (keyed by fingerprint hash) with a choice of
+//     replacement policy per GpsCacheConfig::eviction: CLOCK/second-chance
+//     (the default — hits run under a *shared* shard lock and only set an
+//     atomic reference bit) or exact LRU (hits splice a list under the
+//     exclusive lock), each under byte/entry budgets,
+//   * an efficient expiration-time mechanism (lazy min-heap, per shard;
+//     under CLOCK, expired entries are served-as-miss from the shared-lock
+//     path and reaped by the next writer),
 //   * optional transaction logging with configurable flush policy,
-//   * statistics (per shard, aggregated on read),
+//   * statistics (per shard: writer counters under the shard lock, per-hit
+//     counters on striped relaxed atomics; aggregated on read),
 //   * a removal listener so higher layers (the DUP engine) can keep the
 //     ODG in sync with what is actually cached, and
-//   * an admission guard on Put, evaluated under the shard lock, which the
-//     middleware uses for epoch-validated registration (dup/epochs.h).
+//   * an admission guard on Put, evaluated under the exclusive shard lock,
+//     which the middleware uses for epoch-validated registration
+//     (dup/epochs.h).
 //
 // @thread_safety GpsCache is internally synchronized; every public method
 // may be called from any thread. Each key hashes to one shard with its own
-// mutex, so operations on keys in different shards do not contend. The
-// removal listener and the Put admission guard are invoked with specific
-// locking guarantees — see their declarations. With shards > 1, LRU order
+// shared_mutex: Get/Contains acquire it shared where the eviction policy
+// allows (kClock memory hits, all clean misses), while fills, evictions,
+// invalidations, disk reads/promotions and expiry reaping acquire it
+// exclusive (docs/CONCURRENCY.md, "Lock-light hit path"). The removal
+// listener and the Put admission guard are invoked with specific locking
+// guarantees — see their declarations. With shards > 1, replacement order
 // and budgets are per shard (total budgets are split evenly), so global
 // eviction order is only approximate; shards = 1 (the default) preserves a
-// single global LRU.
+// single replacement domain.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,7 +65,7 @@ enum class CacheMode { kMemory, kDisk, kHybrid };
 
 enum class RemovalCause {
   kInvalidated,  // explicit Invalidate()
-  kEvicted,      // LRU budget pressure removed it from every level
+  kEvicted,      // budget pressure removed it from every level
   kExpired,      // expiration time passed
   kCleared,      // whole-cache Clear()
   kReplaced,     // Put() over an existing key
@@ -76,10 +89,21 @@ struct GpsCacheConfig {
   bool recover_on_open = false;
 
   /// Number of independently locked shards. 1 (the default) keeps a single
-  /// global LRU; higher values reduce lock contention under concurrent
-  /// load at the cost of per-shard (approximate) LRU and budget split.
-  /// Byte/entry budgets below are totals, divided evenly across shards.
+  /// replacement domain; higher values reduce lock contention under
+  /// concurrent load at the cost of per-shard (approximate) replacement
+  /// and budget split. Byte/entry budgets below are totals, divided evenly
+  /// across shards.
   size_t shards = 1;
+
+  /// Replacement policy — and, with it, the read-path locking discipline.
+  /// kClock (the default) serves memory hits under a *shared* shard lock
+  /// (a hit sets an atomic reference bit and loads an atomic expiry
+  /// deadline; eviction sweeps a clock hand on Put/budget pressure under
+  /// the exclusive lock). kLru restores exact LRU: every Get splices the
+  /// recency list and therefore takes the exclusive lock, serializing hits
+  /// with fills and invalidations — keep it for differential tests and
+  /// workloads that need exact recency.
+  EvictionPolicy eviction = EvictionPolicy::kClock;
 
   size_t memory_budget_bytes = 256 * 1024 * 1024;
   size_t memory_max_entries = SIZE_MAX;
@@ -110,11 +134,13 @@ class GpsCache {
   GpsCache& operator=(const GpsCache&) = delete;
 
   /// Admission guard for the four-argument Put overload. Evaluated under
-  /// the owning shard's mutex, atomically with the store becoming visible:
-  /// any Invalidate() of the same key serializes entirely before or after
-  /// the {guard, store} pair. The guard must be cheap and lock-free — it
-  /// must not call back into this cache or acquire the DUP engine lock
-  /// (UpdateEpochs::Snapshot::Current() qualifies).
+  /// the owning shard's exclusive lock, atomically with the store becoming
+  /// visible: any Invalidate() of the same key serializes entirely before
+  /// or after the {guard, store} pair, and shared-lock readers can only
+  /// observe the entry after the exclusive section completes. The guard
+  /// must be cheap and lock-free — it must not call back into this cache
+  /// or acquire the DUP engine lock (UpdateEpochs::Snapshot::Current()
+  /// qualifies).
   using AdmitGuard = std::function<bool()>;
 
   /// Add or replace an object, optionally with a time-to-live after which
@@ -122,10 +148,10 @@ class GpsCache {
   bool Put(const std::string& key, CacheValuePtr value,
            std::optional<Duration> ttl = std::nullopt);
 
-  /// Guarded Put: `admit` is evaluated under the shard lock immediately
-  /// before the store; when it returns false the value is not stored (and
-  /// the rejection is counted as CacheStats::admit_rejects). This is the
-  /// publication step of the epoch-validation protocol
+  /// Guarded Put: `admit` is evaluated under the exclusive shard lock
+  /// immediately before the store; when it returns false the value is not
+  /// stored (and the rejection is counted as CacheStats::admit_rejects).
+  /// This is the publication step of the epoch-validation protocol
   /// (docs/CONCURRENCY.md).
   ///
   /// `durable_tag` is an opaque annotation persisted with the entry in
@@ -135,11 +161,17 @@ class GpsCache {
   bool Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
            const AdmitGuard& admit, std::string durable_tag = {});
 
-  /// Lookup. Expired entries count as misses (and are removed). In hybrid
-  /// mode a disk hit is promoted back into memory.
+  /// Lookup. Expired entries count as misses. Under kClock, a memory hit
+  /// (and any clean miss) is served under the *shared* shard lock — an
+  /// expired entry is served-as-miss lazily and left for the next writer's
+  /// sweep to reap; disk hits, promotions and metadata repair upgrade to
+  /// the exclusive lock. Under kLru the historical semantics hold: the
+  /// exclusive lock, eager expiry removal, LRU refresh. In hybrid mode a
+  /// disk hit is promoted back into memory.
   CacheValuePtr Get(const std::string& key);
 
-  /// True without disturbing LRU order or statistics.
+  /// True without disturbing replacement order or statistics. Always runs
+  /// under the shared shard lock.
   bool Contains(const std::string& key);
 
   /// Remove one object; returns true if it was present.
@@ -147,10 +179,10 @@ class GpsCache {
 
   /// Remove many objects with one shard-lock acquisition per *touched
   /// shard* instead of one per key: keys are grouped by shard first, then
-  /// each group is removed under a single lock. This is the batched
-  /// invalidation path of the DUP engine (one statement → one batch).
-  /// Returns how many keys were present. Removal listeners run outside all
-  /// locks, after every group has been processed.
+  /// each group is removed under a single exclusive lock. This is the
+  /// batched invalidation path of the DUP engine (one statement → one
+  /// batch). Returns how many keys were present. Removal listeners run
+  /// outside all locks, after every group has been processed.
   size_t InvalidateBatch(const std::vector<std::string>& keys);
 
   /// Remove everything (Policy I's reaction to any update). Shards are
@@ -160,8 +192,9 @@ class GpsCache {
   void Clear();
 
   /// Remove entries whose expiration time has passed. Called internally on
-  /// every Put/Get (for the touched shard); exposed for idle-time sweeps
-  /// (sweeps every shard).
+  /// every Put (for the touched shard); exposed for idle-time sweeps
+  /// (sweeps every shard). Under kClock this is also what reaps entries
+  /// the shared-lock read path already served-as-miss.
   size_t ExpireDue();
 
   /// Observer invoked whenever an object leaves the cache entirely. Called
@@ -171,7 +204,9 @@ class GpsCache {
   void SetRemovalListener(RemovalListener listener);
 
   /// Aggregated over all shards (each shard snapshotted under its lock;
-  /// the total is not one instantaneous cut across shards).
+  /// the total is not one instantaneous cut across shards). Per-hit
+  /// counters come from striped relaxed atomics — exact once the reading
+  /// threads are quiescent.
   CacheStats stats() const;
   size_t entry_count();
   size_t memory_bytes();
@@ -198,6 +233,9 @@ class GpsCache {
   const std::vector<RecoveredEntry>& recovered_entries() const { return recovered_entries_; }
 
  private:
+  /// Sentinel deadline for "no TTL" (steady-clock nanoseconds).
+  static constexpr int64_t kNoDeadlineNs = std::numeric_limits<int64_t>::max();
+
   struct ExpiryItem {
     TimePoint when;
     std::string key;
@@ -207,35 +245,59 @@ class GpsCache {
 
   struct Meta {
     uint64_t generation = 0;
-    std::optional<TimePoint> expires_at;
+    /// Expiry deadline in steady-clock nanoseconds (kNoDeadlineNs = no
+    /// TTL). Atomic so the shared-lock read path can check freshness with
+    /// one relaxed load; writers store it under the exclusive lock.
+    std::atomic<int64_t> expires_at_ns{kNoDeadlineNs};
     /// Persisted with the entry on disk spills (see Put). Kept here so a
     /// memory-resident entry carries its tag to a later spill.
     std::string durable_tag;
   };
 
-  /// One mutex-striped slice of the cache: its own storage levels, expiry
-  /// heap and statistics, all guarded by `mutex`.
+  /// One rw-lock-striped slice of the cache: its own storage levels,
+  /// expiry heap and statistics. `mutex` guards everything except the
+  /// per-hit counters and the atomics noted above: shared holders may read
+  /// meta/memory and bump atomics; every mutation requires exclusive.
   struct Shard {
-    mutable std::mutex mutex;
+    mutable std::shared_mutex mutex;
     std::unique_ptr<MemoryStore> memory;
     std::unique_ptr<DiskStore> disk;
     std::unordered_map<std::string, Meta> meta;
     std::priority_queue<ExpiryItem, std::vector<ExpiryItem>, std::greater<ExpiryItem>>
         expiry_heap;
     uint64_t generation_counter = 0;
+    /// Writer-side counters (puts, evictions, ...), exclusive lock only.
     CacheStats stats;
+    /// Per-hit counters (lookups/hits/misses/...), striped relaxed atomics
+    /// bumped without the shard lock; folded into stats() on read.
+    HitPathCounters hit_counters;
   };
 
   Shard& ShardFor(const std::string& key);
 
   void Log(std::string_view op, std::string_view key, std::string_view detail = {});
   int64_t WallNowMicros() const { return wall_now_(); }
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now_().time_since_epoch())
+        .count();
+  }
+  static int64_t ToNs(TimePoint tp) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp.time_since_epoch()).count();
+  }
+  bool DeadlinePassed(const Meta& meta) const {
+    const int64_t deadline = meta.expires_at_ns.load(std::memory_order_relaxed);
+    return deadline != kNoDeadlineNs && deadline <= NowNs();
+  }
   /// Wall-clock expiration for a steady-clock deadline (kNoExpiry if none).
-  int64_t WallExpiry(const std::optional<TimePoint>& expires_at) const;
+  int64_t WallExpiry(int64_t deadline_ns) const;
   /// Install recovered disk entries into `shard`'s metadata (constructor
   /// only; no locking needed yet).
   void AdoptRecovered(Shard& shard);
-  // All *Locked methods require the shard's mutex held.
+  /// The historical lookup: exclusive shard lock, eager expiry, disk read
+  /// + hybrid promotion, metadata repair. The whole Get under kLru; the
+  /// slow path under kClock.
+  CacheValuePtr GetExclusive(const std::string& key, Shard& shard);
+  // All *Locked methods require the shard's mutex held exclusively.
   CacheStats ShardStatsLocked(const Shard& shard) const;
   bool RemoveLocked(Shard& shard, const std::string& key, RemovalCause cause,
                     std::vector<std::pair<std::string, RemovalCause>>& removed);

@@ -2,6 +2,14 @@
 
 namespace qc::cache {
 
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kClock: return "clock";
+  }
+  return "?";
+}
+
 bool MemoryStore::Put(const std::string& key, CacheValuePtr value, std::vector<Evicted>* evicted) {
   const size_t bytes = value->ByteSize();
   if (bytes > max_bytes_) return false;
@@ -12,24 +20,44 @@ bool MemoryStore::Put(const std::string& key, CacheValuePtr value, std::vector<E
     it->second.value = std::move(value);
     it->second.bytes = bytes;
     bytes_ += bytes;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    if (policy_ == EvictionPolicy::kLru) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    } else {
+      // A replace is a touch: give the fresh value a second chance.
+      it->second.referenced.store(1, std::memory_order_relaxed);
+    }
   } else {
-    lru_.push_front(key);
-    Entry entry;
+    // Entry holds an atomic (non-movable): construct in place, then fill.
+    Entry& entry = entries_[key];
     entry.value = std::move(value);
     entry.bytes = bytes;
-    entry.lru_pos = lru_.begin();
-    entries_.emplace(key, std::move(entry));
     bytes_ += bytes;
+    if (policy_ == EvictionPolicy::kLru) {
+      lru_.push_front(key);
+      entry.lru_pos = lru_.begin();
+    } else {
+      // New entries start unreferenced: a one-shot scan must not displace
+      // the resident working set (their first Get sets the bit).
+      entry.slot = AllocSlot(key);
+      entry.referenced.store(0, std::memory_order_relaxed);
+    }
   }
-  EvictIfNeeded(evicted);
+  if (policy_ == EvictionPolicy::kLru) {
+    EvictLru(evicted);
+  } else {
+    EvictClock(key, evicted);
+  }
   return true;
 }
 
 CacheValuePtr MemoryStore::Get(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  if (policy_ == EvictionPolicy::kLru) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  } else {
+    it->second.referenced.store(1, std::memory_order_relaxed);
+  }
   return it->second.value;
 }
 
@@ -42,8 +70,12 @@ bool MemoryStore::Erase(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   bytes_ -= it->second.bytes;
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+  if (policy_ == EvictionPolicy::kLru) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  } else {
+    RemoveClockEntry(it);
+  }
   return true;
 }
 
@@ -51,20 +83,79 @@ void MemoryStore::Clear() {
   entries_.clear();
   lru_.clear();
   bytes_ = 0;
+  ring_.clear();
+  free_slots_.clear();
+  hand_ = 0;
 }
 
 std::vector<std::string> MemoryStore::KeysByRecency() const {
-  return {lru_.begin(), lru_.end()};
+  if (policy_ == EvictionPolicy::kLru) return {lru_.begin(), lru_.end()};
+  std::vector<std::string> referenced;
+  std::vector<std::string> unreferenced;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const size_t slot = (hand_ + i) % ring_.size();
+    auto it = entries_.find(ring_[slot]);
+    if (it == entries_.end() || it->second.slot != slot) continue;  // stale
+    (it->second.referenced.load(std::memory_order_relaxed) ? referenced : unreferenced)
+        .push_back(it->first);
+  }
+  referenced.insert(referenced.end(), unreferenced.begin(), unreferenced.end());
+  return referenced;
 }
 
-void MemoryStore::EvictIfNeeded(std::vector<Evicted>* evicted) {
-  while ((bytes_ > max_bytes_ || entries_.size() > max_entries_) && entries_.size() > 1) {
+void MemoryStore::EvictLru(std::vector<Evicted>* evicted) {
+  while (OverBudget() && entries_.size() > 1) {
     const std::string victim_key = lru_.back();
     auto it = entries_.find(victim_key);
     if (evicted) evicted->push_back({victim_key, it->second.value});
     bytes_ -= it->second.bytes;
     lru_.pop_back();
     entries_.erase(it);
+  }
+}
+
+size_t MemoryStore::AllocSlot(const std::string& key) {
+  if (!free_slots_.empty()) {
+    const size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    ring_[slot] = key;
+    return slot;
+  }
+  ring_.push_back(key);
+  return ring_.size() - 1;
+}
+
+void MemoryStore::RemoveClockEntry(EntryMap::iterator it) {
+  const size_t slot = it->second.slot;
+  ring_[slot].clear();  // stale until recycled
+  free_slots_.push_back(slot);
+  entries_.erase(it);
+}
+
+void MemoryStore::EvictClock(const std::string& protect, std::vector<Evicted>* evicted) {
+  while (OverBudget() && entries_.size() > 1) {
+    // The sweep runs under the owner's exclusive lock, so no reference bit
+    // can be re-set mid-scan: one rotation clears every live bit, and a
+    // second is guaranteed to find an unreferenced, unprotected victim
+    // (entries_.size() > 1 and at most one entry is protected). The bound
+    // is a safety net, not an expected exit.
+    bool victimized = false;
+    for (size_t scanned = 0; scanned < 2 * ring_.size() + 1 && !victimized; ++scanned) {
+      const size_t slot = hand_;
+      hand_ = (hand_ + 1) % ring_.size();
+      auto it = entries_.find(ring_[slot]);
+      if (it == entries_.end() || it->second.slot != slot) continue;  // stale slot
+      if (it->first == protect) continue;  // never the key just inserted
+      if (it->second.referenced.load(std::memory_order_relaxed) != 0) {
+        it->second.referenced.store(0, std::memory_order_relaxed);  // second chance
+        continue;
+      }
+      if (evicted) evicted->push_back({it->first, it->second.value});
+      bytes_ -= it->second.bytes;
+      RemoveClockEntry(it);
+      victimized = true;
+    }
+    if (!victimized) return;  // only the protected entry remains evictable
   }
 }
 

@@ -1,10 +1,27 @@
-// In-memory LRU store: one of the GPS cache's two storage levels.
+// In-memory store: one of the GPS cache's two storage levels. Supports two
+// replacement policies:
 //
-// @thread_safety Not internally synchronized. Each GpsCache shard owns one
-// MemoryStore and accesses it only under that shard's mutex
-// (docs/CONCURRENCY.md); standalone users must provide their own locking.
+//   * kLru — exact LRU: an intrusive list is spliced on every Get, so
+//     lookups mutate shared state and the owner must hold its exclusive
+//     lock even for reads.
+//   * kClock — second-chance (CLOCK): entries live in a ring; a Get only
+//     sets an atomic reference bit, so concurrent lookups need no
+//     exclusive lock. Eviction sweeps a clock hand over the ring (under
+//     the owner's exclusive lock), clearing reference bits and victimizing
+//     the first entry found unreferenced — approximate LRU at a fraction
+//     of the read-path cost (cf. MemC3 / CLOCK-Pro).
+//
+// @thread_safety Not internally synchronized, with one deliberate
+// exception: in kClock mode, Get/Peek/Contains only read the entry table
+// and store the atomic reference bit, so any number of threads may call
+// them concurrently *with each other* (the GpsCache does so under a shared
+// shard lock). Every mutation — Put, Erase, Clear, and therefore every
+// eviction sweep — still requires external exclusive locking against all
+// other calls (docs/CONCURRENCY.md). In kLru mode every method, including
+// Get, requires the exclusive lock.
 #pragma once
 
+#include <atomic>
 #include <list>
 #include <string>
 #include <unordered_map>
@@ -14,6 +31,15 @@
 
 namespace qc::cache {
 
+/// Replacement policy for the memory tier (and the GPS cache's read-path
+/// locking discipline — see GpsCacheConfig::eviction).
+enum class EvictionPolicy {
+  kLru,    // exact LRU; reads splice a list and need the exclusive lock
+  kClock,  // second-chance ring; reads set an atomic bit under a shared lock
+};
+
+const char* EvictionPolicyName(EvictionPolicy policy);
+
 class MemoryStore {
  public:
   struct Evicted {
@@ -21,18 +47,21 @@ class MemoryStore {
     CacheValuePtr value;
   };
 
-  MemoryStore(size_t max_bytes, size_t max_entries)
-      : max_bytes_(max_bytes), max_entries_(max_entries) {}
+  MemoryStore(size_t max_bytes, size_t max_entries,
+              EvictionPolicy policy = EvictionPolicy::kLru)
+      : policy_(policy), max_bytes_(max_bytes), max_entries_(max_entries) {}
 
   /// Insert or replace. Victims evicted to satisfy the budgets are
   /// appended to `evicted` (never the key just inserted). Returns false —
   /// without storing — if the object alone exceeds the byte budget.
   bool Put(const std::string& key, CacheValuePtr value, std::vector<Evicted>* evicted);
 
-  /// Lookup; refreshes LRU position. Null if absent.
+  /// Lookup. kLru: refreshes the LRU position (mutates the list). kClock:
+  /// sets the entry's reference bit (a relaxed atomic store — safe under a
+  /// shared lock). Null if absent.
   CacheValuePtr Get(const std::string& key);
 
-  /// Lookup without LRU side effects.
+  /// Lookup without any recency side effects.
   CacheValuePtr Peek(const std::string& key) const;
 
   bool Contains(const std::string& key) const { return entries_.count(key) > 0; }
@@ -41,24 +70,45 @@ class MemoryStore {
 
   size_t entry_count() const { return entries_.size(); }
   size_t byte_count() const { return bytes_; }
+  EvictionPolicy policy() const { return policy_; }
 
   /// Keys from most- to least-recently used (diagnostics and tests).
+  /// kClock: approximate — currently-referenced entries first, each group
+  /// in ring order starting at the clock hand (the hand's next victims
+  /// come last within their group).
   std::vector<std::string> KeysByRecency() const;
 
  private:
   struct Entry {
     CacheValuePtr value;
     size_t bytes = 0;
-    std::list<std::string>::iterator lru_pos;
+    std::list<std::string>::iterator lru_pos;  // kLru only
+    size_t slot = 0;                           // kClock: index into ring_
+    std::atomic<uint32_t> referenced{0};       // kClock: second-chance bit
   };
+  using EntryMap = std::unordered_map<std::string, Entry>;
 
-  void EvictIfNeeded(std::vector<Evicted>* evicted);
+  bool OverBudget() const {
+    return bytes_ > max_bytes_ || entries_.size() > max_entries_;
+  }
+  void EvictLru(std::vector<Evicted>* evicted);
+  void EvictClock(const std::string& protect, std::vector<Evicted>* evicted);
+  size_t AllocSlot(const std::string& key);
+  void RemoveClockEntry(EntryMap::iterator it);
 
+  EvictionPolicy policy_;
   size_t max_bytes_;
   size_t max_entries_;
   size_t bytes_ = 0;
-  std::list<std::string> lru_;  // front = most recent
-  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // kLru: front = most recent
+  EntryMap entries_;
+  // kClock: ring of slots the hand sweeps. A slot is live iff its key is
+  // in entries_ with a matching slot index; Erase leaves a stale slot that
+  // the free list recycles (the ring never shrinks below peak occupancy,
+  // but sweeps skip stale slots in O(1) each).
+  std::vector<std::string> ring_;
+  std::vector<size_t> free_slots_;
+  size_t hand_ = 0;
 };
 
 }  // namespace qc::cache

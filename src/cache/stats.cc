@@ -5,35 +5,43 @@
 namespace qc::cache {
 
 CacheStats& CacheStats::operator+=(const CacheStats& other) {
-  lookups += other.lookups;
-  hits += other.hits;
-  memory_hits += other.memory_hits;
-  disk_hits += other.disk_hits;
-  misses += other.misses;
-  puts += other.puts;
-  invalidations += other.invalidations;
-  invalidate_shard_locks += other.invalidate_shard_locks;
-  evictions += other.evictions;
-  spills += other.spills;
-  expirations += other.expirations;
-  clears += other.clears;
-  admit_rejects += other.admit_rejects;
-  disk_errors += other.disk_errors;
-  quarantined += other.quarantined;
-  recovered += other.recovered;
+#define QC_CACHE_STATS_ADD(name) name += other.name;
+  QC_CACHE_STATS_COUNTERS(QC_CACHE_STATS_ADD)
+#undef QC_CACHE_STATS_ADD
   return *this;
 }
 
 std::string CacheStats::ToString() const {
   std::ostringstream os;
-  os << "lookups=" << lookups << " hits=" << hits << " (mem=" << memory_hits
-     << ", disk=" << disk_hits << ") misses=" << misses << " hit_rate=" << HitRate()
-     << " puts=" << puts << " invalidations=" << invalidations
-     << " invalidate_shard_locks=" << invalidate_shard_locks << " evictions=" << evictions
-     << " spills=" << spills << " expirations=" << expirations << " clears=" << clears
-     << " admit_rejects=" << admit_rejects << " disk_errors=" << disk_errors
-     << " quarantined=" << quarantined << " recovered=" << recovered;
+  bool first = true;
+  ForEachCounter([&](const char* name, uint64_t value) {
+    if (!first) os << " ";
+    first = false;
+    os << name << "=" << value;
+  });
+  os << " hit_rate=" << HitRate();
   return os.str();
+}
+
+HitPathStripe& HitPathCounters::Local() {
+  // Threads are assigned stripes round-robin on first use; a thread keeps
+  // its stripe for life, so two hot reader threads land on different
+  // cache lines (up to kStripes of them).
+  static std::atomic<size_t> next_stripe{0};
+  thread_local const size_t stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripes_[stripe];
+}
+
+void HitPathCounters::FoldInto(CacheStats& stats) const {
+  for (const HitPathStripe& stripe : stripes_) {
+    stats.lookups += stripe.lookups.load(std::memory_order_relaxed);
+    stats.hits += stripe.hits.load(std::memory_order_relaxed);
+    stats.memory_hits += stripe.memory_hits.load(std::memory_order_relaxed);
+    stats.misses += stripe.misses.load(std::memory_order_relaxed);
+    stats.lazy_expired_misses +=
+        stripe.lazy_expired_misses.load(std::memory_order_relaxed);
+  }
 }
 
 }  // namespace qc::cache

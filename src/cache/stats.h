@@ -1,14 +1,44 @@
 // Cache statistics counters.
 //
 // @thread_safety CacheStats is a plain value type (a snapshot); the
-// GpsCache maintains one instance per shard under that shard's mutex and
-// aggregates them with operator+= when GpsCache::stats() is called.
+// GpsCache maintains one instance per shard under that shard's lock for
+// the writer-side counters, plus a HitPathCounters block of striped
+// relaxed atomics for the per-hit counters (lookups/hits/misses/...),
+// which the lock-light read path bumps without holding the shard lock.
+// Both are folded into one CacheStats when GpsCache::stats() or
+// shard_stats() is called.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace qc::cache {
+
+/// Every CacheStats counter, in declaration order. operator+=, ToString
+/// and ForEachCounter are generated from this list, so adding a counter
+/// here is the *only* step needed to aggregate it — and the static_assert
+/// under CacheStats makes forgetting to list a new field a compile error
+/// instead of a silently-dropped counter (the reflection tests in
+/// tests/cache/clock_eviction_test.cc enforce the rest).
+#define QC_CACHE_STATS_COUNTERS(X) \
+  X(lookups)                       \
+  X(hits)                          \
+  X(memory_hits)                   \
+  X(disk_hits)                     \
+  X(misses)                        \
+  X(lazy_expired_misses)           \
+  X(puts)                          \
+  X(invalidations)                 \
+  X(invalidate_shard_locks)        \
+  X(evictions)                     \
+  X(spills)                        \
+  X(expirations)                   \
+  X(clears)                        \
+  X(admit_rejects)                 \
+  X(disk_errors)                   \
+  X(quarantined)                   \
+  X(recovered)
 
 struct CacheStats {
   uint64_t lookups = 0;
@@ -16,9 +46,11 @@ struct CacheStats {
   uint64_t memory_hits = 0;
   uint64_t disk_hits = 0;
   uint64_t misses = 0;
+  uint64_t lazy_expired_misses = 0;  // expired entries served as misses under a
+                                     // shared lock; reaped by the next writer
   uint64_t puts = 0;
   uint64_t invalidations = 0;   // explicit Invalidate/Delete calls that removed an entry
-  uint64_t invalidate_shard_locks = 0;  // shard-mutex acquisitions spent on invalidation
+  uint64_t invalidate_shard_locks = 0;  // shard-lock acquisitions spent on invalidation
   uint64_t evictions = 0;       // budget-driven removals
   uint64_t spills = 0;          // memory→disk demotions (hybrid mode)
   uint64_t expirations = 0;     // expiry-time removals
@@ -32,10 +64,72 @@ struct CacheStats {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
   }
 
-  /// Shard aggregation: field-wise sum.
+  /// Shard aggregation: field-wise sum (generated from the counter list).
   CacheStats& operator+=(const CacheStats& other);
 
+  /// Visit every counter as (name, value). The mutable overload lets the
+  /// reflection tests set every field without naming them one by one.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+#define QC_CACHE_STATS_VISIT(name) fn(#name, name);
+    QC_CACHE_STATS_COUNTERS(QC_CACHE_STATS_VISIT)
+#undef QC_CACHE_STATS_VISIT
+  }
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) {
+#define QC_CACHE_STATS_VISIT(name) fn(#name, name);
+    QC_CACHE_STATS_COUNTERS(QC_CACHE_STATS_VISIT)
+#undef QC_CACHE_STATS_VISIT
+  }
+
   std::string ToString() const;
+};
+
+// A counter declared in the struct but missing from QC_CACHE_STATS_COUNTERS
+// would silently skip aggregation; the size check turns that into a compile
+// error (CacheStats holds nothing but uint64_t counters).
+#define QC_CACHE_STATS_COUNT(name) +1
+static_assert(sizeof(CacheStats) ==
+                  (0 QC_CACHE_STATS_COUNTERS(QC_CACHE_STATS_COUNT)) * sizeof(uint64_t),
+              "every CacheStats field must be listed in QC_CACHE_STATS_COUNTERS");
+#undef QC_CACHE_STATS_COUNT
+
+/// One cache line of relaxed atomic per-hit counters. The lock-light read
+/// path (docs/CONCURRENCY.md, "Lock-light hit path") bumps these without
+/// the shard lock; striping keeps concurrent readers from ping-ponging a
+/// single counter line between cores.
+struct alignas(64) HitPathStripe {
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> memory_hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> lazy_expired_misses{0};
+
+  void RecordHit(bool memory_hit) {
+    lookups.fetch_add(1, std::memory_order_relaxed);
+    hits.fetch_add(1, std::memory_order_relaxed);
+    if (memory_hit) memory_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordMiss(bool lazy_expired = false) {
+    lookups.fetch_add(1, std::memory_order_relaxed);
+    misses.fetch_add(1, std::memory_order_relaxed);
+    if (lazy_expired) lazy_expired_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Striped per-hit counters: each thread hashes to one stripe, FoldInto
+/// sums the stripes into a CacheStats snapshot. Writes are relaxed — the
+/// totals are exact once the writing threads are quiescent (or observed
+/// under the owning shard's exclusive lock), which is all the stats
+/// surface promises.
+class HitPathCounters {
+ public:
+  HitPathStripe& Local();
+  void FoldInto(CacheStats& stats) const;
+
+ private:
+  static constexpr size_t kStripes = 8;
+  HitPathStripe stripes_[kStripes];
 };
 
 }  // namespace qc::cache

@@ -182,6 +182,10 @@ CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
 
   const std::string key = sql::Fingerprint(query->stmt(), params);
 
+  // With the default CLOCK eviction policy this hit probe runs under a
+  // *shared* shard lock (docs/CONCURRENCY.md, "Lock-light hit path"):
+  // concurrent hits on the same shard no longer serialize against each
+  // other, only against that shard's fills and invalidations.
   if (cache::CacheValuePtr cached = cache_->Get(key)) {
     auto value = std::static_pointer_cast<const ResultValue>(cached);
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);

@@ -22,9 +22,12 @@ using namespace std::chrono_literals;
 
 CacheValuePtr Str(const std::string& s) { return std::make_shared<StringValue>(s); }
 
-TEST(GpsCacheConcurrency, ParallelMixedOperations) {
+class GpsCacheConcurrency : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(GpsCacheConcurrency, ParallelMixedOperations) {
   GpsCacheConfig config;
   config.memory_max_entries = 256;  // force concurrent evictions
+  config.eviction = GetParam();
   GpsCache cache(config);
 
   std::atomic<uint64_t> listener_calls{0};
@@ -81,7 +84,16 @@ TEST(GpsCacheConcurrency, ParallelMixedOperations) {
   EXPECT_GT(listener_calls.load(), 0u);
 }
 
-TEST(GpsCacheConcurrency, ListenerReentrancyIsSafe) {
+// Both locking disciplines: kClock resolves hits under the shared shard
+// lock, kLru under the exclusive one. The exactly-once counter accounting
+// above must hold either way.
+INSTANTIATE_TEST_SUITE_P(EvictionModes, GpsCacheConcurrency,
+                         ::testing::Values(EvictionPolicy::kLru, EvictionPolicy::kClock),
+                         [](const ::testing::TestParamInfo<EvictionPolicy>& info) {
+                           return std::string(EvictionPolicyName(info.param));
+                         });
+
+TEST(GpsCacheListener, ListenerReentrancyIsSafe) {
   // A removal listener that calls back into the cache (like the DUP engine
   // unregistering) must not deadlock: notifications run outside the lock.
   GpsCache cache(GpsCacheConfig{});

@@ -173,6 +173,9 @@ TEST(GpsCache, ExpirationWithInjectedClock) {
   TimePoint now{};
   GpsCacheConfig config;
   config.now = [&now] { return now; };
+  // kLru expires eagerly inside Get (exclusive lock); the kClock lazy
+  // counterpart is covered in clock_eviction_test.cc.
+  config.eviction = EvictionPolicy::kLru;
   GpsCache cache(config);
   cache.Put("short", Str("1"), 10s);
   cache.Put("long", Str("2"), 100s);

@@ -31,7 +31,8 @@ struct StressOutcome {
 };
 
 StressOutcome RunStress(dup::InvalidationPolicy policy, int query_threads, int keys,
-                        int updates_total, size_t shards) {
+                        int updates_total, size_t shards,
+                        cache::EvictionPolicy eviction = cache::EvictionPolicy::kClock) {
   storage::Database db;
   auto& table = db.CreateTable(
       "KV", storage::Schema({{"K", ValueType::kInt, false}, {"V", ValueType::kInt, false}}));
@@ -41,6 +42,7 @@ StressOutcome RunStress(dup::InvalidationPolicy policy, int query_threads, int k
   CachedQueryEngine::Options options;
   options.policy = policy;
   options.cache.shards = shards;
+  options.cache.eviction = eviction;
   // A small synthetic miss penalty widens the miss→execute→register window
   // the epoch guard protects, so the race is actually exercised.
   options.simulated_db_latency = std::chrono::microseconds(5);
@@ -142,6 +144,17 @@ TEST(ConcurrentStress, SingleShardIsAlsoSafe) {
       RunStress(dup::InvalidationPolicy::kValueAware, /*query_threads=*/4, /*keys=*/64,
                 /*updates_total=*/1000, /*shards=*/1);
   EXPECT_EQ(out.violations, 0u);
+}
+
+TEST(ConcurrentStress, NoStaleHitsUnderExactLru) {
+  // The default runs above exercise kClock (shared-lock hits). The exact
+  // LRU configuration serializes hits through the exclusive lock — the
+  // no-stale-hit invariant must hold identically there.
+  const StressOutcome out =
+      RunStress(dup::InvalidationPolicy::kValueAware, /*query_threads=*/4, /*keys=*/64,
+                /*updates_total=*/1000, /*shards=*/8, cache::EvictionPolicy::kLru);
+  EXPECT_EQ(out.violations, 0u);
+  EXPECT_GT(out.queries, 500u);
 }
 
 }  // namespace

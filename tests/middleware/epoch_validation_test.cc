@@ -1,8 +1,12 @@
 // Deterministic reproduction of the miss→execute→register race and the
 // update-epoch protocol that closes it (docs/CONCURRENCY.md): a result
 // computed from pre-update data must never be published into the cache.
-// The multi-threaded version of this property lives in
-// tests/middleware/concurrent_stress_test.cc (ctest label "stress").
+// The whole suite runs under both cache eviction policies — the guarded
+// Put executes under the exclusive shard lock either way, but kClock adds
+// shared-lock readers around it (the lock-light hit path), and the
+// protocol must hold identically. The multi-threaded version of this
+// property lives in tests/middleware/concurrent_stress_test.cc (ctest
+// label "stress").
 #include <gtest/gtest.h>
 
 #include "middleware/query_engine.h"
@@ -11,7 +15,7 @@
 namespace qc::middleware {
 namespace {
 
-class EpochValidationTest : public ::testing::Test {
+class EpochValidationTest : public ::testing::TestWithParam<cache::EvictionPolicy> {
  protected:
   void SetUp() override {
     table_ = &db_.CreateTable(
@@ -21,13 +25,19 @@ class EpochValidationTest : public ::testing::Test {
     other_->Insert({Value(1)});
   }
 
+  CachedQueryEngine::Options Opts() const {
+    CachedQueryEngine::Options options;
+    options.cache.eviction = GetParam();
+    return options;
+  }
+
   storage::Database db_;
   storage::Table* table_ = nullptr;
   storage::Table* other_ = nullptr;
 };
 
-TEST_F(EpochValidationTest, StaleResultIsRejectedByGuardedPut) {
-  CachedQueryEngine engine(db_, {});
+TEST_P(EpochValidationTest, StaleResultIsRejectedByGuardedPut) {
+  CachedQueryEngine engine(db_, Opts());
   auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
   const std::string key = sql::Fingerprint(q->stmt(), {});
 
@@ -55,8 +65,8 @@ TEST_F(EpochValidationTest, StaleResultIsRejectedByGuardedPut) {
   EXPECT_TRUE(engine.Execute(q).cache_hit);
 }
 
-TEST_F(EpochValidationTest, CurrentSnapshotAdmitsTheResult) {
-  CachedQueryEngine engine(db_, {});
+TEST_P(EpochValidationTest, CurrentSnapshotAdmitsTheResult) {
+  CachedQueryEngine engine(db_, Opts());
   auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
   const std::string key = sql::Fingerprint(q->stmt(), {});
 
@@ -70,8 +80,8 @@ TEST_F(EpochValidationTest, CurrentSnapshotAdmitsTheResult) {
   EXPECT_TRUE(engine.cache().Contains(key));
 }
 
-TEST_F(EpochValidationTest, UnrelatedUpdatesDoNotInvalidateTheSnapshot) {
-  CachedQueryEngine engine(db_, {});
+TEST_P(EpochValidationTest, UnrelatedUpdatesDoNotInvalidateTheSnapshot) {
+  CachedQueryEngine engine(db_, Opts());
   auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
 
   auto snapshot = engine.dup_engine().SnapshotDependencies(q);
@@ -80,8 +90,8 @@ TEST_F(EpochValidationTest, UnrelatedUpdatesDoNotInvalidateTheSnapshot) {
   EXPECT_TRUE(snapshot.Current());
 }
 
-TEST_F(EpochValidationTest, RowEventsAdvanceTheTableSlot) {
-  CachedQueryEngine engine(db_, {});
+TEST_P(EpochValidationTest, RowEventsAdvanceTheTableSlot) {
+  CachedQueryEngine engine(db_, Opts());
   auto q = engine.Prepare("SELECT COUNT(*) FROM T");
 
   auto insert_snapshot = engine.dup_engine().SnapshotDependencies(q);
@@ -93,10 +103,10 @@ TEST_F(EpochValidationTest, RowEventsAdvanceTheTableSlot) {
   EXPECT_FALSE(delete_snapshot.Current());
 }
 
-TEST_F(EpochValidationTest, PolicyNoneNeverStampsEpochs) {
+TEST_P(EpochValidationTest, PolicyNoneNeverStampsEpochs) {
   // TTL-only caching deliberately serves stale results; epoch validation
   // must not discard anything.
-  CachedQueryEngine::Options options;
+  CachedQueryEngine::Options options = Opts();
   options.policy = dup::InvalidationPolicy::kNone;
   CachedQueryEngine engine(db_, options);
   auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
@@ -106,10 +116,10 @@ TEST_F(EpochValidationTest, PolicyNoneNeverStampsEpochs) {
   EXPECT_TRUE(snapshot.Current());
 }
 
-TEST_F(EpochValidationTest, FlushAllObservesEveryEvent) {
+TEST_P(EpochValidationTest, FlushAllObservesEveryEvent) {
   // Policy I flushes the whole cache on any update, so any event anywhere
   // must reject an in-flight registration.
-  CachedQueryEngine::Options options;
+  CachedQueryEngine::Options options = Opts();
   options.policy = dup::InvalidationPolicy::kFlushAll;
   CachedQueryEngine engine(db_, options);
   auto q = engine.Prepare("SELECT V FROM T WHERE K = 3");
@@ -118,6 +128,13 @@ TEST_F(EpochValidationTest, FlushAllObservesEveryEvent) {
   engine.ExecuteDml("UPDATE OTHER SET X = 5 WHERE X = 1");
   EXPECT_FALSE(snapshot.Current());
 }
+
+INSTANTIATE_TEST_SUITE_P(EvictionModes, EpochValidationTest,
+                         ::testing::Values(cache::EvictionPolicy::kLru,
+                                           cache::EvictionPolicy::kClock),
+                         [](const ::testing::TestParamInfo<cache::EvictionPolicy>& info) {
+                           return std::string(cache::EvictionPolicyName(info.param));
+                         });
 
 }  // namespace
 }  // namespace qc::middleware

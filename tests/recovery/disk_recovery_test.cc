@@ -92,10 +92,18 @@ TEST(SpillFormat, DecodeRejectsCorruptionWithoutThrowing) {
 
 // --- DiskStore recovery ------------------------------------------------------
 
+// Each test gets its own spool directory: ctest registers every case
+// individually, so two cases of one fixture can run concurrently under
+// `ctest -j`, and a shared path would race on remove_all vs. writes.
+fs::path UniqueTestDir(const char* prefix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return fs::temp_directory_path() / (std::string(prefix) + "_" + info->name());
+}
+
 class DiskRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "qc_disk_recovery_test";
+    dir_ = UniqueTestDir("qc_disk_recovery_test");
     fs::remove_all(dir_);
   }
   fs::path dir_;
@@ -249,7 +257,7 @@ TEST_F(DiskRecoveryTest, WrongKeyInFileIsQuarantinedOnRead) {
 class GpsRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "qc_gps_recovery_test";
+    dir_ = UniqueTestDir("qc_gps_recovery_test");
     fs::remove_all(dir_);
   }
 
@@ -435,7 +443,7 @@ TEST_F(GpsRecoveryTest, RecoveryLogsRestoredCount) {
 class TxLogRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = (fs::temp_directory_path() / "qc_txlog_recovery.log").string();
+    path_ = UniqueTestDir("qc_txlog_recovery").string() + ".log";
     fs::remove(path_);
   }
   std::string ReadAll() {

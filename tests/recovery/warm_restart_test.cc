@@ -25,7 +25,10 @@ namespace fs = std::filesystem;
 class WarmRestartTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "qc_warm_restart_test";
+    // Per-test directory: ctest runs cases of this fixture concurrently
+    // under -j, so a shared path would race on remove_all vs. writes.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() / (std::string("qc_warm_restart_test_") + info->name());
     fs::remove_all(dir_);
     PopulateItems(db_);
   }
