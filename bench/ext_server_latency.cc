@@ -1,0 +1,218 @@
+// Extension bench: end-to-end wire latency of the qcached serving layer.
+// An in-process QcServer wraps a warm CachedQueryEngine behind real
+// loopback TCP; client threads issue point SELECTs that all hit the cache,
+// so every sample measures the full wire->hit->wire path: frame encode,
+// kernel round-trip, I/O-thread dispatch, worker execution (cache hit),
+// response encode, and the reply round-trip. The same hit executed
+// in-process (engine.ExecuteSql) is measured alongside, so the delta
+// isolates what the network boundary costs over the middleware itself
+// (docs/SERVING.md).
+//
+// Sweeps connection counts {1, 8, 16}; prints p50/p99 per configuration
+// and emits BENCH_ext_server_latency.json (see harness.h WriteBenchJson).
+//
+// Self-checking: every request is answered, every measured request is a
+// cache hit, the server reports zero protocol errors, and p50 stays under
+// a generous loopback bound so a pathological regression (e.g. a lost
+// wakeup adding a poll-timeout stall) fails the run.
+//
+// Env overrides: SRV_CONNS (max client threads), SRV_REQS_PER_CONN,
+// SRV_KEYS (distinct warm queries), SRV_THREADS (server worker threads).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "middleware/query_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/database.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string QueryFor(uint64_t key) {
+  return "SELECT V FROM SRV WHERE K = " + std::to_string(key);
+}
+
+double PercentileUs(std::vector<double>& samples_ns, double p) {
+  if (samples_ns.empty()) return 0;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  const size_t idx = std::min(samples_ns.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(samples_ns.size())));
+  return samples_ns[idx] / 1000.0;
+}
+
+struct Outcome {
+  double p50_us = 0;
+  double p99_us = 0;
+  double requests_per_second = 0;
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t errors = 0;
+};
+
+/// N client threads, each with its own connection, hammering warm keys.
+Outcome RunWire(server::QcServer& server, int conns, uint64_t reqs_per_conn, uint64_t keys) {
+  std::vector<std::vector<double>> samples(conns);
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> errors{0};
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (int t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        server::QcClient client;
+        client.Connect("127.0.0.1", server.port());
+        samples[t].reserve(reqs_per_conn);
+        uint64_t key = static_cast<uint64_t>(t) * 7919;  // decorrelate walk starts
+        for (uint64_t i = 0; i < reqs_per_conn; ++i) {
+          key = (key + 1) % keys;
+          const auto t0 = Clock::now();
+          const auto result = client.Query(QueryFor(key));
+          const auto t1 = Clock::now();
+          samples[t].push_back(
+              static_cast<double>(std::chrono::nanoseconds(t1 - t0).count()));
+          if (result.cache_hit) hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const Error&) {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+
+  Outcome out;
+  out.requests = all.size();
+  out.hits = hits.load();
+  out.errors = errors.load();
+  out.p50_us = PercentileUs(all, 0.50);
+  out.p99_us = PercentileUs(all, 0.99);
+  out.requests_per_second = seconds > 0 ? static_cast<double>(all.size()) / seconds : 0;
+  return out;
+}
+
+/// The same warm hits without the network boundary.
+Outcome RunInProcess(middleware::CachedQueryEngine& engine, uint64_t reqs, uint64_t keys) {
+  std::vector<double> samples;
+  samples.reserve(reqs);
+  Outcome out;
+  uint64_t key = 0;
+  for (uint64_t i = 0; i < reqs; ++i) {
+    key = (key + 1) % keys;
+    const auto t0 = Clock::now();
+    const auto result = engine.ExecuteSql(QueryFor(key));
+    const auto t1 = Clock::now();
+    samples.push_back(static_cast<double>(std::chrono::nanoseconds(t1 - t0).count()));
+    if (result.cache_hit) ++out.hits;
+  }
+  out.requests = samples.size();
+  out.p50_us = PercentileUs(samples, 0.50);
+  out.p99_us = PercentileUs(samples, 0.99);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int max_conns = static_cast<int>(EnvU64("SRV_CONNS", 16));
+  const uint64_t reqs_per_conn = EnvU64("SRV_REQS_PER_CONN", 2000);
+  const uint64_t keys = EnvU64("SRV_KEYS", 256);
+  const size_t worker_threads = EnvU64("SRV_THREADS", 8);
+
+  storage::Database db;
+  storage::Table& table =
+      db.CreateTable("SRV", storage::Schema({{"K", ValueType::kInt, false},
+                                             {"V", ValueType::kInt, false}}));
+  for (uint64_t k = 0; k < keys; ++k) {
+    table.Insert({Value(static_cast<int64_t>(k)), Value(static_cast<int64_t>(k * 3))});
+  }
+  table.CreateHashIndex(0);
+
+  middleware::CachedQueryEngine engine(db, {});
+  server::ServerConfig config;
+  config.port = 0;
+  config.worker_threads = worker_threads;
+  server::QcServer server(engine, config);
+  server.Start();
+
+  // Warm every key over the wire, so measurement runs are 100% hits.
+  {
+    server::QcClient client;
+    client.Connect("127.0.0.1", server.port());
+    for (uint64_t k = 0; k < keys; ++k) client.Query(QueryFor(k));
+  }
+
+  std::cout << "=== Extension: qcached wire latency (" << keys << " warm keys, "
+            << reqs_per_conn << " reqs/conn, " << worker_threads << " workers, "
+            << std::thread::hardware_concurrency() << " hardware threads) ===\n\n";
+
+  const std::vector<int> widths = {12, 12, 12, 12, 14};
+  PrintRow({"path", "conns", "p50 us", "p99 us", "reqs/s"}, widths);
+
+  const Outcome inproc = RunInProcess(engine, reqs_per_conn, keys);
+  PrintRow({"in-process", "-", Fmt(inproc.p50_us), Fmt(inproc.p99_us), "-"}, widths);
+
+  std::vector<BenchMetric> metrics;
+  metrics.push_back({"hit_latency_p50", inproc.p50_us, "us", {{"path", "in_process"}}});
+  metrics.push_back({"hit_latency_p99", inproc.p99_us, "us", {{"path", "in_process"}}});
+
+  std::vector<int> sweep = {1, 8, 16};
+  sweep.erase(std::remove_if(sweep.begin(), sweep.end(),
+                             [&](int c) { return c > max_conns; }),
+              sweep.end());
+  if (sweep.empty()) sweep.push_back(max_conns);
+
+  bool all_answered = true, all_hits = true;
+  double wire_p50_1 = 0;
+  for (const int conns : sweep) {
+    const Outcome out = RunWire(server, conns, reqs_per_conn, keys);
+    PrintRow({"wire", std::to_string(conns), Fmt(out.p50_us), Fmt(out.p99_us),
+              Fmt(out.requests_per_second, 0)},
+             widths);
+    if (conns == 1) wire_p50_1 = out.p50_us;
+    all_answered = all_answered && out.errors == 0 &&
+                   out.requests == reqs_per_conn * static_cast<uint64_t>(conns);
+    all_hits = all_hits && out.hits == out.requests;
+    metrics.push_back({"wire_rtt_p50", out.p50_us, "us", {{"conns", std::to_string(conns)}}});
+    metrics.push_back({"wire_rtt_p99", out.p99_us, "us", {{"conns", std::to_string(conns)}}});
+    metrics.push_back({"wire_throughput",
+                       out.requests_per_second,
+                       "ops_per_sec",
+                       {{"conns", std::to_string(conns)}}});
+  }
+
+  const auto stats = server.stats();
+  server.RequestDrain();
+  server.Wait();
+
+  WriteBenchJson("ext_server_latency", metrics);
+
+  std::cout << "\nChecks:\n";
+  Check(all_answered, "every wire request was answered (no errors, no drops)");
+  Check(all_hits, "every measured wire request was a cache hit");
+  Check(inproc.hits == inproc.requests, "every in-process baseline request was a hit");
+  Check(stats.protocol_errors == 0 && stats.slow_consumer_closes == 0,
+        "server saw no protocol errors or slow-consumer closes");
+  Check(wire_p50_1 > inproc.p50_us,
+        "the wire adds measurable cost over the in-process hit path");
+  // Generous bound: loopback RTT + dispatch should be far under 20 ms even
+  // on a loaded CI box; tripping it means a stall (e.g. a lost wakeup
+  // riding the 100 ms poll timeout) sits on the request path.
+  Check(wire_p50_1 < 20'000.0, "single-connection wire p50 under 20 ms");
+  return Failures() == 0 ? 0 : 1;
+}

@@ -1,7 +1,8 @@
 // qcsh — an interactive shell over the cached query middleware.
 //
-// Usage:  build/examples/qcsh            (interactive)
-//         build/examples/qcsh < script   (batch)
+// Usage:  build/examples/qcsh                      (local, in-process engine)
+//         build/examples/qcsh < script             (local, batch)
+//         build/examples/qcsh --connect HOST:PORT  (client of a running qcached)
 //
 // Statements: SELECT / INSERT / UPDATE / DELETE (terminated by the line
 // end). Shell commands start with a backslash:
@@ -14,6 +15,18 @@
 //   \stats                    engine + cache + DUP counters
 //   \odg                      dump the object dependence graph
 //   \help                     \quit
+//
+// In --connect mode the shell speaks QCP/1 (docs/SERVING.md) to a qcached
+// server instead of owning an engine. SQL works the same; the session
+// commands are:
+//   \prepare SQL          register a prepared statement (prints its id)
+//   \execute ID [args]    run it (args: 42, 3.5, 'text', NULL)
+//   \close ID             deallocate a prepared statement
+//   \stats                full server counter dump over the wire
+//   \ping                 liveness round-trip
+//   \drain                ask the server to drain and exit
+// Local-only commands (\create, \import, ...) report as such — the
+// server's schema comes from its --init script.
 #include <unistd.h>
 
 #include <iostream>
@@ -22,6 +35,7 @@
 #include "common/error.h"
 #include "common/strings.h"
 #include "middleware/query_engine.h"
+#include "server/client.h"
 #include "storage/csv.h"
 
 using namespace qc;
@@ -208,9 +222,178 @@ class Shell {
   bool interactive_ = isatty(0);
 };
 
+/// qcsh --connect: the same line-oriented shell, but every statement goes
+/// over the wire to a running qcached.
+class RemoteShell {
+ public:
+  RemoteShell(const std::string& host, uint16_t port) {
+    client_.Connect(host, port);
+    std::cout << "connected to " << client_.server_banner() << " at " << host << ":" << port
+              << "\n";
+  }
+
+  int Run() {
+    std::string line;
+    Prompt();
+    while (std::getline(std::cin, line)) {
+      try {
+        if (!Dispatch(line)) break;
+      } catch (const server::RpcError& e) {
+        std::cout << "error: " << e.what() << "\n";
+      } catch (const server::NetError& e) {
+        std::cout << "connection lost: " << e.what() << "\n";
+        return 1;
+      } catch (const Error& e) {
+        std::cout << "error: " << e.what() << "\n";
+      }
+      if (!client_.connected()) break;
+      Prompt();
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt() {
+    if (interactive_) std::cout << "qcached> " << std::flush;
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::string trimmed = line;
+    while (!trimmed.empty() && (trimmed.back() == ' ' || trimmed.back() == '\r')) {
+      trimmed.pop_back();
+    }
+    const size_t start = trimmed.find_first_not_of(' ');
+    if (start == std::string::npos) return true;
+    trimmed = trimmed.substr(start);
+
+    if (trimmed[0] == '\\') return Command(trimmed);
+    RunSql(trimmed);
+    return true;
+  }
+
+  bool Command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "\\quit" || cmd == "\\q") return false;
+    if (cmd == "\\help") {
+      std::cout << "statements: SELECT ... / INSERT ... / UPDATE ... / DELETE ...\n"
+                   "commands: \\prepare SQL   \\execute ID [args]   \\close ID\n"
+                   "          \\stats \\ping \\drain \\quit\n"
+                   "args: 42, 3.5, 'text', NULL\n";
+    } else if (cmd == "\\prepare") {
+      std::string sql;
+      std::getline(in, sql);
+      const size_t s = sql.find_first_not_of(' ');
+      if (s == std::string::npos) throw Error("\\prepare needs a statement");
+      const auto stmt = client_.Prepare(sql.substr(s));
+      std::cout << "prepared statement " << stmt.id << " (" << stmt.param_count << " params)\n";
+    } else if (cmd == "\\execute") {
+      uint32_t id = 0;
+      in >> id;
+      PrintResult(client_.Execute(id, ParseArgs(in)));
+    } else if (cmd == "\\close") {
+      uint32_t id = 0;
+      in >> id;
+      client_.CloseStmt(id);
+      std::cout << "closed statement " << id << "\n";
+    } else if (cmd == "\\stats") {
+      for (const auto& [key, value] : client_.Stats()) {
+        std::cout << "  " << key << " = " << value << "\n";
+      }
+    } else if (cmd == "\\ping") {
+      client_.Ping();
+      std::cout << "pong\n";
+    } else if (cmd == "\\drain") {
+      client_.Drain(/*wait_for_close=*/true);
+      std::cout << "server drained; connection closed\n";
+      return false;
+    } else if (cmd == "\\create" || cmd == "\\index" || cmd == "\\import" ||
+               cmd == "\\export" || cmd == "\\tables" || cmd == "\\schema" ||
+               cmd == "\\policy" || cmd == "\\trace" || cmd == "\\odg") {
+      std::cout << cmd << " is local-only; in --connect mode the server owns the\n"
+                   "database (schema comes from its --init script)\n";
+    } else {
+      std::cout << "unknown command " << cmd << " (try \\help)\n";
+    }
+    return true;
+  }
+
+  /// Whitespace-separated literals: 42, 3.5, 'quoted string', NULL.
+  static std::vector<Value> ParseArgs(std::istringstream& in) {
+    std::vector<Value> args;
+    std::string token;
+    while (in >> token) {
+      if (token.front() == '\'') {
+        // Re-join tokens until the closing quote.
+        while (token.size() < 2 || token.back() != '\'') {
+          std::string more;
+          if (!(in >> more)) throw Error("unterminated string literal");
+          token += " " + more;
+        }
+        args.emplace_back(token.substr(1, token.size() - 2));
+      } else if (ToUpper(token) == "NULL") {
+        args.push_back(Value::Null());
+      } else if (token.find('.') != std::string::npos) {
+        args.emplace_back(std::stod(token));
+      } else {
+        args.emplace_back(static_cast<int64_t>(std::stoll(token)));
+      }
+    }
+    return args;
+  }
+
+  void PrintResult(const server::QcClient::QueryResult& outcome) {
+    std::cout << outcome.result.ToString(50) << "(" << outcome.result.row_count() << " rows, "
+              << (outcome.cache_hit ? "cache hit" : "database") << ")\n";
+  }
+
+  void RunSql(const std::string& sql) {
+    const std::string head = ToUpper(sql.substr(0, sql.find(' ')));
+    if (head == "SELECT") {
+      PrintResult(client_.Query(sql));
+    } else {
+      std::cout << client_.Dml(sql) << " rows affected\n";
+    }
+  }
+
+  server::QcClient client_;
+  bool interactive_ = isatty(0);
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string connect;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: qcsh [--connect HOST:PORT]\n"
+                   "  without --connect: local in-process engine (\\help for commands)\n"
+                   "  with --connect:    client shell against a running qcached\n";
+      return 0;
+    } else {
+      std::cerr << "qcsh: unknown flag '" << arg << "' (try --help)\n";
+      return 1;
+    }
+  }
+  if (!connect.empty()) {
+    const size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "qcsh: --connect expects HOST:PORT\n";
+      return 1;
+    }
+    try {
+      return RemoteShell(connect.substr(0, colon),
+                         static_cast<uint16_t>(std::stoi(connect.substr(colon + 1))))
+          .Run();
+    } catch (const Error& e) {
+      std::cerr << "qcsh: " << e.what() << "\n";
+      return 1;
+    }
+  }
   std::cout << "qcache shell — \\help for commands\n";
   return Shell().Run();
 }

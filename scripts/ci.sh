@@ -5,22 +5,28 @@
 #      recovery, stress, dup-labeled invalidation tests);
 #   2. dup:    `ctest -L dup` on the same build — the sublinear-invalidation
 #      suite on its own, for quick iteration on the DUP engine;
-#   3. tsan:   ThreadSanitizer build, stress-labeled concurrency tests
-#              (exercises the default kClock shared-lock hit path);
-#   4. asan:   AddressSanitizer build, recovery-labeled crash-recovery tests;
+#   3. tsan:   ThreadSanitizer build, stress- and server-labeled tests
+#              (exercises the default kClock shared-lock hit path and the
+#              qcached I/O-thread/worker handoff);
+#   4. asan:   AddressSanitizer build, recovery- and server-labeled tests;
 #   5. bench-smoke: the self-checking extension benches (ext_hit_contention,
-#              ext_invalidation_scale) in quick mode — their [VIOLATION]
-#              checks gate the stage and each drops a BENCH_<name>.json
-#              artifact into build/bench/.
+#              ext_invalidation_scale, ext_server_latency) in quick mode —
+#              their [VIOLATION] checks gate the stage and each drops a
+#              BENCH_<name>.json artifact into build/bench/ (committed
+#              snapshots live in bench/artifacts/).
+#   6. serve-smoke: build qcached + qcsh, boot a real server on an
+#              ephemeral port with a disk cache, and drive a scripted
+#              `qcsh --connect` session (prepare, query xN, stats, drain);
+#              gates on the hit transition, clean drain, and exit code 0.
 #
 # Stages can be selected by name: `scripts/ci.sh tier1 dup` runs only the
-# first two. Default is all five. JOBS controls build parallelism.
+# first two. Default is all six. JOBS controls build parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 dup tsan asan bench-smoke)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier1 dup tsan asan bench-smoke serve-smoke)
 
 want() {
   local stage
@@ -32,7 +38,7 @@ want() {
 
 banner() { printf '\n=== %s ===\n' "$1"; }
 
-if want tier1 || want dup || want bench-smoke; then
+if want tier1 || want dup || want bench-smoke || want serve-smoke; then
   banner "configure+build (default preset)"
   cmake --preset default >/dev/null
   cmake --build --preset default -j "$JOBS"
@@ -49,17 +55,19 @@ if want dup; then
 fi
 
 if want tsan; then
-  banner "tsan stress suite"
+  banner "tsan stress + server suites"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$JOBS"
   ctest --preset tsan-stress -j "$JOBS"
+  ctest --preset tsan-server -j "$JOBS"
 fi
 
 if want asan; then
-  banner "asan recovery suite"
+  banner "asan recovery + server suites"
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$JOBS"
   ctest --preset asan-recovery -j "$JOBS"
+  ctest --preset asan-server -j "$JOBS"
 fi
 
 if want bench-smoke; then
@@ -69,7 +77,54 @@ if want bench-smoke; then
   # and hard perf-ratio checks self-skip on low-core machines.
   BENCH_JSON_DIR=build/bench HIT_MS=100 HIT_READERS=8 ./build/bench/ext_hit_contention
   BENCH_JSON_DIR=build/bench EXT_INV_MAX_QUERIES=10000 ./build/bench/ext_invalidation_scale
-  ls -l build/bench/BENCH_ext_hit_contention.json build/bench/BENCH_ext_invalidation_scale.json
+  BENCH_JSON_DIR=build/bench SRV_CONNS=8 SRV_REQS_PER_CONN=500 ./build/bench/ext_server_latency
+  ls -l build/bench/BENCH_ext_hit_contention.json build/bench/BENCH_ext_invalidation_scale.json \
+        build/bench/BENCH_ext_server_latency.json
+fi
+
+if want serve-smoke; then
+  banner "serve smoke (qcached + scripted qcsh --connect session)"
+  ctest --preset server -j "$JOBS"
+  SMOKE_DIR=$(mktemp -d)
+  SERVER_PID=""
+  trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+  mkdir -p "$SMOKE_DIR/cache"
+  cat > "$SMOKE_DIR/init.qc" <<'INIT'
+\create ITEMS ID INT, KIND STRING, PRICE INT
+INSERT INTO ITEMS VALUES (1, 'a', 10)
+INSERT INTO ITEMS VALUES (2, 'b', 20)
+INSERT INTO ITEMS VALUES (3, 'a', 30)
+INSERT INTO ITEMS VALUES (4, 'b', 40)
+INIT
+  ./build/tools/qcached --port 0 --port-file "$SMOKE_DIR/port" \
+      --cache-mode disk --cache-dir "$SMOKE_DIR/cache" --recover \
+      --txlog "$SMOKE_DIR/txlog" --init "$SMOKE_DIR/init.qc" &
+  SERVER_PID=$!
+  for _ in $(seq 1 200); do [ -s "$SMOKE_DIR/port" ] && break; sleep 0.05; done
+  [ -s "$SMOKE_DIR/port" ] || { echo "serve-smoke: server never wrote its port file"; exit 1; }
+  PORT=$(cat "$SMOKE_DIR/port")
+  cat > "$SMOKE_DIR/session.qc" <<'SESSION'
+\ping
+\prepare SELECT COUNT(*) FROM ITEMS WHERE KIND = $1
+\execute 1 'a'
+\execute 1 'a'
+\execute 1 'b'
+SELECT ID, PRICE FROM ITEMS WHERE PRICE > 15
+SELECT ID, PRICE FROM ITEMS WHERE PRICE > 15
+UPDATE ITEMS SET PRICE = 99 WHERE ID = 1
+\execute 1 'a'
+\close 1
+\stats
+\drain
+SESSION
+  ./build/examples/qcsh --connect "127.0.0.1:$PORT" < "$SMOKE_DIR/session.qc" \
+      | tee "$SMOKE_DIR/session.out"
+  wait "$SERVER_PID"   # drain must exit 0 (set -e gates on it)
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  grep -q "cache hit" "$SMOKE_DIR/session.out" \
+      || { echo "serve-smoke: expected a cache hit in the session"; exit 1; }
+  grep -q "server drained; connection closed" "$SMOKE_DIR/session.out" \
+      || { echo "serve-smoke: expected a clean drain"; exit 1; }
 fi
 
 banner "all requested stages passed"

@@ -1,0 +1,171 @@
+#include "server/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace qc::server {
+
+QcClient::QcClient(QcClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      banner_(std::move(other.banner_)) {}
+
+QcClient& QcClient::operator=(QcClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    banner_ = std::move(other.banner_);
+  }
+  return *this;
+}
+
+void QcClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ConnectTcp(host, port);
+  WireWriter w;
+  w.U32(kProtocolMagic);
+  w.U8(kProtocolVersion);  // min supported
+  w.U8(kProtocolVersion);  // max supported
+  const std::string payload = Call(Opcode::kHello, w.bytes(), Opcode::kHelloOk);
+  WireReader r(payload);
+  const uint8_t version = r.U8();
+  banner_ = r.Str();
+  r.ExpectEnd();
+  if (version != kProtocolVersion) {
+    Close();
+    throw ProtocolError("server negotiated unsupported version");
+  }
+}
+
+void QcClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<FrameHeader, std::string> QcClient::ReadFrame() {
+  std::string header_bytes;
+  if (!ReadExact(fd_, kFrameHeaderSize, header_bytes)) {
+    throw NetError("server closed connection");
+  }
+  const FrameHeader header = DecodeFrameHeader(header_bytes);
+  std::string payload;
+  if (header.length > 0 && !ReadExact(fd_, header.length, payload)) {
+    throw NetError("server closed mid-frame");
+  }
+  return {header, std::move(payload)};
+}
+
+std::pair<FrameHeader, std::string> QcClient::RoundTrip(Opcode opcode, std::string_view payload,
+                                                        uint8_t version, uint16_t flags) {
+  if (fd_ < 0) throw NetError("not connected");
+  FrameHeader h;
+  h.length = static_cast<uint32_t>(payload.size());
+  h.version = version;
+  h.opcode = opcode;
+  h.flags = flags;
+  h.request_id = next_request_id_++;
+  std::string frame;
+  EncodeFrameHeader(h, frame);
+  frame.append(payload.data(), payload.size());
+  WriteAll(fd_, frame);
+  return ReadFrame();
+}
+
+std::string QcClient::Call(Opcode opcode, std::string_view payload, Opcode expect) {
+  auto [header, body] = RoundTrip(opcode, payload);
+  if (header.opcode == Opcode::kError || header.opcode == Opcode::kBusy) {
+    WireReader r(body);
+    const DecodedError e = DecodeError(r);
+    throw RpcError(e.code, e.message);
+  }
+  if (header.opcode != expect) {
+    throw ProtocolError(std::string("expected ") + OpcodeName(expect) + ", got " +
+                        OpcodeName(header.opcode));
+  }
+  return std::move(body);
+}
+
+QcClient::QueryResult QcClient::Query(const std::string& sql,
+                                      const std::vector<Value>& params) {
+  WireWriter w;
+  w.Str(sql);
+  w.Params(params);
+  const std::string payload = Call(Opcode::kQuery, w.bytes(), Opcode::kResultSet);
+  WireReader r(payload);
+  DecodedResult decoded = DecodeResultSet(r);
+  r.ExpectEnd();
+  return QueryResult{std::move(decoded.result), decoded.cache_hit};
+}
+
+uint64_t QcClient::Dml(const std::string& sql, const std::vector<Value>& params) {
+  WireWriter w;
+  w.Str(sql);
+  w.Params(params);
+  const std::string payload = Call(Opcode::kQuery, w.bytes(), Opcode::kDmlOk);
+  WireReader r(payload);
+  const uint64_t affected = r.U64();
+  r.ExpectEnd();
+  return affected;
+}
+
+QcClient::PreparedHandle QcClient::Prepare(const std::string& sql) {
+  WireWriter w;
+  w.Str(sql);
+  const std::string payload = Call(Opcode::kPrepare, w.bytes(), Opcode::kPrepared);
+  WireReader r(payload);
+  PreparedHandle handle;
+  handle.id = r.U32();
+  handle.param_count = r.U16();
+  r.ExpectEnd();
+  return handle;
+}
+
+QcClient::QueryResult QcClient::Execute(uint32_t stmt_id, const std::vector<Value>& params) {
+  WireWriter w;
+  w.U32(stmt_id);
+  w.Params(params);
+  const std::string payload = Call(Opcode::kExecute, w.bytes(), Opcode::kResultSet);
+  WireReader r(payload);
+  DecodedResult decoded = DecodeResultSet(r);
+  r.ExpectEnd();
+  return QueryResult{std::move(decoded.result), decoded.cache_hit};
+}
+
+void QcClient::CloseStmt(uint32_t stmt_id) {
+  WireWriter w;
+  w.U32(stmt_id);
+  Call(Opcode::kCloseStmt, w.bytes(), Opcode::kStmtClosed);
+}
+
+std::map<std::string, double> QcClient::Stats() {
+  const std::string payload = Call(Opcode::kStats, {}, Opcode::kStatsResult);
+  WireReader r(payload);
+  std::map<std::string, double> out;
+  for (const StatsEntry& e : DecodeStats(r)) {
+    out[e.key] = e.kind == 0 ? static_cast<double>(e.u64) : e.f64;
+  }
+  r.ExpectEnd();
+  return out;
+}
+
+void QcClient::Ping() { Call(Opcode::kPing, {}, Opcode::kPong); }
+
+void QcClient::Drain(bool wait_for_close) {
+  Call(Opcode::kDrain, {}, Opcode::kDrainAck);
+  if (!wait_for_close) return;
+  // The server closes every connection once the drain completes; read
+  // until EOF (any late frames are drained responses for other requests —
+  // this client has none outstanding).
+  try {
+    while (true) ReadFrame();
+  } catch (const NetError&) {
+    // EOF or reset: drain finished.
+  }
+  Close();
+}
+
+}  // namespace qc::server

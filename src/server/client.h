@@ -1,0 +1,112 @@
+// QcClient — a small blocking client for the qcached wire protocol
+// (docs/SERVING.md). Used by the end-to-end test suites, the wire-latency
+// bench, and `qcsh --connect`.
+//
+// One client = one connection = one server session: prepared statement ids
+// returned by Prepare() are scoped to this connection. Calls are
+// synchronous (one outstanding request); protocol-level errors surface as
+// RpcError with the server's typed ErrorCode, transport failures as
+// NetError.
+//
+// @thread_safety Not thread-safe: one QcClient per thread (the protocol
+// itself supports pipelining via request_id, but this client does not).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/net.h"
+#include "server/protocol.h"
+#include "sql/result.h"
+
+namespace qc::server {
+
+/// A typed error frame (ERROR or BUSY) returned by the server.
+class RpcError : public Error {
+ public:
+  RpcError(ErrorCode code, const std::string& message)
+      : Error(std::string("rpc error [") + ErrorCodeName(code) + "]: " + message),
+        code_(code) {}
+
+  ErrorCode code() const { return code_; }
+  bool IsBusy() const { return code_ == ErrorCode::kBusy; }
+  bool IsDraining() const { return code_ == ErrorCode::kDraining; }
+
+ private:
+  ErrorCode code_;
+};
+
+class QcClient {
+ public:
+  QcClient() = default;
+  ~QcClient() { Close(); }
+
+  QcClient(const QcClient&) = delete;
+  QcClient& operator=(const QcClient&) = delete;
+  QcClient(QcClient&& other) noexcept;
+  QcClient& operator=(QcClient&& other) noexcept;
+
+  /// Connect and perform the HELLO handshake. Throws NetError / RpcError.
+  void Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  const std::string& server_banner() const { return banner_; }
+
+  struct QueryResult {
+    sql::ResultSet result;
+    bool cache_hit = false;
+  };
+
+  /// Dynamic SELECT over the wire (QUERY frame -> RESULT_SET).
+  QueryResult Query(const std::string& sql, const std::vector<Value>& params = {});
+
+  /// Dynamic DML over the wire (QUERY frame -> DML_OK). Returns the
+  /// affected row count.
+  uint64_t Dml(const std::string& sql, const std::vector<Value>& params = {});
+
+  struct PreparedHandle {
+    uint32_t id = 0;
+    uint16_t param_count = 0;
+  };
+
+  /// Register a statement in this connection's session.
+  PreparedHandle Prepare(const std::string& sql);
+
+  /// Execute a prepared statement by id.
+  QueryResult Execute(uint32_t stmt_id, const std::vector<Value>& params = {});
+
+  /// Deallocate a prepared statement.
+  void CloseStmt(uint32_t stmt_id);
+
+  /// Full counter dump. u64 counters are widened to double (exact up to
+  /// 2^53, far beyond any counter in practice).
+  std::map<std::string, double> Stats();
+
+  void Ping();
+
+  /// Ask the server to drain. When `wait_for_close` is set, block until
+  /// the server finishes draining and closes this connection.
+  void Drain(bool wait_for_close = true);
+
+  void Close();
+
+  /// Escape hatch for protocol tests: send a raw frame and return the next
+  /// frame's header + payload.
+  std::pair<FrameHeader, std::string> RoundTrip(Opcode opcode, std::string_view payload,
+                                                uint8_t version = kProtocolVersion,
+                                                uint16_t flags = 0);
+
+ private:
+  std::pair<FrameHeader, std::string> ReadFrame();
+  /// Send `opcode` and read the response; throws RpcError on ERROR/BUSY,
+  /// ProtocolError when the response opcode differs from `expect`.
+  std::string Call(Opcode opcode, std::string_view payload, Opcode expect);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  std::string banner_;
+};
+
+}  // namespace qc::server

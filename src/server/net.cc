@@ -1,0 +1,159 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qc::server {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& op) {
+  throw NetError(op + ": " + std::string(strerror(errno)));
+}
+
+sockaddr_in MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+void SetCloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags < 0 || ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) < 0) Fail("fcntl(FD_CLOEXEC)");
+}
+
+}  // namespace
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) Fail("fcntl(O_NONBLOCK)");
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    Fail("setsockopt(TCP_NODELAY)");
+  }
+}
+
+int ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) Fail("socket");
+  try {
+    SetCloexec(fd);
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+      Fail("setsockopt(SO_REUSEADDR)");
+    }
+    sockaddr_in addr = MakeAddr(host, port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) Fail("bind");
+    if (::listen(fd, backlog) < 0) Fail("listen");
+    SetNonBlocking(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return fd;
+}
+
+uint16_t LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) Fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+int ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) Fail("socket");
+  try {
+    SetCloexec(fd);
+    sockaddr_in addr = MakeAddr(host, port);
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) Fail("connect");
+    SetNoDelay(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return fd;
+}
+
+void WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+bool ReadExact(int fd, size_t n, std::string& out) {
+  const size_t start = out.size();
+  out.resize(start + n);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out.data() + start + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      out.resize(start);
+      Fail("read");
+    }
+    if (r == 0) {
+      out.resize(start);
+      if (got == 0) return false;  // clean EOF between frames
+      throw NetError("peer closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void WakePipe::Open() {
+  int fds[2];
+  if (::pipe(fds) < 0) Fail("pipe");
+  read_fd = fds[0];
+  write_fd = fds[1];
+  SetNonBlocking(read_fd);
+  SetNonBlocking(write_fd);
+  SetCloexec(read_fd);
+  SetCloexec(write_fd);
+}
+
+void WakePipe::Close() {
+  if (read_fd >= 0) ::close(read_fd);
+  if (write_fd >= 0) ::close(write_fd);
+  read_fd = write_fd = -1;
+}
+
+void WakePipe::Notify() const {
+  if (write_fd < 0) return;
+  const char byte = 1;
+  // Best effort: EAGAIN means a wake-up is already pending, which is all we
+  // need. Must stay async-signal-safe (no locks, no allocation).
+  [[maybe_unused]] const ssize_t rc = ::write(write_fd, &byte, 1);
+}
+
+void WakePipe::DrainPending() const {
+  char buf[64];
+  while (::read(read_fd, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace qc::server

@@ -1,0 +1,56 @@
+// Thin POSIX TCP helpers shared by the qcached server and its client
+// library. Everything reports failure with NetError (a qc::Error), so
+// callers never check errno themselves.
+//
+// @thread_safety Free functions over caller-owned file descriptors; safe
+// from any thread as long as one fd is not used from two threads at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace qc::server {
+
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error("net error: " + what) {}
+};
+
+/// Create, bind, and listen on a TCP socket. `port` 0 binds an ephemeral
+/// port. Returns the listening fd (non-blocking, CLOEXEC, SO_REUSEADDR).
+int ListenTcp(const std::string& host, uint16_t port, int backlog = 128);
+
+/// The port a bound socket actually listens on (resolves port 0).
+uint16_t LocalPort(int fd);
+
+/// Blocking connect; returns a blocking CLOEXEC fd with TCP_NODELAY set.
+int ConnectTcp(const std::string& host, uint16_t port);
+
+void SetNonBlocking(int fd);
+void SetNoDelay(int fd);
+
+/// Write all of `data`, retrying on EINTR / short writes. Throws NetError
+/// on failure (including EPIPE — callers treat that as peer-closed).
+void WriteAll(int fd, std::string_view data);
+
+/// Read exactly `n` bytes into `out` (appended). Returns false on clean
+/// EOF at a frame boundary (zero bytes read); throws NetError on errors or
+/// mid-buffer EOF.
+bool ReadExact(int fd, size_t n, std::string& out);
+
+/// A pipe pair used to wake a poll loop from other threads and from signal
+/// handlers (write end is async-signal-safe to write one byte to).
+struct WakePipe {
+  int read_fd = -1;
+  int write_fd = -1;
+
+  void Open();   // throws NetError; fds are non-blocking + CLOEXEC
+  void Close();
+  void Notify() const;  // best-effort single-byte write; signal-safe
+  void DrainPending() const;  // consume queued wake bytes
+};
+
+}  // namespace qc::server

@@ -1,0 +1,292 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace qc::server {
+
+namespace {
+
+// Value type tags on the wire (spec: docs/SERVING.md "Values").
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kHello: return "HELLO";
+    case Opcode::kQuery: return "QUERY";
+    case Opcode::kPrepare: return "PREPARE";
+    case Opcode::kExecute: return "EXECUTE";
+    case Opcode::kStats: return "STATS";
+    case Opcode::kDrain: return "DRAIN";
+    case Opcode::kPing: return "PING";
+    case Opcode::kCloseStmt: return "CLOSE_STMT";
+    case Opcode::kHelloOk: return "HELLO_OK";
+    case Opcode::kResultSet: return "RESULT_SET";
+    case Opcode::kDmlOk: return "DML_OK";
+    case Opcode::kPrepared: return "PREPARED";
+    case Opcode::kStatsResult: return "STATS_RESULT";
+    case Opcode::kDrainAck: return "DRAIN_ACK";
+    case Opcode::kPong: return "PONG";
+    case Opcode::kStmtClosed: return "STMT_CLOSED";
+    case Opcode::kBusy: return "BUSY";
+    case Opcode::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParse: return "PARSE";
+    case ErrorCode::kBind: return "BIND";
+    case ErrorCode::kUnknownStatement: return "UNKNOWN_STATEMENT";
+    case ErrorCode::kBadParams: return "BAD_PARAMS";
+    case ErrorCode::kMalformedFrame: return "MALFORMED_FRAME";
+    case ErrorCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case ErrorCode::kDraining: return "DRAINING";
+    case ErrorCode::kBusy: return "BUSY";
+    case ErrorCode::kTooLarge: return "TOO_LARGE";
+    case ErrorCode::kStorage: return "STORAGE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+void EncodeFrameHeader(const FrameHeader& header, std::string& out) {
+  const auto put32 = [&out](uint32_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+  };
+  put32(header.length);
+  out.push_back(static_cast<char>(header.version));
+  out.push_back(static_cast<char>(header.opcode));
+  out.push_back(static_cast<char>(header.flags & 0xff));
+  out.push_back(static_cast<char>((header.flags >> 8) & 0xff));
+  put32(header.request_id);
+}
+
+FrameHeader DecodeFrameHeader(std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    throw ProtocolError("frame header truncated");
+  }
+  const auto* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  const auto get32 = [p](size_t at) {
+    return static_cast<uint32_t>(p[at]) | (static_cast<uint32_t>(p[at + 1]) << 8) |
+           (static_cast<uint32_t>(p[at + 2]) << 16) | (static_cast<uint32_t>(p[at + 3]) << 24);
+  };
+  FrameHeader h;
+  h.length = get32(0);
+  h.version = p[4];
+  h.opcode = static_cast<Opcode>(p[5]);
+  h.flags = static_cast<uint16_t>(p[6] | (p[7] << 8));
+  h.request_id = get32(8);
+  return h;
+}
+
+void WireWriter::U16(uint16_t v) {
+  out_.push_back(static_cast<char>(v & 0xff));
+  out_.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void WireWriter::U32(uint32_t v) {
+  U16(static_cast<uint16_t>(v & 0xffff));
+  U16(static_cast<uint16_t>(v >> 16));
+}
+
+void WireWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v & 0xffffffffu));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void WireWriter::Val(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      U8(kTagNull);
+      break;
+    case ValueType::kInt:
+      U8(kTagInt);
+      I64(v.as_int());
+      break;
+    case ValueType::kDouble:
+      U8(kTagDouble);
+      F64(v.as_double());
+      break;
+    case ValueType::kString:
+      U8(kTagString);
+      Str(v.as_string());
+      break;
+  }
+}
+
+void WireWriter::Params(const std::vector<Value>& params) {
+  if (params.size() > 0xffff) throw ProtocolError("too many parameters");
+  U16(static_cast<uint16_t>(params.size()));
+  for (const Value& p : params) Val(p);
+}
+
+std::string_view WireReader::Take(size_t n) {
+  if (bytes_.size() - pos_ < n) throw ProtocolError("payload truncated");
+  std::string_view out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+uint8_t WireReader::U8() { return static_cast<uint8_t>(Take(1)[0]); }
+
+uint16_t WireReader::U16() {
+  const auto* p = reinterpret_cast<const uint8_t*>(Take(2).data());
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t WireReader::U32() {
+  const auto* p = reinterpret_cast<const uint8_t*>(Take(4).data());
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t WireReader::U64() {
+  const uint64_t lo = U32();
+  const uint64_t hi = U32();
+  return lo | (hi << 32);
+}
+
+double WireReader::F64() {
+  const uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::Str() {
+  const uint32_t len = U32();
+  return std::string(Take(len));
+}
+
+Value WireReader::Val() {
+  switch (U8()) {
+    case kTagNull: return Value::Null();
+    case kTagInt: return Value(I64());
+    case kTagDouble: return Value(F64());
+    case kTagString: return Value(Str());
+    default: throw ProtocolError("unknown value type tag");
+  }
+}
+
+std::vector<Value> WireReader::Params() {
+  const uint16_t n = U16();
+  std::vector<Value> params;
+  params.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) params.push_back(Val());
+  return params;
+}
+
+void WireReader::ExpectEnd() const {
+  if (pos_ != bytes_.size()) throw ProtocolError("trailing bytes in payload");
+}
+
+void EncodeResultSet(const sql::ResultSet& result, bool cache_hit, WireWriter& w) {
+  if (result.columns().size() > 0xffff) throw ProtocolError("too many result columns");
+  w.U8(cache_hit ? 1 : 0);
+  w.U16(static_cast<uint16_t>(result.columns().size()));
+  for (const std::string& name : result.columns()) w.Str(name);
+  w.U32(static_cast<uint32_t>(result.row_count()));
+  for (const auto& row : result.rows()) {
+    for (const Value& cell : row) w.Val(cell);
+  }
+}
+
+DecodedResult DecodeResultSet(WireReader& r) {
+  DecodedResult out;
+  out.cache_hit = r.U8() != 0;
+  const uint16_t ncols = r.U16();
+  std::vector<std::string> columns;
+  columns.reserve(ncols);
+  for (uint16_t c = 0; c < ncols; ++c) columns.push_back(r.Str());
+  out.result = sql::ResultSet(std::move(columns));
+  const uint32_t nrows = r.U32();
+  for (uint32_t i = 0; i < nrows; ++i) {
+    storage::Row row;
+    row.reserve(ncols);
+    for (uint16_t c = 0; c < ncols; ++c) row.push_back(r.Val());
+    out.result.AddRow(std::move(row));
+  }
+  return out;
+}
+
+void EncodeStats(const std::vector<StatsEntry>& entries, WireWriter& w) {
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const StatsEntry& e : entries) {
+    w.Str(e.key);
+    w.U8(e.kind);
+    if (e.kind == 0) {
+      w.U64(e.u64);
+    } else {
+      w.F64(e.f64);
+    }
+  }
+}
+
+std::vector<StatsEntry> DecodeStats(WireReader& r) {
+  const uint32_t n = r.U32();
+  std::vector<StatsEntry> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    StatsEntry e;
+    e.key = r.Str();
+    e.kind = r.U8();
+    if (e.kind == 0) {
+      e.u64 = r.U64();
+    } else if (e.kind == 1) {
+      e.f64 = r.F64();
+    } else {
+      throw ProtocolError("unknown stats entry kind");
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void EncodeError(ErrorCode code, std::string_view message, WireWriter& w) {
+  w.U16(static_cast<uint16_t>(code));
+  w.Str(message);
+}
+
+DecodedError DecodeError(WireReader& r) {
+  DecodedError e;
+  e.code = static_cast<ErrorCode>(r.U16());
+  e.message = r.Str();
+  return e;
+}
+
+std::string BuildFrame(Opcode opcode, uint32_t request_id, std::string_view payload,
+                       uint8_t version) {
+  FrameHeader h;
+  h.length = static_cast<uint32_t>(payload.size());
+  h.version = version;
+  h.opcode = opcode;
+  h.request_id = request_id;
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  EncodeFrameHeader(h, out);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+}  // namespace qc::server

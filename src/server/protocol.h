@@ -1,0 +1,205 @@
+// QCP/1 — the qcached wire protocol (docs/SERVING.md is the normative
+// spec; this header is its implementation and must stay byte-for-byte in
+// agreement).
+//
+// Every frame is a fixed 12-byte little-endian header followed by `length`
+// payload bytes:
+//
+//   offset  size  field
+//   0       4     length      payload bytes after the header (u32)
+//   4       1     version     protocol version, currently 1
+//   5       1     opcode      Opcode below
+//   6       2     flags       reserved, must be 0
+//   8       4     request_id  client-chosen, echoed verbatim in responses
+//
+// A connection starts with a HELLO / HELLO_OK exchange that carries the
+// protocol magic and negotiates the version; every later frame repeats the
+// negotiated version in its header. Scalar encodings are unconditionally
+// little-endian; strings are u32-length-prefixed bytes (no terminator).
+//
+// @thread_safety Free functions only; everything here is pure and
+// reentrant. WireReader/WireWriter instances are not shared across threads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/value.h"
+#include "sql/result.h"
+
+namespace qc::server {
+
+/// Protocol magic carried in the HELLO payload: "QCP1" read as a
+/// little-endian u32.
+inline constexpr uint32_t kProtocolMagic = 0x31504351;  // 'Q''C''P''1'
+
+/// The one protocol version this build speaks.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Fixed frame header size in bytes.
+inline constexpr size_t kFrameHeaderSize = 12;
+
+/// Default ceiling on a single frame's payload; both sides refuse larger
+/// frames with kErrTooLarge instead of buffering them.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u * 1024 * 1024;
+
+/// Frame opcodes. Requests have the high bit clear, responses set.
+enum class Opcode : uint8_t {
+  // Requests.
+  kHello = 0x01,      // magic + supported version range
+  kQuery = 0x02,      // dynamic SQL (SELECT or DML) + params
+  kPrepare = 0x03,    // SQL text -> session statement id
+  kExecute = 0x04,    // statement id + params
+  kStats = 0x05,      // engine/cache/DUP/server counters
+  kDrain = 0x06,      // begin graceful drain (admin)
+  kPing = 0x07,       // liveness probe
+  kCloseStmt = 0x08,  // deallocate a session statement id
+
+  // Responses.
+  kHelloOk = 0x81,     // negotiated version + server banner
+  kResultSet = 0x82,   // SELECT result (QUERY / EXECUTE)
+  kDmlOk = 0x83,       // DML result: affected row count
+  kPrepared = 0x84,    // statement id + parameter count
+  kStatsResult = 0x85, // counter list
+  kDrainAck = 0x86,    // drain accepted
+  kPong = 0x87,        // PING response
+  kStmtClosed = 0x88,  // CLOSE_STMT response
+  kBusy = 0xBE,        // load shed: retry later (same payload shape as kError)
+  kError = 0xEF,       // typed error
+};
+
+const char* OpcodeName(Opcode op);
+
+/// Typed error codes carried by kError / kBusy payloads.
+enum class ErrorCode : uint16_t {
+  kParse = 1,               // SQL failed to parse
+  kBind = 2,                // SQL failed to bind (unknown table/column, ...)
+  kUnknownStatement = 3,    // EXECUTE/CLOSE_STMT with an unknown statement id
+  kBadParams = 4,           // wrong parameter count for the statement
+  kMalformedFrame = 5,      // undecodable payload, bad flags, missing HELLO
+  kUnsupportedVersion = 6,  // HELLO version range does not include ours
+  kDraining = 7,            // server is draining; no new work accepted
+  kBusy = 8,                // global in-flight cap reached (kBusy frames)
+  kTooLarge = 9,            // frame payload exceeds the negotiated maximum
+  kStorage = 10,            // storage-layer error during execution
+  kInternal = 11,           // anything else; message has details
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+/// Raised by WireReader (and frame decoding) on malformed input.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
+};
+
+struct FrameHeader {
+  uint32_t length = 0;
+  uint8_t version = kProtocolVersion;
+  Opcode opcode = Opcode::kPing;
+  uint16_t flags = 0;
+  uint32_t request_id = 0;
+};
+
+/// Serialize `header` into exactly kFrameHeaderSize bytes appended to `out`.
+void EncodeFrameHeader(const FrameHeader& header, std::string& out);
+
+/// Decode a header from exactly kFrameHeaderSize bytes. Throws
+/// ProtocolError if fewer bytes are supplied; the opcode byte is preserved
+/// verbatim (unknown opcodes are the dispatcher's problem, not a decode
+/// failure).
+FrameHeader DecodeFrameHeader(std::string_view bytes);
+
+/// Append-only little-endian payload builder.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Str(std::string_view s);  // u32 length + bytes
+  void Val(const Value& v);      // u8 type tag + payload
+  void Params(const std::vector<Value>& params);  // u16 count + values
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian payload reader. Every method throws
+/// ProtocolError on underflow or a malformed tag.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64();
+  std::string Str();
+  Value Val();
+  std::vector<Value> Params();
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  /// Call when a payload must have been fully consumed; trailing garbage is
+  /// a protocol error (catches mis-framed requests early).
+  void ExpectEnd() const;
+
+ private:
+  std::string_view Take(size_t n);
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// --- Payload encodings shared by client and server -------------------------
+
+/// Value encoding: u8 type tag (0=NULL, 1=INT, 2=DOUBLE, 3=STRING) followed
+/// by nothing / i64 / f64 bits / u32-prefixed bytes. (Implemented by
+/// WireWriter::Val / WireReader::Val; documented here for the spec.)
+
+/// RESULT_SET payload: u8 cache_hit, u16 column_count, column names
+/// (strings), u32 row_count, then row-major values.
+void EncodeResultSet(const sql::ResultSet& result, bool cache_hit, WireWriter& w);
+
+struct DecodedResult {
+  sql::ResultSet result;
+  bool cache_hit = false;
+};
+DecodedResult DecodeResultSet(WireReader& r);
+
+/// STATS_RESULT payload: u32 entry_count, then per entry a string key, a
+/// u8 kind (0 = u64, 1 = f64) and 8 value bytes. Keys are dotted:
+/// "engine.executions", "cache.hits", "dup.invalidations", "server.…".
+struct StatsEntry {
+  std::string key;
+  uint8_t kind = 0;  // 0 = u64, 1 = f64
+  uint64_t u64 = 0;
+  double f64 = 0.0;
+};
+void EncodeStats(const std::vector<StatsEntry>& entries, WireWriter& w);
+std::vector<StatsEntry> DecodeStats(WireReader& r);
+
+/// ERROR / BUSY payload: u16 ErrorCode + string message.
+void EncodeError(ErrorCode code, std::string_view message, WireWriter& w);
+struct DecodedError {
+  ErrorCode code;
+  std::string message;
+};
+DecodedError DecodeError(WireReader& r);
+
+/// Build one complete frame (header + payload) ready to write to a socket.
+std::string BuildFrame(Opcode opcode, uint32_t request_id, std::string_view payload,
+                       uint8_t version = kProtocolVersion);
+
+}  // namespace qc::server

@@ -1,0 +1,594 @@
+#include "server/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace qc::server {
+
+namespace {
+
+/// First SQL keyword, upper-cased — routes QUERY frames to the read or the
+/// DML path (the same dispatch examples/qcsh.cpp uses).
+std::string FirstKeyword(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && (sql[i] == ' ' || sql[i] == '\t' || sql[i] == '\n' || sql[i] == '\r')) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < sql.size() && std::isalpha(static_cast<unsigned char>(sql[j]))) ++j;
+  return ToUpper(std::string_view(sql).substr(i, j - i));
+}
+
+}  // namespace
+
+QcServer::QcServer(middleware::CachedQueryEngine& engine, ServerConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (config_.worker_threads == 0) config_.worker_threads = 1;
+  if (config_.max_in_flight == 0) config_.max_in_flight = 1;
+}
+
+QcServer::~QcServer() { Stop(); }
+
+void QcServer::Start() {
+  if (started_.exchange(true)) throw NetError("server already started");
+  listen_fd_ = ListenTcp(config_.host, config_.port, config_.listen_backlog);
+  port_ = LocalPort(listen_fd_);
+  wake_.Open();
+  workers_.reserve(config_.worker_threads);
+  for (size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+}
+
+void QcServer::RequestDrain() {
+  // Async-signal-safe: one atomic store + one pipe write.
+  drain_requested_.store(true, std::memory_order_relaxed);
+  wake_.Notify();
+}
+
+void QcServer::Wait() {
+  std::lock_guard<std::mutex> guard(lifecycle_mutex_);
+  if (joined_ || !started_.load()) return;
+  joined_ = true;
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    std::lock_guard<std::mutex> qlock(queue_mutex_);
+    queue_stopped_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  wake_.Close();
+}
+
+void QcServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  wake_.Notify();
+  Wait();
+}
+
+ServerStatsSnapshot QcServer::stats() const {
+  ServerStatsSnapshot s;
+  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
+  s.drain_rejections = drain_rejections_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.slow_consumer_closes = slow_consumer_closes_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.draining = draining_.load(std::memory_order_relaxed) ? 1 : 0;
+  return s;
+}
+
+// --- Event loop ------------------------------------------------------------
+
+void QcServer::IoLoop() {
+  std::vector<pollfd> fds;
+  std::vector<ConnPtr> order;  // conns_ entries in fds order (from index 2)
+  while (true) {
+    fds.clear();
+    order.clear();
+    fds.push_back({wake_.read_fd, POLLIN, 0});
+    const bool listening = listen_fd_ >= 0 && !draining_.load(std::memory_order_relaxed);
+    fds.push_back({listening ? listen_fd_ : -1, POLLIN, 0});
+    for (auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (!conn->outq.empty()) events |= POLLOUT;
+      }
+      fds.push_back({fd, events, 0});
+      order.push_back(conn);
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0 && errno != EINTR) break;
+
+    wake_.DrainPending();
+    if (stop_.load(std::memory_order_relaxed)) break;
+
+    if (drain_requested_.load(std::memory_order_relaxed) &&
+        !draining_.load(std::memory_order_relaxed)) {
+      draining_.store(true, std::memory_order_relaxed);
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+    }
+
+    if (listening && (fds[1].revents & POLLIN)) AcceptPending();
+
+    std::vector<ConnPtr> to_close;
+    for (size_t i = 0; i < order.size(); ++i) {
+      const ConnPtr& conn = order[i];
+      const short revents = fds[i + 2].revents;
+      bool ok = true;
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (conn->overflowed) {
+          slow_consumer_closes_.fetch_add(1, std::memory_order_relaxed);
+          ok = false;
+        }
+      }
+      if (ok && (revents & (POLLERR | POLLHUP | POLLNVAL))) ok = false;
+      if (ok && (revents & POLLIN)) {
+        try {
+          ReadInput(conn);
+        } catch (const Error&) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        try {
+          FlushWrites(conn);
+        } catch (const Error&) {
+          ok = false;
+        }
+      }
+      if (ok && conn->close_after_flush) {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (conn->outq.empty()) ok = false;  // error response flushed; close
+      }
+      if (!ok) to_close.push_back(conn);
+    }
+    for (const ConnPtr& conn : to_close) CloseConn(conn);
+
+    if (draining_.load(std::memory_order_relaxed) &&
+        in_flight_.load(std::memory_order_relaxed) == 0 && AllQueuesIdle()) {
+      // Drain complete: every accepted request answered and flushed. Flush
+      // the transaction log so the on-disk state is consistent up to the
+      // last drained operation (spill files themselves are written at Put
+      // time and are already durable — docs/PERSISTENCE.md).
+      engine_.cache().FlushLog();
+      break;
+    }
+  }
+
+  for (auto& [fd, conn] : conns_) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    conn->dead = true;
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  connections_open_.store(0, std::memory_order_relaxed);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void QcServer::AcceptPending() {
+  while (listen_fd_ >= 0) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; keep serving existing conns
+    }
+    try {
+      SetNonBlocking(fd);
+      SetNoDelay(fd);
+    } catch (const Error&) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conns_.emplace(fd, std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QcServer::ReadInput(const ConnPtr& conn) {
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      throw NetError("read failed");
+    }
+    if (n == 0) throw NetError("peer closed");
+    conn->inbuf.append(buf, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+  ParseFrames(conn);
+}
+
+void QcServer::ParseFrames(const ConnPtr& conn) {
+  size_t pos = 0;
+  while (!conn->close_after_flush && conn->inbuf.size() - pos >= kFrameHeaderSize) {
+    const FrameHeader header =
+        DecodeFrameHeader(std::string_view(conn->inbuf).substr(pos, kFrameHeaderSize));
+    if (header.length > config_.max_frame_bytes) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, header, ErrorCode::kTooLarge, "frame payload exceeds maximum");
+      conn->close_after_flush = true;
+      break;
+    }
+    if (conn->inbuf.size() - pos < kFrameHeaderSize + header.length) break;
+    std::string payload = conn->inbuf.substr(pos + kFrameHeaderSize, header.length);
+    pos += kFrameHeaderSize + header.length;
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    DispatchFrame(conn, header, std::move(payload));
+  }
+  conn->inbuf.erase(0, pos);
+}
+
+void QcServer::DispatchFrame(const ConnPtr& conn, const FrameHeader& header,
+                             std::string payload) {
+  const auto protocol_error = [&](ErrorCode code, std::string_view message) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, header, code, message);
+    conn->close_after_flush = true;
+  };
+
+  if (header.flags != 0) {
+    protocol_error(ErrorCode::kMalformedFrame, "nonzero flags");
+    return;
+  }
+
+  if (!conn->hello_done) {
+    if (header.opcode != Opcode::kHello) {
+      protocol_error(ErrorCode::kMalformedFrame, "expected HELLO");
+      return;
+    }
+    try {
+      WireReader r(payload);
+      const uint32_t magic = r.U32();
+      const uint8_t min_version = r.U8();
+      const uint8_t max_version = r.U8();
+      r.ExpectEnd();
+      if (magic != kProtocolMagic) {
+        protocol_error(ErrorCode::kMalformedFrame, "bad protocol magic");
+        return;
+      }
+      if (kProtocolVersion < min_version || kProtocolVersion > max_version) {
+        protocol_error(ErrorCode::kUnsupportedVersion, "server speaks only QCP/1");
+        return;
+      }
+    } catch (const ProtocolError& e) {
+      protocol_error(ErrorCode::kMalformedFrame, e.what());
+      return;
+    }
+    conn->hello_done = true;
+    WireWriter w;
+    w.U8(kProtocolVersion);
+    w.Str("qcached/1");
+    Enqueue(conn, BuildFrame(Opcode::kHelloOk, header.request_id, w.bytes()));
+    return;
+  }
+
+  if (header.version != kProtocolVersion) {
+    protocol_error(ErrorCode::kMalformedFrame, "version changed after HELLO");
+    return;
+  }
+
+  switch (header.opcode) {
+    case Opcode::kPing:
+      Enqueue(conn, BuildFrame(Opcode::kPong, header.request_id, {}));
+      return;
+    case Opcode::kStats: {
+      WireWriter w;
+      EncodeStats(BuildStatsEntries(), w);
+      Enqueue(conn, BuildFrame(Opcode::kStatsResult, header.request_id, w.bytes()));
+      return;
+    }
+    case Opcode::kDrain:
+      Enqueue(conn, BuildFrame(Opcode::kDrainAck, header.request_id, {}));
+      RequestDrain();
+      return;
+    case Opcode::kQuery:
+    case Opcode::kPrepare:
+    case Opcode::kExecute:
+    case Opcode::kCloseStmt: {
+      if (draining_.load(std::memory_order_relaxed)) {
+        drain_rejections_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, header, ErrorCode::kDraining, "server is draining");
+        return;
+      }
+      if (in_flight_.load(std::memory_order_relaxed) >= config_.max_in_flight) {
+        busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, header, ErrorCode::kBusy, "in-flight cap reached; retry",
+                  Opcode::kBusy);
+        return;
+      }
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_.push_back(WorkItem{conn, header, std::move(payload)});
+      }
+      queue_cv_.notify_one();
+      return;
+    }
+    default:
+      protocol_error(ErrorCode::kMalformedFrame, "unknown opcode");
+      return;
+  }
+}
+
+void QcServer::FlushWrites(const ConnPtr& conn) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  while (!conn->outq.empty()) {
+    const std::string& front = conn->outq.front();
+    const ssize_t n = ::write(conn->fd, front.data() + conn->front_offset,
+                              front.size() - conn->front_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      throw NetError("write failed");
+    }
+    conn->front_offset += static_cast<size_t>(n);
+    if (conn->front_offset == front.size()) {
+      conn->outq_bytes -= front.size();
+      conn->outq.pop_front();
+      conn->front_offset = 0;
+    }
+  }
+}
+
+void QcServer::CloseConn(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->dead) return;
+    conn->dead = true;
+    ::close(conn->fd);
+  }
+  conns_.erase(conn->fd);
+  conn->fd = -1;
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool QcServer::AllQueuesIdle() {
+  for (auto& [fd, conn] : conns_) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (!conn->outq.empty()) return false;
+  }
+  return true;
+}
+
+void QcServer::Enqueue(const ConnPtr& conn, std::string frame) {
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->dead || conn->overflowed) return;
+    if (conn->outq_bytes + frame.size() > config_.max_write_queue_bytes) {
+      conn->overflowed = true;  // I/O thread disconnects on its next pass
+    } else {
+      conn->outq_bytes += frame.size();
+      conn->outq.push_back(std::move(frame));
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  wake_.Notify();
+}
+
+void QcServer::SendError(const ConnPtr& conn, const FrameHeader& req, ErrorCode code,
+                         std::string_view message, Opcode opcode) {
+  WireWriter w;
+  EncodeError(code, message, w);
+  Enqueue(conn, BuildFrame(opcode, req.request_id, w.bytes()));
+}
+
+// --- Workers ---------------------------------------------------------------
+
+void QcServer::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return queue_stopped_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // only when stopped
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    HandleWorkItem(item);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    wake_.Notify();  // re-evaluate drain completion / pending writes
+  }
+}
+
+void QcServer::HandleWorkItem(const WorkItem& item) {
+  try {
+    switch (item.header.opcode) {
+      case Opcode::kQuery: HandleQuery(item); return;
+      case Opcode::kPrepare: HandlePrepare(item); return;
+      case Opcode::kExecute: HandleExecute(item); return;
+      case Opcode::kCloseStmt: HandleCloseStmt(item); return;
+      default:
+        SendError(item.conn, item.header, ErrorCode::kInternal, "bad dispatch");
+        return;
+    }
+  } catch (const ProtocolError& e) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(item.conn, item.header, ErrorCode::kMalformedFrame, e.what());
+  } catch (const ParseError& e) {
+    SendError(item.conn, item.header, ErrorCode::kParse, e.what());
+  } catch (const BindError& e) {
+    SendError(item.conn, item.header, ErrorCode::kBind, e.what());
+  } catch (const StorageError& e) {
+    SendError(item.conn, item.header, ErrorCode::kStorage, e.what());
+  } catch (const std::exception& e) {
+    SendError(item.conn, item.header, ErrorCode::kInternal, e.what());
+  }
+}
+
+void QcServer::HandleQuery(const WorkItem& item) {
+  WireReader r(item.payload);
+  const std::string sql = r.Str();
+  const std::vector<Value> params = r.Params();
+  r.ExpectEnd();
+  if (FirstKeyword(sql) == "SELECT") {
+    const auto outcome = engine_.ExecuteSql(sql, params);
+    WireWriter w;
+    EncodeResultSet(*outcome.result, outcome.cache_hit, w);
+    Enqueue(item.conn, BuildFrame(Opcode::kResultSet, item.header.request_id, w.bytes()));
+  } else {
+    const uint64_t affected = engine_.ExecuteDml(sql, params);
+    WireWriter w;
+    w.U64(affected);
+    Enqueue(item.conn, BuildFrame(Opcode::kDmlOk, item.header.request_id, w.bytes()));
+  }
+}
+
+void QcServer::HandlePrepare(const WorkItem& item) {
+  WireReader r(item.payload);
+  const std::string sql = r.Str();
+  r.ExpectEnd();
+  auto query = engine_.Prepare(sql);
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(item.conn->stmt_mutex);
+    id = item.conn->next_stmt_id++;
+    item.conn->stmts.emplace(id, query);
+  }
+  WireWriter w;
+  w.U32(id);
+  w.U16(static_cast<uint16_t>(query->param_count()));
+  Enqueue(item.conn, BuildFrame(Opcode::kPrepared, item.header.request_id, w.bytes()));
+}
+
+void QcServer::HandleExecute(const WorkItem& item) {
+  WireReader r(item.payload);
+  const uint32_t id = r.U32();
+  const std::vector<Value> params = r.Params();
+  r.ExpectEnd();
+  std::shared_ptr<const sql::BoundQuery> query;
+  {
+    std::lock_guard<std::mutex> lock(item.conn->stmt_mutex);
+    const auto it = item.conn->stmts.find(id);
+    if (it != item.conn->stmts.end()) query = it->second;
+  }
+  if (!query) {
+    SendError(item.conn, item.header, ErrorCode::kUnknownStatement,
+              "no prepared statement with that id in this session");
+    return;
+  }
+  if (params.size() != query->param_count()) {
+    SendError(item.conn, item.header, ErrorCode::kBadParams,
+              "statement expects " + std::to_string(query->param_count()) + " parameters, got " +
+                  std::to_string(params.size()));
+    return;
+  }
+  const auto outcome = engine_.Execute(query, params);
+  WireWriter w;
+  EncodeResultSet(*outcome.result, outcome.cache_hit, w);
+  Enqueue(item.conn, BuildFrame(Opcode::kResultSet, item.header.request_id, w.bytes()));
+}
+
+void QcServer::HandleCloseStmt(const WorkItem& item) {
+  WireReader r(item.payload);
+  const uint32_t id = r.U32();
+  r.ExpectEnd();
+  size_t erased;
+  {
+    std::lock_guard<std::mutex> lock(item.conn->stmt_mutex);
+    erased = item.conn->stmts.erase(id);
+  }
+  if (erased == 0) {
+    SendError(item.conn, item.header, ErrorCode::kUnknownStatement,
+              "no prepared statement with that id in this session");
+    return;
+  }
+  Enqueue(item.conn, BuildFrame(Opcode::kStmtClosed, item.header.request_id, {}));
+}
+
+// --- Stats -----------------------------------------------------------------
+
+std::vector<StatsEntry> QcServer::BuildStatsEntries() {
+  std::vector<StatsEntry> entries;
+  const auto u64 = [&entries](std::string key, uint64_t value) {
+    StatsEntry e;
+    e.key = std::move(key);
+    e.kind = 0;
+    e.u64 = value;
+    entries.push_back(std::move(e));
+  };
+  const auto f64 = [&entries](std::string key, double value) {
+    StatsEntry e;
+    e.key = std::move(key);
+    e.kind = 1;
+    e.f64 = value;
+    entries.push_back(std::move(e));
+  };
+
+  const middleware::QueryEngineStats es = engine_.stats();
+  u64("engine.executions", es.executions.load(std::memory_order_relaxed));
+  u64("engine.cache_hits", es.cache_hits.load(std::memory_order_relaxed));
+  u64("engine.db_executions", es.db_executions.load(std::memory_order_relaxed));
+  u64("engine.uncacheable", es.uncacheable.load(std::memory_order_relaxed));
+  u64("engine.stale_discards", es.stale_discards.load(std::memory_order_relaxed));
+  u64("engine.refresh_executions", es.refresh_executions.load(std::memory_order_relaxed));
+  u64("engine.recovered_registrations",
+      es.recovered_registrations.load(std::memory_order_relaxed));
+  u64("engine.recovered_conservative",
+      es.recovered_conservative.load(std::memory_order_relaxed));
+  u64("engine.recovered_dropped", es.recovered_dropped.load(std::memory_order_relaxed));
+  f64("engine.hit_rate", es.HitRate());
+
+  engine_.cache_stats().ForEachCounter(
+      [&u64](const char* name, uint64_t value) { u64(std::string("cache.") + name, value); });
+  u64("cache.entries", engine_.cache().entry_count());
+  u64("cache.memory_bytes", engine_.cache().memory_bytes());
+  u64("cache.disk_bytes", engine_.cache().disk_bytes());
+
+  const dup::DupStats ds = engine_.dup_stats();
+  u64("dup.update_events", ds.update_events);
+  u64("dup.update_batches", ds.update_batches);
+  u64("dup.invalidations", ds.invalidations);
+  u64("dup.predicate_index_probes", ds.predicate_index_probes);
+  u64("dup.predicate_index_fallbacks", ds.predicate_index_fallbacks);
+  u64("dup.full_flushes", ds.full_flushes);
+  u64("dup.row_aware_saves", ds.row_aware_saves);
+  u64("dup.tolerated_changes", ds.tolerated_changes);
+  u64("dup.refreshes", ds.refreshes);
+  u64("dup.registered_queries", ds.registered_queries);
+  for (const auto& [source, count] : ds.affected_by_source) {
+    u64("dup.affected_by_source." + source, count);
+  }
+
+  const ServerStatsSnapshot ss = stats();
+  u64("server.connections_accepted", ss.connections_accepted);
+  u64("server.connections_open", ss.connections_open);
+  u64("server.frames_received", ss.frames_received);
+  u64("server.responses_sent", ss.responses_sent);
+  u64("server.busy_rejections", ss.busy_rejections);
+  u64("server.drain_rejections", ss.drain_rejections);
+  u64("server.protocol_errors", ss.protocol_errors);
+  u64("server.slow_consumer_closes", ss.slow_consumer_closes);
+  u64("server.in_flight", ss.in_flight);
+  u64("server.draining", ss.draining);
+  return entries;
+}
+
+}  // namespace qc::server

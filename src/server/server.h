@@ -1,0 +1,214 @@
+// qcached — the network serving layer around CachedQueryEngine
+// (ROADMAP item 1; protocol spec in docs/SERVING.md).
+//
+// Connection/threading model:
+//   * one I/O thread runs a poll(2) event loop over the listener, a wake
+//     pipe, and every connection: it accepts, reads and frames requests,
+//     and performs all socket writes;
+//   * a worker pool executes QUERY / PREPARE / EXECUTE / CLOSE_STMT
+//     against the engine and enqueues the response on the connection's
+//     bounded write queue (the I/O thread is woken through the pipe);
+//   * HELLO, PING, STATS and DRAIN are answered inline on the I/O thread
+//     (they never touch table data, only short-lived stats locks).
+//
+// Backpressure (two independent valves, docs/SERVING.md "Backpressure"):
+//   * a global in-flight cap: once `max_in_flight` dispatched requests are
+//     queued or executing, further requests are answered immediately with
+//     a typed BUSY frame instead of being queued without bound;
+//   * a per-connection write-queue byte cap: a client that stops reading
+//     while responses accumulate past `max_write_queue_bytes` is
+//     disconnected (counted in slow_consumer_closes) rather than allowed
+//     to pin unbounded response memory.
+//
+// Graceful drain (SIGTERM via RequestDrain, or a DRAIN frame): the
+// listener closes, new work is refused with ERROR/DRAINING, in-flight
+// requests finish and their responses flush, then the engine's txlog is
+// flushed (the disk spill tier is already durable — entries are persisted
+// at Put time) and every connection is closed. A subsequent start with
+// recover_on_open serves the drained process's cached results warm.
+//
+// @thread_safety Start/Wait/Stop/RequestDrain may be called from any
+// thread; RequestDrain is additionally async-signal-safe (it only sets an
+// atomic flag and writes one byte to a pipe), so a SIGTERM handler may
+// call it directly. The engine must outlive the server.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "middleware/query_engine.h"
+#include "server/net.h"
+#include "server/protocol.h"
+
+namespace qc::server {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; QcServer::port() reports the binding
+
+  /// Worker threads executing queries against the engine.
+  size_t worker_threads = 4;
+
+  /// Global cap on dispatched-but-unanswered requests; excess load is shed
+  /// with BUSY frames instead of queuing without bound.
+  size_t max_in_flight = 256;
+
+  /// Per-connection write-queue byte cap; a connection whose client stops
+  /// reading past this is closed (slow-consumer protection).
+  size_t max_write_queue_bytes = 4 * 1024 * 1024;
+
+  /// Frames with a larger payload are refused with TOO_LARGE.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  int listen_backlog = 128;
+};
+
+/// Monotonic server counters, snapshotted by stats() and serialized into
+/// STATS_RESULT frames under the "server." prefix.
+struct ServerStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  uint64_t frames_received = 0;
+  uint64_t responses_sent = 0;
+  uint64_t busy_rejections = 0;      // shed by the in-flight cap
+  uint64_t drain_rejections = 0;     // refused because the server is draining
+  uint64_t protocol_errors = 0;      // malformed frames / bad handshakes
+  uint64_t slow_consumer_closes = 0; // write-queue cap disconnects
+  uint64_t in_flight = 0;            // currently dispatched requests
+  uint64_t draining = 0;             // 0 or 1
+};
+
+class QcServer {
+ public:
+  QcServer(middleware::CachedQueryEngine& engine, ServerConfig config);
+  ~QcServer();
+
+  QcServer(const QcServer&) = delete;
+  QcServer& operator=(const QcServer&) = delete;
+
+  /// Bind, listen, and launch the I/O thread + worker pool. Throws
+  /// NetError if the address cannot be bound.
+  void Start();
+
+  /// The bound port (valid after Start; resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Begin graceful drain. Async-signal-safe; idempotent. The drain
+  /// completes asynchronously — Wait() returns once it has.
+  void RequestDrain();
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Block until the event loop exits (drain completed or Stop called),
+  /// then join every thread. Idempotent.
+  void Wait();
+
+  /// Immediate shutdown: abandon the event loop without waiting for
+  /// in-flight work to flush (test teardown; prefer RequestDrain+Wait).
+  void Stop();
+
+  ServerStatsSnapshot stats() const;
+
+  /// Serialize engine + cache + DUP + server counters into STATS_RESULT
+  /// entries (also used by the DRAIN log line in tools/qcached.cc).
+  std::vector<StatsEntry> BuildStatsEntries();
+
+ private:
+  struct Connection {
+    int fd = -1;
+
+    // Read side and handshake state: I/O thread only.
+    std::string inbuf;
+    bool hello_done = false;
+    bool close_after_flush = false;
+
+    // Write side, shared between the I/O thread and workers.
+    std::mutex write_mutex;
+    std::deque<std::string> outq;
+    size_t outq_bytes = 0;
+    size_t front_offset = 0;  // bytes of outq.front() already written
+    bool dead = false;        // fd closed; workers must drop responses
+    bool overflowed = false;  // write-queue cap exceeded; close on next pass
+
+    // Session state: prepared statements, touched by workers.
+    std::mutex stmt_mutex;
+    std::unordered_map<uint32_t, std::shared_ptr<const sql::BoundQuery>> stmts;
+    uint32_t next_stmt_id = 1;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  struct WorkItem {
+    ConnPtr conn;
+    FrameHeader header;
+    std::string payload;
+  };
+
+  void IoLoop();
+  void WorkerLoop();
+
+  // I/O thread helpers.
+  void AcceptPending();
+  void ReadInput(const ConnPtr& conn);
+  void ParseFrames(const ConnPtr& conn);
+  void DispatchFrame(const ConnPtr& conn, const FrameHeader& header, std::string payload);
+  void FlushWrites(const ConnPtr& conn);
+  void CloseConn(const ConnPtr& conn);
+  bool AllQueuesIdle();
+
+  // Response plumbing (any thread).
+  void Enqueue(const ConnPtr& conn, std::string frame);
+  void SendError(const ConnPtr& conn, const FrameHeader& req, ErrorCode code,
+                 std::string_view message, Opcode opcode = Opcode::kError);
+
+  // Worker-side request execution.
+  void HandleWorkItem(const WorkItem& item);
+  void HandleQuery(const WorkItem& item);
+  void HandlePrepare(const WorkItem& item);
+  void HandleExecute(const WorkItem& item);
+  void HandleCloseStmt(const WorkItem& item);
+
+  middleware::CachedQueryEngine& engine_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  WakePipe wake_;
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+  std::unordered_map<int, ConnPtr> conns_;  // I/O thread only
+
+  // Work queue.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  bool queue_stopped_ = false;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> draining_{false};
+  std::mutex lifecycle_mutex_;  // serializes Wait/Stop joins
+  bool joined_ = false;
+
+  // Counters (relaxed; exact once the touching threads are quiescent).
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_open_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> busy_rejections_{0};
+  std::atomic<uint64_t> drain_rejections_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> slow_consumer_closes_{0};
+};
+
+}  // namespace qc::server

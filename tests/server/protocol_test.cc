@@ -1,0 +1,217 @@
+// QCP/1 encoding round-trips and malformed-input rejection
+// (docs/SERVING.md is the spec; these tests pin the byte layout).
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace qc::server {
+namespace {
+
+TEST(FrameHeader, RoundTripsAllFields) {
+  FrameHeader h;
+  h.length = 0xdeadbeef;
+  h.version = 7;
+  h.opcode = Opcode::kStatsResult;
+  h.flags = 0x1234;
+  h.request_id = 0xcafef00d;
+  std::string bytes;
+  EncodeFrameHeader(h, bytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize);
+
+  const FrameHeader d = DecodeFrameHeader(bytes);
+  EXPECT_EQ(d.length, h.length);
+  EXPECT_EQ(d.version, h.version);
+  EXPECT_EQ(d.opcode, h.opcode);
+  EXPECT_EQ(d.flags, h.flags);
+  EXPECT_EQ(d.request_id, h.request_id);
+}
+
+TEST(FrameHeader, ByteLayoutIsLittleEndianAndFixed) {
+  // The exact layout promised by docs/SERVING.md: length u32 LE, version,
+  // opcode, flags u16 LE, request_id u32 LE.
+  FrameHeader h;
+  h.length = 0x04030201;
+  h.version = 1;
+  h.opcode = Opcode::kQuery;  // 0x02
+  h.flags = 0x0605;
+  h.request_id = 0x0a090807;
+  std::string bytes;
+  EncodeFrameHeader(h, bytes);
+  const uint8_t expected[kFrameHeaderSize] = {0x01, 0x02, 0x03, 0x04, 0x01, 0x02,
+                                              0x05, 0x06, 0x07, 0x08, 0x09, 0x0a};
+  ASSERT_EQ(bytes.size(), sizeof(expected));
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(bytes[i]), expected[i]) << "byte " << i;
+  }
+}
+
+TEST(FrameHeader, TruncatedHeaderThrows) {
+  EXPECT_THROW(DecodeFrameHeader(std::string(kFrameHeaderSize - 1, '\0')), ProtocolError);
+}
+
+TEST(Wire, ScalarsRoundTrip) {
+  WireWriter w;
+  w.U8(0xab);
+  w.U16(0xbeef);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.I64(-42);
+  w.F64(3.25);
+  w.Str("hello");
+  w.Str("");
+  w.Str(std::string("nul\0byte", 8));
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0xbeef);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_EQ(r.F64(), 3.25);
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_EQ(r.Str(), std::string("nul\0byte", 8));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Wire, ValuesRoundTrip) {
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value(int64_t{0}),
+      Value(int64_t{-123456789}),
+      Value(std::numeric_limits<int64_t>::min()),
+      Value(std::numeric_limits<int64_t>::max()),
+      Value(0.0),
+      Value(-1.5e300),
+      Value(""),
+      Value("it's quoted"),
+      Value(std::string(100000, 'x')),
+  };
+  WireWriter w;
+  w.Params(values);
+  WireReader r(w.bytes());
+  const std::vector<Value> decoded = r.Params();
+  r.ExpectEnd();
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(decoded[i].type(), values[i].type()) << i;
+    EXPECT_EQ(decoded[i], values[i]) << i;
+  }
+}
+
+TEST(Wire, ResultSetRoundTrips) {
+  sql::ResultSet rs({"ID", "NAME", "SCORE"});
+  rs.AddRow({Value(1), Value("alpha"), Value(1.5)});
+  rs.AddRow({Value(2), Value::Null(), Value(-2.0)});
+
+  WireWriter w;
+  EncodeResultSet(rs, /*cache_hit=*/true, w);
+  WireReader r(w.bytes());
+  const DecodedResult decoded = DecodeResultSet(r);
+  r.ExpectEnd();
+
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_EQ(decoded.result.columns(), rs.columns());
+  ASSERT_EQ(decoded.result.row_count(), 2u);
+  EXPECT_TRUE(decoded.result.Equals(rs));
+}
+
+TEST(Wire, EmptyResultSetRoundTrips) {
+  sql::ResultSet rs({"COUNT"});
+  WireWriter w;
+  EncodeResultSet(rs, /*cache_hit=*/false, w);
+  WireReader r(w.bytes());
+  const DecodedResult decoded = DecodeResultSet(r);
+  EXPECT_FALSE(decoded.cache_hit);
+  EXPECT_EQ(decoded.result.row_count(), 0u);
+  EXPECT_EQ(decoded.result.columns().size(), 1u);
+}
+
+TEST(Wire, StatsRoundTrip) {
+  std::vector<StatsEntry> entries;
+  StatsEntry a;
+  a.key = "cache.hits";
+  a.kind = 0;
+  a.u64 = 0xffffffffffffffffull;
+  StatsEntry b;
+  b.key = "engine.hit_rate";
+  b.kind = 1;
+  b.f64 = 0.9375;
+  entries.push_back(a);
+  entries.push_back(b);
+
+  WireWriter w;
+  EncodeStats(entries, w);
+  WireReader r(w.bytes());
+  const auto decoded = DecodeStats(r);
+  r.ExpectEnd();
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].key, "cache.hits");
+  EXPECT_EQ(decoded[0].u64, a.u64);
+  EXPECT_EQ(decoded[1].key, "engine.hit_rate");
+  EXPECT_EQ(decoded[1].f64, b.f64);
+}
+
+TEST(Wire, ErrorRoundTrip) {
+  WireWriter w;
+  EncodeError(ErrorCode::kDraining, "server is draining", w);
+  WireReader r(w.bytes());
+  const DecodedError e = DecodeError(r);
+  EXPECT_EQ(e.code, ErrorCode::kDraining);
+  EXPECT_EQ(e.message, "server is draining");
+}
+
+TEST(Wire, UnderflowThrows) {
+  WireWriter w;
+  w.U16(7);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.U16(), 7);
+  EXPECT_THROW(r.U32(), ProtocolError);
+}
+
+TEST(Wire, TruncatedStringThrows) {
+  WireWriter w;
+  w.U32(100);  // claims 100 bytes, supplies none
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.Str(), ProtocolError);
+}
+
+TEST(Wire, UnknownValueTagThrows) {
+  WireWriter w;
+  w.U8(9);
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.Val(), ProtocolError);
+}
+
+TEST(Wire, TrailingBytesDetected) {
+  WireWriter w;
+  w.U8(1);
+  w.U8(2);
+  WireReader r(w.bytes());
+  r.U8();
+  EXPECT_THROW(r.ExpectEnd(), ProtocolError);
+  r.U8();
+  EXPECT_NO_THROW(r.ExpectEnd());
+}
+
+TEST(Wire, BuildFramePrependsHeader) {
+  const std::string frame = BuildFrame(Opcode::kPing, 42, "abc");
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + 3);
+  const FrameHeader h = DecodeFrameHeader(frame);
+  EXPECT_EQ(h.length, 3u);
+  EXPECT_EQ(h.opcode, Opcode::kPing);
+  EXPECT_EQ(h.request_id, 42u);
+  EXPECT_EQ(frame.substr(kFrameHeaderSize), "abc");
+}
+
+TEST(Names, OpcodeAndErrorCodeNames) {
+  EXPECT_STREQ(OpcodeName(Opcode::kQuery), "QUERY");
+  EXPECT_STREQ(OpcodeName(Opcode::kBusy), "BUSY");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kUnsupportedVersion), "UNSUPPORTED_VERSION");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kBusy), "BUSY");
+}
+
+}  // namespace
+}  // namespace qc::server

@@ -1,0 +1,452 @@
+// End-to-end tests of the qcached serving layer over real loopback TCP:
+// an in-process QcServer wrapping a CachedQueryEngine, driven by QcClient
+// connections (and raw sockets for the malformed-frame cases). Covers the
+// session model, typed error codes, both backpressure valves, concurrent
+// clients, and graceful drain (docs/SERVING.md).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.h"
+#include "middleware/query_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace qc::server {
+namespace {
+
+class ServerE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::Table& table =
+        db_.CreateTable("ITEMS", storage::Schema({{"ID", ValueType::kInt, false},
+                                                  {"KIND", ValueType::kString, false},
+                                                  {"PRICE", ValueType::kInt, false}}));
+    for (int i = 1; i <= 20; ++i) {
+      table.Insert({Value(i), Value(i % 2 == 0 ? "even" : "odd"), Value(i * 10)});
+    }
+  }
+
+  void StartServer(middleware::CachedQueryEngine::Options options = {},
+                   ServerConfig config = {}) {
+    engine_ = std::make_unique<middleware::CachedQueryEngine>(db_, options);
+    config.port = 0;
+    server_ = std::make_unique<QcServer>(*engine_, config);
+    server_->Start();
+  }
+
+  QcClient Connect() {
+    QcClient client;
+    client.Connect("127.0.0.1", server_->port());
+    return client;
+  }
+
+  /// Raw socket for pre-handshake protocol tests.
+  struct RawConn {
+    int fd = -1;
+    ~RawConn() {
+      if (fd >= 0) ::close(fd);
+    }
+    std::pair<FrameHeader, std::string> RoundTrip(const std::string& frame) {
+      WriteAll(fd, frame);
+      std::string header_bytes;
+      if (!ReadExact(fd, kFrameHeaderSize, header_bytes)) throw NetError("closed");
+      const FrameHeader h = DecodeFrameHeader(header_bytes);
+      std::string payload;
+      if (h.length > 0 && !ReadExact(fd, h.length, payload)) throw NetError("closed mid-frame");
+      return {h, std::move(payload)};
+    }
+    bool ReadEof() {
+      std::string buf;
+      try {
+        return !ReadExact(fd, 1, buf);
+      } catch (const NetError&) {
+        return true;  // reset counts as closed
+      }
+    }
+  };
+
+  RawConn RawConnect() {
+    RawConn raw;
+    raw.fd = ConnectTcp("127.0.0.1", server_->port());
+    return raw;
+  }
+
+  static DecodedError ErrorOf(const std::pair<FrameHeader, std::string>& frame) {
+    WireReader r(frame.second);
+    return DecodeError(r);
+  }
+
+  storage::Database db_;
+  std::unique_ptr<middleware::CachedQueryEngine> engine_;
+  std::unique_ptr<QcServer> server_;
+};
+
+TEST_F(ServerE2eTest, QueryMissThenHitAndDmlInvalidation) {
+  StartServer();
+  QcClient client = Connect();
+  EXPECT_EQ(client.server_banner(), "qcached/1");
+
+  auto first = client.Query("SELECT COUNT(*) FROM ITEMS WHERE KIND = 'even'");
+  EXPECT_FALSE(first.cache_hit);
+  ASSERT_EQ(first.result.row_count(), 1u);
+  EXPECT_EQ(first.result.ScalarAt(0, 0), Value(10));
+
+  auto second = client.Query("SELECT COUNT(*) FROM ITEMS WHERE KIND = 'even'");
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.ScalarAt(0, 0), Value(10));
+
+  // DML over the wire invalidates the cached result before returning.
+  EXPECT_EQ(client.Dml("UPDATE ITEMS SET KIND = 'odd' WHERE ID = 2"), 1u);
+  auto third = client.Query("SELECT COUNT(*) FROM ITEMS WHERE KIND = 'even'");
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(third.result.ScalarAt(0, 0), Value(9));
+}
+
+TEST_F(ServerE2eTest, QueryWithParamsAndMultiRowResults) {
+  StartServer();
+  QcClient client = Connect();
+  auto rows = client.Query("SELECT ID, PRICE FROM ITEMS WHERE PRICE > $1", {Value(150)});
+  EXPECT_EQ(rows.result.row_count(), 5u);
+  ASSERT_EQ(rows.result.columns().size(), 2u);
+
+  // Cross-check against a direct in-process execution.
+  const auto oracle = engine_->ExecuteSql("SELECT ID, PRICE FROM ITEMS WHERE PRICE > $1",
+                                          {Value(150)});
+  EXPECT_TRUE(rows.result.Equals(*oracle.result));
+}
+
+TEST_F(ServerE2eTest, PreparedStatementsAreSessionScoped) {
+  StartServer();
+  QcClient a = Connect();
+  QcClient b = Connect();
+
+  const auto stmt = a.Prepare("SELECT COUNT(*) FROM ITEMS WHERE KIND = $1");
+  EXPECT_EQ(stmt.param_count, 1u);
+
+  auto result = a.Execute(stmt.id, {Value("even")});
+  EXPECT_EQ(result.result.ScalarAt(0, 0), Value(10));
+  EXPECT_TRUE(a.Execute(stmt.id, {Value("even")}).cache_hit);
+
+  // The id is scoped to connection A's session; B never prepared anything.
+  try {
+    b.Execute(stmt.id, {Value("even")});
+    FAIL() << "expected UNKNOWN_STATEMENT";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownStatement);
+  }
+
+  // Closing the statement frees the id; re-use is an error.
+  a.CloseStmt(stmt.id);
+  try {
+    a.Execute(stmt.id, {Value("even")});
+    FAIL() << "expected UNKNOWN_STATEMENT";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownStatement);
+  }
+}
+
+TEST_F(ServerE2eTest, TypedErrorCodes) {
+  StartServer();
+  QcClient client = Connect();
+
+  try {
+    client.Query("SELEC BROKEN");
+    FAIL() << "expected PARSE";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+  }
+
+  try {
+    client.Query("SELECT * FROM NO_SUCH_TABLE");
+    FAIL() << "expected BIND";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBind);
+  }
+
+  const auto stmt = client.Prepare("SELECT COUNT(*) FROM ITEMS WHERE KIND = $1");
+  try {
+    client.Execute(stmt.id, {});  // one parameter short
+    FAIL() << "expected BAD_PARAMS";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadParams);
+  }
+
+  // The connection survives typed errors; later requests still work.
+  EXPECT_EQ(client.Execute(stmt.id, {Value("odd")}).result.ScalarAt(0, 0), Value(10));
+}
+
+TEST_F(ServerE2eTest, HandshakeRejectsBadMagicVersionAndMissingHello) {
+  StartServer();
+  {
+    RawConn raw = RawConnect();
+    WireWriter w;
+    w.U32(0x12345678);  // wrong magic
+    w.U8(1);
+    w.U8(1);
+    const auto reply = raw.RoundTrip(BuildFrame(Opcode::kHello, 1, w.bytes()));
+    EXPECT_EQ(reply.first.opcode, Opcode::kError);
+    EXPECT_EQ(ErrorOf(reply).code, ErrorCode::kMalformedFrame);
+    EXPECT_TRUE(raw.ReadEof());
+  }
+  {
+    RawConn raw = RawConnect();
+    WireWriter w;
+    w.U32(kProtocolMagic);
+    w.U8(9);  // speaks only future versions
+    w.U8(9);
+    const auto reply = raw.RoundTrip(BuildFrame(Opcode::kHello, 1, w.bytes()));
+    EXPECT_EQ(reply.first.opcode, Opcode::kError);
+    EXPECT_EQ(ErrorOf(reply).code, ErrorCode::kUnsupportedVersion);
+    EXPECT_TRUE(raw.ReadEof());
+  }
+  {
+    RawConn raw = RawConnect();
+    const auto reply = raw.RoundTrip(BuildFrame(Opcode::kPing, 1, {}));
+    EXPECT_EQ(reply.first.opcode, Opcode::kError);
+    EXPECT_EQ(ErrorOf(reply).code, ErrorCode::kMalformedFrame);
+    EXPECT_TRUE(raw.ReadEof());
+  }
+}
+
+TEST_F(ServerE2eTest, MalformedFramesAfterHandshake) {
+  StartServer();
+  {
+    QcClient client = Connect();
+    const auto reply = client.RoundTrip(Opcode::kPing, {}, kProtocolVersion, /*flags=*/1);
+    EXPECT_EQ(reply.first.opcode, Opcode::kError);
+    WireReader r(reply.second);
+    EXPECT_EQ(DecodeError(r).code, ErrorCode::kMalformedFrame);
+  }
+  {
+    QcClient client = Connect();
+    const auto reply = client.RoundTrip(static_cast<Opcode>(0x55), {});
+    EXPECT_EQ(reply.first.opcode, Opcode::kError);
+    WireReader r(reply.second);
+    EXPECT_EQ(DecodeError(r).code, ErrorCode::kMalformedFrame);
+  }
+  {
+    // A QUERY whose payload is garbage: worker-level MALFORMED_FRAME.
+    QcClient client = Connect();
+    const auto reply = client.RoundTrip(Opcode::kQuery, "\x01");
+    EXPECT_EQ(reply.first.opcode, Opcode::kError);
+    WireReader r(reply.second);
+    EXPECT_EQ(DecodeError(r).code, ErrorCode::kMalformedFrame);
+  }
+  EXPECT_GE(server_->stats().protocol_errors, 3u);
+}
+
+TEST_F(ServerE2eTest, OversizedFrameRefusedWithTooLarge) {
+  ServerConfig config;
+  config.max_frame_bytes = 1024;
+  StartServer({}, config);
+  QcClient client = Connect();
+  WireWriter w;
+  w.Str(std::string(4096, 'x'));
+  w.U16(0);
+  const auto reply = client.RoundTrip(Opcode::kQuery, w.bytes());
+  EXPECT_EQ(reply.first.opcode, Opcode::kError);
+  WireReader r(reply.second);
+  EXPECT_EQ(DecodeError(r).code, ErrorCode::kTooLarge);
+}
+
+TEST_F(ServerE2eTest, StatsOverWireReflectTraffic) {
+  StartServer();
+  QcClient client = Connect();
+  client.Query("SELECT COUNT(*) FROM ITEMS");
+  client.Query("SELECT COUNT(*) FROM ITEMS");
+  client.Ping();
+
+  const auto stats = client.Stats();
+  EXPECT_EQ(stats.at("engine.executions"), 2.0);
+  EXPECT_EQ(stats.at("engine.cache_hits"), 1.0);
+  EXPECT_EQ(stats.at("engine.db_executions"), 1.0);
+  EXPECT_DOUBLE_EQ(stats.at("engine.hit_rate"), 0.5);
+  EXPECT_EQ(stats.at("cache.puts"), 1.0);
+  EXPECT_EQ(stats.at("dup.registered_queries"), 1.0);
+  EXPECT_EQ(stats.at("server.connections_open"), 1.0);
+  EXPECT_GE(stats.at("server.frames_received"), 4.0);
+  EXPECT_EQ(stats.at("server.draining"), 0.0);
+}
+
+TEST_F(ServerE2eTest, SixteenConcurrentClients) {
+  middleware::CachedQueryEngine::Options options;
+  ServerConfig config;
+  config.worker_threads = 8;
+  StartServer(options, config);
+
+  constexpr int kClients = 16;
+  constexpr int kIterations = 50;
+  std::atomic<uint64_t> selects{0};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        QcClient client;
+        client.Connect("127.0.0.1", server_->port());
+        const auto stmt = client.Prepare("SELECT COUNT(*) FROM ITEMS WHERE KIND = $1");
+        for (int i = 0; i < kIterations; ++i) {
+          if (t == 0 && i % 10 == 5) {
+            // One writer stirs invalidation traffic into the mix.
+            client.Dml("UPDATE ITEMS SET PRICE = $1 WHERE ID = $2",
+                       {Value(100 + i), Value(1 + (i % 20))});
+            continue;
+          }
+          const bool use_prepared = (i % 2) == 0;
+          QcClient::QueryResult result =
+              use_prepared
+                  ? client.Execute(stmt.id, {Value(i % 2 == 0 ? "even" : "odd")})
+                  : client.Query("SELECT COUNT(*) FROM ITEMS WHERE PRICE > $1",
+                                 {Value((i % 5) * 40)});
+          selects.fetch_add(1);
+          if (result.cache_hit) hits.fetch_add(1);
+          if (result.result.row_count() != 1) failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto es = engine_->stats();
+  EXPECT_EQ(es.executions.load(), selects.load());
+  EXPECT_EQ(es.cache_hits.load(), hits.load());
+  EXPECT_EQ(server_->stats().protocol_errors, 0u);
+  EXPECT_EQ(server_->stats().connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_GT(hits.load(), 0u);
+}
+
+TEST_F(ServerE2eTest, InFlightCapShedsWithBusy) {
+  middleware::CachedQueryEngine::Options options;
+  options.simulated_db_latency = std::chrono::microseconds(300'000);
+  ServerConfig config;
+  config.max_in_flight = 1;
+  config.worker_threads = 2;
+  StartServer(options, config);
+
+  std::thread occupier([&] {
+    QcClient slow = Connect();
+    // A miss holds the single in-flight slot for ~300 ms.
+    slow.Query("SELECT COUNT(*) FROM ITEMS WHERE PRICE > 0");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  QcClient client = Connect();
+  try {
+    client.Query("SELECT COUNT(*) FROM ITEMS");
+    FAIL() << "expected BUSY";
+  } catch (const RpcError& e) {
+    EXPECT_TRUE(e.IsBusy());
+  }
+  occupier.join();
+
+  // The shed is typed and transient: the retry succeeds on the same
+  // connection. (Responses are enqueued before the in-flight slot is
+  // released — the ordering the drain path needs — so the slot may look
+  // occupied for a moment after the occupier's reply arrives; retry as a
+  // real client would.)
+  for (int attempt = 0;; ++attempt) {
+    try {
+      EXPECT_EQ(client.Query("SELECT COUNT(*) FROM ITEMS").result.ScalarAt(0, 0), Value(20));
+      break;
+    } catch (const RpcError& e) {
+      ASSERT_TRUE(e.IsBusy());
+      ASSERT_LT(attempt, 50) << "BUSY never cleared after the in-flight query finished";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_GE(server_->stats().busy_rejections, 1u);
+}
+
+TEST_F(ServerE2eTest, SlowConsumerIsDisconnectedNotBuffered) {
+  ServerConfig config;
+  config.max_write_queue_bytes = 64;  // any real result overflows this
+  StartServer({}, config);
+  QcClient client = Connect();
+  try {
+    client.Query("SELECT * FROM ITEMS");  // response is several hundred bytes
+    FAIL() << "expected disconnect";
+  } catch (const Error&) {
+    // Connection closed by the write-queue cap.
+  }
+  // Poll briefly: the close is counted on the I/O thread's next pass.
+  for (int i = 0; i < 100 && server_->stats().slow_consumer_closes == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->stats().slow_consumer_closes, 1u);
+}
+
+TEST_F(ServerE2eTest, DrainFinishesInFlightThenCloses) {
+  middleware::CachedQueryEngine::Options options;
+  options.simulated_db_latency = std::chrono::microseconds(200'000);
+  StartServer(options);
+
+  std::atomic<bool> got_result{false};
+  std::thread in_flight([&] {
+    QcClient slow = Connect();
+    const auto result = slow.Query("SELECT COUNT(*) FROM ITEMS WHERE PRICE > 10");
+    if (result.result.ScalarAt(0, 0) == Value(19)) got_result.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  QcClient admin = Connect();
+  admin.Drain(/*wait_for_close=*/true);
+  server_->Wait();
+
+  in_flight.join();
+  EXPECT_TRUE(got_result.load()) << "in-flight query must finish before the drain completes";
+  EXPECT_FALSE(admin.connected());
+
+  // The listener is gone: new connections are refused.
+  EXPECT_THROW(Connect(), NetError);
+}
+
+TEST_F(ServerE2eTest, DrainRejectsNewWorkWithTypedError) {
+  middleware::CachedQueryEngine::Options options;
+  options.simulated_db_latency = std::chrono::microseconds(400'000);
+  StartServer(options);
+
+  std::thread in_flight([&] {
+    QcClient slow = Connect();
+    try {
+      slow.Query("SELECT COUNT(*) FROM ITEMS WHERE PRICE > 20");
+    } catch (const Error&) {
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  QcClient client = Connect();
+  client.Drain(/*wait_for_close=*/false);
+  try {
+    client.Query("SELECT COUNT(*) FROM ITEMS");
+    FAIL() << "expected DRAINING";
+  } catch (const RpcError& e) {
+    EXPECT_TRUE(e.IsDraining());
+  } catch (const NetError&) {
+    // The in-flight query finished first and the drain completed; also a
+    // valid outcome on a slow machine.
+  }
+  in_flight.join();
+  server_->Wait();
+  EXPECT_GE(server_->stats().drain_rejections, 0u);
+}
+
+TEST_F(ServerE2eTest, PingAndStatsServedDuringNormalOperation) {
+  StartServer();
+  QcClient client = Connect();
+  client.Ping();
+  client.Ping();
+  EXPECT_GE(client.Stats().at("server.frames_received"), 3.0);
+}
+
+}  // namespace
+}  // namespace qc::server

@@ -1,0 +1,247 @@
+// Crash/restart tests of the real qcached binary (fork + exec of
+// QCACHED_BIN, which CMake points at the qcached target in this build
+// tree). The lifecycle under test is the ISSUE acceptance scenario:
+//
+//   start (disk cache, --recover) -> warm over the wire -> kill -9
+//   -> restart on the same spool  -> previously cached queries answer
+//   warm (cache_hit over the wire) and engine.recovered_registrations
+//   shows up in STATS -> recovered registrations still drive DUP
+//   invalidation -> SIGTERM drains with exit status 0.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+#ifndef QCACHED_BIN
+#error "QCACHED_BIN must be defined to the qcached binary path"
+#endif
+
+namespace qc::server {
+namespace {
+
+std::string MakeTempDir() {
+  std::string tmpl = "/tmp/qcached_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  if (dir == nullptr) throw Error("mkdtemp failed");
+  return dir;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  if (!out) throw Error("cannot write " + path);
+}
+
+/// fork + exec qcached with the given flags. Returns the child pid.
+pid_t SpawnServer(const std::vector<std::string>& flags) {
+  std::vector<std::string> args;
+  args.push_back(QCACHED_BIN);
+  args.insert(args.end(), flags.begin(), flags.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw Error("fork failed");
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed
+  }
+  return pid;
+}
+
+/// Poll for the --port-file the server writes once it is listening.
+uint16_t WaitForPortFile(const std::string& path, pid_t pid) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in && (in >> port) && port > 0) return static_cast<uint16_t>(port);
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      throw Error("qcached exited before writing its port file (status " +
+                  std::to_string(status) + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  throw Error("timed out waiting for port file " + path);
+}
+
+int WaitForExit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) throw Error("waitpid failed");
+  return status;
+}
+
+class QcachedRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir();
+    cache_dir_ = dir_ + "/cache";
+    ::mkdir(cache_dir_.c_str(), 0755);
+    init_path_ = dir_ + "/init.qc";
+    WriteFile(init_path_,
+              "# bootstrap: rebuilt on every start; only the cache persists\n"
+              "\\create ITEMS ID INT, KIND STRING, PRICE INT\n"
+              "INSERT INTO ITEMS VALUES (1, 'even', 10)\n"
+              "INSERT INTO ITEMS VALUES (2, 'odd', 20)\n"
+              "INSERT INTO ITEMS VALUES (3, 'even', 30)\n"
+              "INSERT INTO ITEMS VALUES (4, 'odd', 40)\n"
+              "INSERT INTO ITEMS VALUES (5, 'even', 50)\n");
+  }
+
+  void TearDown() override {
+    // Best-effort cleanup; stray children are killed by the test harness.
+    [[maybe_unused]] const int rc =
+        std::system(("rm -rf '" + dir_ + "'").c_str());
+  }
+
+  /// Start qcached on an ephemeral port with the shared disk spool.
+  std::pair<pid_t, uint16_t> Start(const std::string& port_file_name) {
+    const std::string port_file = dir_ + "/" + port_file_name;
+    const pid_t pid = SpawnServer({"--port", "0", "--port-file", port_file,
+                                   "--cache-mode", "disk", "--cache-dir", cache_dir_,
+                                   "--recover", "--txlog", dir_ + "/txlog",
+                                   "--init", init_path_, "--quiet"});
+    const uint16_t port = WaitForPortFile(port_file, pid);
+    return {pid, port};
+  }
+
+  static QcClient Connect(uint16_t port) {
+    QcClient client;
+    client.Connect("127.0.0.1", port);
+    return client;
+  }
+
+  std::string dir_, cache_dir_, init_path_;
+};
+
+TEST_F(QcachedRecoveryTest, Kill9RestartAnswersWarmOverTheWire) {
+  const std::vector<std::string> queries = {
+      "SELECT COUNT(*) FROM ITEMS WHERE KIND = 'even'",
+      "SELECT ID, PRICE FROM ITEMS WHERE PRICE > 15",
+      "SELECT SUM(PRICE) FROM ITEMS WHERE KIND = 'odd'",
+  };
+
+  // --- Generation 1: warm the disk cache over the wire, then die hard.
+  auto [pid1, port1] = Start("port1");
+  std::vector<sql::ResultSet> warm_results;
+  {
+    QcClient client = Connect(port1);
+    for (const std::string& q : queries) {
+      auto miss = client.Query(q);
+      EXPECT_FALSE(miss.cache_hit) << q;
+      auto hit = client.Query(q);
+      EXPECT_TRUE(hit.cache_hit) << q;
+      EXPECT_TRUE(miss.result.Equals(hit.result)) << q;
+      warm_results.push_back(std::move(hit.result));
+    }
+    const auto stats = client.Stats();
+    EXPECT_EQ(stats.at("engine.executions"), 6.0);
+    EXPECT_EQ(stats.at("engine.cache_hits"), 3.0);
+    EXPECT_EQ(stats.at("cache.entries"), 3.0);
+  }
+  ASSERT_EQ(::kill(pid1, SIGKILL), 0);
+  const int status1 = WaitForExit(pid1);
+  ASSERT_TRUE(WIFSIGNALED(status1));
+  ASSERT_EQ(WTERMSIG(status1), SIGKILL);
+
+  // --- Generation 2: same spool, fresh process. Spill files written at
+  // Put time survive the kill; --recover re-indexes them and re-registers
+  // each entry in the ODG.
+  auto [pid2, port2] = Start("port2");
+  {
+    QcClient client = Connect(port2);
+    const auto stats = client.Stats();
+    EXPECT_GE(stats.at("engine.recovered_registrations"), 3.0)
+        << "all three durable tags should re-register exactly";
+    EXPECT_EQ(stats.at("engine.recovered_dropped"), 0.0);
+
+    // Every pre-kill query answers warm, with the pre-kill result.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto replay = client.Query(queries[i]);
+      EXPECT_TRUE(replay.cache_hit) << queries[i] << " should hit after recovery";
+      EXPECT_TRUE(replay.result.Equals(warm_results[i])) << queries[i];
+    }
+
+    // Recovered registrations must still drive invalidation: flip row 3
+    // to 'odd' and the KIND='even' count drops through the cache.
+    EXPECT_EQ(client.Dml("UPDATE ITEMS SET KIND = 'odd' WHERE ID = 3"), 1u);
+    auto after = client.Query(queries[0]);
+    EXPECT_FALSE(after.cache_hit) << "recovered entry must be invalidated by DML";
+    EXPECT_EQ(after.result.ScalarAt(0, 0), Value(2));
+  }
+
+  // --- SIGTERM drains gracefully: exit status 0.
+  ASSERT_EQ(::kill(pid2, SIGTERM), 0);
+  const int status2 = WaitForExit(pid2);
+  ASSERT_TRUE(WIFEXITED(status2));
+  EXPECT_EQ(WEXITSTATUS(status2), 0);
+}
+
+TEST_F(QcachedRecoveryTest, SigtermDrainWaitsForInFlightAndExitsZero) {
+  // Give misses a synthetic 200 ms so a query is reliably in flight when
+  // SIGTERM lands.
+  const std::string port_file = dir_ + "/port";
+  const pid_t pid = SpawnServer({"--port", "0", "--port-file", port_file,
+                                 "--cache-mode", "disk", "--cache-dir", cache_dir_,
+                                 "--recover", "--txlog", dir_ + "/txlog",
+                                 "--init", init_path_, "--db-latency-us", "200000",
+                                 "--quiet"});
+  const uint16_t port = WaitForPortFile(port_file, pid);
+
+  std::atomic<bool> completed{false};
+  std::thread in_flight([&] {
+    try {
+      QcClient client = Connect(port);
+      const auto result = client.Query("SELECT COUNT(*) FROM ITEMS WHERE PRICE > 15");
+      if (result.result.ScalarAt(0, 0) == Value(4)) completed.store(true);
+    } catch (const Error&) {
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+
+  const int status = WaitForExit(pid);
+  in_flight.join();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_TRUE(completed.load()) << "the in-flight query must complete during the drain";
+
+  // The drained spool answers warm in the next generation.
+  auto [pid2, port2] = Start("port2");
+  {
+    QcClient client = Connect(port2);
+    auto replay = client.Query("SELECT COUNT(*) FROM ITEMS WHERE PRICE > 15");
+    EXPECT_TRUE(replay.cache_hit);
+    EXPECT_EQ(replay.result.ScalarAt(0, 0), Value(4));
+  }
+  ASSERT_EQ(::kill(pid2, SIGTERM), 0);
+  const int status2 = WaitForExit(pid2);
+  ASSERT_TRUE(WIFEXITED(status2));
+  EXPECT_EQ(WEXITSTATUS(status2), 0);
+}
+
+TEST_F(QcachedRecoveryTest, RejectsBadFlagsWithNonzeroExit) {
+  const pid_t pid = SpawnServer({"--cache-mode", "disk"});  // missing --cache-dir
+  const int status = WaitForExit(pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+}
+
+}  // namespace
+}  // namespace qc::server

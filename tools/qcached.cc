@@ -1,0 +1,339 @@
+// qcached — the query-cache middleware as a network server (ROADMAP item
+// 1; protocol spec in docs/SERVING.md, operator quickstart in README.md).
+//
+// Wraps a CachedQueryEngine behind the QCP/1 wire protocol: clients
+// connect with src/server/client.h or `qcsh --connect`, QUERY/PREPARE/
+// EXECUTE run against the cache + database, STATS serializes every counter
+// surface, and SIGTERM (or a DRAIN frame) drains gracefully — the listener
+// closes, in-flight queries finish, the txlog flushes — so a restart with
+// --recover serves the previous process's cached results warm.
+//
+// The storage layer is in-memory and rebuilt from --init on every start;
+// only the cache tier (spill files under --cache-dir) persists across
+// restarts. Run the same --init script on restart so recovered results
+// stay consistent with the rebuilt tables.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "middleware/query_engine.h"
+#include "server/server.h"
+#include "sql/dml.h"
+#include "sql/parser.h"
+#include "storage/csv.h"
+
+using namespace qc;
+
+namespace {
+
+server::QcServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  // Async-signal-safe: RequestDrain only stores an atomic and writes one
+  // byte to the wake pipe.
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 7433;
+  std::string port_file;
+  size_t threads = 4;
+  size_t max_in_flight = 256;
+  size_t max_write_queue_bytes = 4 * 1024 * 1024;
+  uint32_t max_frame_bytes = server::kDefaultMaxFrameBytes;
+  std::string policy = "III";
+  std::string cache_mode = "memory";
+  std::string cache_dir;
+  bool recover = false;
+  size_t shards = 1;
+  std::string eviction = "clock";
+  size_t memory_budget_bytes = 256 * 1024 * 1024;
+  int64_t ttl_ms = 0;  // 0 = no TTL
+  std::string txlog;
+  int64_t db_latency_us = 0;
+  bool refresh = false;
+  std::string init_script;
+  bool quiet = false;
+};
+
+void PrintUsage() {
+  std::cout <<
+      "qcached — network server for the cached query middleware (docs/SERVING.md)\n"
+      "\n"
+      "  --host ADDR                listen address (default 127.0.0.1)\n"
+      "  --port N                   listen port; 0 = ephemeral (default 7433)\n"
+      "  --port-file PATH           write the bound port here once listening\n"
+      "  --threads N                worker threads (default 4)\n"
+      "  --max-in-flight N          global request cap before BUSY shedding (default 256)\n"
+      "  --max-write-queue-bytes N  per-connection response queue cap (default 4194304)\n"
+      "  --max-frame-bytes N        largest accepted frame payload (default 16777216)\n"
+      "  --policy I|II|III|IV       DUP invalidation policy (default III)\n"
+      "  --cache-mode MODE          memory | disk | hybrid (default memory)\n"
+      "  --cache-dir PATH           spill directory (required for disk/hybrid)\n"
+      "  --recover                  recover_on_open: warm-restart from the spool\n"
+      "  --shards N                 GPS cache shards (default 1)\n"
+      "  --eviction clock|lru       replacement policy (default clock)\n"
+      "  --memory-budget-bytes N    cache memory budget (default 268435456)\n"
+      "  --ttl-ms N                 default TTL per cached result; 0 = none\n"
+      "  --txlog PATH               transaction log file (default off)\n"
+      "  --db-latency-us N          simulated persistent-store miss latency\n"
+      "  --refresh                  refresh-on-invalidate instead of discard\n"
+      "  --init PATH                bootstrap script: \\create / \\index /\n"
+      "                             \\import lines and INSERT/UPDATE/DELETE SQL\n"
+      "  --quiet                    suppress startup/drain log lines\n"
+      "  --help                     this text\n";
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  const auto need_value = [&](int i) -> std::string {
+    if (i + 1 >= argc) throw Error(std::string("missing value for ") + argv[i]);
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (arg == "--host") {
+      flags.host = need_value(i++);
+    } else if (arg == "--port") {
+      flags.port = std::stoi(need_value(i++));
+    } else if (arg == "--port-file") {
+      flags.port_file = need_value(i++);
+    } else if (arg == "--threads") {
+      flags.threads = std::stoul(need_value(i++));
+    } else if (arg == "--max-in-flight") {
+      flags.max_in_flight = std::stoul(need_value(i++));
+    } else if (arg == "--max-write-queue-bytes") {
+      flags.max_write_queue_bytes = std::stoul(need_value(i++));
+    } else if (arg == "--max-frame-bytes") {
+      flags.max_frame_bytes = static_cast<uint32_t>(std::stoul(need_value(i++)));
+    } else if (arg == "--policy") {
+      flags.policy = need_value(i++);
+    } else if (arg == "--cache-mode") {
+      flags.cache_mode = need_value(i++);
+    } else if (arg == "--cache-dir") {
+      flags.cache_dir = need_value(i++);
+    } else if (arg == "--recover") {
+      flags.recover = true;
+    } else if (arg == "--shards") {
+      flags.shards = std::stoul(need_value(i++));
+    } else if (arg == "--eviction") {
+      flags.eviction = need_value(i++);
+    } else if (arg == "--memory-budget-bytes") {
+      flags.memory_budget_bytes = std::stoul(need_value(i++));
+    } else if (arg == "--ttl-ms") {
+      flags.ttl_ms = std::stoll(need_value(i++));
+    } else if (arg == "--txlog") {
+      flags.txlog = need_value(i++);
+    } else if (arg == "--db-latency-us") {
+      flags.db_latency_us = std::stoll(need_value(i++));
+    } else if (arg == "--refresh") {
+      flags.refresh = true;
+    } else if (arg == "--init") {
+      flags.init_script = need_value(i++);
+    } else if (arg == "--quiet") {
+      flags.quiet = true;
+    } else {
+      throw Error("unknown flag '" + arg + "' (try --help)");
+    }
+  }
+  return flags;
+}
+
+dup::InvalidationPolicy ParsePolicy(const std::string& name) {
+  if (name == "I") return dup::InvalidationPolicy::kFlushAll;
+  if (name == "II") return dup::InvalidationPolicy::kValueUnaware;
+  if (name == "III") return dup::InvalidationPolicy::kValueAware;
+  if (name == "IV") return dup::InvalidationPolicy::kRowAware;
+  throw Error("unknown policy '" + name + "' (I, II, III, or IV)");
+}
+
+// \create T A INT, B STRING NULL, C DOUBLE — same syntax as qcsh.
+void CreateTable(storage::Database& db, std::istringstream& in) {
+  std::string table;
+  in >> table;
+  std::string rest;
+  std::getline(in, rest);
+  std::vector<storage::ColumnDef> columns;
+  std::istringstream cols(rest);
+  std::string spec;
+  while (std::getline(cols, spec, ',')) {
+    std::istringstream parts(spec);
+    storage::ColumnDef def;
+    std::string type, null_marker;
+    parts >> def.name >> type >> null_marker;
+    if (def.name.empty() || type.empty()) throw Error("\\create: bad column spec '" + spec + "'");
+    const std::string upper = ToUpper(type);
+    def.type = upper == "INT"      ? ValueType::kInt
+               : upper == "DOUBLE" ? ValueType::kDouble
+                                   : ValueType::kString;
+    def.nullable = ToUpper(null_marker) == "NULL";
+    columns.push_back(std::move(def));
+  }
+  db.CreateTable(table, storage::Schema(std::move(columns)));
+}
+
+/// Run the bootstrap script against the bare database. This happens
+/// *before* the engine is constructed so that warm-restart re-registration
+/// (which re-binds recovered SQL against the catalog) sees every table.
+void RunInitScript(storage::Database& db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open init script '" + path + "'");
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    const size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+    if (line[0] == '#' || line.rfind("--", 0) == 0) continue;
+    try {
+      if (line[0] == '\\') {
+        std::istringstream cmd_in(line);
+        std::string cmd;
+        cmd_in >> cmd;
+        if (cmd == "\\create") {
+          CreateTable(db, cmd_in);
+        } else if (cmd == "\\index") {
+          std::string table, column, kind;
+          cmd_in >> table >> column >> kind;
+          storage::Table& t = db.GetTable(table);
+          const uint32_t col = t.schema().Require(column);
+          if (kind == "ordered") {
+            t.CreateOrderedIndex(col);
+          } else {
+            t.CreateHashIndex(col);
+          }
+        } else if (cmd == "\\import") {
+          std::string table, csv_path;
+          cmd_in >> table >> csv_path;
+          storage::ImportCsvFile(db.GetTable(table), csv_path);
+        } else {
+          throw Error("unsupported init command " + cmd);
+        }
+      } else {
+        const sql::AnyStatement stmt = sql::ParseStatement(line);
+        if (stmt.kind != sql::AnyStatement::Kind::kDml) {
+          throw Error("init scripts take DDL and DML only (no SELECT)");
+        }
+        sql::ExecuteDml(stmt.dml, db);
+      }
+    } catch (const Error& e) {
+      throw Error(path + ":" + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+}
+
+middleware::CachedQueryEngine::Options EngineOptions(const Flags& flags) {
+  middleware::CachedQueryEngine::Options options;
+  options.policy = ParsePolicy(flags.policy);
+  if (flags.cache_mode == "memory") {
+    options.cache.mode = cache::CacheMode::kMemory;
+  } else if (flags.cache_mode == "disk") {
+    options.cache.mode = cache::CacheMode::kDisk;
+  } else if (flags.cache_mode == "hybrid") {
+    options.cache.mode = cache::CacheMode::kHybrid;
+  } else {
+    throw Error("unknown cache mode '" + flags.cache_mode + "'");
+  }
+  if (options.cache.mode != cache::CacheMode::kMemory) {
+    if (flags.cache_dir.empty()) throw Error("--cache-dir is required for disk/hybrid modes");
+    options.cache.disk_directory = flags.cache_dir;
+  }
+  options.cache.recover_on_open = flags.recover;
+  options.cache.shards = flags.shards;
+  if (flags.eviction == "lru") {
+    options.cache.eviction = cache::EvictionPolicy::kLru;
+  } else if (flags.eviction == "clock") {
+    options.cache.eviction = cache::EvictionPolicy::kClock;
+  } else {
+    throw Error("unknown eviction policy '" + flags.eviction + "'");
+  }
+  options.cache.memory_budget_bytes = flags.memory_budget_bytes;
+  if (!flags.txlog.empty()) options.cache.log_path = flags.txlog;
+  if (flags.ttl_ms > 0) options.default_ttl = std::chrono::milliseconds(flags.ttl_ms);
+  options.simulated_db_latency = std::chrono::microseconds(flags.db_latency_us);
+  options.refresh_on_invalidate = flags.refresh;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags = ParseFlags(argc, argv);
+
+    storage::Database db;
+    if (!flags.init_script.empty()) RunInitScript(db, flags.init_script);
+
+    middleware::CachedQueryEngine engine(db, EngineOptions(flags));
+
+    server::ServerConfig config;
+    config.host = flags.host;
+    config.port = static_cast<uint16_t>(flags.port);
+    config.worker_threads = flags.threads;
+    config.max_in_flight = flags.max_in_flight;
+    config.max_write_queue_bytes = flags.max_write_queue_bytes;
+    config.max_frame_bytes = flags.max_frame_bytes;
+
+    server::QcServer server(engine, config);
+    server.Start();
+
+    g_server = &server;
+    struct sigaction action{};
+    action.sa_handler = HandleSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
+    if (!flags.port_file.empty()) {
+      // Write-then-rename so a polling reader never sees a partial write.
+      const std::string tmp = flags.port_file + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::trunc);
+        out << server.port() << "\n";
+      }
+      std::rename(tmp.c_str(), flags.port_file.c_str());
+    }
+
+    const auto stats = engine.stats();
+    if (!flags.quiet) {
+      std::cout << "qcached listening on " << flags.host << ":" << server.port() << " (pid "
+                << ::getpid() << ", policy " << flags.policy << ", cache " << flags.cache_mode
+                << ")\n";
+      if (flags.recover) {
+        std::cout << "warm restart: " << stats.recovered_registrations << " exact + "
+                  << stats.recovered_conservative << " conservative re-registrations, "
+                  << stats.recovered_dropped << " dropped\n";
+      }
+      std::cout.flush();
+    }
+
+    server.Wait();
+    g_server = nullptr;
+
+    if (!flags.quiet) {
+      const auto final_stats = engine.stats();
+      std::cout << "qcached drained cleanly: executions="
+                << final_stats.executions.load(std::memory_order_relaxed)
+                << " hits=" << final_stats.cache_hits.load(std::memory_order_relaxed)
+                << " hit_rate=" << final_stats.HitRate() << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "qcached: " << e.what() << "\n";
+    return 1;
+  }
+}
