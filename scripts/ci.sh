@@ -5,15 +5,17 @@
 #      recovery, stress, dup-labeled invalidation tests);
 #   2. dup:    `ctest -L dup` on the same build — the sublinear-invalidation
 #      suite on its own, for quick iteration on the DUP engine;
-#   3. tsan:   ThreadSanitizer build, stress- and server-labeled tests
-#              (exercises the default kClock shared-lock hit path and the
-#              qcached I/O-thread/worker handoff);
-#   4. asan:   AddressSanitizer build, recovery- and server-labeled tests;
+#   3. tsan:   ThreadSanitizer build, stress-, server- and vec-labeled tests
+#              (exercises the default kClock shared-lock hit path, the
+#              qcached I/O-thread/worker handoff, and the vectorized scan
+#              worker pool);
+#   4. asan:   AddressSanitizer build, recovery-, server- and vec-labeled
+#              tests;
 #   5. bench-smoke: the self-checking extension benches (ext_hit_contention,
-#              ext_invalidation_scale, ext_server_latency) in quick mode —
-#              their [VIOLATION] checks gate the stage and each drops a
-#              BENCH_<name>.json artifact into build/bench/ (committed
-#              snapshots live in bench/artifacts/).
+#              ext_invalidation_scale, ext_server_latency, ext_scan_speed)
+#              in quick mode — their [VIOLATION] checks gate the stage and
+#              each drops a BENCH_<name>.json artifact into build/bench/
+#              (committed snapshots live in bench/artifacts/).
 #   6. serve-smoke: build qcached + qcsh, boot a real server on an
 #              ephemeral port with a disk cache, and drive a scripted
 #              `qcsh --connect` session (prepare, query xN, stats, drain);
@@ -60,6 +62,7 @@ if want tsan; then
   cmake --build --preset tsan -j "$JOBS"
   ctest --preset tsan-stress -j "$JOBS"
   ctest --preset tsan-server -j "$JOBS"
+  ctest --preset tsan-vec -j "$JOBS"
 fi
 
 if want asan; then
@@ -68,6 +71,7 @@ if want asan; then
   cmake --build --preset asan -j "$JOBS"
   ctest --preset asan-recovery -j "$JOBS"
   ctest --preset asan-server -j "$JOBS"
+  ctest --preset asan-vec -j "$JOBS"
 fi
 
 if want bench-smoke; then
@@ -78,8 +82,9 @@ if want bench-smoke; then
   BENCH_JSON_DIR=build/bench HIT_MS=100 HIT_READERS=8 ./build/bench/ext_hit_contention
   BENCH_JSON_DIR=build/bench EXT_INV_MAX_QUERIES=10000 ./build/bench/ext_invalidation_scale
   BENCH_JSON_DIR=build/bench SRV_CONNS=8 SRV_REQS_PER_CONN=500 ./build/bench/ext_server_latency
+  BENCH_JSON_DIR=build/bench EXT_SCAN_ROWS=150000 ./build/bench/ext_scan_speed
   ls -l build/bench/BENCH_ext_hit_contention.json build/bench/BENCH_ext_invalidation_scale.json \
-        build/bench/BENCH_ext_server_latency.json
+        build/bench/BENCH_ext_server_latency.json build/bench/BENCH_ext_scan_speed.json
 fi
 
 if want serve-smoke; then

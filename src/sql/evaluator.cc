@@ -1,11 +1,13 @@
 #include "sql/evaluator.h"
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "sql/exec_common.h"
+#include "sql/planner.h"
+#include "sql/vectorized.h"
 
 namespace qc::sql {
 
@@ -138,20 +140,6 @@ Value EvalScalarCtx(const EvalContext& ctx, const Expr& e) {
   }
 }
 
-// ---------------------------------------------------------------------------
-// Access-path selection
-// ---------------------------------------------------------------------------
-
-/// Split a WHERE tree into its top-level AND conjuncts.
-void SplitConjuncts(const Expr& e, std::vector<const Expr*>& out) {
-  if (e.kind == Expr::Kind::kBinary && e.op == BinaryOp::kAnd) {
-    SplitConjuncts(*e.children[0], out);
-    SplitConjuncts(*e.children[1], out);
-    return;
-  }
-  out.push_back(&e);
-}
-
 /// Which table slots does `e` reference?
 void CollectSlots(const Expr& e, std::vector<bool>& slots) {
   if (e.kind == Expr::Kind::kColumn) {
@@ -163,328 +151,9 @@ void CollectSlots(const Expr& e, std::vector<bool>& slots) {
   for (const ExprPtr& c : e.children) CollectSlots(*c, slots);
 }
 
-std::optional<Value> ConstValue(const Expr& e, const std::vector<Value>& params) {
-  if (e.kind == Expr::Kind::kLiteral) return e.value;
-  if (e.kind == Expr::Kind::kParam) {
-    if (e.param_index >= params.size()) throw BindError("unbound parameter");
-    return params[e.param_index];
-  }
-  return std::nullopt;
-}
-
-/// A LIKE pattern with no wildcards is an exact match usable by an index.
-std::optional<std::string> ExactLikePattern(const Value& pattern) {
-  if (!pattern.is_string()) return std::nullopt;
-  const std::string& p = pattern.as_string();
-  if (p.find('%') != std::string::npos || p.find('_') != std::string::npos) return std::nullopt;
-  return p;
-}
-
-struct IndexProbe {
-  enum class Kind { kEq, kRange } kind = Kind::kEq;
-  uint32_t column = 0;
-  Value eq;                    // kEq
-  Value lo, hi;                // kRange (null = unbounded)
-  bool lo_inclusive = true, hi_inclusive = true;
-};
-
-/// Try to turn one conjunct into index probes on table `slot`. Returns true
-/// and appends probes whose UNION covers all rows that can satisfy the
-/// conjunct (a single probe for eq/range; several for IN and OR-of-ranges).
-bool ExtractProbes(const Expr& e, int32_t slot, const Table& table,
-                   const std::vector<Value>& params, std::vector<IndexProbe>& out) {
-  auto column_of = [&](const Expr& c) -> std::optional<uint32_t> {
-    if (c.kind == Expr::Kind::kColumn && c.table_slot == slot) {
-      return static_cast<uint32_t>(c.column_index);
-    }
-    return std::nullopt;
-  };
-
-  switch (e.kind) {
-    case Expr::Kind::kBinary: {
-      if (e.op == BinaryOp::kOr) {
-        // OR-of-ranges on one column (Set Query Q3B). Every disjunct must
-        // itself extract, and all probes must target the same column.
-        std::vector<IndexProbe> probes;
-        if (!ExtractProbes(*e.children[0], slot, table, params, probes)) return false;
-        if (!ExtractProbes(*e.children[1], slot, table, params, probes)) return false;
-        if (probes.empty()) return false;
-        for (const IndexProbe& p : probes) {
-          if (p.column != probes[0].column) return false;
-        }
-        out.insert(out.end(), probes.begin(), probes.end());
-        return true;
-      }
-      if (!IsComparison(e.op)) return false;
-      // col OP const, or const OP col (flip).
-      auto lcol = column_of(*e.children[0]);
-      auto rcol = column_of(*e.children[1]);
-      std::optional<uint32_t> col;
-      std::optional<Value> constant;
-      BinaryOp op = e.op;
-      if (lcol && (constant = ConstValue(*e.children[1], params))) {
-        col = lcol;
-      } else if (rcol && (constant = ConstValue(*e.children[0], params))) {
-        col = rcol;
-        switch (op) {  // flip operand order
-          case BinaryOp::kLt: op = BinaryOp::kGt; break;
-          case BinaryOp::kLe: op = BinaryOp::kGe; break;
-          case BinaryOp::kGt: op = BinaryOp::kLt; break;
-          case BinaryOp::kGe: op = BinaryOp::kLe; break;
-          default: break;
-        }
-      } else {
-        return false;
-      }
-      if (constant->is_null()) return false;  // NULL comparison selects nothing
-      IndexProbe probe;
-      probe.column = *col;
-      switch (op) {
-        case BinaryOp::kEq:
-          if (!table.CanLookupEqual(probe.column)) return false;
-          probe.kind = IndexProbe::Kind::kEq;
-          probe.eq = *constant;
-          break;
-        case BinaryOp::kLt:
-        case BinaryOp::kLe:
-          if (!table.HasOrderedIndex(probe.column)) return false;
-          probe.kind = IndexProbe::Kind::kRange;
-          probe.hi = *constant;
-          probe.hi_inclusive = (op == BinaryOp::kLe);
-          break;
-        case BinaryOp::kGt:
-        case BinaryOp::kGe:
-          if (!table.HasOrderedIndex(probe.column)) return false;
-          probe.kind = IndexProbe::Kind::kRange;
-          probe.lo = *constant;
-          probe.lo_inclusive = (op == BinaryOp::kGe);
-          break;
-        default:
-          return false;  // <> is not index-friendly
-      }
-      out.push_back(std::move(probe));
-      return true;
-    }
-    case Expr::Kind::kBetween: {
-      if (e.negated) return false;
-      auto col = column_of(*e.children[0]);
-      auto lo = ConstValue(*e.children[1], params);
-      auto hi = ConstValue(*e.children[2], params);
-      if (!col || !lo || !hi || lo->is_null() || hi->is_null()) return false;
-      if (!table.HasOrderedIndex(*col)) return false;
-      IndexProbe probe;
-      probe.kind = IndexProbe::Kind::kRange;
-      probe.column = *col;
-      probe.lo = *lo;
-      probe.hi = *hi;
-      out.push_back(std::move(probe));
-      return true;
-    }
-    case Expr::Kind::kIn: {
-      if (e.negated) return false;
-      auto col = column_of(*e.children[0]);
-      if (!col || !table.CanLookupEqual(*col)) return false;
-      std::vector<IndexProbe> probes;
-      for (size_t i = 1; i < e.children.size(); ++i) {
-        auto item = ConstValue(*e.children[i], params);
-        if (!item) return false;
-        if (item->is_null()) continue;
-        IndexProbe probe;
-        probe.kind = IndexProbe::Kind::kEq;
-        probe.column = *col;
-        probe.eq = *item;
-        probes.push_back(std::move(probe));
-      }
-      out.insert(out.end(), probes.begin(), probes.end());
-      return true;
-    }
-    case Expr::Kind::kLike: {
-      if (e.negated) return false;
-      auto col = column_of(*e.children[0]);
-      auto pattern = ConstValue(*e.children[1], params);
-      if (!col || !pattern || !table.CanLookupEqual(*col)) return false;
-      auto exact = ExactLikePattern(*pattern);
-      if (!exact) return false;
-      IndexProbe probe;
-      probe.kind = IndexProbe::Kind::kEq;
-      probe.column = *col;
-      probe.eq = Value(*exact);
-      out.push_back(std::move(probe));
-      return true;
-    }
-    default:
-      return false;
-  }
-}
-
-std::vector<RowId> RunProbes(const Table& table, const std::vector<IndexProbe>& probes) {
-  std::vector<RowId> rows;
-  for (const IndexProbe& probe : probes) {
-    if (probe.kind == IndexProbe::Kind::kEq) {
-      const auto& bucket = table.LookupEqual(probe.column, probe.eq);
-      rows.insert(rows.end(), bucket.begin(), bucket.end());
-    } else {
-      auto range = table.LookupRange(probe.column, probe.lo, probe.lo_inclusive,
-                                     probe.hi, probe.hi_inclusive);
-      rows.insert(rows.end(), range.begin(), range.end());
-    }
-  }
-  if (probes.size() > 1) {  // union semantics: dedupe overlaps
-    std::sort(rows.begin(), rows.end());
-    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-  }
-  return rows;
-}
-
-/// Pick the cheapest indexed conjunct among `conjuncts` (all referencing
-/// only `slot`), and return its candidate row ids. nullopt → full scan.
-/// Losing conjuncts are never materialized: all-equality candidates are
-/// sized exactly from index bucket sizes (IN members hit disjoint
-/// buckets), and only the winner's rows are fetched.
-std::optional<std::vector<RowId>> IndexedCandidates(const Table& table, int32_t slot,
-                                                    const std::vector<const Expr*>& conjuncts,
-                                                    const std::vector<Value>& params) {
-  std::vector<std::vector<IndexProbe>> candidates;
-  for (const Expr* conjunct : conjuncts) {
-    std::vector<IndexProbe> probes;
-    if (ExtractProbes(*conjunct, slot, table, params, probes)) {
-      candidates.push_back(std::move(probes));
-    }
-  }
-  if (candidates.empty()) return std::nullopt;
-
-  const std::vector<IndexProbe>* eq_winner = nullptr;
-  size_t eq_winner_size = 0;
-  const std::vector<IndexProbe>* first_range = nullptr;
-  for (const std::vector<IndexProbe>& probes : candidates) {
-    const bool all_eq = std::all_of(probes.begin(), probes.end(), [](const IndexProbe& p) {
-      return p.kind == IndexProbe::Kind::kEq;
-    });
-    if (!all_eq) {
-      if (!first_range) first_range = &probes;
-      continue;
-    }
-    size_t size = 0;
-    for (const IndexProbe& p : probes) size += table.LookupEqual(p.column, p.eq).size();
-    if (!eq_winner || size < eq_winner_size) {
-      eq_winner = &probes;
-      eq_winner_size = size;
-    }
-  }
-  // Prefer the sized equality winner: its candidate count is known, while
-  // a range conjunct cannot be sized without materializing its rows.
-  if (eq_winner) {
-    if (eq_winner_size == 0) return std::vector<RowId>{};
-    return RunProbes(table, *eq_winner);
-  }
-  // Only range candidates remain: run one instead of materializing every
-  // candidate just to compare sizes.
-  return RunProbes(table, *first_range);
-}
-
 // ---------------------------------------------------------------------------
-// Aggregation
+// Row-at-a-time execution (the general engine and differential oracle)
 // ---------------------------------------------------------------------------
-
-struct Accumulator {
-  AggFunc func = AggFunc::kNone;
-  int64_t count = 0;
-  int64_t int_sum = 0;
-  double double_sum = 0;
-  bool sum_is_int = true;
-  Value min, max;
-
-  void Add(const Value& v) {
-    if (func == AggFunc::kCountStar) {
-      ++count;
-      return;
-    }
-    if (v.is_null()) return;  // SQL aggregates skip NULLs
-    ++count;
-    switch (func) {
-      case AggFunc::kSum:
-      case AggFunc::kAvg:
-        if (v.is_int()) {
-          int_sum += v.as_int();
-        } else {
-          sum_is_int = false;
-        }
-        double_sum += v.numeric();
-        break;
-      case AggFunc::kMin:
-        if (min.is_null() || v < min) min = v;
-        break;
-      case AggFunc::kMax:
-        if (max.is_null() || v > max) max = v;
-        break;
-      default:
-        break;
-    }
-  }
-
-  Value Result() const {
-    switch (func) {
-      case AggFunc::kCountStar:
-      case AggFunc::kCount:
-        return Value(count);
-      case AggFunc::kSum:
-        if (count == 0) return Value::Null();
-        return sum_is_int ? Value(int_sum) : Value(double_sum);
-      case AggFunc::kAvg:
-        if (count == 0) return Value::Null();
-        return Value(double_sum / static_cast<double>(count));
-      case AggFunc::kMin:
-        return min;
-      case AggFunc::kMax:
-        return max;
-      case AggFunc::kNone:
-        break;
-    }
-    return Value::Null();
-  }
-};
-
-struct RowVectorHash {
-  size_t operator()(const Row& row) const {
-    size_t h = 0x811c9dc5;
-    for (const Value& v : row) h = h * 31 + v.Hash();
-    return h;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Top-level execution
-// ---------------------------------------------------------------------------
-
-std::vector<std::string> OutputColumnNames(const BoundQuery& query) {
-  const SelectStmt& stmt = query.stmt();
-  std::vector<std::string> names;
-  for (const SelectItem& item : stmt.items) {
-    switch (item.kind) {
-      case SelectItem::Kind::kStar:
-        for (size_t slot = 0; slot < query.tables().size(); ++slot) {
-          const Table& table = query.table(slot);
-          for (const auto& col : table.schema().columns()) {
-            names.push_back(query.tables().size() > 1
-                                ? ToUpper(stmt.from[slot].effective_name()) + "." + col.name
-                                : col.name);
-          }
-        }
-        break;
-      case SelectItem::Kind::kColumn:
-        names.push_back(item.expr->column);
-        break;
-      case SelectItem::Kind::kAggregate:
-        if (item.func == AggFunc::kCountStar) {
-          names.push_back("COUNT(*)");
-        } else {
-          names.push_back(std::string(AggFuncName(item.func)) + "(" + item.expr->column + ")");
-        }
-        break;
-    }
-  }
-  return names;
-}
 
 class Execution {
  public:
@@ -500,18 +169,20 @@ class Execution {
     for (const SelectItem& item : stmt_.items) {
       if (item.kind == SelectItem::Kind::kAggregate) has_aggregates_ = true;
     }
-    result_ = ResultSet(OutputColumnNames(query_));
+    result_ = ResultSet(exec::OutputColumnNames(query_));
   }
 
   ResultSet Run() {
-    if (stmt_.where) SplitConjuncts(*stmt_.where, conjuncts_);
+    if (stmt_.where) exec::SplitConjuncts(*stmt_.where, conjuncts_);
     if (query_.tables().size() == 1) {
       RunSingle();
     } else {
       RunJoin();
     }
-    EmitGroups();
-    ApplyOrderAndLimit();
+    if (has_aggregates_ || grouped_) {
+      exec::EmitGroupRows(stmt_, groups_, grouped_, result_);
+    }
+    exec::ApplyOrderAndLimit(query_, result_);
     return std::move(result_);
   }
 
@@ -661,23 +332,11 @@ class Execution {
     key.reserve(stmt_.group_by.size());
     ctx_.rows = &tuple;
     for (const ExprPtr& g : stmt_.group_by) key.push_back(EvalScalarCtx(ctx_, *g));
-    auto it = groups_.find(key);
-    if (it == groups_.end()) {
-      std::vector<Accumulator> accs;
-      for (const SelectItem& item : stmt_.items) {
-        if (item.kind == SelectItem::Kind::kAggregate) {
-          Accumulator acc;
-          acc.func = item.func;
-          accs.push_back(acc);
-        }
-      }
-      it = groups_.emplace(std::move(key), std::move(accs)).first;
-      group_order_.push_back(&*it);
-    }
+    auto& accs = groups_.Touch(std::move(key), stmt_);
     size_t acc_index = 0;
     for (const SelectItem& item : stmt_.items) {
       if (item.kind != SelectItem::Kind::kAggregate) continue;
-      Accumulator& acc = it->second[acc_index++];
+      exec::Accumulator& acc = accs[acc_index++];
       if (item.func == AggFunc::kCountStar) {
         acc.Add(Value::Null());
       } else {
@@ -709,58 +368,6 @@ class Execution {
     return out;
   }
 
-  void ApplyOrderAndLimit() {
-    if (!query_.order_outputs().empty()) {
-      std::vector<std::pair<size_t, bool>> keys;
-      keys.reserve(query_.order_outputs().size());
-      for (const auto& key : query_.order_outputs()) {
-        keys.emplace_back(key.output_index, key.descending);
-      }
-      result_.SortByKeys(keys);
-    }
-    if (stmt_.limit) result_.Truncate(*stmt_.limit);
-  }
-
-  void EmitGroups() {
-    if (!has_aggregates_ && !grouped_) return;
-    if (groups_.empty() && !grouped_) {
-      // Aggregates over an empty input still yield one row (COUNT=0, SUM=NULL).
-      Row row;
-      for (const SelectItem& item : stmt_.items) {
-        Accumulator acc;
-        acc.func = item.func;
-        row.push_back(acc.Result());
-      }
-      result_.AddRow(std::move(row));
-      return;
-    }
-    for (const auto* entry : group_order_) {
-      const Row& key = entry->first;
-      const std::vector<Accumulator>& accs = entry->second;
-      Row row;
-      size_t acc_index = 0;
-      for (const SelectItem& item : stmt_.items) {
-        if (item.kind == SelectItem::Kind::kAggregate) {
-          row.push_back(accs[acc_index++].Result());
-        } else {
-          // Bound checks guarantee plain columns are grouping keys; emit the
-          // key cell matching this column.
-          const Expr& col = *item.expr;
-          size_t pos = 0;
-          for (size_t g = 0; g < stmt_.group_by.size(); ++g) {
-            if (stmt_.group_by[g]->table_slot == col.table_slot &&
-                stmt_.group_by[g]->column_index == col.column_index) {
-              pos = g;
-              break;
-            }
-          }
-          row.push_back(key[pos]);
-        }
-      }
-      result_.AddRow(std::move(row));
-    }
-  }
-
   const BoundQuery& query_;
   const std::vector<Value>& params_;
   const SelectStmt& stmt_;
@@ -769,14 +376,18 @@ class Execution {
   bool grouped_ = false;
   bool has_aggregates_ = false;
   ResultSet result_;
-  std::unordered_map<Row, std::vector<Accumulator>, RowVectorHash> groups_;
-  std::vector<const std::pair<const Row, std::vector<Accumulator>>*> group_order_;
+  exec::GroupState groups_;
 };
 
 }  // namespace
 
-ResultSet Execute(const BoundQuery& query, const std::vector<Value>& params) {
+ResultSet ExecuteRowAtATime(const BoundQuery& query, const std::vector<Value>& params) {
   return Execution(query, params).Run();
+}
+
+ResultSet Execute(const BoundQuery& query, const std::vector<Value>& params) {
+  if (auto vec = TryExecuteVectorized(query, params)) return std::move(*vec);
+  return ExecuteRowAtATime(query, params);
 }
 
 Value EvalScalar(const BoundQuery& query, const Expr& expr, const std::vector<storage::RowId>& rows,

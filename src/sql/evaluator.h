@@ -1,10 +1,14 @@
 // Query execution: runs a BoundQuery against its tables.
 //
-// The evaluator is deliberately index-aware — it picks an access path from
-// indexed equality/range conjuncts (including OR-of-ranges on one column,
-// the shape of Set Query's Q3B) and hash-joins two-table queries — because
-// the benchmarks execute every cache miss for real, and a pure scan engine
-// would make the paper-scale workloads impractically slow.
+// Two engines share one planner (sql/planner.h) and one result-shaping
+// layer (sql/exec_common.h): Execute() first offers the query to the
+// vectorized batch engine (sql/vectorized.h, the fast miss path) and falls
+// back to the row-at-a-time tree-walker in this file for every shape the
+// batch engine does not cover (joins in particular). Both are index-aware —
+// equality/range conjuncts (including OR-of-ranges on one column, the shape
+// of Set Query's Q3B) feed candidate row ids — because the benchmarks
+// execute every cache miss for real, and a pure scan engine would make the
+// paper-scale workloads impractically slow. See docs/EXECUTION.md.
 #pragma once
 
 #include <optional>
@@ -15,9 +19,14 @@
 
 namespace qc::sql {
 
-/// Execute `query` with `params`. Throws BindError if the parameter vector
-/// is shorter than the statement's parameter count.
+/// Execute `query` with `params`: vectorized when the shape is covered,
+/// row-at-a-time otherwise. Throws BindError if the parameter vector is
+/// shorter than the statement's parameter count.
 ResultSet Execute(const BoundQuery& query, const std::vector<Value>& params = {});
+
+/// Force the row-at-a-time engine (any query shape). This is the oracle the
+/// randomized differential suite compares the vectorized engine against.
+ResultSet ExecuteRowAtATime(const BoundQuery& query, const std::vector<Value>& params = {});
 
 /// Scalar expression evaluation against a joined tuple: `rows[slot]` is the
 /// current row id in `query.table(slot)`. Exposed for the evaluator's tests

@@ -1,0 +1,215 @@
+#include "sql/exec_common.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace qc::sql::exec {
+
+using storage::Row;
+using storage::Table;
+
+void Accumulator::Add(const Value& v) {
+  if (func == AggFunc::kCountStar) {
+    ++count;
+    return;
+  }
+  if (v.is_null()) return;  // SQL aggregates skip NULLs
+  ++count;
+  switch (func) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (v.is_int()) {
+        AddIntToSum(v.as_int());
+      } else {
+        sum_is_int = false;
+        double_sum += v.numeric();
+      }
+      break;
+    case AggFunc::kMin:
+      if (min.is_null() || v < min) min = v;
+      break;
+    case AggFunc::kMax:
+      if (max.is_null() || v > max) max = v;
+      break;
+    default:
+      break;
+  }
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  count += other.count;
+  if (other.sum_is_int) {
+    if (sum_is_int && __builtin_add_overflow(int_sum, other.int_sum, &int_sum)) {
+      sum_is_int = false;
+    }
+  } else {
+    sum_is_int = false;
+  }
+  double_sum += other.double_sum;
+  if (min.is_null() || (!other.min.is_null() && other.min < min)) min = other.min;
+  if (max.is_null() || (!other.max.is_null() && other.max > max)) max = other.max;
+}
+
+Value Accumulator::Result() const {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value(count);
+    case AggFunc::kSum:
+      if (count == 0) return Value::Null();
+      return sum_is_int ? Value(int_sum) : Value(double_sum);
+    case AggFunc::kAvg:
+      if (count == 0) return Value::Null();
+      return Value(double_sum / static_cast<double>(count));
+    case AggFunc::kMin:
+      return min;
+    case AggFunc::kMax:
+      return max;
+    case AggFunc::kNone:
+      break;
+  }
+  return Value::Null();
+}
+
+std::vector<Accumulator> MakeAccumulators(const SelectStmt& stmt) {
+  std::vector<Accumulator> accs;
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == SelectItem::Kind::kAggregate) {
+      Accumulator acc;
+      acc.func = item.func;
+      accs.push_back(acc);
+    }
+  }
+  return accs;
+}
+
+std::vector<Accumulator>& GroupState::Touch(Row key, const SelectStmt& stmt) {
+  auto it = groups.find(key);
+  if (it == groups.end()) {
+    it = groups.emplace(std::move(key), MakeAccumulators(stmt)).first;
+    order.push_back(&*it);
+  }
+  return it->second;
+}
+
+std::vector<Accumulator>& GroupState::TouchView(const Value* key, size_t n,
+                                                const SelectStmt& stmt) {
+  auto it = groups.find(RowView{key, n});
+  if (it == groups.end()) {
+    Row boxed(key, key + n);
+    it = groups.emplace(std::move(boxed), MakeAccumulators(stmt)).first;
+    order.push_back(&*it);
+  }
+  return it->second;
+}
+
+void GroupState::Merge(const GroupState& other) {
+  for (const auto* entry : other.order) {
+    auto it = groups.find(entry->first);
+    if (it == groups.end()) {
+      it = groups.emplace(entry->first, entry->second).first;
+      order.push_back(&*it);
+      continue;
+    }
+    auto& accs = it->second;
+    for (size_t i = 0; i < accs.size(); ++i) accs[i].Merge(entry->second[i]);
+  }
+}
+
+std::vector<std::string> OutputColumnNames(const BoundQuery& query) {
+  const SelectStmt& stmt = query.stmt();
+  std::vector<std::string> names;
+  for (const SelectItem& item : stmt.items) {
+    switch (item.kind) {
+      case SelectItem::Kind::kStar:
+        for (size_t slot = 0; slot < query.tables().size(); ++slot) {
+          const Table& table = query.table(slot);
+          for (const auto& col : table.schema().columns()) {
+            names.push_back(query.tables().size() > 1
+                                ? ToUpper(stmt.from[slot].effective_name()) + "." + col.name
+                                : col.name);
+          }
+        }
+        break;
+      case SelectItem::Kind::kColumn:
+        names.push_back(item.expr->column);
+        break;
+      case SelectItem::Kind::kAggregate:
+        if (item.func == AggFunc::kCountStar) {
+          names.push_back("COUNT(*)");
+        } else {
+          names.push_back(std::string(AggFuncName(item.func)) + "(" + item.expr->column + ")");
+        }
+        break;
+    }
+  }
+  return names;
+}
+
+void SplitConjuncts(const Expr& e, std::vector<const Expr*>& out) {
+  if (e.kind == Expr::Kind::kBinary && e.op == BinaryOp::kAnd) {
+    SplitConjuncts(*e.children[0], out);
+    SplitConjuncts(*e.children[1], out);
+    return;
+  }
+  out.push_back(&e);
+}
+
+void EmitGroupRows(const SelectStmt& stmt, const GroupState& state, bool grouped,
+                   ResultSet& result) {
+  if (state.groups.empty() && !grouped) {
+    // Aggregates over an empty input still yield one row (COUNT=0, SUM=NULL).
+    Row row;
+    for (const SelectItem& item : stmt.items) {
+      Accumulator acc;
+      acc.func = item.func;
+      row.push_back(acc.Result());
+    }
+    result.AddRow(std::move(row));
+    return;
+  }
+  for (const auto* entry : state.order) {
+    const Row& key = entry->first;
+    const std::vector<Accumulator>& accs = entry->second;
+    Row row;
+    size_t acc_index = 0;
+    for (const SelectItem& item : stmt.items) {
+      if (item.kind == SelectItem::Kind::kAggregate) {
+        row.push_back(accs[acc_index++].Result());
+        continue;
+      }
+      // The binder guarantees a projected plain column is a grouping key;
+      // emit the key cell matching this column. If the invariant ever
+      // breaks, fail loudly instead of silently emitting key cell 0.
+      const Expr& col = *item.expr;
+      const Value* cell = nullptr;
+      for (size_t g = 0; g < stmt.group_by.size(); ++g) {
+        if (stmt.group_by[g]->table_slot == col.table_slot &&
+            stmt.group_by[g]->column_index == col.column_index) {
+          cell = &key[g];
+          break;
+        }
+      }
+      if (!cell) {
+        throw BindError("projected column " + col.column +
+                        " is not a GROUP BY key (binder invariant violated)");
+      }
+      row.push_back(*cell);
+    }
+    result.AddRow(std::move(row));
+  }
+}
+
+void ApplyOrderAndLimit(const BoundQuery& query, ResultSet& result) {
+  if (!query.order_outputs().empty()) {
+    std::vector<std::pair<size_t, bool>> keys;
+    keys.reserve(query.order_outputs().size());
+    for (const auto& key : query.order_outputs()) {
+      keys.emplace_back(key.output_index, key.descending);
+    }
+    result.SortByKeys(keys);
+  }
+  if (query.stmt().limit) result.Truncate(*query.stmt().limit);
+}
+
+}  // namespace qc::sql::exec

@@ -1,0 +1,133 @@
+// Execution machinery shared by the two query engines: the row-at-a-time
+// tree-walker in evaluator.cc (the correctness oracle and general fallback)
+// and the vectorized batch engine in vectorized.cc (the fast miss path).
+// Keeping aggregation, grouping, projection naming, and ORDER BY/LIMIT in
+// one place guarantees the engines can only differ in *how* they scan, not
+// in what a result looks like — the property the differential suite
+// (tests/sql/vectorized_diff_test.cc) pins down.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/binder.h"
+#include "sql/result.h"
+
+namespace qc::sql::exec {
+
+/// One aggregate's running state. SUM keeps parallel integer and double
+/// sums: the integer sum is exact while every input is an int and no
+/// addition overflows; on the first double input *or* the first int64
+/// overflow it degrades to the double sum (detected with
+/// __builtin_add_overflow — the wrap itself would be UB).
+struct Accumulator {
+  AggFunc func = AggFunc::kNone;
+  int64_t count = 0;
+  int64_t int_sum = 0;
+  double double_sum = 0;
+  bool sum_is_int = true;
+  Value min, max;
+
+  /// Overflow-checked running sum for the int-typed fast paths; also used
+  /// by the boxed Add. Returns through `sum_is_int`.
+  void AddIntToSum(int64_t v) {
+    if (sum_is_int && __builtin_add_overflow(int_sum, v, &int_sum)) {
+      sum_is_int = false;  // int_sum is now garbage; Result uses double_sum
+    }
+    double_sum += static_cast<double>(v);
+  }
+
+  void Add(const Value& v);
+
+  /// Fold another accumulator of the same func into this one (parallel
+  /// scan workers merge their per-chunk partials through this).
+  void Merge(const Accumulator& other);
+
+  Value Result() const;
+};
+
+/// Build the accumulator row for one group: one entry per aggregate select
+/// item, in select-list order.
+std::vector<Accumulator> MakeAccumulators(const SelectStmt& stmt);
+
+/// Borrowed view of a group key living in a stack buffer — lets the hot
+/// grouped-aggregation loop probe the hash map without heap-allocating a
+/// Row per input row (heterogeneous lookup; the key is boxed only when the
+/// group is new).
+struct RowView {
+  const Value* data;
+  size_t n;
+};
+
+struct RowHash {
+  using is_transparent = void;
+  static size_t Hash(const Value* d, size_t n) {
+    size_t h = 0x811c9dc5;
+    for (size_t i = 0; i < n; ++i) h = h * 31 + d[i].Hash();
+    return h;
+  }
+  size_t operator()(const storage::Row& row) const { return Hash(row.data(), row.size()); }
+  size_t operator()(const RowView& v) const { return Hash(v.data, v.n); }
+};
+
+struct RowEq {
+  using is_transparent = void;
+  static bool Eq(const Value* a, size_t an, const Value* b, size_t bn) {
+    if (an != bn) return false;
+    for (size_t i = 0; i < an; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+  bool operator()(const storage::Row& x, const storage::Row& y) const {
+    return Eq(x.data(), x.size(), y.data(), y.size());
+  }
+  bool operator()(const RowView& x, const storage::Row& y) const {
+    return Eq(x.data, x.n, y.data(), y.size());
+  }
+  bool operator()(const storage::Row& x, const RowView& y) const {
+    return Eq(x.data(), x.size(), y.data, y.n);
+  }
+};
+
+/// Grouped-aggregation state: accumulators keyed by the GROUP BY key row,
+/// plus first-encounter order (the row order the engines emit).
+struct GroupState {
+  using Map = std::unordered_map<storage::Row, std::vector<Accumulator>, RowHash, RowEq>;
+  Map groups;
+  std::vector<const Map::value_type*> order;
+
+  /// Find or create the group for `key`; creation appends to `order`.
+  std::vector<Accumulator>& Touch(storage::Row key, const SelectStmt& stmt);
+
+  /// Same, but probes with a borrowed key first and boxes it only on first
+  /// encounter — the vectorized grouped loop's per-row path.
+  std::vector<Accumulator>& TouchView(const Value* key, size_t n, const SelectStmt& stmt);
+
+  /// Merge another state (in its encounter order) into this one. Used by
+  /// the parallel scan: merging chunk states in chunk order reproduces the
+  /// serial scan's first-encounter order exactly.
+  void Merge(const GroupState& other);
+};
+
+/// Output column names in select-list order (shared so both engines label
+/// results identically).
+std::vector<std::string> OutputColumnNames(const BoundQuery& query);
+
+/// Split a WHERE tree into its top-level AND conjuncts.
+void SplitConjuncts(const Expr& e, std::vector<const Expr*>& out);
+
+/// Emit the grouped/aggregate output rows into `result`. `grouped` is true
+/// when the statement has a GROUP BY (an empty grouped input emits no rows;
+/// an empty ungrouped aggregate emits the COUNT=0/SUM=NULL row). Throws
+/// BindError if a projected plain column matches no GROUP BY key — the
+/// binder rejects that shape, so reaching it here means the invariant broke
+/// and silently emitting key cell 0 would be a wrong answer.
+void EmitGroupRows(const SelectStmt& stmt, const GroupState& state, bool grouped,
+                   ResultSet& result);
+
+/// ORDER BY (resolved output keys) then LIMIT, in place.
+void ApplyOrderAndLimit(const BoundQuery& query, ResultSet& result);
+
+}  // namespace qc::sql::exec

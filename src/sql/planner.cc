@@ -1,0 +1,263 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace qc::sql {
+
+namespace {
+
+using storage::RowId;
+using storage::Table;
+
+/// A LIKE pattern with no wildcards is an exact match usable by an index.
+std::optional<std::string> ExactLikePattern(const Value& pattern) {
+  if (!pattern.is_string()) return std::nullopt;
+  const std::string& p = pattern.as_string();
+  if (p.find('%') != std::string::npos || p.find('_') != std::string::npos) return std::nullopt;
+  return p;
+}
+
+}  // namespace
+
+std::optional<Value> ConstValue(const Expr& e, const std::vector<Value>& params) {
+  if (e.kind == Expr::Kind::kLiteral) return e.value;
+  if (e.kind == Expr::Kind::kParam) {
+    if (e.param_index >= params.size()) throw BindError("unbound parameter");
+    return params[e.param_index];
+  }
+  return std::nullopt;
+}
+
+bool ExtractProbes(const Expr& e, int32_t slot, const Table& table,
+                   const std::vector<Value>& params, std::vector<IndexProbe>& out) {
+  auto column_of = [&](const Expr& c) -> std::optional<uint32_t> {
+    if (c.kind == Expr::Kind::kColumn && c.table_slot == slot) {
+      return static_cast<uint32_t>(c.column_index);
+    }
+    return std::nullopt;
+  };
+
+  switch (e.kind) {
+    case Expr::Kind::kBinary: {
+      if (e.op == BinaryOp::kOr) {
+        // OR-of-ranges on one column (Set Query Q3B). Every disjunct must
+        // itself extract, and all probes must target the same column.
+        std::vector<IndexProbe> probes;
+        if (!ExtractProbes(*e.children[0], slot, table, params, probes)) return false;
+        if (!ExtractProbes(*e.children[1], slot, table, params, probes)) return false;
+        if (probes.empty()) return false;
+        for (const IndexProbe& p : probes) {
+          if (p.column != probes[0].column) return false;
+        }
+        out.insert(out.end(), probes.begin(), probes.end());
+        return true;
+      }
+      if (!IsComparison(e.op)) return false;
+      // col OP const, or const OP col (flip).
+      auto lcol = column_of(*e.children[0]);
+      auto rcol = column_of(*e.children[1]);
+      std::optional<uint32_t> col;
+      std::optional<Value> constant;
+      BinaryOp op = e.op;
+      if (lcol && (constant = ConstValue(*e.children[1], params))) {
+        col = lcol;
+      } else if (rcol && (constant = ConstValue(*e.children[0], params))) {
+        col = rcol;
+        switch (op) {  // flip operand order
+          case BinaryOp::kLt: op = BinaryOp::kGt; break;
+          case BinaryOp::kLe: op = BinaryOp::kGe; break;
+          case BinaryOp::kGt: op = BinaryOp::kLt; break;
+          case BinaryOp::kGe: op = BinaryOp::kLe; break;
+          default: break;
+        }
+      } else {
+        return false;
+      }
+      if (constant->is_null()) return false;  // NULL comparison selects nothing
+      IndexProbe probe;
+      probe.column = *col;
+      switch (op) {
+        case BinaryOp::kEq:
+          if (!table.CanLookupEqual(probe.column)) return false;
+          probe.kind = IndexProbe::Kind::kEq;
+          probe.eq = *constant;
+          break;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+          if (!table.HasOrderedIndex(probe.column)) return false;
+          probe.kind = IndexProbe::Kind::kRange;
+          probe.hi = *constant;
+          probe.hi_inclusive = (op == BinaryOp::kLe);
+          break;
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (!table.HasOrderedIndex(probe.column)) return false;
+          probe.kind = IndexProbe::Kind::kRange;
+          probe.lo = *constant;
+          probe.lo_inclusive = (op == BinaryOp::kGe);
+          break;
+        default:
+          return false;  // <> is not index-friendly
+      }
+      out.push_back(std::move(probe));
+      return true;
+    }
+    case Expr::Kind::kBetween: {
+      if (e.negated) return false;
+      auto col = column_of(*e.children[0]);
+      auto lo = ConstValue(*e.children[1], params);
+      auto hi = ConstValue(*e.children[2], params);
+      if (!col || !lo || !hi || lo->is_null() || hi->is_null()) return false;
+      if (!table.HasOrderedIndex(*col)) return false;
+      IndexProbe probe;
+      probe.kind = IndexProbe::Kind::kRange;
+      probe.column = *col;
+      probe.lo = *lo;
+      probe.hi = *hi;
+      out.push_back(std::move(probe));
+      return true;
+    }
+    case Expr::Kind::kIn: {
+      if (e.negated) return false;
+      auto col = column_of(*e.children[0]);
+      if (!col || !table.CanLookupEqual(*col)) return false;
+      std::vector<IndexProbe> probes;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        auto item = ConstValue(*e.children[i], params);
+        if (!item) return false;
+        if (item->is_null()) continue;
+        IndexProbe probe;
+        probe.kind = IndexProbe::Kind::kEq;
+        probe.column = *col;
+        probe.eq = *item;
+        probes.push_back(std::move(probe));
+      }
+      out.insert(out.end(), probes.begin(), probes.end());
+      return true;
+    }
+    case Expr::Kind::kLike: {
+      if (e.negated) return false;
+      auto col = column_of(*e.children[0]);
+      auto pattern = ConstValue(*e.children[1], params);
+      if (!col || !pattern || !table.CanLookupEqual(*col)) return false;
+      auto exact = ExactLikePattern(*pattern);
+      if (!exact) return false;
+      IndexProbe probe;
+      probe.kind = IndexProbe::Kind::kEq;
+      probe.column = *col;
+      probe.eq = Value(*exact);
+      out.push_back(std::move(probe));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::vector<RowId> RunProbes(const Table& table, const std::vector<IndexProbe>& probes) {
+  std::vector<RowId> rows;
+  for (const IndexProbe& probe : probes) {
+    if (probe.kind == IndexProbe::Kind::kEq) {
+      const auto& bucket = table.LookupEqual(probe.column, probe.eq);
+      rows.insert(rows.end(), bucket.begin(), bucket.end());
+    } else {
+      auto range = table.LookupRange(probe.column, probe.lo, probe.lo_inclusive,
+                                     probe.hi, probe.hi_inclusive);
+      rows.insert(rows.end(), range.begin(), range.end());
+    }
+  }
+  if (probes.size() > 1) {  // union semantics: dedupe overlaps
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+  return rows;
+}
+
+namespace {
+
+/// Does every probe of this candidate bound its range on both ends? (Eq
+/// probes count as bounded.) Bounded candidates are sized first: they are
+/// the likely-narrow ones, so the sizing cap tightens before any half-open
+/// walk starts.
+bool FullyBounded(const std::vector<IndexProbe>& probes) {
+  for (const IndexProbe& p : probes) {
+    if (p.kind == IndexProbe::Kind::kRange && (p.lo.is_null() || p.hi.is_null())) return false;
+  }
+  return true;
+}
+
+/// Upper-bound row count for one candidate's probe union, walking ordered
+/// index buckets with early exit once the sum exceeds `cap` (overlapping
+/// probes may double-count; that only penalizes the candidate).
+size_t SizeCandidate(const Table& table, const std::vector<IndexProbe>& probes, size_t cap) {
+  size_t size = 0;
+  for (const IndexProbe& p : probes) {
+    if (p.kind == IndexProbe::Kind::kEq) {
+      size += table.LookupEqual(p.column, p.eq).size();
+    } else {
+      size += table.EstimateRangeRows(p.column, p.lo, p.lo_inclusive, p.hi, p.hi_inclusive,
+                                      cap > size ? cap - size : 0);
+    }
+    if (size > cap) return size;
+  }
+  return size;
+}
+
+}  // namespace
+
+std::optional<std::vector<RowId>> IndexedCandidates(const Table& table, int32_t slot,
+                                                    const std::vector<const Expr*>& conjuncts,
+                                                    const std::vector<Value>& params) {
+  std::vector<std::vector<IndexProbe>> candidates;
+  for (const Expr* conjunct : conjuncts) {
+    std::vector<IndexProbe> probes;
+    if (ExtractProbes(*conjunct, slot, table, params, probes)) {
+      candidates.push_back(std::move(probes));
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  if (candidates.size() == 1) {
+    // Nothing to choose between; skip sizing and materialize directly.
+    return RunProbes(table, candidates[0]);
+  }
+
+  // Size every candidate and keep the narrowest; nothing is materialized
+  // until the winner is known. All-equality candidates are sized exactly
+  // from index bucket sizes (IN members hit disjoint buckets) and are
+  // sized first — their exact counts seed the cap that bounds the range
+  // walks. Among range candidates, bounded-both-ends are sized before
+  // half-open ones (see FullyBounded). Ties prefer the earlier, cheaper
+  // class: an equality probe set beats a range walk of the same size.
+  std::vector<const std::vector<IndexProbe>*> sized_order;
+  auto all_eq = [](const std::vector<IndexProbe>& probes) {
+    return std::all_of(probes.begin(), probes.end(), [](const IndexProbe& p) {
+      return p.kind == IndexProbe::Kind::kEq;
+    });
+  };
+  for (const auto& c : candidates) {
+    if (all_eq(c)) sized_order.push_back(&c);
+  }
+  for (const auto& c : candidates) {
+    if (!all_eq(c) && FullyBounded(c)) sized_order.push_back(&c);
+  }
+  for (const auto& c : candidates) {
+    if (!all_eq(c) && !FullyBounded(c)) sized_order.push_back(&c);
+  }
+
+  const std::vector<IndexProbe>* winner = nullptr;
+  size_t winner_size = std::numeric_limits<size_t>::max();
+  for (const std::vector<IndexProbe>* probes : sized_order) {
+    const size_t size = SizeCandidate(table, *probes, winner_size);
+    if (!winner || size < winner_size) {
+      winner = probes;
+      winner_size = size;
+    }
+  }
+  if (winner_size == 0) return std::vector<RowId>{};  // provably empty
+  return RunProbes(table, *winner);
+}
+
+}  // namespace qc::sql

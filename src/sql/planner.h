@@ -1,0 +1,57 @@
+// Access-path selection, shared by the row-at-a-time evaluator and the
+// vectorized batch engine (both run exactly the same planner so their
+// scan order — and therefore their un-ORDERed output order — matches).
+//
+// A WHERE clause's top-level AND conjuncts are each tried as an index
+// probe set (equality / IN → hash or ordered index, range / BETWEEN /
+// OR-of-ranges → ordered index); the planner sizes every candidate and
+// materializes only the narrowest. Equality candidates are sized exactly
+// from bucket sizes; range candidates are sized with an output-sensitive
+// bucket walk (Table::EstimateRangeRows) capped by the best candidate seen
+// so far, bounded-both-ends candidates sized before half-open ones so the
+// cap tightens early. Before this sizing existed the planner took the
+// *first* range conjunct whenever no equality candidate applied — e.g.
+// `WHERE K100 < 99 AND KSEQ BETWEEN 1000 AND 2000` materialized ~99% of
+// the table instead of the 1000-row BETWEEN (regression-tested in
+// tests/sql/planner_test.cc).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace qc::sql {
+
+/// One index lookup the planner wants to run.
+struct IndexProbe {
+  enum class Kind { kEq, kRange } kind = Kind::kEq;
+  uint32_t column = 0;
+  Value eq;                    // kEq
+  Value lo, hi;                // kRange (null = unbounded)
+  bool lo_inclusive = true, hi_inclusive = true;
+};
+
+/// Try to turn one conjunct into index probes on table `slot`. Returns true
+/// and appends probes whose UNION covers all rows that can satisfy the
+/// conjunct (a single probe for eq/range; several for IN and OR-of-ranges).
+bool ExtractProbes(const Expr& e, int32_t slot, const storage::Table& table,
+                   const std::vector<Value>& params, std::vector<IndexProbe>& out);
+
+/// Materialize a probe set's row ids (union semantics; deduped when more
+/// than one probe contributed).
+std::vector<storage::RowId> RunProbes(const storage::Table& table,
+                                      const std::vector<IndexProbe>& probes);
+
+/// Pick the cheapest indexed conjunct among `conjuncts` (all referencing
+/// only `slot`), and return its candidate row ids. nullopt → full scan.
+/// Only the winning candidate is ever materialized.
+std::optional<std::vector<storage::RowId>> IndexedCandidates(
+    const storage::Table& table, int32_t slot, const std::vector<const Expr*>& conjuncts,
+    const std::vector<Value>& params);
+
+/// Constant-fold a literal or bound parameter; nullopt for anything else.
+std::optional<Value> ConstValue(const Expr& e, const std::vector<Value>& params);
+
+}  // namespace qc::sql

@@ -1,0 +1,1179 @@
+#include "sql/vectorized.h"
+
+#include <algorithm>
+#include <atomic>
+#include <compare>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/exec_common.h"
+#include "sql/planner.h"
+
+namespace qc::sql {
+
+namespace {
+
+using storage::ColumnStore;
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+
+// ---------------------------------------------------------------------------
+// Engine knobs and counters
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_enabled{true};
+std::atomic<size_t> g_parallel_threshold{65536};
+std::atomic<size_t> g_scan_threads{0};  // 0 = auto (QC_SCAN_THREADS or hardware)
+
+constexpr size_t kMaxScanThreads = 16;
+
+struct StatCounters {
+  std::atomic<uint64_t> queries_vectorized{0};
+  std::atomic<uint64_t> queries_fallback{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> rows_scanned{0};
+  std::atomic<uint64_t> parallel_scans{0};
+  std::atomic<uint64_t> conjunct_reorders{0};
+};
+StatCounters g_stats;
+
+size_t EffectiveScanThreads() {
+  size_t n = g_scan_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    static const size_t env_or_hw = [] {
+      if (const char* env = std::getenv("QC_SCAN_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0) return static_cast<size_t>(v);
+      }
+      const unsigned hw = std::thread::hardware_concurrency();
+      return static_cast<size_t>(hw == 0 ? 1 : hw);
+    }();
+    n = env_or_hw;
+  }
+  return std::min(std::max<size_t>(n, 1), kMaxScanThreads);
+}
+
+// ---------------------------------------------------------------------------
+// Three-valued predicate states
+// ---------------------------------------------------------------------------
+
+constexpr uint8_t kTriF = 0;
+constexpr uint8_t kTriT = 1;
+constexpr uint8_t kTriU = 2;
+
+inline uint8_t TriNot(uint8_t a) { return a == kTriU ? kTriU : (a == kTriT ? kTriF : kTriT); }
+inline uint8_t TriAnd(uint8_t a, uint8_t b) {
+  if (a == kTriF || b == kTriF) return kTriF;
+  if (a == kTriU || b == kTriU) return kTriU;
+  return kTriT;
+}
+inline uint8_t TriOr(uint8_t a, uint8_t b) {
+  if (a == kTriT || b == kTriT) return kTriT;
+  if (a == kTriU || b == kTriU) return kTriU;
+  return kTriF;
+}
+
+/// One batch of candidate rows (all live).
+struct Batch {
+  const Table* table;
+  const RowId* rows;
+  size_t n;
+};
+
+/// Compiled predicate node: fills `out[0..n)` with kTriF/kTriT/kTriU,
+/// column-at-a-time. Nodes are immutable after compilation and shared by
+/// all scan workers.
+struct VecNode {
+  virtual ~VecNode() = default;
+  virtual void Eval(const Batch& b, uint8_t* out) const = 0;
+};
+using VecNodePtr = std::unique_ptr<VecNode>;
+
+// ---------------------------------------------------------------------------
+// Typed kernels
+// ---------------------------------------------------------------------------
+
+/// Run `f(row) -> tri` over non-null cells; null cells are Unknown.
+template <typename Fn>
+inline void ForBatchNonNull(const ColumnStore& col, const Batch& b, uint8_t* out, Fn f) {
+  for (size_t i = 0; i < b.n; ++i) {
+    const RowId r = b.rows[i];
+    out[i] = col.IsNull(r) ? kTriU : f(r);
+  }
+}
+
+/// Comparison loop specialized per (value getter, constant type, operator).
+template <typename Get, typename T>
+inline void CmpLoop(BinaryOp op, const ColumnStore& col, const Batch& b, uint8_t* out,
+                    Get get, T c) {
+  switch (op) {
+    case BinaryOp::kEq:
+      ForBatchNonNull(col, b, out, [&](RowId r) { return get(r) == c ? kTriT : kTriF; });
+      break;
+    case BinaryOp::kNe:
+      ForBatchNonNull(col, b, out, [&](RowId r) { return get(r) != c ? kTriT : kTriF; });
+      break;
+    case BinaryOp::kLt:
+      ForBatchNonNull(col, b, out, [&](RowId r) { return get(r) < c ? kTriT : kTriF; });
+      break;
+    case BinaryOp::kLe:
+      ForBatchNonNull(col, b, out, [&](RowId r) { return get(r) <= c ? kTriT : kTriF; });
+      break;
+    case BinaryOp::kGt:
+      ForBatchNonNull(col, b, out, [&](RowId r) { return get(r) > c ? kTriT : kTriF; });
+      break;
+    case BinaryOp::kGe:
+      ForBatchNonNull(col, b, out, [&](RowId r) { return get(r) >= c ? kTriT : kTriF; });
+      break;
+    default:
+      throw BindError("not a comparison operator");
+  }
+}
+
+/// Fixed truth value for every row (comparison against a NULL constant, or
+/// a constant-folded column-less conjunct).
+struct TriConstNode final : VecNode {
+  uint8_t tri;
+  explicit TriConstNode(uint8_t t) : tri(t) {}
+  void Eval(const Batch& b, uint8_t* out) const override {
+    std::fill(out, out + b.n, tri);
+  }
+};
+
+/// Cross-type-class comparison (numeric column vs string constant or vice
+/// versa): Value's total order ranks the classes, so every non-null cell
+/// compares the same way. NULL cells stay Unknown.
+struct FixedRankCmpNode final : VecNode {
+  uint32_t col;
+  uint8_t tri_nonnull;
+  FixedRankCmpNode(uint32_t c, uint8_t t) : col(c), tri_nonnull(t) {}
+  void Eval(const Batch& b, uint8_t* out) const override {
+    const ColumnStore& cs = b.table->column_store(col);
+    for (size_t i = 0; i < b.n; ++i) {
+      out[i] = cs.IsNull(b.rows[i]) ? kTriU : tri_nonnull;
+    }
+  }
+};
+
+/// column OP constant, same type class. The constant is pre-coerced at
+/// compile time; Eval dispatches once on the column type, then runs the
+/// tight typed loop.
+struct CmpConstNode final : VecNode {
+  uint32_t col;
+  BinaryOp op;
+  Value c;
+  CmpConstNode(uint32_t col_, BinaryOp op_, Value c_) : col(col_), op(op_), c(std::move(c_)) {}
+
+  void Eval(const Batch& b, uint8_t* out) const override {
+    const ColumnStore& cs = b.table->column_store(col);
+    switch (cs.type()) {
+      case ValueType::kInt:
+        if (c.is_int()) {
+          const int64_t cv = c.as_int();
+          CmpLoop(op, cs, b, out, [&cs](RowId r) { return cs.GetInt(r); }, cv);
+        } else {
+          const double cv = c.numeric();
+          CmpLoop(op, cs, b, out,
+                  [&cs](RowId r) { return static_cast<double>(cs.GetInt(r)); }, cv);
+        }
+        break;
+      case ValueType::kDouble: {
+        const double cv = c.numeric();
+        CmpLoop(op, cs, b, out, [&cs](RowId r) { return cs.GetDouble(r); }, cv);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& cv = c.as_string();
+        CmpLoop(op, cs, b, out,
+                [&cs](RowId r) -> const std::string& { return cs.GetString(r); }, cv);
+        break;
+      }
+      case ValueType::kNull:
+        throw StorageError("column of type NULL");
+    }
+  }
+};
+
+/// columnA OP columnB on the same table slot, same type class.
+struct CmpColColNode final : VecNode {
+  uint32_t lhs, rhs;
+  BinaryOp op;
+  CmpColColNode(uint32_t l, uint32_t r, BinaryOp o) : lhs(l), rhs(r), op(o) {}
+
+  template <typename GetL, typename GetR>
+  void Loop(const Batch& b, uint8_t* out, const ColumnStore& lc, const ColumnStore& rc,
+            GetL gl, GetR gr) const {
+    auto run = [&](auto cmp) {
+      for (size_t i = 0; i < b.n; ++i) {
+        const RowId r = b.rows[i];
+        out[i] = (lc.IsNull(r) || rc.IsNull(r)) ? kTriU : (cmp(gl(r), gr(r)) ? kTriT : kTriF);
+      }
+    };
+    switch (op) {
+      case BinaryOp::kEq: run([](auto a, auto c) { return a == c; }); break;
+      case BinaryOp::kNe: run([](auto a, auto c) { return a != c; }); break;
+      case BinaryOp::kLt: run([](auto a, auto c) { return a < c; }); break;
+      case BinaryOp::kLe: run([](auto a, auto c) { return a <= c; }); break;
+      case BinaryOp::kGt: run([](auto a, auto c) { return a > c; }); break;
+      case BinaryOp::kGe: run([](auto a, auto c) { return a >= c; }); break;
+      default: throw BindError("not a comparison operator");
+    }
+  }
+
+  void Eval(const Batch& b, uint8_t* out) const override {
+    const ColumnStore& lc = b.table->column_store(lhs);
+    const ColumnStore& rc = b.table->column_store(rhs);
+    const bool l_num = lc.type() != ValueType::kString;
+    const bool r_num = rc.type() != ValueType::kString;
+    if (l_num && r_num) {
+      if (lc.type() == ValueType::kInt && rc.type() == ValueType::kInt) {
+        Loop(b, out, lc, rc, [&lc](RowId r) { return lc.GetInt(r); },
+             [&rc](RowId r) { return rc.GetInt(r); });
+      } else {
+        auto num = [](const ColumnStore& c) {
+          return [&c](RowId r) {
+            return c.type() == ValueType::kInt ? static_cast<double>(c.GetInt(r)) : c.GetDouble(r);
+          };
+        };
+        Loop(b, out, lc, rc, num(lc), num(rc));
+      }
+    } else if (!l_num && !r_num) {
+      Loop(b, out, lc, rc, [&lc](RowId r) -> const std::string& { return lc.GetString(r); },
+           [&rc](RowId r) -> const std::string& { return rc.GetString(r); });
+    } else {
+      // Cross-class: the type-rank comparison is the same for every pair of
+      // non-null cells (numeric ranks below string).
+      const auto rank_cmp = l_num ? std::strong_ordering::less : std::strong_ordering::greater;
+      bool fixed;
+      switch (op) {
+        case BinaryOp::kEq: fixed = false; break;
+        case BinaryOp::kNe: fixed = true; break;
+        case BinaryOp::kLt: fixed = rank_cmp == std::strong_ordering::less; break;
+        case BinaryOp::kLe: fixed = rank_cmp != std::strong_ordering::greater; break;
+        case BinaryOp::kGt: fixed = rank_cmp == std::strong_ordering::greater; break;
+        case BinaryOp::kGe: fixed = rank_cmp != std::strong_ordering::less; break;
+        default: throw BindError("not a comparison operator");
+      }
+      const uint8_t tri = fixed ? kTriT : kTriF;
+      for (size_t i = 0; i < b.n; ++i) {
+        const RowId r = b.rows[i];
+        out[i] = (lc.IsNull(r) || rc.IsNull(r)) ? kTriU : tri;
+      }
+    }
+  }
+};
+
+/// col BETWEEN lo AND hi for an int column with int bounds — the common
+/// BENCH shape gets a single-pass kernel. General BETWEEN compiles to
+/// AND(col >= lo, col <= hi) (plus NOT when negated), which is equivalent
+/// under Kleene semantics because the bounds are non-null constants.
+struct BetweenIntNode final : VecNode {
+  uint32_t col;
+  int64_t lo, hi;
+  bool negated;
+  BetweenIntNode(uint32_t c, int64_t l, int64_t h, bool n) : col(c), lo(l), hi(h), negated(n) {}
+  void Eval(const Batch& b, uint8_t* out) const override {
+    const ColumnStore& cs = b.table->column_store(col);
+    const uint8_t in_tri = negated ? kTriF : kTriT;
+    const uint8_t out_tri = negated ? kTriT : kTriF;
+    for (size_t i = 0; i < b.n; ++i) {
+      const RowId r = b.rows[i];
+      if (cs.IsNull(r)) {
+        out[i] = kTriU;
+      } else {
+        const int64_t v = cs.GetInt(r);
+        out[i] = (v >= lo && v <= hi) ? in_tri : out_tri;
+      }
+    }
+  }
+};
+
+/// col [NOT] IN (consts...). Members are pre-partitioned by type class at
+/// compile time; a NULL member makes non-matches Unknown (SQL's IN/NOT IN
+/// NULL semantics).
+struct InNode final : VecNode {
+  uint32_t col;
+  bool negated = false;
+  bool has_null_member = false;
+  std::vector<int64_t> int_members;         // sorted
+  std::vector<double> double_members;       // sorted
+  std::vector<std::string> string_members;  // sorted
+
+  uint8_t Hit() const { return negated ? kTriF : kTriT; }
+  uint8_t MissTri() const {
+    if (has_null_member) return kTriU;
+    return negated ? kTriT : kTriF;
+  }
+
+  void Eval(const Batch& b, uint8_t* out) const override {
+    const ColumnStore& cs = b.table->column_store(col);
+    const uint8_t hit = Hit(), miss = MissTri();
+    switch (cs.type()) {
+      case ValueType::kInt: {
+        // IN lists are almost always tiny and all-int; a branch-free linear
+        // sweep over a small member array beats binary_search's call +
+        // log-n branches, so that common case gets its own fully-inlined
+        // loop (the batch-level dispatch keeps the per-row path clean).
+        const int64_t* mb = int_members.data();
+        const size_t mn = int_members.size();
+        if (double_members.empty() && mn <= 16) {
+          ForBatchNonNull(cs, b, out, [&](RowId r) {
+            const int64_t v = cs.GetInt(r);
+            bool found = false;
+            for (size_t k = 0; k < mn; ++k) found |= (mb[k] == v);
+            return found ? hit : miss;
+          });
+          break;
+        }
+        ForBatchNonNull(cs, b, out, [&](RowId r) {
+          const int64_t v = cs.GetInt(r);
+          if (std::binary_search(int_members.begin(), int_members.end(), v)) return hit;
+          if (!double_members.empty() &&
+              std::binary_search(double_members.begin(), double_members.end(),
+                                 static_cast<double>(v))) {
+            return hit;
+          }
+          return miss;
+        });
+        break;
+      }
+      case ValueType::kDouble:
+        ForBatchNonNull(cs, b, out, [&](RowId r) {
+          const double v = cs.GetDouble(r);
+          if (std::binary_search(double_members.begin(), double_members.end(), v)) return hit;
+          for (int64_t m : int_members) {
+            if (static_cast<double>(m) == v) return hit;
+          }
+          return miss;
+        });
+        break;
+      case ValueType::kString:
+        ForBatchNonNull(cs, b, out, [&](RowId r) {
+          return std::binary_search(string_members.begin(), string_members.end(),
+                                    cs.GetString(r))
+                     ? hit
+                     : miss;
+        });
+        break;
+      case ValueType::kNull:
+        throw StorageError("column of type NULL");
+    }
+  }
+};
+
+/// string_col [NOT] LIKE 'pattern'.
+struct LikeNode final : VecNode {
+  uint32_t col;
+  std::string pattern;
+  bool negated;
+  LikeNode(uint32_t c, std::string p, bool n) : col(c), pattern(std::move(p)), negated(n) {}
+  void Eval(const Batch& b, uint8_t* out) const override {
+    const ColumnStore& cs = b.table->column_store(col);
+    ForBatchNonNull(cs, b, out, [&](RowId r) {
+      const bool m = LikeMatch(cs.GetString(r), pattern);
+      return (m != negated) ? kTriT : kTriF;
+    });
+  }
+};
+
+/// col IS [NOT] NULL — reads only the null bitmap, never Unknown.
+struct IsNullNode final : VecNode {
+  uint32_t col;
+  bool negated;
+  IsNullNode(uint32_t c, bool n) : col(c), negated(n) {}
+  void Eval(const Batch& b, uint8_t* out) const override {
+    const ColumnStore& cs = b.table->column_store(col);
+    for (size_t i = 0; i < b.n; ++i) {
+      const bool is_null = cs.IsNull(b.rows[i]);
+      out[i] = (is_null != negated) ? kTriT : kTriF;
+    }
+  }
+};
+
+struct NotNode final : VecNode {
+  VecNodePtr child;
+  explicit NotNode(VecNodePtr c) : child(std::move(c)) {}
+  void Eval(const Batch& b, uint8_t* out) const override {
+    child->Eval(b, out);
+    for (size_t i = 0; i < b.n; ++i) out[i] = TriNot(out[i]);
+  }
+};
+
+struct AndNode final : VecNode {
+  VecNodePtr lhs, rhs;
+  AndNode(VecNodePtr l, VecNodePtr r) : lhs(std::move(l)), rhs(std::move(r)) {}
+  void Eval(const Batch& b, uint8_t* out) const override {
+    uint8_t tmp[kVectorBatchRows];
+    lhs->Eval(b, out);
+    rhs->Eval(b, tmp);
+    for (size_t i = 0; i < b.n; ++i) out[i] = TriAnd(out[i], tmp[i]);
+  }
+};
+
+struct OrNode final : VecNode {
+  VecNodePtr lhs, rhs;
+  OrNode(VecNodePtr l, VecNodePtr r) : lhs(std::move(l)), rhs(std::move(r)) {}
+  void Eval(const Batch& b, uint8_t* out) const override {
+    uint8_t tmp[kVectorBatchRows];
+    lhs->Eval(b, out);
+    rhs->Eval(b, tmp);
+    for (size_t i = 0; i < b.n; ++i) out[i] = TriOr(out[i], tmp[i]);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Predicate compilation
+// ---------------------------------------------------------------------------
+
+bool SameTypeClass(ValueType col, const Value& c) {
+  if (col == ValueType::kString) return c.is_string();
+  return c.is_numeric();
+}
+
+/// Compile `e` into a kernel tree over columns of table slot 0, or nullptr
+/// when the shape is not covered (the whole query then falls back to the
+/// row engine, which either handles it or raises the same error).
+VecNodePtr CompileNode(const Expr& e, const Table& table, const std::vector<Value>& params) {
+  auto column_of = [](const Expr& c) -> std::optional<uint32_t> {
+    if (c.kind == Expr::Kind::kColumn && c.table_slot == 0 && c.column_index >= 0) {
+      return static_cast<uint32_t>(c.column_index);
+    }
+    return std::nullopt;
+  };
+  auto const_of = [&](const Expr& c) { return ConstValue(c, params); };
+
+  switch (e.kind) {
+    case Expr::Kind::kUnaryNot: {
+      auto child = CompileNode(*e.children[0], table, params);
+      if (!child) return nullptr;
+      return std::make_unique<NotNode>(std::move(child));
+    }
+    case Expr::Kind::kBinary: {
+      if (e.op == BinaryOp::kAnd || e.op == BinaryOp::kOr) {
+        auto l = CompileNode(*e.children[0], table, params);
+        if (!l) return nullptr;
+        auto r = CompileNode(*e.children[1], table, params);
+        if (!r) return nullptr;
+        if (e.op == BinaryOp::kAnd) return std::make_unique<AndNode>(std::move(l), std::move(r));
+        return std::make_unique<OrNode>(std::move(l), std::move(r));
+      }
+      if (!IsComparison(e.op)) return nullptr;
+      auto lcol = column_of(*e.children[0]);
+      auto rcol = column_of(*e.children[1]);
+      if (lcol && rcol) return std::make_unique<CmpColColNode>(*lcol, *rcol, e.op);
+      auto lconst = lcol ? std::nullopt : const_of(*e.children[0]);
+      auto rconst = rcol ? std::nullopt : const_of(*e.children[1]);
+      if (lconst && rconst) {
+        // Column-less conjunct: fold to a fixed truth value.
+        if (lconst->is_null() || rconst->is_null()) return std::make_unique<TriConstNode>(kTriU);
+        const auto cmp = lconst->compare(*rconst);
+        bool v;
+        switch (e.op) {
+          case BinaryOp::kEq: v = cmp == std::strong_ordering::equal; break;
+          case BinaryOp::kNe: v = cmp != std::strong_ordering::equal; break;
+          case BinaryOp::kLt: v = cmp == std::strong_ordering::less; break;
+          case BinaryOp::kLe: v = cmp != std::strong_ordering::greater; break;
+          case BinaryOp::kGt: v = cmp == std::strong_ordering::greater; break;
+          default: v = cmp != std::strong_ordering::less; break;
+        }
+        return std::make_unique<TriConstNode>(v ? kTriT : kTriF);
+      }
+      uint32_t col;
+      Value c;
+      BinaryOp op = e.op;
+      if (lcol && rconst) {
+        col = *lcol;
+        c = *rconst;
+      } else if (rcol && lconst) {
+        col = *rcol;
+        c = *lconst;
+        switch (op) {  // flip operand order
+          case BinaryOp::kLt: op = BinaryOp::kGt; break;
+          case BinaryOp::kLe: op = BinaryOp::kGe; break;
+          case BinaryOp::kGt: op = BinaryOp::kLt; break;
+          case BinaryOp::kGe: op = BinaryOp::kLe; break;
+          default: break;
+        }
+      } else {
+        return nullptr;  // side is neither a slot-0 column nor a constant
+      }
+      if (c.is_null()) return std::make_unique<TriConstNode>(kTriU);
+      const ValueType col_type = table.column_store(col).type();
+      if (!SameTypeClass(col_type, c)) {
+        // Cross-class comparison: Value's total order ranks numerics below
+        // strings, the same for every non-null cell.
+        const bool col_less = col_type != ValueType::kString;
+        bool v;
+        switch (op) {
+          case BinaryOp::kEq: v = false; break;
+          case BinaryOp::kNe: v = true; break;
+          case BinaryOp::kLt: v = col_less; break;
+          case BinaryOp::kLe: v = col_less; break;
+          case BinaryOp::kGt: v = !col_less; break;
+          default: v = !col_less; break;
+        }
+        return std::make_unique<FixedRankCmpNode>(col, v ? kTriT : kTriF);
+      }
+      return std::make_unique<CmpConstNode>(col, op, std::move(c));
+    }
+    case Expr::Kind::kBetween: {
+      auto col = column_of(*e.children[0]);
+      if (!col) return nullptr;
+      auto lo = const_of(*e.children[1]);
+      auto hi = const_of(*e.children[2]);
+      if (!lo || !hi) return nullptr;
+      if (lo->is_null() || hi->is_null()) return std::make_unique<TriConstNode>(kTriU);
+      const ValueType col_type = table.column_store(*col).type();
+      if (col_type == ValueType::kInt && lo->is_int() && hi->is_int()) {
+        return std::make_unique<BetweenIntNode>(*col, lo->as_int(), hi->as_int(), e.negated);
+      }
+      // General form: AND of the two bound comparisons, NOT when negated —
+      // equivalent under Kleene logic because both bounds are non-null.
+      auto ge = [&]() -> VecNodePtr {
+        if (!SameTypeClass(col_type, *lo)) {
+          const bool col_less = col_type != ValueType::kString;  // col >= lo
+          return std::make_unique<FixedRankCmpNode>(*col, !col_less ? kTriT : kTriF);
+        }
+        return std::make_unique<CmpConstNode>(*col, BinaryOp::kGe, *lo);
+      }();
+      auto le = [&]() -> VecNodePtr {
+        if (!SameTypeClass(col_type, *hi)) {
+          const bool col_less = col_type != ValueType::kString;  // col <= hi
+          return std::make_unique<FixedRankCmpNode>(*col, col_less ? kTriT : kTriF);
+        }
+        return std::make_unique<CmpConstNode>(*col, BinaryOp::kLe, *hi);
+      }();
+      VecNodePtr both = std::make_unique<AndNode>(std::move(ge), std::move(le));
+      if (e.negated) return std::make_unique<NotNode>(std::move(both));
+      return both;
+    }
+    case Expr::Kind::kIn: {
+      auto col = column_of(*e.children[0]);
+      if (!col) return nullptr;
+      auto node = std::make_unique<InNode>();
+      node->col = *col;
+      node->negated = e.negated;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        auto item = const_of(*e.children[i]);
+        if (!item) return nullptr;
+        if (item->is_null()) {
+          node->has_null_member = true;
+        } else if (item->is_int()) {
+          node->int_members.push_back(item->as_int());
+        } else if (item->is_double()) {
+          node->double_members.push_back(item->as_double());
+        } else {
+          node->string_members.push_back(item->as_string());
+        }
+      }
+      std::sort(node->int_members.begin(), node->int_members.end());
+      std::sort(node->double_members.begin(), node->double_members.end());
+      std::sort(node->string_members.begin(), node->string_members.end());
+      return node;
+    }
+    case Expr::Kind::kLike: {
+      auto col = column_of(*e.children[0]);
+      auto pattern = const_of(*e.children[1]);
+      if (!col || !pattern) return nullptr;
+      if (pattern->is_null()) return std::make_unique<TriConstNode>(kTriU);
+      // Non-string operands make the row engine throw BindError; fall back
+      // so the behavior (and message) stays identical.
+      if (!pattern->is_string()) return nullptr;
+      if (table.column_store(*col).type() != ValueType::kString) return nullptr;
+      return std::make_unique<LikeNode>(*col, pattern->as_string(), e.negated);
+    }
+    case Expr::Kind::kIsNull: {
+      auto col = column_of(*e.children[0]);
+      if (!col) return nullptr;
+      return std::make_unique<IsNullNode>(*col, e.negated);
+    }
+    default:
+      return nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scan worker pool
+// ---------------------------------------------------------------------------
+
+/// A lazily-spawned pool shared by all scans in the process. Workers never
+/// take table locks: they read under the calling thread's ReadLock, which
+/// stays held until Run returns (see docs/EXECUTION.md and CONCURRENCY.md).
+class ScanPool {
+ public:
+  static ScanPool& Instance() {
+    static ScanPool pool;
+    return pool;
+  }
+
+  /// Run fn(0..task_count-1) across the pool plus the calling thread;
+  /// blocks until every task finished. At most `max_threads` threads
+  /// (including the caller) participate. Rethrows the first task error.
+  void Run(size_t task_count, size_t max_threads, const std::function<void(size_t)>& fn) {
+    Job job;
+    job.fn = &fn;
+    job.count = task_count;
+    job.max_participants = max_threads;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      EnsureWorkersLocked();
+      ++seq_;
+      job_ = &job;
+      job.participants = 1;  // the caller
+    }
+    cv_.notify_all();
+    WorkOn(job);
+    std::unique_lock<std::mutex> lk(m_);
+    --job.participants;
+    done_cv_.wait(lk, [&] { return job.participants == 0; });
+    job_ = nullptr;
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t max_participants = 1;
+    std::atomic<size_t> next{0};
+    size_t participants = 0;     // guarded by m_
+    std::exception_ptr error;    // guarded by m_
+  };
+
+  ~ScanPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void EnsureWorkersLocked() {
+    if (!workers_.empty()) return;
+    const size_t n = kMaxScanThreads - 1;  // participation is capped per job
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkOn(Job& job) {
+    for (;;) {
+      const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.count) return;
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(m_);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+      cv_.wait(lk, [&] { return stop_ || seq_ != seen; });
+      if (stop_) return;
+      seen = seq_;
+      Job* job = job_;
+      if (!job || job->participants >= job->max_participants) continue;
+      ++job->participants;
+      lk.unlock();
+      WorkOn(*job);
+      lk.lock();
+      if (--job->participants == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;       // workers: new job or stop
+  std::condition_variable done_cv_;  // caller: all participants exited
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;   // guarded by m_
+  uint64_t seq_ = 0;     // guarded by m_
+  bool stop_ = false;    // guarded by m_
+};
+
+// ---------------------------------------------------------------------------
+// Filter driver: adaptive conjunct ordering + compaction
+// ---------------------------------------------------------------------------
+
+/// Per-scan (per-worker) runtime state of the compiled conjuncts. The
+/// compiled nodes are shared and immutable; selectivity stats and ordering
+/// are thread-local so parallel chunks adapt independently without sharing
+/// mutable state.
+struct FilterState {
+  struct Conjunct {
+    const VecNode* node;
+    uint64_t rows_in = 0;
+    uint64_t rows_out = 0;
+  };
+  std::vector<Conjunct> conjuncts;
+  std::vector<size_t> order;  // evaluation order, re-sorted by pass rate
+  uint64_t batches = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t reorders = 0;
+
+  explicit FilterState(const std::vector<VecNodePtr>& nodes) {
+    conjuncts.reserve(nodes.size());
+    for (const auto& n : nodes) conjuncts.push_back({n.get(), 0, 0});
+    order.resize(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) order[i] = i;
+  }
+
+  /// Keep only definitely-true rows of sel[0..n); returns the new count.
+  size_t FilterBatch(const Table& table, RowId* sel, size_t n) {
+    ++batches;
+    rows_scanned += n;
+    uint8_t states[kVectorBatchRows];
+    for (size_t oi = 0; oi < order.size() && n > 0; ++oi) {
+      Conjunct& c = conjuncts[order[oi]];
+      c.node->Eval(Batch{&table, sel, n}, states);
+      size_t m = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (states[i] == kTriT) sel[m++] = sel[i];
+      }
+      c.rows_in += n;
+      c.rows_out += m;
+      n = m;  // short-circuit: later conjuncts see only survivors
+    }
+    Reorder();
+    return n;
+  }
+
+ private:
+  /// Re-sort the evaluation order by observed pass rate (most selective
+  /// first). Unobserved conjuncts keep rate 0 so the initial WHERE order
+  /// is preserved until real data arrives (stable sort).
+  void Reorder() {
+    if (order.size() < 2) return;
+    auto rate = [&](size_t i) {
+      const Conjunct& c = conjuncts[i];
+      return c.rows_in == 0 ? 0.0
+                            : static_cast<double>(c.rows_out) / static_cast<double>(c.rows_in);
+    };
+    const std::vector<size_t> before = order;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return rate(a) < rate(b); });
+    if (order != before) ++reorders;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sinks: where filtered batches go
+// ---------------------------------------------------------------------------
+
+/// Aggregate one select item over a filtered batch using typed column
+/// reads — no Value boxing on the scan path.
+void AddAggBatch(exec::Accumulator& acc, const Table& table, int32_t column, const RowId* sel,
+                 size_t n) {
+  if (acc.func == AggFunc::kCountStar) {
+    acc.count += static_cast<int64_t>(n);
+    return;
+  }
+  const ColumnStore& col = table.column_store(static_cast<uint32_t>(column));
+  switch (acc.func) {
+    case AggFunc::kCount:
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsNull(sel[i])) ++acc.count;
+      }
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (col.type() == ValueType::kInt) {
+        for (size_t i = 0; i < n; ++i) {
+          const RowId r = sel[i];
+          if (col.IsNull(r)) continue;
+          ++acc.count;
+          acc.AddIntToSum(col.GetInt(r));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          const RowId r = sel[i];
+          if (col.IsNull(r)) continue;
+          ++acc.count;
+          acc.sum_is_int = false;
+          acc.double_sum += col.GetDouble(r);
+        }
+      }
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      const bool want_min = acc.func == AggFunc::kMin;
+      // Typed batch-local best, folded into the boxed running best once.
+      bool seen = false;
+      size_t best = 0;
+      auto better = [&](auto a, auto b) { return want_min ? a < b : a > b; };
+      if (col.type() == ValueType::kInt) {
+        int64_t bv = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const RowId r = sel[i];
+          if (col.IsNull(r)) continue;
+          ++acc.count;
+          const int64_t v = col.GetInt(r);
+          if (!seen || better(v, bv)) { seen = true; bv = v; best = i; }
+        }
+      } else if (col.type() == ValueType::kDouble) {
+        double bv = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const RowId r = sel[i];
+          if (col.IsNull(r)) continue;
+          ++acc.count;
+          const double v = col.GetDouble(r);
+          if (!seen || better(v, bv)) { seen = true; bv = v; best = i; }
+        }
+      } else {
+        const std::string* bv = nullptr;
+        for (size_t i = 0; i < n; ++i) {
+          const RowId r = sel[i];
+          if (col.IsNull(r)) continue;
+          ++acc.count;
+          const std::string& v = col.GetString(r);
+          if (!bv || better(v, *bv)) { bv = &v; seen = true; best = i; }
+        }
+      }
+      if (seen) {
+        const Value v = col.Get(sel[best]);
+        Value& slot = want_min ? acc.min : acc.max;
+        if (slot.is_null() || (want_min ? v < slot : v > slot)) slot = v;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Per-chunk output: exactly one of `rows` (projection) or the aggregate
+/// state is populated; chunks are merged in chunk order so the final
+/// result matches the serial scan's row/group order.
+struct ChunkOutput {
+  std::vector<Row> rows;
+  std::vector<exec::Accumulator> accs;
+  int64_t agg_rows_consumed = 0;
+  exec::GroupState groups;
+  uint64_t batches = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t reorders = 0;
+};
+
+/// What a compiled query projects/aggregates, derived once per execution.
+struct CompiledQuery {
+  const BoundQuery* query = nullptr;
+  const Table* table = nullptr;
+  const SelectStmt* stmt = nullptr;
+  std::vector<VecNodePtr> conjunct_nodes;
+  std::vector<const Expr*> conjunct_exprs;  // parallel, feeds the planner
+  bool grouped = false;
+  bool has_aggregates = false;
+  std::vector<uint32_t> group_cols;      // GROUP BY column indexes
+  std::vector<int32_t> agg_cols;         // per aggregate item; -1 = COUNT(*)
+};
+
+void ConsumeProjection(const CompiledQuery& cq, const RowId* sel, size_t n,
+                       std::vector<Row>& out) {
+  const Table& table = *cq.table;
+  for (size_t i = 0; i < n; ++i) {
+    const RowId r = sel[i];
+    Row row;
+    for (const SelectItem& item : cq.stmt->items) {
+      if (item.kind == SelectItem::Kind::kStar) {
+        for (size_t c = 0; c < table.schema().size(); ++c) {
+          row.push_back(table.column_store(static_cast<uint32_t>(c)).Get(r));
+        }
+      } else {
+        row.push_back(table.column_store(static_cast<uint32_t>(item.expr->column_index)).Get(r));
+      }
+    }
+    out.push_back(std::move(row));
+  }
+}
+
+void ConsumeAggregate(const CompiledQuery& cq, const RowId* sel, size_t n, ChunkOutput& out) {
+  if (!cq.grouped) {
+    for (size_t a = 0; a < out.accs.size(); ++a) {
+      AddAggBatch(out.accs[a], *cq.table, cq.agg_cols[a], sel, n);
+    }
+    out.agg_rows_consumed += static_cast<int64_t>(n);
+    return;
+  }
+  // Grouped: the hash probe runs per selected row (post-filter
+  // cardinality) but the key stays in a stack buffer — TouchView only
+  // boxes it on a group's first encounter, so the steady state does no
+  // per-row allocation. See docs/EXECUTION.md "what stays row-at-a-time".
+  const Table& table = *cq.table;
+  constexpr size_t kMaxInlineKey = 8;
+  const size_t gcols = cq.group_cols.size();
+  Value keybuf[kMaxInlineKey];
+  const ColumnStore* gstore[kMaxInlineKey] = {};
+  if (gcols <= kMaxInlineKey) {
+    for (size_t c = 0; c < gcols; ++c) gstore[c] = &table.column_store(cq.group_cols[c]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const RowId r = sel[i];
+    std::vector<exec::Accumulator>* accs;
+    if (gcols <= kMaxInlineKey) {
+      for (size_t c = 0; c < gcols; ++c) keybuf[c] = gstore[c]->Get(r);
+      accs = &out.groups.TouchView(keybuf, gcols, *cq.stmt);
+    } else {
+      Row key;
+      key.reserve(gcols);
+      for (uint32_t c : cq.group_cols) key.push_back(table.column_store(c).Get(r));
+      accs = &out.groups.Touch(std::move(key), *cq.stmt);
+    }
+    for (size_t a = 0; a < accs->size(); ++a) {
+      const RowId one = r;
+      AddAggBatch((*accs)[a], table, cq.agg_cols[a], &one, 1);
+    }
+  }
+}
+
+/// Scan one row-id range (full scan) through the filter into a chunk output.
+void ScanRange(const CompiledQuery& cq, RowId lo, RowId hi, ChunkOutput& out) {
+  const Table& table = *cq.table;
+  FilterState fs(cq.conjunct_nodes);
+  RowId sel[kVectorBatchRows];
+  size_t n = 0;
+  auto flush = [&] {
+    if (n == 0) return;
+    const size_t kept = fs.FilterBatch(table, sel, n);
+    if (kept > 0) {
+      if (cq.has_aggregates || cq.grouped) {
+        ConsumeAggregate(cq, sel, kept, out);
+      } else {
+        ConsumeProjection(cq, sel, kept, out.rows);
+      }
+    }
+    n = 0;
+  };
+  for (RowId r = lo; r < hi; ++r) {
+    if (!table.IsLive(r)) continue;
+    sel[n++] = r;
+    if (n == kVectorBatchRows) flush();
+  }
+  flush();
+  out.batches += fs.batches;
+  out.rows_scanned += fs.rows_scanned;
+  out.reorders += fs.reorders;
+}
+
+/// Scan an explicit candidate list (index sargs) serially.
+void ScanCandidates(const CompiledQuery& cq, const std::vector<RowId>& candidates,
+                    ChunkOutput& out) {
+  const Table& table = *cq.table;
+  FilterState fs(cq.conjunct_nodes);
+  RowId sel[kVectorBatchRows];
+  size_t offset = 0;
+  while (offset < candidates.size()) {
+    const size_t n = std::min(kVectorBatchRows, candidates.size() - offset);
+    std::copy(candidates.begin() + offset, candidates.begin() + offset + n, sel);
+    const size_t kept = fs.FilterBatch(table, sel, n);
+    if (kept > 0) {
+      if (cq.has_aggregates || cq.grouped) {
+        ConsumeAggregate(cq, sel, kept, out);
+      } else {
+        ConsumeProjection(cq, sel, kept, out.rows);
+      }
+    }
+    offset += n;
+  }
+  out.batches += fs.batches;
+  out.rows_scanned += fs.rows_scanned;
+  out.reorders += fs.reorders;
+}
+
+// ---------------------------------------------------------------------------
+// Query compilation and the top-level run
+// ---------------------------------------------------------------------------
+
+/// Compile the query, or nullopt when its shape is not covered.
+std::optional<CompiledQuery> Compile(const BoundQuery& query, const std::vector<Value>& params) {
+  if (query.tables().size() != 1) return std::nullopt;  // joins stay row-at-a-time
+  CompiledQuery cq;
+  cq.query = &query;
+  cq.table = &query.table(0);
+  cq.stmt = &query.stmt();
+  const SelectStmt& stmt = *cq.stmt;
+
+  cq.grouped = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == SelectItem::Kind::kAggregate) cq.has_aggregates = true;
+  }
+
+  if (stmt.where) {
+    std::vector<const Expr*> conjuncts;
+    exec::SplitConjuncts(*stmt.where, conjuncts);
+    for (const Expr* conjunct : conjuncts) {
+      auto node = CompileNode(*conjunct, *cq.table, params);
+      if (!node) return std::nullopt;
+      cq.conjunct_nodes.push_back(std::move(node));
+      cq.conjunct_exprs.push_back(conjunct);
+    }
+  }
+
+  for (const ExprPtr& g : stmt.group_by) {
+    if (g->kind != Expr::Kind::kColumn || g->column_index < 0) return std::nullopt;
+    cq.group_cols.push_back(static_cast<uint32_t>(g->column_index));
+  }
+  for (const SelectItem& item : stmt.items) {
+    switch (item.kind) {
+      case SelectItem::Kind::kStar:
+        if (cq.has_aggregates || cq.grouped) return std::nullopt;  // binder rejects anyway
+        break;
+      case SelectItem::Kind::kColumn:
+        if (!item.expr || item.expr->kind != Expr::Kind::kColumn || item.expr->column_index < 0) {
+          return std::nullopt;
+        }
+        break;
+      case SelectItem::Kind::kAggregate:
+        if (item.func == AggFunc::kCountStar) {
+          cq.agg_cols.push_back(-1);
+          break;
+        }
+        if (!item.expr || item.expr->kind != Expr::Kind::kColumn || item.expr->column_index < 0) {
+          return std::nullopt;
+        }
+        // SUM/AVG over a string column makes the row engine throw on the
+        // first non-null cell; keep that behavior by not covering it.
+        if ((item.func == AggFunc::kSum || item.func == AggFunc::kAvg) &&
+            cq.table->column_store(static_cast<uint32_t>(item.expr->column_index)).type() ==
+                ValueType::kString) {
+          return std::nullopt;
+        }
+        cq.agg_cols.push_back(item.expr->column_index);
+        break;
+    }
+  }
+  return cq;
+}
+
+void MergeChunk(const CompiledQuery& cq, ChunkOutput& total, ChunkOutput& chunk,
+                ResultSet& result) {
+  if (cq.has_aggregates || cq.grouped) {
+    if (!cq.grouped) {
+      for (size_t i = 0; i < total.accs.size(); ++i) total.accs[i].Merge(chunk.accs[i]);
+      total.agg_rows_consumed += chunk.agg_rows_consumed;
+    } else {
+      total.groups.Merge(chunk.groups);
+    }
+  } else {
+    for (Row& row : chunk.rows) result.AddRow(std::move(row));
+  }
+  total.batches += chunk.batches;
+  total.rows_scanned += chunk.rows_scanned;
+  total.reorders += chunk.reorders;
+}
+
+ResultSet RunCompiled(const CompiledQuery& cq, const std::vector<Value>& params) {
+  const Table& table = *cq.table;
+  ResultSet result(exec::OutputColumnNames(*cq.query));
+
+  // The same planner the row engine runs — identical candidates, identical
+  // scan order, so un-ORDERed outputs match row for row.
+  auto candidates = IndexedCandidates(table, 0, cq.conjunct_exprs, params);
+
+  ChunkOutput total;
+  if (!cq.grouped && cq.has_aggregates) {
+    total.accs = exec::MakeAccumulators(*cq.stmt);
+  }
+
+  bool parallel = false;
+  if (candidates) {
+    ChunkOutput chunk;
+    if (!cq.grouped && cq.has_aggregates) chunk.accs = exec::MakeAccumulators(*cq.stmt);
+    ScanCandidates(cq, *candidates, chunk);
+    MergeChunk(cq, total, chunk, result);
+  } else {
+    const RowId slots = table.SlotCount();
+    const size_t threads = EffectiveScanThreads();
+    const size_t threshold = g_parallel_threshold.load(std::memory_order_relaxed);
+    if (slots >= threshold && threads > 1) {
+      parallel = true;
+      // Several chunks per worker so uneven selectivity balances out; chunk
+      // results merge in chunk order, reproducing the serial scan order.
+      const size_t max_chunks = threads * 4;
+      const size_t min_chunk_rows = std::max<size_t>(kVectorBatchRows * 4, slots / max_chunks);
+      const size_t chunks = std::max<size_t>(1, std::min<size_t>(max_chunks, slots / min_chunk_rows));
+      const RowId chunk_rows = (slots + chunks - 1) / chunks;
+      std::vector<ChunkOutput> outputs(chunks);
+      for (auto& out : outputs) {
+        if (!cq.grouped && cq.has_aggregates) out.accs = exec::MakeAccumulators(*cq.stmt);
+      }
+      ScanPool::Instance().Run(chunks, threads, [&](size_t i) {
+        const RowId lo = static_cast<RowId>(i) * chunk_rows;
+        const RowId hi = std::min<RowId>(lo + chunk_rows, slots);
+        if (lo < hi) ScanRange(cq, lo, hi, outputs[i]);
+      });
+      for (auto& out : outputs) MergeChunk(cq, total, out, result);
+    } else {
+      ChunkOutput chunk;
+      if (!cq.grouped && cq.has_aggregates) chunk.accs = exec::MakeAccumulators(*cq.stmt);
+      ScanRange(cq, 0, slots, chunk);
+      MergeChunk(cq, total, chunk, result);
+    }
+  }
+
+  if (cq.has_aggregates || cq.grouped) {
+    exec::GroupState state;
+    if (cq.grouped) {
+      state = std::move(total.groups);
+    } else if (total.agg_rows_consumed > 0) {
+      // The single implicit group exists iff at least one row passed the
+      // WHERE clause (matching the row engine's Consume).
+      state.Touch(Row{}, *cq.stmt) = std::move(total.accs);
+    }
+    exec::EmitGroupRows(*cq.stmt, state, cq.grouped, result);
+  }
+  exec::ApplyOrderAndLimit(*cq.query, result);
+
+  g_stats.batches.fetch_add(total.batches, std::memory_order_relaxed);
+  g_stats.rows_scanned.fetch_add(total.rows_scanned, std::memory_order_relaxed);
+  g_stats.conjunct_reorders.fetch_add(total.reorders, std::memory_order_relaxed);
+  if (parallel) g_stats.parallel_scans.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace
+
+VectorizedStats GetVectorizedStats() {
+  VectorizedStats s;
+  s.queries_vectorized = g_stats.queries_vectorized.load(std::memory_order_relaxed);
+  s.queries_fallback = g_stats.queries_fallback.load(std::memory_order_relaxed);
+  s.batches = g_stats.batches.load(std::memory_order_relaxed);
+  s.rows_scanned = g_stats.rows_scanned.load(std::memory_order_relaxed);
+  s.parallel_scans = g_stats.parallel_scans.load(std::memory_order_relaxed);
+  s.conjunct_reorders = g_stats.conjunct_reorders.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::optional<ResultSet> TryExecuteVectorized(const BoundQuery& query,
+                                              const std::vector<Value>& params) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return std::nullopt;
+  if (params.size() < query.stmt().param_count) {
+    throw BindError("statement needs " + std::to_string(query.stmt().param_count) +
+                    " parameters, got " + std::to_string(params.size()));
+  }
+  auto compiled = Compile(query, params);
+  if (!compiled) {
+    g_stats.queries_fallback.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  g_stats.queries_vectorized.fetch_add(1, std::memory_order_relaxed);
+  return RunCompiled(*compiled, params);
+}
+
+bool SetVectorizedEnabled(bool enabled) { return g_enabled.exchange(enabled); }
+size_t SetParallelScanThreshold(size_t rows) { return g_parallel_threshold.exchange(rows); }
+size_t SetScanThreads(size_t threads) { return g_scan_threads.exchange(threads); }
+
+}  // namespace qc::sql

@@ -1,0 +1,68 @@
+// Vectorized columnar execution for the cache-miss path.
+//
+// Instead of walking the table row by row and boxing every cell into a
+// common::Value (evaluator.cc's tree-walker), this engine scans in
+// fixed-size selection-vector batches over storage::ColumnStore's typed
+// contiguous arrays: predicates are evaluated column-at-a-time with typed
+// kernels (int/double/string × eq/ne/range/BETWEEN/IN/LIKE/IS NULL,
+// three-valued NULL semantics preserved), top-level AND conjuncts are
+// re-ordered each batch by observed selectivity and short-circuit once the
+// selection vector runs dry, index sargs still feed initial candidates
+// (sql/planner.h — the same planner the row engine runs, so both engines
+// scan in the same order), and large full scans are partitioned across a
+// worker pool that reads under the caller's table ReadLock. See
+// docs/EXECUTION.md for the model and the kernel table.
+//
+// Shapes the engine does not cover (joins, non-column aggregate arguments,
+// predicates it cannot compile) return nullopt from TryExecuteVectorized
+// and run on the row-at-a-time engine, which also serves as the oracle for
+// the randomized differential suite (tests/sql/vectorized_diff_test.cc).
+//
+// @thread_safety TryExecuteVectorized is safe to call from any number of
+// threads provided each caller holds the table's ReadLock (exactly what
+// CachedQueryEngine does); scan workers piggyback on the *caller's* lock
+// and never take table locks themselves. The knobs below are process-wide
+// and meant for startup/tests, not concurrent flipping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sql/binder.h"
+#include "sql/result.h"
+
+namespace qc::sql {
+
+/// Rows per selection-vector batch.
+inline constexpr size_t kVectorBatchRows = 1024;
+
+/// Process-wide engine counters (relaxed atomics; snapshot via
+/// GetVectorizedStats). `queries_fallback` counts Execute() calls the
+/// vectorized engine refused (shape not covered) — they ran row-at-a-time.
+struct VectorizedStats {
+  uint64_t queries_vectorized = 0;
+  uint64_t queries_fallback = 0;
+  uint64_t batches = 0;
+  uint64_t rows_scanned = 0;       // rows entering the filter
+  uint64_t parallel_scans = 0;     // scans that used the worker pool
+  uint64_t conjunct_reorders = 0;  // adaptive selectivity re-orderings
+};
+
+VectorizedStats GetVectorizedStats();
+
+/// Execute on the vectorized engine; nullopt when the query's shape is not
+/// covered (the caller then runs the row engine). Throws the same errors
+/// the row engine would for errors both can detect (unbound parameters,
+/// binder-invariant violations).
+std::optional<ResultSet> TryExecuteVectorized(const BoundQuery& query,
+                                              const std::vector<Value>& params);
+
+/// Knobs (process-wide; each returns the previous value). Defaults:
+/// enabled, threshold 65536 rows, threads = min(hardware, 16) overridable
+/// with QC_SCAN_THREADS.
+bool SetVectorizedEnabled(bool enabled);
+size_t SetParallelScanThreshold(size_t rows);
+size_t SetScanThreads(size_t threads);
+
+}  // namespace qc::sql

@@ -40,6 +40,23 @@ const std::vector<RowId>& OrderedIndex::Lookup(const Value& v) const {
   return it == buckets_.end() ? kEmpty : it->second;
 }
 
+size_t OrderedIndex::CountRangeRows(const Value& lo, bool lo_inclusive,
+                                    const Value& hi, bool hi_inclusive, size_t cap) const {
+  if (!lo.is_null() && !hi.is_null()) {
+    if (lo > hi || (lo == hi && !(lo_inclusive && hi_inclusive))) return 0;
+  }
+  auto begin = lo.is_null() ? buckets_.begin()
+               : (lo_inclusive ? buckets_.lower_bound(lo) : buckets_.upper_bound(lo));
+  auto end = hi.is_null() ? buckets_.end()
+             : (hi_inclusive ? buckets_.upper_bound(hi) : buckets_.lower_bound(hi));
+  size_t count = 0;
+  for (auto it = begin; it != end; ++it) {
+    count += it->second.size();
+    if (count > cap) return count;
+  }
+  return count;
+}
+
 std::vector<RowId> OrderedIndex::LookupRange(const Value& lo, bool lo_inclusive,
                                              const Value& hi, bool hi_inclusive) const {
   // An empty interval (lo > hi, or lo == hi without both ends closed) must

@@ -39,6 +39,15 @@ class OrderedIndex {
   std::vector<RowId> LookupRange(const Value& lo, bool lo_inclusive,
                                  const Value& hi, bool hi_inclusive) const;
 
+  /// Exact row count of LookupRange without materializing row ids, walking
+  /// distinct-value buckets and stopping early once the running sum exceeds
+  /// `cap` (the return value is then a lower bound that is already > cap).
+  /// Cost is output-sensitive: O(distinct values in range) bucket steps,
+  /// capped — the access-path planner uses it to size range candidates
+  /// against the best alternative seen so far.
+  size_t CountRangeRows(const Value& lo, bool lo_inclusive,
+                        const Value& hi, bool hi_inclusive, size_t cap) const;
+
   size_t distinct_values() const { return buckets_.size(); }
 
  private:

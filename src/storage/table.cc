@@ -136,6 +136,14 @@ std::vector<RowId> Table::LookupRange(uint32_t column, const Value& lo, bool lo_
   return ordered_indexes_[column]->LookupRange(lo, lo_inclusive, hi, hi_inclusive);
 }
 
+size_t Table::EstimateRangeRows(uint32_t column, const Value& lo, bool lo_inclusive,
+                                const Value& hi, bool hi_inclusive, size_t cap) const {
+  if (!HasOrderedIndex(column)) {
+    throw StorageError("no ordered index on column " + schema_.column(column).name);
+  }
+  return ordered_indexes_[column]->CountRangeRows(lo, lo_inclusive, hi, hi_inclusive, cap);
+}
+
 void Table::ValidateLive(RowId row) const {
   if (!IsLive(row)) throw StorageError("row " + std::to_string(row) + " of " + name_ + " is not live");
 }

@@ -78,6 +78,13 @@ class Table {
                                  const Value& hi, bool hi_inclusive) const;
   bool CanLookupEqual(uint32_t column) const { return HasHashIndex(column) || HasOrderedIndex(column); }
 
+  /// Size a LookupRange cheaply: exact live-row count of the range, walking
+  /// the ordered index's distinct-value buckets with early exit once the sum
+  /// exceeds `cap` (see OrderedIndex::CountRangeRows). Requires an ordered
+  /// index on `column`.
+  size_t EstimateRangeRows(uint32_t column, const Value& lo, bool lo_inclusive,
+                           const Value& hi, bool hi_inclusive, size_t cap) const;
+
   /// Visit every live row id.
   template <typename Fn>
   void ForEachRow(Fn&& fn) const {

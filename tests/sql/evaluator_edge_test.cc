@@ -1,6 +1,8 @@
 // Edge-case coverage for the evaluator beyond the core suite: grouping
 // without aggregates, parameterized ranges, empty index buckets, type
 // errors, and star expansion over joins.
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/error.h"
@@ -109,6 +111,54 @@ TEST_F(EvaluatorEdgeTest, PredicateOnRowRejectsCrossSlotColumns) {
   auto query = ParseAndBind("SELECT COUNT(*) FROM T T1, T T2 WHERE T1.A = T2.A", db_);
   storage::Row image{Value(1), Value("x"), Value(1.0)};
   EXPECT_THROW(EvalPredicateOnRow(*query->stmt().where, image, {}, 0), BindError);
+}
+
+TEST_F(EvaluatorEdgeTest, IntSumDegradesToDoubleOnOverflowInsteadOfWrapping) {
+  // Two values near INT64_MAX: their int64 sum wraps (UB before the
+  // __builtin_add_overflow guard); the accumulator must degrade to the
+  // double sum instead of emitting a huge negative integer.
+  auto& big = db_.CreateTable("BIG", storage::Schema({{"V", ValueType::kInt, false},
+                                                      {"G", ValueType::kInt, false}}));
+  const int64_t near_max = std::numeric_limits<int64_t>::max() - 10;
+  big.Insert({Value(near_max), Value(1)});
+  big.Insert({Value(near_max), Value(1)});
+
+  for (const bool vectorized : {true, false}) {
+    SCOPED_TRACE(vectorized ? "vectorized" : "row");
+    auto query = ParseAndBind("SELECT SUM(V) FROM BIG", db_);
+    ResultSet rs = vectorized ? Execute(*query, {}) : ExecuteRowAtATime(*query, {});
+    ASSERT_EQ(rs.row_count(), 1u);
+    const Value& sum = rs.ScalarAt(0, 0);
+    ASSERT_TRUE(sum.is_double()) << sum.ToString();
+    EXPECT_GT(sum.as_double(), 1.8e19);  // ~2 * INT64_MAX, not a wrapped negative
+  }
+
+  // Grouped SUM goes through Accumulator::Merge on the parallel path; the
+  // overflow degrade must survive the merge too.
+  auto query = ParseAndBind("SELECT G, SUM(V) FROM BIG GROUP BY G", db_);
+  ResultSet rs = Execute(*query, {});
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_TRUE(rs.ScalarAt(0, 1).is_double());
+}
+
+TEST_F(EvaluatorEdgeTest, SumBelowOverflowStaysExactInt) {
+  ResultSet rs = Run("SELECT SUM(A) FROM T");
+  ASSERT_EQ(rs.row_count(), 1u);
+  ASSERT_TRUE(rs.ScalarAt(0, 0).is_int());
+  EXPECT_EQ(rs.ScalarAt(0, 0).as_int(), 8);
+}
+
+TEST_F(EvaluatorEdgeTest, ProjectedNonGroupKeyThrowsInsteadOfEmittingKeyZero) {
+  // The binder rejects this shape, so build the broken BoundQuery by hand:
+  // GROUP BY A but project B. The emitter used to default to key cell 0
+  // (silently printing A's value labeled B); it must throw BindError.
+  auto bound = ParseAndBind("SELECT A FROM T GROUP BY A", db_);
+  SelectStmt broken = bound->stmt().Clone();
+  broken.items[0].expr->column = "B";
+  broken.items[0].expr->column_index = 1;  // B: not a grouping key
+  BoundQuery query(std::move(broken), {&db_.GetTable("T")}, {});
+  EXPECT_THROW(ExecuteRowAtATime(query, {}), BindError);
+  EXPECT_THROW(Execute(query, {}), BindError);
 }
 
 }  // namespace

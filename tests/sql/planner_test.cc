@@ -1,0 +1,141 @@
+// Access-path planner tests, anchored on the arbitrary-range-pick
+// regression: with no equality candidate, the planner used to take the
+// *first* range conjunct in WHERE order regardless of selectivity, so
+// `WHERE K100 < 99 AND KSEQ BETWEEN 1000 AND 2000` materialized ~99% of
+// the table. It now sizes every candidate (exact bucket counts for
+// equality, capped ordered-index walks for ranges) and materializes only
+// the narrowest.
+#include "sql/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/exec_common.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace qc::sql {
+namespace {
+
+using storage::Database;
+using storage::Schema;
+using storage::Table;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kRows = 10000;
+
+  void SetUp() override {
+    // A shrunk Set Query BENCH: KSEQ is a unique sequence, K100 cycles
+    // through 0..99. Ordered indexes on both so each can serve ranges.
+    Table& t = db_.CreateTable("BENCH", Schema({{"KSEQ", ValueType::kInt, false},
+                                                {"K100", ValueType::kInt, false},
+                                                {"K10", ValueType::kInt, false}}));
+    t.CreateOrderedIndex(0);
+    t.CreateOrderedIndex(1);
+    t.CreateHashIndex(2);
+    for (int64_t i = 1; i <= kRows; ++i) {
+      t.Insert({Value(i), Value(i % 100), Value(i % 10)});
+    }
+  }
+
+  /// Candidate row ids the planner picks for `sql`'s WHERE clause.
+  std::optional<std::vector<storage::RowId>> Candidates(const std::string& sql) {
+    query_ = ParseAndBind(sql, db_);
+    conjuncts_.clear();
+    exec::SplitConjuncts(*query_->stmt().where, conjuncts_);
+    return IndexedCandidates(query_->table(0), 0, conjuncts_, {});
+  }
+
+  Database db_;
+  std::shared_ptr<const BoundQuery> query_;
+  std::vector<const Expr*> conjuncts_;
+};
+
+TEST_F(PlannerTest, BoundedBetweenBeatsWideHalfOpenRange) {
+  // The regression shape: K100 < 99 covers 99% of the table; the BETWEEN
+  // covers 1001 rows. The old planner picked K100 (first range conjunct in
+  // WHERE order); the sized planner must pick the BETWEEN.
+  auto candidates =
+      Candidates("SELECT KSEQ FROM BENCH WHERE K100 < 99 AND KSEQ BETWEEN 1000 AND 2000");
+  ASSERT_TRUE(candidates.has_value());
+  EXPECT_EQ(candidates->size(), 1001u);
+}
+
+TEST_F(PlannerTest, ConjunctOrderDoesNotChangeTheWinner) {
+  auto a = Candidates("SELECT KSEQ FROM BENCH WHERE K100 < 99 AND KSEQ BETWEEN 1000 AND 2000");
+  auto b = Candidates("SELECT KSEQ FROM BENCH WHERE KSEQ BETWEEN 1000 AND 2000 AND K100 < 99");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->size(), 1001u);
+  EXPECT_EQ(b->size(), 1001u);
+}
+
+TEST_F(PlannerTest, NarrowHalfOpenRangeBeatsWideBetween) {
+  // Bounded-both-ends is a sizing heuristic for ordering the walks, not an
+  // automatic win: a genuinely narrower half-open range must still win.
+  auto candidates =
+      Candidates("SELECT KSEQ FROM BENCH WHERE KSEQ > 9990 AND K100 BETWEEN 0 AND 90");
+  ASSERT_TRUE(candidates.has_value());
+  EXPECT_EQ(candidates->size(), 10u);  // KSEQ 9991..10000
+}
+
+TEST_F(PlannerTest, EqualityCandidateStillWinsOverRanges) {
+  // K10 = 3 has 1000 rows; the BETWEEN has 1001. Exact equality sizing
+  // must keep preferring the narrower equality candidate.
+  auto candidates =
+      Candidates("SELECT KSEQ FROM BENCH WHERE K10 = 3 AND KSEQ BETWEEN 1000 AND 2000");
+  ASSERT_TRUE(candidates.has_value());
+  EXPECT_EQ(candidates->size(), 1000u);
+}
+
+TEST_F(PlannerTest, RangeNarrowerThanEqualityWins) {
+  auto candidates =
+      Candidates("SELECT KSEQ FROM BENCH WHERE K10 = 3 AND KSEQ BETWEEN 1000 AND 1004");
+  ASSERT_TRUE(candidates.has_value());
+  EXPECT_EQ(candidates->size(), 5u);
+}
+
+TEST_F(PlannerTest, ProvablyEmptyCandidateShortCircuits) {
+  auto candidates =
+      Candidates("SELECT KSEQ FROM BENCH WHERE K100 < 99 AND KSEQ BETWEEN 20000 AND 30000");
+  ASSERT_TRUE(candidates.has_value());
+  EXPECT_TRUE(candidates->empty());
+}
+
+TEST_F(PlannerTest, SingleCandidateSkipsSizing) {
+  auto candidates = Candidates("SELECT KSEQ FROM BENCH WHERE KSEQ BETWEEN 42 AND 48");
+  ASSERT_TRUE(candidates.has_value());
+  EXPECT_EQ(candidates->size(), 7u);
+}
+
+TEST_F(PlannerTest, UnindexedConjunctsMeanFullScan) {
+  // K100 compared to itself is not extractable; no candidate → nullopt.
+  auto candidates = Candidates("SELECT KSEQ FROM BENCH WHERE K100 <> 5");
+  EXPECT_FALSE(candidates.has_value());
+}
+
+TEST_F(PlannerTest, EstimateRangeRowsIsExactAndCapped) {
+  const Table& t = db_.GetTable("BENCH");
+  // Exact when under the cap.
+  EXPECT_EQ(t.EstimateRangeRows(0, Value(1000), true, Value(2000), true, kRows), 1001u);
+  EXPECT_EQ(t.EstimateRangeRows(0, Value(1000), false, Value(2000), false, kRows), 999u);
+  EXPECT_EQ(t.EstimateRangeRows(1, Value::Null(), true, Value(98), false, kRows), 9800u);
+  // Early exit: the walk stops as soon as the running count exceeds the
+  // cap; the return value is then merely "already too big".
+  EXPECT_GT(t.EstimateRangeRows(1, Value::Null(), true, Value(98), false, 100), 100u);
+  // Empty interval.
+  EXPECT_EQ(t.EstimateRangeRows(0, Value(5000), true, Value(4000), true, kRows), 0u);
+}
+
+TEST_F(PlannerTest, EstimateTracksDeletes) {
+  Table& t = db_.GetTable("BENCH");
+  const size_t before = t.EstimateRangeRows(0, Value(1), true, Value(100), true, kRows);
+  EXPECT_EQ(before, 100u);
+  // KSEQ is row id + 1 here because Insert allocates sequentially.
+  t.Delete(0);
+  t.Delete(1);
+  EXPECT_EQ(t.EstimateRangeRows(0, Value(1), true, Value(100), true, kRows), 98u);
+}
+
+}  // namespace
+}  // namespace qc::sql
