@@ -11,6 +11,11 @@
 // must beat exact LRU by >= 3x aggregate hit throughput at 16 readers.
 // Also emits BENCH_ext_hit_contention.json (see harness.h WriteBenchJson).
 //
+// A second, engine-level section measures the exact-hit fast path of
+// CachedQueryEngine with the semantic tier enabled vs disabled: the
+// containment probe runs only after an exact-fingerprint miss, so a warm
+// exact hit must cost the same either way (gated at <= 1.25x).
+//
 // Env overrides: HIT_MS (measure window per run, ms), HIT_READERS (reader
 // thread count), HIT_KEYS (hot-set size), HIT_WRITE_US (writer throttle).
 #include <atomic>
@@ -22,6 +27,7 @@
 #include "cache/gps_cache.h"
 #include "common/rng.h"
 #include "harness.h"
+#include "middleware/query_engine.h"
 
 using namespace qc;
 using namespace qc::benchharness;
@@ -172,12 +178,47 @@ int main() {
     }
   }
 
+  // ---- Engine-level exact-hit path: semantic tier on vs off ------------
+  // The ladder is exact -> semantic -> miss; a warm exact hit returns
+  // before the containment probe runs, so enabling the semantic tier must
+  // not tax it.
+  auto exact_hit_ns = [&](bool semantic_on) {
+    storage::Database db;
+    auto& t = db.CreateTable("H", storage::Schema({{"ID", ValueType::kInt, false},
+                                                   {"V", ValueType::kInt, false}}));
+    for (int i = 0; i < 1000; ++i) t.Insert({Value(i), Value(i * 3)});
+    middleware::CachedQueryEngine::Options options;
+    options.cache.semantic_lookup = semantic_on;
+    middleware::CachedQueryEngine engine(db, options);
+    auto query = engine.Prepare("SELECT ID, V FROM H WHERE ID BETWEEN 100 AND 500");
+    engine.Execute(query);  // warm: everything after this is an exact hit
+    uint64_t reps = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto deadline = t0 + std::chrono::milliseconds(base.measure_ms / 2);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (int i = 0; i < 64; ++i) engine.Execute(query);
+      reps += 64;
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0).count();
+    return ns / static_cast<double>(reps);
+  };
+  const double hit_ns_off = exact_hit_ns(false);
+  const double hit_ns_on = exact_hit_ns(true);
+  std::cout << "\nengine exact-hit path: semantic off " << Fmt(hit_ns_off, 0)
+            << " ns/op, semantic on " << Fmt(hit_ns_on, 0) << " ns/op ("
+            << Fmt(hit_ns_on / hit_ns_off, 2) << "x)\n";
+  metrics.push_back({"exact_hit_ns", hit_ns_off, "ns_per_op", {{"semantic", "off"}}});
+  metrics.push_back({"exact_hit_ns", hit_ns_on, "ns_per_op", {{"semantic", "on"}}});
+
   WriteBenchJson("ext_hit_contention", metrics);
 
   std::cout << "\nChecks:\n";
   Check(lru_1 > 0 && lru_16 > 0 && clock_1 > 0 && clock_16 > 0,
         "all configurations completed and served gets");
   Check(all_consistent, "striped hit counters are exact: hits + misses == lookups");
+  Check(hit_ns_on <= 1.25 * hit_ns_off,
+        "semantic probe does not regress the exact-hit fast path (<= 1.25x)");
   if (cores >= 8 && base.readers >= 16) {
     Check(clock_16 >= 3.0 * lru_16,
           "shared-lock CLOCK hits beat exclusive-lock LRU by >= 3x at 16 readers (16 shards)");

@@ -1,0 +1,197 @@
+// ext_semantic_hit: what the containment-aware semantic tier buys on a
+// range-heavy read workload (docs/SEMANTIC.md).
+//
+// The Set Query BENCH table carries hash indexes on every column but an
+// ordered index only on KSEQ, so a range predicate on K100K gives the
+// access-path planner nothing: every cold miss is a full scan. The
+// workload caches one wide superset (`K100K BETWEEN 1 AND 5000`, ~5% of
+// the table) and then issues many *distinct* narrow sub-ranges — exactly
+// the pattern where exact-fingerprint caching gets ~0% hits but each probe
+// is answerable from the cached superset by a vectorized residual filter.
+//
+// Self-checks (gate the exit code):
+//   * every semantic-hit answer equals the uncached oracle, cell for cell;
+//   * hit rate with the semantic tier is >= SEM_MIN_LIFT (default 5) times
+//     the exact-only hit rate on the identical workload;
+//   * at >= SEM_GATE_ROWS (default 500k) rows, the mean semantic hit is
+//     >= SEM_MIN_SPEEDUP (default 10) times faster than the mean cold-miss
+//     full scan (skipped below the threshold — quick/CI mode).
+//
+// Env knobs: SEM_ROWS (default 1'000'000), SEM_PROBES (default 200),
+// SEM_REPEATS (default 20), SEM_MIN_SPEEDUP, SEM_MIN_LIFT, SEM_GATE_ROWS.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness.h"
+#include "middleware/query_engine.h"
+#include "setquery/bench_table.h"
+#include "storage/database.h"
+
+namespace qc {
+namespace {
+
+using benchharness::BenchMetric;
+using benchharness::Check;
+using benchharness::EnvU64;
+using benchharness::Fmt;
+using benchharness::PrintRow;
+
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Distinct narrow [lo, hi] sub-ranges of [1, span], deterministic.
+struct Ranges {
+  explicit Ranges(uint64_t seed) : rng(seed) {}
+  std::pair<int64_t, int64_t> Next(int64_t span, int64_t width_max) {
+    const int64_t width = rng.Uniform(1, width_max);
+    const int64_t lo = rng.Uniform(1, span - width);
+    return {lo, lo + width};
+  }
+  Rng rng;
+};
+
+std::string RangeSql(int64_t lo, int64_t hi) {
+  return "SELECT KSEQ, K100K FROM BENCH WHERE K100K BETWEEN " + std::to_string(lo) + " AND " +
+         std::to_string(hi);
+}
+
+int Run() {
+  const uint64_t rows = EnvU64("SEM_ROWS", 1'000'000);
+  const uint64_t probes = EnvU64("SEM_PROBES", 200);
+  const uint64_t repeats = EnvU64("SEM_REPEATS", 20);
+  const double min_speedup = static_cast<double>(EnvU64("SEM_MIN_SPEEDUP", 10));
+  const double min_lift = static_cast<double>(EnvU64("SEM_MIN_LIFT", 5));
+  const uint64_t gate_rows = EnvU64("SEM_GATE_ROWS", 500'000);
+  constexpr int64_t kSupersetHi = 5'000;  // K100K in [1, 5000] — ~5% of rows
+  constexpr int64_t kProbeWidth = 100;
+
+  std::cout << "ext_semantic_hit: containment-aware serving from a cached superset\n"
+            << "rows=" << rows << " probes=" << probes << " repeats=" << repeats
+            << " min_speedup=" << min_speedup << "x min_lift=" << min_lift << "x\n\n";
+
+  std::vector<BenchMetric> metrics;
+  storage::Database db;
+  setquery::BenchTable bench(db, rows);
+
+  // ---- Part 1: latency — cold full scan vs semantic residual filter ----
+  middleware::CachedQueryEngine engine(db, {});
+
+  // Cold misses: distinct ranges *outside* the superset, so each one is a
+  // genuine full scan through the miss path.
+  Ranges cold_ranges(0xc01d);
+  double cold_ms = 0.0;
+  const uint64_t cold_reps = 5;
+  for (uint64_t i = 0; i < cold_reps; ++i) {
+    auto [lo, hi] = cold_ranges.Next(80'000, kProbeWidth);
+    auto q = engine.Prepare(RangeSql(kSupersetHi + lo, kSupersetHi + hi));
+    cold_ms += TimeMs([&] { engine.Execute(q); });
+  }
+  cold_ms /= static_cast<double>(cold_reps);
+
+  // Warm the superset (one full scan), then time contained probes.
+  engine.ExecuteSql(RangeSql(1, kSupersetHi));
+  Ranges hit_ranges(0x5e11);
+  double hit_ms = 0.0;
+  uint64_t hit_queries = 0;
+  bool all_match = true;
+  for (uint64_t i = 0; i < probes; ++i) {
+    auto [lo, hi] = hit_ranges.Next(kSupersetHi, kProbeWidth);
+    auto q = engine.Prepare(RangeSql(lo, hi));
+    middleware::CachedQueryEngine::ExecuteResult got;
+    hit_ms += TimeMs([&] { got = engine.Execute(q); });
+    ++hit_queries;
+    if (i % 20 == 0) {  // differential spot-checks; tests/semantic has the full sweep
+      all_match = all_match && got.result->Equals(engine.ExecuteUncached(*q));
+    }
+  }
+  hit_ms /= static_cast<double>(hit_queries);
+  const cache::CacheStats cs = engine.cache_stats();
+  const double speedup = cold_ms / hit_ms;
+
+  const std::vector<int> widths = {26, 12, 12, 10};
+  PrintRow({"path", "avg ms", "queries", ""}, widths);
+  PrintRow({"cold miss (full scan)", Fmt(cold_ms, 2), std::to_string(cold_reps), ""}, widths);
+  PrintRow({"semantic hit (residual)", Fmt(hit_ms, 3), std::to_string(hit_queries),
+            Fmt(speedup, 1) + "x"},
+           widths);
+  std::cout << "semantic_hits=" << cs.semantic_hits << " probes=" << cs.semantic_probes
+            << " residual_avg_us="
+            << Fmt(cs.semantic_hits
+                       ? static_cast<double>(cs.residual_filter_ns) / 1e3 /
+                             static_cast<double>(cs.semantic_hits)
+                       : 0.0,
+                   1)
+            << "\n\n";
+
+  Check(all_match, "semantic-hit answers match the uncached oracle");
+  Check(cs.semantic_hits >= probes, "every contained probe was served semantically");
+  metrics.push_back({"cold_miss_ms", cold_ms, "ms_per_query", {{"rows", std::to_string(rows)}}});
+  metrics.push_back({"semantic_hit_ms", hit_ms, "ms_per_query", {{"rows", std::to_string(rows)}}});
+  metrics.push_back({"semantic_speedup", speedup, "ratio", {{"rows", std::to_string(rows)}}});
+  if (rows >= gate_rows) {
+    Check(speedup >= min_speedup, "semantic hit is >= " + Fmt(min_speedup, 0) +
+                                      "x faster than a cold full-scan miss");
+  } else {
+    std::cout << "(speedup gate skipped below " << gate_rows << " rows)\n";
+  }
+
+  // ---- Part 2: hit-rate lift — identical workload, tier on vs off ------
+  // Workload: warm the superset, then `probes` distinct sub-ranges plus
+  // `repeats` re-issues of already-seen ranges. Exact-only caching hits on
+  // the re-issues alone; the semantic tier answers the distinct ranges too.
+  auto run_workload = [&](bool semantic_on) {
+    middleware::CachedQueryEngine::Options options;
+    options.cache.semantic_lookup = semantic_on;
+    middleware::CachedQueryEngine e(db, options);
+    uint64_t hits = 0, total = 0;
+    e.ExecuteSql(RangeSql(1, kSupersetHi));
+    ++total;
+    Ranges ranges(0x11f7);
+    std::vector<std::string> seen;
+    for (uint64_t i = 0; i < probes; ++i) {
+      auto [lo, hi] = ranges.Next(kSupersetHi, kProbeWidth);
+      seen.push_back(RangeSql(lo, hi));
+      hits += e.ExecuteSql(seen.back()).cache_hit ? 1 : 0;
+      ++total;
+    }
+    Rng rep_rng(0xeeee);
+    for (uint64_t i = 0; i < repeats; ++i) {
+      hits += e.ExecuteSql(seen[static_cast<size_t>(rep_rng.Uniform(
+                  0, static_cast<int64_t>(seen.size()) - 1))])
+                  .cache_hit
+                  ? 1
+                  : 0;
+      ++total;
+    }
+    return static_cast<double>(hits) / static_cast<double>(total);
+  };
+
+  const double exact_rate = run_workload(false);
+  const double semantic_rate = run_workload(true);
+  const double lift = semantic_rate / std::max(exact_rate, 1e-9);
+  std::cout << "\nhit rate, identical workload (" << probes + repeats + 1 << " queries):\n"
+            << "  exact-only fingerprint cache: " << Fmt(exact_rate * 100, 1) << "%\n"
+            << "  with semantic tier:           " << Fmt(semantic_rate * 100, 1) << "%  ("
+            << Fmt(lift, 1) << "x lift)\n";
+  metrics.push_back({"hit_rate", exact_rate, "fraction", {{"tier", "exact"}}});
+  metrics.push_back({"hit_rate", semantic_rate, "fraction", {{"tier", "semantic"}}});
+  metrics.push_back({"hit_rate_lift", lift, "ratio", {}});
+  Check(lift >= min_lift, "semantic tier lifts the hit rate >= " + Fmt(min_lift, 0) +
+                              "x over exact-only lookup");
+
+  benchharness::WriteBenchJson("ext_semantic_hit", metrics);
+  return benchharness::Failures();
+}
+
+}  // namespace
+}  // namespace qc
+
+int main() { return qc::Run(); }

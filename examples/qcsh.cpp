@@ -36,6 +36,7 @@
 #include "common/strings.h"
 #include "middleware/query_engine.h"
 #include "server/client.h"
+#include "sql/vectorized.h"
 #include "storage/csv.h"
 
 using namespace qc;
@@ -170,6 +171,12 @@ class Shell {
                 << "dup:    invalidations=" << engine_->dup_stats().invalidations
                 << " events=" << engine_->dup_stats().update_events
                 << " registered=" << engine_->dup_stats().registered_queries << "\n";
+      const sql::VectorizedStats vs = sql::GetVectorizedStats();
+      std::cout << "vec:    vectorized=" << vs.queries_vectorized
+                << " fallback=" << vs.queries_fallback << " batches=" << vs.batches
+                << " rows_scanned=" << vs.rows_scanned
+                << " parallel_scans=" << vs.parallel_scans
+                << " conjunct_reorders=" << vs.conjunct_reorders << "\n";
     } else if (cmd == "\\odg") {
       std::cout << engine_->dup_engine().DumpGraph();
     } else {

@@ -5,14 +5,16 @@
 #      recovery, stress, dup-labeled invalidation tests);
 #   2. dup:    `ctest -L dup` on the same build — the sublinear-invalidation
 #      suite on its own, for quick iteration on the DUP engine;
-#   3. tsan:   ThreadSanitizer build, stress-, server- and vec-labeled tests
-#              (exercises the default kClock shared-lock hit path, the
-#              qcached I/O-thread/worker handoff, and the vectorized scan
-#              worker pool);
-#   4. asan:   AddressSanitizer build, recovery-, server- and vec-labeled
-#              tests;
+#   3. tsan:   ThreadSanitizer build, stress-, server-, vec- and
+#              semantic-labeled tests (exercises the default kClock
+#              shared-lock hit path, the qcached I/O-thread/worker handoff,
+#              the vectorized scan worker pool, and the semantic tier's
+#              concurrent no-stale-hit suite);
+#   4. asan:   AddressSanitizer build, recovery-, server-, vec- and
+#              semantic-labeled tests;
 #   5. bench-smoke: the self-checking extension benches (ext_hit_contention,
-#              ext_invalidation_scale, ext_server_latency, ext_scan_speed)
+#              ext_invalidation_scale, ext_server_latency, ext_scan_speed,
+#              ext_semantic_hit)
 #              in quick mode — their [VIOLATION] checks gate the stage and
 #              each drops a BENCH_<name>.json artifact into build/bench/
 #              (committed snapshots live in bench/artifacts/).
@@ -63,6 +65,7 @@ if want tsan; then
   ctest --preset tsan-stress -j "$JOBS"
   ctest --preset tsan-server -j "$JOBS"
   ctest --preset tsan-vec -j "$JOBS"
+  ctest --preset tsan-semantic -j "$JOBS"
 fi
 
 if want asan; then
@@ -72,6 +75,7 @@ if want asan; then
   ctest --preset asan-recovery -j "$JOBS"
   ctest --preset asan-server -j "$JOBS"
   ctest --preset asan-vec -j "$JOBS"
+  ctest --preset asan-semantic -j "$JOBS"
 fi
 
 if want bench-smoke; then
@@ -83,8 +87,10 @@ if want bench-smoke; then
   BENCH_JSON_DIR=build/bench EXT_INV_MAX_QUERIES=10000 ./build/bench/ext_invalidation_scale
   BENCH_JSON_DIR=build/bench SRV_CONNS=8 SRV_REQS_PER_CONN=500 ./build/bench/ext_server_latency
   BENCH_JSON_DIR=build/bench EXT_SCAN_ROWS=150000 ./build/bench/ext_scan_speed
+  BENCH_JSON_DIR=build/bench SEM_ROWS=100000 ./build/bench/ext_semantic_hit
   ls -l build/bench/BENCH_ext_hit_contention.json build/bench/BENCH_ext_invalidation_scale.json \
-        build/bench/BENCH_ext_server_latency.json build/bench/BENCH_ext_scan_speed.json
+        build/bench/BENCH_ext_server_latency.json build/bench/BENCH_ext_scan_speed.json \
+        build/bench/BENCH_ext_semantic_hit.json
 fi
 
 if want serve-smoke; then

@@ -116,6 +116,15 @@ struct GpsCacheConfig {
   LogFlushPolicy log_policy = LogFlushPolicy::kBuffered;
   size_t log_buffer_bytes = 64 * 1024;
 
+  /// Enable the containment-aware semantic lookup tier (docs/SEMANTIC.md):
+  /// on an exact-fingerprint miss, the middleware engine probes a
+  /// per-table containment index for a cached *superset* result and, when
+  /// one subsumes the incoming predicate, answers by filtering the cached
+  /// rows instead of scanning the base table. Consumed by
+  /// middleware::CachedQueryEngine — the cache itself only ever stores and
+  /// serves exact fingerprints. Disable for exact-only baselines.
+  bool semantic_lookup = true;
+
   /// Injectable clock (tests freeze it). Defaults to steady_clock::now.
   TimeSource now;
 

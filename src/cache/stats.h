@@ -38,7 +38,13 @@ namespace qc::cache {
   X(admit_rejects)                 \
   X(disk_errors)                   \
   X(quarantined)                   \
-  X(recovered)
+  X(recovered)                     \
+  X(semantic_probes)               \
+  X(semantic_hits)                 \
+  X(semantic_rejects_shape)        \
+  X(semantic_rejects_projection)   \
+  X(semantic_rejects_epoch)        \
+  X(residual_filter_ns)
 
 struct CacheStats {
   uint64_t lookups = 0;
@@ -59,6 +65,18 @@ struct CacheStats {
   uint64_t disk_errors = 0;     // disk-tier I/O failures degraded to misses
   uint64_t quarantined = 0;     // corrupt spill files renamed aside
   uint64_t recovered = 0;       // entries restored by recover_on_open
+
+  // Semantic lookup ladder (docs/SEMANTIC.md; maintained by the middleware
+  // engine's SemanticIndex and folded into its cache_stats() snapshots —
+  // the cache itself stores exact fingerprints only). A semantic hit is an
+  // exact-tier miss, so it is NOT part of `hits`/HitRate above; the
+  // engine-level hit rate counts it.
+  uint64_t semantic_probes = 0;   // exact misses that consulted the index
+  uint64_t semantic_hits = 0;     // answered from a cached superset
+  uint64_t semantic_rejects_shape = 0;       // unsupported statement shape
+  uint64_t semantic_rejects_projection = 0;  // superset found, projection short
+  uint64_t semantic_rejects_epoch = 0;       // update raced the residual filter
+  uint64_t residual_filter_ns = 0;  // total time filtering cached rows
 
   double HitRate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);

@@ -36,6 +36,18 @@ CachedQueryEngine::CachedQueryEngine(storage::Database& db, Options options)
   dup_options.obsolescence_threshold = options_.obsolescence_threshold;
   dup_ = std::make_unique<dup::DupEngine>(*cache_, dup_options);
 
+  if (options_.cache.semantic_lookup && options_.caching_enabled) {
+    semantic_ = std::make_unique<cache::SemanticIndex>();
+    // The DupEngine constructor installed a removal listener that tears
+    // down the key's ODG registration; widen it so cache removals also
+    // drop the key's semantic-source entry. (Serving from a stale entry
+    // would still be epoch-checked — this is hygiene, not correctness.)
+    cache_->SetRemovalListener([this](const std::string& key, cache::RemovalCause) {
+      dup_->UnregisterQuery(key);
+      semantic_->Remove(key);
+    });
+  }
+
   // Warm restart: every disk entry the cache recovered must re-enter the
   // ODG before the engine serves traffic, or post-restart updates would
   // silently miss it. Runs before the database subscription, so recovery
@@ -50,9 +62,21 @@ CachedQueryEngine::CachedQueryEngine(storage::Database& db, Options options)
       if (!registration) return false;
       // Runs on the updating thread, which already holds the mutated
       // table's write lock — no read locks here (they would self-deadlock).
+      // Snapshot before re-executing, as on the miss path. The triggering
+      // update's epochs were bumped before refreshers run, so this snapshot
+      // already covers it; a *later* update would have to take the table
+      // write lock this thread holds, so the snapshot stays current for
+      // the registration below.
+      dup::UpdateEpochs::Snapshot snapshot = dup_->SnapshotDependencies(registration->first);
       auto result = std::make_shared<const sql::ResultSet>(
           sql::Execute(*registration->first, registration->second));
       if (!cache_->Put(key, std::make_shared<ResultValue>(result))) return false;
+      if (semantic_) {
+        // Replacing a key's value does not fire the removal listener, so
+        // the semantic entry must be swapped to the refreshed rows here.
+        semantic_->Remove(key);
+        semantic_->TryRegister(key, *registration->first, registration->second, result, snapshot);
+      }
       stats_.refresh_executions.fetch_add(1, std::memory_order_relaxed);
       return true;
     });
@@ -202,11 +226,21 @@ CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
     return {value->result(), true};
   }
 
-  // Snapshot the dependency epochs *before* the database read: an update
-  // stamped between here and the guarded Put below means the result may
-  // have been computed from pre-update data, so it must not be cached
-  // (docs/CONCURRENCY.md).
+  // Snapshot the dependency epochs *before* the semantic probe and the
+  // database read: an update stamped between here and the guarded Put (or
+  // the semantic tier's re-validation) means the result may have been
+  // computed from pre-update data, so it must not be cached — or, on the
+  // semantic path, served (docs/CONCURRENCY.md, docs/SEMANTIC.md).
   dup::UpdateEpochs::Snapshot snapshot = dup_->SnapshotDependencies(query);
+
+  // Semantic tier: answer from a cached superset result when one subsumes
+  // the incoming predicate (no table lock, no base-table scan).
+  if (semantic_) {
+    if (sql::ResultPtr served = TrySemanticServe(key, query, params, snapshot)) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return {std::move(served), true};
+    }
+  }
 
   // (4) database access, under shared table locks.
   SimulatedDbWait();
@@ -217,10 +251,64 @@ CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
   }
   stats_.db_executions.fetch_add(1, std::memory_order_relaxed);
 
-  // (3) result into cache + ODG construction. Register *before* Put: if Put
-  // immediately evicts the entry (budget pressure), the removal listener
-  // then cleanly unregisters it again; if an update invalidates the key
-  // between the two steps, the epoch guard rejects the Put.
+  // (3) result into cache + ODG construction.
+  StoreResult(key, query, params, result, snapshot);
+  // Either way the caller gets this result: it reflects every update
+  // acknowledged before this query began, which is all a racing client may
+  // assume.
+  return {std::move(result), false};
+}
+
+sql::ResultPtr CachedQueryEngine::TrySemanticServe(
+    const std::string& key, const std::shared_ptr<const sql::BoundQuery>& query,
+    const std::vector<Value>& params, const dup::UpdateEpochs::Snapshot& snapshot) {
+  semantic_->RecordProbe();
+  std::optional<cache::SemanticIndex::Shape> shape = cache::SemanticIndex::Analyze(*query, params);
+  if (!shape) {
+    semantic_->RecordShapeReject();
+    return nullptr;
+  }
+  std::shared_ptr<cache::SemanticIndex::SourceEntry> source = semantic_->FindSuperset(*shape);
+  if (!source) return nullptr;
+
+  const auto start = std::chrono::steady_clock::now();
+  sql::ResultSet filtered = cache::SemanticIndex::ExecuteResidual(*source, *query, params);
+  semantic_->RecordResidualNanos(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - start)
+          .count()));
+
+  // Epoch re-validation, the semantic analogue of the guarded Put. The
+  // load-bearing check is the *source entry's* creation-time snapshot: an
+  // update that changes any slot the source statement observed stamps the
+  // epoch *before* its invalidation tears the entry down and before the
+  // DML call acknowledges, so a still-current entry snapshot proves the
+  // cached rows reflect every acknowledged update — even if the probe
+  // found the entry inside the stamp-to-teardown window. The incoming
+  // statement's own snapshot (taken before the probe) is checked too; it
+  // guards the derived-result admission below.
+  if (!source->snapshot.Current() || !snapshot.Current()) {
+    semantic_->RecordEpochReject();
+    semantic_->Remove(source->key);  // hygiene; teardown also removes it
+    return nullptr;  // fall through to a plain database miss
+  }
+  semantic_->RecordHit();
+
+  auto result = std::make_shared<const sql::ResultSet>(std::move(filtered));
+  // Admit the derived result under its own fingerprint: the next identical
+  // query is an exact hit, and the derived entry can itself become a
+  // (narrower) semantic source.
+  StoreResult(key, query, params, result, snapshot);
+  return result;
+}
+
+bool CachedQueryEngine::StoreResult(const std::string& key,
+                                    const std::shared_ptr<const sql::BoundQuery>& query,
+                                    const std::vector<Value>& params, const sql::ResultPtr& result,
+                                    const dup::UpdateEpochs::Snapshot& snapshot) {
+  // Register *before* Put: if Put immediately evicts the entry (budget
+  // pressure), the removal listener then cleanly unregisters it again; if
+  // an update invalidates the key between the two steps, the epoch guard
+  // rejects the Put.
   dup_->RegisterQuery(key, query, params);
   bool stale = false;
   // The durable tag rides along on disk spills so a warm restart can
@@ -242,11 +330,10 @@ CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
     dup_->UnregisterQuery(key);
     (stale ? stats_.stale_discards : stats_.uncacheable)
         .fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
-  // Either way the caller gets this result: it reflects every update
-  // acknowledged before this query began, which is all a racing client may
-  // assume.
-  return {std::move(result), false};
+  if (semantic_) semantic_->TryRegister(key, *query, params, result, snapshot);
+  return true;
 }
 
 CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteSql(const std::string& sql,

@@ -6,6 +6,14 @@
 //   (4) on a miss executes against the database,
 //   (3') stores the result and registers its ODG dependencies with the
 //        DUP engine.
+//
+// Lookup is a three-level ladder (docs/SEMANTIC.md): exact fingerprint →
+// semantic (answer from a cached *superset* result by filtering its rows —
+// cache::SemanticIndex; enabled by Options::cache.semantic_lookup) → miss.
+// A semantic hit validates the statement's update-epoch snapshot after the
+// residual filter, exactly like a guarded Put, so it can never serve rows
+// older than an acknowledged update; the derived result is then admitted
+// under its own fingerprint through the normal guarded-Put path.
 // Database mutations (5 set / 8 create / 9 delete) arrive as UpdateEvents
 // through the Database subscription and are turned into (6/10) selective
 // invalidations by the DUP engine.
@@ -51,6 +59,7 @@
 #include <unordered_map>
 
 #include "cache/gps_cache.h"
+#include "cache/semantic_index.h"
 #include "dup/engine.h"
 #include "middleware/metrics.h"
 #include "middleware/result_value.h"
@@ -176,7 +185,11 @@ class CachedQueryEngine {
                                  const std::vector<Value>& params = {}) const;
 
   QueryEngineStats stats() const { return stats_; }
-  cache::CacheStats cache_stats() const { return cache_->stats(); }
+  cache::CacheStats cache_stats() const {
+    cache::CacheStats s = cache_->stats();
+    if (semantic_) semantic_->FoldInto(s);
+    return s;
+  }
   dup::DupStats dup_stats() const { return dup_->stats(); }
   const QueryLatencyMetrics& latency_metrics() const { return latency_; }
 
@@ -187,6 +200,23 @@ class CachedQueryEngine {
  private:
   ExecuteResult ExecuteInternal(const std::shared_ptr<const sql::BoundQuery>& query,
                                 const std::vector<Value>& params);
+
+  /// Semantic tier of the lookup ladder. Called on an exact miss, under the
+  /// key's miss stripe, with the dependency snapshot already taken. Returns
+  /// the answer served from a cached superset, or nullptr to fall through
+  /// to the database miss path.
+  sql::ResultPtr TrySemanticServe(const std::string& key,
+                                  const std::shared_ptr<const sql::BoundQuery>& query,
+                                  const std::vector<Value>& params,
+                                  const dup::UpdateEpochs::Snapshot& snapshot);
+
+  /// Shared tail of the miss and semantic-hit paths: ODG registration, the
+  /// epoch-guarded Put (with durable tag in disk/hybrid modes), failure
+  /// cleanup and accounting, and — on a successful store — registration as
+  /// a semantic source. Returns whether the entry was stored.
+  bool StoreResult(const std::string& key, const std::shared_ptr<const sql::BoundQuery>& query,
+                   const std::vector<Value>& params, const sql::ResultPtr& result,
+                   const dup::UpdateEpochs::Snapshot& snapshot);
 
   /// Warm restart (constructor only): rebuild the ODG registration of one
   /// disk entry recovered by the GPS cache. Prefers the durable tag
@@ -208,6 +238,7 @@ class CachedQueryEngine {
   Options options_;
   std::unique_ptr<cache::GpsCache> cache_;
   std::unique_ptr<dup::DupEngine> dup_;
+  std::unique_ptr<cache::SemanticIndex> semantic_;  // null when disabled
   storage::Database::BatchSubscription subscription_;
 
   /// Misses for the same fingerprint are serialized by a striped mutex.

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "sql/vectorized.h"
 
 namespace qc::server {
 
@@ -561,6 +562,16 @@ std::vector<StatsEntry> QcServer::BuildStatsEntries() {
   u64("cache.entries", engine_.cache().entry_count());
   u64("cache.memory_bytes", engine_.cache().memory_bytes());
   u64("cache.disk_bytes", engine_.cache().disk_bytes());
+
+  // Vectorized execution mix (process-wide; docs/EXECUTION.md): how many
+  // statements ran on the batch engine vs fell back to the tree-walker.
+  const sql::VectorizedStats vs = sql::GetVectorizedStats();
+  u64("vec.queries_vectorized", vs.queries_vectorized);
+  u64("vec.queries_fallback", vs.queries_fallback);
+  u64("vec.batches", vs.batches);
+  u64("vec.rows_scanned", vs.rows_scanned);
+  u64("vec.parallel_scans", vs.parallel_scans);
+  u64("vec.conjunct_reorders", vs.conjunct_reorders);
 
   const dup::DupStats ds = engine_.dup_stats();
   u64("dup.update_events", ds.update_events);

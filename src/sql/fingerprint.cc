@@ -1,6 +1,8 @@
 #include "sql/fingerprint.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -67,6 +69,52 @@ void WriteExpr(std::ostream& os, const Expr& e) {
   }
 }
 
+/// Canonicalize the WHERE clause's top-level conjunction: flatten the AND
+/// tree, rewrite each non-negated BETWEEN conjunct into its >=/<= bound
+/// pair, render every conjunct, and sort the renderings. Trivially
+/// equivalent predicates (`a >= 1 AND a <= 5` vs `a BETWEEN 1 AND 5`,
+/// commuted conjunct order) then share one fingerprint. Both rewrites are
+/// confined to *top-level positive* conjuncts, where a definitely-true
+/// match is all row filtering needs — under a NOT, BETWEEN with a NULL
+/// bound (unknown) and its bound pair (possibly false) diverge, so nested
+/// occurrences are left alone.
+void CollectConjuncts(const Expr& e, std::vector<std::string>& out) {
+  if (e.kind == Expr::Kind::kBinary && e.op == BinaryOp::kAnd) {
+    CollectConjuncts(*e.children[0], out);
+    CollectConjuncts(*e.children[1], out);
+    return;
+  }
+  if (e.kind == Expr::Kind::kBetween && !e.negated) {
+    std::ostringstream lo, hi;
+    lo << "(";
+    WriteExpr(lo, *e.children[0]);
+    lo << " >= ";
+    WriteExpr(lo, *e.children[1]);
+    lo << ")";
+    hi << "(";
+    WriteExpr(hi, *e.children[0]);
+    hi << " <= ";
+    WriteExpr(hi, *e.children[2]);
+    hi << ")";
+    out.push_back(lo.str());
+    out.push_back(hi.str());
+    return;
+  }
+  std::ostringstream os;
+  WriteExpr(os, e);
+  out.push_back(os.str());
+}
+
+void WriteWhereNormalized(std::ostream& os, const Expr& where) {
+  std::vector<std::string> conjuncts;
+  CollectConjuncts(where, conjuncts);
+  std::sort(conjuncts.begin(), conjuncts.end());
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i) os << " AND ";
+    os << conjuncts[i];
+  }
+}
+
 }  // namespace
 
 std::string CanonicalExpr(const Expr& e) {
@@ -107,7 +155,7 @@ std::string CanonicalSql(const SelectStmt& stmt) {
   }
   if (stmt.where) {
     os << " WHERE ";
-    WriteExpr(os, *stmt.where);
+    WriteWhereNormalized(os, *stmt.where);
   }
   if (!stmt.group_by.empty()) {
     os << " GROUP BY ";

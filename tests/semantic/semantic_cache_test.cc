@@ -1,0 +1,222 @@
+// Behavioral tests for the semantic lookup tier (docs/SEMANTIC.md): the
+// exact → semantic → miss ladder, containment and projection-coverage
+// rules, derived-result admission, invalidation of semantic sources, the
+// disable knob, and the fingerprint normalization that keeps trivially
+// equivalent predicates out of the semantic tier altogether.
+#include <gtest/gtest.h>
+
+#include "middleware/query_engine.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+
+namespace qc::middleware {
+namespace {
+
+class SemanticCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = &db_.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
+                                                    {"A", ValueType::kInt, false},
+                                                    {"B", ValueType::kInt, false},
+                                                    {"S", ValueType::kString, false}}));
+    for (int i = 0; i < 100; ++i) {
+      table_->Insert({Value(i), Value(i), Value(i % 10), Value(i % 2 ? "odd" : "even")});
+    }
+  }
+
+  /// The engine's answer must equal the cold oracle, cell for cell (order
+  /// insensitive unless the statement orders its output).
+  static void ExpectMatchesOracle(CachedQueryEngine& engine, const std::string& sql,
+                                  const std::vector<Value>& params = {}) {
+    auto query = engine.Prepare(sql);
+    sql::ResultSet oracle = engine.ExecuteUncached(*query, params);
+    auto got = engine.Execute(query, params);
+    EXPECT_TRUE(got.result->Equals(oracle)) << sql << "\n got: " << got.result->ToString()
+                                            << "\nwant: " << oracle.ToString();
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+};
+
+TEST_F(SemanticCacheTest, ContainedRangeServedFromSuperset) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID, A FROM T WHERE A BETWEEN 10 AND 50");
+  EXPECT_EQ(engine.stats().db_executions, 1u);
+
+  auto hit = engine.ExecuteSql("SELECT ID, A FROM T WHERE A BETWEEN 20 AND 30");
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.result->rows().size(), 11u);
+  EXPECT_EQ(engine.stats().db_executions, 1u);  // no base-table scan
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 1u);
+  ExpectMatchesOracle(engine, "SELECT ID, A FROM T WHERE A BETWEEN 22 AND 28");
+}
+
+TEST_F(SemanticCacheTest, SemanticHitAnswersMatchOracleAcrossShapes) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID, A, B FROM T WHERE A >= 0 AND A < 80");
+  const uint64_t cold = engine.stats().db_executions;
+  // Narrower predicates, projections, aggregates, grouping, ordering — all
+  // answerable from the cached superset's rows.
+  ExpectMatchesOracle(engine, "SELECT ID FROM T WHERE A >= 5 AND A < 40");
+  ExpectMatchesOracle(engine, "SELECT B FROM T WHERE A > 10 AND A <= 20 AND B = 3");
+  ExpectMatchesOracle(engine, "SELECT COUNT(*) FROM T WHERE A BETWEEN 1 AND 79");
+  ExpectMatchesOracle(engine, "SELECT B, SUM(A) FROM T WHERE A < 50 AND A >= 0 GROUP BY B");
+  ExpectMatchesOracle(engine, "SELECT ID, A FROM T WHERE A IN (3, 7, 11) ORDER BY A DESC");
+  ExpectMatchesOracle(engine, "SELECT ID FROM T WHERE A BETWEEN 12 AND 64 ORDER BY ID LIMIT 5");
+  EXPECT_EQ(engine.stats().db_executions, cold);
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 6u);
+}
+
+TEST_F(SemanticCacheTest, ProjectionMustCoverEveryReferencedColumn) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID, A FROM T WHERE A < 50");
+  // B is not in the cached projection: the candidate subsumes the predicate
+  // but cannot answer, so this goes to the database.
+  auto miss = engine.ExecuteSql("SELECT ID, B FROM T WHERE A < 20");
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(engine.stats().db_executions, 2u);
+  EXPECT_GE(engine.cache_stats().semantic_rejects_projection, 1u);
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 0u);
+}
+
+TEST_F(SemanticCacheTest, StarSourceCoversEverything) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT * FROM T WHERE A < 90");
+  auto hit = engine.ExecuteSql("SELECT S, B FROM T WHERE A < 10 AND S = 'odd'");
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(engine.stats().db_executions, 1u);
+  ExpectMatchesOracle(engine, "SELECT * FROM T WHERE A BETWEEN 2 AND 88");
+}
+
+TEST_F(SemanticCacheTest, NonContainedPredicateMisses) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID, A FROM T WHERE A BETWEEN 10 AND 50");
+  // Overlaps but is not contained (5 < 10): must scan the base table.
+  auto miss = engine.ExecuteSql("SELECT ID FROM T WHERE A BETWEEN 5 AND 30");
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(engine.stats().db_executions, 2u);
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 0u);
+  // An *extra* conjunct on the probe side narrows further and stays
+  // contained (the source leaves ID unconstrained).
+  auto hit = engine.ExecuteSql("SELECT ID FROM T WHERE A BETWEEN 12 AND 40 AND ID < 30");
+  EXPECT_TRUE(hit.cache_hit);
+}
+
+TEST_F(SemanticCacheTest, UnsupportedShapeFallsThroughAndCounts) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID, A, S FROM T WHERE A >= 0");
+  // Wildcard LIKE is not exactly expressible in the interval algebra.
+  auto r = engine.ExecuteSql("SELECT ID FROM T WHERE A > 5 AND S LIKE 'od%'");
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_GE(engine.cache_stats().semantic_rejects_shape, 1u);
+  ExpectMatchesOracle(engine, "SELECT ID FROM T WHERE A > 5 AND S LIKE 'od%'");
+}
+
+TEST_F(SemanticCacheTest, DerivedResultIsAdmittedUnderItsOwnFingerprint) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID, A FROM T WHERE A < 60");
+  EXPECT_TRUE(engine.ExecuteSql("SELECT ID, A FROM T WHERE A < 20").cache_hit);
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 1u);
+  // The repeat is an *exact* hit on the admitted derived entry.
+  EXPECT_TRUE(engine.ExecuteSql("SELECT ID, A FROM T WHERE A < 20").cache_hit);
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 1u);
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  // ... and is itself a semantic source for still-narrower probes.
+  EXPECT_TRUE(engine.ExecuteSql("SELECT ID FROM T WHERE A < 5").cache_hit);
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 2u);
+}
+
+TEST_F(SemanticCacheTest, UpdateInvalidatesSemanticSource) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID, A FROM T WHERE A BETWEEN 0 AND 99");
+  EXPECT_TRUE(engine.ExecuteSql("SELECT ID, A FROM T WHERE A BETWEEN 1 AND 5").cache_hit);
+
+  engine.ExecuteDml("UPDATE T SET A = 200 WHERE ID = 3");
+  // The superset (and the derived entry) are invalidated; serving either
+  // semantically would be stale. Both paths must re-execute and agree with
+  // the post-update oracle.
+  auto fresh = engine.ExecuteSql("SELECT ID, A FROM T WHERE A BETWEEN 1 AND 5");
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.result->rows().size(), 4u);  // ID 3 moved out of range
+  ExpectMatchesOracle(engine, "SELECT ID, A FROM T WHERE A BETWEEN 0 AND 99");
+}
+
+TEST_F(SemanticCacheTest, DisableKnobRestoresExactOnlyLookup) {
+  CachedQueryEngine::Options options;
+  options.cache.semantic_lookup = false;
+  CachedQueryEngine engine(db_, options);
+  engine.ExecuteSql("SELECT ID, A FROM T WHERE A BETWEEN 10 AND 50");
+  auto r = engine.ExecuteSql("SELECT ID, A FROM T WHERE A BETWEEN 20 AND 30");
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(engine.stats().db_executions, 2u);
+  EXPECT_EQ(engine.cache_stats().semantic_probes, 0u);
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 0u);
+}
+
+TEST_F(SemanticCacheTest, CountersFlowThroughCacheStats) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID, A FROM T WHERE A < 50");
+  engine.ExecuteSql("SELECT ID FROM T WHERE A < 10");
+  const cache::CacheStats s = engine.cache_stats();
+  EXPECT_GE(s.semantic_probes, 2u);
+  EXPECT_EQ(s.semantic_hits, 1u);
+  EXPECT_GT(s.residual_filter_ns, 0u);
+  // The generated reflection surfaces see the new counters too.
+  bool saw = false;
+  s.ForEachCounter([&](const char* name, uint64_t value) {
+    if (std::string(name) == "semantic_hits") {
+      saw = true;
+      EXPECT_EQ(value, 1u);
+    }
+  });
+  EXPECT_TRUE(saw);
+  EXPECT_NE(s.ToString().find("semantic_hits=1"), std::string::npos);
+}
+
+// --- Satellite: fingerprint normalization ------------------------------
+
+TEST(FingerprintNormalizationTest, BetweenEqualsBoundPair) {
+  const auto fp = [](const std::string& sql, std::vector<Value> params = {}) {
+    return sql::Fingerprint(sql::Parse(sql), params);
+  };
+  EXPECT_EQ(fp("SELECT ID FROM T WHERE A BETWEEN 1 AND 5"),
+            fp("SELECT ID FROM T WHERE A >= 1 AND A <= 5"));
+  // ... in either conjunct order, and with parameters.
+  EXPECT_EQ(fp("SELECT ID FROM T WHERE A BETWEEN 1 AND 5"),
+            fp("SELECT ID FROM T WHERE A <= 5 AND A >= 1"));
+  EXPECT_EQ(fp("SELECT ID FROM T WHERE A BETWEEN $1 AND $2", {Value(1), Value(5)}),
+            fp("SELECT ID FROM T WHERE A >= $1 AND A <= $2", {Value(1), Value(5)}));
+  // Different bounds stay distinct.
+  EXPECT_NE(fp("SELECT ID FROM T WHERE A BETWEEN 1 AND 5"),
+            fp("SELECT ID FROM T WHERE A >= 1 AND A <= 6"));
+  // NOT BETWEEN is not rewritten (with a NULL bound the two forms diverge
+  // under negation).
+  EXPECT_NE(fp("SELECT ID FROM T WHERE A NOT BETWEEN 1 AND 5"),
+            fp("SELECT ID FROM T WHERE A < 1 OR A > 5"));
+}
+
+TEST(FingerprintNormalizationTest, ConjunctOrderIsCanonical) {
+  const auto fp = [](const std::string& sql) { return sql::Fingerprint(sql::Parse(sql), {}); };
+  EXPECT_EQ(fp("SELECT ID FROM T WHERE A = 1 AND B = 2 AND S = 'x'"),
+            fp("SELECT ID FROM T WHERE S = 'x' AND B = 2 AND A = 1"));
+  EXPECT_EQ(fp("SELECT ID FROM T WHERE (A = 1 AND B = 2) AND S = 'x'"),
+            fp("SELECT ID FROM T WHERE A = 1 AND (B = 2 AND S = 'x')"));
+  // OR operands are positional, not commuted.
+  EXPECT_NE(fp("SELECT ID FROM T WHERE A = 1 OR B = 2"),
+            fp("SELECT ID FROM T WHERE B = 2 OR A = 1"));
+}
+
+TEST_F(SemanticCacheTest, NormalizedFingerprintsShareOneCacheEntry) {
+  CachedQueryEngine engine(db_, {});
+  engine.ExecuteSql("SELECT ID FROM T WHERE A >= 20 AND A <= 30");
+  // The BETWEEN spelling is the *same* fingerprint — an exact hit, no
+  // semantic machinery involved.
+  EXPECT_TRUE(engine.ExecuteSql("SELECT ID FROM T WHERE A BETWEEN 20 AND 30").cache_hit);
+  EXPECT_EQ(engine.stats().db_executions, 1u);
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  EXPECT_EQ(engine.cache_stats().semantic_hits, 0u);
+}
+
+}  // namespace
+}  // namespace qc::middleware

@@ -1,0 +1,231 @@
+// Randomized differential suite for the semantic tier (docs/SEMANTIC.md):
+// every answer the engine produces — exact hit, semantic hit, or miss —
+// must equal a cold uncached execution cell for cell. The serial rounds
+// sweep generated predicates and projections; the concurrent round runs
+// readers against a writer and asserts the linearizability property the
+// epoch re-validation rule promises: a returned row never predates an
+// update that was acknowledged before the query was issued (no stale
+// semantic hit, ever). Run under the tsan-semantic / asan-semantic presets
+// as well as tier-1.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "middleware/query_engine.h"
+
+namespace qc::middleware {
+namespace {
+
+class SemanticDifferentialTest : public ::testing::Test {
+ protected:
+  static constexpr int kRows = 2000;
+
+  void SetUp() override {
+    table_ = &db_.CreateTable("D", storage::Schema({{"ID", ValueType::kInt, false},
+                                                    {"A", ValueType::kInt, false},
+                                                    {"B", ValueType::kInt, false},
+                                                    {"C", ValueType::kInt, false}}));
+    std::mt19937 rng(20260809);
+    std::uniform_int_distribution<int> val(0, 100);
+    for (int i = 0; i < kRows; ++i) {
+      table_->Insert({Value(i), Value(val(rng)), Value(val(rng)), Value(val(rng))});
+    }
+  }
+
+  storage::Database db_;
+  storage::Table* table_ = nullptr;
+};
+
+constexpr const char* kColumns[] = {"ID", "A", "B", "C"};
+
+/// A random conjunctive range/point predicate over `narrow_within` (when
+/// given, each per-column range is drawn inside the source's range so the
+/// probe is contained).
+struct RangePred {
+  struct Bound {
+    int col;
+    int lo;
+    int hi;
+  };
+  std::vector<Bound> bounds;
+
+  std::string ToSql() const {
+    std::ostringstream os;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (i) os << " AND ";
+      const auto& b = bounds[i];
+      switch (i % 3) {  // vary the spelling; fingerprints normalize anyway
+        case 0:
+          os << kColumns[b.col] << " BETWEEN " << b.lo << " AND " << b.hi;
+          break;
+        case 1:
+          os << kColumns[b.col] << " >= " << b.lo << " AND " << kColumns[b.col] << " <= " << b.hi;
+          break;
+        default:
+          os << b.hi << " >= " << kColumns[b.col] << " AND " << b.lo << " <= " << kColumns[b.col];
+          break;
+      }
+    }
+    return os.str();
+  }
+};
+
+RangePred RandomSourcePred(std::mt19937& rng) {
+  std::uniform_int_distribution<int> ncols(1, 2);
+  std::uniform_int_distribution<int> col(1, 3);  // A/B/C
+  std::uniform_int_distribution<int> lo(0, 40);
+  std::uniform_int_distribution<int> width(30, 60);
+  RangePred p;
+  const int n = ncols(rng);
+  for (int i = 0; i < n; ++i) {
+    int c = col(rng);
+    bool dup = false;
+    for (const auto& b : p.bounds) dup |= b.col == c;
+    if (dup) continue;
+    const int l = lo(rng);
+    p.bounds.push_back({c, l, l + width(rng)});
+  }
+  return p;
+}
+
+RangePred NarrowedPred(const RangePred& source, std::mt19937& rng) {
+  RangePred p;
+  for (const auto& b : source.bounds) {
+    std::uniform_int_distribution<int> lo(b.lo, b.hi);
+    const int l = lo(rng);
+    std::uniform_int_distribution<int> hi(l, b.hi);
+    p.bounds.push_back({b.col, l, hi(rng)});
+  }
+  return p;
+}
+
+TEST_F(SemanticDifferentialTest, GeneratedProbesMatchColdExecution) {
+  for (uint32_t seed : {1u, 2u, 3u}) {
+    CachedQueryEngine engine(db_, {});
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> pick(0, 4);
+    for (int round = 0; round < 25; ++round) {
+      const RangePred source = RandomSourcePred(rng);
+      engine.ExecuteSql("SELECT ID, A, B, C FROM D WHERE " + source.ToSql());
+      for (int probe = 0; probe < 4; ++probe) {
+        const RangePred narrow = NarrowedPred(source, rng);
+        std::string sql;
+        switch (pick(rng)) {
+          case 0: sql = "SELECT ID, A FROM D WHERE " + narrow.ToSql(); break;
+          case 1: sql = "SELECT COUNT(*) FROM D WHERE " + narrow.ToSql(); break;
+          case 2: sql = "SELECT B, COUNT(*) FROM D WHERE " + narrow.ToSql() + " GROUP BY B"; break;
+          case 3: sql = "SELECT ID, C FROM D WHERE " + narrow.ToSql() + " ORDER BY ID LIMIT 17"; break;
+          default: sql = "SELECT A, B, C FROM D WHERE " + narrow.ToSql() + " AND C <= 100"; break;
+        }
+        auto query = engine.Prepare(sql);
+        sql::ResultSet oracle = engine.ExecuteUncached(*query);
+        auto got = engine.Execute(query);
+        ASSERT_TRUE(got.result->Equals(oracle))
+            << sql << "\n got: " << got.result->ToString() << "\nwant: " << oracle.ToString();
+      }
+    }
+    // The suite must actually exercise the tier, not just miss politely.
+    EXPECT_GT(engine.cache_stats().semantic_hits, 25u) << "seed " << seed;
+  }
+}
+
+TEST_F(SemanticDifferentialTest, DifferentialHoldsAcrossInterleavedUpdates) {
+  CachedQueryEngine engine(db_, {});
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> id(0, kRows - 1);
+  std::uniform_int_distribution<int> val(0, 100);
+  for (int round = 0; round < 30; ++round) {
+    const RangePred source = RandomSourcePred(rng);
+    engine.ExecuteSql("SELECT ID, A, B, C FROM D WHERE " + source.ToSql());
+    engine.ExecuteDml("UPDATE D SET A = " + std::to_string(val(rng)) +
+                      " WHERE ID = " + std::to_string(id(rng)));
+    const RangePred narrow = NarrowedPred(source, rng);
+    const std::string sql = "SELECT ID, A, B FROM D WHERE " + narrow.ToSql();
+    auto query = engine.Prepare(sql);
+    sql::ResultSet oracle = engine.ExecuteUncached(*query);
+    auto got = engine.Execute(query);
+    ASSERT_TRUE(got.result->Equals(oracle))
+        << sql << "\n got: " << got.result->ToString() << "\nwant: " << oracle.ToString();
+  }
+}
+
+// The correctness core (ISSUE: "no stale semantic hit, ever"): a writer
+// acknowledges monotonically increasing versions row by row; each reader
+// records the acknowledged floor *before* issuing its query and asserts
+// every returned row is at least that fresh. A semantic hit served from a
+// superseded superset would return V < floor and fail. TSan additionally
+// checks the mirror build / scan-pool interplay for data races.
+TEST_F(SemanticDifferentialTest, NoStaleSemanticHitUnderConcurrentWriter) {
+  constexpr int kIds = 48;
+  constexpr int kSteps = 600;
+  auto& t = db_.CreateTable("U", storage::Schema({{"ID", ValueType::kInt, false},
+                                                  {"V", ValueType::kInt, false}}));
+  for (int i = 0; i < kIds; ++i) t.Insert({Value(i), Value(0)});
+
+  CachedQueryEngine engine(db_, {});
+  std::vector<std::atomic<int64_t>> floor(kIds);
+  for (auto& f : floor) f.store(0);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> violations{0};
+
+  std::thread writer([&] {
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<int> id(0, kIds - 1);
+    for (int64_t step = 1; step <= kSteps; ++step) {
+      const int target = id(rng);
+      engine.ExecuteDml("UPDATE U SET V = $1 WHERE ID = $2", {Value(step), Value(target)});
+      // The DML call returned: epochs are stamped and invalidation is
+      // complete, so this version is acknowledged.
+      floor[target].store(step, std::memory_order_release);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      std::mt19937 rng(100 + r);
+      std::uniform_int_distribution<int> a(0, kIds - 1);
+      auto range = engine.Prepare("SELECT ID, V FROM U WHERE ID BETWEEN $1 AND $2");
+      auto wide = engine.Prepare("SELECT ID, V FROM U WHERE ID >= 0");
+      int iter = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (++iter % 5 == 0) engine.Execute(wide);  // keep a superset warm
+        int64_t floors[kIds];
+        for (int i = 0; i < kIds; ++i) floors[i] = floor[i].load(std::memory_order_acquire);
+        const int x = a(rng), y = a(rng);
+        auto got = engine.Execute(range, {Value(std::min(x, y)), Value(std::max(x, y))});
+        for (const storage::Row& row : got.result->rows()) {
+          const int64_t rid = row[0].as_int();
+          if (row[1].as_int() < floors[rid]) violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(violations.load(), 0u) << "stale semantic (or exact) serve detected";
+
+  // The ladder was genuinely exercised. Under a loaded CI box the writer
+  // can finish before the readers issue a single miss, so don't rely on
+  // the concurrent phase alone: warm a superset and issue a cold range
+  // probe (distinct fingerprint — literal bounds, not $1/$2 params) that
+  // must reach the semantic tier deterministically.
+  engine.ExecuteSql("SELECT ID, V FROM U WHERE ID >= 0");
+  engine.ExecuteSql("SELECT ID, V FROM U WHERE ID >= 11 AND ID <= 37");
+  EXPECT_GT(engine.cache_stats().semantic_probes, 0u);
+
+  // Quiesced: one final read must reflect the exact final state.
+  auto final = engine.ExecuteSql("SELECT ID, V FROM U WHERE ID BETWEEN 0 AND 47");
+  sql::ResultSet oracle =
+      engine.ExecuteUncached(*engine.Prepare("SELECT ID, V FROM U WHERE ID BETWEEN 0 AND 47"));
+  EXPECT_TRUE(final.result->Equals(oracle));
+}
+
+}  // namespace
+}  // namespace qc::middleware
