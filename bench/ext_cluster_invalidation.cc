@@ -1,0 +1,223 @@
+// Extension bench: the cost of cluster coherence over the real wire
+// (docs/CLUSTER.md). One storage node publishes the sequenced CDC stream
+// over loopback TCP; a cache node consumes it through a CacheNodeRuntime
+// exactly as a qcached --upstream process would. Two questions:
+//
+//   1. DML -> remote invalidation latency: from the writer's Dml() call on
+//      the storage node until the cache node has fully applied the pushed
+//      CDC record (gate advanced, invalidations run, record relayed) —
+//      the staleness window a remote reader can ever observe. p50/p99.
+//   2. What the sequence-guarded admission costs on the fill path: cold
+//      fills/sec through QUERY_SEQ with the gate wired in, versus the same
+//      fills with no gate. The guard is two relaxed atomic loads and a
+//      compare under the shard lock, so the gated rate must stay within
+//      2x of the ungated rate.
+//
+// Self-checking: every CDC record is applied (no drops, no gap flushes),
+// the warmed query is actually invalidated and re-reads fresh, no fill is
+// spuriously refused in the quiet run (seq_admit_rejects == 0), and the
+// invalidation p50 stays under a generous loopback bound.
+//
+// Emits BENCH_ext_cluster_invalidation.json (harness.h WriteBenchJson).
+//
+// Env overrides: CLUSTER_DMLS (latency samples), CLUSTER_FILLS (cold fills
+// per admission variant).
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cache_node.h"
+#include "harness.h"
+#include "middleware/query_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/fingerprint.h"
+#include "storage/database.h"
+
+using namespace qc;
+using namespace qc::benchharness;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace std::chrono_literals;
+
+double PercentileMs(std::vector<double>& samples_us, double p) {
+  if (samples_us.empty()) return 0;
+  std::sort(samples_us.begin(), samples_us.end());
+  const size_t idx = std::min(samples_us.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(samples_us.size())));
+  return samples_us[idx] / 1000.0;
+}
+
+/// Cold fills/sec through an engine whose misses go upstream over
+/// QUERY_SEQ; `gated` wires the sequence-admission guard in.
+double FillRate(storage::Database& db, uint16_t upstream_port, bool gated, uint64_t fills,
+                uint64_t* admitted_hits, uint64_t* rejects) {
+  server::QcClient upstream;
+  upstream.Connect("127.0.0.1", upstream_port);
+
+  middleware::CachedQueryEngine::Options options;
+  options.subscribe_to_database = false;
+  if (gated) options.seq_gate = std::make_shared<dup::CdcSequenceGate>();
+  options.remote_fetch = [&upstream](const sql::BoundQuery& query,
+                                     const std::vector<Value>& params) {
+    middleware::CachedQueryEngine::RemoteFill fill;
+    auto reply = upstream.QuerySeq(sql::CanonicalSql(query.stmt()), params);
+    fill.observed_seq = reply.observed_seq;
+    fill.result = std::make_shared<const sql::ResultSet>(std::move(reply.result));
+    return fill;
+  };
+  middleware::CachedQueryEngine engine(db, options);
+
+  auto query = engine.Prepare("SELECT COUNT(*) FROM ITEMS WHERE PRICE <= $1");
+  const auto t0 = Clock::now();
+  for (uint64_t i = 0; i < fills; ++i) {
+    engine.Execute(query, {Value(static_cast<int64_t>(i))});
+  }
+  const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  // Second pass: everything the first pass filled must now hit locally.
+  *admitted_hits = 0;
+  for (uint64_t i = 0; i < fills; ++i) {
+    if (engine.Execute(query, {Value(static_cast<int64_t>(i))}).cache_hit) ++*admitted_hits;
+  }
+  *rejects = engine.stats().seq_admit_rejects;
+  return seconds > 0 ? static_cast<double>(fills) / seconds : 0;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t dmls = EnvU64("CLUSTER_DMLS", 300);
+  const uint64_t fills = EnvU64("CLUSTER_FILLS", 2000);
+
+  // Storage node: the catalog plus the CDC publisher.
+  storage::Database db;
+  storage::Table& items =
+      db.CreateTable("ITEMS", storage::Schema({{"ID", ValueType::kInt, false},
+                                               {"KIND", ValueType::kString, false},
+                                               {"PRICE", ValueType::kInt, false}}));
+  for (int i = 1; i <= 500; ++i) {
+    items.Insert({Value(i), Value(i % 2 ? "odd" : "even"), Value(i % 100)});
+  }
+  middleware::CachedQueryEngine storage_engine(db, middleware::CachedQueryEngine::Options{});
+  server::ServerConfig storage_config;
+  storage_config.port = 0;
+  storage_config.cdc_publish = true;
+  server::QcServer storage_server(storage_engine, storage_config);
+  storage_server.Start();
+
+  // Cache node: an empty local catalog, fills over QUERY_SEQ, the CDC
+  // applier keeping its cache honest — the in-process twin of
+  // `qcached --upstream`.
+  storage::Database cache_db;
+  cache_db.CreateTable("ITEMS", storage::Schema({{"ID", ValueType::kInt, false},
+                                                 {"KIND", ValueType::kString, false},
+                                                 {"PRICE", ValueType::kInt, false}}));
+  cluster::CacheNodeConfig node_config;
+  node_config.name = "cache0";
+  node_config.upstream_port = storage_server.port();
+  cluster::CacheNodeRuntime runtime(node_config);
+  middleware::CachedQueryEngine cache_engine(
+      cache_db, runtime.DecorateEngineOptions(middleware::CachedQueryEngine::Options{}));
+  server::ServerConfig cache_config;
+  cache_config.port = 0;
+  server::QcServer cache_server(cache_engine, cache_config);
+  runtime.AttachServer(cache_engine, cache_server);
+  cache_server.Start();
+  runtime.Start();
+
+  std::cout << "=== Extension: cluster CDC invalidation over loopback (" << dmls
+            << " DML samples, " << fills << " cold fills/variant) ===\n\n";
+
+  // --- 1. DML -> remote invalidation latency -------------------------------
+  auto warm = cache_engine.Prepare("SELECT COUNT(*) FROM ITEMS WHERE KIND = 'odd'");
+  cache_engine.Execute(warm);  // remote fill; now cached on the cache node
+
+  server::QcClient writer;
+  writer.Connect("127.0.0.1", storage_server.port());
+
+  std::vector<double> samples_us;
+  samples_us.reserve(dmls);
+  bool all_applied = true;
+  uint64_t seq = 0;
+  for (uint64_t i = 0; i < dmls; ++i) {
+    const std::string sql = "UPDATE ITEMS SET KIND = '" +
+                            std::string(i % 2 ? "odd" : "even") + "' WHERE ID = " +
+                            std::to_string(1 + i % 500);
+    const auto t0 = Clock::now();
+    writer.Dml(sql);
+    ++seq;  // every statement commits one CDC record
+    all_applied = all_applied && runtime.WaitForSeq(seq, 5s);
+    samples_us.push_back(
+        static_cast<double>(std::chrono::nanoseconds(Clock::now() - t0).count()) / 1000.0);
+  }
+  const double inv_p50_ms = PercentileMs(samples_us, 0.50);
+  const double inv_p99_ms = PercentileMs(samples_us, 0.99);
+
+  // The KIND flips above must have invalidated the warmed query; its next
+  // execution is a fresh remote fill that matches the storage node's truth.
+  auto requery = cache_engine.Execute(warm);
+  const bool invalidated = !requery.cache_hit;
+  const auto truth = storage_engine.ExecuteSql("SELECT COUNT(*) FROM ITEMS WHERE KIND = 'odd'");
+  const bool fresh = requery.result->Equals(*truth.result);
+
+  const std::vector<int> widths = {30, 14, 14};
+  PrintRow({"metric", "p50 ms", "p99 ms"}, widths);
+  PrintRow({"dml->remote invalidation", Fmt(inv_p50_ms, 3), Fmt(inv_p99_ms, 3)}, widths);
+
+  // --- 2. fill throughput, sequence guard on vs off ------------------------
+  uint64_t gated_hits = 0, gated_rejects = 0, plain_hits = 0, plain_rejects = 0;
+  const double gated_rate =
+      FillRate(cache_db, storage_server.port(), /*gated=*/true, fills, &gated_hits,
+               &gated_rejects);
+  const double plain_rate =
+      FillRate(cache_db, storage_server.port(), /*gated=*/false, fills, &plain_hits,
+               &plain_rejects);
+  const double ratio = plain_rate > 0 ? gated_rate / plain_rate : 0;
+
+  std::cout << "\n";
+  const std::vector<int> fw = {30, 14};
+  PrintRow({"fill path", "fills/s"}, fw);
+  PrintRow({"seq guard on", Fmt(gated_rate, 0)}, fw);
+  PrintRow({"seq guard off", Fmt(plain_rate, 0)}, fw);
+  PrintRow({"gated/ungated", Fmt(ratio, 3)}, fw);
+
+  const auto counters = runtime.counters();
+
+  std::vector<BenchMetric> metrics;
+  metrics.push_back({"invalidation_latency_p50", inv_p50_ms, "ms", {}});
+  metrics.push_back({"invalidation_latency_p99", inv_p99_ms, "ms", {}});
+  metrics.push_back({"fill_throughput", gated_rate, "ops_per_sec", {{"seq_guard", "on"}}});
+  metrics.push_back({"fill_throughput", plain_rate, "ops_per_sec", {{"seq_guard", "off"}}});
+  metrics.push_back({"fill_throughput_ratio", ratio, "ratio", {}});
+  metrics.push_back(
+      {"cdc_events_applied", static_cast<double>(counters.cdc_events_applied), "count", {}});
+  WriteBenchJson("ext_cluster_invalidation", metrics);
+
+  std::cout << "\nChecks:\n";
+  Check(all_applied, "every CDC record was applied within its deadline");
+  Check(counters.cdc_events_applied >= dmls, "the applier saw every committed record");
+  Check(counters.gap_flushes == 0, "no resubscribe gap (stream stayed contiguous)");
+  Check(invalidated, "the warmed query was remotely invalidated (no stale hit)");
+  Check(fresh, "the post-invalidation re-read matches the storage node");
+  Check(gated_hits == fills && plain_hits == fills,
+        "every cold fill was admitted and hit on the second pass");
+  Check(gated_rejects == 0 && plain_rejects == 0,
+        "no spurious sequence rejections in a quiet run");
+  // Generous loopback bound: the CDC push rides the same sockets as
+  // request traffic, so multi-ms means a stall, not a slow network.
+  Check(inv_p50_ms < 50.0, "remote invalidation p50 under 50 ms");
+  Check(ratio > 0.5, "sequence-guarded fills within 2x of unguarded fills");
+
+  runtime.Stop();
+  cache_server.RequestDrain();
+  cache_server.Wait();
+  storage_server.RequestDrain();
+  storage_server.Wait();
+  return Failures() == 0 ? 0 : 1;
+}

@@ -1,14 +1,17 @@
-// The complete Fig. 1 picture: a three-node rule-server group over one
-// shared database, browser clients with their own TTL caches in front,
-// and invalidation tokens flowing between the server caches with a
-// delivery delay. Shows where each tier's hit comes from and what
-// consistency each tier can promise.
+// The complete Fig. 1 picture, upgraded to the CDC refactor: a three-node
+// rule-server group over one shared database with the sequenced
+// invalidation bus between the server caches, and a browser client whose
+// local cache is kept fresh by *pushed* CDC invalidations over QCP/1
+// instead of the paper's expiration times (docs/CLUSTER.md).
 //
 //   build/examples/cluster_group
+#include <chrono>
 #include <iostream>
 
 #include "cluster/client_cache.h"
 #include "cluster/cluster.h"
+#include "middleware/query_engine.h"
+#include "server/server.h"
 
 using namespace qc;
 using namespace std::chrono_literals;
@@ -25,18 +28,29 @@ int main() {
     products.Insert({Value(i), Value(i % 3 ? "toy" : "book"), Value(5 + i % 40)});
   }
 
-  // The server group: 3 cloned nodes, value-aware DUP, 5-tick delivery.
+  // The server group: 3 cloned nodes, value-aware DUP, 5-tick delivery on
+  // the sequenced CDC bus.
   cluster::ClusterConfig config;
   config.nodes = 3;
   config.policy = dup::InvalidationPolicy::kValueAware;
   config.latency_ticks = 5;
   cluster::CacheCluster group(db, config);
   auto query = group.Prepare("SELECT COUNT(*) FROM PRODUCTS WHERE CATEGORY = 'book'");
+  const char* kSql = "SELECT COUNT(*) FROM PRODUCTS WHERE CATEGORY = 'book'";
 
-  // A browser in front of node 1, with a 60 s TTL cache.
+  // The browser tier: a real qcached endpoint over the same database
+  // (loopback TCP, CDC publishing on) with a push-lease client cache in
+  // front. The lease is long — the pushed invalidations, not the clock,
+  // keep the browser honest.
+  middleware::CachedQueryEngine edge(db, middleware::CachedQueryEngine::Options{});
+  server::ServerConfig server_config;
+  server_config.port = 0;
+  server_config.cdc_publish = true;
+  server::QcServer server(edge, server_config);
+  server.Start();
   cluster::ClientCacheConfig client_config;
-  client_config.ttl = 60s;
-  cluster::ClientCache browser(group.node(1), client_config);
+  client_config.lease_ttl = 60s;
+  cluster::ClientCache browser("127.0.0.1", server.port(), client_config);
 
   std::cout << "--- cold start: each tier misses once ---\n";
   auto show = [&](const char* who, bool hit, const Value& count) {
@@ -46,8 +60,8 @@ int main() {
   for (int i = 0; i < 2; ++i) {
     auto server_side = group.ExecuteAt(0, query);
     show("server node 0", server_side.cache_hit, server_side.result->ScalarAt(0, 0));
-    auto client_side = browser.Execute(query);
-    show("browser (via node 1)", client_side.cache_hit, client_side.result->ScalarAt(0, 0));
+    auto client_side = browser.Execute(kSql);
+    show("browser (push-lease)", client_side.cache_hit, client_side.result->ScalarAt(0, 0));
   }
 
   std::cout << "\n--- node 2 reprices a toy into the 'book' shelf ---\n";
@@ -55,17 +69,27 @@ int main() {
   auto writer = group.ExecuteAt(2, query);
   show("writer node 2 (sync invalidation)", writer.cache_hit, writer.result->ScalarAt(0, 0));
   auto remote = group.ExecuteAt(0, query);
-  show("node 0 (token in flight)", remote.cache_hit, remote.result->ScalarAt(0, 0));
+  show("node 0 (CDC record in flight)", remote.cache_hit, remote.result->ScalarAt(0, 0));
   group.Quiesce();
   remote = group.ExecuteAt(0, query);
-  show("node 0 (token delivered)", remote.cache_hit, remote.result->ScalarAt(0, 0));
-  auto stale_browser = browser.Execute(query);
-  show("browser (TTL window)", stale_browser.cache_hit, stale_browser.result->ScalarAt(0, 0));
+  show("node 0 (CDC record delivered)", remote.cache_hit, remote.result->ScalarAt(0, 0));
+
+  // The paper's client tier would keep serving the stale count until its
+  // TTL ran out. The push-lease cache hears about the write instead.
+  const bool pushed = browser.WaitForInvalidation(kSql, {}, 5s);
+  std::cout << "  browser push received: " << (pushed ? "yes" : "no") << "\n";
+  auto fresh_browser = browser.Execute(kSql);
+  show("browser (after push)", fresh_browser.cache_hit, fresh_browser.result->ScalarAt(0, 0));
 
   const auto stats = group.stats();
   std::cout << "\ncluster: hit rate " << stats.HitRatePercent() << "%, tokens sent "
             << stats.tokens_sent << ", remote invalidations " << stats.remote_invalidations
-            << ", stale server hits " << stats.stale_hits << "\n"
-            << "browser: " << browser.stats().LocalHitRatePercent() << "% served locally\n";
+            << ", stale server hits " << stats.stale_hits << ", committed seq "
+            << group.committed_seq() << "\n"
+            << "browser: " << browser.stats().LocalHitRatePercent() << "% served locally, "
+            << browser.stats().push_invalidations << " push invalidations\n";
+
+  server.RequestDrain();
+  server.Wait();
   return 0;
 }

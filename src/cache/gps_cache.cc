@@ -122,22 +122,38 @@ bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Du
 
 bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
                    const AdmitGuard& admit, std::string durable_tag) {
+  if (!admit) {
+    return Put(key, std::move(value), ttl, AdmitDecider(), std::move(durable_tag));
+  }
+  return Put(
+      key, std::move(value), ttl,
+      AdmitDecider([&admit] {
+        return admit() ? AdmitDecision::kAdmit : AdmitDecision::kRejectStale;
+      }),
+      std::move(durable_tag));
+}
+
+bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
+                   const AdmitDecider& admit, std::string durable_tag) {
   Shard& shard = ShardFor(key);
   std::vector<std::pair<std::string, RemovalCause>> removed;
   bool stored = false;
   bool replaced = false;
   bool admitted = true;
+  AdmitDecision decision = AdmitDecision::kAdmit;
   {
     std::lock_guard<std::shared_mutex> lock(shard.mutex);
     ExpireDueLocked(shard, removed);
 
     // Admission check under the exclusive shard lock: the caller's
-    // validation (e.g. the DUP epoch snapshot) and the store are one atomic
-    // step relative to Invalidate() on the same key, and no shared-lock
-    // reader can observe the entry until this section completes.
-    if (admit && !admit()) {
+    // validation (e.g. the DUP epoch snapshot and the CDC sequence gate)
+    // and the store are one atomic step relative to Invalidate() on the
+    // same key, and no shared-lock reader can observe the entry until this
+    // section completes.
+    if (admit && (decision = admit()) != AdmitDecision::kAdmit) {
       admitted = false;
       ++shard.stats.admit_rejects;
+      if (decision == AdmitDecision::kRejectSequence) ++shard.stats.seq_admit_rejects;
     } else {
       auto meta_it = shard.meta.find(key);
       const bool replacing = meta_it != shard.meta.end();
@@ -188,7 +204,9 @@ bool GpsCache::Put(const std::string& key, CacheValuePtr value, std::optional<Du
     }
   }
   Log("put", key,
-      !admitted ? "stale" : stored ? (replaced ? "replace" : "") : "rejected");
+      !admitted ? (decision == AdmitDecision::kRejectSequence ? "seq-stale" : "stale")
+                : stored ? (replaced ? "replace" : "")
+                         : "rejected");
   NotifyRemovals(removed);
   return stored;
 }

@@ -170,6 +170,24 @@ class GpsCache {
   bool Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
            const AdmitGuard& admit, std::string durable_tag = {});
 
+  /// Sequenced admission (docs/CLUSTER.md): the decider distinguishes *why*
+  /// a fill is refused so the cache can attribute the rejection — a stale
+  /// epoch snapshot (the local protocol) vs. the CDC sequence gate (a
+  /// remote fill that observed a sequence older than the invalidations
+  /// already applied on this node). Both reject causes count as
+  /// admit_rejects; kRejectSequence additionally counts seq_admit_rejects.
+  enum class AdmitDecision { kAdmit, kRejectStale, kRejectSequence };
+
+  /// Same locking contract as AdmitGuard: evaluated under the exclusive
+  /// shard lock, must be cheap and lock-free (Snapshot::Current() and
+  /// CdcSequenceGate::Admits() both qualify).
+  using AdmitDecider = std::function<AdmitDecision()>;
+
+  /// Guarded Put with reject-cause attribution; otherwise identical to the
+  /// AdmitGuard overload.
+  bool Put(const std::string& key, CacheValuePtr value, std::optional<Duration> ttl,
+           const AdmitDecider& admit, std::string durable_tag);
+
   /// Lookup. Expired entries count as misses. Under kClock, a memory hit
   /// (and any clean miss) is served under the *shared* shard lock — an
   /// expired entry is served-as-miss lazily and left for the next writer's

@@ -268,7 +268,8 @@ const storage::Table* SemanticIndex::SourceEntry::EnsureMirror() {
 
 void SemanticIndex::TryRegister(const std::string& key, const sql::BoundQuery& query,
                                 const std::vector<Value>& params, sql::ResultPtr result,
-                                const dup::UpdateEpochs::Snapshot& snapshot) {
+                                const dup::UpdateEpochs::Snapshot& snapshot,
+                                uint64_t observed_seq) {
   if (!result) return;
   std::optional<Shape> shape = Analyze(query, params);
   if (!shape || !shape->source_eligible) return;
@@ -286,6 +287,7 @@ void SemanticIndex::TryRegister(const std::string& key, const sql::BoundQuery& q
   entry->result_pos = std::move(shape->result_pos);
   entry->result = std::move(result);
   entry->snapshot = snapshot;
+  entry->observed_seq = observed_seq;
 
   std::lock_guard<std::mutex> lock(mu_);
   // Atomic with the insert: if an update already stamped one of this

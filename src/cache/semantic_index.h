@@ -102,6 +102,13 @@ class SemanticIndex {
     /// probe's referenced columns a subset of the source's).
     dup::UpdateEpochs::Snapshot snapshot;
 
+    /// The CDC stream sequence the source's read observed (0 outside
+    /// cache-node mode). A result derived from this entry re-enters the
+    /// cache through the same guarded-Put path as a database fill, and its
+    /// rows are a subset of the source's — so it inherits this sequence
+    /// for the gate check (docs/CLUSTER.md).
+    uint64_t observed_seq = 0;
+
     /// The cached rows as an immutable storage::Table with the base table's
     /// arity (unprojected columns are NULL — projection coverage guarantees
     /// they are never read) and every column nullable. Built on first
@@ -132,9 +139,11 @@ class SemanticIndex {
   /// at capacity the entry with the fewest cached rows (least containment
   /// coverage) is dropped — dropping is always safe, the exact tier still
   /// serves them.
+  /// `observed_seq` is the CDC sequence the result's read observed (see
+  /// SourceEntry::observed_seq); 0 outside cache-node mode.
   void TryRegister(const std::string& key, const sql::BoundQuery& query,
                    const std::vector<Value>& params, sql::ResultPtr result,
-                   const dup::UpdateEpochs::Snapshot& snapshot);
+                   const dup::UpdateEpochs::Snapshot& snapshot, uint64_t observed_seq = 0);
 
   /// Drop `key`'s entry if present (cache removal listener). Idempotent.
   void Remove(const std::string& key);

@@ -36,6 +36,7 @@ namespace qc::cache {
   X(expirations)                   \
   X(clears)                        \
   X(admit_rejects)                 \
+  X(seq_admit_rejects)             \
   X(disk_errors)                   \
   X(quarantined)                   \
   X(recovered)                     \
@@ -62,6 +63,8 @@ struct CacheStats {
   uint64_t expirations = 0;     // expiry-time removals
   uint64_t clears = 0;          // whole-cache flushes (Policy I)
   uint64_t admit_rejects = 0;   // guarded Puts rejected by the admission check
+  uint64_t seq_admit_rejects = 0;  // of which: refused by the CDC sequence gate
+                                   // (cache nodes; docs/CLUSTER.md)
   uint64_t disk_errors = 0;     // disk-tier I/O failures degraded to misses
   uint64_t quarantined = 0;     // corrupt spill files renamed aside
   uint64_t recovered = 0;       // entries restored by recover_on_open

@@ -1,0 +1,179 @@
+// CacheNodeRuntime — the glue that turns a qcached process into a member
+// of a real cluster (docs/CLUSTER.md): one storage node owns the data and
+// publishes a sequenced CDC invalidation stream; N cache nodes serve
+// SELECTs from their own GPS caches, partitioned by consistent-hash
+// fingerprint ownership, and apply the stream instead of observing a local
+// database.
+//
+// A cache node's data paths, all wired here:
+//   * misses  -> QUERY_SEQ to the storage node (engine Options::remote_fetch);
+//     the reply carries the CDC sequence the upstream read observed, which
+//     feeds the sequence-gate admission check (dup::CdcSequenceGate);
+//   * DML     -> forwarded verbatim to the storage node (QcServer DML
+//     forwarder); the resulting invalidations return on the CDC stream;
+//   * SELECTs for fingerprints another cache node owns -> forwarded to the
+//     owner (QcServer select router over cluster::HashRing), so each
+//     result is cached on exactly one node;
+//   * CDC records -> the applier thread Advance()s the gate, applies the
+//     record through the node's DUP engine, then relays it to this node's
+//     own subscribers (push-lease client caches) via QcServer::PublishCdc.
+//
+// Ordering is load-bearing: the gate is advanced *before* the record's
+// invalidations run, so a racing remote fill that observed an older
+// sequence is refused at admission rather than cached forever; and a
+// resubscribe gap (missed stream window) flushes the cache and advances
+// the gate to the server's current sequence, retroactively refusing every
+// pre-gap fill. The full soundness argument lives in docs/CLUSTER.md.
+//
+// Forwarding topology is a DAG — client -> cache node -> owning cache
+// node -> storage node — so forwards cannot cycle or deadlock: a node
+// never forwards a fingerprint it owns, and ownership is consistent
+// across nodes (same ring member list).
+//
+// @thread_safety Construct, DecorateEngineOptions, AttachServer and
+// Start() must run in that order on one thread before traffic; Stop() may
+// be called from any thread and must precede destruction of the engine
+// and server. The upstream client and each peer client are mutex-guarded
+// (QcClient itself is single-threaded); the applier thread owns its own
+// connection. Counters are relaxed atomics.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/ring.h"
+#include "dup/epochs.h"
+#include "middleware/query_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace qc::cluster {
+
+struct PeerAddress {
+  std::string name;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct CacheNodeConfig {
+  /// This node's ring name; must be present in no peer entry.
+  std::string name = "cache0";
+
+  /// The storage node (fills, DML, CDC stream).
+  std::string upstream_host = "127.0.0.1";
+  uint16_t upstream_port = 0;
+
+  /// The other cache nodes; every node must be configured with the same
+  /// member set (its own name plus its peers) or ownership diverges.
+  std::vector<PeerAddress> peers;
+
+  size_t ring_vnodes = 64;
+
+  /// Applier reconnect backoff after a lost upstream connection.
+  std::chrono::milliseconds reconnect_backoff{50};
+
+  /// CDC read poll granularity (bounds Stop() latency).
+  std::chrono::milliseconds cdc_poll{100};
+};
+
+class CacheNodeRuntime {
+ public:
+  explicit CacheNodeRuntime(CacheNodeConfig config);
+
+  /// Calls Stop().
+  ~CacheNodeRuntime();
+
+  CacheNodeRuntime(const CacheNodeRuntime&) = delete;
+  CacheNodeRuntime& operator=(const CacheNodeRuntime&) = delete;
+
+  const std::shared_ptr<dup::CdcSequenceGate>& gate() const { return gate_; }
+  const HashRing& ring() const { return ring_; }
+
+  /// Rewrite engine options for cache-node duty: no local database
+  /// subscription (the CDC stream replaces it), misses filled over
+  /// QUERY_SEQ, admissions guarded by this runtime's sequence gate.
+  /// Refresh-on-invalidate is refused — a cache node must not re-execute
+  /// against its (empty) local tables.
+  middleware::CachedQueryEngine::Options DecorateEngineOptions(
+      middleware::CachedQueryEngine::Options options);
+
+  /// Install the DML forwarder, the ring select router and the cluster
+  /// stats hook on `server`, and remember both objects for the applier.
+  /// Must run before server.Start(); both must outlive this runtime's
+  /// Stop().
+  void AttachServer(middleware::CachedQueryEngine& engine, server::QcServer& server);
+
+  /// Launch the CDC applier thread (connect upstream, SUBSCRIBE, apply
+  /// records, relay them downstream). Call after server.Start().
+  void Start();
+
+  /// Stop the applier and close every outbound connection. Idempotent.
+  void Stop();
+
+  /// Block until every record up to `seq` has been fully applied locally
+  /// (gate advanced AND invalidations run AND relayed). Returns false on
+  /// timeout. Test/bench helper.
+  bool WaitForSeq(uint64_t seq, std::chrono::milliseconds timeout);
+
+  struct Counters {
+    uint64_t cdc_events_applied = 0;  // CDC records applied by the applier
+    uint64_t ring_forwards = 0;       // SELECTs forwarded to owning peers
+    uint64_t gap_flushes = 0;         // resubscribe gaps -> full cache flush
+  };
+  Counters counters() const;
+
+ private:
+  middleware::CachedQueryEngine::RemoteFill RemoteFetch(const sql::BoundQuery& query,
+                                                        const std::vector<Value>& params);
+  uint64_t ForwardDml(const std::string& sql, const std::vector<Value>& params);
+  std::optional<middleware::CachedQueryEngine::ExecuteResult> RouteSelect(
+      const std::string& sql, const std::vector<Value>& params);
+  void ApplierLoop();
+  void MarkApplied(uint64_t seq);
+
+  /// upstream_mutex_ held. Connects lazily; on a transport error the
+  /// caller Close()s and retries once (the connection is request-response,
+  /// so a failed call leaves no usable stream state).
+  server::QcClient& UpstreamLocked();
+
+  CacheNodeConfig config_;
+  HashRing ring_;
+  std::shared_ptr<dup::CdcSequenceGate> gate_;
+
+  middleware::CachedQueryEngine* engine_ = nullptr;
+  server::QcServer* server_ = nullptr;
+
+  // Fill/DML path: one shared upstream connection (workers serialize on
+  // the mutex; the QCP client is strictly request-response).
+  std::mutex upstream_mutex_;
+  server::QcClient upstream_;
+
+  struct Peer {
+    PeerAddress addr;
+    std::mutex mutex;
+    server::QcClient client;
+  };
+  std::unordered_map<std::string, std::unique_ptr<Peer>> peers_;  // immutable map after ctor
+
+  std::thread applier_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+
+  std::mutex applied_mutex_;
+  std::condition_variable applied_cv_;
+  uint64_t applied_complete_ = 0;  // guarded by applied_mutex_
+
+  std::atomic<uint64_t> cdc_events_applied_{0};
+  std::atomic<uint64_t> ring_forwards_{0};
+  std::atomic<uint64_t> gap_flushes_{0};
+};
+
+}  // namespace qc::cluster

@@ -1,40 +1,248 @@
 #include "cluster/client_cache.h"
 
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+
 namespace qc::cluster {
 
-ClientCache::ClientCache(middleware::CachedQueryEngine& origin, ClientCacheConfig config)
-    : origin_(origin), config_(std::move(config)) {
-  cache::GpsCacheConfig cache_config;
-  cache_config.memory_budget_bytes = config_.memory_budget_bytes;
-  cache_config.memory_max_entries = config_.max_entries;
-  cache_config.now = config_.now;
-  local_ = std::make_unique<cache::GpsCache>(cache_config);
+namespace {
+
+struct ParsedSelect {
+  std::string key;
+  std::vector<std::string> tables;  // upper-cased
+};
+
+ParsedSelect ParseSelect(const std::string& sql, const std::vector<Value>& params) {
+  const sql::SelectStmt stmt = sql::Parse(sql);
+  ParsedSelect parsed;
+  parsed.key = sql::Fingerprint(stmt, params);
+  parsed.tables.reserve(stmt.from.size());
+  for (const sql::TableRef& ref : stmt.from) parsed.tables.push_back(ToUpper(ref.table));
+  return parsed;
+}
+
+}  // namespace
+
+ClientCache::ClientCache(std::string host, uint16_t port, ClientCacheConfig config)
+    : host_(std::move(host)), port_(port), config_(std::move(config)) {
+  if (config_.enable_subscription) {
+    subscriber_ = std::thread([this] { SubscriptionLoop(); });
+  }
+}
+
+ClientCache::~ClientCache() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (subscriber_.joinable()) subscriber_.join();
+  std::lock_guard<std::mutex> lock(origin_mutex_);
+  origin_.Close();
+}
+
+cache::TimePoint ClientCache::Now() const {
+  return config_.now ? config_.now() : std::chrono::steady_clock::now();
+}
+
+server::QcClient& ClientCache::OriginLocked() {
+  if (!origin_.connected()) origin_.Connect(host_, port_);
+  return origin_;
 }
 
 middleware::CachedQueryEngine::ExecuteResult ClientCache::Execute(
-    const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params) {
-  ++stats_.requests;
-  const std::string key = sql::Fingerprint(query->stmt(), params);
+    const std::string& sql, const std::vector<Value>& params) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const ParsedSelect parsed = ParseSelect(sql, params);
 
-  if (cache::CacheValuePtr hit = local_->Get(key)) {
-    ++stats_.local_hits;
-    auto value = std::static_pointer_cast<const middleware::ResultValue>(hit);
-    if (config_.verify_staleness &&
-        !value->result()->Equals(origin_.ExecuteUncached(*query, params))) {
-      ++stats_.stale_local_hits;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(parsed.key);
+    if (it != entries_.end()) {
+      // While the push channel is healthy it is the freshness authority —
+      // an entry still present has not been invalidated, serve it at any
+      // age. Disconnected, fall back to the lease.
+      const bool subscribed =
+          config_.enable_subscription && healthy_.load(std::memory_order_relaxed);
+      if (subscribed || Now() - it->second.fetched_at < config_.lease_ttl) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        local_hits_.fetch_add(1, std::memory_order_relaxed);
+        return {it->second.result, true};
+      }
+      lease_expiries_.fetch_add(1, std::memory_order_relaxed);
+      EraseLocked(it);
     }
-    return {value->result(), true};
   }
 
-  ++stats_.origin_requests;
-  auto outcome = origin_.Execute(query, params);
-  local_->Put(key, std::make_shared<middleware::ResultValue>(outcome.result), config_.ttl);
-  return outcome;
+  origin_requests_.fetch_add(1, std::memory_order_relaxed);
+  server::QcClient::SeqQueryResult reply;
+  {
+    std::lock_guard<std::mutex> lock(origin_mutex_);
+    for (int attempt = 0;; ++attempt) {
+      try {
+        reply = OriginLocked().QuerySeq(sql, params);
+        break;
+      } catch (const server::NetError&) {
+        origin_.Close();
+        if (attempt > 0) throw;
+      }
+    }
+  }
+  auto result = std::make_shared<const sql::ResultSet>(std::move(reply.result));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Sequence-admission guard, client edition: if a pushed invalidation
+  // with a higher sequence than this fill observed has already been
+  // applied, the fill may predate it — serve it once but do not cache it
+  // (docs/CLUSTER.md, "Stream-sequence admission").
+  if (config_.enable_subscription &&
+      push_seq_.load(std::memory_order_relaxed) > reply.observed_seq) {
+    seq_admit_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return {std::move(result), false};
+  }
+  auto [it, inserted] = entries_.try_emplace(parsed.key);
+  if (inserted) {
+    it->second.lru = lru_.insert(lru_.begin(), parsed.key);
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+  }
+  it->second.result = result;
+  it->second.tables = parsed.tables;
+  it->second.fetched_at = Now();
+  while (entries_.size() > config_.max_entries) {
+    EraseLocked(entries_.find(lru_.back()));
+  }
+  return {std::move(result), false};
 }
 
-void ClientCache::Refresh(const std::shared_ptr<const sql::BoundQuery>& query,
-                          const std::vector<Value>& params) {
-  local_->Invalidate(sql::Fingerprint(query->stmt(), params));
+uint64_t ClientCache::Dml(const std::string& sql, const std::vector<Value>& params) {
+  uint64_t affected = 0;
+  {
+    std::lock_guard<std::mutex> lock(origin_mutex_);
+    for (int attempt = 0;; ++attempt) {
+      try {
+        affected = OriginLocked().Dml(sql, params);
+        break;
+      } catch (const server::NetError&) {
+        origin_.Close();
+        if (attempt > 0) throw;
+      }
+    }
+  }
+  // Read-your-writes: drop our own copies of the written table now rather
+  // than when the pushed record loops back.
+  try {
+    const sql::AnyStatement stmt = sql::ParseStatement(sql);
+    if (stmt.kind == sql::AnyStatement::Kind::kDml) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      InvalidateTableLocked(ToUpper(stmt.dml.table), push_invalidations_);
+      invalidated_cv_.notify_all();
+    }
+  } catch (const std::exception&) {
+    // Unparseable locally (the server accepted it): the push will catch up.
+  }
+  return affected;
+}
+
+void ClientCache::Refresh(const std::string& sql, const std::vector<Value>& params) {
+  const ParsedSelect parsed = ParseSelect(sql, params);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(parsed.key);
+  if (it != entries_.end()) EraseLocked(it);
+  invalidated_cv_.notify_all();
+}
+
+bool ClientCache::WaitForInvalidation(const std::string& sql, const std::vector<Value>& params,
+                                      std::chrono::milliseconds timeout) {
+  const ParsedSelect parsed = ParseSelect(sql, params);
+  std::unique_lock<std::mutex> lock(mutex_);
+  return invalidated_cv_.wait_for(lock, timeout, [this, &parsed] {
+    return entries_.find(parsed.key) == entries_.end();
+  });
+}
+
+ClientCacheStats ClientCache::stats() const {
+  ClientCacheStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.local_hits = local_hits_.load(std::memory_order_relaxed);
+  s.origin_requests = origin_requests_.load(std::memory_order_relaxed);
+  s.push_invalidations = push_invalidations_.load(std::memory_order_relaxed);
+  s.lease_expiries = lease_expiries_.load(std::memory_order_relaxed);
+  s.seq_admit_rejects = seq_admit_rejects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t ClientCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ClientCache::EraseLocked(std::unordered_map<std::string, Entry>::iterator it) {
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+}
+
+void ClientCache::InvalidateTableLocked(const std::string& upper_table,
+                                        std::atomic<uint64_t>& counter) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::vector<std::string>& tables = it->second.tables;
+    if (std::find(tables.begin(), tables.end(), upper_table) != tables.end()) {
+      lru_.erase(it->second.lru);
+      it = entries_.erase(it);
+      counter.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ClientCache::ApplyPush(const server::CdcRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Fence first, then invalidate — a fill racing this push either sees the
+  // raised push_seq_ at admission or its entry is erased here; both orders
+  // keep the cache fresh (same argument as the cache node's applier).
+  uint64_t seq = push_seq_.load(std::memory_order_relaxed);
+  while (seq < record.seq &&
+         !push_seq_.compare_exchange_weak(seq, record.seq, std::memory_order_relaxed)) {
+  }
+  InvalidateTableLocked(ToUpper(record.table), push_invalidations_);
+  invalidated_cv_.notify_all();
+}
+
+void ClientCache::SubscriptionLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    try {
+      server::QcClient stream;
+      stream.Connect(host_, port_);
+      const uint64_t current = stream.SubscribeCdc(last_seen_);
+      if (current > last_seen_) {
+        // Missed stream window: flush everything and fence admissions at
+        // the server's current sequence.
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.clear();
+        lru_.clear();
+        uint64_t seq = push_seq_.load(std::memory_order_relaxed);
+        while (seq < current &&
+               !push_seq_.compare_exchange_weak(seq, current, std::memory_order_relaxed)) {
+        }
+        last_seen_ = current;
+        invalidated_cv_.notify_all();
+      }
+      healthy_.store(true, std::memory_order_relaxed);
+      while (!stop_.load(std::memory_order_relaxed)) {
+        std::optional<server::CdcRecord> record =
+            stream.ReadCdcEvent(static_cast<int>(config_.cdc_poll.count()));
+        if (!record) continue;  // poll timeout; re-check stop_
+        ApplyPush(*record);
+        last_seen_ = record->seq;
+      }
+      return;
+    } catch (const Error&) {
+      healthy_.store(false, std::memory_order_relaxed);
+      if (stop_.load(std::memory_order_relaxed)) return;
+      std::this_thread::sleep_for(config_.reconnect_backoff);
+    }
+  }
 }
 
 }  // namespace qc::cluster

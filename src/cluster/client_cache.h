@@ -1,38 +1,70 @@
 // Client-side caching tier (paper Fig. 1: "Although not shown in the
-// figure, clients may also have caches").
+// figure, clients may also have caches") — rebuilt on the QCP/1 push
+// channel (docs/CLUSTER.md, "Push-lease client caches").
 //
-// A client cache sits in a browser or fat client: it has no invalidation
-// channel from the server, so it can only bound staleness with expiration
-// times — precisely the GPS cache feature of §3. This tier composes a
-// local GPS cache (TTL-driven) over any origin CachedQueryEngine; the
-// interesting engineering trade is TTL vs. origin offload vs. staleness,
-// which tests and the cluster bench quantify.
+// A client cache sits in a browser or fat client in front of one qcached
+// node. Unlike the paper's client tier, which could only bound staleness
+// with expiration times, this one SUBSCRIBEs to the node's CDC stream and
+// drops local entries the moment the pushed invalidation for their tables
+// arrives — no polling, staleness bounded by one CDC round-trip. The
+// expiration time survives as the *lease*: while the subscription is
+// healthy, entries are served regardless of age (the push channel is the
+// freshness authority); if the subscription drops, entries are only served
+// until their lease expires, and the client falls back to origin fetches
+// until the stream reconnects. Fills use QUERY_SEQ, and the observed
+// sequence gates admission exactly like a cache node's fills: a result
+// that raced a newer pushed invalidation is not admitted.
+//
+// @thread_safety (accurate as of the CDC refactor): Execute/Dml/Refresh/
+// WaitForInvalidation/stats may be called from any number of threads; the
+// entry map is mutex-guarded, the origin connection is serialized on its
+// own mutex, and the subscription thread owns a separate connection.
 #pragma once
 
-#include <memory>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "cache/gps_cache.h"
 #include "middleware/query_engine.h"
+#include "server/client.h"
 
 namespace qc::cluster {
 
 struct ClientCacheConfig {
-  /// Every locally cached result expires after this long (client clocks
-  /// tick via the injectable time source, like the GPS cache's).
-  cache::Duration ttl = std::chrono::seconds(30);
-  size_t max_entries = 1024;
-  size_t memory_budget_bytes = 16 * 1024 * 1024;
-  cache::TimeSource now;  // injectable for tests
+  /// How long an entry may be served after its fetch once the push channel
+  /// is down (the disconnection fallback). While subscribed, pushes — not
+  /// the clock — decide freshness.
+  cache::Duration lease_ttl = std::chrono::seconds(30);
 
-  /// Verify local hits against the origin's database (stats only).
-  bool verify_staleness = false;
+  size_t max_entries = 1024;
+
+  /// Injectable clock for lease expiry (tests); defaults to steady_clock.
+  cache::TimeSource now;
+
+  /// Subscribe to the node's CDC stream. Off = pure lease/TTL client (the
+  /// paper's original client tier).
+  bool enable_subscription = true;
+
+  /// Subscription reconnect backoff and CDC read poll granularity.
+  std::chrono::milliseconds reconnect_backoff{50};
+  std::chrono::milliseconds cdc_poll{50};
 };
 
 struct ClientCacheStats {
   uint64_t requests = 0;
   uint64_t local_hits = 0;
-  uint64_t stale_local_hits = 0;  // only counted when verify_staleness
-  uint64_t origin_requests = 0;
+  uint64_t origin_requests = 0;     // misses + lease-expired refetches
+  uint64_t push_invalidations = 0;  // local entries dropped by pushed CDC records
+  uint64_t lease_expiries = 0;      // entries dropped because the lease ran out
+  uint64_t seq_admit_rejects = 0;   // fills refused: raced a newer push
 
   double LocalHitRatePercent() const {
     return requests == 0 ? 0.0
@@ -43,26 +75,86 @@ struct ClientCacheStats {
 
 class ClientCache {
  public:
-  /// `origin` must outlive the client cache.
-  ClientCache(middleware::CachedQueryEngine& origin, ClientCacheConfig config);
+  /// Connects (lazily) to the qcached node at host:port. The subscription
+  /// thread starts immediately when enabled.
+  ClientCache(std::string host, uint16_t port, ClientCacheConfig config = {});
 
-  /// Serve from the local TTL cache, else fetch from the origin (which
-  /// applies its own DUP-invalidated caching) and cache locally.
-  middleware::CachedQueryEngine::ExecuteResult Execute(
-      const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params = {});
+  /// Stops the subscription thread and closes both connections.
+  ~ClientCache();
+
+  ClientCache(const ClientCache&) = delete;
+  ClientCache& operator=(const ClientCache&) = delete;
+
+  /// Serve from the local cache, else QUERY_SEQ the origin and cache the
+  /// result under the sequence-admission guard.
+  middleware::CachedQueryEngine::ExecuteResult Execute(const std::string& sql,
+                                                       const std::vector<Value>& params = {});
+
+  /// Forward DML to the origin; local entries over the written table are
+  /// dropped immediately (the pushed CDC record would do it a round-trip
+  /// later anyway). Returns the origin's affected-row count.
+  uint64_t Dml(const std::string& sql, const std::vector<Value>& params = {});
 
   /// Drop the local copy of one query (a client-initiated refresh).
-  void Refresh(const std::shared_ptr<const sql::BoundQuery>& query,
-               const std::vector<Value>& params = {});
+  void Refresh(const std::string& sql, const std::vector<Value>& params = {});
 
-  ClientCacheStats stats() const { return stats_; }
-  size_t entry_count() { return local_->entry_count(); }
+  /// Block until the local copy of `sql` has been invalidated (by push,
+  /// Dml, or Refresh) or was never cached. Returns false on timeout.
+  /// Test/demo helper: proves the push arrived without polling Execute.
+  bool WaitForInvalidation(const std::string& sql, const std::vector<Value>& params,
+                           std::chrono::milliseconds timeout);
+
+  /// True while the CDC subscription is connected (entries served on push
+  /// authority rather than lease expiry).
+  bool subscription_healthy() const { return healthy_.load(std::memory_order_relaxed); }
+
+  uint64_t last_push_seq() const { return push_seq_.load(std::memory_order_relaxed); }
+
+  ClientCacheStats stats() const;
+  size_t entry_count() const;
 
  private:
-  middleware::CachedQueryEngine& origin_;
+  struct Entry {
+    sql::ResultPtr result;
+    std::vector<std::string> tables;  // upper-cased; matched against CDC records
+    cache::TimePoint fetched_at;
+    std::list<std::string>::iterator lru;
+  };
+
+  cache::TimePoint Now() const;
+  void SubscriptionLoop();
+  void ApplyPush(const server::CdcRecord& record);
+  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it);
+  void InvalidateTableLocked(const std::string& upper_table, std::atomic<uint64_t>& counter);
+
+  /// origin_mutex_ held. Lazily connected; callers Close()+retry once on a
+  /// transport error.
+  server::QcClient& OriginLocked();
+
+  const std::string host_;
+  const uint16_t port_;
   ClientCacheConfig config_;
-  std::unique_ptr<cache::GpsCache> local_;
-  ClientCacheStats stats_;
+
+  std::mutex origin_mutex_;
+  server::QcClient origin_;
+
+  mutable std::mutex mutex_;  // entries_ + lru_
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::condition_variable invalidated_cv_;
+
+  std::thread subscriber_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> healthy_{false};
+  std::atomic<uint64_t> push_seq_{0};  // highest pushed (or fenced) sequence
+  uint64_t last_seen_ = 0;             // subscription thread only
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> local_hits_{0};
+  std::atomic<uint64_t> origin_requests_{0};
+  std::atomic<uint64_t> push_invalidations_{0};
+  std::atomic<uint64_t> lease_expiries_{0};
+  std::atomic<uint64_t> seq_admit_rejects_{0};
 };
 
 }  // namespace qc::cluster

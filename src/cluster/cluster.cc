@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include "common/error.h"
+#include "sql/fingerprint.h"
 
 namespace qc::cluster {
 
@@ -9,6 +10,8 @@ CacheCluster::CacheCluster(storage::Database& db, ClusterConfig config)
   if (config_.nodes == 0) throw Error("cluster needs at least one node");
   nodes_.reserve(config_.nodes);
   for (size_t i = 0; i < config_.nodes; ++i) {
+    Node node;
+    node.gate = std::make_shared<dup::CdcSequenceGate>();
     middleware::CachedQueryEngine::Options options;
     options.policy = config_.policy;
     options.extraction = config_.extraction;
@@ -17,31 +20,45 @@ CacheCluster::CacheCluster(storage::Database& db, ClusterConfig config)
       // Per-node spill areas must not collide.
       options.cache.disk_directory += "/node" + std::to_string(i);
     }
-    options.subscribe_to_database = false;  // the cluster routes events
-    Node node;
+    options.subscribe_to_database = false;  // the CDC bus routes invalidations
+    options.seq_gate = node.gate;
+    // A fill observes the bus's last assigned sequence before taking its
+    // table read locks (the engine loads this before LockTablesShared), so
+    // the gate can refuse it if a newer record was applied meanwhile.
+    // Sound because the writer still holds the table write lock when the
+    // sequence is assigned: a read that starts after the release store of
+    // seq S can only begin once that write lock is gone, so it sees the
+    // data of every record up to S.
+    options.observe_committed_seq = [this] {
+      return bus_seq_.load(std::memory_order_acquire);
+    };
     node.engine = std::make_unique<middleware::CachedQueryEngine>(db_, options);
     nodes_.push_back(std::move(node));
+    ring_.AddNode(NodeName(i));
   }
 
-  // One subscription for the whole cluster: events raised inside
-  // PerformUpdate are captured and routed; events raised outside any
-  // PerformUpdate window are treated as node-0 writes (convenience for
-  // tests that mutate the database directly).
-  subscription_ = db_.Subscribe([this](const storage::UpdateEvent& event) {
-    if (capturing_) {
-      captured_.push_back(event);
-    } else {
-      nodes_[0].engine->dup_engine().OnUpdate(event);
-      for (size_t i = 1; i < nodes_.size(); ++i) {
-        in_flight_.push_back({now_ + config_.latency_ticks, i, event});
-        ++stats_.tokens_sent;
-      }
-      DeliverDue();
-    }
-  });
+  // One statement-level batch subscription for the whole cluster: the bus
+  // stamps each committed batch with a sequence, applies it to the writing
+  // node synchronously (writes made outside any PerformUpdate window count
+  // as node-0 writes — convenience for tests that mutate the database
+  // directly), and queues deliveries to the peers.
+  subscription_ = db_.SubscribeBatch(
+      [this](const storage::UpdateBatch& batch) { OnCommittedBatch(batch); });
+
+  if (config_.async_delivery) {
+    async_applier_ = std::thread([this] { AsyncApplierLoop(); });
+  }
 }
 
-CacheCluster::~CacheCluster() { db_.Unsubscribe(subscription_); }
+CacheCluster::~CacheCluster() {
+  db_.Unsubscribe(subscription_);
+  {
+    std::lock_guard<std::mutex> lock(bus_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  bus_cv_.notify_all();
+  if (async_applier_.joinable()) async_applier_.join();
+}
 
 std::shared_ptr<const sql::BoundQuery> CacheCluster::Prepare(const std::string& sql) {
   // All nodes share the catalog; prepare through node 0.
@@ -54,12 +71,12 @@ middleware::CachedQueryEngine::ExecuteResult CacheCluster::ExecuteAt(
   Tick();
   middleware::CachedQueryEngine& engine = *nodes_.at(node_index).engine;
   auto outcome = engine.Execute(query, params);
-  ++stats_.queries;
+  queries_.fetch_add(1, std::memory_order_relaxed);
   if (outcome.cache_hit) {
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     if (config_.verify_staleness &&
         !outcome.result->Equals(engine.ExecuteUncached(*query, params))) {
-      ++stats_.stale_hits;
+      stale_hits_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return outcome;
@@ -67,58 +84,136 @@ middleware::CachedQueryEngine::ExecuteResult CacheCluster::ExecuteAt(
 
 middleware::CachedQueryEngine::ExecuteResult CacheCluster::Execute(
     const std::shared_ptr<const sql::BoundQuery>& query, const std::vector<Value>& params) {
-  const size_t node_index = next_node_;
-  next_node_ = (next_node_ + 1) % nodes_.size();
-  return ExecuteAt(node_index, query, params);
+  return ExecuteAt(OwnerOf(query, params), query, params);
+}
+
+size_t CacheCluster::OwnerOf(const std::shared_ptr<const sql::BoundQuery>& query,
+                             const std::vector<Value>& params) const {
+  const std::string& name = ring_.OwnerOf(sql::Fingerprint(query->stmt(), params));
+  // Members are named by NodeName(), so the index is the "node" suffix.
+  return static_cast<size_t>(std::stoul(name.substr(4)));
 }
 
 void CacheCluster::PerformUpdate(size_t node_index, const std::function<void()>& mutation) {
   if (node_index >= nodes_.size()) throw Error("bad cluster node index");
   Tick();
   current_writer_ = node_index;
-  capturing_ = true;
-  captured_.clear();
-  mutation();
-  capturing_ = false;
-  ++stats_.updates;
-
-  for (const storage::UpdateEvent& event : captured_) {
-    // Local invalidation is synchronous (the writer's setter runs the
-    // generated invalidation code, paper Fig. 6).
-    auto& writer = *nodes_[current_writer_].engine;
-    const uint64_t before = writer.dup_stats().invalidations;
-    writer.dup_engine().OnUpdate(event);
-    stats_.local_invalidations += writer.dup_stats().invalidations - before;
-
-    // Peers get the update token over the bus.
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      if (i == current_writer_) continue;
-      in_flight_.push_back({now_ + config_.latency_ticks, i, event});
-      ++stats_.tokens_sent;
-    }
-  }
-  captured_.clear();
+  mutation();  // each committed statement runs OnCommittedBatch synchronously
+  current_writer_ = 0;
+  updates_.fetch_add(1, std::memory_order_relaxed);
   DeliverDue();
+}
+
+void CacheCluster::OnCommittedBatch(const storage::UpdateBatch& batch) {
+  if (batch.empty()) return;
+  const size_t writer = current_writer_;
+  PendingDelivery prototype;
+  prototype.target = 0;
+  prototype.record.table = std::string(batch.table);
+  prototype.record.events.assign(batch.begin(), batch.end());
+  {
+    std::lock_guard<std::mutex> lock(bus_mutex_);
+    const uint64_t seq = bus_seq_.load(std::memory_order_relaxed) + 1;
+    prototype.record.seq = seq;
+    prototype.due_tick = now_.load(std::memory_order_relaxed) + config_.latency_ticks;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (i == writer) continue;
+      PendingDelivery delivery = prototype;
+      delivery.target = i;
+      (config_.async_delivery ? async_queue_ : in_flight_).push_back(std::move(delivery));
+      tokens_sent_.fetch_add(batch.count, std::memory_order_relaxed);
+    }
+    // Publish the sequence only after the deliveries are queued, mirroring
+    // the storage node's publisher: a fill that observes seq S is
+    // guaranteed its gate will eventually see every record up to S.
+    bus_seq_.store(seq, std::memory_order_release);
+  }
+  // Local invalidation is synchronous (the writer's setter runs the
+  // generated invalidation code, paper Fig. 6).
+  ApplyTo(writer, prototype.record, local_invalidations_);
+  if (config_.async_delivery) {
+    bus_cv_.notify_all();
+  } else if (config_.latency_ticks == 0) {
+    DeliverDue();  // synchronous coherence: peers converge before the write returns
+  }
+}
+
+void CacheCluster::ApplyTo(size_t target, const server::CdcRecord& record,
+                           std::atomic<uint64_t>& counter) {
+  Node& node = nodes_[target];
+  // Gate first, invalidations second — the same ordering as the wire
+  // applier (docs/CLUSTER.md, "Why the applier advances the gate first"):
+  // a fill racing this delivery is refused by the gate or torn down by the
+  // invalidation, never cached stale.
+  node.gate->Advance(record.seq);
+  const uint64_t before = node.engine->dup_stats().invalidations;
+  node.engine->dup_engine().OnBatch(record.AsBatch());
+  counter.fetch_add(node.engine->dup_stats().invalidations - before,
+                    std::memory_order_relaxed);
 }
 
 void CacheCluster::Tick() {
-  ++now_;
+  now_.fetch_add(1, std::memory_order_relaxed);
   DeliverDue();
 }
 
-void CacheCluster::Quiesce() {
-  while (!in_flight_.empty()) Tick();
+void CacheCluster::DeliverDue() {
+  std::vector<PendingDelivery> due;
+  {
+    std::lock_guard<std::mutex> lock(bus_mutex_);
+    const uint64_t now = now_.load(std::memory_order_relaxed);
+    while (!in_flight_.empty() && in_flight_.front().due_tick <= now) {
+      due.push_back(std::move(in_flight_.front()));
+      in_flight_.pop_front();
+    }
+  }
+  for (const PendingDelivery& delivery : due) {
+    ApplyTo(delivery.target, delivery.record, remote_invalidations_);
+  }
 }
 
-void CacheCluster::DeliverDue() {
-  while (!in_flight_.empty() && in_flight_.front().due_tick <= now_) {
-    PendingDelivery delivery = std::move(in_flight_.front());
-    in_flight_.pop_front();
-    auto& engine = *nodes_[delivery.target].engine;
-    const uint64_t before = engine.dup_stats().invalidations;
-    engine.dup_engine().OnUpdate(delivery.event);
-    stats_.remote_invalidations += engine.dup_stats().invalidations - before;
+void CacheCluster::Quiesce() {
+  if (config_.async_delivery) {
+    std::unique_lock<std::mutex> lock(bus_mutex_);
+    bus_cv_.wait(lock, [this] { return async_queue_.empty() && !async_busy_; });
+    return;
   }
+  while (in_flight() != 0) Tick();
+}
+
+void CacheCluster::AsyncApplierLoop() {
+  std::unique_lock<std::mutex> lock(bus_mutex_);
+  while (true) {
+    bus_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) || !async_queue_.empty();
+    });
+    if (async_queue_.empty()) return;  // stop requested and drained
+    PendingDelivery delivery = std::move(async_queue_.front());
+    async_queue_.pop_front();
+    async_busy_ = true;
+    lock.unlock();
+    ApplyTo(delivery.target, delivery.record, remote_invalidations_);
+    lock.lock();
+    async_busy_ = false;
+    bus_cv_.notify_all();  // wake Quiesce()
+  }
+}
+
+size_t CacheCluster::in_flight() const {
+  std::lock_guard<std::mutex> lock(bus_mutex_);
+  return in_flight_.size() + async_queue_.size() + (async_busy_ ? 1 : 0);
+}
+
+ClusterStats CacheCluster::stats() const {
+  ClusterStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.stale_hits = stale_hits_.load(std::memory_order_relaxed);
+  s.updates = updates_.load(std::memory_order_relaxed);
+  s.tokens_sent = tokens_sent_.load(std::memory_order_relaxed);
+  s.remote_invalidations = remote_invalidations_.load(std::memory_order_relaxed);
+  s.local_invalidations = local_invalidations_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace qc::cluster

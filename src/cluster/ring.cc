@@ -1,0 +1,50 @@
+#include "cluster/ring.h"
+
+#include "common/error.h"
+
+namespace qc::cluster {
+
+HashRing::HashRing(size_t vnodes_per_node) : vnodes_(vnodes_per_node == 0 ? 1 : vnodes_per_node) {}
+
+uint64_t HashRing::Hash(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // Raw FNV-1a is too weak for ring placement: a trailing-byte change only
+  // perturbs the low ~43 bits (one multiply, no avalanche), so keys that
+  // differ in their last character land adjacent on the ring and pile onto
+  // one owner. Finish with a 64-bit avalanche (murmur3 fmix64) so every
+  // input bit flips every output bit with probability ~1/2.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+void HashRing::AddNode(const std::string& name) {
+  if (!nodes_.insert(name).second) return;
+  for (size_t i = 0; i < vnodes_; ++i) {
+    const uint64_t point = Hash(name + "#" + std::to_string(i));
+    auto [it, inserted] = ring_.emplace(point, name);
+    if (!inserted && name < it->second) it->second = name;
+  }
+}
+
+void HashRing::RemoveNode(const std::string& name) {
+  if (nodes_.erase(name) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == name ? ring_.erase(it) : std::next(it);
+  }
+}
+
+const std::string& HashRing::OwnerOf(std::string_view key) const {
+  if (ring_.empty()) throw Error("hash ring has no nodes");
+  const auto it = ring_.lower_bound(Hash(key));
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+}  // namespace qc::cluster

@@ -1,0 +1,64 @@
+// Consistent-hash ownership of query fingerprints across qcached nodes
+// (docs/CLUSTER.md, "Fingerprint ownership").
+//
+// Each cache node owns a deterministic slice of the fingerprint space:
+// every node name is hashed onto a ring at `vnodes_per_node` points, and a
+// fingerprint belongs to the first vnode clockwise from its own hash.
+// All nodes are configured with the same member list, so they compute the
+// same owner for every fingerprint without coordination — a SELECT that
+// lands on a non-owner is forwarded to the owner (QcServer's select
+// router), keeping exactly one cached copy of each result in the cluster.
+// Virtual nodes smooth the distribution; adding or removing one node
+// remaps only the slices adjacent to its vnodes (~1/N of the space).
+//
+// The hash is FNV-1a 64-bit with a murmur3-style avalanche finalizer —
+// FNV for its stability (std::hash is implementation-defined and would
+// give different rings on different builds of the same cluster), the
+// finalizer because raw FNV barely diffuses trailing-byte changes and
+// would clump similar SQL texts onto one owner.
+//
+// @thread_safety Not internally synchronized. Build the ring up front and
+// treat it as immutable afterwards (the runtime's usage); concurrent
+// OwnerOf calls on a no-longer-mutated ring are safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace qc::cluster {
+
+class HashRing {
+ public:
+  explicit HashRing(size_t vnodes_per_node = 64);
+
+  /// Add a member; duplicate names are a no-op.
+  void AddNode(const std::string& name);
+
+  /// Remove a member and its vnodes; unknown names are a no-op.
+  void RemoveNode(const std::string& name);
+
+  bool empty() const { return ring_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+  bool HasNode(const std::string& name) const { return nodes_.count(name) != 0; }
+
+  /// The member owning `key`: the first vnode at or clockwise from
+  /// Hash(key). Throws Error when the ring is empty.
+  const std::string& OwnerOf(std::string_view key) const;
+
+  /// FNV-1a 64-bit + avalanche finalizer (stable across builds and
+  /// platforms).
+  static uint64_t Hash(std::string_view bytes);
+
+ private:
+  size_t vnodes_;
+  // point -> owner. On the astronomically unlikely 64-bit collision the
+  // lexicographically smaller name wins, keeping the ring independent of
+  // AddNode order.
+  std::map<uint64_t, std::string> ring_;
+  std::set<std::string> nodes_;
+};
+
+}  // namespace qc::cluster

@@ -81,4 +81,49 @@ class UpdateEpochs {
   std::unordered_map<std::string, std::unique_ptr<std::atomic<uint64_t>>> slots_;
 };
 
+/// The distributed counterpart of UpdateEpochs for cache nodes fed by a
+/// CDC invalidation stream (docs/CLUSTER.md). Epochs order *local*
+/// invalidations against local reads; on a cache node the data is read
+/// remotely, so freshness is ordered by the storage node's stream sequence
+/// instead: a remote fill carries the committed sequence it observed
+/// (loaded on the storage node *before* its read locks), and the CDC
+/// applier Advance()s this gate *before* it stamps epochs and applies the
+/// record's invalidations. At admission time — under the cache shard's
+/// exclusive lock, composed with the epoch snapshot check — Admits()
+/// refuses any fill whose observed sequence is behind the applied one: an
+/// invalidation the fill's data may predate has already run, so nothing
+/// would ever remove the entry. Also the resubscribe-gap fence: after a
+/// missed stream window the applier flushes the cache and Advance()s to
+/// the server's current sequence, which retroactively refuses every fill
+/// that observed a pre-gap sequence. The scalar comparison over-rejects
+/// (a higher applied sequence from an unrelated table also refuses) but
+/// never under-rejects; see docs/CLUSTER.md for the soundness argument.
+///
+/// @thread_safety Internally synchronized (single atomic). Advance is a
+/// fetch-max so out-of-order calls are safe; Admits is wait-free and may
+/// run under the cache shard lock like Snapshot::Current().
+class CdcSequenceGate {
+ public:
+  /// Record that every invalidation up to `seq` has been applied locally.
+  /// Monotonic: regressions are ignored.
+  void Advance(uint64_t seq) {
+    uint64_t cur = applied_.load(std::memory_order_relaxed);
+    while (cur < seq &&
+           !applied_.compare_exchange_weak(cur, seq, std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  /// True iff a fill that observed `observed_seq` on the storage node may
+  /// still be admitted: no invalidation newer than its read has applied.
+  bool Admits(uint64_t observed_seq) const {
+    return applied_.load(std::memory_order_acquire) <= observed_seq;
+  }
+
+  uint64_t applied() const { return applied_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> applied_{0};
+};
+
 }  // namespace qc::dup

@@ -12,6 +12,10 @@ QueryEngineStats& QueryEngineStats::operator=(const QueryEngineStats& other) {
   uncacheable.store(other.uncacheable.load(std::memory_order_relaxed), std::memory_order_relaxed);
   stale_discards.store(other.stale_discards.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+  seq_admit_rejects.store(other.seq_admit_rejects.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  remote_fills.store(other.remote_fills.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
   refresh_executions.store(other.refresh_executions.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
   recovered_registrations.store(other.recovered_registrations.load(std::memory_order_relaxed),
@@ -242,17 +246,30 @@ CachedQueryEngine::ExecuteResult CachedQueryEngine::ExecuteInternal(
     }
   }
 
-  // (4) database access, under shared table locks.
+  // (4) database access. Cache-node mode delegates the read to the
+  // storage node over the remote_fetch hook — no local table locks, and
+  // the fill carries the CDC sequence the upstream read observed. Local
+  // execution loads the committed sequence *before* taking the read locks:
+  // every update with seq <= observed is then reflected in the read AND
+  // its invalidations have applied, the invariant the sequence-gate
+  // admission check relies on (docs/CLUSTER.md).
   SimulatedDbWait();
   sql::ResultPtr result;
-  {
+  uint64_t observed_seq;
+  if (options_.remote_fetch) {
+    RemoteFill fill = options_.remote_fetch(*query, params);
+    result = std::move(fill.result);
+    observed_seq = fill.observed_seq;
+    stats_.remote_fills.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    observed_seq = ObserveCommittedSeq();
     auto locks = LockTablesShared(*query);
     result = std::make_shared<const sql::ResultSet>(sql::Execute(*query, params));
   }
   stats_.db_executions.fetch_add(1, std::memory_order_relaxed);
 
   // (3) result into cache + ODG construction.
-  StoreResult(key, query, params, result, snapshot);
+  StoreResult(key, query, params, result, snapshot, observed_seq);
   // Either way the caller gets this result: it reflects every update
   // acknowledged before this query began, which is all a racing client may
   // assume.
@@ -296,21 +313,28 @@ sql::ResultPtr CachedQueryEngine::TrySemanticServe(
   auto result = std::make_shared<const sql::ResultSet>(std::move(filtered));
   // Admit the derived result under its own fingerprint: the next identical
   // query is an exact hit, and the derived entry can itself become a
-  // (narrower) semantic source.
-  StoreResult(key, query, params, result, snapshot);
+  // (narrower) semantic source. The derived rows are a subset of the
+  // source's, so they observe exactly the sequence the source's read did.
+  StoreResult(key, query, params, result, snapshot, source->observed_seq);
   return result;
 }
 
 bool CachedQueryEngine::StoreResult(const std::string& key,
                                     const std::shared_ptr<const sql::BoundQuery>& query,
                                     const std::vector<Value>& params, const sql::ResultPtr& result,
-                                    const dup::UpdateEpochs::Snapshot& snapshot) {
+                                    const dup::UpdateEpochs::Snapshot& snapshot,
+                                    uint64_t observed_seq) {
   // Register *before* Put: if Put immediately evicts the entry (budget
   // pressure), the removal listener then cleanly unregisters it again; if
   // an update invalidates the key between the two steps, the epoch guard
-  // rejects the Put.
+  // rejects the Put. On a cache node the same ordering closes the CDC
+  // window: a record applied after this registration but before the Put
+  // either bumps an observed epoch (snapshot check) or advances the
+  // sequence gate past observed_seq (gate check) — and a record applied
+  // after the Put finds the entry registered and tears it down.
   dup_->RegisterQuery(key, query, params);
-  bool stale = false;
+  const dup::CdcSequenceGate* gate = options_.seq_gate.get();
+  cache::GpsCache::AdmitDecision decision = cache::GpsCache::AdmitDecision::kAdmit;
   // The durable tag rides along on disk spills so a warm restart can
   // rebuild this registration exactly; memory-only caches never spill, so
   // skip the encoding work there.
@@ -318,21 +342,38 @@ bool CachedQueryEngine::StoreResult(const std::string& key,
   if (options_.cache.mode != cache::CacheMode::kMemory) {
     durable_tag = EncodeQueryTag(sql::CanonicalSql(query->stmt()), params);
   }
-  const bool stored = cache_->Put(key, std::make_shared<ResultValue>(result),
-                                  options_.default_ttl,
-                                  [&snapshot, &stale] {
-                                    if (snapshot.Current()) return true;
-                                    stale = true;
-                                    return false;
-                                  },
-                                  std::move(durable_tag));
+  const bool stored = cache_->Put(
+      key, std::make_shared<ResultValue>(result), options_.default_ttl,
+      cache::GpsCache::AdmitDecider([&snapshot, gate, observed_seq, &decision] {
+        // Both checks run under the shard's exclusive lock: the epoch
+        // snapshot orders this fill against local invalidations, the
+        // sequence gate against the CDC stream's applied prefix.
+        if (!snapshot.Current()) {
+          decision = cache::GpsCache::AdmitDecision::kRejectStale;
+        } else if (gate != nullptr && !gate->Admits(observed_seq)) {
+          decision = cache::GpsCache::AdmitDecision::kRejectSequence;
+        } else {
+          decision = cache::GpsCache::AdmitDecision::kAdmit;
+        }
+        return decision;
+      }),
+      std::move(durable_tag));
   if (!stored) {
     dup_->UnregisterQuery(key);
-    (stale ? stats_.stale_discards : stats_.uncacheable)
-        .fetch_add(1, std::memory_order_relaxed);
+    switch (decision) {
+      case cache::GpsCache::AdmitDecision::kRejectStale:
+        stats_.stale_discards.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case cache::GpsCache::AdmitDecision::kRejectSequence:
+        stats_.seq_admit_rejects.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case cache::GpsCache::AdmitDecision::kAdmit:  // admitted but not stored
+        stats_.uncacheable.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
     return false;
   }
-  if (semantic_) semantic_->TryRegister(key, *query, params, result, snapshot);
+  if (semantic_) semantic_->TryRegister(key, *query, params, result, snapshot, observed_seq);
   return true;
 }
 

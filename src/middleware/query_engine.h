@@ -51,6 +51,7 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -61,6 +62,7 @@
 #include "cache/gps_cache.h"
 #include "cache/semantic_index.h"
 #include "dup/engine.h"
+#include "dup/epochs.h"
 #include "middleware/metrics.h"
 #include "middleware/result_value.h"
 #include "sql/binder.h"
@@ -82,6 +84,9 @@ struct QueryEngineStats {
   std::atomic<uint64_t> db_executions{0};   // misses that went to the database
   std::atomic<uint64_t> uncacheable{0};     // results too large to cache
   std::atomic<uint64_t> stale_discards{0};  // results dropped by the epoch guard
+  std::atomic<uint64_t> seq_admit_rejects{0};  // fills refused by the CDC sequence
+                                               // gate (cache nodes; docs/CLUSTER.md)
+  std::atomic<uint64_t> remote_fills{0};    // misses answered by Options::remote_fetch
   std::atomic<uint64_t> refresh_executions{0};  // eager re-executions (refresh_on_invalidate)
 
   // Warm-restart accounting (cache.recover_on_open; docs/PERSISTENCE.md):
@@ -106,6 +111,15 @@ struct QueryEngineStats {
 
 class CachedQueryEngine {
  public:
+  /// A miss answered by Options::remote_fetch: the result plus the CDC
+  /// stream sequence the upstream read observed (loaded on the storage
+  /// node *before* its table read locks, so the result reflects every
+  /// update with seq <= observed_seq).
+  struct RemoteFill {
+    sql::ResultPtr result;
+    uint64_t observed_seq = 0;
+  };
+
   struct Options {
     dup::InvalidationPolicy policy = dup::InvalidationPolicy::kValueAware;
     dup::ExtractionOptions extraction;
@@ -139,6 +153,30 @@ class CachedQueryEngine {
     /// being invalidated, keeping the cache warm at the cost of eager
     /// refresh executions on the update path.
     bool refresh_on_invalidate = false;
+
+    /// Cache-node mode (docs/CLUSTER.md): when set, misses are answered by
+    /// this hook — typically a QCP/1 QUERY_SEQ round-trip to the storage
+    /// node — instead of executing against the local database, and no
+    /// local table locks are taken. The returned observed_seq feeds the
+    /// sequence-gate admission check below. Combine with
+    /// subscribe_to_database = false (invalidations arrive over the CDC
+    /// stream, not from the local database).
+    std::function<RemoteFill(const sql::BoundQuery&, const std::vector<Value>&)> remote_fetch;
+
+    /// The node's CDC sequence gate (shared with the stream applier). When
+    /// set, the guarded Put additionally refuses any fill whose
+    /// observed_seq is behind the gate's applied sequence — the fill's
+    /// data may predate an invalidation that has already run. Counted in
+    /// QueryEngineStats::seq_admit_rejects and cache seq_admit_rejects.
+    std::shared_ptr<dup::CdcSequenceGate> seq_gate;
+
+    /// Local-execution counterpart of RemoteFill::observed_seq: called
+    /// *before* the table read locks are acquired, returns the last CDC
+    /// sequence whose invalidations are fully applied locally (on the
+    /// storage node itself: the last published sequence). Unset = fills
+    /// observe sequence 0, which the gate refuses once any invalidation
+    /// applied — the safe default for nodes that never execute locally.
+    std::function<uint64_t()> observe_committed_seq;
 
     /// Synthetic per-miss penalty modeling a remote persistent store (the
     /// paper's rule server reached DB2 over JDBC; our tables are
@@ -210,13 +248,25 @@ class CachedQueryEngine {
                                   const std::vector<Value>& params,
                                   const dup::UpdateEpochs::Snapshot& snapshot);
 
+  /// The CDC sequence a locally-executed miss observes: the configured
+  /// observe_committed_seq hook, or 0 when unset. Must be called *before*
+  /// the table read locks are acquired (the sequence-gate soundness rule,
+  /// docs/CLUSTER.md).
+  uint64_t ObserveCommittedSeq() const {
+    return options_.observe_committed_seq ? options_.observe_committed_seq() : 0;
+  }
+
   /// Shared tail of the miss and semantic-hit paths: ODG registration, the
   /// epoch-guarded Put (with durable tag in disk/hybrid modes), failure
   /// cleanup and accounting, and — on a successful store — registration as
-  /// a semantic source. Returns whether the entry was stored.
+  /// a semantic source. `observed_seq` is the CDC sequence the result's
+  /// read observed (RemoteFill::observed_seq / ObserveCommittedSeq); when
+  /// Options::seq_gate is set, admission additionally requires
+  /// gate.Admits(observed_seq), re-checked under the shard lock like the
+  /// epoch snapshot. Returns whether the entry was stored.
   bool StoreResult(const std::string& key, const std::shared_ptr<const sql::BoundQuery>& query,
                    const std::vector<Value>& params, const sql::ResultPtr& result,
-                   const dup::UpdateEpochs::Snapshot& snapshot);
+                   const dup::UpdateEpochs::Snapshot& snapshot, uint64_t observed_seq);
 
   /// Warm restart (constructor only): rebuild the ODG registration of one
   /// disk entry recovered by the GPS cache. Prefers the durable tag

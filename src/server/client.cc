@@ -1,5 +1,6 @@
 #include "server/client.h"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <utility>
@@ -110,6 +111,51 @@ uint64_t QcClient::Dml(const std::string& sql, const std::vector<Value>& params)
   const uint64_t affected = r.U64();
   r.ExpectEnd();
   return affected;
+}
+
+QcClient::SeqQueryResult QcClient::QuerySeq(const std::string& sql,
+                                            const std::vector<Value>& params) {
+  WireWriter w;
+  w.Str(sql);
+  w.Params(params);
+  const std::string payload = Call(Opcode::kQuerySeq, w.bytes(), Opcode::kResultSetSeq);
+  WireReader r(payload);
+  SeqQueryResult out;
+  out.observed_seq = r.U64();
+  DecodedResult decoded = DecodeResultSet(r);
+  r.ExpectEnd();
+  out.result = std::move(decoded.result);
+  out.cache_hit = decoded.cache_hit;
+  return out;
+}
+
+uint64_t QcClient::SubscribeCdc(uint64_t last_seen_seq) {
+  WireWriter w;
+  w.U64(last_seen_seq);
+  const std::string payload = Call(Opcode::kSubscribe, w.bytes(), Opcode::kSubscribed);
+  WireReader r(payload);
+  const uint64_t current_seq = r.U64();
+  r.ExpectEnd();
+  return current_seq;
+}
+
+std::optional<CdcRecord> QcClient::ReadCdcEvent(int timeout_ms) {
+  if (fd_ < 0) throw NetError("not connected");
+  if (timeout_ms >= 0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) throw NetError("poll failed");
+    if (rc == 0) return std::nullopt;
+    if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) throw NetError("server closed connection");
+  }
+  auto [header, payload] = ReadFrame();
+  if (header.opcode != Opcode::kCdcEvent) {
+    throw ProtocolError(std::string("expected CDC_EVENT, got ") + OpcodeName(header.opcode));
+  }
+  WireReader r(payload);
+  CdcRecord record = DecodeCdcRecord(r);
+  r.ExpectEnd();
+  return record;
 }
 
 QcClient::PreparedHandle QcClient::Prepare(const std::string& sql) {

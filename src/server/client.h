@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,33 @@ class QcClient {
 
   /// Deallocate a prepared statement.
   void CloseStmt(uint32_t stmt_id);
+
+  struct SeqQueryResult {
+    sql::ResultSet result;
+    bool cache_hit = false;
+    /// The server's committed CDC sequence loaded *before* the read: the
+    /// result reflects every update with seq <= observed_seq. A remote fill
+    /// must carry this into its sequence-guarded admission
+    /// (docs/CLUSTER.md, "Sequence-guarded admission").
+    uint64_t observed_seq = 0;
+  };
+
+  /// SELECT over the wire with CDC sequence observation (QUERY_SEQ frame ->
+  /// RESULT_SET_SEQ). SELECT-only: the server refuses DML on this opcode.
+  SeqQueryResult QuerySeq(const std::string& sql, const std::vector<Value>& params = {});
+
+  /// Join this connection to the server's CDC invalidation stream
+  /// (SUBSCRIBE -> SUBSCRIBED). Returns the server's current committed
+  /// sequence; if it exceeds `last_seen_seq` the caller missed records and
+  /// must treat the gap as a flush (docs/CLUSTER.md). After subscribing the
+  /// server pushes CDC_EVENT frames; consume them with ReadCdcEvent — do
+  /// not interleave other calls on a subscribed connection (a pushed frame
+  /// would be mistaken for the response).
+  uint64_t SubscribeCdc(uint64_t last_seen_seq = 0);
+
+  /// Block until the next pushed CDC_EVENT frame, a timeout (nullopt), or
+  /// disconnection (NetError). `timeout_ms` < 0 waits indefinitely.
+  std::optional<CdcRecord> ReadCdcEvent(int timeout_ms = -1);
 
   /// Full counter dump. u64 counters are widened to double (exact up to
   /// 2^53, far beyond any counter in practice).

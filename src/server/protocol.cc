@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace qc::server {
@@ -24,6 +25,8 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kDrain: return "DRAIN";
     case Opcode::kPing: return "PING";
     case Opcode::kCloseStmt: return "CLOSE_STMT";
+    case Opcode::kSubscribe: return "SUBSCRIBE";
+    case Opcode::kQuerySeq: return "QUERY_SEQ";
     case Opcode::kHelloOk: return "HELLO_OK";
     case Opcode::kResultSet: return "RESULT_SET";
     case Opcode::kDmlOk: return "DML_OK";
@@ -32,6 +35,9 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kDrainAck: return "DRAIN_ACK";
     case Opcode::kPong: return "PONG";
     case Opcode::kStmtClosed: return "STMT_CLOSED";
+    case Opcode::kSubscribed: return "SUBSCRIBED";
+    case Opcode::kCdcEvent: return "CDC_EVENT";
+    case Opcode::kResultSetSeq: return "RESULT_SET_SEQ";
     case Opcode::kBusy: return "BUSY";
     case Opcode::kError: return "ERROR";
   }
@@ -261,6 +267,85 @@ std::vector<StatsEntry> DecodeStats(WireReader& r) {
     entries.push_back(std::move(e));
   }
   return entries;
+}
+
+namespace {
+
+// Event-kind tags on the wire (CDC_EVENT; spec: docs/CLUSTER.md).
+constexpr uint8_t kKindUpdate = 0;
+constexpr uint8_t kKindInsert = 1;
+constexpr uint8_t kKindDelete = 2;
+
+uint8_t KindTag(storage::UpdateEvent::Kind kind) {
+  switch (kind) {
+    case storage::UpdateEvent::Kind::kUpdate: return kKindUpdate;
+    case storage::UpdateEvent::Kind::kInsert: return kKindInsert;
+    case storage::UpdateEvent::Kind::kDelete: return kKindDelete;
+  }
+  throw ProtocolError("unrepresentable event kind");
+}
+
+storage::UpdateEvent::Kind KindFromTag(uint8_t tag) {
+  switch (tag) {
+    case kKindUpdate: return storage::UpdateEvent::Kind::kUpdate;
+    case kKindInsert: return storage::UpdateEvent::Kind::kInsert;
+    case kKindDelete: return storage::UpdateEvent::Kind::kDelete;
+    default: throw ProtocolError("unknown CDC event kind tag");
+  }
+}
+
+}  // namespace
+
+void EncodeCdcRecord(const CdcRecord& record, WireWriter& w) {
+  w.U64(record.seq);
+  w.Str(record.table);
+  w.U32(static_cast<uint32_t>(record.events.size()));
+  for (const storage::UpdateEvent& event : record.events) {
+    w.U8(KindTag(event.kind));
+    w.U64(event.row);
+    if (event.changes.size() > 0xffff) throw ProtocolError("too many attribute changes");
+    w.U16(static_cast<uint16_t>(event.changes.size()));
+    for (const storage::AttributeChange& change : event.changes) {
+      w.U32(change.column);
+      w.Val(change.old_value);
+      w.Val(change.new_value);
+    }
+    w.U32(static_cast<uint32_t>(event.before.size()));
+    for (const Value& v : event.before) w.Val(v);
+    w.U32(static_cast<uint32_t>(event.after.size()));
+    for (const Value& v : event.after) w.Val(v);
+  }
+}
+
+CdcRecord DecodeCdcRecord(WireReader& r) {
+  CdcRecord record;
+  record.seq = r.U64();
+  record.table = r.Str();
+  const uint32_t nevents = r.U32();
+  record.events.reserve(std::min<uint32_t>(nevents, 4096));
+  for (uint32_t i = 0; i < nevents; ++i) {
+    storage::UpdateEvent event;
+    event.kind = KindFromTag(r.U8());
+    event.table = record.table;
+    event.row = r.U64();
+    const uint16_t nchanges = r.U16();
+    event.changes.reserve(nchanges);
+    for (uint16_t c = 0; c < nchanges; ++c) {
+      storage::AttributeChange change;
+      change.column = r.U32();
+      change.old_value = r.Val();
+      change.new_value = r.Val();
+      event.changes.push_back(std::move(change));
+    }
+    const uint32_t nbefore = r.U32();
+    event.before.reserve(std::min<uint32_t>(nbefore, 4096));
+    for (uint32_t c = 0; c < nbefore; ++c) event.before.push_back(r.Val());
+    const uint32_t nafter = r.U32();
+    event.after.reserve(std::min<uint32_t>(nafter, 4096));
+    for (uint32_t c = 0; c < nafter; ++c) event.after.push_back(r.Val());
+    record.events.push_back(std::move(event));
+  }
+  return record;
 }
 
 void EncodeError(ErrorCode code, std::string_view message, WireWriter& w) {

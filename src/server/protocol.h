@@ -30,6 +30,7 @@
 #include "common/error.h"
 #include "common/value.h"
 #include "sql/result.h"
+#include "storage/events.h"
 
 namespace qc::server {
 
@@ -58,6 +59,8 @@ enum class Opcode : uint8_t {
   kDrain = 0x06,      // begin graceful drain (admin)
   kPing = 0x07,       // liveness probe
   kCloseStmt = 0x08,  // deallocate a session statement id
+  kSubscribe = 0x09,  // join the CDC invalidation stream (docs/CLUSTER.md)
+  kQuerySeq = 0x0A,   // SELECT that also reports the observed CDC sequence
 
   // Responses.
   kHelloOk = 0x81,     // negotiated version + server banner
@@ -68,6 +71,9 @@ enum class Opcode : uint8_t {
   kDrainAck = 0x86,    // drain accepted
   kPong = 0x87,        // PING response
   kStmtClosed = 0x88,  // CLOSE_STMT response
+  kSubscribed = 0x89,  // SUBSCRIBE accepted: current committed sequence
+  kCdcEvent = 0x8A,    // server push: one serialized CDC record (request_id 0)
+  kResultSetSeq = 0x8B,// QUERY_SEQ result: u64 observed seq + RESULT_SET payload
   kBusy = 0xBE,        // load shed: retry later (same payload shape as kError)
   kError = 0xEF,       // typed error
 };
@@ -189,6 +195,37 @@ struct StatsEntry {
 };
 void EncodeStats(const std::vector<StatsEntry>& entries, WireWriter& w);
 std::vector<StatsEntry> DecodeStats(WireReader& r);
+
+/// One CDC stream record: a committed storage::UpdateBatch plus the
+/// monotonically increasing stream sequence number the publishing node
+/// assigned to it (docs/CLUSTER.md, "The CDC stream"). Unlike UpdateBatch
+/// this is an owning copy — batches are views valid only inside the
+/// database observer call, so the publisher copies before the statement
+/// returns.
+///
+/// CDC_EVENT payload layout:
+///   u64 seq, string table, u32 event_count, then per event:
+///     u8  kind            (0 = UPDATE, 1 = INSERT, 2 = DELETE)
+///     u64 row_id
+///     u16 change_count, per change: u32 column, Value old, Value new
+///     u32 before_count + Values (full before-image; empty for INSERT)
+///     u32 after_count + Values  (full after-image; empty for DELETE)
+struct CdcRecord {
+  uint64_t seq = 0;
+  std::string table;
+  std::vector<storage::UpdateEvent> events;
+
+  /// View of the owned events in the shape DupEngine::OnBatch consumes.
+  storage::UpdateBatch AsBatch() const { return {table, events.data(), events.size()}; }
+};
+
+void EncodeCdcRecord(const CdcRecord& record, WireWriter& w);
+CdcRecord DecodeCdcRecord(WireReader& r);
+
+/// SUBSCRIBE payload: u64 last_seen_seq (0 on a fresh subscription). The
+/// SUBSCRIBED response carries u64 current committed sequence; a subscriber
+/// whose last_seen_seq lags it missed invalidations and must flush its
+/// cache before admitting new fills (docs/CLUSTER.md, "Resubscribe gaps").
 
 /// ERROR / BUSY payload: u16 ErrorCode + string message.
 void EncodeError(ErrorCode code, std::string_view message, WireWriter& w);

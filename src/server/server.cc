@@ -38,6 +38,25 @@ QcServer::~QcServer() { Stop(); }
 
 void QcServer::Start() {
   if (started_.exchange(true)) throw NetError("server already started");
+  if (config_.cdc_publish) {
+    // Storage-node mode: publish every committed batch on the CDC stream.
+    // Subscribed *before* the listener opens, so no DML a client could
+    // observe predates the stream. The engine's own subscription was
+    // installed at engine construction, i.e. ahead of this one, and the
+    // database notifies observers in subscription order — so by the time a
+    // record is fanned out (and cdc_committed_ advances past it), its
+    // local invalidations have run. QUERY_SEQ leans on that ordering.
+    cdc_subscription_ =
+        engine_.database().SubscribeBatch([this](const storage::UpdateBatch& batch) {
+          CdcRecord record;
+          record.table = std::string(batch.table);
+          record.events.assign(batch.events, batch.events + batch.count);
+          std::lock_guard<std::mutex> lock(cdc_mutex_);
+          record.seq = ++cdc_next_seq_;
+          FanOutLocked(record);
+          cdc_committed_.store(record.seq, std::memory_order_release);
+        });
+  }
   listen_fd_ = ListenTcp(config_.host, config_.port, config_.listen_backlog);
   port_ = LocalPort(listen_fd_);
   wake_.Open();
@@ -67,6 +86,10 @@ void QcServer::Wait() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (cdc_subscription_) {
+    engine_.database().Unsubscribe(cdc_subscription_);
+    cdc_subscription_ = {};
+  }
   wake_.Close();
 }
 
@@ -88,6 +111,13 @@ ServerStatsSnapshot QcServer::stats() const {
   s.slow_consumer_closes = slow_consumer_closes_.load(std::memory_order_relaxed);
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
   s.draining = draining_.load(std::memory_order_relaxed) ? 1 : 0;
+  s.cdc_events_sent = cdc_events_sent_.load(std::memory_order_relaxed);
+  s.cdc_events_dropped = cdc_events_dropped_.load(std::memory_order_relaxed);
+  s.cdc_committed_seq = cdc_committed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cdc_mutex_);
+    s.cdc_subscribers = cdc_subscribers_.size();
+  }
   return s;
 }
 
@@ -310,7 +340,22 @@ void QcServer::DispatchFrame(const ConnPtr& conn, const FrameHeader& header,
       Enqueue(conn, BuildFrame(Opcode::kDrainAck, header.request_id, {}));
       RequestDrain();
       return;
+    case Opcode::kSubscribe:
+      // Inline on the I/O thread like the other control frames: it only
+      // touches the subscriber list, never table data.
+      if (draining_.load(std::memory_order_relaxed)) {
+        drain_rejections_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, header, ErrorCode::kDraining, "server is draining");
+        return;
+      }
+      try {
+        HandleSubscribe(conn, header, payload);
+      } catch (const ProtocolError& e) {
+        protocol_error(ErrorCode::kMalformedFrame, e.what());
+      }
+      return;
     case Opcode::kQuery:
+    case Opcode::kQuerySeq:
     case Opcode::kPrepare:
     case Opcode::kExecute:
     case Opcode::kCloseStmt: {
@@ -379,19 +424,79 @@ bool QcServer::AllQueuesIdle() {
   return true;
 }
 
-void QcServer::Enqueue(const ConnPtr& conn, std::string frame) {
+bool QcServer::Enqueue(const ConnPtr& conn, std::string frame) {
+  bool queued = false;
   {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
-    if (conn->dead || conn->overflowed) return;
+    if (conn->dead || conn->overflowed) return false;
     if (conn->outq_bytes + frame.size() > config_.max_write_queue_bytes) {
       conn->overflowed = true;  // I/O thread disconnects on its next pass
     } else {
       conn->outq_bytes += frame.size();
       conn->outq.push_back(std::move(frame));
       responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      queued = true;
     }
   }
   wake_.Notify();
+  return queued;
+}
+
+// --- CDC stream ------------------------------------------------------------
+
+void QcServer::HandleSubscribe(const ConnPtr& conn, const FrameHeader& header,
+                               const std::string& payload) {
+  WireReader r(payload);
+  const uint64_t last_seen = r.U64();
+  (void)last_seen;  // reconciliation is the subscriber's job (gap => flush)
+  r.ExpectEnd();
+  uint64_t current;
+  {
+    std::lock_guard<std::mutex> lock(cdc_mutex_);
+    bool present = false;
+    for (const ConnPtr& c : cdc_subscribers_) present = present || c == conn;
+    if (!present) cdc_subscribers_.push_back(conn);
+    // Read under cdc_mutex_: every record <= current was fanned out before
+    // this registration (the subscriber reconciles against last_seen);
+    // every later record will be delivered to it.
+    current = cdc_committed_.load(std::memory_order_acquire);
+  }
+  WireWriter w;
+  w.U64(current);
+  Enqueue(conn, BuildFrame(Opcode::kSubscribed, header.request_id, w.bytes()));
+}
+
+void QcServer::FanOutLocked(const CdcRecord& record) {
+  WireWriter w;
+  EncodeCdcRecord(record, w);
+  // Server-push: request_id 0, never a reply to anything.
+  const std::string frame = BuildFrame(Opcode::kCdcEvent, 0, w.bytes());
+  size_t alive = 0;
+  for (ConnPtr& conn : cdc_subscribers_) {
+    bool dead;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      dead = conn->dead;
+    }
+    if (dead) continue;  // pruned below
+    if (Enqueue(conn, frame)) {
+      cdc_events_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cdc_events_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cdc_subscribers_[alive++] = conn;
+  }
+  cdc_subscribers_.resize(alive);
+}
+
+void QcServer::PublishCdc(const CdcRecord& record) {
+  std::lock_guard<std::mutex> lock(cdc_mutex_);
+  FanOutLocked(record);
+  // Relay mode keeps the upstream's numbering; fetch-max in case records
+  // are relayed from several appliers.
+  if (cdc_committed_.load(std::memory_order_relaxed) < record.seq) {
+    cdc_committed_.store(record.seq, std::memory_order_release);
+  }
 }
 
 void QcServer::SendError(const ConnPtr& conn, const FrameHeader& req, ErrorCode code,
@@ -423,6 +528,7 @@ void QcServer::HandleWorkItem(const WorkItem& item) {
   try {
     switch (item.header.opcode) {
       case Opcode::kQuery: HandleQuery(item); return;
+      case Opcode::kQuerySeq: HandleQuerySeq(item); return;
       case Opcode::kPrepare: HandlePrepare(item); return;
       case Opcode::kExecute: HandleExecute(item); return;
       case Opcode::kCloseStmt: HandleCloseStmt(item); return;
@@ -450,16 +556,47 @@ void QcServer::HandleQuery(const WorkItem& item) {
   const std::vector<Value> params = r.Params();
   r.ExpectEnd();
   if (FirstKeyword(sql) == "SELECT") {
-    const auto outcome = engine_.ExecuteSql(sql, params);
+    // Ring routing (cache nodes): a fingerprint another node owns is
+    // served by forwarding, so each cached result lives on exactly one
+    // node. nullopt = this node owns it (or no router installed).
+    middleware::CachedQueryEngine::ExecuteResult outcome;
+    std::optional<middleware::CachedQueryEngine::ExecuteResult> routed;
+    if (select_router_) routed = select_router_(sql, params);
+    outcome = routed ? std::move(*routed) : engine_.ExecuteSql(sql, params);
     WireWriter w;
     EncodeResultSet(*outcome.result, outcome.cache_hit, w);
     Enqueue(item.conn, BuildFrame(Opcode::kResultSet, item.header.request_id, w.bytes()));
   } else {
-    const uint64_t affected = engine_.ExecuteDml(sql, params);
+    // Cache nodes never mutate locally: DML goes upstream to the storage
+    // node, and the resulting invalidations come back on the CDC stream.
+    const uint64_t affected =
+        dml_forwarder_ ? dml_forwarder_(sql, params) : engine_.ExecuteDml(sql, params);
     WireWriter w;
     w.U64(affected);
     Enqueue(item.conn, BuildFrame(Opcode::kDmlOk, item.header.request_id, w.bytes()));
   }
+}
+
+void QcServer::HandleQuerySeq(const WorkItem& item) {
+  WireReader r(item.payload);
+  const std::string sql = r.Str();
+  const std::vector<Value> params = r.Params();
+  r.ExpectEnd();
+  if (FirstKeyword(sql) != "SELECT") {
+    SendError(item.conn, item.header, ErrorCode::kParse, "QUERY_SEQ is SELECT-only");
+    return;
+  }
+  // Load the committed sequence *before* the read (which takes its table
+  // locks inside ExecuteSql): every update with seq <= observed is then
+  // both reflected in the result and already fanned out as a CDC record —
+  // the invariant the cache node's sequence-gate admission relies on
+  // (docs/CLUSTER.md).
+  const uint64_t observed = cdc_committed_.load(std::memory_order_acquire);
+  const auto outcome = engine_.ExecuteSql(sql, params);
+  WireWriter w;
+  w.U64(observed);
+  EncodeResultSet(*outcome.result, outcome.cache_hit, w);
+  Enqueue(item.conn, BuildFrame(Opcode::kResultSetSeq, item.header.request_id, w.bytes()));
 }
 
 void QcServer::HandlePrepare(const WorkItem& item) {
@@ -549,6 +686,8 @@ std::vector<StatsEntry> QcServer::BuildStatsEntries() {
   u64("engine.db_executions", es.db_executions.load(std::memory_order_relaxed));
   u64("engine.uncacheable", es.uncacheable.load(std::memory_order_relaxed));
   u64("engine.stale_discards", es.stale_discards.load(std::memory_order_relaxed));
+  u64("engine.seq_admit_rejects", es.seq_admit_rejects.load(std::memory_order_relaxed));
+  u64("engine.remote_fills", es.remote_fills.load(std::memory_order_relaxed));
   u64("engine.refresh_executions", es.refresh_executions.load(std::memory_order_relaxed));
   u64("engine.recovered_registrations",
       es.recovered_registrations.load(std::memory_order_relaxed));
@@ -599,6 +738,16 @@ std::vector<StatsEntry> QcServer::BuildStatsEntries() {
   u64("server.slow_consumer_closes", ss.slow_consumer_closes);
   u64("server.in_flight", ss.in_flight);
   u64("server.draining", ss.draining);
+  u64("server.cdc_events_sent", ss.cdc_events_sent);
+  u64("server.cdc_events_dropped", ss.cdc_events_dropped);
+  u64("server.cdc_committed_seq", ss.cdc_committed_seq);
+  u64("server.cdc_subscribers", ss.cdc_subscribers);
+
+  // Cluster-runtime counters (cdc_events_applied, ring_forwards,
+  // lease_invalidations, ...) ride in through the extra-stats hook.
+  if (extra_stats_) {
+    for (auto& [key, value] : extra_stats_()) u64(std::move(key), value);
+  }
   return entries;
 }
 

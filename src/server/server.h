@@ -37,11 +37,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "middleware/query_engine.h"
@@ -69,6 +72,13 @@ struct ServerConfig {
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
 
   int listen_backlog = 128;
+
+  /// Storage-node mode (docs/CLUSTER.md): serialize every committed
+  /// storage::UpdateBatch as a CDC_EVENT frame with a monotonically
+  /// increasing stream sequence and fan it out to SUBSCRIBE'd
+  /// connections. Off by default — a plain qcached and the cache nodes
+  /// themselves publish only what PublishCdc() relays.
+  bool cdc_publish = false;
 };
 
 /// Monotonic server counters, snapshotted by stats() and serialized into
@@ -84,6 +94,12 @@ struct ServerStatsSnapshot {
   uint64_t slow_consumer_closes = 0; // write-queue cap disconnects
   uint64_t in_flight = 0;            // currently dispatched requests
   uint64_t draining = 0;             // 0 or 1
+
+  // CDC invalidation stream (docs/CLUSTER.md).
+  uint64_t cdc_events_sent = 0;      // CDC_EVENT frames queued to subscribers
+  uint64_t cdc_events_dropped = 0;   // frames not queued (dead/overflowed conn)
+  uint64_t cdc_committed_seq = 0;    // last published stream sequence
+  uint64_t cdc_subscribers = 0;      // live SUBSCRIBE'd connections
 };
 
 class QcServer {
@@ -120,6 +136,41 @@ class QcServer {
   /// Serialize engine + cache + DUP + server counters into STATS_RESULT
   /// entries (also used by the DRAIN log line in tools/qcached.cc).
   std::vector<StatsEntry> BuildStatsEntries();
+
+  // --- Cluster hooks (docs/CLUSTER.md). All three must be installed
+  // --- before Start(); they are read without locks afterwards.
+
+  /// Cache-node DML offload: when set, QUERY frames carrying DML are
+  /// answered by this hook (a forward to the storage node) instead of
+  /// engine_.ExecuteDml. Returns the affected-row count.
+  using DmlForwarder = std::function<uint64_t(const std::string& sql,
+                                              const std::vector<Value>& params)>;
+  void SetDmlForwarder(DmlForwarder forwarder) { dml_forwarder_ = std::move(forwarder); }
+
+  /// Fingerprint-ownership routing: consulted for every SELECT QUERY
+  /// frame. Returning a result means the statement was served elsewhere
+  /// (forwarded to the owning peer); nullopt falls through to the local
+  /// engine.
+  using SelectRouter = std::function<std::optional<middleware::CachedQueryEngine::ExecuteResult>(
+      const std::string& sql, const std::vector<Value>& params)>;
+  void SetSelectRouter(SelectRouter router) { select_router_ = std::move(router); }
+
+  /// Extra (key, value) counters appended to STATS_RESULT — the cluster
+  /// runtime exports cdc_events_applied / ring_forwards /
+  /// lease_invalidations through this without a server→cluster dependency.
+  using ExtraStatsFn = std::function<std::vector<std::pair<std::string, uint64_t>>()>;
+  void SetExtraStats(ExtraStatsFn fn) { extra_stats_ = std::move(fn); }
+
+  /// Fan one CDC record out to this server's SUBSCRIBE'd connections and
+  /// advance the committed sequence to record.seq (monotonic). Relay mode:
+  /// a cache node republishes upstream records — with their upstream
+  /// sequence numbers — to its own subscribers (push-lease client caches).
+  /// Thread-safe; callable from any thread after Start().
+  void PublishCdc(const CdcRecord& record);
+
+  /// Last stream sequence published (or relayed) by this server; the
+  /// sequence a SUBSCRIBED reply reports. Wait-free.
+  uint64_t cdc_committed_seq() const { return cdc_committed_.load(std::memory_order_acquire); }
 
  private:
   struct Connection {
@@ -163,14 +214,21 @@ class QcServer {
   void CloseConn(const ConnPtr& conn);
   bool AllQueuesIdle();
 
-  // Response plumbing (any thread).
-  void Enqueue(const ConnPtr& conn, std::string frame);
+  // Response plumbing (any thread). Returns whether the frame was queued
+  // (false: connection dead or its write queue overflowed).
+  bool Enqueue(const ConnPtr& conn, std::string frame);
   void SendError(const ConnPtr& conn, const FrameHeader& req, ErrorCode code,
                  std::string_view message, Opcode opcode = Opcode::kError);
+
+  // CDC stream (docs/CLUSTER.md).
+  void HandleSubscribe(const ConnPtr& conn, const FrameHeader& header,
+                       const std::string& payload);
+  void FanOutLocked(const CdcRecord& record);  // cdc_mutex_ held
 
   // Worker-side request execution.
   void HandleWorkItem(const WorkItem& item);
   void HandleQuery(const WorkItem& item);
+  void HandleQuerySeq(const WorkItem& item);
   void HandlePrepare(const WorkItem& item);
   void HandleExecute(const WorkItem& item);
   void HandleCloseStmt(const WorkItem& item);
@@ -198,6 +256,24 @@ class QcServer {
   std::atomic<bool> draining_{false};
   std::mutex lifecycle_mutex_;  // serializes Wait/Stop joins
   bool joined_ = false;
+
+  // CDC invalidation stream. The mutex orders sequence assignment with
+  // fan-out: a subscriber registered under it either receives a record or
+  // sees its sequence already committed in the SUBSCRIBED reply (and
+  // reconciles the gap by flushing) — no record is silently missed.
+  // cdc_committed_ is stored only *after* fan-out, so a QUERY_SEQ reader
+  // observing sequence S knows every record <= S was both applied locally
+  // (the engine's subscription runs first) and queued to subscribers.
+  mutable std::mutex cdc_mutex_;  // mutable: stats() counts subscribers
+  uint64_t cdc_next_seq_ = 0;                // storage mode; guarded by cdc_mutex_
+  std::vector<ConnPtr> cdc_subscribers_;     // guarded by cdc_mutex_; lazily pruned
+  std::atomic<uint64_t> cdc_committed_{0};
+  std::atomic<uint64_t> cdc_events_sent_{0};
+  std::atomic<uint64_t> cdc_events_dropped_{0};
+  storage::Database::BatchSubscription cdc_subscription_{};
+  DmlForwarder dml_forwarder_;
+  SelectRouter select_router_;
+  ExtraStatsFn extra_stats_;
 
   // Counters (relaxed; exact once the touching threads are quiescent).
   std::atomic<uint64_t> in_flight_{0};

@@ -1,6 +1,19 @@
+// Push-lease client cache over a real loopback QcServer: local hits
+// offload the origin, pushed CDC invalidations drop entries without any
+// polling, and with the subscription disabled the lease TTL bounds
+// staleness exactly like the paper's original client tier
+// (docs/CLUSTER.md, "Push-lease client caches").
 #include "cluster/client_cache.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "middleware/query_engine.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace qc::cluster {
 namespace {
@@ -10,33 +23,61 @@ using namespace std::chrono_literals;
 class ClientCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    table_ = &db_.CreateTable("T", storage::Schema({{"ID", ValueType::kInt, false},
-                                                    {"N", ValueType::kInt, false}}));
-    for (int i = 1; i <= 20; ++i) table_->Insert({Value(i), Value(i)});
-    engine_ = std::make_unique<middleware::CachedQueryEngine>(db_, middleware::CachedQueryEngine::Options{});
+    storage::Table& table = db_.CreateTable(
+        "T", storage::Schema({{"ID", ValueType::kInt, false}, {"N", ValueType::kInt, false}}));
+    for (int i = 1; i <= 20; ++i) table.Insert({Value(i), Value(i)});
+    engine_ = std::make_unique<middleware::CachedQueryEngine>(
+        db_, middleware::CachedQueryEngine::Options{});
+    server::ServerConfig config;
+    config.port = 0;
+    config.cdc_publish = true;
+    server_ = std::make_unique<server::QcServer>(*engine_, config);
+    server_->Start();
+  }
+
+  void TearDown() override {
+    if (server_) {
+      server_->RequestDrain();
+      server_->Wait();
+    }
   }
 
   ClientCacheConfig Config() {
     ClientCacheConfig config;
-    config.ttl = 30s;
+    config.lease_ttl = 30s;
     config.now = [this] { return now_; };
-    config.verify_staleness = true;
     return config;
   }
 
+  std::unique_ptr<ClientCache> MakeClient(ClientCacheConfig config) {
+    auto client = std::make_unique<ClientCache>("127.0.0.1", server_->port(), std::move(config));
+    if (config_subscribed_) {
+      // Wait for the CDC subscription before caching anything, so pushes
+      // cannot slip past an unregistered stream in the assertions below.
+      const auto deadline = std::chrono::steady_clock::now() + 5s;
+      while (!client->subscription_healthy() && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(1ms);
+      }
+      EXPECT_TRUE(client->subscription_healthy());
+    }
+    return client;
+  }
+
   storage::Database db_;
-  storage::Table* table_ = nullptr;
   std::unique_ptr<middleware::CachedQueryEngine> engine_;
+  std::unique_ptr<server::QcServer> server_;
   cache::TimePoint now_{};
+  bool config_subscribed_ = true;
 };
 
+constexpr const char* kCount = "SELECT COUNT(*) FROM T WHERE N <= 10";
+
 TEST_F(ClientCacheTest, LocalHitsOffloadOrigin) {
-  ClientCache client(*engine_, Config());
-  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= 10");
-  EXPECT_FALSE(client.Execute(query).cache_hit);  // origin miss too
-  EXPECT_TRUE(client.Execute(query).cache_hit);
-  EXPECT_TRUE(client.Execute(query).cache_hit);
-  const auto stats = client.stats();
+  auto client = MakeClient(Config());
+  EXPECT_FALSE(client->Execute(kCount).cache_hit);  // origin miss too
+  EXPECT_TRUE(client->Execute(kCount).cache_hit);
+  EXPECT_TRUE(client->Execute(kCount).cache_hit);
+  const auto stats = client->stats();
   EXPECT_EQ(stats.requests, 3u);
   EXPECT_EQ(stats.local_hits, 2u);
   EXPECT_EQ(stats.origin_requests, 1u);
@@ -44,63 +85,105 @@ TEST_F(ClientCacheTest, LocalHitsOffloadOrigin) {
   EXPECT_EQ(engine_->stats().executions, 1u);
 }
 
-TEST_F(ClientCacheTest, NoInvalidationChannelMeansBoundedStaleness) {
-  ClientCache client(*engine_, Config());
-  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= 10");
-  EXPECT_EQ(client.Execute(query).result->ScalarAt(0, 0), Value(10));
+TEST_F(ClientCacheTest, PushedInvalidationArrivesWithoutPolling) {
+  auto client = MakeClient(Config());
+  EXPECT_EQ(client->Execute(kCount).result->ScalarAt(0, 0), Value(10));
+  EXPECT_EQ(client->entry_count(), 1u);
 
-  table_->Update(0, 1, Value(100));  // server side: count is now 9
+  // DML from a *different* session: the only way our client can learn of
+  // it is the pushed CDC record on its subscription.
+  server::QcClient writer;
+  writer.Connect("127.0.0.1", server_->port());
+  EXPECT_EQ(writer.Dml("UPDATE T SET N = 100 WHERE ID = 1"), 1u);
+  writer.Close();
 
-  // The origin's DUP cache is already correct...
-  EXPECT_EQ(engine_->Execute(query).result->ScalarAt(0, 0), Value(9));
-  // ...but the client keeps serving its TTL copy (stale, by design).
-  auto local = client.Execute(query);
+  EXPECT_TRUE(client->WaitForInvalidation(kCount, {}, 5s));
+  EXPECT_GE(client->stats().push_invalidations, 1u);
+  EXPECT_GT(client->last_push_seq(), 0u);
+
+  auto fresh = client->Execute(kCount);
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.result->ScalarAt(0, 0), Value(9));
+  EXPECT_EQ(client->stats().lease_expiries, 0u);  // push, not clock, did the work
+}
+
+TEST_F(ClientCacheTest, HealthySubscriptionServesBeyondLease) {
+  auto client = MakeClient(Config());
+  client->Execute(kCount);
+  now_ += 3600s;  // far past the lease — but the push channel is healthy
+  EXPECT_TRUE(client->Execute(kCount).cache_hit);
+  EXPECT_EQ(client->stats().lease_expiries, 0u);
+}
+
+TEST_F(ClientCacheTest, LeaseBoundsStalenessWithoutSubscription) {
+  config_subscribed_ = false;
+  ClientCacheConfig config = Config();
+  config.enable_subscription = false;  // the paper's original client tier
+  auto client = MakeClient(std::move(config));
+
+  EXPECT_EQ(client->Execute(kCount).result->ScalarAt(0, 0), Value(10));
+
+  server::QcClient writer;
+  writer.Connect("127.0.0.1", server_->port());
+  writer.Dml("UPDATE T SET N = 100 WHERE ID = 1");
+  writer.Close();
+
+  // No push channel: the client keeps serving its copy (stale, by design)
+  // while the lease lasts...
+  auto local = client->Execute(kCount);
   EXPECT_TRUE(local.cache_hit);
   EXPECT_EQ(local.result->ScalarAt(0, 0), Value(10));
-  EXPECT_EQ(client.stats().stale_local_hits, 1u);
 
-  // Until the TTL expires — the client clock advances past 30s and the
-  // next request goes through to the (already-correct) origin.
+  // ...and refetches once the lease expires.
   now_ += 31s;
-  const auto origin_before = client.stats().origin_requests;
-  auto fresh = client.Execute(query);
-  EXPECT_EQ(client.stats().origin_requests, origin_before + 1);
+  auto fresh = client->Execute(kCount);
+  EXPECT_FALSE(fresh.cache_hit);
   EXPECT_EQ(fresh.result->ScalarAt(0, 0), Value(9));
+  EXPECT_EQ(client->stats().lease_expiries, 1u);
+}
+
+TEST_F(ClientCacheTest, DmlInvalidatesLocallyForReadYourWrites) {
+  auto client = MakeClient(Config());
+  EXPECT_EQ(client->Execute(kCount).result->ScalarAt(0, 0), Value(10));
+  // Our own write drops our copy immediately — no round-trip wait.
+  EXPECT_EQ(client->Dml("UPDATE T SET N = 100 WHERE ID = 1"), 1u);
+  EXPECT_EQ(client->entry_count(), 0u);
+  EXPECT_EQ(client->Execute(kCount).result->ScalarAt(0, 0), Value(9));
 }
 
 TEST_F(ClientCacheTest, RefreshDropsLocalCopyOnly) {
-  ClientCache client(*engine_, Config());
-  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= 10");
-  client.Execute(query);
-  client.Refresh(query);
-  auto outcome = client.Execute(query);
-  EXPECT_TRUE(outcome.cache_hit);  // served by the ORIGIN's cache
-  EXPECT_EQ(client.stats().origin_requests, 2u);
+  auto client = MakeClient(Config());
+  client->Execute(kCount);
+  client->Refresh(kCount);
+  auto outcome = client->Execute(kCount);
+  EXPECT_FALSE(outcome.cache_hit);  // local refetch...
+  EXPECT_EQ(client->stats().origin_requests, 2u);
+  EXPECT_EQ(engine_->stats().cache_hits, 1u);  // ...served by the ORIGIN's cache
 }
 
 TEST_F(ClientCacheTest, ParamsAreSeparateEntries) {
-  ClientCache client(*engine_, Config());
-  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= $1");
-  client.Execute(query, {Value(5)});
-  client.Execute(query, {Value(15)});
-  EXPECT_EQ(client.entry_count(), 2u);
-  EXPECT_TRUE(client.Execute(query, {Value(5)}).cache_hit);
+  auto client = MakeClient(Config());
+  const char* by_param = "SELECT COUNT(*) FROM T WHERE N <= $1";
+  client->Execute(by_param, {Value(5)});
+  client->Execute(by_param, {Value(15)});
+  EXPECT_EQ(client->entry_count(), 2u);
+  EXPECT_TRUE(client->Execute(by_param, {Value(5)}).cache_hit);
 }
 
 TEST_F(ClientCacheTest, LruBoundsClientFootprint) {
   ClientCacheConfig config = Config();
   config.max_entries = 2;
-  ClientCache client(*engine_, config);
-  auto query = engine_->Prepare("SELECT COUNT(*) FROM T WHERE N <= $1");
-  client.Execute(query, {Value(1)});
-  client.Execute(query, {Value(2)});
-  client.Execute(query, {Value(3)});
-  EXPECT_LE(client.entry_count(), 2u);
+  auto client = MakeClient(std::move(config));
+  const char* by_param = "SELECT COUNT(*) FROM T WHERE N <= $1";
+  client->Execute(by_param, {Value(1)});
+  client->Execute(by_param, {Value(2)});
+  client->Execute(by_param, {Value(3)});
+  EXPECT_LE(client->entry_count(), 2u);
   // The first entry was evicted locally: the next request goes to the
-  // origin again (whose own cache may well hit — that flag passes through).
-  const auto before = client.stats().origin_requests;
-  client.Execute(query, {Value(1)});
-  EXPECT_EQ(client.stats().origin_requests, before + 1);
+  // origin again (whose own cache may well hit — server-side).
+  const auto before = client->stats().origin_requests;
+  client->Execute(by_param, {Value(1)});
+  EXPECT_EQ(client->stats().origin_requests, before + 1);
 }
 
 }  // namespace

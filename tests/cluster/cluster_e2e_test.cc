@@ -1,0 +1,278 @@
+// End-to-end cluster test against real qcached processes (fork + exec of
+// QCACHED_BIN): one storage node publishing the sequenced CDC stream and
+// three cache nodes partitioned by the consistent-hash ring, exactly the
+// topology of docs/CLUSTER.md. Asserts over real loopback TCP that
+//
+//   * a DML routed through any cache node reaches the storage node and the
+//     resulting CDC invalidation lands on the owning remote cache within
+//     one stream round-trip (no polling of the storage node);
+//   * SELECTs for fingerprints another node owns are forwarded
+//     (cluster.ring_forwards) so the cluster keeps one cached copy;
+//   * a push-lease ClientCache subscribed to a cache node observes the
+//     relayed invalidation without polling (WaitForInvalidation);
+//   * the cluster counters ride the standard STATS surface;
+//   * every node drains cleanly on SIGTERM.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/client_cache.h"
+#include "server/client.h"
+
+#ifndef QCACHED_BIN
+#error "QCACHED_BIN must be defined to the qcached binary path"
+#endif
+
+namespace qc::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string MakeTempDir() {
+  std::string tmpl = "/tmp/qc_cluster_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  if (dir == nullptr) throw Error("mkdtemp failed");
+  return dir;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  if (!out) throw Error("cannot write " + path);
+}
+
+/// Reserve a port by binding an ephemeral listener and releasing it. The
+/// tiny reuse window is acceptable in tests; peers need each other's ports
+/// before any of them has started, so truly ephemeral --port 0 cannot work.
+uint16_t PickFreePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw Error("bind failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+pid_t SpawnServer(const std::vector<std::string>& flags) {
+  std::vector<std::string> args;
+  args.push_back(QCACHED_BIN);
+  args.insert(args.end(), flags.begin(), flags.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw Error("fork failed");
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed
+  }
+  return pid;
+}
+
+uint16_t WaitForPortFile(const std::string& path, pid_t pid) {
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in && (in >> port) && port > 0) return static_cast<uint16_t>(port);
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      throw Error("qcached exited before writing its port file (status " +
+                  std::to_string(status) + ")");
+    }
+    std::this_thread::sleep_for(10ms);
+  }
+  throw Error("timed out waiting for port file " + path);
+}
+
+class ClusterE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir();
+    // Storage node: schema + data. Cache nodes: schema only — they need
+    // the catalog to bind SELECTs, but their tables stay empty (fills come
+    // over QUERY_SEQ).
+    WriteFile(dir_ + "/storage.qc",
+              "\\create ITEMS ID INT, KIND STRING, PRICE INT\n"
+              "INSERT INTO ITEMS VALUES (1, 'even', 10)\n"
+              "INSERT INTO ITEMS VALUES (2, 'odd', 20)\n"
+              "INSERT INTO ITEMS VALUES (3, 'even', 30)\n"
+              "INSERT INTO ITEMS VALUES (4, 'odd', 40)\n"
+              "INSERT INTO ITEMS VALUES (5, 'even', 50)\n");
+    WriteFile(dir_ + "/schema.qc", "\\create ITEMS ID INT, KIND STRING, PRICE INT\n");
+
+    const pid_t storage_pid = SpawnServer({"--port", "0", "--port-file", dir_ + "/storage.port",
+                                           "--init", dir_ + "/storage.qc", "--quiet"});
+    pids_.push_back(storage_pid);
+    storage_port_ = WaitForPortFile(dir_ + "/storage.port", storage_pid);
+
+    for (size_t i = 0; i < 3; ++i) cache_ports_.push_back(PickFreePort());
+    const std::string upstream = "127.0.0.1:" + std::to_string(storage_port_);
+    for (size_t i = 0; i < 3; ++i) {
+      std::vector<std::string> flags = {
+          "--port",      std::to_string(cache_ports_[i]),
+          "--port-file", dir_ + "/cache" + std::to_string(i) + ".port",
+          "--init",      dir_ + "/schema.qc",
+          "--upstream",  upstream,
+          "--node-name", "cache" + std::to_string(i),
+          "--quiet"};
+      for (size_t p = 0; p < 3; ++p) {
+        if (p == i) continue;
+        flags.push_back("--peer");
+        flags.push_back("cache" + std::to_string(p) + "=127.0.0.1:" +
+                        std::to_string(cache_ports_[p]));
+      }
+      const pid_t pid = SpawnServer(flags);
+      pids_.push_back(pid);
+      WaitForPortFile(dir_ + "/cache" + std::to_string(i) + ".port", pid);
+    }
+  }
+
+  void TearDown() override {
+    // Cache nodes first (their appliers reconnect-loop if storage dies
+    // first — harmless, but this order keeps the drain quiet).
+    for (auto it = pids_.rbegin(); it != pids_.rend(); ++it) {
+      ::kill(*it, SIGTERM);
+      int status = 0;
+      ::waitpid(*it, &status, 0);
+      EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+          << "pid " << *it << " status " << status;
+    }
+    [[maybe_unused]] const int rc = std::system(("rm -rf '" + dir_ + "'").c_str());
+  }
+
+  static server::QcClient Connect(uint16_t port) {
+    server::QcClient client;
+    client.Connect("127.0.0.1", port);
+    return client;
+  }
+
+  std::string dir_;
+  uint16_t storage_port_ = 0;
+  std::vector<uint16_t> cache_ports_;
+  std::vector<pid_t> pids_;  // [0] = storage, then cache0..2
+};
+
+constexpr const char* kEvenCount = "SELECT COUNT(*) FROM ITEMS WHERE KIND = 'even'";
+
+TEST_F(ClusterE2eTest, CdcInvalidatesOwningRemoteCacheWithinOneRoundTrip) {
+  // Warm the owner through cache node 0 (forwarded if 0 is not the owner).
+  server::QcClient reader = Connect(cache_ports_[0]);
+  auto cold = reader.Query(kEvenCount);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.result.ScalarAt(0, 0), Value(3));
+  EXPECT_TRUE(reader.Query(kEvenCount).cache_hit);
+
+  // DML through a DIFFERENT cache node: forwarded to the storage node,
+  // which publishes the CDC record; the owner's applier must invalidate
+  // the cached count without anyone polling.
+  server::QcClient writer = Connect(cache_ports_[1]);
+  EXPECT_EQ(writer.Dml("UPDATE ITEMS SET KIND = 'odd' WHERE ID = 3"), 1u);
+  writer.Close();
+
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  sql::ResultSet latest;
+  while (true) {
+    auto outcome = reader.Query(kEvenCount);
+    latest = std::move(outcome.result);
+    if (latest.ScalarAt(0, 0) == Value(2)) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "owning cache still serves the stale count";
+    std::this_thread::sleep_for(5ms);
+  }
+  // Once fresh, it stays fresh — and serves as a (fresh) hit again.
+  auto warm = reader.Query(kEvenCount);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.result.ScalarAt(0, 0), Value(2));
+
+  // The storage node counted the fan-out; some cache node applied it.
+  server::QcClient storage = Connect(storage_port_);
+  EXPECT_GE(storage.Stats().at("server.cdc_events_sent"), 1.0);
+  EXPECT_GE(storage.Stats().at("server.cdc_committed_seq"), 1.0);
+  uint64_t applied = 0;
+  for (const uint16_t port : cache_ports_) {
+    server::QcClient node = Connect(port);
+    const auto stats = node.Stats();
+    applied += static_cast<uint64_t>(stats.at("cluster.cdc_events_applied"));
+    EXPECT_EQ(stats.count("cluster.ring_forwards"), 1u);
+    EXPECT_EQ(stats.count("cluster.lease_invalidations"), 1u);
+    EXPECT_EQ(stats.count("engine.seq_admit_rejects"), 1u);
+  }
+  EXPECT_GE(applied, 3u);  // every cache node applied the record
+}
+
+TEST_F(ClusterE2eTest, RingForwardsKeepOneCachedCopy) {
+  // The same statement from every node lands on one owner: two of the
+  // three front doors must forward, and after the first fill everyone
+  // serves the owner's cached copy.
+  uint64_t hits = 0;
+  for (int lap = 0; lap < 2; ++lap) {
+    for (const uint16_t port : cache_ports_) {
+      server::QcClient client = Connect(port);
+      if (client.Query(kEvenCount).cache_hit) ++hits;
+    }
+  }
+  EXPECT_EQ(hits, 5u);  // one cluster-wide miss, five forwarded/local hits
+
+  uint64_t forwards = 0;
+  for (const uint16_t port : cache_ports_) {
+    server::QcClient client = Connect(port);
+    forwards += static_cast<uint64_t>(client.Stats().at("cluster.ring_forwards"));
+  }
+  EXPECT_GE(forwards, 4u);  // two non-owners, two laps each
+}
+
+TEST_F(ClusterE2eTest, ClientCacheObservesPushedInvalidationWithoutPolling) {
+  ClientCacheConfig config;
+  config.lease_ttl = 1h;  // the push, not the clock, must do the work
+  ClientCache browser("127.0.0.1", cache_ports_[2], config);
+  const auto healthy_deadline = std::chrono::steady_clock::now() + 5s;
+  while (!browser.subscription_healthy() &&
+         std::chrono::steady_clock::now() < healthy_deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(browser.subscription_healthy());
+
+  EXPECT_EQ(browser.Execute(kEvenCount).result->ScalarAt(0, 0), Value(3));
+  EXPECT_TRUE(browser.Execute(kEvenCount).cache_hit);
+
+  server::QcClient writer = Connect(cache_ports_[0]);
+  EXPECT_EQ(writer.Dml("UPDATE ITEMS SET KIND = 'odd' WHERE ID = 1"), 1u);
+  writer.Close();
+
+  // storage -> cache node 2 (applier) -> relay -> this subscription.
+  EXPECT_TRUE(browser.WaitForInvalidation(kEvenCount, {}, 10s));
+  EXPECT_GE(browser.stats().push_invalidations, 1u);
+  auto fresh = browser.Execute(kEvenCount);
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.result->ScalarAt(0, 0), Value(2));
+  EXPECT_EQ(browser.stats().lease_expiries, 0u);
+
+  // The relaying cache node counted a lease push.
+  server::QcClient node = Connect(cache_ports_[2]);
+  EXPECT_GE(node.Stats().at("cluster.lease_invalidations"), 1.0);
+}
+
+}  // namespace
+}  // namespace qc::cluster

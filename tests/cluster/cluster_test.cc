@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "sql/evaluator.h"
 
 namespace qc::cluster {
 namespace {
@@ -42,13 +43,26 @@ TEST_F(ClusterTest, EachNodeHasIndependentCache) {
   EXPECT_FALSE(cluster.ExecuteAt(2, query).cache_hit);
 }
 
-TEST_F(ClusterTest, RoundRobinSpreadsLoad) {
+TEST_F(ClusterTest, RingRoutesEachStatementToOneOwner) {
   CacheCluster cluster(db_, Config(0));
   auto query = cluster.Prepare("SELECT COUNT(*) FROM T");
+  // Consistent-hash routing sends every execution of one statement to the
+  // same owning node: one cluster-wide miss, then hits — unlike the old
+  // round-robin, which cached the result on every node it visited.
   for (int i = 0; i < 6; ++i) cluster.Execute(query);
-  // After one lap of misses, the second lap hits on every node.
   EXPECT_EQ(cluster.stats().queries, 6u);
-  EXPECT_EQ(cluster.stats().hits, 3u);
+  EXPECT_EQ(cluster.stats().hits, 5u);
+  // The owner is a function of the fingerprint alone, and parameters are
+  // part of the fingerprint, so each binding may live on a different node
+  // but is always stable.
+  auto by_param = cluster.Prepare("SELECT COUNT(*) FROM T WHERE N <= $1");
+  for (int v = 0; v < 8; ++v) {
+    const std::vector<Value> params{Value(v)};
+    const size_t owner = cluster.OwnerOf(by_param, params);
+    EXPECT_EQ(owner, cluster.OwnerOf(by_param, params));
+    cluster.Execute(by_param, params);
+    EXPECT_TRUE(cluster.Execute(by_param, params).cache_hit) << "param " << v;
+  }
 }
 
 TEST_F(ClusterTest, SynchronousCoherenceNeverServesStale) {
@@ -66,6 +80,11 @@ TEST_F(ClusterTest, SynchronousCoherenceNeverServesStale) {
   EXPECT_EQ(cluster.stats().remote_invalidations, 2u);
   EXPECT_EQ(cluster.stats().local_invalidations, 1u);
   EXPECT_EQ(cluster.stats().tokens_sent, 2u);
+  // The CDC bus stamped the update and every node's gate has applied it.
+  EXPECT_GT(cluster.committed_seq(), 0u);
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.gate(n).applied(), cluster.committed_seq()) << "node " << n;
+  }
 }
 
 TEST_F(ClusterTest, LatencyCreatesBoundedStaleWindow) {
@@ -152,6 +171,41 @@ TEST_F(ClusterTest, FlushAllPolicyFlushesRemotesOnDelivery) {
     EXPECT_FALSE(cluster.ExecuteAt(n, even).cache_hit) << n;
     EXPECT_FALSE(cluster.ExecuteAt(n, all).cache_hit) << n;
   }
+}
+
+// The correctness heart of the CDC refactor, demonstrated deterministically
+// at the engine layer: a remote fill that observed sequence S must be
+// refused admission once an invalidation with a sequence above S has been
+// applied — otherwise the delayed fill would re-cache the pre-DML result
+// with no invalidation ever coming for it.
+TEST_F(ClusterTest, SequenceGuardRefusesDelayedFill) {
+  auto gate = std::make_shared<dup::CdcSequenceGate>();
+  bool race_delivery = true;
+  middleware::CachedQueryEngine::Options options;
+  options.subscribe_to_database = false;
+  options.seq_gate = gate;
+  options.remote_fetch = [&](const sql::BoundQuery& query, const std::vector<Value>& params) {
+    middleware::CachedQueryEngine::RemoteFill fill;
+    fill.observed_seq = gate->applied();  // the sequence the upstream read saw
+    fill.result = std::make_shared<const sql::ResultSet>(sql::Execute(query, params));
+    if (race_delivery) {
+      // A CDC record lands between the upstream read and this node's
+      // StoreResult — exactly the delayed-fill race.
+      gate->Advance(fill.observed_seq + 1);
+    }
+    return fill;
+  };
+  middleware::CachedQueryEngine engine(db_, options);
+
+  auto query = engine.Prepare("SELECT COUNT(*) FROM T WHERE KIND = 'even'");
+  EXPECT_FALSE(engine.Execute(query).cache_hit);
+  EXPECT_EQ(engine.stats().seq_admit_rejects, 1u);
+  EXPECT_EQ(engine.stats().remote_fills, 1u);
+  // Nothing was admitted: the next execution is a miss, not a stale hit.
+  race_delivery = false;
+  EXPECT_FALSE(engine.Execute(query).cache_hit);
+  EXPECT_EQ(engine.stats().seq_admit_rejects, 1u);  // clean fill admitted
+  EXPECT_TRUE(engine.Execute(query).cache_hit);
 }
 
 }  // namespace

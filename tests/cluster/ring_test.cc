@@ -1,0 +1,100 @@
+#include "cluster/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace qc::cluster {
+namespace {
+
+std::vector<std::string> Keys(size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) keys.push_back("SELECT * FROM T WHERE ID = " + std::to_string(i));
+  return keys;
+}
+
+TEST(HashRingTest, EmptyRingThrows) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.OwnerOf("anything"), Error);
+}
+
+TEST(HashRingTest, SingleNodeOwnsEverything) {
+  HashRing ring;
+  ring.AddNode("only");
+  for (const std::string& key : Keys(100)) EXPECT_EQ(ring.OwnerOf(key), "only");
+}
+
+TEST(HashRingTest, OwnershipIsDeterministicAcrossInstances) {
+  // Two rings built with the same members (in different orders) must agree
+  // on every owner — this is what lets each cache node compute ownership
+  // without coordination.
+  HashRing a, b;
+  for (const char* name : {"cache0", "cache1", "cache2"}) a.AddNode(name);
+  for (const char* name : {"cache2", "cache0", "cache1"}) b.AddNode(name);
+  for (const std::string& key : Keys(500)) EXPECT_EQ(a.OwnerOf(key), b.OwnerOf(key));
+}
+
+TEST(HashRingTest, VnodesSpreadKeysAcrossNodes) {
+  HashRing ring(64);
+  for (const char* name : {"cache0", "cache1", "cache2"}) ring.AddNode(name);
+  std::map<std::string, size_t> counts;
+  for (const std::string& key : Keys(3000)) ++counts[ring.OwnerOf(key)];
+  EXPECT_EQ(counts.size(), 3u);  // every node owns something
+  for (const auto& [name, count] : counts) {
+    // Perfect balance would be 1000 each; vnodes keep the skew moderate.
+    EXPECT_GT(count, 300u) << name;
+    EXPECT_LT(count, 2000u) << name;
+  }
+}
+
+TEST(HashRingTest, RemovingANodeOnlyRemapsItsSlice) {
+  HashRing ring;
+  for (const char* name : {"cache0", "cache1", "cache2"}) ring.AddNode(name);
+  const std::vector<std::string> keys = Keys(2000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.OwnerOf(key);
+
+  ring.RemoveNode("cache1");
+  size_t moved = 0;
+  for (const std::string& key : keys) {
+    const std::string& owner = ring.OwnerOf(key);
+    EXPECT_NE(owner, "cache1");
+    if (before[key] != "cache1") {
+      // Keys the departed node never owned must not move at all.
+      EXPECT_EQ(owner, before[key]) << key;
+    } else {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);  // cache1's slice was redistributed
+}
+
+TEST(HashRingTest, DuplicateAddAndUnknownRemoveAreNoOps) {
+  HashRing ring;
+  ring.AddNode("cache0");
+  ring.AddNode("cache0");
+  EXPECT_EQ(ring.node_count(), 1u);
+  ring.RemoveNode("ghost");
+  EXPECT_EQ(ring.node_count(), 1u);
+  EXPECT_TRUE(ring.HasNode("cache0"));
+  EXPECT_FALSE(ring.HasNode("ghost"));
+}
+
+TEST(HashRingTest, HashIsStable) {
+  // Pin the hash function (FNV-1a + avalanche finalizer): ownership must
+  // never change across builds, or a rolling restart would silently
+  // re-home every fingerprint.
+  EXPECT_EQ(HashRing::Hash(""), 17280346270528514342ull);
+  EXPECT_EQ(HashRing::Hash("a"), 9413272369427828315ull);
+  EXPECT_EQ(HashRing::Hash("cache0#0"), HashRing::Hash("cache0#0"));
+  EXPECT_NE(HashRing::Hash("cache0#0"), HashRing::Hash("cache0#1"));
+}
+
+}  // namespace
+}  // namespace qc::cluster

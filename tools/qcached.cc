@@ -19,10 +19,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "cluster/cache_node.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "middleware/query_engine.h"
@@ -64,6 +68,15 @@ struct Flags {
   bool refresh = false;
   std::string init_script;
   bool quiet = false;
+
+  // Cluster mode (docs/CLUSTER.md). --upstream turns the process into a
+  // cache node: misses fill over QUERY_SEQ, DML forwards upstream, and the
+  // CDC applier replaces the local-database subscription. Without it the
+  // process is a storage node and publishes the CDC stream.
+  std::string node_name = "cache0";
+  std::string upstream;                // HOST:PORT of the storage node
+  std::vector<std::string> peers;      // NAME=HOST:PORT per --peer
+  size_t ring_vnodes = 64;
 };
 
 void PrintUsage() {
@@ -91,6 +104,13 @@ void PrintUsage() {
       "  --init PATH                bootstrap script: \\create / \\index /\n"
       "                             \\import lines and INSERT/UPDATE/DELETE SQL\n"
       "  --quiet                    suppress startup/drain log lines\n"
+      "  --upstream HOST:PORT       run as a cache node of this storage node\n"
+      "                             (docs/CLUSTER.md; cache nodes still need the\n"
+      "                             schema half of --init to bind SELECTs)\n"
+      "  --node-name NAME           this cache node's ring name (default cache0)\n"
+      "  --peer NAME=HOST:PORT      a sibling cache node; repeatable, same set\n"
+      "                             on every node\n"
+      "  --ring-vnodes N            vnodes per ring member (default 64)\n"
       "  --help                     this text\n";
 }
 
@@ -145,6 +165,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.init_script = need_value(i++);
     } else if (arg == "--quiet") {
       flags.quiet = true;
+    } else if (arg == "--upstream") {
+      flags.upstream = need_value(i++);
+    } else if (arg == "--node-name") {
+      flags.node_name = need_value(i++);
+    } else if (arg == "--peer") {
+      flags.peers.push_back(need_value(i++));
+    } else if (arg == "--ring-vnodes") {
+      flags.ring_vnodes = std::stoul(need_value(i++));
     } else {
       throw Error("unknown flag '" + arg + "' (try --help)");
     }
@@ -270,6 +298,33 @@ middleware::CachedQueryEngine::Options EngineOptions(const Flags& flags) {
   return options;
 }
 
+std::pair<std::string, uint16_t> ParseHostPort(const std::string& spec, const char* what) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw Error(std::string(what) + " must be HOST:PORT, got '" + spec + "'");
+  }
+  return {spec.substr(0, colon), static_cast<uint16_t>(std::stoul(spec.substr(colon + 1)))};
+}
+
+cluster::CacheNodeConfig NodeConfig(const Flags& flags) {
+  cluster::CacheNodeConfig config;
+  config.name = flags.node_name;
+  std::tie(config.upstream_host, config.upstream_port) =
+      ParseHostPort(flags.upstream, "--upstream");
+  config.ring_vnodes = flags.ring_vnodes;
+  for (const std::string& spec : flags.peers) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw Error("--peer must be NAME=HOST:PORT, got '" + spec + "'");
+    }
+    cluster::PeerAddress peer;
+    peer.name = spec.substr(0, eq);
+    std::tie(peer.host, peer.port) = ParseHostPort(spec.substr(eq + 1), "--peer");
+    config.peers.push_back(std::move(peer));
+  }
+  return config;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -279,7 +334,18 @@ int main(int argc, char** argv) {
     storage::Database db;
     if (!flags.init_script.empty()) RunInitScript(db, flags.init_script);
 
-    middleware::CachedQueryEngine engine(db, EngineOptions(flags));
+    // --upstream switches the process from storage-node duty (local
+    // database, publishes the CDC stream) to cache-node duty (fills and
+    // DML go upstream, the CDC applier feeds invalidations).
+    const bool is_cache_node = !flags.upstream.empty();
+    std::optional<cluster::CacheNodeRuntime> runtime;
+    middleware::CachedQueryEngine::Options options = EngineOptions(flags);
+    if (is_cache_node) {
+      runtime.emplace(NodeConfig(flags));
+      options = runtime->DecorateEngineOptions(std::move(options));
+    }
+
+    middleware::CachedQueryEngine engine(db, options);
 
     server::ServerConfig config;
     config.host = flags.host;
@@ -288,9 +354,12 @@ int main(int argc, char** argv) {
     config.max_in_flight = flags.max_in_flight;
     config.max_write_queue_bytes = flags.max_write_queue_bytes;
     config.max_frame_bytes = flags.max_frame_bytes;
+    config.cdc_publish = !is_cache_node;  // cache nodes relay the upstream stream
 
     server::QcServer server(engine, config);
+    if (runtime) runtime->AttachServer(engine, server);
     server.Start();
+    if (runtime) runtime->Start();
 
     g_server = &server;
     struct sigaction action{};
@@ -322,6 +391,7 @@ int main(int argc, char** argv) {
     }
 
     server.Wait();
+    if (runtime) runtime->Stop();
     g_server = nullptr;
 
     if (!flags.quiet) {
