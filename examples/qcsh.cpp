@@ -36,6 +36,7 @@
 #include "common/strings.h"
 #include "middleware/query_engine.h"
 #include "server/client.h"
+#include "sql/evaluator.h"
 #include "sql/vectorized.h"
 #include "storage/csv.h"
 
@@ -172,11 +173,15 @@ class Shell {
                 << " events=" << engine_->dup_stats().update_events
                 << " registered=" << engine_->dup_stats().registered_queries << "\n";
       const sql::VectorizedStats vs = sql::GetVectorizedStats();
-      std::cout << "vec:    vectorized=" << vs.queries_vectorized
-                << " fallback=" << vs.queries_fallback << " batches=" << vs.batches
-                << " rows_scanned=" << vs.rows_scanned
+      std::cout << "vec:    vectorized=" << vs.queries_vectorized << " (joins="
+                << vs.joins_vectorized << ") fallback=" << vs.queries_fallback
+                << " (join=" << vs.fallback_join << " expr=" << vs.fallback_expression
+                << " shape=" << vs.fallback_shape << " type=" << vs.fallback_type
+                << ") batches=" << vs.batches << " rows_scanned=" << vs.rows_scanned
                 << " parallel_scans=" << vs.parallel_scans
-                << " conjunct_reorders=" << vs.conjunct_reorders << "\n";
+                << " conjunct_reorders=" << vs.conjunct_reorders << "\n"
+                << "row:    join_nested_loop_rows="
+                << sql::GetRowEngineStats().join_nested_loop_rows << "\n";
     } else if (cmd == "\\odg") {
       std::cout << engine_->dup_engine().DumpGraph();
     } else {

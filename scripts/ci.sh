@@ -8,8 +8,9 @@
 #   3. tsan:   ThreadSanitizer build, stress-, server-, vec- and
 #              semantic-labeled tests (exercises the default kClock
 #              shared-lock hit path, the qcached I/O-thread/worker handoff,
-#              the vectorized scan worker pool, and the semantic tier's
-#              concurrent no-stale-hit suite);
+#              the vectorized scan worker pool and hash-join/arithmetic
+#              differential rounds, and the semantic tier's concurrent
+#              no-stale-hit suite);
 #   4. asan:   AddressSanitizer build, recovery-, server-, vec- and
 #              semantic-labeled tests;
 #   5. bench-smoke: the self-checking extension benches (ext_hit_contention,
@@ -95,7 +96,8 @@ if want bench-smoke; then
   BENCH_JSON_DIR=build/bench HIT_MS=100 HIT_READERS=8 ./build/bench/ext_hit_contention
   BENCH_JSON_DIR=build/bench EXT_INV_MAX_QUERIES=10000 ./build/bench/ext_invalidation_scale
   BENCH_JSON_DIR=build/bench SRV_CONNS=8 SRV_REQS_PER_CONN=500 ./build/bench/ext_server_latency
-  BENCH_JSON_DIR=build/bench EXT_SCAN_ROWS=150000 ./build/bench/ext_scan_speed
+  BENCH_JSON_DIR=build/bench EXT_SCAN_ROWS=150000 \
+    EXT_SCAN_MIN_JOIN_SPEEDUP=3 EXT_SCAN_MIN_GROUP_SPEEDUP=3 ./build/bench/ext_scan_speed
   BENCH_JSON_DIR=build/bench SEM_ROWS=100000 ./build/bench/ext_semantic_hit
   BENCH_JSON_DIR=build/bench CLUSTER_DMLS=50 CLUSTER_FILLS=300 ./build/bench/ext_cluster_invalidation
   ls -l build/bench/BENCH_ext_hit_contention.json build/bench/BENCH_ext_invalidation_scale.json \

@@ -186,6 +186,10 @@ std::optional<SemanticIndex::Shape> SemanticIndex::Analyze(const sql::BoundQuery
         }
         break;
       }
+      case sql::SelectItem::Kind::kScalar:
+        plain = false;
+        CollectColumns(*item.expr, referenced, ok);
+        break;
       case sql::SelectItem::Kind::kAggregate:
         plain = false;
         if (item.expr) CollectColumns(*item.expr, referenced, ok);

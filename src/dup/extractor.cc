@@ -323,6 +323,20 @@ class Extractor {
           add_result_column(key.first, key.second);
           break;
         }
+        case sql::SelectItem::Kind::kScalar: {
+          // Arithmetic projection: every column it reads is a dependency.
+          auto walk = [&](const sql::Expr& e, auto&& self) -> void {
+            if (e.kind == Expr::Kind::kColumn) {
+              ColumnKey key{e.table_slot, static_cast<uint32_t>(e.column_index)};
+              if (options_.include_projection) MarkOpaque(key);
+              add_result_column(key.first, key.second);
+              return;
+            }
+            for (const sql::ExprPtr& c : e.children) self(*c, self);
+          };
+          walk(*item.expr, walk);
+          break;
+        }
         case sql::SelectItem::Kind::kAggregate:
           // COUNT(*) has no argument; the row set is covered by WHERE deps
           // and the table-existence edge.

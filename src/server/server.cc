@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "sql/evaluator.h"
 #include "sql/vectorized.h"
 
 namespace qc::server {
@@ -707,10 +708,18 @@ std::vector<StatsEntry> QcServer::BuildStatsEntries() {
   const sql::VectorizedStats vs = sql::GetVectorizedStats();
   u64("vec.queries_vectorized", vs.queries_vectorized);
   u64("vec.queries_fallback", vs.queries_fallback);
+  u64("vec.fallback_join", vs.fallback_join);
+  u64("vec.fallback_expression", vs.fallback_expression);
+  u64("vec.fallback_shape", vs.fallback_shape);
+  u64("vec.fallback_type", vs.fallback_type);
+  u64("vec.joins_vectorized", vs.joins_vectorized);
   u64("vec.batches", vs.batches);
   u64("vec.rows_scanned", vs.rows_scanned);
   u64("vec.parallel_scans", vs.parallel_scans);
   u64("vec.conjunct_reorders", vs.conjunct_reorders);
+
+  const sql::RowEngineStats rs = sql::GetRowEngineStats();
+  u64("row.join_nested_loop_rows", rs.join_nested_loop_rows);
 
   const dup::DupStats ds = engine_.dup_stats();
   u64("dup.update_events", ds.update_events);

@@ -1,5 +1,7 @@
 #include "sql/ast.h"
 
+#include "common/error.h"
+
 namespace qc::sql {
 
 const char* BinaryOpName(BinaryOp op) {
@@ -18,6 +20,50 @@ const char* BinaryOpName(BinaryOp op) {
 
 bool IsComparison(BinaryOp op) {
   return op != BinaryOp::kAnd && op != BinaryOp::kOr;
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+Value EvalArithValue(ArithOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (!lhs.is_numeric() || !rhs.is_numeric()) {
+    throw BindError(std::string("arithmetic requires numeric operands ('") +
+                    ArithOpName(op) + "')");
+  }
+  if (op == ArithOp::kDiv) {
+    const double divisor = rhs.numeric();
+    if (divisor == 0.0) return Value::Null();
+    return Value(lhs.numeric() / divisor);
+  }
+  if (lhs.is_int() && rhs.is_int()) {
+    int64_t out = 0;
+    bool overflow = false;
+    switch (op) {
+      case ArithOp::kAdd: overflow = __builtin_add_overflow(lhs.as_int(), rhs.as_int(), &out); break;
+      case ArithOp::kSub: overflow = __builtin_sub_overflow(lhs.as_int(), rhs.as_int(), &out); break;
+      case ArithOp::kMul: overflow = __builtin_mul_overflow(lhs.as_int(), rhs.as_int(), &out); break;
+      case ArithOp::kDiv: break;
+    }
+    if (!overflow) return Value(out);
+    // fall through: overflow degrades to double, like the SUM accumulator
+  }
+  const double l = lhs.numeric();
+  const double r = rhs.numeric();
+  switch (op) {
+    case ArithOp::kAdd: return Value(l + r);
+    case ArithOp::kSub: return Value(l - r);
+    case ArithOp::kMul: return Value(l * r);
+    case ArithOp::kDiv: break;
+  }
+  return Value::Null();
 }
 
 const char* AggFuncName(AggFunc f) {
@@ -107,6 +153,15 @@ ExprPtr Expr::IsNull(ExprPtr subject, bool negated) {
   return e;
 }
 
+ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kArith;
+  e->arith_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
 ExprPtr Expr::Clone() const {
   auto e = std::make_unique<Expr>();
   e->kind = kind;
@@ -117,6 +172,7 @@ ExprPtr Expr::Clone() const {
   e->table_slot = table_slot;
   e->column_index = column_index;
   e->op = op;
+  e->arith_op = arith_op;
   e->negated = negated;
   e->children.reserve(children.size());
   for (const auto& c : children) e->children.push_back(c->Clone());

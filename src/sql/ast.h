@@ -26,6 +26,21 @@ const char* BinaryOpName(BinaryOp op);
 /// True for =, <>, <, <=, >, >= (as opposed to AND/OR).
 bool IsComparison(BinaryOp op);
 
+/// Scalar arithmetic operators. Kept separate from BinaryOp so predicate
+/// walkers (extractor, semantic index, fingerprint canonicalization) never
+/// see an arithmetic operator where they expect a comparison or connective.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* ArithOpName(ArithOp op);
+
+/// Shared scalar semantics for ArithOp, used by both execution engines so
+/// results stay cell-for-cell identical: NULL propagates; `/` always
+/// produces a double and divide-by-zero yields NULL; int op int stays int64
+/// unless it overflows, in which case it degrades to double (matching the
+/// SUM accumulator); a double operand promotes the result to double; a
+/// string operand throws BindError.
+Value EvalArithValue(ArithOp op, const Value& lhs, const Value& rhs);
+
 /// Expression node. A closed variant-style hierarchy: `kind` selects which
 /// members are meaningful. A single struct keeps the walker code (binder,
 /// evaluator, dependency extractor, fingerprinter) simple.
@@ -40,6 +55,7 @@ struct Expr {
     kIn,         // child[0] IN (child[1..]); negated
     kLike,       // child[0] LIKE child[1]; negated
     kIsNull,     // child[0] IS [NOT] NULL; negated
+    kArith,      // arith_op, child[0], child[1]; scalar-valued
   };
 
   Kind kind;
@@ -60,6 +76,9 @@ struct Expr {
   // kBinary
   BinaryOp op = BinaryOp::kAnd;
 
+  // kArith
+  ArithOp arith_op = ArithOp::kAdd;
+
   // kBetween / kIn / kLike / kIsNull
   bool negated = false;
 
@@ -74,6 +93,7 @@ struct Expr {
   static ExprPtr In(ExprPtr subject, std::vector<ExprPtr> list, bool negated);
   static ExprPtr Like(ExprPtr subject, ExprPtr pattern, bool negated);
   static ExprPtr IsNull(ExprPtr subject, bool negated);
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
 
   /// Deep copy (needed to instantiate parameterized statement skeletons).
   ExprPtr Clone() const;
@@ -83,12 +103,13 @@ enum class AggFunc { kNone, kCountStar, kCount, kSum, kMin, kMax, kAvg };
 
 const char* AggFuncName(AggFunc f);
 
-/// One SELECT-list entry: `*`, a column, or an aggregate over a column.
+/// One SELECT-list entry: `*`, a column, a scalar expression (arithmetic
+/// over columns/literals/params), or an aggregate over a column.
 struct SelectItem {
-  enum class Kind { kStar, kColumn, kAggregate };
+  enum class Kind { kStar, kColumn, kScalar, kAggregate };
   Kind kind = Kind::kStar;
   AggFunc func = AggFunc::kNone;  // kAggregate
-  ExprPtr expr;                   // kColumn / kAggregate argument (null for COUNT(*))
+  ExprPtr expr;                   // kColumn / kScalar / kAggregate argument (null for COUNT(*))
 };
 
 struct TableRef {

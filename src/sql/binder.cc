@@ -70,6 +70,7 @@ class Binder {
               ++position;
             }
             break;
+          case SelectItem::Kind::kScalar:
           case SelectItem::Kind::kAggregate:
             ++position;
             break;
@@ -139,15 +140,20 @@ class Binder {
     bool has_aggregate = false;
     bool has_plain_column = false;
     bool has_star = false;
+    bool has_scalar = false;
     for (const SelectItem& item : stmt_.items) {
       switch (item.kind) {
         case SelectItem::Kind::kAggregate: has_aggregate = true; break;
         case SelectItem::Kind::kColumn: has_plain_column = true; break;
+        case SelectItem::Kind::kScalar: has_scalar = true; break;
         case SelectItem::Kind::kStar: has_star = true; break;
       }
     }
     if (grouped) {
       if (has_star) throw BindError("SELECT * is not allowed with GROUP BY");
+      if (has_scalar) {
+        throw BindError("grouped SELECT supports group keys and aggregates only");
+      }
       // Every plain projected column must be a grouping key.
       for (const SelectItem& item : stmt_.items) {
         if (item.kind != SelectItem::Kind::kColumn) continue;
@@ -162,7 +168,7 @@ class Binder {
           throw BindError("projected column " + item.expr->column + " is not a GROUP BY key");
         }
       }
-    } else if (has_aggregate && (has_plain_column || has_star)) {
+    } else if (has_aggregate && (has_plain_column || has_scalar || has_star)) {
       throw BindError("cannot mix aggregates and plain columns without GROUP BY");
     }
   }

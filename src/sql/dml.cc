@@ -35,6 +35,9 @@ Value EvalDmlScalar(const Expr& e, const storage::Row& row, const std::vector<Va
     case Expr::Kind::kColumn:
       if (row.empty()) throw BindError("INSERT values cannot reference columns");
       return row.at(e.column_index);
+    case Expr::Kind::kArith:
+      return EvalArithValue(e.arith_op, EvalDmlScalar(*e.children[0], row, params),
+                            EvalDmlScalar(*e.children[1], row, params));
     default:
       throw BindError("DML values must be scalar expressions");
   }

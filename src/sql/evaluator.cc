@@ -1,6 +1,7 @@
 #include "sql/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "common/error.h"
@@ -16,6 +17,10 @@ namespace {
 using storage::Row;
 using storage::RowId;
 using storage::Table;
+
+/// Row-pair count fed through the quadratic no-equi-conjunct join path.
+/// Monotonic; a production deployment watching STATS can alert on growth.
+std::atomic<uint64_t> g_nested_loop_rows{0};
 
 // ---------------------------------------------------------------------------
 // Expression evaluation
@@ -135,6 +140,9 @@ Value EvalScalarCtx(const EvalContext& ctx, const Expr& e) {
       const Table& table = ctx.query->table(e.table_slot);
       return table.column_store(e.column_index).Get((*ctx.rows)[e.table_slot]);
     }
+    case Expr::Kind::kArith:
+      return EvalArithValue(e.arith_op, EvalScalarCtx(ctx, *e.children[0]),
+                            EvalScalarCtx(ctx, *e.children[1]));
     default:
       throw BindError("expected a scalar expression");
   }
@@ -317,7 +325,9 @@ class Execution {
 
     // No equi-join conjunct: nested loop over the filtered sides. This is
     // quadratic and intended for small inputs (none of the paper workloads
-    // hit it); correctness over speed.
+    // hit it); correctness over speed. The pair counter makes accidental
+    // nested-loop blowups observable in STATS.
+    g_nested_loop_rows.fetch_add(side0.size() * side1.size(), std::memory_order_relaxed);
     for (RowId r0 : side0) {
       for (RowId r1 : side1) consider(r0, r1);
     }
@@ -359,6 +369,7 @@ class Execution {
           }
           break;
         case SelectItem::Kind::kColumn:
+        case SelectItem::Kind::kScalar:
           out.push_back(EvalScalarCtx(ctx_, *item.expr));
           break;
         case SelectItem::Kind::kAggregate:
@@ -380,6 +391,12 @@ class Execution {
 };
 
 }  // namespace
+
+RowEngineStats GetRowEngineStats() {
+  RowEngineStats s;
+  s.join_nested_loop_rows = g_nested_loop_rows.load(std::memory_order_relaxed);
+  return s;
+}
 
 ResultSet ExecuteRowAtATime(const BoundQuery& query, const std::vector<Value>& params) {
   return Execution(query, params).Run();

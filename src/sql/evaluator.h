@@ -28,6 +28,15 @@ ResultSet Execute(const BoundQuery& query, const std::vector<Value>& params = {}
 /// randomized differential suite compares the vectorized engine against.
 ResultSet ExecuteRowAtATime(const BoundQuery& query, const std::vector<Value>& params = {});
 
+/// Process-wide counters for the row engine's slow paths.
+struct RowEngineStats {
+  /// Row pairs enumerated by the quadratic nested-loop join fallback (taken
+  /// only when a two-table WHERE has no equi-join conjunct). Monotonic.
+  uint64_t join_nested_loop_rows = 0;
+};
+
+RowEngineStats GetRowEngineStats();
+
 /// Scalar expression evaluation against a joined tuple: `rows[slot]` is the
 /// current row id in `query.table(slot)`. Exposed for the evaluator's tests
 /// and for the row-aware invalidation policy.

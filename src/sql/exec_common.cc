@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "sql/fingerprint.h"
 
 namespace qc::sql::exec {
 
@@ -133,6 +134,9 @@ std::vector<std::string> OutputColumnNames(const BoundQuery& query) {
         break;
       case SelectItem::Kind::kColumn:
         names.push_back(item.expr->column);
+        break;
+      case SelectItem::Kind::kScalar:
+        names.push_back(CanonicalExpr(*item.expr));
         break;
       case SelectItem::Kind::kAggregate:
         if (item.func == AggFunc::kCountStar) {

@@ -66,6 +66,13 @@ void WriteExpr(std::ostream& os, const Expr& e) {
       os << (e.negated ? " IS NOT NULL" : " IS NULL");
       os << ")";
       return;
+    case Expr::Kind::kArith:
+      os << "(";
+      WriteExpr(os, *e.children[0]);
+      os << " " << ArithOpName(e.arith_op) << " ";
+      WriteExpr(os, *e.children[1]);
+      os << ")";
+      return;
   }
 }
 
@@ -134,6 +141,7 @@ std::string CanonicalSql(const SelectStmt& stmt) {
         os << "*";
         break;
       case SelectItem::Kind::kColumn:
+      case SelectItem::Kind::kScalar:
         WriteExpr(os, *item.expr);
         break;
       case SelectItem::Kind::kAggregate:

@@ -132,7 +132,7 @@ std::vector<Token> Lex(const std::string& sql) {
       }
     }
 
-    if (std::string("(),.*=<>;").find(c) != std::string::npos) {
+    if (std::string("(),.*=<>;+-/").find(c) != std::string::npos) {
       Token t;
       t.type = TokenType::kSymbol;
       t.text = std::string(1, c);

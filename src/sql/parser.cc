@@ -43,7 +43,7 @@ class Parser {
     stmt.items = ParseSelectList();
     ExpectKeyword("FROM");
     stmt.from = ParseFromList();
-    if (AcceptKeyword("WHERE")) stmt.where = ParseExpr();
+    if (AcceptKeyword("WHERE")) stmt.where = ParsePredicateExpr();
     if (AcceptKeyword("GROUP")) {
       ExpectKeyword("BY");
       do {
@@ -102,7 +102,7 @@ class Parser {
     ExpectKeyword("VALUES");
     ExpectSymbol("(");
     do {
-      stmt.values.push_back(ParseOperand());
+      stmt.values.push_back(ParseScalar());
     } while (AcceptSymbol(","));
     ExpectSymbol(")");
     return stmt;
@@ -116,9 +116,9 @@ class Parser {
     do {
       stmt.columns.push_back(ExpectIdentifier("column name"));
       ExpectSymbol("=");
-      stmt.values.push_back(ParseOperand());
+      stmt.values.push_back(ParseScalar());
     } while (AcceptSymbol(","));
-    if (AcceptKeyword("WHERE")) stmt.where = ParseExpr();
+    if (AcceptKeyword("WHERE")) stmt.where = ParsePredicateExpr();
     return stmt;
   }
 
@@ -127,7 +127,7 @@ class Parser {
     DmlStmt stmt;
     stmt.kind = DmlStmt::Kind::kDelete;
     stmt.table = ExpectIdentifier("table name");
-    if (AcceptKeyword("WHERE")) stmt.where = ParseExpr();
+    if (AcceptKeyword("WHERE")) stmt.where = ParsePredicateExpr();
     return stmt;
   }
 
@@ -213,8 +213,9 @@ class Parser {
         return item;
       }
     }
-    item.kind = SelectItem::Kind::kColumn;
-    item.expr = ParseColumnRef();
+    item.expr = ParseScalar();
+    item.kind = item.expr->kind == Expr::Kind::kColumn ? SelectItem::Kind::kColumn
+                                                       : SelectItem::Kind::kScalar;
     return item;
   }
 
@@ -250,8 +251,21 @@ class Parser {
     return Expr::Column("", std::move(first));
   }
 
-  // Precedence: OR < AND < NOT < predicate.
+  // Precedence: OR < AND < NOT < predicate; inside predicate operands,
+  // + and - bind looser than * and /.
   ExprPtr ParseExpr() { return ParseOr(); }
+
+  /// A WHERE clause: a full expression that must be boolean-shaped at the
+  /// top level (a bare column or arithmetic expression is rejected here,
+  /// matching the pre-arithmetic parser's behaviour).
+  ExprPtr ParsePredicateExpr() {
+    const size_t offset = Peek().offset;
+    ExprPtr e = ParseExpr();
+    if (!IsBooleanShaped(*e)) {
+      throw ParseError("expected a predicate operator at offset " + std::to_string(offset));
+    }
+    return e;
+  }
 
   ExprPtr ParseOr() {
     ExprPtr lhs = ParseAnd();
@@ -290,7 +304,7 @@ class Parser {
   }
 
   ExprPtr ParsePredicate() {
-    ExprPtr lhs = ParseOperand();
+    ExprPtr lhs = ParseScalar();
 
     bool negated = false;
     if (PeekKeyword("NOT") && (PeekKeyword("BETWEEN", 1) || PeekKeyword("IN", 1) || PeekKeyword("LIKE", 1))) {
@@ -299,22 +313,22 @@ class Parser {
     }
 
     if (AcceptKeyword("BETWEEN")) {
-      ExprPtr lo = ParseOperand();
+      ExprPtr lo = ParseScalar();
       ExpectKeyword("AND");
-      ExprPtr hi = ParseOperand();
+      ExprPtr hi = ParseScalar();
       return Expr::Between(std::move(lhs), std::move(lo), std::move(hi), negated);
     }
     if (AcceptKeyword("IN")) {
       ExpectSymbol("(");
       std::vector<ExprPtr> list;
       do {
-        list.push_back(ParseOperand());
+        list.push_back(ParseScalar());
       } while (AcceptSymbol(","));
       ExpectSymbol(")");
       return Expr::In(std::move(lhs), std::move(list), negated);
     }
     if (AcceptKeyword("LIKE")) {
-      return Expr::Like(std::move(lhs), ParseOperand(), negated);
+      return Expr::Like(std::move(lhs), ParseScalar(), negated);
     }
     if (AcceptKeyword("IS")) {
       bool is_not = AcceptKeyword("NOT");
@@ -329,19 +343,47 @@ class Parser {
     };
     for (const auto& [sym, op] : kCmps) {
       if (AcceptSymbol(sym)) {
-        return Expr::Binary(op, std::move(lhs), ParseOperand());
+        return Expr::Binary(op, std::move(lhs), ParseScalar());
       }
     }
-    // No operator followed. If the operand was itself a boolean expression
-    // (a parenthesized predicate like `(KSEQ BETWEEN 1 AND 2 OR KSEQ = 9)`),
-    // it already is the predicate; a bare column/literal is not.
-    if (IsBooleanShaped(*lhs)) return lhs;
-    throw ParseError("expected a predicate operator at offset " + std::to_string(Peek().offset));
+    // No operator followed. A parenthesized predicate like
+    // `(KSEQ BETWEEN 1 AND 2 OR KSEQ = 9)` already is the predicate; a bare
+    // scalar (column, literal, arithmetic) is returned as-is so it can serve
+    // as the value of an enclosing scalar context — ParsePredicateExpr
+    // rejects it when the enclosing context required a predicate.
+    return lhs;
+  }
+
+  /// A scalar expression: additive level (`+`/`-` over multiplicative).
+  ExprPtr ParseScalar() {
+    ExprPtr lhs = ParseMultiplicative();
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        lhs = Expr::Arith(ArithOp::kAdd, std::move(lhs), ParseMultiplicative());
+      } else if (AcceptSymbol("-")) {
+        lhs = Expr::Arith(ArithOp::kSub, std::move(lhs), ParseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParseOperand();
+    for (;;) {
+      if (AcceptSymbol("*")) {
+        lhs = Expr::Arith(ArithOp::kMul, std::move(lhs), ParseOperand());
+      } else if (AcceptSymbol("/")) {
+        lhs = Expr::Arith(ArithOp::kDiv, std::move(lhs), ParseOperand());
+      } else {
+        return lhs;
+      }
+    }
   }
 
   /// An operand: literal, parameter, column reference, or parenthesized
-  /// boolean expression (only valid where a predicate is expected; the
-  /// evaluator rejects type confusion at bind time).
+  /// expression — boolean (a nested predicate) or scalar (grouped
+  /// arithmetic); the evaluator rejects type confusion at bind time.
   ExprPtr ParseOperand() {
     const Token& t = Peek();
     switch (t.type) {

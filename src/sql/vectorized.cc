@@ -8,7 +8,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -37,12 +39,38 @@ constexpr size_t kMaxScanThreads = 16;
 struct StatCounters {
   std::atomic<uint64_t> queries_vectorized{0};
   std::atomic<uint64_t> queries_fallback{0};
+  std::atomic<uint64_t> fallback_join{0};
+  std::atomic<uint64_t> fallback_expression{0};
+  std::atomic<uint64_t> fallback_shape{0};
+  std::atomic<uint64_t> fallback_type{0};
+  std::atomic<uint64_t> joins_vectorized{0};
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> rows_scanned{0};
   std::atomic<uint64_t> parallel_scans{0};
   std::atomic<uint64_t> conjunct_reorders{0};
 };
 StatCounters g_stats;
+
+/// Why the engine refused a query (one per fallback; see VectorizedStats).
+enum class FallbackReason { kJoin, kExpression, kShape, kType };
+
+void CountFallback(FallbackReason reason) {
+  g_stats.queries_fallback.fetch_add(1, std::memory_order_relaxed);
+  switch (reason) {
+    case FallbackReason::kJoin:
+      g_stats.fallback_join.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FallbackReason::kExpression:
+      g_stats.fallback_expression.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FallbackReason::kShape:
+      g_stats.fallback_shape.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FallbackReason::kType:
+      g_stats.fallback_type.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
 
 size_t EffectiveScanThreads() {
   size_t n = g_scan_threads.load(std::memory_order_relaxed);
@@ -429,6 +457,181 @@ struct OrNode final : VecNode {
 };
 
 // ---------------------------------------------------------------------------
+// Scalar arithmetic kernels
+// ---------------------------------------------------------------------------
+
+/// One batch of numeric scalar values, kept unboxed: per row a tag selects
+/// NULL / exact int64 / double. Mirrors EvalArithValue's type rules so the
+/// vectorized result is cell-for-cell identical to the row engine's.
+struct NumVec {
+  static constexpr uint8_t kNull = 0, kInt = 1, kDouble = 2;
+  uint8_t tag[kVectorBatchRows];
+  int64_t i64[kVectorBatchRows];
+  double f64[kVectorBatchRows];
+
+  double AsDouble(size_t i) const {
+    return tag[i] == kInt ? static_cast<double>(i64[i]) : f64[i];
+  }
+  Value Box(size_t i) const {
+    switch (tag[i]) {
+      case kInt: return Value(i64[i]);
+      case kDouble: return Value(f64[i]);
+      default: return Value::Null();
+    }
+  }
+};
+
+/// Compiled numeric scalar expression over one table's rows (columns,
+/// numeric constants, + - * /). String columns and constants do not
+/// compile — the whole query falls back so the row engine raises the same
+/// BindError it always has.
+struct NumNode {
+  virtual ~NumNode() = default;
+  virtual void Eval(const Table& table, const RowId* rows, size_t n, NumVec& out) const = 0;
+};
+using NumNodePtr = std::unique_ptr<NumNode>;
+
+struct ColumnNumNode final : NumNode {
+  uint32_t col;
+  explicit ColumnNumNode(uint32_t c) : col(c) {}
+  void Eval(const Table& table, const RowId* rows, size_t n, NumVec& out) const override {
+    const ColumnStore& cs = table.column_store(col);
+    if (cs.type() == ValueType::kInt) {
+      for (size_t i = 0; i < n; ++i) {
+        const RowId r = rows[i];
+        if (cs.IsNull(r)) {
+          out.tag[i] = NumVec::kNull;
+        } else {
+          out.tag[i] = NumVec::kInt;
+          out.i64[i] = cs.GetInt(r);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const RowId r = rows[i];
+        if (cs.IsNull(r)) {
+          out.tag[i] = NumVec::kNull;
+        } else {
+          out.tag[i] = NumVec::kDouble;
+          out.f64[i] = cs.GetDouble(r);
+        }
+      }
+    }
+  }
+};
+
+struct ConstNumNode final : NumNode {
+  uint8_t tag;
+  int64_t i = 0;
+  double d = 0;
+  explicit ConstNumNode(const Value& v) {
+    if (v.is_int()) {
+      tag = NumVec::kInt;
+      i = v.as_int();
+    } else if (v.is_double()) {
+      tag = NumVec::kDouble;
+      d = v.as_double();
+    } else {
+      tag = NumVec::kNull;
+    }
+  }
+  void Eval(const Table&, const RowId*, size_t n, NumVec& out) const override {
+    std::fill(out.tag, out.tag + n, tag);
+    if (tag == NumVec::kInt) std::fill(out.i64, out.i64 + n, i);
+    if (tag == NumVec::kDouble) std::fill(out.f64, out.f64 + n, d);
+  }
+};
+
+struct ArithNumNode final : NumNode {
+  ArithOp op;
+  NumNodePtr lhs, rhs;
+  ArithNumNode(ArithOp o, NumNodePtr l, NumNodePtr r)
+      : op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+
+  void Eval(const Table& table, const RowId* rows, size_t n, NumVec& out) const override {
+    NumVec a, b;
+    lhs->Eval(table, rows, n, a);
+    rhs->Eval(table, rows, n, b);
+    for (size_t i = 0; i < n; ++i) {
+      if (a.tag[i] == NumVec::kNull || b.tag[i] == NumVec::kNull) {
+        out.tag[i] = NumVec::kNull;
+        continue;
+      }
+      if (op == ArithOp::kDiv) {
+        const double divisor = b.AsDouble(i);
+        if (divisor == 0.0) {
+          out.tag[i] = NumVec::kNull;
+        } else {
+          out.tag[i] = NumVec::kDouble;
+          out.f64[i] = a.AsDouble(i) / divisor;
+        }
+        continue;
+      }
+      if (a.tag[i] == NumVec::kInt && b.tag[i] == NumVec::kInt) {
+        int64_t v = 0;
+        bool overflow = false;
+        switch (op) {
+          case ArithOp::kAdd: overflow = __builtin_add_overflow(a.i64[i], b.i64[i], &v); break;
+          case ArithOp::kSub: overflow = __builtin_sub_overflow(a.i64[i], b.i64[i], &v); break;
+          case ArithOp::kMul: overflow = __builtin_mul_overflow(a.i64[i], b.i64[i], &v); break;
+          case ArithOp::kDiv: break;
+        }
+        if (!overflow) {
+          out.tag[i] = NumVec::kInt;
+          out.i64[i] = v;
+          continue;
+        }
+        // overflow degrades to double, matching EvalArithValue
+      }
+      const double l = a.AsDouble(i), r = b.AsDouble(i);
+      out.tag[i] = NumVec::kDouble;
+      switch (op) {
+        case ArithOp::kAdd: out.f64[i] = l + r; break;
+        case ArithOp::kSub: out.f64[i] = l - r; break;
+        case ArithOp::kMul: out.f64[i] = l * r; break;
+        case ArithOp::kDiv: break;
+      }
+    }
+  }
+};
+
+/// numeric-expr OP numeric-expr: comparison over two NumVecs. Int pairs
+/// compare exactly; any double promotes both sides (Value::compare does the
+/// same). NULL on either side is Unknown.
+struct CmpNumNode final : VecNode {
+  NumNodePtr lhs, rhs;
+  BinaryOp op;
+  CmpNumNode(NumNodePtr l, NumNodePtr r, BinaryOp o)
+      : lhs(std::move(l)), rhs(std::move(r)), op(o) {}
+
+  void Eval(const Batch& b, uint8_t* out) const override {
+    NumVec a, c;
+    lhs->Eval(*b.table, b.rows, b.n, a);
+    rhs->Eval(*b.table, b.rows, b.n, c);
+    auto run = [&](auto cmp) {
+      for (size_t i = 0; i < b.n; ++i) {
+        if (a.tag[i] == NumVec::kNull || c.tag[i] == NumVec::kNull) {
+          out[i] = kTriU;
+        } else if (a.tag[i] == NumVec::kInt && c.tag[i] == NumVec::kInt) {
+          out[i] = cmp(a.i64[i], c.i64[i]) ? kTriT : kTriF;
+        } else {
+          out[i] = cmp(a.AsDouble(i), c.AsDouble(i)) ? kTriT : kTriF;
+        }
+      }
+    };
+    switch (op) {
+      case BinaryOp::kEq: run([](auto x, auto y) { return x == y; }); break;
+      case BinaryOp::kNe: run([](auto x, auto y) { return x != y; }); break;
+      case BinaryOp::kLt: run([](auto x, auto y) { return x < y; }); break;
+      case BinaryOp::kLe: run([](auto x, auto y) { return x <= y; }); break;
+      case BinaryOp::kGt: run([](auto x, auto y) { return x > y; }); break;
+      case BinaryOp::kGe: run([](auto x, auto y) { return x >= y; }); break;
+      default: throw BindError("not a comparison operator");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Predicate compilation
 // ---------------------------------------------------------------------------
 
@@ -437,12 +640,45 @@ bool SameTypeClass(ValueType col, const Value& c) {
   return c.is_numeric();
 }
 
-/// Compile `e` into a kernel tree over columns of table slot 0, or nullptr
-/// when the shape is not covered (the whole query then falls back to the
-/// row engine, which either handles it or raises the same error).
-VecNodePtr CompileNode(const Expr& e, const Table& table, const std::vector<Value>& params) {
-  auto column_of = [](const Expr& c) -> std::optional<uint32_t> {
-    if (c.kind == Expr::Kind::kColumn && c.table_slot == 0 && c.column_index >= 0) {
+/// Compile a numeric scalar expression (columns of `slot`, numeric
+/// constants, + - * /) into a NumNode tree, or nullptr when not covered.
+/// String columns/constants are refused: the row engine throws BindError
+/// when it actually evaluates one, and falling back preserves both the
+/// error and the no-rows-no-error case.
+NumNodePtr CompileNumNode(const Expr& e, const Table& table, const std::vector<Value>& params,
+                          int32_t slot) {
+  switch (e.kind) {
+    case Expr::Kind::kColumn: {
+      if (e.table_slot != slot || e.column_index < 0) return nullptr;
+      const uint32_t col = static_cast<uint32_t>(e.column_index);
+      if (table.column_store(col).type() == ValueType::kString) return nullptr;
+      return std::make_unique<ColumnNumNode>(col);
+    }
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kParam: {
+      auto v = ConstValue(e, params);
+      if (!v || v->is_string()) return nullptr;
+      return std::make_unique<ConstNumNode>(*v);
+    }
+    case Expr::Kind::kArith: {
+      auto l = CompileNumNode(*e.children[0], table, params, slot);
+      if (!l) return nullptr;
+      auto r = CompileNumNode(*e.children[1], table, params, slot);
+      if (!r) return nullptr;
+      return std::make_unique<ArithNumNode>(e.arith_op, std::move(l), std::move(r));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+/// Compile `e` into a kernel tree over columns of table slot `slot`, or
+/// nullptr when the shape is not covered (the whole query then falls back
+/// to the row engine, which either handles it or raises the same error).
+VecNodePtr CompileNode(const Expr& e, const Table& table, const std::vector<Value>& params,
+                       int32_t slot) {
+  auto column_of = [slot](const Expr& c) -> std::optional<uint32_t> {
+    if (c.kind == Expr::Kind::kColumn && c.table_slot == slot && c.column_index >= 0) {
       return static_cast<uint32_t>(c.column_index);
     }
     return std::nullopt;
@@ -451,20 +687,30 @@ VecNodePtr CompileNode(const Expr& e, const Table& table, const std::vector<Valu
 
   switch (e.kind) {
     case Expr::Kind::kUnaryNot: {
-      auto child = CompileNode(*e.children[0], table, params);
+      auto child = CompileNode(*e.children[0], table, params, slot);
       if (!child) return nullptr;
       return std::make_unique<NotNode>(std::move(child));
     }
     case Expr::Kind::kBinary: {
       if (e.op == BinaryOp::kAnd || e.op == BinaryOp::kOr) {
-        auto l = CompileNode(*e.children[0], table, params);
+        auto l = CompileNode(*e.children[0], table, params, slot);
         if (!l) return nullptr;
-        auto r = CompileNode(*e.children[1], table, params);
+        auto r = CompileNode(*e.children[1], table, params, slot);
         if (!r) return nullptr;
         if (e.op == BinaryOp::kAnd) return std::make_unique<AndNode>(std::move(l), std::move(r));
         return std::make_unique<OrNode>(std::move(l), std::move(r));
       }
       if (!IsComparison(e.op)) return nullptr;
+      if (e.children[0]->kind == Expr::Kind::kArith ||
+          e.children[1]->kind == Expr::Kind::kArith) {
+        // Arithmetic on either side: evaluate both sides as numeric vectors
+        // and compare per EvalScalarCtx + Value::compare semantics.
+        auto l = CompileNumNode(*e.children[0], table, params, slot);
+        if (!l) return nullptr;
+        auto r = CompileNumNode(*e.children[1], table, params, slot);
+        if (!r) return nullptr;
+        return std::make_unique<CmpNumNode>(std::move(l), std::move(r), e.op);
+      }
       auto lcol = column_of(*e.children[0]);
       auto rcol = column_of(*e.children[1]);
       if (lcol && rcol) return std::make_unique<CmpColColNode>(*lcol, *rcol, e.op);
@@ -502,7 +748,7 @@ VecNodePtr CompileNode(const Expr& e, const Table& table, const std::vector<Valu
           default: break;
         }
       } else {
-        return nullptr;  // side is neither a slot-0 column nor a constant
+        return nullptr;  // side is neither a local column nor a constant
       }
       if (c.is_null()) return std::make_unique<TriConstNode>(kTriU);
       const ValueType col_type = table.column_store(col).type();
@@ -862,10 +1108,32 @@ struct ChunkOutput {
   std::vector<exec::Accumulator> accs;
   int64_t agg_rows_consumed = 0;
   exec::GroupState groups;
+  // Packed grouping state (only when the query has a PackedLayout): a
+  // direct LUT from packed index to dense group id, group ids assigned in
+  // first-encounter order so the merged output order matches GroupState's.
+  std::vector<int32_t> packed_lut;
+  std::vector<std::vector<exec::Accumulator>> packed_accs;  // per group id
+  std::vector<uint64_t> packed_of_gid;
   uint64_t batches = 0;
   uint64_t rows_scanned = 0;
   uint64_t reorders = 0;
 };
+
+/// Direct-array grouping layout for provably small all-int key spaces:
+/// every group key packs into one array index (component 0 of each
+/// dimension is reserved for NULL), so the per-row hash probe becomes a
+/// handful of arithmetic ops and one array load.
+struct PackedLayout {
+  std::vector<int64_t> lo;        // per group column: min over live rows
+  std::vector<uint64_t> dims;     // (max-lo+1)+1, the +1 for NULL
+  std::vector<uint64_t> strides;  // mixed-radix strides
+  uint64_t product = 0;           // total packed slots (<= kMaxPackedSlots)
+};
+
+/// Upper bound on the packed key space: one int32 LUT entry per slot keeps
+/// a chunk's table at 256 KiB worst case.
+constexpr uint64_t kMaxPackedSlots = uint64_t{1} << 16;
+constexpr size_t kMaxPackedGroupCols = 8;
 
 /// What a compiled query projects/aggregates, derived once per execution.
 struct CompiledQuery {
@@ -878,11 +1146,46 @@ struct CompiledQuery {
   bool has_aggregates = false;
   std::vector<uint32_t> group_cols;      // GROUP BY column indexes
   std::vector<int32_t> agg_cols;         // per aggregate item; -1 = COUNT(*)
+  bool packable = false;                 // grouped and all group cols are int
+  std::optional<PackedLayout> packed;    // set by RunCompiled when profitable
+  // Projection plan when the select list carries scalar expressions;
+  // empty for plain column/star lists (those read stmt->items directly).
+  std::vector<NumNodePtr> scalar_nodes;  // one per kScalar item, in order
 };
 
 void ConsumeProjection(const CompiledQuery& cq, const RowId* sel, size_t n,
                        std::vector<Row>& out) {
   const Table& table = *cq.table;
+  if (!cq.scalar_nodes.empty()) {
+    // Evaluate each scalar expression once per batch, then box per row.
+    std::vector<NumVec> scalars(cq.scalar_nodes.size());
+    for (size_t s = 0; s < cq.scalar_nodes.size(); ++s) {
+      cq.scalar_nodes[s]->Eval(table, sel, n, scalars[s]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const RowId r = sel[i];
+      Row row;
+      size_t scalar_index = 0;
+      for (const SelectItem& item : cq.stmt->items) {
+        switch (item.kind) {
+          case SelectItem::Kind::kStar:
+            for (size_t c = 0; c < table.schema().size(); ++c) {
+              row.push_back(table.column_store(static_cast<uint32_t>(c)).Get(r));
+            }
+            break;
+          case SelectItem::Kind::kScalar:
+            row.push_back(scalars[scalar_index++].Box(i));
+            break;
+          default:
+            row.push_back(
+                table.column_store(static_cast<uint32_t>(item.expr->column_index)).Get(r));
+            break;
+        }
+      }
+      out.push_back(std::move(row));
+    }
+    return;
+  }
   for (size_t i = 0; i < n; ++i) {
     const RowId r = sel[i];
     Row row;
@@ -907,11 +1210,44 @@ void ConsumeAggregate(const CompiledQuery& cq, const RowId* sel, size_t n, Chunk
     out.agg_rows_consumed += static_cast<int64_t>(n);
     return;
   }
+  const Table& table = *cq.table;
+  if (cq.packed) {
+    // Packed fast path: the key is an arithmetic index into a per-chunk
+    // LUT — no Value boxing, no hashing, no probe chain.
+    const PackedLayout& pl = *cq.packed;
+    if (out.packed_lut.empty()) out.packed_lut.assign(pl.product, -1);
+    const size_t gcols = cq.group_cols.size();
+    const ColumnStore* gstore[kMaxPackedGroupCols] = {};
+    for (size_t c = 0; c < gcols; ++c) gstore[c] = &table.column_store(cq.group_cols[c]);
+    for (size_t i = 0; i < n; ++i) {
+      const RowId r = sel[i];
+      uint64_t idx = 0;
+      for (size_t c = 0; c < gcols; ++c) {
+        const uint64_t comp =
+            gstore[c]->IsNull(r)
+                ? 0
+                : 1 + (static_cast<uint64_t>(gstore[c]->GetInt(r)) -
+                       static_cast<uint64_t>(pl.lo[c]));
+        idx += comp * pl.strides[c];
+      }
+      int32_t gid = out.packed_lut[idx];
+      if (gid < 0) {
+        gid = static_cast<int32_t>(out.packed_accs.size());
+        out.packed_lut[idx] = gid;
+        out.packed_accs.push_back(exec::MakeAccumulators(*cq.stmt));
+        out.packed_of_gid.push_back(idx);
+      }
+      auto& accs = out.packed_accs[static_cast<size_t>(gid)];
+      for (size_t a = 0; a < accs.size(); ++a) {
+        AddAggBatch(accs[a], table, cq.agg_cols[a], &r, 1);
+      }
+    }
+    return;
+  }
   // Grouped: the hash probe runs per selected row (post-filter
   // cardinality) but the key stays in a stack buffer — TouchView only
   // boxes it on a group's first encounter, so the steady state does no
   // per-row allocation. See docs/EXECUTION.md "what stays row-at-a-time".
-  const Table& table = *cq.table;
   constexpr size_t kMaxInlineKey = 8;
   const size_t gcols = cq.group_cols.size();
   Value keybuf[kMaxInlineKey];
@@ -996,9 +1332,14 @@ void ScanCandidates(const CompiledQuery& cq, const std::vector<RowId>& candidate
 // Query compilation and the top-level run
 // ---------------------------------------------------------------------------
 
-/// Compile the query, or nullopt when its shape is not covered.
-std::optional<CompiledQuery> Compile(const BoundQuery& query, const std::vector<Value>& params) {
-  if (query.tables().size() != 1) return std::nullopt;  // joins stay row-at-a-time
+/// Compile a single-table query, or nullopt (with `reason` set) when its
+/// shape is not covered.
+std::optional<CompiledQuery> Compile(const BoundQuery& query, const std::vector<Value>& params,
+                                     FallbackReason& reason) {
+  if (query.tables().size() != 1) {
+    reason = FallbackReason::kJoin;
+    return std::nullopt;
+  }
   CompiledQuery cq;
   cq.query = &query;
   cq.table = &query.table(0);
@@ -1014,33 +1355,59 @@ std::optional<CompiledQuery> Compile(const BoundQuery& query, const std::vector<
     std::vector<const Expr*> conjuncts;
     exec::SplitConjuncts(*stmt.where, conjuncts);
     for (const Expr* conjunct : conjuncts) {
-      auto node = CompileNode(*conjunct, *cq.table, params);
-      if (!node) return std::nullopt;
+      auto node = CompileNode(*conjunct, *cq.table, params, 0);
+      if (!node) {
+        reason = FallbackReason::kExpression;
+        return std::nullopt;
+      }
       cq.conjunct_nodes.push_back(std::move(node));
       cq.conjunct_exprs.push_back(conjunct);
     }
   }
 
+  cq.packable = cq.grouped && stmt.group_by.size() <= kMaxPackedGroupCols;
   for (const ExprPtr& g : stmt.group_by) {
-    if (g->kind != Expr::Kind::kColumn || g->column_index < 0) return std::nullopt;
+    if (g->kind != Expr::Kind::kColumn || g->column_index < 0) {
+      reason = FallbackReason::kShape;
+      return std::nullopt;
+    }
     cq.group_cols.push_back(static_cast<uint32_t>(g->column_index));
+    if (cq.table->column_store(cq.group_cols.back()).type() != ValueType::kInt) {
+      cq.packable = false;  // still runs, just on the hash GroupState path
+    }
   }
   for (const SelectItem& item : stmt.items) {
     switch (item.kind) {
       case SelectItem::Kind::kStar:
-        if (cq.has_aggregates || cq.grouped) return std::nullopt;  // binder rejects anyway
-        break;
-      case SelectItem::Kind::kColumn:
-        if (!item.expr || item.expr->kind != Expr::Kind::kColumn || item.expr->column_index < 0) {
+        if (cq.has_aggregates || cq.grouped) {
+          reason = FallbackReason::kShape;  // binder rejects anyway
           return std::nullopt;
         }
         break;
+      case SelectItem::Kind::kColumn:
+        if (!item.expr || item.expr->kind != Expr::Kind::kColumn || item.expr->column_index < 0) {
+          reason = FallbackReason::kShape;
+          return std::nullopt;
+        }
+        break;
+      case SelectItem::Kind::kScalar: {
+        // The binder keeps scalar items out of grouped/aggregate queries,
+        // so these only show up in plain projections.
+        auto node = item.expr ? CompileNumNode(*item.expr, *cq.table, params, 0) : nullptr;
+        if (!node) {
+          reason = FallbackReason::kExpression;
+          return std::nullopt;
+        }
+        cq.scalar_nodes.push_back(std::move(node));
+        break;
+      }
       case SelectItem::Kind::kAggregate:
         if (item.func == AggFunc::kCountStar) {
           cq.agg_cols.push_back(-1);
           break;
         }
         if (!item.expr || item.expr->kind != Expr::Kind::kColumn || item.expr->column_index < 0) {
+          reason = FallbackReason::kShape;
           return std::nullopt;
         }
         // SUM/AVG over a string column makes the row engine throw on the
@@ -1048,6 +1415,7 @@ std::optional<CompiledQuery> Compile(const BoundQuery& query, const std::vector<
         if ((item.func == AggFunc::kSum || item.func == AggFunc::kAvg) &&
             cq.table->column_store(static_cast<uint32_t>(item.expr->column_index)).type() ==
                 ValueType::kString) {
+          reason = FallbackReason::kType;
           return std::nullopt;
         }
         cq.agg_cols.push_back(item.expr->column_index);
@@ -1057,12 +1425,68 @@ std::optional<CompiledQuery> Compile(const BoundQuery& query, const std::vector<
   return cq;
 }
 
+/// Min/max pre-pass over live rows: if every group key fits a small packed
+/// integer space, return the direct-array layout; otherwise nullopt (the
+/// plain hash path runs — this is a layout choice, not a query fallback).
+std::optional<PackedLayout> ComputePackedLayout(const CompiledQuery& cq) {
+  const Table& table = *cq.table;
+  const RowId slots = table.SlotCount();
+  PackedLayout pl;
+  pl.product = 1;
+  for (uint32_t gc : cq.group_cols) {
+    const ColumnStore& cs = table.column_store(gc);
+    bool seen = false;
+    int64_t lo = 0, hi = 0;
+    for (RowId r = 0; r < slots; ++r) {
+      if (!table.IsLive(r) || cs.IsNull(r)) continue;
+      const int64_t v = cs.GetInt(r);
+      if (!seen) {
+        seen = true;
+        lo = hi = v;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!seen) return std::nullopt;  // empty/all-NULL column: not worth it
+    // Unsigned subtraction is exact for any int64 pair with hi >= lo.
+    const uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    if (range >= kMaxPackedSlots) return std::nullopt;
+    const uint64_t dim = range + 2;  // +1 inclusive range, +1 NULL slot
+    pl.lo.push_back(lo);
+    pl.dims.push_back(dim);
+    pl.strides.push_back(pl.product);
+    if (__builtin_mul_overflow(pl.product, dim, &pl.product) || pl.product > kMaxPackedSlots) {
+      return std::nullopt;
+    }
+  }
+  return pl;
+}
+
 void MergeChunk(const CompiledQuery& cq, ChunkOutput& total, ChunkOutput& chunk,
                 ResultSet& result) {
   if (cq.has_aggregates || cq.grouped) {
     if (!cq.grouped) {
       for (size_t i = 0; i < total.accs.size(); ++i) total.accs[i].Merge(chunk.accs[i]);
       total.agg_rows_consumed += chunk.agg_rows_consumed;
+    } else if (cq.packed) {
+      // Reconstruct boxed keys from packed indexes in group-id order
+      // (first-encounter order within the chunk), preserving the exact
+      // group emission order of the hash path.
+      const PackedLayout& pl = *cq.packed;
+      for (size_t gid = 0; gid < chunk.packed_accs.size(); ++gid) {
+        const uint64_t idx = chunk.packed_of_gid[gid];
+        Row key;
+        key.reserve(pl.dims.size());
+        for (size_t c = 0; c < pl.dims.size(); ++c) {
+          const uint64_t comp = (idx / pl.strides[c]) % pl.dims[c];
+          key.push_back(comp == 0 ? Value::Null()
+                                  : Value(static_cast<int64_t>(
+                                        static_cast<uint64_t>(pl.lo[c]) + (comp - 1))));
+        }
+        auto& accs = total.groups.Touch(std::move(key), *cq.stmt);
+        for (size_t a = 0; a < accs.size(); ++a) accs[a].Merge(chunk.packed_accs[gid][a]);
+      }
     } else {
       total.groups.Merge(chunk.groups);
     }
@@ -1074,9 +1498,13 @@ void MergeChunk(const CompiledQuery& cq, ChunkOutput& total, ChunkOutput& chunk,
   total.reorders += chunk.reorders;
 }
 
-ResultSet RunCompiled(const CompiledQuery& cq, const std::vector<Value>& params) {
+ResultSet RunCompiled(CompiledQuery& cq, const std::vector<Value>& params) {
   const Table& table = *cq.table;
   ResultSet result(exec::OutputColumnNames(*cq.query));
+
+  // Decide the grouping layout once per execution, under the caller's
+  // ReadLock (the min/max pre-pass reads live rows).
+  if (cq.packable) cq.packed = ComputePackedLayout(cq);
 
   // The same planner the row engine runs — identical candidates, identical
   // scan order, so un-ORDERed outputs match row for row.
@@ -1143,12 +1571,614 @@ ResultSet RunCompiled(const CompiledQuery& cq, const std::vector<Value>& params)
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Two-table equi-join execution
+// ---------------------------------------------------------------------------
+
+/// Cross-slot residual conjunct: slot-0 column OP slot-1 column, applied
+/// per matched pair with Value::compare semantics.
+struct PairCmp {
+  uint32_t col0;
+  uint32_t col1;
+  BinaryOp op;
+};
+
+struct CompiledJoin {
+  const BoundQuery* query = nullptr;
+  const Table* tables[2] = {nullptr, nullptr};
+  const SelectStmt* stmt = nullptr;
+  uint32_t key_col[2] = {0, 0};
+  bool key_is_string = false;
+  std::vector<VecNodePtr> local_nodes[2];   // per-slot pre-join filters
+  std::vector<const Expr*> local_exprs[2];  // parallel, feed the planner
+  std::vector<PairCmp> residuals;
+  bool grouped = false;
+  bool has_aggregates = false;
+  std::vector<std::pair<int32_t, uint32_t>> group_keys;  // (slot, column)
+  std::vector<std::pair<int32_t, int32_t>> agg_args;     // (slot, column); slot -1 = COUNT(*)
+};
+
+void CollectSlotMask(const Expr& e, uint32_t& mask) {
+  if (e.kind == Expr::Kind::kColumn) {
+    if (e.table_slot >= 0 && e.table_slot < 32) mask |= (1u << e.table_slot);
+    return;
+  }
+  for (const ExprPtr& c : e.children) CollectSlotMask(*c, mask);
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // kEq/kNe are symmetric
+  }
+}
+
+/// Compile a two-table query, or nullopt (with `reason` set) when its
+/// shape is not covered. Classification mirrors the row engine's RunJoin
+/// exactly: the FIRST cross-slot `col = col` conjunct is the hash key,
+/// single-slot (and slot-less) conjuncts are pre-join filters, and every
+/// other cross-slot conjunct must be a column-vs-column comparison applied
+/// per matched pair.
+std::optional<CompiledJoin> CompileJoin(const BoundQuery& query, const std::vector<Value>& params,
+                                        FallbackReason& reason) {
+  reason = FallbackReason::kJoin;
+  if (query.tables().size() != 2) return std::nullopt;
+  CompiledJoin cj;
+  cj.query = &query;
+  cj.tables[0] = &query.table(0);
+  cj.tables[1] = &query.table(1);
+  cj.stmt = &query.stmt();
+  const SelectStmt& stmt = *cj.stmt;
+  cj.grouped = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == SelectItem::Kind::kAggregate) cj.has_aggregates = true;
+  }
+
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where) exec::SplitConjuncts(*stmt.where, conjuncts);
+
+  auto is_eq_colcol = [](const Expr& e) {
+    return e.kind == Expr::Kind::kBinary && e.op == BinaryOp::kEq &&
+           e.children[0]->kind == Expr::Kind::kColumn &&
+           e.children[1]->kind == Expr::Kind::kColumn &&
+           e.children[0]->table_slot != e.children[1]->table_slot;
+  };
+  const Expr* join_key = nullptr;
+  for (const Expr* conjunct : conjuncts) {
+    if (is_eq_colcol(*conjunct)) {
+      join_key = conjunct;
+      break;
+    }
+  }
+  if (!join_key) return std::nullopt;  // nested-loop shape stays row-at-a-time
+
+  for (const Expr* conjunct : conjuncts) {
+    uint32_t mask = 0;
+    CollectSlotMask(*conjunct, mask);
+    if (mask == 0b11u) {
+      if (conjunct == join_key) continue;
+      if (conjunct->kind != Expr::Kind::kBinary || !IsComparison(conjunct->op)) {
+        return std::nullopt;
+      }
+      const Expr& l = *conjunct->children[0];
+      const Expr& r = *conjunct->children[1];
+      if (l.kind != Expr::Kind::kColumn || r.kind != Expr::Kind::kColumn ||
+          l.table_slot == r.table_slot || l.column_index < 0 || r.column_index < 0) {
+        return std::nullopt;
+      }
+      if (l.table_slot == 0) {
+        cj.residuals.push_back({static_cast<uint32_t>(l.column_index),
+                                static_cast<uint32_t>(r.column_index), conjunct->op});
+      } else {
+        cj.residuals.push_back({static_cast<uint32_t>(r.column_index),
+                                static_cast<uint32_t>(l.column_index),
+                                FlipComparison(conjunct->op)});
+      }
+      continue;
+    }
+    // Single-slot conjunct; a slot-less (constant) conjunct filters both
+    // sides, exactly like the row engine's LocalConjuncts.
+    for (int32_t s = 0; s < 2; ++s) {
+      if (mask != 0 && mask != (1u << s)) continue;
+      auto node = CompileNode(*conjunct, *cj.tables[s], params, s);
+      if (!node) {
+        reason = FallbackReason::kExpression;
+        return std::nullopt;
+      }
+      cj.local_nodes[s].push_back(std::move(node));
+      cj.local_exprs[s].push_back(conjunct);
+    }
+  }
+
+  const Expr& kl = *join_key->children[0];
+  const Expr& kr = *join_key->children[1];
+  if (kl.table_slot < 0 || kl.table_slot > 1 || kr.table_slot < 0 || kr.table_slot > 1 ||
+      kl.column_index < 0 || kr.column_index < 0) {
+    return std::nullopt;
+  }
+  cj.key_col[kl.table_slot] = static_cast<uint32_t>(kl.column_index);
+  cj.key_col[kr.table_slot] = static_cast<uint32_t>(kr.column_index);
+  const ValueType kt0 = cj.tables[0]->column_store(cj.key_col[0]).type();
+  const ValueType kt1 = cj.tables[1]->column_store(cj.key_col[1]).type();
+  if (kt0 == ValueType::kInt && kt1 == ValueType::kInt) {
+    cj.key_is_string = false;
+  } else if (kt0 == ValueType::kString && kt1 == ValueType::kString) {
+    cj.key_is_string = true;
+  } else {
+    // Double or mixed-class keys keep the row engine's boxed-Value hashing.
+    reason = FallbackReason::kType;
+    return std::nullopt;
+  }
+
+  for (const ExprPtr& g : stmt.group_by) {
+    if (g->kind != Expr::Kind::kColumn || g->column_index < 0 || g->table_slot < 0 ||
+        g->table_slot > 1) {
+      reason = FallbackReason::kShape;
+      return std::nullopt;
+    }
+    cj.group_keys.emplace_back(g->table_slot, static_cast<uint32_t>(g->column_index));
+  }
+  for (const SelectItem& item : stmt.items) {
+    switch (item.kind) {
+      case SelectItem::Kind::kStar:
+        if (cj.has_aggregates || cj.grouped) {
+          reason = FallbackReason::kShape;  // binder rejects anyway
+          return std::nullopt;
+        }
+        break;
+      case SelectItem::Kind::kColumn:
+        if (!item.expr || item.expr->kind != Expr::Kind::kColumn || item.expr->column_index < 0 ||
+            item.expr->table_slot < 0 || item.expr->table_slot > 1) {
+          reason = FallbackReason::kShape;
+          return std::nullopt;
+        }
+        break;
+      case SelectItem::Kind::kScalar:
+        // Scalar projections over joins stay row-at-a-time for now.
+        reason = FallbackReason::kExpression;
+        return std::nullopt;
+      case SelectItem::Kind::kAggregate:
+        if (item.func == AggFunc::kCountStar) {
+          cj.agg_args.emplace_back(-1, -1);
+          break;
+        }
+        if (!item.expr || item.expr->kind != Expr::Kind::kColumn || item.expr->column_index < 0 ||
+            item.expr->table_slot < 0 || item.expr->table_slot > 1) {
+          reason = FallbackReason::kShape;
+          return std::nullopt;
+        }
+        if ((item.func == AggFunc::kSum || item.func == AggFunc::kAvg) &&
+            cj.tables[item.expr->table_slot]
+                    ->column_store(static_cast<uint32_t>(item.expr->column_index))
+                    .type() == ValueType::kString) {
+          reason = FallbackReason::kType;
+          return std::nullopt;
+        }
+        cj.agg_args.emplace_back(item.expr->table_slot, item.expr->column_index);
+        break;
+    }
+  }
+  return cj;
+}
+
+/// Vectorized FilteredSide: rows of `slot` passing all its local
+/// conjuncts, in the row engine's scan order (index candidates when the
+/// planner finds a sarg, rowid order otherwise).
+std::vector<RowId> FilteredSideVec(const CompiledJoin& cj, int32_t slot,
+                                   const std::vector<Value>& params, ChunkOutput& stats) {
+  const Table& table = *cj.tables[slot];
+  auto candidates = IndexedCandidates(table, slot, cj.local_exprs[slot], params);
+  FilterState fs(cj.local_nodes[slot]);
+  std::vector<RowId> out;
+  RowId sel[kVectorBatchRows];
+  size_t n = 0;
+  auto flush = [&] {
+    if (n == 0) return;
+    const size_t kept = fs.FilterBatch(table, sel, n);
+    out.insert(out.end(), sel, sel + kept);
+    n = 0;
+  };
+  if (candidates) {
+    for (RowId r : *candidates) {
+      sel[n++] = r;
+      if (n == kVectorBatchRows) flush();
+    }
+  } else {
+    table.ForEachRow([&](RowId r) {
+      sel[n++] = r;
+      if (n == kVectorBatchRows) flush();
+    });
+  }
+  flush();
+  stats.batches += fs.batches;
+  stats.rows_scanned += fs.rows_scanned;
+  stats.reorders += fs.reorders;
+  return out;
+}
+
+/// Keep pairs where `col0(s0[i]) OP col1(s1[i])` is definitely true,
+/// replicating Value::compare across the two tables (NULL on either side
+/// drops the pair, cross-class pairs take the fixed type-rank outcome).
+/// Compacts both arrays in place; returns the surviving count.
+size_t FilterPairs(const PairCmp& pc, const Table& t0, const Table& t1, RowId* s0, RowId* s1,
+                   size_t n) {
+  const ColumnStore& c0 = t0.column_store(pc.col0);
+  const ColumnStore& c1 = t1.column_store(pc.col1);
+  size_t m = 0;
+  auto compact = [&](auto holds) {
+    for (size_t i = 0; i < n; ++i) {
+      if (c0.IsNull(s0[i]) || c1.IsNull(s1[i])) continue;
+      if (!holds(i)) continue;
+      s0[m] = s0[i];
+      s1[m] = s1[i];
+      ++m;
+    }
+  };
+  auto with_op = [&](auto get0, auto get1) {
+    switch (pc.op) {
+      case BinaryOp::kEq: compact([&](size_t i) { return get0(i) == get1(i); }); break;
+      case BinaryOp::kNe: compact([&](size_t i) { return get0(i) != get1(i); }); break;
+      case BinaryOp::kLt: compact([&](size_t i) { return get0(i) < get1(i); }); break;
+      case BinaryOp::kLe: compact([&](size_t i) { return get0(i) <= get1(i); }); break;
+      case BinaryOp::kGt: compact([&](size_t i) { return get0(i) > get1(i); }); break;
+      case BinaryOp::kGe: compact([&](size_t i) { return get0(i) >= get1(i); }); break;
+      default: throw BindError("not a comparison operator");
+    }
+  };
+  const bool num0 = c0.type() != ValueType::kString;
+  const bool num1 = c1.type() != ValueType::kString;
+  if (num0 && num1) {
+    if (c0.type() == ValueType::kInt && c1.type() == ValueType::kInt) {
+      with_op([&](size_t i) { return c0.GetInt(s0[i]); },
+              [&](size_t i) { return c1.GetInt(s1[i]); });
+    } else {
+      auto num = [](const ColumnStore& c, const RowId* s) {
+        return [&c, s](size_t i) {
+          return c.type() == ValueType::kInt ? static_cast<double>(c.GetInt(s[i]))
+                                             : c.GetDouble(s[i]);
+        };
+      };
+      with_op(num(c0, s0), num(c1, s1));
+    }
+  } else if (!num0 && !num1) {
+    with_op([&](size_t i) -> const std::string& { return c0.GetString(s0[i]); },
+            [&](size_t i) -> const std::string& { return c1.GetString(s1[i]); });
+  } else {
+    // Cross-class: every non-null pair compares the same way (Value's
+    // total order ranks numerics below strings).
+    const auto rank = num0 ? std::strong_ordering::less : std::strong_ordering::greater;
+    bool fixed;
+    switch (pc.op) {
+      case BinaryOp::kEq: fixed = false; break;
+      case BinaryOp::kNe: fixed = true; break;
+      case BinaryOp::kLt: fixed = rank == std::strong_ordering::less; break;
+      case BinaryOp::kLe: fixed = rank != std::strong_ordering::greater; break;
+      case BinaryOp::kGt: fixed = rank == std::strong_ordering::greater; break;
+      case BinaryOp::kGe: fixed = rank != std::strong_ordering::less; break;
+      default: throw BindError("not a comparison operator");
+    }
+    compact([&](size_t) { return fixed; });
+  }
+  return m;
+}
+
+/// splitmix64 finalizer: cheap full-avalanche mix for the open-addressing
+/// build table.
+inline uint64_t HashKey64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+ResultSet RunJoinCompiled(const CompiledJoin& cj, const std::vector<Value>& params) {
+  ResultSet result(exec::OutputColumnNames(*cj.query));
+  const SelectStmt& stmt = *cj.stmt;
+  ChunkOutput out;
+  if (!cj.grouped && cj.has_aggregates) out.accs = exec::MakeAccumulators(stmt);
+
+  // A side with no local conjuncts is the whole table in row-id order: its
+  // filtered size is `table.size()` without a scan, and when it ends up as
+  // the probe side the probe streams straight off ForEachRow instead of
+  // materializing a million-entry row-id vector first.
+  const bool whole0 = cj.local_exprs[0].empty();
+  const bool whole1 = cj.local_exprs[1].empty();
+  std::vector<RowId> side0, side1;
+  if (!whole0) side0 = FilteredSideVec(cj, 0, params, out);
+  if (!whole1) side1 = FilteredSideVec(cj, 1, params, out);
+  const size_t size0 = whole0 ? cj.tables[0]->size() : side0.size();
+  const size_t size1 = whole1 ? cj.tables[1]->size() : side1.size();
+
+  // Build on the smaller filtered side — the row engine's exact tie-break,
+  // so match pairs stream out in the same (probe-outer, build-insertion)
+  // order and un-ORDERed results align row for row.
+  const bool build0 = size0 <= size1;
+  const int32_t bs = build0 ? 0 : 1;
+  const int32_t ps = 1 - bs;
+  std::vector<RowId>& build_rows = build0 ? side0 : side1;
+  if ((build0 ? whole0 : whole1)) {  // the build pass needs the actual ids
+    build_rows.reserve(cj.tables[bs]->size());
+    cj.tables[bs]->ForEachRow([&](RowId r) { build_rows.push_back(r); });
+    out.rows_scanned += build_rows.size();
+  }
+  const bool probe_whole = build0 ? whole1 : whole0;
+  const std::vector<RowId>& probe_rows = build0 ? side1 : side0;
+  const ColumnStore& build_store = cj.tables[bs]->column_store(cj.key_col[bs]);
+  const ColumnStore& probe_store = cj.tables[ps]->column_store(cj.key_col[ps]);
+
+  // Group build rows by key into contiguous per-key runs, insertion order
+  // preserved (pass A counts and assigns key ids in first-encounter order,
+  // pass B fills) — the same layout the row engine's
+  // unordered_map<Value, vector<RowId>> yields, without boxing a key.
+  std::vector<uint32_t> uid_of_row(build_rows.size(), UINT32_MAX);
+  std::vector<uint32_t> counts;
+
+  size_t cap = 16;
+  while (cap < build_rows.size() * 2) cap <<= 1;
+  std::vector<int64_t> int_keys;
+  std::vector<int32_t> int_uid;
+  // Direct-addressed alternative: when the build keys span a provably
+  // narrow range, `(key - dir_lo)` indexes a dense uid array and the probe
+  // needs no hash and no collision chain.
+  constexpr uint64_t kMaxDirectSlots = 1ull << 20;
+  bool direct = false;
+  int64_t dir_lo = 0;
+  std::vector<int32_t> dir_uid;
+  std::unordered_map<std::string_view, uint32_t> intern;
+
+  if (!cj.key_is_string) {
+    // Gather non-null build keys once, tracking their range.
+    std::vector<int64_t> bkeys(build_rows.size());
+    std::vector<uint8_t> bvalid(build_rows.size(), 0);
+    int64_t lo = 0, hi = 0;
+    bool any = false;
+    for (size_t i = 0; i < build_rows.size(); ++i) {
+      const RowId r = build_rows[i];
+      if (build_store.IsNull(r)) continue;  // NULL never equi-joins
+      const int64_t k = build_store.GetInt(r);
+      bkeys[i] = k;
+      bvalid[i] = 1;
+      lo = any ? std::min(lo, k) : k;
+      hi = any ? std::max(hi, k) : k;
+      any = true;
+    }
+    const uint64_t range =
+        any ? static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) : 0;
+    if (any && range < kMaxDirectSlots) {
+      direct = true;
+      dir_lo = lo;
+      dir_uid.assign(range + 1, -1);
+      for (size_t i = 0; i < build_rows.size(); ++i) {
+        if (!bvalid[i]) continue;
+        int32_t& u =
+            dir_uid[static_cast<uint64_t>(bkeys[i]) - static_cast<uint64_t>(lo)];
+        if (u < 0) {
+          u = static_cast<int32_t>(counts.size());
+          counts.push_back(0);
+        }
+        uid_of_row[i] = static_cast<uint32_t>(u);
+        ++counts[u];
+      }
+    } else {
+      int_keys.resize(cap);
+      int_uid.assign(cap, -1);
+      for (size_t i = 0; i < build_rows.size(); ++i) {
+        if (!bvalid[i]) continue;
+        const int64_t k = bkeys[i];
+        size_t h = HashKey64(static_cast<uint64_t>(k)) & (cap - 1);
+        while (int_uid[h] >= 0 && int_keys[h] != k) h = (h + 1) & (cap - 1);
+        if (int_uid[h] < 0) {
+          int_uid[h] = static_cast<int32_t>(counts.size());
+          int_keys[h] = k;
+          counts.push_back(0);
+        }
+        uid_of_row[i] = static_cast<uint32_t>(int_uid[h]);
+        ++counts[uid_of_row[i]];
+      }
+    }
+  } else {
+    intern.reserve(build_rows.size());
+    for (size_t i = 0; i < build_rows.size(); ++i) {
+      const RowId r = build_rows[i];
+      if (build_store.IsNull(r)) continue;
+      // The view points into ColumnStore's string storage, stable under
+      // the caller's ReadLock for the whole join.
+      const std::string& s = build_store.GetString(r);
+      auto [it, inserted] =
+          intern.try_emplace(std::string_view(s), static_cast<uint32_t>(counts.size()));
+      if (inserted) counts.push_back(0);
+      uid_of_row[i] = it->second;
+      ++counts[uid_of_row[i]];
+    }
+  }
+
+  std::vector<uint32_t> starts(counts.size() + 1, 0);
+  for (size_t u = 0; u < counts.size(); ++u) starts[u + 1] = starts[u] + counts[u];
+  std::vector<RowId> rows_flat(starts.back());
+  std::vector<uint32_t> fill(counts.size(), 0);
+  for (size_t i = 0; i < build_rows.size(); ++i) {
+    const uint32_t u = uid_of_row[i];
+    if (u == UINT32_MAX) continue;
+    rows_flat[starts[u] + fill[u]++] = build_rows[i];
+  }
+
+  // Matched pairs stream through slot-indexed selection vectors; a batch
+  // flushes through the residual compaction into the sinks. A probe row's
+  // matches may straddle a flush — order is still preserved.
+  RowId sel0[kVectorBatchRows];
+  RowId sel1[kVectorBatchRows];
+  size_t np = 0;
+  uint64_t pairs_consumed = 0;
+  constexpr size_t kMaxInlineKey = 8;
+  Value keybuf[kMaxInlineKey];
+
+  auto flush_pairs = [&] {
+    if (np == 0) return;
+    ++out.batches;
+    out.rows_scanned += np;
+    size_t n = np;
+    np = 0;
+    for (const PairCmp& pc : cj.residuals) {
+      n = FilterPairs(pc, *cj.tables[0], *cj.tables[1], sel0, sel1, n);
+      if (n == 0) return;
+    }
+    pairs_consumed += n;
+    if (cj.has_aggregates && !cj.grouped) {
+      for (size_t a = 0; a < out.accs.size(); ++a) {
+        const auto [slot, col] = cj.agg_args[a];
+        if (slot < 0) {
+          out.accs[a].count += static_cast<int64_t>(n);
+        } else {
+          AddAggBatch(out.accs[a], *cj.tables[slot], col, slot == 0 ? sel0 : sel1, n);
+        }
+      }
+      return;
+    }
+    if (cj.grouped) {
+      const size_t gcols = cj.group_keys.size();
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<exec::Accumulator>* accs;
+        if (gcols <= kMaxInlineKey) {
+          for (size_t c = 0; c < gcols; ++c) {
+            const auto [slot, col] = cj.group_keys[c];
+            keybuf[c] = cj.tables[slot]->column_store(col).Get(slot == 0 ? sel0[i] : sel1[i]);
+          }
+          accs = &out.groups.TouchView(keybuf, gcols, stmt);
+        } else {
+          Row key;
+          key.reserve(gcols);
+          for (const auto& [slot, col] : cj.group_keys) {
+            key.push_back(cj.tables[slot]->column_store(col).Get(slot == 0 ? sel0[i] : sel1[i]));
+          }
+          accs = &out.groups.Touch(std::move(key), stmt);
+        }
+        for (size_t a = 0; a < accs->size(); ++a) {
+          const auto [slot, col] = cj.agg_args[a];
+          if (slot < 0) {
+            ++(*accs)[a].count;
+          } else {
+            const RowId one = slot == 0 ? sel0[i] : sel1[i];
+            AddAggBatch((*accs)[a], *cj.tables[slot], col, &one, 1);
+          }
+        }
+      }
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Row row;
+      for (const SelectItem& item : stmt.items) {
+        if (item.kind == SelectItem::Kind::kStar) {
+          for (int32_t slot = 0; slot < 2; ++slot) {
+            const Table& t = *cj.tables[slot];
+            const RowId r = slot == 0 ? sel0[i] : sel1[i];
+            for (size_t c = 0; c < t.schema().size(); ++c) {
+              row.push_back(t.column_store(static_cast<uint32_t>(c)).Get(r));
+            }
+          }
+        } else {
+          const int32_t slot = item.expr->table_slot;
+          row.push_back(cj.tables[slot]
+                            ->column_store(static_cast<uint32_t>(item.expr->column_index))
+                            .Get(slot == 0 ? sel0[i] : sel1[i]));
+        }
+      }
+      result.AddRow(std::move(row));
+    }
+  };
+
+  auto emit_matches = [&](uint32_t uid, RowId prow) {
+    for (uint32_t idx = starts[uid]; idx < starts[uid + 1]; ++idx) {
+      if (bs == 0) {
+        sel0[np] = rows_flat[idx];
+        sel1[np] = prow;
+      } else {
+        sel0[np] = prow;
+        sel1[np] = rows_flat[idx];
+      }
+      if (++np == kVectorBatchRows) flush_pairs();
+    }
+  };
+
+  // An unfiltered probe side streams straight off the liveness bitmap —
+  // ForEachRow visits the same ascending row ids FilteredSideVec would
+  // have materialized, so pair order is unchanged.
+  auto for_each_probe = [&](auto&& probe_one) {
+    if (probe_whole) {
+      cj.tables[ps]->ForEachRow(probe_one);
+      out.rows_scanned += cj.tables[ps]->size();
+    } else {
+      for (RowId prow : probe_rows) probe_one(prow);
+    }
+  };
+  if (direct) {
+    for_each_probe([&](RowId prow) {
+      if (probe_store.IsNull(prow)) return;
+      const uint64_t idx = static_cast<uint64_t>(probe_store.GetInt(prow)) -
+                           static_cast<uint64_t>(dir_lo);
+      if (idx >= dir_uid.size()) return;  // below-range keys wrap huge
+      const int32_t uid = dir_uid[idx];
+      if (uid < 0) return;
+      emit_matches(static_cast<uint32_t>(uid), prow);
+    });
+  } else if (!cj.key_is_string) {
+    for_each_probe([&](RowId prow) {
+      if (probe_store.IsNull(prow)) return;
+      const int64_t k = probe_store.GetInt(prow);
+      size_t h = HashKey64(static_cast<uint64_t>(k)) & (cap - 1);
+      int32_t uid = -1;
+      while (int_uid[h] >= 0) {
+        if (int_keys[h] == k) {
+          uid = int_uid[h];
+          break;
+        }
+        h = (h + 1) & (cap - 1);
+      }
+      if (uid < 0) return;
+      emit_matches(static_cast<uint32_t>(uid), prow);
+    });
+  } else {
+    for_each_probe([&](RowId prow) {
+      if (probe_store.IsNull(prow)) return;
+      auto it = intern.find(std::string_view(probe_store.GetString(prow)));
+      if (it == intern.end()) return;
+      emit_matches(it->second, prow);
+    });
+  }
+  flush_pairs();
+
+  if (cj.has_aggregates || cj.grouped) {
+    exec::GroupState state;
+    if (cj.grouped) {
+      state = std::move(out.groups);
+    } else if (pairs_consumed > 0) {
+      // The single implicit group exists iff at least one pair survived
+      // the full WHERE (matching the row engine's Consume).
+      state.Touch(Row{}, stmt) = std::move(out.accs);
+    }
+    exec::EmitGroupRows(stmt, state, cj.grouped, result);
+  }
+  exec::ApplyOrderAndLimit(*cj.query, result);
+
+  g_stats.batches.fetch_add(out.batches, std::memory_order_relaxed);
+  g_stats.rows_scanned.fetch_add(out.rows_scanned, std::memory_order_relaxed);
+  g_stats.conjunct_reorders.fetch_add(out.reorders, std::memory_order_relaxed);
+  return result;
+}
+
 }  // namespace
 
 VectorizedStats GetVectorizedStats() {
   VectorizedStats s;
   s.queries_vectorized = g_stats.queries_vectorized.load(std::memory_order_relaxed);
   s.queries_fallback = g_stats.queries_fallback.load(std::memory_order_relaxed);
+  s.fallback_join = g_stats.fallback_join.load(std::memory_order_relaxed);
+  s.fallback_expression = g_stats.fallback_expression.load(std::memory_order_relaxed);
+  s.fallback_shape = g_stats.fallback_shape.load(std::memory_order_relaxed);
+  s.fallback_type = g_stats.fallback_type.load(std::memory_order_relaxed);
+  s.joins_vectorized = g_stats.joins_vectorized.load(std::memory_order_relaxed);
   s.batches = g_stats.batches.load(std::memory_order_relaxed);
   s.rows_scanned = g_stats.rows_scanned.load(std::memory_order_relaxed);
   s.parallel_scans = g_stats.parallel_scans.load(std::memory_order_relaxed);
@@ -1163,9 +2193,21 @@ std::optional<ResultSet> TryExecuteVectorized(const BoundQuery& query,
     throw BindError("statement needs " + std::to_string(query.stmt().param_count) +
                     " parameters, got " + std::to_string(params.size()));
   }
-  auto compiled = Compile(query, params);
+  if (query.tables().size() >= 2) {
+    FallbackReason reason = FallbackReason::kJoin;
+    auto join = CompileJoin(query, params, reason);
+    if (!join) {
+      CountFallback(reason);
+      return std::nullopt;
+    }
+    g_stats.queries_vectorized.fetch_add(1, std::memory_order_relaxed);
+    g_stats.joins_vectorized.fetch_add(1, std::memory_order_relaxed);
+    return RunJoinCompiled(*join, params);
+  }
+  FallbackReason reason = FallbackReason::kExpression;
+  auto compiled = Compile(query, params, reason);
   if (!compiled) {
-    g_stats.queries_fallback.fetch_add(1, std::memory_order_relaxed);
+    CountFallback(reason);
     return std::nullopt;
   }
   g_stats.queries_vectorized.fetch_add(1, std::memory_order_relaxed);

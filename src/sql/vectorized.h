@@ -13,10 +13,22 @@
 // worker pool that reads under the caller's table ReadLock. See
 // docs/EXECUTION.md for the model and the kernel table.
 //
-// Shapes the engine does not cover (joins, non-column aggregate arguments,
-// predicates it cannot compile) return nullopt from TryExecuteVectorized
-// and run on the row-at-a-time engine, which also serves as the oracle for
-// the randomized differential suite (tests/sql/vectorized_diff_test.cc).
+// Two-table equi-joins execute natively: each side's local conjuncts are
+// vectorized with the same kernels, the smaller filtered side feeds a
+// typed build table (narrow int key ranges direct-addressed, wider ones
+// open-addressed, string keys interned — no per-row Value boxing), and
+// matched row pairs stream through residual comparisons into the shared
+// aggregate/group/projection sinks in the row engine's exact pair order. GROUP BY over provably
+// small all-int key spaces takes a packed direct-array layout instead of
+// the hash path, and select lists / predicates may carry + - * /
+// arithmetic over numeric columns.
+//
+// Shapes the engine does not cover (joins without a usable equi conjunct,
+// non-column aggregate arguments, predicates it cannot compile) return
+// nullopt from TryExecuteVectorized and run on the row-at-a-time engine,
+// which also serves as the oracle for the randomized differential suite
+// (tests/sql/vectorized_diff_test.cc). Refusals are tallied per reason in
+// VectorizedStats.
 //
 // @thread_safety TryExecuteVectorized is safe to call from any number of
 // threads provided each caller holds the table's ReadLock (exactly what
@@ -39,10 +51,16 @@ inline constexpr size_t kVectorBatchRows = 1024;
 
 /// Process-wide engine counters (relaxed atomics; snapshot via
 /// GetVectorizedStats). `queries_fallback` counts Execute() calls the
-/// vectorized engine refused (shape not covered) — they ran row-at-a-time.
+/// vectorized engine refused (shape not covered) — they ran row-at-a-time
+/// — and the four `fallback_*` counters split it by refusal reason.
 struct VectorizedStats {
   uint64_t queries_vectorized = 0;
   uint64_t queries_fallback = 0;
+  uint64_t fallback_join = 0;        // join shapes the hash join can't take
+  uint64_t fallback_expression = 0;  // predicates/scalars that didn't compile
+  uint64_t fallback_shape = 0;       // select-list / group-by shapes
+  uint64_t fallback_type = 0;        // unsupported column type combinations
+  uint64_t joins_vectorized = 0;     // subset of queries_vectorized
   uint64_t batches = 0;
   uint64_t rows_scanned = 0;       // rows entering the filter
   uint64_t parallel_scans = 0;     // scans that used the worker pool

@@ -204,6 +204,26 @@ TEST_F(EvaluatorTest, NonEquiJoinFallsBackToNestedLoop) {
   EXPECT_EQ(rs.ScalarAt(0, 0), Value(0));
 }
 
+TEST_F(EvaluatorTest, EquiConjunctPreferredRegardlessOfWhereOrder) {
+  // The equi conjunct is listed *last*; the row engine must still pick it
+  // as the hash-join key, so the nested-loop pair counter stays flat.
+  const uint64_t before = GetRowEngineStats().join_nested_loop_rows;
+  auto hash_q = ParseAndBind(
+      "SELECT COUNT(*) FROM EMP E, DEPT D WHERE D.BUDGET >= 500 AND E.SALARY > 60 "
+      "AND E.DEPT = D.NAME",
+      db_);
+  ResultSet rs = ExecuteRowAtATime(*hash_q, {});
+  EXPECT_EQ(rs.ScalarAt(0, 0), Value(3));
+  EXPECT_EQ(GetRowEngineStats().join_nested_loop_rows, before);
+
+  // With no equi conjunct at all the nested loop is unavoidable and visits
+  // every filtered pair: 5 employees x 3 departments.
+  auto nested_q =
+      ParseAndBind("SELECT COUNT(*) FROM EMP E, DEPT D WHERE E.SALARY < D.BUDGET", db_);
+  ExecuteRowAtATime(*nested_q, {});
+  EXPECT_EQ(GetRowEngineStats().join_nested_loop_rows, before + 15);
+}
+
 TEST_F(EvaluatorTest, CrossJoinViaAlwaysTrueEquiCondition) {
   ResultSet rs = Run("SELECT COUNT(*) FROM EMP E, DEPT D WHERE E.SALARY < D.BUDGET");
   // budget 1000: all 5; 500: all 5; 200: all 5 → salaries all < 200? 100,80,60,70,50 yes.

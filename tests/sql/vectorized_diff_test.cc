@@ -29,6 +29,7 @@ using storage::Schema;
 using storage::Table;
 
 constexpr int64_t kRows = 500;
+constexpr int64_t kRowsS = 300;
 
 class VectorizedDiffTest : public ::testing::Test {
  protected:
@@ -52,6 +53,21 @@ class VectorizedDiffTest : public ::testing::Test {
       Value d = rng.Chance(0.1) ? Value::Null()
                                 : Value("w" + std::to_string(rng.Uniform(0, 30)));
       t.Insert({Value(i), b, c, d, Value(rng.Uniform(0, 4))});
+    }
+    // Join partner: K overlaps R.B (heavy duplicates and NULLs on both
+    // sides), W overlaps R.D for string-key joins, G is a small group key.
+    Table& s = db_.CreateTable("S", Schema({{"K", ValueType::kInt, true},
+                                            {"G", ValueType::kInt, false},
+                                            {"V", ValueType::kDouble, true},
+                                            {"W", ValueType::kString, true}}));
+    s.CreateHashIndex(0);
+    for (int64_t i = 0; i < kRowsS; ++i) {
+      Value k = rng.Chance(0.15) ? Value::Null() : Value(rng.Uniform(0, 20));
+      Value v = rng.Chance(0.1) ? Value::Null()
+                                : Value(static_cast<double>(rng.Uniform(0, 500)) / 4.0);
+      Value w = rng.Chance(0.15) ? Value::Null()
+                                 : Value("w" + std::to_string(rng.Uniform(0, 30)));
+      s.Insert({k, Value(rng.Uniform(0, 6)), v, w});
     }
   }
 
@@ -165,6 +181,82 @@ class VectorizedDiffTest : public ::testing::Test {
     return sql;
   }
 
+  /// Two-table equi-join shapes over R (alias R1) and S (alias S1):
+  /// duplicate keys on both sides, NULL join keys, string keys, local
+  /// filters in random conjunct order, cross-slot residuals, occasionally
+  /// an empty build side, plus join + GROUP BY + ORDER BY/LIMIT.
+  std::string GenJoinQuery(Rng& rng) {
+    std::vector<std::string> conjuncts;
+    const bool string_key = rng.Chance(0.25);
+    conjuncts.push_back(string_key ? "R1.D = S1.W" : "R1.B = S1.K");
+    if (rng.Chance(0.5)) {
+      conjuncts.push_back("R1.E " + CmpOp(rng) + " " + std::to_string(rng.Uniform(0, 4)));
+    }
+    if (rng.Chance(0.5)) {
+      conjuncts.push_back("S1.G " + CmpOp(rng) + " " + std::to_string(rng.Uniform(0, 6)));
+    }
+    if (rng.Chance(0.3)) conjuncts.push_back("S1.V IS NOT NULL");
+    if (rng.Chance(0.15)) conjuncts.push_back("S1.K > 1000");  // empty build side
+    if (rng.Chance(0.3)) {
+      // Cross-slot residual; "=" here can even displace the join key —
+      // both engines pick the first equi conjunct, so they must agree.
+      conjuncts.push_back("R1.E " + CmpOp(rng) + " S1.G");
+    }
+    // WHERE order must not matter for the equi-join choice: shuffle.
+    for (size_t i = conjuncts.size(); i > 1; --i) {
+      std::swap(conjuncts[i - 1], conjuncts[static_cast<size_t>(rng.Uniform(0, i - 1))]);
+    }
+    std::string where;
+    for (const std::string& c : conjuncts) {
+      where += (where.empty() ? "" : " AND ") + c;
+    }
+
+    std::string sql;
+    switch (rng.Uniform(0, 3)) {
+      case 0:
+        sql = "SELECT COUNT(*) FROM R R1, S S1 WHERE " + where;
+        break;
+      case 1:
+        // Un-ORDERed projection: pins the exact pair emission order.
+        sql = "SELECT R1.A, S1.G FROM R R1, S S1 WHERE " + where;
+        break;
+      case 2:
+        sql = "SELECT COUNT(*), SUM(R1.B), MIN(S1.V), MAX(R1.A) FROM R R1, S S1 WHERE " + where;
+        break;
+      default:
+        sql = "SELECT S1.G, COUNT(*), SUM(R1.B) FROM R R1, S S1 WHERE " + where +
+              " GROUP BY S1.G";
+        if (rng.Chance(0.5)) {
+          sql += " ORDER BY S1.G" + std::string(rng.Chance(0.5) ? " DESC" : "");
+          if (rng.Chance(0.5)) sql += " LIMIT " + std::to_string(rng.Uniform(0, 5));
+        }
+        break;
+    }
+    return sql;
+  }
+
+  /// Arithmetic select items and predicates (+ - * /, parentheses,
+  /// int/double mixing, division by zero, NULL propagation).
+  std::string GenArithQuery(Rng& rng) {
+    static const char* kScalarLists[] = {
+        "A + 1, B * 2", "A - B", "C / 4, A", "(A + 1) * 2", "B + C", "A, B / 0",
+    };
+    static const char* kArithPreds[] = {
+        "A + 1 > 10",         "(A + 1) * 2 >= B + E", "B * 2 = E * 5",
+        "C / 2 > 30",         "A - 2 < B",            "B + C >= 50",
+        "10 - E > A / 25",    "B / 0 = 1",  // divisor zero: NULL, never true
+    };
+    std::string sql;
+    if (rng.Chance(0.5)) {
+      sql = std::string("SELECT ") + kScalarLists[rng.Uniform(0, 5)] + " FROM R";
+      if (rng.Chance(0.6)) sql += " WHERE " + std::string(kArithPreds[rng.Uniform(0, 7)]);
+    } else {
+      sql = "SELECT A FROM R WHERE " + std::string(kArithPreds[rng.Uniform(0, 7)]);
+      if (rng.Chance(0.4)) sql += " AND " + GenPredicate(rng);
+    }
+    return sql;
+  }
+
   // --- differential check --------------------------------------------------
 
   static bool CellsMatch(const Value& a, const Value& b) {
@@ -221,6 +313,16 @@ class VectorizedDiffTest : public ::testing::Test {
     }
   }
 
+  void RunJoinRounds(uint64_t seed, int rounds) {
+    Rng rng(seed);
+    for (int round = 0; round < rounds; ++round) {
+      const std::string sql = GenJoinQuery(rng);
+      SCOPED_TRACE("join round " + std::to_string(round) + ": " + sql);
+      CompareEngines(sql);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
   Database db_;
 };
 
@@ -271,6 +373,124 @@ TEST_F(VectorizedDiffTest, KleeneSemanticsPins) {
     SCOPED_TRACE(sql);
     CompareEngines(sql);
   }
+}
+
+TEST_F(VectorizedDiffTest, RandomizedJoinRoundsMatchOracle) {
+  const uint64_t joins_before = GetVectorizedStats().joins_vectorized;
+  RunJoinRounds(0x10a0beef, 150);
+  // Every generated shape carries a usable equi conjunct, so nearly all
+  // rounds must take the vectorized hash join, not the row engine.
+  EXPECT_GT(GetVectorizedStats().joins_vectorized, joins_before + 120);
+}
+
+// Deterministic join pins: edge cases the generator only hits
+// probabilistically must never lose coverage.
+TEST_F(VectorizedDiffTest, JoinSemanticsPins) {
+  const char* kQueries[] = {
+      // Equi conjunct listed last: the hash join must still find it.
+      "SELECT COUNT(*) FROM R R1, S S1 WHERE R1.E > 0 AND S1.G < 5 AND R1.B = S1.K",
+      // Self join, duplicate keys on both sides, un-ORDERed projection
+      // (pins the exact probe-outer / build-insertion-inner pair order).
+      "SELECT R1.A, R2.A FROM R R1, R R2 WHERE R1.E = R2.E AND R1.A < 6 AND R2.A < 9",
+      // Empty build side.
+      "SELECT R1.A, S1.G FROM R R1, S S1 WHERE R1.B = S1.K AND S1.K > 1000",
+      // String join keys (interned, not boxed).
+      "SELECT COUNT(*), MIN(R1.A) FROM R R1, S S1 WHERE R1.D = S1.W",
+      // Two equi conjuncts: the first is the key, the second a residual.
+      "SELECT COUNT(*) FROM R R1, S S1 WHERE R1.B = S1.K AND R1.E = S1.G",
+      // Non-eq cross-slot residual, flipped so slot 1 is on the left.
+      "SELECT COUNT(*) FROM R R1, S S1 WHERE S1.G < R1.E AND R1.B = S1.K",
+      // Join + GROUP BY + ORDER BY + LIMIT.
+      "SELECT S1.G, COUNT(*), SUM(R1.B) FROM R R1, S S1 WHERE R1.B = S1.K "
+      "GROUP BY S1.G ORDER BY S1.G DESC LIMIT 3",
+      // Group keys drawn from both slots, first-encounter order un-ORDERed.
+      "SELECT R1.E, S1.G, COUNT(*) FROM R R1, S S1 WHERE R1.B = S1.K "
+      "GROUP BY R1.E, S1.G",
+      // Star over both tables.
+      "SELECT * FROM R R1, S S1 WHERE R1.B = S1.K AND R1.A < 20",
+      // No matching pairs at all: aggregates over the empty pair stream.
+      "SELECT COUNT(*), SUM(R1.B), AVG(S1.V) FROM R R1, S S1 "
+      "WHERE R1.B = S1.K AND R1.B > 100",
+  };
+  for (const char* sql : kQueries) {
+    SCOPED_TRACE(sql);
+    CompareEngines(sql);
+  }
+}
+
+TEST_F(VectorizedDiffTest, RandomizedArithmeticRoundsMatchOracle) {
+  Rng rng(0xa417a417);
+  const uint64_t vec_before = GetVectorizedStats().queries_vectorized;
+  for (int round = 0; round < 120; ++round) {
+    const std::string sql = GenArithQuery(rng);
+    SCOPED_TRACE("arith round " + std::to_string(round) + ": " + sql);
+    CompareEngines(sql);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(GetVectorizedStats().queries_vectorized, vec_before + 80);
+}
+
+TEST_F(VectorizedDiffTest, ArithmeticSemanticsPins) {
+  const char* kQueries[] = {
+      "SELECT A, B / 0 FROM R LIMIT 10",              // divide by zero -> NULL
+      "SELECT A FROM R WHERE B / 0 = 1",              // NULL never satisfies
+      "SELECT B + C FROM R LIMIT 20",                 // int + double, NULL operands
+      "SELECT (A + 1) * 2 FROM R WHERE (A + 1) * 2 >= B + E",  // parentheses
+      "SELECT A FROM R WHERE A - 2 < B",              // arith vs bare column
+      "SELECT C / 4, A FROM R WHERE C / 2 > 30",      // double division
+      "SELECT A FROM R WHERE 10 - E > A / 25",        // int division truncates
+  };
+  for (const char* sql : kQueries) {
+    SCOPED_TRACE(sql);
+    CompareEngines(sql);
+  }
+}
+
+// GROUP BY over provably small all-int key spaces takes the packed
+// direct-array layout; results must be indistinguishable from the hash
+// grouping path (same first-encounter emission order, same NULL slot).
+TEST_F(VectorizedDiffTest, PackedGroupKeyPins) {
+  const char* kQueries[] = {
+      "SELECT E, COUNT(*) FROM R GROUP BY E",                // dense small domain
+      "SELECT B, COUNT(*), SUM(E) FROM R GROUP BY B",        // NULL group keys
+      "SELECT E, B, MIN(C), COUNT(*) FROM R GROUP BY E, B",  // two packed dims
+      "SELECT A, COUNT(*) FROM R GROUP BY A",                // wide range, still packed
+      "SELECT D, COUNT(*) FROM R GROUP BY D",                // string key: hash path
+      "SELECT E, COUNT(*) FROM R WHERE A < 0 GROUP BY E",    // no surviving rows
+      "SELECT E, AVG(C) FROM R WHERE B IS NOT NULL GROUP BY E ORDER BY E",
+  };
+  for (const char* sql : kQueries) {
+    SCOPED_TRACE(sql);
+    CompareEngines(sql);
+  }
+}
+
+// Refusals are tallied per reason, and the reasons partition the total.
+TEST_F(VectorizedDiffTest, FallbackReasonCounters) {
+  auto before = GetVectorizedStats();
+  // Two tables but no usable equi conjunct: join machinery refuses.
+  CompareEngines("SELECT COUNT(*) FROM R R1, S S1 WHERE R1.E < S1.G");
+  auto after = GetVectorizedStats();
+  EXPECT_EQ(after.fallback_join, before.fallback_join + 1);
+  EXPECT_EQ(after.queries_fallback, before.queries_fallback + 1);
+
+  before = after;
+  // Arithmetic over a string column never compiles to a kernel (and the
+  // row engine raises the same BindError, so the engines still agree).
+  CompareEngines("SELECT A FROM R WHERE D + 1 > 2");
+  after = GetVectorizedStats();
+  EXPECT_EQ(after.fallback_expression, before.fallback_expression + 1);
+
+  before = after;
+  // Join keys must be int/int or string/string; double keys fall back.
+  CompareEngines("SELECT COUNT(*) FROM R R1, S S1 WHERE R1.C = S1.V");
+  after = GetVectorizedStats();
+  EXPECT_EQ(after.fallback_type, before.fallback_type + 1);
+
+  // The per-reason counters partition the total (process-wide invariant:
+  // every refusal goes through exactly one reason).
+  EXPECT_EQ(after.queries_fallback, after.fallback_join + after.fallback_expression +
+                                        after.fallback_shape + after.fallback_type);
 }
 
 }  // namespace
